@@ -1,0 +1,102 @@
+// Associative array algebra (Section II): the cost of the string-keyed
+// layer relative to raw sparse matrices. Union-add, correlation-
+// multiply, element-wise intersection, transpose and sub-referencing on
+// growing key spaces, with the D4M explode thrown in. Expected shape:
+// the assoc layer pays dictionary alignment (sorted string unions) on
+// top of the kernel cost — the price of carrying global row/column
+// labels, which is exactly what the paper says distinguishes associative
+// arrays from sparse matrices.
+
+#include <cstdio>
+
+#include "assoc/assoc_array.hpp"
+#include "assoc/schemas.hpp"
+#include "la/la.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+using namespace graphulo;
+
+namespace {
+
+/// Random string-keyed array: keys "u|XXXX" x "w|XXXX".
+assoc::AssocArray random_assoc(std::size_t entries, std::size_t key_space,
+                               std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<assoc::Entry> out;
+  out.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    out.push_back({"u|" + util::zero_pad(rng.uniform_int(key_space), 5),
+                   "w|" + util::zero_pad(rng.uniform_int(key_space), 5),
+                   rng.uniform(0.5, 2.0)});
+  }
+  return assoc::AssocArray::from_entries(std::move(out));
+}
+
+}  // namespace
+
+int main() {
+  util::TablePrinter table({"entries", "keys", "op", "result_nnz", "time_ms"});
+  for (std::size_t entries : {5000, 20000, 80000}) {
+    const std::size_t key_space = entries / 4;
+    const auto a = random_assoc(entries, key_space, 1);
+    const auto b = random_assoc(entries, key_space, 2);
+    const auto n = std::to_string(entries);
+    const auto k = std::to_string(key_space);
+    util::Timer t;
+
+    t.reset();
+    const auto sum = a.add(b);
+    table.add_row({n, k, "add (union)", std::to_string(sum.nnz()),
+                   util::TablePrinter::fmt(t.millis(), 1)});
+
+    t.reset();
+    const auto prod = a.multiply(b.transposed());
+    table.add_row({n, k, "multiply (correlate)", std::to_string(prod.nnz()),
+                   util::TablePrinter::fmt(t.millis(), 1)});
+
+    t.reset();
+    const auto had = a.ewise_mult(b);
+    table.add_row({n, k, "ewise (intersect)", std::to_string(had.nnz()),
+                   util::TablePrinter::fmt(t.millis(), 1)});
+
+    t.reset();
+    const auto tr = a.transposed();
+    table.add_row({n, k, "transpose", std::to_string(tr.nnz()),
+                   util::TablePrinter::fmt(t.millis(), 1)});
+
+    t.reset();
+    const auto sub = a.select_row_prefix("u|000");
+    table.add_row({n, k, "select prefix u|000", std::to_string(sub.nnz()),
+                   util::TablePrinter::fmt(t.millis(), 1)});
+  }
+  table.print("AssocArray algebra (string keys, dictionary alignment)");
+
+  // D4M explode throughput.
+  {
+    util::TablePrinter d4m_table({"records", "fields", "explode_ms",
+                                  "tedge_nnz"});
+    util::Xoshiro256 rng(3);
+    for (std::size_t records : {1000, 10000}) {
+      std::vector<std::pair<std::string, assoc::Record>> data;
+      data.reserve(records);
+      for (std::size_t r = 0; r < records; ++r) {
+        assoc::Record record;
+        for (int f = 0; f < 6; ++f) {
+          record["field" + std::to_string(f)] =
+              "val" + std::to_string(rng.uniform_int(50));
+        }
+        data.emplace_back("rec|" + util::zero_pad(r, 6), std::move(record));
+      }
+      util::Timer t;
+      const auto d4m = assoc::d4m_explode(data);
+      d4m_table.add_row({std::to_string(records), "6",
+                         util::TablePrinter::fmt(t.millis(), 1),
+                         std::to_string(d4m.tedge.nnz())});
+    }
+    d4m_table.print("D4M schema explode");
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// NoSQL substrate throughput: the shape behind the paper's Accumulo
+// citation [7] ("100,000,000 database inserts per second" on a large
+// cluster) is that ingest scales with tablet servers and pre-splitting.
+// In-process we cannot reproduce cluster numbers, but the scaling SHAPE
+// is measurable: ingest/scan rate vs tablet-server count, the effect of
+// pre-splitting, and the LSM knobs (flush threshold, compaction fan-in).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "gen/rmat.hpp"
+#include "nosql/nosql.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+using namespace graphulo;
+
+namespace {
+
+/// Ingests `cells` random-ish cells and returns (ingest rate, scan rate).
+std::pair<double, double> run_workload(int servers, int splits,
+                                       std::size_t cells,
+                                       nosql::TableConfig cfg) {
+  nosql::Instance db(servers);
+  db.create_table("t", std::move(cfg));
+  if (splits > 1) {
+    std::vector<std::string> split_rows;
+    for (int s = 1; s < splits; ++s) {
+      split_rows.push_back(
+          util::zero_pad(static_cast<std::uint64_t>(s * 1000 / splits), 4));
+    }
+    db.add_splits("t", split_rows);
+  }
+  util::Timer t;
+  {
+    nosql::BatchWriter writer(db, "t");
+    for (std::size_t i = 0; i < cells; ++i) {
+      // Row keys spread over the split space; qualifier distinguishes.
+      nosql::Mutation m(util::zero_pad(i % 1000, 4));
+      m.put("f", util::zero_pad(i / 1000, 6), nosql::encode_double(1.0));
+      writer.add_mutation(std::move(m));
+    }
+    writer.flush();
+  }
+  const double ingest_rate = static_cast<double>(cells) / t.seconds();
+
+  t.reset();
+  nosql::BatchScanner scanner(db, "t");
+  std::atomic<std::size_t> seen{0};
+  scanner.for_each([&seen](const nosql::Key&, const nosql::Value&) {
+    seen.fetch_add(1, std::memory_order_relaxed);
+  });
+  const double scan_rate = static_cast<double>(seen.load()) / t.seconds();
+  return {ingest_rate, scan_rate};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kCells = 200000;
+
+  {
+    util::TablePrinter table({"servers", "splits", "ingest", "scan"});
+    for (int servers : {1, 2, 4}) {
+      for (int splits : {1, servers}) {
+        nosql::TableConfig cfg;
+        cfg.flush_entries = 50000;
+        const auto [ingest, scan] = run_workload(servers, splits, kCells, cfg);
+        table.add_row({std::to_string(servers), std::to_string(splits),
+                       util::human_rate(ingest), util::human_rate(scan)});
+      }
+    }
+    table.print("Ingest/scan rate vs tablet servers and pre-splits (" +
+                std::to_string(kCells) + " cells)");
+  }
+
+  {
+    util::TablePrinter table({"flush_entries", "fanin", "ingest", "scan",
+                              "minor_compactions"});
+    for (std::size_t flush : {5000, 20000, 100000}) {
+      for (std::size_t fanin : {4, 16}) {
+        nosql::TableConfig cfg;
+        cfg.flush_entries = flush;
+        cfg.compaction_fanin = fanin;
+        nosql::Instance db(1);
+        db.create_table("t", cfg);
+        util::Timer t;
+        {
+          nosql::BatchWriter writer(db, "t");
+          for (std::size_t i = 0; i < kCells; ++i) {
+            nosql::Mutation m(util::zero_pad(i % 997, 4));
+            m.put("f", util::zero_pad(i / 997, 6), nosql::encode_double(1.0));
+            writer.add_mutation(std::move(m));
+          }
+          writer.flush();
+        }
+        const double ingest = static_cast<double>(kCells) / t.seconds();
+        t.reset();
+        nosql::Scanner scanner(db, "t");
+        std::size_t seen = 0;
+        scanner.for_each(
+            [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
+        const double scan = static_cast<double>(seen) / t.seconds();
+        std::size_t mincs = 0;
+        for (auto& [tablet, sid] :
+             db.tablets_for_range("t", nosql::Range::all())) {
+          mincs += tablet->stats().minor_compactions;
+        }
+        table.add_row({std::to_string(flush), std::to_string(fanin),
+                       util::human_rate(ingest), util::human_rate(scan),
+                       std::to_string(mincs)});
+      }
+    }
+    table.print("LSM tuning: flush threshold and compaction fan-in");
+  }
+
+  // WAL overhead: journaled vs unjournaled ingest of the same workload.
+  {
+    util::TablePrinter table({"wal", "ingest", "overhead"});
+    double base_rate = 0.0;
+    for (const bool journaled : {false, true}) {
+      nosql::Instance db(1);
+      const std::string wal_path = "/tmp/graphulo_bench_dbops.wal";
+      std::remove(wal_path.c_str());
+      if (journaled) {
+        db.attach_wal(std::make_shared<nosql::WriteAheadLog>(wal_path));
+      }
+      db.create_table("t");
+      util::Timer t;
+      {
+        nosql::BatchWriter writer(db, "t");
+        for (std::size_t i = 0; i < kCells; ++i) {
+          nosql::Mutation m(util::zero_pad(i % 1000, 4));
+          m.put("f", util::zero_pad(i / 1000, 6), nosql::encode_double(1.0));
+          writer.add_mutation(std::move(m));
+        }
+        writer.flush();
+      }
+      db.sync_wal();
+      const double rate = static_cast<double>(kCells) / t.seconds();
+      if (!journaled) base_rate = rate;
+      table.add_row({journaled ? "on" : "off", util::human_rate(rate),
+                     journaled && base_rate > 0
+                         ? util::TablePrinter::fmt(base_rate / rate, 2) + "x"
+                         : "-"});
+      std::remove(wal_path.c_str());
+    }
+    table.print("Write-ahead-log durability cost");
+  }
+  return 0;
+}

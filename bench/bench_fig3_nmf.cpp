@@ -1,0 +1,130 @@
+// Fig. 3 reproduction: NMF topic modeling of ~20,000 tweets into 5
+// topics via Algorithm 5 (ALS with Newton-Schulz inverses, Algorithm 4)
+// on the D4M-exploded term-document incidence array. The paper's
+// artifact is qualitative (a table of topics: Turkish, dating, guitar
+// competition in Atlanta, Spanish, English); the synthetic corpus has
+// those same five flavors with known labels, so this bench also reports
+// topic purity, and ablates the Newton-inverse ALS against
+// multiplicative updates (the inverse-free alternative Section IV
+// discusses).
+
+#include <cstdio>
+
+#include "algo/nmf.hpp"
+#include "assoc/assoc_array.hpp"
+#include "assoc/schemas.hpp"
+#include "gen/tweets.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+using namespace graphulo;
+
+namespace {
+
+void print_topics(const char* label, const algo::NmfResult& result,
+                  const assoc::AssocArray& incidence,
+                  const gen::TweetCorpus& corpus, double seconds) {
+  std::vector<int> truth;
+  truth.reserve(corpus.tweets.size());
+  for (const auto& t : corpus.tweets) truth.push_back(t.true_topic);
+  const double purity =
+      algo::topic_purity(algo::assign_topics(result.w), truth);
+  std::printf("%s: %d iterations, residual %.1f -> %.1f, purity %.3f, %.2fs\n",
+              label, result.iterations, result.residual_history.front(),
+              result.residual_history.back(), purity, seconds);
+  const auto& cols = incidence.col_keys();
+  for (int topic = 0; topic < result.h.rows(); ++topic) {
+    std::printf("  Topic %d:", topic + 1);
+    for (la::Index term : algo::top_terms(result.h, topic, 10)) {
+      const auto& key = cols[static_cast<std::size_t>(term)];
+      std::printf(" %s", key.substr(key.find('|') + 1).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  gen::TweetParams params;
+  params.num_tweets = 20000;  // the paper's corpus size
+  const auto corpus = gen::generate_tweets(params);
+  const auto incidence = assoc::tweets_to_incidence(corpus);
+  std::printf(
+      "Corpus: %zu tweets, %zu distinct terms, %lld nonzeros "
+      "(synthetic stand-in for the paper's Twitter data; see DESIGN.md)\n\n",
+      corpus.tweets.size(), incidence.col_count(),
+      static_cast<long long>(incidence.nnz()));
+
+  algo::NmfOptions opts;
+  opts.rank = 5;  // the paper's topic count
+  opts.max_iterations = 40;
+
+  util::Timer t;
+  const auto als = algo::nmf_als_newton(incidence.matrix(), opts);
+  const double als_s = t.seconds();
+  print_topics("Algorithm 5 (ALS + Newton-Schulz inverse)", als, incidence,
+               corpus, als_s);
+  std::printf("\n");
+
+  t.reset();
+  const auto mult = algo::nmf_multiplicative(incidence.matrix(), opts);
+  const double mult_s = t.seconds();
+  print_topics("Multiplicative updates (ablation)", mult, incidence, corpus,
+               mult_s);
+
+  // D4M degree-filter ablation: strip stop words (columns present in
+  // more than 30% of tweets) before factoring — the standard Tdeg-based
+  // cleanup. Topic words come out cleaner; purity stays high.
+  {
+    const auto filtered = assoc::filter_cols_by_degree(
+        incidence, 2.0, 0.3 * static_cast<double>(corpus.tweets.size()));
+    std::printf(
+        "\nDegree filter: %zu -> %zu term columns (stop words removed)\n",
+        incidence.col_count(), filtered.col_count());
+    algo::NmfOptions fopts;
+    fopts.rank = 5;
+    fopts.max_iterations = 40;
+    t.reset();
+    const auto result = algo::nmf_als_newton(filtered.matrix(), fopts);
+    print_topics("Algorithm 5 on degree-filtered terms", result, filtered,
+                 corpus, t.seconds());
+  }
+
+  // Rank sensitivity: the paper fixes k = 5 (it knew the answer); this
+  // sweep shows what mis-specified k costs. Purity uses 5 true labels
+  // throughout, so k < 5 must merge topics and lose purity, while k > 5
+  // only splits them (purity stays high).
+  {
+    std::vector<int> truth;
+    for (const auto& tweet : corpus.tweets) truth.push_back(tweet.true_topic);
+    util::TablePrinter table({"k", "residual", "purity", "iters"});
+    for (int k : {3, 4, 5, 6, 8}) {
+      algo::NmfOptions sweep_opts;
+      sweep_opts.rank = k;
+      sweep_opts.max_iterations = 25;
+      const auto result = algo::nmf_als_newton(incidence.matrix(), sweep_opts);
+      table.add_row({std::to_string(k),
+                     util::TablePrinter::fmt(result.residual_history.back(), 1),
+                     util::TablePrinter::fmt(
+                         algo::topic_purity(algo::assign_topics(result.w),
+                                            truth), 3),
+                     std::to_string(result.iterations)});
+    }
+    table.print("Fig. 3 ablation: topic count k (truth has 5)");
+  }
+
+  std::printf("\nResidual trajectories (||A - WH||_F per iteration):\n");
+  util::TablePrinter table({"iteration", "als_newton", "multiplicative"});
+  const std::size_t rows =
+      std::max(als.residual_history.size(), mult.residual_history.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto cell = [&](const std::vector<double>& h) {
+      return i < h.size() ? util::TablePrinter::fmt(h[i], 2) : std::string("-");
+    };
+    table.add_row({std::to_string(i + 1), cell(als.residual_history),
+                   cell(mult.residual_history)});
+  }
+  table.print("Fig. 3: NMF convergence");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// GraphBLAS kernel microbenchmarks (google-benchmark): SpGEMM (dense vs
+// hash SPA ablation, semiring variants), SpMV / SpMSpV, SpEWiseX,
+// Reduce, Apply, SpRef, transpose — over R-MAT and Erdos-Renyi inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/erdos.hpp"
+#include "gen/rmat.hpp"
+#include "la/la.hpp"
+#include "util/rng.hpp"
+
+using namespace graphulo;
+using la::SpMat;
+
+namespace {
+
+SpMat<double> rmat(int scale, double edge_factor = 8) {
+  gen::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  return gen::rmat_simple_adjacency(p);
+}
+
+void BM_SpGEMM_DenseSpa(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = la::spgemm<la::PlusTimes<double>>(a, a, la::SpaKind::kDense);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+}
+BENCHMARK(BM_SpGEMM_DenseSpa)->Arg(8)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_SpGEMM_HashSpa(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = la::spgemm<la::PlusTimes<double>>(a, a, la::SpaKind::kHash);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_SpGEMM_HashSpa)->Arg(8)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_SpGEMM_Tropical(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = la::spgemm<la::MinPlus<double>>(a, a);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_SpGEMM_Tropical)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_SpGEMM_PlusAnd(benchmark::State& state) {
+  // The Section IV (+, AND) overlap-count pairing used by k-truss.
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = la::spgemm<la::PlusAnd<double>>(a, a);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_SpGEMM_PlusAnd)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_SpGEMM_Masked(benchmark::State& state) {
+  // C<A> = A*A — the edge-support pattern; compare against the
+  // unmasked SpGEMM arms above to see what the mask saves.
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = la::spgemm_masked<la::PlusTimes<double>>(a, a, a);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_SpGEMM_Masked)->Arg(8)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_SpMV(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  for (auto _ : state) {
+    auto y = la::spmv<la::PlusTimes<double>>(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpMV)->Arg(10)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_SpMSpV_Frontier(benchmark::State& state) {
+  // Sparse frontier of ~1% of vertices: the BFS inner step.
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  la::SpVec<double> frontier(a.rows());
+  for (la::Index v = 0; v < a.rows(); v += 100) frontier.push_back(v, 1.0);
+  for (auto _ : state) {
+    auto y = la::spmspv<la::PlusTimes<double>>(frontier, a);
+    benchmark::DoNotOptimize(y.nnz());
+  }
+}
+BENCHMARK(BM_SpMSpV_Frontier)->Arg(10)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_EWiseMult(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)), 8);
+  const auto b = rmat(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto c = la::hadamard(a, b);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_EWiseMult)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_EWiseAdd(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)), 8);
+  const auto b = rmat(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto c = la::add(a, b);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_EWiseAdd)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_Reduce(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto sums = la::row_sums(a);
+    benchmark::DoNotOptimize(sums.data());
+  }
+}
+BENCHMARK(BM_Reduce)->Arg(10)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_Apply(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = la::apply(a, [](double v) { return v * 2.0; });
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_Apply)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_SpRef_RandomRows(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  util::Xoshiro256 rng(5);
+  std::vector<la::Index> rows;
+  for (la::Index i = 0; i < a.rows() / 2; ++i) {
+    rows.push_back(static_cast<la::Index>(
+        rng.uniform_int(static_cast<std::uint64_t>(a.rows()))));
+  }
+  for (auto _ : state) {
+    auto c = la::spref_rows(a, rows);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_SpRef_RandomRows)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto t = la::transpose(a);
+    benchmark::DoNotOptimize(t.nnz());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(10)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_Triu(benchmark::State& state) {
+  const auto a = rmat(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto u = la::triu(a);
+    benchmark::DoNotOptimize(u.nnz());
+  }
+}
+BENCHMARK(BM_Triu)->Arg(10)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace

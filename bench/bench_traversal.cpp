@@ -1,0 +1,83 @@
+// Exploration/traversal and shortest-path classes of Table I as a
+// performance study: BFS (SpMSpV form vs classical queue), single-source
+// shortest paths (tropical-semiring Bellman-Ford vs Dijkstra), and
+// connected components (min-label propagation vs union-find), across
+// graph scales. Expected shape: classical forms win on a single core
+// (no memory traffic to hide); the LA forms match them exactly and are
+// the ones that map onto database scans.
+
+#include <cstdio>
+#include <limits>
+
+#include "algo/components.hpp"
+#include "algo/sssp.hpp"
+#include "algo/traversal.hpp"
+#include "gen/rmat.hpp"
+#include "la/la.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+using namespace graphulo;
+
+int main() {
+  util::TablePrinter table({"n", "edges", "algorithm", "la_ms", "classic_ms",
+                            "agree"});
+  for (int scale : {10, 12, 14}) {
+    gen::RmatParams p;
+    p.scale = scale;
+    p.edge_factor = 8;
+    const auto a = gen::rmat_simple_adjacency(p);
+    const auto n = std::to_string(a.rows());
+    const auto m = std::to_string(a.nnz() / 2);
+    util::Timer t;
+
+    // BFS.
+    t.reset();
+    const auto bfs_la = algo::bfs_linalg(a, 0);
+    const double bfs_la_ms = t.millis();
+    t.reset();
+    const auto bfs_cl = algo::bfs_classic(a, 0);
+    const double bfs_cl_ms = t.millis();
+    table.add_row({n, m, "BFS (SpMSpV vs queue)",
+                   util::TablePrinter::fmt(bfs_la_ms, 2),
+                   util::TablePrinter::fmt(bfs_cl_ms, 2),
+                   bfs_la.level == bfs_cl.level ? "yes" : "NO"});
+
+    // SSSP with random positive weights.
+    util::Xoshiro256 rng(scale);
+    std::vector<la::Triple<double>> wt;
+    for (const auto& e : a.to_triples()) {
+      wt.push_back({e.row, e.col, 1.0 + static_cast<double>(rng.uniform_int(9))});
+    }
+    const auto w = la::SpMat<double>::from_triples(a.rows(), a.cols(), wt);
+    t.reset();
+    const auto bf = algo::bellman_ford(w, 0);
+    const double bf_ms = t.millis();
+    t.reset();
+    const auto dj = algo::dijkstra(w, 0);
+    const double dj_ms = t.millis();
+    bool sssp_agree = true;
+    for (std::size_t v = 0; v < bf.size(); ++v) {
+      if (bf[v] != dj[v]) sssp_agree = false;
+    }
+    table.add_row({n, m, "SSSP (Bellman-Ford vs Dijkstra)",
+                   util::TablePrinter::fmt(bf_ms, 2),
+                   util::TablePrinter::fmt(dj_ms, 2),
+                   sssp_agree ? "yes" : "NO"});
+
+    // Connected components.
+    t.reset();
+    const auto cc_la = algo::connected_components_linalg(a);
+    const double cc_la_ms = t.millis();
+    t.reset();
+    const auto cc_uf = algo::connected_components_baseline(a);
+    const double cc_uf_ms = t.millis();
+    table.add_row({n, m, "components (label-prop vs union-find)",
+                   util::TablePrinter::fmt(cc_la_ms, 2),
+                   util::TablePrinter::fmt(cc_uf_ms, 2),
+                   cc_la == cc_uf ? "yes" : "NO"});
+  }
+  table.print("Traversal & shortest-path classes: LA vs classical");
+  return 0;
+}

@@ -1,0 +1,19 @@
+#pragma once
+// Umbrella header for the graph algorithm layer: every algorithm class
+// of the paper's Table I, in the GraphBLAS formulations of Section III,
+// with classical baselines.
+
+#include "algo/betweenness.hpp"  // Centrality (shortest-path based)
+#include "algo/centrality.hpp"   // Centrality (degree/eigen/Katz/PageRank)
+#include "algo/components.hpp"   // Community structure (components)
+#include "algo/inverse.hpp"      // Algorithm 4 (Newton-Schulz)
+#include "algo/jaccard.hpp"      // Similarity (Algorithm 2) + prediction
+#include "algo/ktruss.hpp"       // Subgraph detection (Algorithm 1)
+#include "algo/nmf.hpp"          // Community detection (Algorithms 3/5)
+#include "algo/nomination.hpp"   // Vertex nomination
+#include "algo/similarity_extra.hpp"  // Similarity: SimRank, Adamic-Adar
+#include "algo/spectral.hpp"     // Community: spectral bisection
+#include "algo/sssp.hpp"         // Shortest paths
+#include "algo/svd.hpp"          // Community: truncated SVD / PCA
+#include "algo/traversal.hpp"    // Exploration & traversal
+#include "algo/tricount.hpp"     // Triangles

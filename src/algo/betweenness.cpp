@@ -1,0 +1,144 @@
+#include "algo/betweenness.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "la/spmv.hpp"
+#include "la/spvec.hpp"
+
+namespace graphulo::algo {
+
+using la::Index;
+using la::SpMat;
+using la::SpVec;
+
+std::vector<double> betweenness_centrality(const SpMat<double>& a,
+                                           const std::vector<Index>& sources) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("betweenness_centrality: square matrix");
+  }
+  const Index n = a.rows();
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<double> bc(nn, 0.0);
+  const auto at = la::transpose(a);  // for the backward sweep
+
+  for (Index s : sources) {
+    if (s < 0 || s >= n) {
+      throw std::out_of_range("betweenness_centrality: source");
+    }
+    // Forward sweep: frontier-by-frontier path counting.
+    // sigma[v] = number of shortest s->v paths; depth[v] = BFS level.
+    std::vector<double> sigma(nn, 0.0);
+    std::vector<int> depth(nn, -1);
+    std::vector<SpVec<double>> frontiers;
+    SpVec<double> frontier(n);
+    frontier.push_back(s, 1.0);
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    depth[static_cast<std::size_t>(s)] = 0;
+    int level = 0;
+    while (!frontier.empty()) {
+      frontiers.push_back(frontier);
+      // Candidate counts: paths extended one hop (SpMSpV over +.x).
+      auto expanded = la::spmspv<la::PlusTimes<double>>(frontier, a);
+      // Mask to unvisited vertices; record sigma and the new frontier.
+      SpVec<double> next(n);
+      ++level;
+      for (std::size_t k = 0; k < expanded.indices().size(); ++k) {
+        const Index v = expanded.indices()[k];
+        const double paths = expanded.values()[k];
+        auto& dv = depth[static_cast<std::size_t>(v)];
+        if (dv == -1) {
+          dv = level;
+          sigma[static_cast<std::size_t>(v)] = paths;
+          next.push_back(v, paths);
+        } else if (dv == level) {
+          sigma[static_cast<std::size_t>(v)] += paths;
+        }
+      }
+      frontier = std::move(next);
+    }
+
+    // Backward sweep: delta(v) = sum over successors w one level deeper
+    // of sigma(v)/sigma(w) * (1 + delta(w)).
+    std::vector<double> delta(nn, 0.0);
+    for (auto it = frontiers.rbegin(); it != frontiers.rend(); ++it) {
+      const auto& wave = *it;
+      // Coefficients (1 + delta(w)) / sigma(w) for vertices of this
+      // level, pushed back along incoming edges (SpMSpV over A^T).
+      SpVec<double> coeff(n);
+      for (std::size_t k = 0; k < wave.indices().size(); ++k) {
+        const Index w = wave.indices()[k];
+        const double sw = sigma[static_cast<std::size_t>(w)];
+        if (sw > 0.0) {
+          coeff.push_back(w, (1.0 + delta[static_cast<std::size_t>(w)]) / sw);
+        }
+      }
+      auto pushed = la::spmspv<la::PlusTimes<double>>(coeff, at);
+      const int wave_depth = depth[static_cast<std::size_t>(wave.indices()[0])];
+      for (std::size_t k = 0; k < pushed.indices().size(); ++k) {
+        const Index v = pushed.indices()[k];
+        if (depth[static_cast<std::size_t>(v)] == wave_depth - 1) {
+          delta[static_cast<std::size_t>(v)] +=
+              sigma[static_cast<std::size_t>(v)] * pushed.values()[k];
+        }
+      }
+    }
+    for (std::size_t v = 0; v < nn; ++v) {
+      if (static_cast<Index>(v) != s) bc[v] += delta[v];
+    }
+  }
+  return bc;
+}
+
+std::vector<double> betweenness_centrality(const SpMat<double>& a) {
+  std::vector<Index> sources(static_cast<std::size_t>(a.rows()));
+  for (Index i = 0; i < a.rows(); ++i) sources[static_cast<std::size_t>(i)] = i;
+  return betweenness_centrality(a, sources);
+}
+
+std::vector<double> betweenness_brandes_baseline(
+    const SpMat<double>& a, const std::vector<Index>& sources) {
+  const Index n = a.rows();
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<double> bc(nn, 0.0);
+  for (Index s : sources) {
+    std::vector<std::vector<Index>> predecessors(nn);
+    std::vector<double> sigma(nn, 0.0);
+    std::vector<int> dist(nn, -1);
+    std::vector<Index> order;
+    std::queue<Index> queue;
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    dist[static_cast<std::size_t>(s)] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const Index v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      for (Index w : a.row_cols(v)) {
+        auto& dw = dist[static_cast<std::size_t>(w)];
+        if (dw < 0) {
+          dw = dist[static_cast<std::size_t>(v)] + 1;
+          queue.push(w);
+        }
+        if (dw == dist[static_cast<std::size_t>(v)] + 1) {
+          sigma[static_cast<std::size_t>(w)] += sigma[static_cast<std::size_t>(v)];
+          predecessors[static_cast<std::size_t>(w)].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(nn, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const Index w = *it;
+      for (Index v : predecessors[static_cast<std::size_t>(w)]) {
+        delta[static_cast<std::size_t>(v)] +=
+            sigma[static_cast<std::size_t>(v)] /
+            sigma[static_cast<std::size_t>(w)] *
+            (1.0 + delta[static_cast<std::size_t>(w)]);
+      }
+      if (w != s) bc[static_cast<std::size_t>(w)] += delta[static_cast<std::size_t>(w)];
+    }
+  }
+  return bc;
+}
+
+}  // namespace graphulo::algo

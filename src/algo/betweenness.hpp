@@ -1,0 +1,30 @@
+#pragma once
+// Betweenness centrality — the linear-algebraic (Brandes) formulation
+// the paper cites from Kepner & Gilbert [9]: a forward sparse-frontier
+// sweep counting shortest paths per BFS level, then a backward sweep
+// accumulating dependencies, all expressed as SpMSpV/eWise operations.
+// A classical queue-based Brandes baseline is provided for validation.
+
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::algo {
+
+/// Exact betweenness centrality of an unweighted directed graph,
+/// computed from the given source set (pass all vertices for the full
+/// metric; a sample for the approximate one). Endpoints excluded, no
+/// 1/2 normalization (undirected callers can halve).
+std::vector<double> betweenness_centrality(
+    const la::SpMat<double>& a, const std::vector<la::Index>& sources);
+
+/// Convenience: all-sources exact betweenness.
+std::vector<double> betweenness_centrality(const la::SpMat<double>& a);
+
+/// Classical Brandes algorithm (queue + adjacency lists); reference
+/// implementation for tests and the bench baseline.
+std::vector<double> betweenness_brandes_baseline(
+    const la::SpMat<double>& a, const std::vector<la::Index>& sources);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,257 @@
+#include "algo/centrality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/norms.hpp"
+#include "la/reduce.hpp"
+#include "la/spmv.hpp"
+#include "la/structure.hpp"
+#include "util/rng.hpp"
+
+namespace graphulo::algo {
+
+using la::Index;
+using la::SpMat;
+
+std::vector<double> out_degree_centrality(const SpMat<double>& a) {
+  return la::row_sums(a);
+}
+
+std::vector<double> in_degree_centrality(const SpMat<double>& a) {
+  return la::col_sums(a);
+}
+
+namespace {
+
+std::vector<double> random_positive_vector(Index n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(0.05, 1.0);  // bounded away from 0
+  return x;
+}
+
+/// The paper's convergence test: cosine of the angle between successive
+/// iterates close to 1.
+bool cosine_converged(const std::vector<double>& next,
+                      const std::vector<double>& prev, double tolerance) {
+  const double nn = la::norm2(next);
+  const double np = la::norm2(prev);
+  if (nn == 0.0 || np == 0.0) return true;  // degenerate: nothing moves
+  return std::abs(la::dot(next, prev)) / (nn * np) >= 1.0 - tolerance;
+}
+
+}  // namespace
+
+CentralityResult eigenvector_centrality(const SpMat<double>& a,
+                                        PowerOptions options) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigenvector_centrality: square matrix");
+  }
+  CentralityResult result;
+  auto x = random_positive_vector(a.rows(), options.seed);
+  la::normalize2(x);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Shifted power step x <- (A + I) x: same eigenvectors as A, but the
+    // shift breaks the +/-lambda tie on bipartite graphs (a star would
+    // make the paper's plain x <- A x oscillate forever).
+    auto next = la::spmv<la::PlusTimes<double>>(a, x);
+    for (std::size_t i = 0; i < next.size(); ++i) next[i] += x[i];
+    result.iterations = it + 1;
+    const bool done = cosine_converged(next, x, options.tolerance);
+    la::normalize2(next);
+    x = std::move(next);
+    if (done) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(x);
+  return result;
+}
+
+CentralityResult katz_centrality(const SpMat<double>& a, double alpha,
+                                 PowerOptions options) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("katz_centrality: square matrix");
+  }
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument("katz_centrality: alpha in (0, 1)");
+  }
+  CentralityResult result;
+  const auto n = static_cast<std::size_t>(a.rows());
+  std::vector<double> d(n, 1.0);  // d_0 = 1s, per the paper
+  std::vector<double> x(n, 0.0);
+  double alpha_k = alpha;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    d = la::spmv<la::PlusTimes<double>>(a, d);
+    auto next = x;
+    double increment_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = alpha_k * d[i];
+      next[i] += delta;
+      increment_sq += delta * delta;
+    }
+    alpha_k *= alpha;
+    result.iterations = it + 1;
+    // The paper's cosine rule alone stops as soon as the DIRECTION is
+    // stable, which for Katz happens immediately on regular graphs; the
+    // magnitude of the series tail must also be negligible.
+    const double next_norm = la::norm2(next);
+    const bool magnitude_stable =
+        next_norm == 0.0 ||
+        std::sqrt(increment_sq) / next_norm <= std::sqrt(options.tolerance);
+    if (it > 0 && magnitude_stable &&
+        cosine_converged(next, x, options.tolerance)) {
+      x = std::move(next);
+      result.converged = true;
+      break;
+    }
+    x = std::move(next);
+  }
+  result.scores = std::move(x);
+  return result;
+}
+
+CentralityResult pagerank(const SpMat<double>& a, double alpha,
+                          PowerOptions options) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("pagerank: square matrix");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("pagerank: alpha in [0, 1]");
+  }
+  const Index n = a.rows();
+  const auto nn = static_cast<std::size_t>(n);
+  CentralityResult result;
+  if (n == 0) return result;
+
+  // Column-stochastic walk matrix M = A^T D^{-1} applied as
+  // y = (x^T (D^{-1} A))^T, using row access only: scale each row i of A
+  // by x_i / outdeg_i and accumulate into y.
+  const auto out_degree = la::row_sums(a);
+  std::vector<double> x(nn, 1.0 / static_cast<double>(n));
+  const double jump = alpha / static_cast<double>(n);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    std::vector<double> y(nn, 0.0);
+    double dangling_mass = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const double xi = x[static_cast<std::size_t>(i)];
+      const double deg = out_degree[static_cast<std::size_t>(i)];
+      if (deg == 0.0) {
+        dangling_mass += xi;
+        continue;
+      }
+      const double share = xi / deg;
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_vals(i);
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        y[static_cast<std::size_t>(cols[p])] += share * vals[p];
+      }
+    }
+    // The paper's trick: multiplication by the all-ones matrix is a
+    // vector sum broadcast; x sums to 1, so the jump term is uniform.
+    const double uniform =
+        jump + (1.0 - alpha) * dangling_mass / static_cast<double>(n);
+    for (auto& v : y) v = (1.0 - alpha) * v + uniform;
+    // Restore exact stochasticity against rounding drift.
+    const double total = la::vec_sum(y);
+    if (total > 0) {
+      for (auto& v : y) v /= total;
+    }
+    result.iterations = it + 1;
+    if (cosine_converged(y, x, options.tolerance)) {
+      x = std::move(y);
+      result.converged = true;
+      break;
+    }
+    x = std::move(y);
+  }
+  result.scores = std::move(x);
+  return result;
+}
+
+std::vector<double> closeness_centrality(const SpMat<double>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("closeness_centrality: square matrix");
+  }
+  const Index n = a.rows();
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<double> scores(nn, 0.0);
+  // One boolean-semiring BFS per source; frontier values are
+  // reachability flags, distances accumulate per level.
+  for (Index s = 0; s < n; ++s) {
+    la::SpVec<double> frontier(n);
+    frontier.push_back(s, 1.0);
+    std::vector<char> visited(nn, 0);
+    visited[static_cast<std::size_t>(s)] = 1;
+    double dist_sum = 0.0;
+    std::size_t reached = 1;
+    int level = 0;
+    while (!frontier.empty()) {
+      ++level;
+      const auto expanded = la::spmspv<la::OrAndDouble>(frontier, a);
+      la::SpVec<double> next(n);
+      for (Index v : expanded.indices()) {
+        if (!visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = 1;
+          next.push_back(v, 1.0);
+          dist_sum += level;
+          ++reached;
+        }
+      }
+      frontier = std::move(next);
+    }
+    if (reached > 1 && dist_sum > 0.0) {
+      // Wasserman-Faust correction scales by the reachable fraction so
+      // small components do not dominate.
+      const double fraction = static_cast<double>(reached - 1) /
+                              static_cast<double>(n - 1);
+      scores[static_cast<std::size_t>(s)] =
+          fraction * static_cast<double>(reached - 1) / dist_sum;
+    }
+  }
+  return scores;
+}
+
+std::vector<double> pagerank_dense_reference(const SpMat<double>& a,
+                                             double alpha, int iterations) {
+  const Index n = a.rows();
+  const auto nn = static_cast<std::size_t>(n);
+  // Build G = (alpha/N) 11^T + (1-alpha) A^T D^{-1} densely.
+  std::vector<double> g(nn * nn, alpha / static_cast<double>(n));
+  const auto deg = la::row_sums(a);
+  for (Index i = 0; i < n; ++i) {
+    const double d = deg[static_cast<std::size_t>(i)];
+    if (d == 0.0) {
+      // Dangling column: uniform.
+      for (Index j = 0; j < n; ++j) {
+        g[static_cast<std::size_t>(j) * nn + static_cast<std::size_t>(i)] +=
+            (1.0 - alpha) / static_cast<double>(n);
+      }
+      continue;
+    }
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      g[static_cast<std::size_t>(cols[p]) * nn + static_cast<std::size_t>(i)] +=
+          (1.0 - alpha) * vals[p] / d;
+    }
+  }
+  std::vector<double> x(nn, 1.0 / static_cast<double>(n));
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> y(nn, 0.0);
+    for (std::size_t r = 0; r < nn; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < nn; ++c) acc += g[r * nn + c] * x[c];
+      y[r] = acc;
+    }
+    const double total = la::vec_sum(y);
+    for (auto& v : y) v /= total;
+    x = std::move(y);
+  }
+  return x;
+}
+
+}  // namespace graphulo::algo

@@ -1,0 +1,72 @@
+#pragma once
+// Centrality metrics in GraphBLAS form — Section III-A of the paper.
+// Degree centrality is a Reduce; eigenvector centrality, Katz centrality
+// and PageRank are iterated SpMV with the paper's cosine-style stopping
+// rule |x_{k+1}.x_k| / (||x_{k+1}|| ||x_k||) -> 1.
+
+#include <cstdint>
+#include <vector>
+
+#include "la/spmat.hpp"
+
+namespace graphulo::algo {
+
+/// Result of an iterative centrality computation.
+struct CentralityResult {
+  std::vector<double> scores;  ///< per-vertex centrality
+  int iterations = 0;          ///< SpMV sweeps performed
+  bool converged = false;
+};
+
+/// Degree centrality (Section III-A): out-degree = row reduction,
+/// in-degree = column reduction of the adjacency matrix.
+std::vector<double> out_degree_centrality(const la::SpMat<double>& a);
+std::vector<double> in_degree_centrality(const la::SpMat<double>& a);
+
+/// Options shared by the iterative metrics.
+struct PowerOptions {
+  int max_iterations = 200;
+  /// Stop when |x_{k+1}.x_k|/(||x_{k+1}||||x_k||) >= 1 - tolerance.
+  double tolerance = 1e-10;
+  std::uint64_t seed = 7;  ///< for the random positive start vector
+};
+
+/// Eigenvector centrality via the power method from a random positive
+/// start, normalized each sweep; the iteration uses the shifted step
+/// x_{k+1} = (A + I) x_k, which has the same eigenvectors as the
+/// paper's x_{k+1} = A x_k but also converges on bipartite graphs
+/// (where the plain step oscillates between +/-lambda modes). Scores
+/// are scaled to unit 2-norm.
+CentralityResult eigenvector_centrality(const la::SpMat<double>& a,
+                                        PowerOptions options = {});
+
+/// Katz centrality (Section III-A): d_{k+1} = A d_k,
+/// x_{k+1} = x_k + alpha^k d_{k+1}, d_0 = 1. `alpha` must be below
+/// 1/lambda_max for the series to converge; the implementation also
+/// stops on the cosine criterion.
+CentralityResult katz_centrality(const la::SpMat<double>& a, double alpha,
+                                 PowerOptions options = {});
+
+/// PageRank (Section III-A): the principal eigenvector of
+/// (alpha/N) 11^T + (1 - alpha) A^T D^{-1}, computed by the power
+/// method; the rank-one jump term is applied with the paper's
+/// "sum-the-entries" trick, never materializing the dense matrix.
+/// Dangling vertices (out-degree 0) redistribute uniformly. Scores sum
+/// to 1.
+CentralityResult pagerank(const la::SpMat<double>& a, double alpha = 0.15,
+                          PowerOptions options = {});
+
+/// Dense-reference PageRank (explicitly builds the N x N Google matrix);
+/// for tests and the centrality bench only.
+std::vector<double> pagerank_dense_reference(const la::SpMat<double>& a,
+                                             double alpha, int iterations);
+
+/// Closeness centrality — the metric Section III-A defers to future
+/// work, built here from the kernels the paper already has: per-source
+/// BFS distances (unweighted) give
+///   closeness(v) = (reachable(v) - 1) / sum of distances from v,
+/// the Wasserman-Faust form that stays comparable on disconnected
+/// graphs. Vertices reaching nothing score 0.
+std::vector<double> closeness_centrality(const la::SpMat<double>& a);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,91 @@
+#include "algo/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace graphulo::algo {
+
+using la::Index;
+using la::SpMat;
+
+std::vector<Index> connected_components_linalg(const SpMat<double>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("connected_components: square matrix");
+  }
+  const Index n = a.rows();
+  std::vector<Index> label(static_cast<std::size_t>(n));
+  std::iota(label.begin(), label.end(), Index{0});
+  // label <- min(label, A (min.select2nd) label) until fixpoint: one
+  // sweep is a structure-only SpMV over the (min, select-second)
+  // pairing, unrolled here since the "values" are the labels themselves.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Index> next = label;
+    for (Index u = 0; u < n; ++u) {
+      for (Index v : a.row_cols(u)) {
+        const Index lv = label[static_cast<std::size_t>(v)];
+        if (lv < next[static_cast<std::size_t>(u)]) {
+          next[static_cast<std::size_t>(u)] = lv;
+          changed = true;
+        }
+      }
+    }
+    label = std::move(next);
+  }
+  return label;
+}
+
+namespace {
+Index find_root(std::vector<Index>& parent, Index x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    // Path halving.
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+}  // namespace
+
+std::vector<Index> connected_components_baseline(const SpMat<double>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("connected_components: square matrix");
+  }
+  const Index n = a.rows();
+  std::vector<Index> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), Index{0});
+  std::vector<Index> size(static_cast<std::size_t>(n), 1);
+  for (const auto& t : a.to_triples()) {
+    Index ru = find_root(parent, t.row);
+    Index rv = find_root(parent, t.col);
+    if (ru == rv) continue;
+    if (size[static_cast<std::size_t>(ru)] < size[static_cast<std::size_t>(rv)]) {
+      std::swap(ru, rv);
+    }
+    parent[static_cast<std::size_t>(rv)] = ru;
+    size[static_cast<std::size_t>(ru)] += size[static_cast<std::size_t>(rv)];
+  }
+  // Canonicalize: label = smallest vertex in the component.
+  std::vector<Index> label(static_cast<std::size_t>(n));
+  std::vector<Index> smallest(static_cast<std::size_t>(n),
+                              std::numeric_limits<Index>::max());
+  for (Index v = 0; v < n; ++v) {
+    const Index r = find_root(parent, v);
+    smallest[static_cast<std::size_t>(r)] =
+        std::min(smallest[static_cast<std::size_t>(r)], v);
+  }
+  for (Index v = 0; v < n; ++v) {
+    label[static_cast<std::size_t>(v)] =
+        smallest[static_cast<std::size_t>(find_root(parent, v))];
+  }
+  return label;
+}
+
+std::size_t component_count(const std::vector<Index>& labels) {
+  return std::set<Index>(labels.begin(), labels.end()).size();
+}
+
+}  // namespace graphulo::algo

@@ -1,0 +1,24 @@
+#pragma once
+// Connected components via label propagation over a (min, select)
+// semiring-style sweep — each vertex repeatedly adopts the smallest
+// label in its closed neighborhood, which is SpMV over (min, *pass*) —
+// plus a union-find baseline.
+
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::algo {
+
+/// Component id per vertex (the smallest vertex index in the component),
+/// computed by min-label propagation; O(diameter) SpMV sweeps.
+std::vector<la::Index> connected_components_linalg(const la::SpMat<double>& a);
+
+/// Union-find baseline (path halving + union by size).
+std::vector<la::Index> connected_components_baseline(const la::SpMat<double>& a);
+
+/// Number of distinct components in a labeling.
+std::size_t component_count(const std::vector<la::Index>& labels);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,92 @@
+#include "algo/inverse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace graphulo::algo {
+
+using la::Dense;
+using la::Index;
+
+InverseResult newton_inverse(const Dense<double>& a, double epsilon,
+                             int max_iterations) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("newton_inverse: square matrix");
+  }
+  const Index n = a.rows();
+  InverseResult result;
+  // X_1 = A^T / (||A_row|| * ||A_col||): guarantees the spectral radius
+  // of (I - X_1 A) is below 1 for nonsingular A, so the iteration
+  // contracts (quadratically once close).
+  const double scale = la::max_row_sum(a) * la::max_col_sum(a);
+  if (scale == 0.0) {
+    throw std::invalid_argument("newton_inverse: zero matrix");
+  }
+  Dense<double> x = a.transposed();
+  for (auto& v : x.data()) v /= scale;
+
+  const auto eye2 = [&] {
+    Dense<double> m = Dense<double>::eye(n);
+    for (auto& v : m.data()) v *= 2.0;
+    return m;
+  }();
+
+  for (int it = 0; it < max_iterations; ++it) {
+    // X_{t+1} = X_t (2I - A X_t).
+    const auto ax = la::matmul(a, x);
+    const auto bracket = la::lincomb(1.0, eye2, -1.0, ax);
+    auto next = la::matmul(x, bracket);
+    result.iterations = it + 1;
+    result.final_delta = la::fro_diff(next, x);
+    x = std::move(next);
+    if (result.final_delta <= epsilon) {
+      result.converged = true;
+      break;
+    }
+    if (!std::isfinite(result.final_delta)) break;  // diverged
+  }
+  result.inverse = std::move(x);
+  return result;
+}
+
+Dense<double> gauss_jordan_inverse(const Dense<double>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("gauss_jordan_inverse: square matrix");
+  }
+  const Index n = a.rows();
+  Dense<double> work = a;
+  Dense<double> inv = Dense<double>::eye(n);
+  for (Index col = 0; col < n; ++col) {
+    // Partial pivot.
+    Index pivot = col;
+    for (Index r = col + 1; r < n; ++r) {
+      if (std::abs(work(r, col)) > std::abs(work(pivot, col))) pivot = r;
+    }
+    if (std::abs(work(pivot, col)) < 1e-14) {
+      throw std::runtime_error("gauss_jordan_inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (Index j = 0; j < n; ++j) {
+        std::swap(work(pivot, j), work(col, j));
+        std::swap(inv(pivot, j), inv(col, j));
+      }
+    }
+    const double p = work(col, col);
+    for (Index j = 0; j < n; ++j) {
+      work(col, j) /= p;
+      inv(col, j) /= p;
+    }
+    for (Index r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = work(r, col);
+      if (factor == 0.0) continue;
+      for (Index j = 0; j < n; ++j) {
+        work(r, j) -= factor * work(col, j);
+        inv(r, j) -= factor * inv(col, j);
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace graphulo::algo

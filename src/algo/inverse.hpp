@@ -1,0 +1,33 @@
+#pragma once
+// Matrix inverse by Newton-Schulz iteration — Algorithm 4 of the paper:
+//     X_1     = A^T / (||A||_row * ||A||_col)
+//     X_{t+1} = X_t (2 I - A X_t)
+// iterated until ||X_{t+1} - X_t||_F <= eps. Uses only multiply/add/
+// scale, i.e. GraphBLAS kernels, which is the paper's point: it makes
+// the NMF least-squares solves expressible inside the database. A
+// Gauss-Jordan baseline is provided for validation and the bench's
+// cost/density ablation (Section IV discusses the fill-in concern).
+
+#include "la/dense.hpp"
+
+namespace graphulo::algo {
+
+/// Outcome of a Newton-Schulz run.
+struct InverseResult {
+  la::Dense<double> inverse;
+  int iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;  ///< ||X_{t+1} - X_t||_F at exit
+};
+
+/// Algorithm 4 on a dense square matrix. `epsilon` is the Frobenius
+/// stopping threshold; `max_iterations` bounds the loop (the iteration
+/// diverges for singular/ill-scaled inputs — converged=false then).
+InverseResult newton_inverse(const la::Dense<double>& a, double epsilon = 1e-12,
+                             int max_iterations = 200);
+
+/// Gauss-Jordan elimination with partial pivoting (baseline). Throws
+/// std::runtime_error on singular input.
+la::Dense<double> gauss_jordan_inverse(const la::Dense<double>& a);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,271 @@
+#include "algo/ktruss.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "la/apply.hpp"
+#include "la/ewise.hpp"
+#include "la/reduce.hpp"
+#include "la/spgemm.hpp"
+#include "la/spref.hpp"
+#include "la/structure.hpp"
+
+namespace graphulo::algo {
+
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+SpMat<double> incidence_from_adjacency(const SpMat<double>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("incidence_from_adjacency: square matrix");
+  }
+  std::vector<Triple<double>> entries;
+  Index edge = 0;
+  for (const auto& t : la::triu(a).to_triples()) {
+    entries.push_back({edge, t.row, 1.0});
+    entries.push_back({edge, t.col, 1.0});
+    ++edge;
+  }
+  return SpMat<double>::from_triples(edge, a.cols(), std::move(entries));
+}
+
+SpMat<double> adjacency_from_incidence(const SpMat<double>& e, Index n) {
+  // A = E^T E - diag(sum(E)) — the identity the paper derives.
+  auto ete = la::spgemm<la::PlusTimes<double>>(la::transpose(e), e);
+  (void)n;
+  return la::subtract(ete, la::diag_matrix(la::col_sums(e)));
+}
+
+namespace {
+
+/// s = (R == 2) * 1 : per-edge triangle support.
+std::vector<double> edge_support(const SpMat<double>& r) {
+  return la::row_sums(la::equals_indicator(r, 2.0));
+}
+
+/// x = find(s < k - 2) over the row index space.
+std::vector<Index> low_support_edges(const std::vector<double>& s, int k) {
+  std::vector<Index> x;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] < static_cast<double>(k - 2)) x.push_back(static_cast<Index>(i));
+  }
+  return x;
+}
+
+}  // namespace
+
+SpMat<double> ktruss_incidence(const SpMat<double>& e_in, int k,
+                               KTrussStats* stats,
+                               bool use_incremental_update) {
+  if (k < 3) {
+    // Every graph is a 2-truss (Section III-B); nothing to remove.
+    if (stats) *stats = {};
+    return e_in;
+  }
+  SpMat<double> e = e_in;
+  KTrussStats local;
+
+  // Initialization per Algorithm 1.
+  auto d = la::col_sums(e);
+  auto a = la::subtract(la::spgemm<la::PlusTimes<double>>(la::transpose(e), e),
+                        la::diag_matrix(d));
+  auto r = la::spgemm<la::PlusTimes<double>>(e, a);
+  auto s = edge_support(r);
+  auto x = low_support_edges(s, k);
+
+  while (!x.empty()) {
+    ++local.rounds;
+    local.edges_removed += static_cast<Index>(x.size());
+    const auto xc = la::complement(x, e.rows());
+    const auto ex = la::spref_rows(e, x);
+    e = la::spref_rows(e, xc);
+    if (use_incremental_update) {
+      // R <- R(xc, :) - E [ E_x^T E_x - diag(d_x) ]
+      const auto dx = la::col_sums(ex);
+      r = la::spref_rows(r, xc);
+      auto update = la::subtract(
+          la::spgemm<la::PlusTimes<double>>(la::transpose(ex), ex),
+          la::diag_matrix(dx));
+      r = la::subtract(r, la::spgemm<la::PlusTimes<double>>(e, update));
+    } else {
+      // Ablation arm: recompute R = E * A from the shrunken graph.
+      const auto d2 = la::col_sums(e);
+      const auto a2 = la::subtract(
+          la::spgemm<la::PlusTimes<double>>(la::transpose(e), e),
+          la::diag_matrix(d2));
+      r = la::spgemm<la::PlusTimes<double>>(e, a2);
+    }
+    s = edge_support(r);
+    x = low_support_edges(s, k);
+  }
+  if (stats) *stats = local;
+  return e;
+}
+
+SpMat<double> ktruss_adjacency(const SpMat<double>& a, int k,
+                               KTrussStats* stats) {
+  const auto e = incidence_from_adjacency(la::pattern(la::remove_diag(a)));
+  const auto ek = ktruss_incidence(e, k, stats);
+  return adjacency_from_incidence(ek, a.cols());
+}
+
+SpMat<double> ktruss_peeling_baseline(const SpMat<double>& a, int k) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("ktruss_peeling_baseline: square matrix");
+  }
+  const Index n = a.rows();
+  // Adjacency sets (simple graph, no loops).
+  std::vector<std::set<Index>> adj(static_cast<std::size_t>(n));
+  for (const auto& t : a.to_triples()) {
+    if (t.row != t.col) adj[static_cast<std::size_t>(t.row)].insert(t.col);
+  }
+  auto edge_key = [](Index u, Index v) {
+    return std::pair<Index, Index>{std::min(u, v), std::max(u, v)};
+  };
+  // Support = number of triangles through the edge.
+  std::map<std::pair<Index, Index>, int> support;
+  for (Index u = 0; u < n; ++u) {
+    for (Index v : adj[static_cast<std::size_t>(u)]) {
+      if (u >= v) continue;
+      int count = 0;
+      const auto& nu = adj[static_cast<std::size_t>(u)];
+      const auto& nv = adj[static_cast<std::size_t>(v)];
+      const auto& smaller = nu.size() < nv.size() ? nu : nv;
+      const auto& larger = nu.size() < nv.size() ? nv : nu;
+      for (Index w : smaller) {
+        if (larger.count(w)) ++count;
+      }
+      support[edge_key(u, v)] = count;
+    }
+  }
+  // Peel edges with support < k-2, lowest first (Wang-Cheng order).
+  std::queue<std::pair<Index, Index>> peel;
+  for (const auto& [edge, sup] : support) {
+    if (sup < k - 2) peel.push(edge);
+  }
+  std::set<std::pair<Index, Index>> removed;
+  while (!peel.empty()) {
+    const auto [u, v] = peel.front();
+    peel.pop();
+    if (removed.count({u, v})) continue;
+    removed.insert({u, v});
+    adj[static_cast<std::size_t>(u)].erase(v);
+    adj[static_cast<std::size_t>(v)].erase(u);
+    // Every common neighbor w loses a triangle on edges (u,w) and (v,w).
+    for (Index w : adj[static_cast<std::size_t>(u)]) {
+      if (adj[static_cast<std::size_t>(v)].count(w)) {
+        for (auto affected : {edge_key(u, w), edge_key(v, w)}) {
+          auto it = support.find(affected);
+          if (it != support.end() && !removed.count(affected)) {
+            if (--it->second < k - 2) peel.push(affected);
+          }
+        }
+      }
+    }
+  }
+  std::vector<Triple<double>> out;
+  for (Index u = 0; u < n; ++u) {
+    for (Index v : adj[static_cast<std::size_t>(u)]) {
+      out.push_back({u, v, 1.0});
+    }
+  }
+  return SpMat<double>::from_triples(n, n, std::move(out));
+}
+
+std::vector<double> ktruss_support_fused(
+    const SpMat<double>& a,
+    const std::vector<std::pair<Index, Index>>& edges) {
+  std::vector<double> support(edges.size(), 0.0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [u, v] = edges[i];
+    const auto nu = a.row_cols(u);
+    const auto nv = a.row_cols(v);
+    std::size_t p = 0, q = 0, common = 0;
+    while (p < nu.size() && q < nv.size()) {
+      if (nu[p] < nv[q]) {
+        ++p;
+      } else if (nu[p] > nv[q]) {
+        ++q;
+      } else {
+        ++common;
+        ++p;
+        ++q;
+      }
+    }
+    support[i] = static_cast<double>(common);
+  }
+  return support;
+}
+
+SpMat<double> ktruss_adjacency_fused(const SpMat<double>& a_in, int k,
+                                     KTrussStats* stats) {
+  KTrussStats local;
+  SpMat<double> a = la::pattern(la::remove_diag(a_in));
+  if (k < 3) {
+    if (stats) *stats = local;
+    return a;
+  }
+  const double min_support = static_cast<double>(k - 2);
+  while (true) {
+    // Edge list = upper triangle of the current adjacency.
+    std::vector<std::pair<Index, Index>> edges;
+    for (const auto& t : la::triu(a).to_triples()) {
+      edges.emplace_back(t.row, t.col);
+    }
+    if (edges.empty()) break;
+    const auto support = ktruss_support_fused(a, edges);
+    std::vector<Triple<double>> keep;
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (support[i] >= min_support) {
+        keep.push_back({edges[i].first, edges[i].second, 1.0});
+        keep.push_back({edges[i].second, edges[i].first, 1.0});
+      } else {
+        ++removed;
+      }
+    }
+    if (removed == 0) break;
+    ++local.rounds;
+    local.edges_removed += static_cast<Index>(removed);
+    a = SpMat<double>::from_triples(a.rows(), a.cols(), std::move(keep));
+  }
+  if (stats) *stats = local;
+  return a;
+}
+
+TrussDecomposition truss_decomposition(const SpMat<double>& a) {
+  TrussDecomposition out;
+  // Edge order = upper-triangle order used by incidence_from_adjacency.
+  for (const auto& t : la::triu(la::pattern(la::remove_diag(a))).to_triples()) {
+    out.edges.emplace_back(t.row, t.col);
+  }
+  out.truss_number.assign(out.edges.size(), 2);
+
+  // Map from (u, v) to position in out.edges for marking.
+  std::map<std::pair<Index, Index>, std::size_t> edge_pos;
+  for (std::size_t i = 0; i < out.edges.size(); ++i) edge_pos[out.edges[i]] = i;
+
+  auto e = incidence_from_adjacency(la::pattern(la::remove_diag(a)));
+  int k = 3;
+  while (e.nnz() > 0) {
+    auto ek = ktruss_incidence(e, k);
+    // Edges surviving at level k have truss number >= k.
+    for (Index row = 0; row < ek.rows(); ++row) {
+      const auto cols = ek.row_cols(row);
+      if (cols.size() == 2) {
+        const auto key = std::pair<Index, Index>{cols[0], cols[1]};
+        out.truss_number[edge_pos.at(key)] = k;
+      }
+    }
+    if (ek.nnz() > 0) out.max_k = k;
+    e = std::move(ek);
+    ++k;
+  }
+  return out;
+}
+
+}  // namespace graphulo::algo

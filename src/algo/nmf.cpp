@@ -1,0 +1,186 @@
+#include "algo/nmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "algo/inverse.hpp"
+#include "la/spmm.hpp"
+#include "util/rng.hpp"
+
+namespace graphulo::algo {
+
+using la::Dense;
+using la::Index;
+using la::SpMat;
+
+namespace {
+
+Dense<double> random_nonnegative(Index rows, Index cols, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Dense<double> m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(0.05, 1.0);
+  return m;
+}
+
+void clip_negatives(Dense<double>& m) {
+  for (auto& v : m.data()) {
+    if (v < 0.0) v = 0.0;
+  }
+}
+
+/// Gram + ridge: M^T M + ridge I for the row-factor solve, or
+/// M M^T + ridge I for the column-factor solve (k x k either way).
+Dense<double> gram_with_ridge(const Dense<double>& m, bool transpose_first,
+                              double ridge) {
+  const Dense<double> g = transpose_first
+                              ? la::matmul(m.transposed(), m)
+                              : la::matmul(m, m.transposed());
+  Dense<double> out = g;
+  for (Index i = 0; i < out.rows(); ++i) out(i, i) += ridge;
+  return out;
+}
+
+}  // namespace
+
+NmfResult nmf_als_newton(const SpMat<double>& a, NmfOptions options) {
+  if (options.rank < 1) throw std::invalid_argument("nmf: rank >= 1");
+  const Index m = a.rows();
+  const Index n = a.cols();
+  const Index k = options.rank;
+
+  NmfResult result;
+  result.w = random_nonnegative(m, k, options.seed);
+  result.h = Dense<double>(k, n);
+
+  double prev_residual = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Solve W^T W H = W^T A for H (Algorithm 3's first normal equation),
+    // inverse by Newton-Schulz (Algorithm 4), then clip negatives.
+    {
+      const auto gram = gram_with_ridge(result.w, /*transpose_first=*/true,
+                                        options.ridge);
+      const auto inv = newton_inverse(gram).inverse;
+      // W^T A: (k x m) * (m x n) via the sparse-aware product.
+      const auto wta = la::mmsp(result.w.transposed(), a);
+      result.h = la::matmul(inv, wta);
+      clip_negatives(result.h);
+    }
+    // Solve H H^T W^T = H A^T for W, same recipe.
+    {
+      const auto gram = gram_with_ridge(result.h, /*transpose_first=*/false,
+                                        options.ridge);
+      const auto inv = newton_inverse(gram).inverse;
+      // H A^T = (k x n) * (n x m); compute as (A H^T)^T with the sparse
+      // product to avoid materializing A^T.
+      const auto aht = la::spmm(a, result.h.transposed());  // m x k
+      const auto wt = la::matmul(inv, aht.transposed());    // k x m
+      result.w = wt.transposed();
+      clip_negatives(result.w);
+    }
+    const double residual = la::fro_diff_sparse_dense(a, result.w, result.h);
+    result.residual_history.push_back(residual);
+    result.iterations = it + 1;
+    if (std::abs(prev_residual - residual) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_residual = residual;
+  }
+  return result;
+}
+
+NmfResult nmf_multiplicative(const SpMat<double>& a, NmfOptions options) {
+  if (options.rank < 1) throw std::invalid_argument("nmf: rank >= 1");
+  const Index m = a.rows();
+  const Index n = a.cols();
+  const Index k = options.rank;
+  constexpr double kFloor = 1e-12;  // avoids division by zero
+
+  NmfResult result;
+  result.w = random_nonnegative(m, k, options.seed);
+  result.h = random_nonnegative(k, n, options.seed + 1);
+
+  double prev_residual = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // H <- H .* (W^T A) ./ (W^T W H)
+    {
+      const auto wta = la::mmsp(result.w.transposed(), a);          // k x n
+      const auto wtwh = la::matmul(
+          la::matmul(result.w.transposed(), result.w), result.h);  // k x n
+      for (Index i = 0; i < k; ++i) {
+        for (Index j = 0; j < n; ++j) {
+          result.h(i, j) *= wta(i, j) / (wtwh(i, j) + kFloor);
+        }
+      }
+    }
+    // W <- W .* (A H^T) ./ (W H H^T)
+    {
+      const auto aht = la::spmm(a, result.h.transposed());           // m x k
+      const auto whht = la::matmul(
+          result.w, la::matmul(result.h, result.h.transposed()));   // m x k
+      for (Index i = 0; i < m; ++i) {
+        for (Index j = 0; j < k; ++j) {
+          result.w(i, j) *= aht(i, j) / (whht(i, j) + kFloor);
+        }
+      }
+    }
+    const double residual = la::fro_diff_sparse_dense(a, result.w, result.h);
+    result.residual_history.push_back(residual);
+    result.iterations = it + 1;
+    if (std::abs(prev_residual - residual) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_residual = residual;
+  }
+  return result;
+}
+
+std::vector<int> assign_topics(const Dense<double>& w) {
+  std::vector<int> topics(static_cast<std::size_t>(w.rows()), 0);
+  for (Index i = 0; i < w.rows(); ++i) {
+    const auto row = w.row(i);
+    topics[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return topics;
+}
+
+double topic_purity(const std::vector<int>& assigned,
+                    const std::vector<int>& truth) {
+  if (assigned.size() != truth.size() || assigned.empty()) {
+    throw std::invalid_argument("topic_purity: size mismatch");
+  }
+  // For each learned topic, count the majority ground-truth label.
+  std::map<int, std::map<int, std::size_t>> tally;
+  for (std::size_t i = 0; i < assigned.size(); ++i) {
+    ++tally[assigned[i]][truth[i]];
+  }
+  std::size_t majority_total = 0;
+  for (const auto& [topic, counts] : tally) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : counts) best = std::max(best, count);
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) /
+         static_cast<double>(assigned.size());
+}
+
+std::vector<Index> top_terms(const Dense<double>& h, int topic,
+                             std::size_t count) {
+  if (topic < 0 || topic >= h.rows()) {
+    throw std::out_of_range("top_terms: topic index");
+  }
+  std::vector<Index> order(static_cast<std::size_t>(h.cols()));
+  for (Index j = 0; j < h.cols(); ++j) order[static_cast<std::size_t>(j)] = j;
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    return h(topic, x) > h(topic, y);
+  });
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+}  // namespace graphulo::algo

@@ -1,0 +1,64 @@
+#pragma once
+// Non-negative matrix factorization for topic modeling — Algorithms 3
+// and 5 of the paper (Section III-D): A (m x n, sparse, nonnegative) is
+// factored as A ~ W H with W (m x k), H (k x n) nonnegative. The
+// paper's variant solves the alternating least-squares normal equations
+//     H = (W^T W)^{-1} W^T A,     W^T = (H H^T)^{-1} H A^T
+// with the matrix inverses computed by the Newton-Schulz iteration of
+// Algorithm 4 and negatives clipped to zero after each solve. A
+// multiplicative-update (Lee-Seung) solver is included as the ablation
+// arm: it needs no inverse and cannot go negative, at the cost of slower
+// per-iteration progress.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/spmat.hpp"
+
+namespace graphulo::algo {
+
+/// NMF solver options.
+struct NmfOptions {
+  int rank = 5;              ///< k, the number of topics
+  int max_iterations = 100;
+  double tolerance = 1e-4;   ///< stop when ||A - WH||_F improves less than this
+  std::uint64_t seed = 13;   ///< W initialization
+  /// Ridge added to the Gram matrices before inversion; keeps the
+  /// Newton-Schulz solve well-posed when a topic column collapses.
+  double ridge = 1e-6;
+};
+
+/// An NMF factorization.
+struct NmfResult {
+  la::Dense<double> w;  ///< m x k
+  la::Dense<double> h;  ///< k x n
+  std::vector<double> residual_history;  ///< ||A - WH||_F per iteration
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Algorithm 5: ALS with Newton-Schulz inverses and negative clipping.
+NmfResult nmf_als_newton(const la::SpMat<double>& a, NmfOptions options = {});
+
+/// Multiplicative-update NMF (Lee-Seung), the inverse-free alternative
+/// discussed in Section IV.
+NmfResult nmf_multiplicative(const la::SpMat<double>& a,
+                             NmfOptions options = {});
+
+/// Hard topic assignment: argmax_k W(i, k) per row (document).
+std::vector<int> assign_topics(const la::Dense<double>& w);
+
+/// Topic purity against ground-truth labels: for each learned topic,
+/// the fraction of its documents sharing the majority true label,
+/// weighted by topic size. 1.0 = perfect separation; 1/#labels ~ chance.
+double topic_purity(const std::vector<int>& assigned,
+                    const std::vector<int>& truth);
+
+/// Top `count` column indices of H for a topic, by weight — the
+/// "top words per topic" table of Fig. 3.
+std::vector<la::Index> top_terms(const la::Dense<double>& h, int topic,
+                                 std::size_t count);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,46 @@
+#include "algo/nomination.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "la/spmv.hpp"
+
+namespace graphulo::algo {
+
+using la::Index;
+using la::SpMat;
+
+std::vector<Nomination> vertex_nomination(const SpMat<double>& a,
+                                          const std::vector<Index>& cues,
+                                          std::size_t top_k, double beta) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("vertex_nomination: square matrix");
+  }
+  const auto nn = static_cast<std::size_t>(a.rows());
+  std::vector<double> cue(nn, 0.0);
+  std::vector<char> is_cue(nn, 0);
+  for (Index c : cues) {
+    if (c < 0 || c >= a.rows()) {
+      throw std::out_of_range("vertex_nomination: cue vertex");
+    }
+    cue[static_cast<std::size_t>(c)] = 1.0;
+    is_cue[static_cast<std::size_t>(c)] = 1;
+  }
+  const auto one_hop = la::spmv<la::PlusTimes<double>>(a, cue);
+  const auto two_hop = la::spmv<la::PlusTimes<double>>(a, one_hop);
+  std::vector<Nomination> ranked;
+  for (std::size_t v = 0; v < nn; ++v) {
+    if (is_cue[v]) continue;
+    const double score = one_hop[v] + beta * two_hop[v];
+    if (score > 0.0) ranked.push_back({static_cast<Index>(v), score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Nomination& x, const Nomination& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.vertex < y.vertex;
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace graphulo::algo

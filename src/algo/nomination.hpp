@@ -1,0 +1,29 @@
+#pragma once
+// Vertex nomination (Section III-B cites Coppersmith & Priebe [10]):
+// rank vertices by association with a set of "cue" vertices. In linear
+// algebra this is one or two SpMV hops from the cue indicator vector —
+// context score = (direct + discounted 2-hop connectivity to cues).
+
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::algo {
+
+/// Ranked nomination list entry.
+struct Nomination {
+  la::Index vertex;
+  double score;
+};
+
+/// Scores every non-cue vertex as
+///   score(v) = (A c)(v) + beta (A^2 c)(v),
+/// with c the cue indicator; returns the top_k by score (ties by vertex
+/// id). beta discounts 2-hop evidence.
+std::vector<Nomination> vertex_nomination(const la::SpMat<double>& a,
+                                          const std::vector<la::Index>& cues,
+                                          std::size_t top_k,
+                                          double beta = 0.5);
+
+}  // namespace graphulo::algo

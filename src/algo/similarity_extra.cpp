@@ -1,0 +1,106 @@
+#include "algo/similarity_extra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/apply.hpp"
+#include "la/reduce.hpp"
+#include "la/spgemm.hpp"
+#include "la/spmm.hpp"
+#include "la/structure.hpp"
+
+namespace graphulo::algo {
+
+using la::Dense;
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+Dense<double> simrank(const SpMat<double>& a, SimRankOptions options) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("simrank: square matrix");
+  }
+  if (options.decay <= 0.0 || options.decay >= 1.0) {
+    throw std::invalid_argument("simrank: decay in (0, 1)");
+  }
+  const Index n = a.rows();
+  // W: column-normalized adjacency (W(i,j) = A(i,j)/indeg(j)).
+  const auto in_deg = la::col_sums(a);
+  std::vector<Triple<double>> w_triples;
+  for (const auto& t : a.to_triples()) {
+    const double d = in_deg[static_cast<std::size_t>(t.col)];
+    if (d > 0.0) w_triples.push_back({t.row, t.col, t.val / d});
+  }
+  const auto w = SpMat<double>::from_triples(n, n, std::move(w_triples));
+  const auto wt = la::transpose(w);
+
+  Dense<double> s = Dense<double>::eye(n);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // S' = C * W^T S W, then force the diagonal back to 1.
+    const auto ws = la::spmm(wt, s);  // W^T S  (n x n)
+    const auto next = [&] {
+      // (W^T S) W, streaming over W's rows (dense-times-sparse).
+      Dense<double> out(n, n);
+      for (Index i = 0; i < n; ++i) {
+        for (Index k = 0; k < n; ++k) {
+          const double v = ws(i, k);
+          if (v == 0.0) continue;
+          const auto cols = w.row_cols(k);
+          const auto vals = w.row_vals(k);
+          auto orow = out.row(i);
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            orow[cols[p]] += v * vals[p];
+          }
+        }
+      }
+      return out;
+    }();
+    double max_change = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        double value = i == j ? 1.0 : options.decay * next(i, j);
+        max_change = std::max(max_change, std::abs(value - s(i, j)));
+        s(i, j) = value;
+      }
+    }
+    if (max_change <= options.tolerance) break;
+  }
+  return s;
+}
+
+SpMat<double> adamic_adar(const SpMat<double>& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("adamic_adar: square matrix");
+  }
+  // D_aa = diag(1/log deg) over vertices with deg >= 2.
+  const auto deg = la::row_sums(a);
+  std::vector<double> weight(deg.size(), 0.0);
+  for (std::size_t v = 0; v < deg.size(); ++v) {
+    if (deg[v] >= 2.0) weight[v] = 1.0 / std::log(deg[v]);
+  }
+  // AA = A * diag(weight) * A, off-diagonal part.
+  const auto aw = la::spgemm<la::PlusTimes<double>>(
+      a, la::diag_matrix(weight));
+  const auto aa = la::spgemm<la::PlusTimes<double>>(aw, a);
+  return la::remove_diag(aa);
+}
+
+std::vector<ScoredPair> adamic_adar_predict(const SpMat<double>& a,
+                                            std::size_t top_k) {
+  const auto aa = adamic_adar(a);
+  std::vector<ScoredPair> pairs;
+  for (const auto& t : la::triu(aa).to_triples()) {
+    if (a.at(t.row, t.col) == 0.0) pairs.push_back({t.row, t.col, t.val});
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.u != y.u) return x.u < y.u;
+              return x.v < y.v;
+            });
+  if (pairs.size() > top_k) pairs.resize(top_k);
+  return pairs;
+}
+
+}  // namespace graphulo::algo

@@ -1,0 +1,46 @@
+#pragma once
+// Additional Similarity/Prediction-class algorithms from Table I beyond
+// Jaccard: SimRank ("two objects are similar if they are referenced by
+// similar objects") and Adamic-Adar link prediction (common neighbors
+// weighted by rarity). Both are pure compositions of the GraphBLAS
+// kernel set.
+
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::algo {
+
+/// SimRank options.
+struct SimRankOptions {
+  double decay = 0.8;   ///< C in Jeh-Widom's formulation
+  int max_iterations = 20;
+  double tolerance = 1e-6;  ///< max-entry change between sweeps
+};
+
+/// SimRank on a directed graph: the fixpoint of
+///   S = max(C * W^T S W, I)   with W the column-normalized adjacency,
+/// computed by the iterative method on a dense S (n is expected to be
+/// modest; SimRank is inherently O(n^2) in output). Returns the
+/// symmetric similarity matrix with unit diagonal.
+la::Dense<double> simrank(const la::SpMat<double>& a,
+                          SimRankOptions options = {});
+
+/// Adamic-Adar index for all vertex pairs at distance 2 in an
+/// undirected simple graph:
+///   AA(i,j) = sum over common neighbors w of 1 / log(deg(w)),
+/// expressible as A * diag(1/log d) * A restricted off-diagonal.
+/// Degree-1 common neighbors (log 0) contribute nothing.
+la::SpMat<double> adamic_adar(const la::SpMat<double>& a);
+
+/// Top-k non-adjacent pairs by Adamic-Adar score (link prediction).
+struct ScoredPair {
+  la::Index u, v;
+  double score;
+};
+std::vector<ScoredPair> adamic_adar_predict(const la::SpMat<double>& a,
+                                            std::size_t top_k);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,47 @@
+#pragma once
+// Spectral bisection — the eigen-analysis side of Table I's Community
+// Detection class (the paper's references [11][12] analyze planted
+// clusters through eigenstructure). The Fiedler vector (second-smallest
+// Laplacian eigenvector) is computed with the same power-iteration
+// machinery as the other Section III-A metrics: iterate on (cI - L)
+// with the trivial all-ones eigenvector deflated out, then split
+// vertices by sign.
+
+#include <cstdint>
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::algo {
+
+/// Options for the Fiedler computation.
+struct SpectralOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-10;  ///< cosine criterion, as in Section III-A
+  std::uint64_t seed = 31;
+};
+
+/// Result of a spectral bisection.
+struct SpectralPartition {
+  std::vector<double> fiedler;  ///< the Fiedler vector (unit norm)
+  std::vector<int> side;        ///< 0/1 partition by sign of fiedler
+  double lambda2 = 0.0;         ///< algebraic connectivity estimate
+  int iterations = 0;
+};
+
+/// Combinatorial Laplacian L = diag(degrees) - A of an undirected graph.
+la::SpMat<double> laplacian(const la::SpMat<double>& a);
+
+/// Fiedler vector and sign bisection of an undirected graph.
+SpectralPartition spectral_bisection(const la::SpMat<double>& a,
+                                     SpectralOptions options = {});
+
+/// Newman modularity Q of a vertex partition (labels need not be
+/// contiguous) over an undirected weighted graph:
+///   Q = (1/2m) sum_ij [A_ij - d_i d_j / 2m] [c_i == c_j].
+/// Q ~ 0 for random structure, larger when communities are denser than
+/// chance. Empty graphs score 0.
+double modularity(const la::SpMat<double>& a, const std::vector<int>& labels);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,164 @@
+#include "algo/sssp.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "la/semiring.hpp"
+#include "la/spmv.hpp"
+
+namespace graphulo::algo {
+
+using la::Dense;
+using la::Index;
+using la::SpMat;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_square_source(const SpMat<double>& w, Index source) {
+  if (w.rows() != w.cols()) throw std::invalid_argument("sssp: square matrix");
+  if (source < 0 || source >= w.rows()) {
+    throw std::out_of_range("sssp: source vertex");
+  }
+}
+}  // namespace
+
+std::vector<double> bellman_ford(const SpMat<double>& weights, Index source) {
+  check_square_source(weights, source);
+  using SR = la::MinPlus<double>;
+  const Index n = weights.rows();
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  // n-1 relaxation sweeps: dist <- min(dist, dist^T (min.+) W), the
+  // tropical-semiring vector-matrix product (vspm uses row access, which
+  // relaxes OUT-edges of every settled vertex).
+  for (Index sweep = 0; sweep < n - 1; ++sweep) {
+    const auto relaxed = la::vspm<SR>(dist, weights);
+    bool changed = false;
+    for (std::size_t v = 0; v < dist.size(); ++v) {
+      if (relaxed[v] < dist[v]) {
+        dist[v] = relaxed[v];
+        changed = true;
+      }
+    }
+    if (!changed) return dist;  // converged early
+  }
+  // One extra sweep detects reachable negative cycles.
+  const auto extra = la::vspm<SR>(dist, weights);
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (extra[v] < dist[v]) {
+      throw std::runtime_error("bellman_ford: negative cycle reachable");
+    }
+  }
+  return dist;
+}
+
+std::vector<double> dijkstra(const SpMat<double>& weights, Index source) {
+  check_square_source(weights, source);
+  for (double w : weights.values()) {
+    if (w < 0.0) throw std::invalid_argument("dijkstra: negative weight");
+  }
+  const Index n = weights.rows();
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  using Item = std::pair<double, Index>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    const auto cols = weights.row_cols(u);
+    const auto vals = weights.row_vals(u);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const double candidate = d + vals[p];
+      auto& dv = dist[static_cast<std::size_t>(cols[p])];
+      if (candidate < dv) {
+        dv = candidate;
+        heap.push({candidate, cols[p]});
+      }
+    }
+  }
+  return dist;
+}
+
+Dense<double> floyd_warshall(const SpMat<double>& weights) {
+  if (weights.rows() != weights.cols()) {
+    throw std::invalid_argument("floyd_warshall: square matrix");
+  }
+  const Index n = weights.rows();
+  Dense<double> dist(n, n, kInf);
+  for (Index i = 0; i < n; ++i) dist(i, i) = 0.0;
+  for (const auto& t : weights.to_triples()) {
+    dist(t.row, t.col) = std::min(dist(t.row, t.col), t.val);
+  }
+  for (Index k = 0; k < n; ++k) {
+    for (Index i = 0; i < n; ++i) {
+      const double dik = dist(i, k);
+      if (dik == kInf) continue;
+      auto drow = dist.row(i);
+      const auto krow = dist.row(k);
+      for (Index j = 0; j < n; ++j) {
+        const double via = dik + krow[j];
+        if (via < drow[j]) drow[j] = via;
+      }
+    }
+  }
+  for (Index i = 0; i < n; ++i) {
+    if (dist(i, i) < 0.0) {
+      throw std::runtime_error("floyd_warshall: negative cycle");
+    }
+  }
+  return dist;
+}
+
+Dense<double> johnson(const SpMat<double>& weights) {
+  if (weights.rows() != weights.cols()) {
+    throw std::invalid_argument("johnson: square matrix");
+  }
+  const Index n = weights.rows();
+  // Potential h from Bellman-Ford on the graph with a virtual source
+  // connected to every vertex at weight 0. Equivalent: start all-zeros
+  // and run n relaxation sweeps of the original graph.
+  using SR = la::MinPlus<double>;
+  std::vector<double> h(static_cast<std::size_t>(n), 0.0);
+  for (Index sweep = 0; sweep < n; ++sweep) {
+    const auto relaxed = la::vspm<SR>(h, weights);
+    bool changed = false;
+    for (std::size_t v = 0; v < h.size(); ++v) {
+      if (relaxed[v] < h[v]) {
+        h[v] = relaxed[v];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    if (sweep == n - 1) {
+      throw std::runtime_error("johnson: negative cycle");
+    }
+  }
+  // Reweight: w'(u,v) = w(u,v) + h(u) - h(v) >= 0.
+  std::vector<la::Triple<double>> reweighted;
+  for (const auto& t : weights.to_triples()) {
+    reweighted.push_back({t.row, t.col,
+                          t.val + h[static_cast<std::size_t>(t.row)] -
+                              h[static_cast<std::size_t>(t.col)]});
+  }
+  // Note the explicit "zero" sentinel: a reweighted edge of weight 0.0
+  // is a real edge under (min, +) and must not be pruned as structural.
+  const auto wprime = SpMat<double>::from_triples(
+      n, n, std::move(reweighted), [](double a, double) { return a; }, -kInf);
+  Dense<double> dist(n, n, kInf);
+  for (Index s = 0; s < n; ++s) {
+    const auto d = dijkstra(wprime, s);
+    for (Index v = 0; v < n; ++v) {
+      const double dv = d[static_cast<std::size_t>(v)];
+      dist(s, v) = dv == kInf ? kInf
+                              : dv - h[static_cast<std::size_t>(s)] +
+                                    h[static_cast<std::size_t>(v)];
+    }
+  }
+  return dist;
+}
+
+}  // namespace graphulo::algo

@@ -1,0 +1,35 @@
+#pragma once
+// Shortest paths (Table I, last class) over the tropical (min, +)
+// semiring: Bellman-Ford as iterated min-plus SpMV, Floyd-Warshall as a
+// min-plus outer-product sweep, Johnson's reweighting for sparse
+// all-pairs, and a binary-heap Dijkstra baseline.
+
+#include <optional>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::algo {
+
+/// Distances from `source`; unreachable = +infinity. Throws
+/// std::runtime_error when a negative cycle is reachable.
+std::vector<double> bellman_ford(const la::SpMat<double>& weights,
+                                 la::Index source);
+
+/// Dijkstra with a binary heap; requires nonnegative weights (checked).
+std::vector<double> dijkstra(const la::SpMat<double>& weights,
+                             la::Index source);
+
+/// All-pairs shortest paths, dense Floyd-Warshall over (min, +).
+/// Returns an n x n dense matrix (infinity = unreachable). Throws on
+/// negative cycles.
+la::Dense<double> floyd_warshall(const la::SpMat<double>& weights);
+
+/// Johnson's algorithm: Bellman-Ford reweighting + per-source Dijkstra.
+/// Handles negative edges (no negative cycles). Returns the same shape
+/// as floyd_warshall.
+la::Dense<double> johnson(const la::SpMat<double>& weights);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,93 @@
+#include "algo/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/norms.hpp"
+#include "la/spmv.hpp"
+#include "util/rng.hpp"
+
+namespace graphulo::algo {
+
+using la::Index;
+using la::SpMat;
+
+namespace {
+
+/// Removes the projections of `x` onto previous right singular vectors.
+void deflate(std::vector<double>& x,
+             const std::vector<SingularTriplet>& previous) {
+  for (const auto& trip : previous) {
+    const double coeff = la::dot(x, trip.v);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] -= coeff * trip.v[i];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SingularTriplet> svd_truncated(const SpMat<double>& a,
+                                           SvdOptions options) {
+  if (options.rank < 1) throw std::invalid_argument("svd: rank >= 1");
+  const auto at = la::transpose(a);
+  util::Xoshiro256 rng(options.seed);
+  std::vector<SingularTriplet> triplets;
+
+  const int rank = std::min<int>(options.rank, std::min(a.rows(), a.cols()));
+  for (int component = 0; component < rank; ++component) {
+    std::vector<double> v(static_cast<std::size_t>(a.cols()));
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    deflate(v, triplets);
+    if (la::normalize2(v) == 0.0) break;
+
+    double sigma = 0.0;
+    for (int it = 0; it < options.max_iterations; ++it) {
+      // One power sweep on A^T A: v <- A^T (A v), deflated + normalized.
+      auto av = la::spmv<la::PlusTimes<double>>(a, v);
+      auto next = la::spmv<la::PlusTimes<double>>(at, av);
+      deflate(next, triplets);
+      const double norm = la::normalize2(next);
+      const double new_sigma = std::sqrt(norm);
+      v = std::move(next);
+      const bool converged =
+          sigma > 0.0 &&
+          std::abs(new_sigma - sigma) <= options.tolerance * new_sigma;
+      sigma = new_sigma;
+      if (converged) break;
+    }
+    if (sigma <= 0.0) break;  // matrix exhausted (rank < requested)
+
+    SingularTriplet trip;
+    trip.sigma = sigma;
+    trip.v = v;
+    trip.u = la::spmv<la::PlusTimes<double>>(a, v);
+    const double unorm = la::normalize2(trip.u);
+    if (unorm == 0.0) break;
+    trip.sigma = unorm;  // ||A v|| is the sharper sigma estimate
+    triplets.push_back(std::move(trip));
+  }
+  return triplets;
+}
+
+double svd_residual(const SpMat<double>& a,
+                    const std::vector<SingularTriplet>& triplets) {
+  // ||A - sum sigma_k u_k v_k^T||_F^2
+  //   = ||A||_F^2 - 2 sum sigma_k u_k^T A v_k + sum_jk sigma_j sigma_k
+  //     (u_j.u_k)(v_j.v_k) — computed directly, no dense materialization.
+  double total = la::fro_norm(a);
+  total *= total;
+  for (const auto& t : triplets) {
+    const auto av = la::spmv<la::PlusTimes<double>>(a, t.v);
+    total -= 2.0 * t.sigma * la::dot(t.u, av);
+  }
+  for (const auto& j : triplets) {
+    for (const auto& k : triplets) {
+      total += j.sigma * k.sigma * la::dot(j.u, k.u) * la::dot(j.v, k.v);
+    }
+  }
+  return std::sqrt(std::max(0.0, total));
+}
+
+}  // namespace graphulo::algo

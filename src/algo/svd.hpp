@@ -1,0 +1,41 @@
+#pragma once
+// Truncated SVD by power iteration with deflation — Table I lists PCA /
+// SVD under Community Detection; this computes the top-k singular
+// triplets of a sparse matrix using only SpMV-shaped products (A v and
+// A^T u), the same building blocks as the paper's other iterative
+// methods.
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/spmat.hpp"
+
+namespace graphulo::algo {
+
+/// One singular triplet.
+struct SingularTriplet {
+  double sigma = 0.0;
+  std::vector<double> u;  ///< left singular vector (size rows)
+  std::vector<double> v;  ///< right singular vector (size cols)
+};
+
+/// Options for the truncated SVD.
+struct SvdOptions {
+  int rank = 2;             ///< number of triplets
+  int max_iterations = 300; ///< power sweeps per triplet
+  double tolerance = 1e-10; ///< sigma relative change stop
+  std::uint64_t seed = 29;
+};
+
+/// Computes the top-`rank` singular triplets of A by power iteration on
+/// A^T A with hotelling deflation (previous components projected out of
+/// each iterate). Singular values are returned in descending order.
+std::vector<SingularTriplet> svd_truncated(const la::SpMat<double>& a,
+                                           SvdOptions options = {});
+
+/// Rank-k reconstruction error ||A - U S V^T||_F for the given triplets.
+double svd_residual(const la::SpMat<double>& a,
+                    const std::vector<SingularTriplet>& triplets);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,144 @@
+#include "algo/traversal.hpp"
+
+#include <queue>
+#include <stack>
+#include <stdexcept>
+
+#include "la/spmv.hpp"
+#include "la/spvec.hpp"
+
+namespace graphulo::algo {
+
+using la::Index;
+using la::SpMat;
+using la::SpVec;
+
+namespace {
+void check_source(const SpMat<double>& a, Index source) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("bfs: square matrix");
+  if (source < 0 || source >= a.rows()) {
+    throw std::out_of_range("bfs: source vertex");
+  }
+}
+}  // namespace
+
+BfsResult bfs_linalg(const SpMat<double>& a, Index source) {
+  check_source(a, source);
+  const auto nn = static_cast<std::size_t>(a.rows());
+  BfsResult result;
+  result.level.assign(nn, -1);
+  result.parent.assign(nn, -1);
+  result.level[static_cast<std::size_t>(source)] = 0;
+
+  // Frontier values carry the PARENT id (+1, so 0 stays "no value"):
+  // the min-parent convention resolves ties deterministically.
+  SpVec<double> frontier(a.rows());
+  frontier.push_back(source, static_cast<double>(source) + 1.0);
+  int level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    // Expand: candidate(v) = min over frontier u with edge u->v of (u+1).
+    // min.x over the structure: multiply passes the parent id through.
+    std::vector<std::pair<Index, double>> candidates;
+    for (std::size_t k = 0; k < frontier.indices().size(); ++k) {
+      const Index u = frontier.indices()[k];
+      for (Index v : a.row_cols(u)) {
+        candidates.emplace_back(v, static_cast<double>(u) + 1.0);
+      }
+    }
+    auto expanded = SpVec<double>::from_pairs(
+        a.rows(), std::move(candidates),
+        [](double x, double y) { return x < y ? x : y; });
+    SpVec<double> next(a.rows());
+    for (std::size_t k = 0; k < expanded.indices().size(); ++k) {
+      const Index v = expanded.indices()[k];
+      if (result.level[static_cast<std::size_t>(v)] == -1) {
+        result.level[static_cast<std::size_t>(v)] = level;
+        result.parent[static_cast<std::size_t>(v)] =
+            static_cast<Index>(expanded.values()[k] - 1.0);
+        next.push_back(v, expanded.values()[k]);
+      }
+    }
+    if (!next.empty()) result.max_level = level;
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+BfsResult bfs_classic(const SpMat<double>& a, Index source) {
+  check_source(a, source);
+  const auto nn = static_cast<std::size_t>(a.rows());
+  BfsResult result;
+  result.level.assign(nn, -1);
+  result.parent.assign(nn, -1);
+  result.level[static_cast<std::size_t>(source)] = 0;
+  std::queue<Index> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const Index u = queue.front();
+    queue.pop();
+    for (Index v : a.row_cols(u)) {
+      auto& lv = result.level[static_cast<std::size_t>(v)];
+      if (lv == -1) {
+        lv = result.level[static_cast<std::size_t>(u)] + 1;
+        result.parent[static_cast<std::size_t>(v)] = u;
+        result.max_level = std::max(result.max_level, lv);
+        queue.push(v);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Index> dfs_preorder(const SpMat<double>& a, Index source) {
+  check_source(a, source);
+  std::vector<char> visited(static_cast<std::size_t>(a.rows()), 0);
+  std::vector<Index> order;
+  std::stack<Index> stack;
+  stack.push(source);
+  while (!stack.empty()) {
+    const Index u = stack.top();
+    stack.pop();
+    if (visited[static_cast<std::size_t>(u)]) continue;
+    visited[static_cast<std::size_t>(u)] = 1;
+    order.push_back(u);
+    // Push in reverse so the lowest-numbered neighbor is visited first.
+    const auto cols = a.row_cols(u);
+    for (std::size_t k = cols.size(); k > 0; --k) {
+      if (!visited[static_cast<std::size_t>(cols[k - 1])]) {
+        stack.push(cols[k - 1]);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<Index> k_hop_neighborhood(const SpMat<double>& a,
+                                      const std::vector<Index>& seeds,
+                                      int hops) {
+  std::vector<char> seen(static_cast<std::size_t>(a.rows()), 0);
+  SpVec<double> frontier = SpVec<double>::from_pairs(a.rows(), [&] {
+    std::vector<std::pair<Index, double>> pairs;
+    for (Index s : seeds) pairs.emplace_back(s, 1.0);
+    return pairs;
+  }());
+  for (Index s : seeds) seen[static_cast<std::size_t>(s)] = 1;
+  for (int h = 0; h < hops && !frontier.empty(); ++h) {
+    auto expanded = la::spmspv<la::OrAndDouble>(frontier, a);
+    SpVec<double> next(a.rows());
+    for (Index v : expanded.indices()) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        next.push_back(v, 1.0);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<Index> out;
+  for (Index v = 0; v < a.rows(); ++v) {
+    if (seen[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace graphulo::algo

@@ -1,0 +1,41 @@
+#pragma once
+// Exploration & traversal (Table I, class 1): BFS as iterated SpMSpV
+// over the boolean structure of the adjacency matrix, with parent
+// tracking; classical queue BFS and stack DFS baselines.
+
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::algo {
+
+/// BFS output: per-vertex hop distance (-1 = unreachable) and a parent
+/// tree (-1 = root or unreachable).
+struct BfsResult {
+  std::vector<int> level;
+  std::vector<la::Index> parent;
+  int max_level = 0;
+};
+
+/// Linear-algebraic BFS: frontier expansion is one SpMSpV per level,
+/// masked by the visited set. Edge weights are ignored (structure only).
+BfsResult bfs_linalg(const la::SpMat<double>& a, la::Index source);
+
+/// Classical queue-based BFS baseline.
+BfsResult bfs_classic(const la::SpMat<double>& a, la::Index source);
+
+/// Depth-first search (classical, iterative). DFS's vertex-at-a-time
+/// discipline has no natural bulk linear-algebraic form — the paper
+/// lists it under Exploration & Traversal; we provide it for coverage.
+/// Returns vertices in preorder of discovery.
+std::vector<la::Index> dfs_preorder(const la::SpMat<double>& a,
+                                    la::Index source);
+
+/// Vertices within k hops of the seed set (seeds included) — the
+/// adjacency BFS Graphulo runs on tables, here in matrix form.
+std::vector<la::Index> k_hop_neighborhood(const la::SpMat<double>& a,
+                                          const std::vector<la::Index>& seeds,
+                                          int hops);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,23 @@
+#pragma once
+// Triangle counting — the primitive underlying k-truss support and
+// clique detection (Section III-B). Two linear-algebraic forms plus a
+// set-intersection baseline.
+
+#include <cstdint>
+
+#include "la/spmat.hpp"
+
+namespace graphulo::algo {
+
+/// Triangle count via trace(A^3)/6 on a symmetric 0/1 adjacency matrix.
+std::uint64_t triangle_count_trace(const la::SpMat<double>& a);
+
+/// Triangle count via the masked form sum(L .* (L * U)) with L/U the
+/// strict lower/upper triangles — the standard GraphBLAS formulation
+/// (each triangle counted exactly once).
+std::uint64_t triangle_count_masked(const la::SpMat<double>& a);
+
+/// Baseline: sorted-neighborhood intersection per edge.
+std::uint64_t triangle_count_baseline(const la::SpMat<double>& a);
+
+}  // namespace graphulo::algo

@@ -1,0 +1,311 @@
+#include "assoc/assoc_array.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "la/apply.hpp"
+#include "la/ewise.hpp"
+#include "la/reduce.hpp"
+#include "la/spgemm.hpp"
+#include "la/spref.hpp"
+
+namespace graphulo::assoc {
+
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+namespace {
+
+/// Index of `key` in sorted `keys`, or nullopt.
+std::optional<Index> find_key(const std::vector<std::string>& keys,
+                              const std::string& key) {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return std::nullopt;
+  return static_cast<Index>(it - keys.begin());
+}
+
+/// Maps each of `keys` to its position in sorted `universe` (every key
+/// must be present).
+std::vector<Index> positions_in(const std::vector<std::string>& keys,
+                                const std::vector<std::string>& universe) {
+  std::vector<Index> pos;
+  pos.reserve(keys.size());
+  for (const auto& k : keys) {
+    const auto idx = find_key(universe, k);
+    if (!idx) throw std::logic_error("positions_in: key missing from universe");
+    pos.push_back(*idx);
+  }
+  return pos;
+}
+
+/// Re-embeds `m` (indexed by `row_keys` x `col_keys`) into the larger
+/// dictionary pair (`new_rows` x `new_cols`), both supersets.
+SpMat<double> embed(const SpMat<double>& m,
+                    const std::vector<std::string>& row_keys,
+                    const std::vector<std::string>& col_keys,
+                    const std::vector<std::string>& new_rows,
+                    const std::vector<std::string>& new_cols) {
+  const auto row_pos = positions_in(row_keys, new_rows);
+  const auto col_pos = positions_in(col_keys, new_cols);
+  std::vector<Triple<double>> triples;
+  triples.reserve(static_cast<std::size_t>(m.nnz()));
+  for (const auto& t : m.to_triples()) {
+    triples.push_back({row_pos[static_cast<std::size_t>(t.row)],
+                       col_pos[static_cast<std::size_t>(t.col)], t.val});
+  }
+  return SpMat<double>::from_triples(static_cast<Index>(new_rows.size()),
+                                     static_cast<Index>(new_cols.size()),
+                                     std::move(triples));
+}
+
+}  // namespace
+
+std::vector<std::string> key_union(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> key_intersection(const std::vector<std::string>& a,
+                                          const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+AssocArray AssocArray::from_entries(
+    std::vector<Entry> entries, std::function<double(double, double)> combine) {
+  if (!combine) combine = [](double a, double b) { return a + b; };
+  std::vector<std::string> rows, cols;
+  rows.reserve(entries.size());
+  cols.reserve(entries.size());
+  for (const auto& e : entries) {
+    rows.push_back(e.row);
+    cols.push_back(e.col);
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+  std::vector<Triple<double>> triples;
+  triples.reserve(entries.size());
+  for (const auto& e : entries) {
+    triples.push_back({*find_key(rows, e.row), *find_key(cols, e.col), e.val});
+  }
+  AssocArray a;
+  a.row_keys_ = std::move(rows);
+  a.col_keys_ = std::move(cols);
+  a.matrix_ = SpMat<double>::from_triples(
+      static_cast<Index>(a.row_keys_.size()),
+      static_cast<Index>(a.col_keys_.size()), std::move(triples), combine);
+  return a;
+}
+
+AssocArray AssocArray::from_matrix(std::vector<std::string> row_keys,
+                                   std::vector<std::string> col_keys,
+                                   SpMat<double> matrix) {
+  if (static_cast<Index>(row_keys.size()) != matrix.rows() ||
+      static_cast<Index>(col_keys.size()) != matrix.cols()) {
+    throw std::invalid_argument("AssocArray::from_matrix: dictionary size");
+  }
+  if (!std::is_sorted(row_keys.begin(), row_keys.end()) ||
+      std::adjacent_find(row_keys.begin(), row_keys.end()) != row_keys.end() ||
+      !std::is_sorted(col_keys.begin(), col_keys.end()) ||
+      std::adjacent_find(col_keys.begin(), col_keys.end()) != col_keys.end()) {
+    throw std::invalid_argument(
+        "AssocArray::from_matrix: keys must be sorted and distinct");
+  }
+  AssocArray a;
+  a.row_keys_ = std::move(row_keys);
+  a.col_keys_ = std::move(col_keys);
+  a.matrix_ = std::move(matrix);
+  return a;
+}
+
+double AssocArray::at(const std::string& row, const std::string& col) const {
+  const auto r = find_key(row_keys_, row);
+  const auto c = find_key(col_keys_, col);
+  if (!r || !c) return 0.0;
+  return matrix_.at(*r, *c);
+}
+
+std::optional<Index> AssocArray::row_index(const std::string& key) const {
+  return find_key(row_keys_, key);
+}
+
+std::optional<Index> AssocArray::col_index(const std::string& key) const {
+  return find_key(col_keys_, key);
+}
+
+std::vector<Entry> AssocArray::entries() const {
+  std::vector<Entry> out;
+  out.reserve(static_cast<std::size_t>(matrix_.nnz()));
+  for (const auto& t : matrix_.to_triples()) {
+    out.push_back({row_keys_[static_cast<std::size_t>(t.row)],
+                   col_keys_[static_cast<std::size_t>(t.col)], t.val});
+  }
+  return out;
+}
+
+AssocArray AssocArray::add(const AssocArray& other) const {
+  const auto rows = key_union(row_keys_, other.row_keys_);
+  const auto cols = key_union(col_keys_, other.col_keys_);
+  auto a = embed(matrix_, row_keys_, col_keys_, rows, cols);
+  auto b = embed(other.matrix_, other.row_keys_, other.col_keys_, rows, cols);
+  return from_matrix(rows, cols, la::add(a, b)).condensed();
+}
+
+AssocArray AssocArray::ewise_mult(const AssocArray& other) const {
+  const auto rows = key_intersection(row_keys_, other.row_keys_);
+  const auto cols = key_intersection(col_keys_, other.col_keys_);
+  // Project both onto the shared dictionaries, then intersect patterns.
+  auto pick = [&](const AssocArray& src) {
+    std::vector<Index> row_idx, col_idx;
+    for (const auto& k : rows) row_idx.push_back(*find_key(src.row_keys_, k));
+    for (const auto& k : cols) col_idx.push_back(*find_key(src.col_keys_, k));
+    return la::spref(src.matrix_, row_idx, col_idx);
+  };
+  if (rows.empty() || cols.empty()) return AssocArray{};
+  auto product = la::hadamard(pick(*this), pick(other));
+  return from_matrix(rows, cols, std::move(product)).condensed();
+}
+
+AssocArray AssocArray::multiply(const AssocArray& other) const {
+  // Inner dictionary: union of A's column keys and B's row keys, so that
+  // matching keys align (non-matching keys contribute nothing).
+  const auto inner = key_union(col_keys_, other.row_keys_);
+  auto a = embed(matrix_, row_keys_, col_keys_, row_keys_, inner);
+  auto b = embed(other.matrix_, other.row_keys_, other.col_keys_, inner,
+                 other.col_keys_);
+  auto c = la::spgemm<la::PlusTimes<double>>(a, b);
+  return from_matrix(row_keys_, other.col_keys_, std::move(c)).condensed();
+}
+
+AssocArray AssocArray::transposed() const {
+  AssocArray t;
+  t.row_keys_ = col_keys_;
+  t.col_keys_ = row_keys_;
+  t.matrix_ = la::transpose(matrix_);
+  return t;
+}
+
+AssocArray AssocArray::apply(const std::function<double(double)>& fn) const {
+  return from_matrix(row_keys_, col_keys_, la::apply(matrix_, fn)).condensed();
+}
+
+AssocArray AssocArray::scale(double alpha) const {
+  return from_matrix(row_keys_, col_keys_, la::scale(matrix_, alpha))
+      .condensed();
+}
+
+AssocArray AssocArray::select_rows(const std::vector<std::string>& keys) const {
+  std::vector<std::string> present;
+  for (const auto& k : keys) {
+    if (find_key(row_keys_, k)) present.push_back(k);
+  }
+  std::sort(present.begin(), present.end());
+  present.erase(std::unique(present.begin(), present.end()), present.end());
+  std::vector<Index> idx;
+  for (const auto& k : present) idx.push_back(*find_key(row_keys_, k));
+  return from_matrix(present, col_keys_, la::spref_rows(matrix_, idx))
+      .condensed();
+}
+
+AssocArray AssocArray::select_cols(const std::vector<std::string>& keys) const {
+  return transposed().select_rows(keys).transposed();
+}
+
+AssocArray AssocArray::select_row_range(const std::string& lo,
+                                        const std::string& hi) const {
+  std::vector<std::string> keys;
+  for (const auto& k : row_keys_) {
+    if (k >= lo && k <= hi) keys.push_back(k);
+  }
+  return select_rows(keys);
+}
+
+AssocArray AssocArray::select_row_prefix(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (const auto& k : row_keys_) {
+    if (k.compare(0, prefix.size(), prefix) == 0) keys.push_back(k);
+  }
+  return select_rows(keys);
+}
+
+std::vector<std::pair<std::string, double>> AssocArray::row_sums() const {
+  const auto sums = la::row_sums(matrix_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(row_keys_.size());
+  for (std::size_t i = 0; i < row_keys_.size(); ++i) {
+    out.emplace_back(row_keys_[i], sums[i]);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> AssocArray::col_sums() const {
+  const auto sums = la::col_sums(matrix_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(col_keys_.size());
+  for (std::size_t i = 0; i < col_keys_.size(); ++i) {
+    out.emplace_back(col_keys_[i], sums[i]);
+  }
+  return out;
+}
+
+AssocArray AssocArray::condensed() const {
+  std::vector<char> row_used(row_keys_.size(), 0);
+  std::vector<char> col_used(col_keys_.size(), 0);
+  for (const auto& t : matrix_.to_triples()) {
+    row_used[static_cast<std::size_t>(t.row)] = 1;
+    col_used[static_cast<std::size_t>(t.col)] = 1;
+  }
+  if (std::all_of(row_used.begin(), row_used.end(), [](char c) { return c; }) &&
+      std::all_of(col_used.begin(), col_used.end(), [](char c) { return c; })) {
+    return *this;
+  }
+  std::vector<std::string> rows, cols;
+  std::vector<Index> row_map(row_keys_.size(), -1), col_map(col_keys_.size(), -1);
+  for (std::size_t i = 0; i < row_keys_.size(); ++i) {
+    if (row_used[i]) {
+      row_map[i] = static_cast<Index>(rows.size());
+      rows.push_back(row_keys_[i]);
+    }
+  }
+  for (std::size_t j = 0; j < col_keys_.size(); ++j) {
+    if (col_used[j]) {
+      col_map[j] = static_cast<Index>(cols.size());
+      cols.push_back(col_keys_[j]);
+    }
+  }
+  std::vector<Triple<double>> triples;
+  for (const auto& t : matrix_.to_triples()) {
+    triples.push_back({row_map[static_cast<std::size_t>(t.row)],
+                       col_map[static_cast<std::size_t>(t.col)], t.val});
+  }
+  AssocArray out;
+  out.row_keys_ = std::move(rows);
+  out.col_keys_ = std::move(cols);
+  out.matrix_ = SpMat<double>::from_triples(
+      static_cast<Index>(out.row_keys_.size()),
+      static_cast<Index>(out.col_keys_.size()), std::move(triples));
+  return out;
+}
+
+std::string AssocArray::to_string() const {
+  std::ostringstream out;
+  out << "AssocArray " << row_count() << "x" << col_count() << " (" << nnz()
+      << " entries)\n";
+  for (const auto& e : entries()) {
+    out << "  (" << e.row << ", " << e.col << ") = " << e.val << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace graphulo::assoc

@@ -1,0 +1,143 @@
+#pragma once
+// Associative arrays — the base data type of the paper (Section II-A):
+// a map from string row/column keys to numeric values with semiring
+// structure, "exactly describing" a NoSQL database table. Internally an
+// AssocArray is encoded as a sparse matrix plus two sorted key
+// dictionaries, which is precisely the encoding Section III adopts
+// ("for the purposes of this algorithmic work associative arrays are
+// encoded as sparse matrices").
+//
+// The algebra follows the paper's reading: adding two arrays unions
+// their keys; multiplying correlates them (the inner dimension is the
+// union of A's column keys and B's row keys); element-wise
+// multiplication intersects.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "la/spmat.hpp"
+
+namespace graphulo::assoc {
+
+/// One (row key, col key, value) entry.
+struct Entry {
+  std::string row;
+  std::string col;
+  double val;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// An associative array over double values with string keys.
+class AssocArray {
+ public:
+  /// The empty array (no keys, no entries).
+  AssocArray() = default;
+
+  /// Builds from entries; duplicate (row, col) pairs are combined with
+  /// `combine` (default: +). Zero results are dropped. Key dictionaries
+  /// are the sorted distinct keys that appear — associative arrays have
+  /// no empty rows/columns, unlike raw sparse matrices (Section II-A).
+  static AssocArray from_entries(std::vector<Entry> entries,
+                                 std::function<double(double, double)> combine =
+                                     nullptr);
+
+  /// Wraps an existing matrix with explicit dictionaries. `row_keys` /
+  /// `col_keys` must be sorted, distinct, and sized to the matrix.
+  static AssocArray from_matrix(std::vector<std::string> row_keys,
+                                std::vector<std::string> col_keys,
+                                la::SpMat<double> matrix);
+
+  // -- shape & access -------------------------------------------------------
+
+  std::size_t row_count() const noexcept { return row_keys_.size(); }
+  std::size_t col_count() const noexcept { return col_keys_.size(); }
+  la::Offset nnz() const noexcept { return matrix_.nnz(); }
+  bool empty() const noexcept { return matrix_.nnz() == 0; }
+
+  const std::vector<std::string>& row_keys() const noexcept { return row_keys_; }
+  const std::vector<std::string>& col_keys() const noexcept { return col_keys_; }
+  const la::SpMat<double>& matrix() const noexcept { return matrix_; }
+
+  /// Value at (row, col) keys; 0 when absent (including unknown keys).
+  double at(const std::string& row, const std::string& col) const;
+
+  /// Index of a row key in the dictionary, if present.
+  std::optional<la::Index> row_index(const std::string& key) const;
+  std::optional<la::Index> col_index(const std::string& key) const;
+
+  /// All entries in (row key, col key) order.
+  std::vector<Entry> entries() const;
+
+  // -- algebra ---------------------------------------------------------------
+
+  /// Union-add: C(k) = A(k) + B(k) over the union of keys.
+  AssocArray add(const AssocArray& other) const;
+
+  /// Intersection-multiply (SpEWiseX): C(k) = A(k) * B(k) where both set.
+  AssocArray ewise_mult(const AssocArray& other) const;
+
+  /// Array multiplication (correlation): C = A * B where A's column keys
+  /// are matched against B's row keys by key equality.
+  AssocArray multiply(const AssocArray& other) const;
+
+  /// Transpose (swaps dictionaries).
+  AssocArray transposed() const;
+
+  /// Apply a function to every stored value (zero results dropped).
+  AssocArray apply(const std::function<double(double)>& fn) const;
+
+  /// Scale by a scalar.
+  AssocArray scale(double alpha) const;
+
+  // -- sub-referencing (SpRef on keys) ----------------------------------------
+
+  /// Sub-array of the given row keys (unknown keys ignored).
+  AssocArray select_rows(const std::vector<std::string>& keys) const;
+
+  /// Sub-array of the given column keys.
+  AssocArray select_cols(const std::vector<std::string>& keys) const;
+
+  /// Sub-array of rows with keys in [lo, hi] (string order).
+  AssocArray select_row_range(const std::string& lo, const std::string& hi) const;
+
+  /// Sub-array of rows whose key starts with `prefix`.
+  AssocArray select_row_prefix(const std::string& prefix) const;
+
+  // -- reductions --------------------------------------------------------------
+
+  /// Row sums as a (row key -> value) column array (n x 1, col key "").
+  std::vector<std::pair<std::string, double>> row_sums() const;
+
+  /// Column sums as (col key -> value) pairs — the D4M degree table.
+  std::vector<std::pair<std::string, double>> col_sums() const;
+
+  // -- misc --------------------------------------------------------------------
+
+  /// Drops rows/columns whose keys have no stored entries (after apply /
+  /// ewise ops the dictionaries can carry empty keys; associative arrays
+  /// proper have none).
+  AssocArray condensed() const;
+
+  /// Tabular rendering for small arrays.
+  std::string to_string() const;
+
+  friend bool operator==(const AssocArray&, const AssocArray&) = default;
+
+ private:
+  std::vector<std::string> row_keys_;
+  std::vector<std::string> col_keys_;
+  la::SpMat<double> matrix_{0, 0};
+};
+
+/// Sorted union of two sorted key vectors.
+std::vector<std::string> key_union(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b);
+
+/// Sorted intersection of two sorted key vectors.
+std::vector<std::string> key_intersection(const std::vector<std::string>& a,
+                                          const std::vector<std::string>& b);
+
+}  // namespace graphulo::assoc

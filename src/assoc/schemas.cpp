@@ -1,0 +1,85 @@
+#include "assoc/schemas.hpp"
+
+#include "util/strings.hpp"
+
+namespace graphulo::assoc {
+
+AssocArray adjacency_schema(const std::vector<LabeledEdge>& edges,
+                            bool undirected) {
+  std::vector<Entry> entries;
+  entries.reserve(edges.size() * (undirected ? 2 : 1));
+  for (const auto& e : edges) {
+    entries.push_back({e.src, e.dst, e.weight});
+    if (undirected && e.src != e.dst) entries.push_back({e.dst, e.src, e.weight});
+  }
+  return AssocArray::from_entries(std::move(entries));
+}
+
+AssocArray incidence_schema(const std::vector<LabeledEdge>& edges,
+                            bool oriented) {
+  std::vector<Entry> entries;
+  entries.reserve(edges.size() * 2);
+  const int width = 6;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::string edge_key = "e|" + util::zero_pad(i, width);
+    const auto& e = edges[i];
+    if (e.src == e.dst) {
+      entries.push_back({edge_key, e.src, e.weight});
+      continue;
+    }
+    entries.push_back({edge_key, e.dst, e.weight});           // edge enters dst
+    entries.push_back({edge_key, e.src, oriented ? -e.weight : e.weight});
+  }
+  return AssocArray::from_entries(std::move(entries));
+}
+
+D4MTables d4m_explode(
+    const std::vector<std::pair<std::string, Record>>& records) {
+  D4MTables out;
+  std::vector<Entry> edge_entries;
+  std::vector<Entry> raw_entries;
+  for (const auto& [id, record] : records) {
+    for (const auto& [field, value] : record) {
+      edge_entries.push_back({id, field + "|" + value, 1.0});
+      raw_entries.push_back({id, field, 1.0});
+      out.raw_values.push_back({{id, field}, value});
+    }
+  }
+  out.tedge = AssocArray::from_entries(std::move(edge_entries));
+  out.tedge_t = out.tedge.transposed();
+  // Tdeg: per exploded column, the number of records carrying it.
+  std::vector<Entry> deg_entries;
+  for (const auto& [col, count] : out.tedge.col_sums()) {
+    deg_entries.push_back({col, "deg", count});
+  }
+  out.tdeg = AssocArray::from_entries(std::move(deg_entries));
+  out.traw = AssocArray::from_entries(std::move(raw_entries));
+  return out;
+}
+
+AssocArray filter_cols_by_degree(const AssocArray& array, double min_degree,
+                                 double max_degree) {
+  // Column degree = number of rows carrying the column (structure
+  // count, not value sum), matching Tdeg's semantics.
+  std::vector<std::string> keep;
+  const auto pattern_sums =
+      array.apply([](double) { return 1.0; }).col_sums();
+  for (const auto& [key, degree] : pattern_sums) {
+    if (degree >= min_degree && (max_degree <= 0.0 || degree <= max_degree)) {
+      keep.push_back(key);
+    }
+  }
+  return array.select_cols(keep);
+}
+
+AssocArray tweets_to_incidence(const gen::TweetCorpus& corpus) {
+  std::vector<Entry> entries;
+  for (const auto& tweet : corpus.tweets) {
+    for (const auto& word : tweet.words) {
+      entries.push_back({tweet.id, "word|" + word, 1.0});
+    }
+  }
+  return AssocArray::from_entries(std::move(entries));
+}
+
+}  // namespace graphulo::assoc

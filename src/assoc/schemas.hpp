@@ -1,0 +1,69 @@
+#pragma once
+// Graph schemas (Section II-B): adjacency matrix, incidence matrix, and
+// the D4M 2.0 exploded schema (Tedge, TedgeT, Tdeg, Traw), built as
+// associative arrays from raw data.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assoc/assoc_array.hpp"
+#include "gen/tweets.hpp"
+
+namespace graphulo::assoc {
+
+/// A labeled weighted edge for schema construction.
+struct LabeledEdge {
+  std::string src;
+  std::string dst;
+  double weight = 1.0;
+};
+
+/// Adjacency-matrix schema: rows/columns are vertices, values weighted
+/// edge multiplicities; A(i,j) = sum of weights of edges i -> j
+/// (Section II-B-1). `undirected` mirrors each edge.
+AssocArray adjacency_schema(const std::vector<LabeledEdge>& edges,
+                            bool undirected = false);
+
+/// Incidence-matrix schema (Section II-B-2): rows are edges (keys
+/// "e|<n>"), columns vertices. Oriented form stores +w at the head and
+/// -w at the tail; the unoriented form (used by the k-truss algorithm)
+/// stores +w at both endpoints. Self loops keep a single +w entry.
+AssocArray incidence_schema(const std::vector<LabeledEdge>& edges,
+                            bool oriented = false);
+
+/// A raw record for the D4M exploded schema: field name -> value.
+using Record = std::map<std::string, std::string>;
+
+/// The four-array D4M 2.0 representation (Section II-B-3).
+struct D4MTables {
+  AssocArray tedge;    ///< record x "field|value" incidence
+  AssocArray tedge_t;  ///< transpose of tedge
+  AssocArray tdeg;     ///< "field|value" x "deg": column degree counts
+  AssocArray traw;     ///< record x field: original values kept as text?
+                       ///< stored as 1s; raw text lives in raw_values
+  /// Raw field text per (record, field) — the Traw payload (values are
+  /// strings, which AssocArray's numeric values cannot carry).
+  std::vector<std::pair<std::pair<std::string, std::string>, std::string>>
+      raw_values;
+};
+
+/// Explodes records into the D4M schema: each (field, value) pair of a
+/// record becomes a column "field|value" with value 1 in the record's
+/// row. Tdeg counts how many records carry each exploded column.
+D4MTables d4m_explode(const std::vector<std::pair<std::string, Record>>& records);
+
+/// Term-document incidence of a tweet corpus under the D4M convention:
+/// rows are tweet ids, columns "word|<token>", values term counts.
+/// This is the matrix Fig. 3's NMF factors.
+AssocArray tweets_to_incidence(const gen::TweetCorpus& corpus);
+
+/// The standard D4M degree-filter idiom: drop columns whose degree
+/// (count of records carrying them) falls outside [min_degree,
+/// max_degree]. With Tdeg in hand this is how D4M pipelines strip
+/// stop words (too common) and hapaxes (too rare) before correlation
+/// or factorization. max_degree <= 0 means unbounded above.
+AssocArray filter_cols_by_degree(const AssocArray& array, double min_degree,
+                                 double max_degree);
+
+}  // namespace graphulo::assoc

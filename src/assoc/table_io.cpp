@@ -1,0 +1,101 @@
+#include "assoc/table_io.hpp"
+
+#include <stdexcept>
+
+#include "nosql/batch_writer.hpp"
+#include "nosql/codec.hpp"
+#include "nosql/scanner.hpp"
+#include "util/strings.hpp"
+
+namespace graphulo::assoc {
+
+namespace {
+constexpr int kVertexKeyWidth = 7;
+constexpr const char* kVertexPrefix = "v|";
+}  // namespace
+
+std::size_t write_assoc(nosql::Instance& db, const std::string& table,
+                        const AssocArray& array) {
+  if (!db.table_exists(table)) db.create_table(table);
+  nosql::BatchWriter writer(db, table);
+  std::size_t written = 0;
+  for (const auto& e : array.entries()) {
+    nosql::Mutation m(e.row);
+    m.put(kValueFamily, e.col, nosql::encode_double(e.val));
+    writer.add_mutation(std::move(m));
+    ++written;
+  }
+  writer.flush();
+  return written;
+}
+
+AssocArray read_assoc(nosql::Instance& db, const std::string& table,
+                      const nosql::Range& range) {
+  std::vector<Entry> entries;
+  nosql::Scanner scanner(db, table);
+  scanner.set_range(range);
+  scanner.for_each([&entries](const nosql::Key& k, const nosql::Value& v) {
+    const auto value = nosql::decode_double(v);
+    if (value) entries.push_back({k.row, k.qualifier, *value});
+  });
+  // Last write wins: the store's versioning already collapsed versions,
+  // so plain summation would double-count only if versioning were off;
+  // entries here are unique per (row, qualifier).
+  return AssocArray::from_entries(std::move(entries));
+}
+
+std::string vertex_key(la::Index i) {
+  if (i < 0) throw std::invalid_argument("vertex_key: negative index");
+  return kVertexPrefix + util::zero_pad(static_cast<std::uint64_t>(i),
+                                        kVertexKeyWidth);
+}
+
+la::Index parse_vertex_key(const std::string& key) {
+  if (!util::starts_with(key, kVertexPrefix)) return -1;
+  la::Index value = 0;
+  for (std::size_t i = 2; i < key.size(); ++i) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return key.size() > 2 ? value : -1;
+}
+
+std::size_t write_matrix(nosql::Instance& db, const std::string& table,
+                         const la::SpMat<double>& m) {
+  if (!db.table_exists(table)) db.create_table(table);
+  nosql::BatchWriter writer(db, table);
+  std::size_t written = 0;
+  for (la::Index i = 0; i < m.rows(); ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    if (cols.empty()) continue;
+    nosql::Mutation mut(vertex_key(i));
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      mut.put(kValueFamily, vertex_key(cols[p]), nosql::encode_double(vals[p]));
+    }
+    writer.add_mutation(std::move(mut));
+    ++written;
+  }
+  writer.flush();
+  return written;
+}
+
+la::SpMat<double> read_matrix(nosql::Instance& db, const std::string& table,
+                              la::Index rows, la::Index cols) {
+  std::vector<la::Triple<double>> triples;
+  nosql::Scanner scanner(db, table);
+  scanner.for_each([&](const nosql::Key& k, const nosql::Value& v) {
+    const la::Index i = parse_vertex_key(k.row);
+    const la::Index j = parse_vertex_key(k.qualifier);
+    const auto value = nosql::decode_double(v);
+    if (i < 0 || j < 0 || !value) return;  // foreign cells are skipped
+    if (i >= rows || j >= cols) {
+      throw std::out_of_range("read_matrix: key outside requested shape");
+    }
+    triples.push_back({i, j, *value});
+  });
+  return la::SpMat<double>::from_triples(rows, cols, std::move(triples));
+}
+
+}  // namespace graphulo::assoc

@@ -1,0 +1,46 @@
+#pragma once
+// AssocArray / SpMat <-> NoSQL table I/O under the D4M convention:
+// a table cell (row=r, qualifier=c) -> encoded number IS the associative
+// array entry A(r, c). This is the bridge the paper's thesis rests on —
+// "Graphulo database tables are exactly described using the mathematics
+// of associative arrays" (Section II-A).
+
+#include <string>
+
+#include "assoc/assoc_array.hpp"
+#include "la/spmat.hpp"
+#include "nosql/instance.hpp"
+
+namespace graphulo::assoc {
+
+/// Column family used for matrix/array payload cells.
+inline constexpr const char* kValueFamily = "";
+
+/// Writes an associative array into `table` (created if missing): one
+/// put per entry, row = row key, qualifier = col key, value =
+/// encode_double(entry). Returns entries written.
+std::size_t write_assoc(nosql::Instance& db, const std::string& table,
+                        const AssocArray& array);
+
+/// Reads a whole table (or `range`) back into an associative array.
+/// Cells whose values fail numeric decoding are skipped.
+AssocArray read_assoc(nosql::Instance& db, const std::string& table,
+                      const nosql::Range& range = nosql::Range::all());
+
+/// Row/column key for a numeric index under the zero-padded convention
+/// (lexicographic order == numeric order), e.g. 7 -> "v|0000007".
+std::string vertex_key(la::Index i);
+
+/// Parses a vertex_key back to its index; -1 if malformed.
+la::Index parse_vertex_key(const std::string& key);
+
+/// Writes a sparse matrix into `table` using vertex_key() dictionaries.
+std::size_t write_matrix(nosql::Instance& db, const std::string& table,
+                         const la::SpMat<double>& m);
+
+/// Reads a matrix written by write_matrix(). `rows`/`cols` give the
+/// logical shape (keys beyond them are rejected with std::out_of_range).
+la::SpMat<double> read_matrix(nosql::Instance& db, const std::string& table,
+                              la::Index rows, la::Index cols);
+
+}  // namespace graphulo::assoc

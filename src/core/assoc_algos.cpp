@@ -1,0 +1,97 @@
+#include "core/assoc_algos.hpp"
+
+#include <stdexcept>
+
+#include "algo/centrality.hpp"
+#include "algo/jaccard.hpp"
+#include "algo/ktruss.hpp"
+#include "algo/traversal.hpp"
+#include "la/structure.hpp"
+
+namespace graphulo::core {
+
+using assoc::AssocArray;
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+VertexAlignedGraph align_vertices(const AssocArray& a) {
+  VertexAlignedGraph g;
+  g.vertices = assoc::key_union(a.row_keys(), a.col_keys());
+  const auto index_of = [&](const std::string& key) {
+    return static_cast<Index>(
+        std::lower_bound(g.vertices.begin(), g.vertices.end(), key) -
+        g.vertices.begin());
+  };
+  std::vector<Triple<double>> triples;
+  for (const auto& e : a.entries()) {
+    triples.push_back({index_of(e.row), index_of(e.col), e.val});
+  }
+  const auto n = static_cast<Index>(g.vertices.size());
+  g.adjacency = SpMat<double>::from_triples(n, n, std::move(triples));
+  return g;
+}
+
+namespace {
+
+/// Re-labels a square matrix over `vertices` back into an AssocArray,
+/// dropping empty keys (condensed form).
+AssocArray matrix_to_assoc(const std::vector<std::string>& vertices,
+                           const SpMat<double>& m) {
+  std::vector<assoc::Entry> entries;
+  for (const auto& t : m.to_triples()) {
+    entries.push_back({vertices[static_cast<std::size_t>(t.row)],
+                       vertices[static_cast<std::size_t>(t.col)], t.val});
+  }
+  return AssocArray::from_entries(std::move(entries));
+}
+
+}  // namespace
+
+std::map<std::string, double> assoc_pagerank(const AssocArray& a,
+                                             double alpha) {
+  const auto g = align_vertices(a);
+  const auto result = algo::pagerank(g.adjacency, alpha);
+  std::map<std::string, double> scores;
+  for (std::size_t v = 0; v < g.vertices.size(); ++v) {
+    scores[g.vertices[v]] = result.scores[v];
+  }
+  return scores;
+}
+
+std::map<std::string, int> assoc_bfs(const AssocArray& a,
+                                     const std::string& source) {
+  const auto g = align_vertices(a);
+  const auto it =
+      std::lower_bound(g.vertices.begin(), g.vertices.end(), source);
+  if (it == g.vertices.end() || *it != source) {
+    throw std::invalid_argument("assoc_bfs: unknown source key: " + source);
+  }
+  const auto result = algo::bfs_linalg(
+      g.adjacency, static_cast<Index>(it - g.vertices.begin()));
+  std::map<std::string, int> levels;
+  for (std::size_t v = 0; v < g.vertices.size(); ++v) {
+    if (result.level[v] >= 0) levels[g.vertices[v]] = result.level[v];
+  }
+  return levels;
+}
+
+AssocArray assoc_ktruss(const AssocArray& a, int k) {
+  const auto g = align_vertices(a);
+  return matrix_to_assoc(g.vertices, algo::ktruss_adjacency(g.adjacency, k));
+}
+
+AssocArray assoc_jaccard(const AssocArray& a) {
+  const auto g = align_vertices(a);
+  return matrix_to_assoc(g.vertices,
+                         algo::jaccard_linalg(la::pattern(
+                             la::remove_diag(g.adjacency))));
+}
+
+std::map<std::string, double> assoc_degrees(const AssocArray& a) {
+  std::map<std::string, double> degrees;
+  for (const auto& [key, sum] : a.row_sums()) degrees[key] = sum;
+  return degrees;
+}
+
+}  // namespace graphulo::core

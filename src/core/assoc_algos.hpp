@@ -1,0 +1,45 @@
+#pragma once
+// Graph algorithms on associative arrays — the paper's declared next
+// step ("we will extend the sparse matrix implementations of the
+// algorithms discussed in this article to associative arrays",
+// Section IV). Vertices are string keys; each wrapper aligns the
+// array's row/column dictionaries into one vertex universe, runs the
+// matrix algorithm, and translates results back to keys.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assoc/assoc_array.hpp"
+
+namespace graphulo::core {
+
+/// An associative adjacency array squared up on the union of its row
+/// and column keys (a graph's vertex set), so matrix algorithms apply.
+struct VertexAlignedGraph {
+  std::vector<std::string> vertices;  ///< sorted vertex keys
+  la::SpMat<double> adjacency;        ///< indexed by `vertices`
+};
+
+/// Aligns an adjacency-schema associative array onto its vertex union.
+VertexAlignedGraph align_vertices(const assoc::AssocArray& a);
+
+/// PageRank on an associative adjacency array: key -> score (sums to 1).
+std::map<std::string, double> assoc_pagerank(const assoc::AssocArray& a,
+                                             double alpha = 0.15);
+
+/// BFS hop distances from a seed key (absent keys = unreachable).
+std::map<std::string, int> assoc_bfs(const assoc::AssocArray& a,
+                                     const std::string& source);
+
+/// k-truss of an undirected associative adjacency array, returned as an
+/// associative array over the same key space.
+assoc::AssocArray assoc_ktruss(const assoc::AssocArray& a, int k);
+
+/// Jaccard coefficients of an undirected associative adjacency array.
+assoc::AssocArray assoc_jaccard(const assoc::AssocArray& a);
+
+/// Degree centrality per vertex key (out-degrees; transpose for in).
+std::map<std::string, double> assoc_degrees(const assoc::AssocArray& a);
+
+}  // namespace graphulo::core

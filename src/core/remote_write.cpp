@@ -1,0 +1,64 @@
+#include "core/remote_write.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/table_scan.hpp"
+#include "nosql/codec.hpp"
+#include "nosql/filter_iterators.hpp"
+
+namespace graphulo::core {
+
+RemoteWriteIterator::RemoteWriteIterator(nosql::IterPtr source,
+                                         nosql::Instance& db,
+                                         std::string target_table)
+    : WrappingIterator(std::move(source)),
+      writer_([&db, &target_table]() -> nosql::Instance& {
+        if (!db.table_exists(target_table)) db.create_table(target_table);
+        return db;
+      }(), target_table) {}
+
+RemoteWriteIterator::~RemoteWriteIterator() = default;
+
+void RemoteWriteIterator::seek(const nosql::Range& range) {
+  WrappingIterator::seek(range);
+  write_top();
+}
+
+void RemoteWriteIterator::next() {
+  WrappingIterator::next();
+  write_top();
+}
+
+void RemoteWriteIterator::write_top() {
+  if (!has_top()) {
+    writer_.flush();
+    return;
+  }
+  const auto& k = top_key();
+  nosql::Mutation m(k.row);
+  m.put(k.family, k.qualifier, k.visibility, k.ts, top_value());
+  writer_.add_mutation(std::move(m));
+  ++written_;
+}
+
+std::size_t table_copy_filtered(
+    nosql::Instance& db, const std::string& source_table,
+    const std::string& target_table,
+    const std::function<bool(const nosql::Key&, double)>& keep,
+    const nosql::Range& range) {
+  // Filter below, RemoteWrite above: the server-side ETL stack.
+  nosql::IterPtr stack = open_table_scan(db, source_table, range);
+  stack = std::make_unique<nosql::FilterIterator>(
+      std::move(stack), [&keep](const nosql::Key& k, const nosql::Value& v) {
+        const auto d = nosql::decode_double(v);
+        return keep(k, d ? *d : std::numeric_limits<double>::quiet_NaN());
+      });
+  auto writer = std::make_unique<RemoteWriteIterator>(std::move(stack), db,
+                                                      target_table);
+  writer->seek(range);
+  while (writer->has_top()) writer->next();
+  return writer->cells_written();
+}
+
+}  // namespace graphulo::core

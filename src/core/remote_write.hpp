@@ -1,0 +1,53 @@
+#pragma once
+// RemoteWriteIterator — the real Graphulo's signature trick: an iterator
+// at the TOP of a server-side scan stack that *writes* every cell it
+// sees into another table instead of (only) returning it to the client.
+// Composing it over filters/transforms turns a single scan into a
+// server-side ETL step: the data never crosses the client boundary.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nosql/batch_writer.hpp"
+#include "nosql/instance.hpp"
+#include "nosql/iterator.hpp"
+
+namespace graphulo::core {
+
+/// Wraps `source`; every cell that passes through is also written to
+/// `target_table` (created if missing). The stream itself is unchanged,
+/// so the client still sees the scan results (Graphulo uses the returned
+/// count as a progress monitor).
+class RemoteWriteIterator : public nosql::WrappingIterator {
+ public:
+  RemoteWriteIterator(nosql::IterPtr source, nosql::Instance& db,
+                      std::string target_table);
+
+  /// Flushes the underlying writer (also flushed on destruction).
+  ~RemoteWriteIterator() override;
+
+  void seek(const nosql::Range& range) override;
+  void next() override;
+
+  /// Cells written so far.
+  std::size_t cells_written() const noexcept { return written_; }
+
+ private:
+  void write_top();
+
+  nosql::BatchWriter writer_;
+  std::size_t written_ = 0;
+};
+
+/// One-scan server-side copy: every cell of `source_table` within
+/// `range` that satisfies `keep` (key, decoded numeric value or NaN) is
+/// written into `target_table`. Returns cells copied. This is the
+/// RemoteWrite pattern packaged as an operation.
+std::size_t table_copy_filtered(
+    nosql::Instance& db, const std::string& source_table,
+    const std::string& target_table,
+    const std::function<bool(const nosql::Key&, double)>& keep,
+    const nosql::Range& range = nosql::Range::all());
+
+}  // namespace graphulo::core

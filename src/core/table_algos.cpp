@@ -1,0 +1,225 @@
+#include "core/table_algos.hpp"
+
+#include <mutex>
+#include <set>
+
+#include "core/table_ops.hpp"
+#include "core/table_scan.hpp"
+#include "core/tablemult.hpp"
+#include "nosql/batch_writer.hpp"
+#include "nosql/codec.hpp"
+#include "nosql/scanner.hpp"
+
+namespace graphulo::core {
+
+using nosql::decode_double;
+using nosql::encode_double;
+
+std::map<std::string, int> adj_bfs(nosql::Instance& db,
+                                   const std::string& adj_table,
+                                   const std::vector<std::string>& seeds,
+                                   int max_hops) {
+  std::map<std::string, int> level;
+  std::set<std::string> frontier(seeds.begin(), seeds.end());
+  for (const auto& s : frontier) level[s] = 0;
+
+  for (int hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
+    // One batched scan over all frontier rows.
+    std::vector<nosql::Range> ranges;
+    ranges.reserve(frontier.size());
+    for (const auto& v : frontier) ranges.push_back(nosql::Range::exact_row(v));
+    std::set<std::string> next;
+    std::mutex next_mutex;
+    nosql::BatchScanner scanner(db, adj_table);
+    scanner.set_ranges(std::move(ranges));
+    scanner.for_each([&](const nosql::Key& k, const nosql::Value&) {
+      std::lock_guard lock(next_mutex);
+      next.insert(k.qualifier);
+    });
+    frontier.clear();
+    for (const auto& v : next) {
+      if (level.emplace(v, hop).second) frontier.insert(v);
+    }
+  }
+  return level;
+}
+
+std::size_t table_jaccard(nosql::Instance& db, const std::string& adj_table,
+                          const std::string& out_table) {
+  const std::string common = out_table + "__common";
+  const std::string degrees = out_table + "__deg";
+  // Common-neighbor counts: A is symmetric, so A^T * A(i,j) counts the
+  // shared neighbors k of i and j.
+  table_mult(db, adj_table, adj_table, common, {.compact_result = true});
+  table_row_degrees(db, adj_table, degrees);
+
+  // Load degrees (one cell per vertex).
+  std::map<std::string, double> degree;
+  nosql::Scanner deg_scan(db, degrees);
+  deg_scan.for_each([&degree](const nosql::Key& k, const nosql::Value& v) {
+    if (const auto d = decode_double(v)) degree[k.row] = *d;
+  });
+
+  if (!db.table_exists(out_table)) db.create_table(out_table);
+  nosql::BatchWriter writer(db, out_table);
+  std::size_t written = 0;
+  nosql::Scanner scan(db, common);
+  scan.for_each([&](const nosql::Key& k, const nosql::Value& v) {
+    if (!(k.row < k.qualifier)) return;  // strict upper triangle only
+    const auto c = decode_double(v);
+    if (!c || *c == 0.0) return;
+    const double di = degree.count(k.row) ? degree[k.row] : 0.0;
+    const double dj = degree.count(k.qualifier) ? degree[k.qualifier] : 0.0;
+    const double denom = di + dj - *c;
+    if (denom <= 0.0) return;
+    nosql::Mutation m(k.row);
+    m.put("", k.qualifier, encode_double(*c / denom));
+    writer.add_mutation(std::move(m));
+    ++written;
+  });
+  writer.flush();
+  db.delete_table(common);
+  db.delete_table(degrees);
+  return written;
+}
+
+std::size_t table_ktruss(nosql::Instance& db, const std::string& adj_table,
+                         int k, const std::string& out_table) {
+  // Working copy of the adjacency (0/1 values).
+  if (db.table_exists(out_table)) db.delete_table(out_table);
+  db.create_table(out_table);
+  {
+    nosql::BatchWriter writer(db, out_table);
+    RowReader reader(open_table_scan(db, adj_table));
+    while (reader.has_next()) {
+      auto block = reader.next_row();
+      nosql::Mutation m(block.row);
+      for (const auto& cell : block.cells) {
+        if (cell.key.row == cell.key.qualifier) continue;  // drop loops
+        m.put(cell.key.family, cell.key.qualifier, encode_double(1.0));
+      }
+      if (!m.updates().empty()) writer.add_mutation(std::move(m));
+    }
+    writer.flush();
+  }
+
+  const double min_support = static_cast<double>(k - 2);
+  for (int round = 0;; ++round) {
+    const std::size_t edges_before = table_entry_count(db, out_table);
+    if (edges_before == 0) break;
+
+    // Support per existing edge: S = A .* (A^T A). The TableMult output
+    // counts common neighbors; intersecting with A restricts to edges.
+    const std::string common = out_table + "__sq";
+    const std::string support = out_table + "__sup";
+    table_mult(db, out_table, out_table, common, {.compact_result = true});
+    table_ewise_mult(db, out_table, common, support);
+
+    // Rebuild the adjacency from edges whose support meets the bound.
+    std::vector<std::pair<std::string, std::string>> keep;
+    nosql::Scanner scan(db, support);
+    scan.for_each([&](const nosql::Key& key, const nosql::Value& v) {
+      const auto c = decode_double(v);
+      if (c && *c >= min_support) keep.emplace_back(key.row, key.qualifier);
+    });
+    db.delete_table(common);
+    db.delete_table(support);
+
+    db.delete_table(out_table);
+    db.create_table(out_table);
+    {
+      nosql::BatchWriter writer(db, out_table);
+      for (const auto& [r, q] : keep) {
+        nosql::Mutation m(r);
+        m.put("", q, encode_double(1.0));
+        writer.add_mutation(std::move(m));
+      }
+      writer.flush();
+    }
+    if (keep.size() == edges_before) break;  // fixpoint
+  }
+  return table_entry_count(db, out_table);
+}
+
+std::map<std::string, double> table_pagerank(nosql::Instance& db,
+                                             const std::string& adj_table,
+                                             double alpha, int iterations) {
+  // Vertex universe and out-degrees from one degree pass + one scan of
+  // the adjacency table's qualifiers (sinks appear only as qualifiers).
+  std::map<std::string, double> degree;
+  {
+    const std::string deg_table = adj_table + "__prdeg";
+    table_row_degrees(db, adj_table, deg_table);
+    nosql::Scanner scan(db, deg_table);
+    scan.for_each([&degree](const nosql::Key& k, const nosql::Value& v) {
+      if (const auto d = decode_double(v)) degree[k.row] = *d;
+    });
+    db.delete_table(deg_table);
+  }
+  {
+    nosql::Scanner scan(db, adj_table);
+    scan.for_each([&degree](const nosql::Key& k, const nosql::Value&) {
+      degree.emplace(k.qualifier, 0.0);  // sinks get degree 0
+    });
+  }
+  const auto n = degree.size();
+  std::map<std::string, double> x;
+  if (n == 0) return x;
+  for (const auto& [key, d] : degree) {
+    x[key] = 1.0 / static_cast<double>(n);
+  }
+
+  const std::string x_table = adj_table + "__prx";
+  const std::string y_table = adj_table + "__pry";
+  for (int it = 0; it < iterations; ++it) {
+    // Write the scaled frontier x/d as a one-column table.
+    if (db.table_exists(x_table)) db.delete_table(x_table);
+    db.create_table(x_table);
+    double dangling = 0.0;
+    {
+      nosql::BatchWriter writer(db, x_table);
+      for (const auto& [key, value] : x) {
+        const double d = degree[key];
+        if (d == 0.0) {
+          dangling += value;
+          continue;
+        }
+        nosql::Mutation m(key);
+        m.put("", "rank", encode_double(value / d));
+        writer.add_mutation(std::move(m));
+      }
+    }
+    // One server-side TableMult: y(j) = sum_i A(i, j) * (x/d)(i).
+    if (db.table_exists(y_table)) db.delete_table(y_table);
+    table_mult(db, adj_table, x_table, y_table);
+    std::map<std::string, double> y;
+    {
+      nosql::Scanner scan(db, y_table);
+      scan.for_each([&y](const nosql::Key& k, const nosql::Value& v) {
+        if (const auto d = decode_double(v)) y[k.row] = *d;
+      });
+    }
+    // Client-side O(n) glue: damping + dangling redistribution.
+    const double uniform =
+        alpha / static_cast<double>(n) +
+        (1.0 - alpha) * dangling / static_cast<double>(n);
+    double total = 0.0;
+    for (auto& [key, value] : x) {
+      value = (1.0 - alpha) * (y.count(key) ? y[key] : 0.0) + uniform;
+      total += value;
+    }
+    for (auto& [key, value] : x) value /= total;
+  }
+  if (db.table_exists(x_table)) db.delete_table(x_table);
+  if (db.table_exists(y_table)) db.delete_table(y_table);
+  return x;
+}
+
+std::size_t table_entry_count(nosql::Instance& db, const std::string& table) {
+  std::size_t count = 0;
+  nosql::Scanner scan(db, table);
+  scan.for_each([&count](const nosql::Key&, const nosql::Value&) { ++count; });
+  return count;
+}
+
+}  // namespace graphulo::core

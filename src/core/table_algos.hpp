@@ -1,0 +1,55 @@
+#pragma once
+// Graph algorithms executed directly against database tables — the
+// paper's end goal ("perform graph algorithms directly on NoSQL
+// databases"). The trio implemented here (BFS from a seed set, Jaccard
+// similarity, k-truss) matches the headline algorithms of the actual
+// Graphulo server library, built on TableMult / table-scope kernels.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nosql/instance.hpp"
+
+namespace graphulo::core {
+
+/// Breadth-first search over an adjacency table (row -> qualifier =
+/// out-neighbor). Returns vertex -> hop distance for every vertex within
+/// `max_hops` of the seeds (seeds at distance 0). Each hop is one batch
+/// scan over the frontier rows — Graphulo's AdjBFS pattern.
+std::map<std::string, int> adj_bfs(nosql::Instance& db,
+                                   const std::string& adj_table,
+                                   const std::vector<std::string>& seeds,
+                                   int max_hops);
+
+/// Jaccard similarity on an undirected 0/1 adjacency table. Computes
+/// common-neighbor counts server-side with TableMult, degrees with a
+/// row-degree pass, and writes J(i,j) = |N(i) ^ N(j)| / |N(i) u N(j)|
+/// for i < j into `out_table`. Returns the number of similarity cells
+/// written.
+std::size_t table_jaccard(nosql::Instance& db, const std::string& adj_table,
+                          const std::string& out_table);
+
+/// k-truss of an undirected 0/1 adjacency table (Graphulo's kTrussAdj
+/// iteration): repeatedly compute per-edge triangle support via
+/// TableMult + table eWise, delete edges with support < k-2, until a
+/// fixpoint. The surviving subgraph is written to `out_table` (0/1
+/// adjacency). Returns the number of surviving directed edge cells.
+std::size_t table_ktruss(nosql::Instance& db, const std::string& adj_table,
+                         int k, const std::string& out_table);
+
+/// Number of cells visible in a table (scan count).
+std::size_t table_entry_count(nosql::Instance& db, const std::string& table);
+
+/// PageRank executed against an adjacency table: each power sweep is one
+/// server-side TableMult C(j) += sum_i A(i, j) * x(i)/d(i) with the
+/// frontier vector stored as a one-column table; the client only applies
+/// the O(n) damping/dangling correction between sweeps (Graphulo's
+/// orchestration pattern: bulk work in the database, scalar glue in the
+/// client). Returns vertex key -> score (sums to 1).
+std::map<std::string, double> table_pagerank(nosql::Instance& db,
+                                             const std::string& adj_table,
+                                             double alpha = 0.15,
+                                             int iterations = 30);
+
+}  // namespace graphulo::core

@@ -1,0 +1,34 @@
+#include "core/table_scan.hpp"
+
+#include "nosql/merge_iterator.hpp"
+
+namespace graphulo::core {
+
+nosql::IterPtr open_table_scan(nosql::Instance& db, const std::string& table,
+                               const nosql::Range& range) {
+  std::vector<nosql::IterPtr> stacks;
+  for (auto& [tablet, sid] : db.tablets_for_range(table, range)) {
+    stacks.push_back(db.server(sid).scan(*tablet));
+  }
+  auto merged = std::make_unique<nosql::MergeIterator>(std::move(stacks));
+  merged->seek(range);
+  return merged;
+}
+
+RowBlock RowReader::next_row() {
+  RowBlock block;
+  block.row = source_->top_key().row;
+  while (source_->has_top() && source_->top_key().row == block.row) {
+    block.cells.push_back({source_->top_key(), source_->top_value()});
+    source_->next();
+  }
+  return block;
+}
+
+void RowReader::advance_to(const std::string& row) {
+  while (source_->has_top() && source_->top_key().row < row) {
+    source_->next();
+  }
+}
+
+}  // namespace graphulo::core

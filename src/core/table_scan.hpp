@@ -1,0 +1,50 @@
+#pragma once
+// Pull-based whole-table scan: the building block the server-side
+// kernels (TableMult, eWise, reductions) use to walk a table in key
+// order through its full iterator stack, and a RowReader that groups the
+// stream into rows — the unit the row-aligned merge join of TableMult
+// consumes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nosql/instance.hpp"
+#include "nosql/iterator.hpp"
+
+namespace graphulo::core {
+
+/// Builds a pull iterator over `range` of `table`: each intersecting
+/// tablet's scan stack (attached iterators included), merged in key
+/// order and already seeked. The iterator is positioned at the first
+/// cell; re-seek is supported.
+nosql::IterPtr open_table_scan(nosql::Instance& db, const std::string& table,
+                               const nosql::Range& range = nosql::Range::all());
+
+/// One row's cells (key order within the row).
+struct RowBlock {
+  std::string row;
+  std::vector<nosql::Cell> cells;
+};
+
+/// Groups a cell stream into rows.
+class RowReader {
+ public:
+  /// Takes ownership of a seeked iterator (as from open_table_scan).
+  explicit RowReader(nosql::IterPtr source) : source_(std::move(source)) {}
+
+  /// True when another row is available.
+  bool has_next() const { return source_->has_top(); }
+
+  /// Reads the next row (consumes all of its cells).
+  RowBlock next_row();
+
+  /// Skips rows until the current row key is >= `row` (cheap seek
+  /// substitute for the merge join; rows already passed stay passed).
+  void advance_to(const std::string& row);
+
+ private:
+  nosql::IterPtr source_;
+};
+
+}  // namespace graphulo::core

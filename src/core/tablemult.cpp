@@ -1,0 +1,108 @@
+#include "core/tablemult.hpp"
+
+#include "assoc/table_io.hpp"
+#include "core/table_scan.hpp"
+#include "nosql/batch_writer.hpp"
+#include "nosql/codec.hpp"
+#include "nosql/combiner.hpp"
+#include "la/spgemm.hpp"
+#include "util/timer.hpp"
+
+namespace graphulo::core {
+
+using nosql::CombinerIterator;
+using nosql::encode_double;
+using nosql::decode_double;
+
+void create_sum_table(nosql::Instance& db, const std::string& table) {
+  if (db.table_exists(table)) return;
+  nosql::TableConfig cfg;
+  cfg.versioning = false;  // the combiner must see every partial product
+  cfg.attach_iterator({10, "plus-combiner", nosql::kAllScopes,
+                       [](nosql::IterPtr src) {
+                         return std::make_unique<CombinerIterator>(
+                             std::move(src), nosql::sum_double_reducer());
+                       }});
+  db.create_table(table, std::move(cfg));
+}
+
+TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
+                          const std::string& table_b,
+                          const std::string& table_c,
+                          const TableMultOptions& options) {
+  util::Timer timer;
+  if (options.configure_result_table) create_sum_table(db, table_c);
+  if (!db.table_exists(table_c)) db.create_table(table_c);
+
+  TableMultStats stats;
+  RowReader reader_a(open_table_scan(db, table_a));
+  RowReader reader_b(open_table_scan(db, table_b));
+  nosql::BatchWriter writer(db, table_c);
+
+  // Row-aligned merge join over the shared row dimension k.
+  bool have_a = reader_a.has_next();
+  bool have_b = reader_b.has_next();
+  RowBlock row_a, row_b;
+  if (have_a) row_a = reader_a.next_row();
+  if (have_b) row_b = reader_b.next_row();
+  while (have_a && have_b) {
+    if (row_a.row < row_b.row) {
+      reader_a.advance_to(row_b.row);
+      have_a = reader_a.has_next();
+      if (have_a) row_a = reader_a.next_row();
+      continue;
+    }
+    if (row_b.row < row_a.row) {
+      reader_b.advance_to(row_a.row);
+      have_b = reader_b.has_next();
+      if (have_b) row_b = reader_b.next_row();
+      continue;
+    }
+    // Shared row k: emit the outer product of A(k, :) and B(k, :).
+    ++stats.rows_joined;
+    for (const auto& ca : row_a.cells) {
+      const auto av = decode_double(ca.value);
+      if (!av) continue;
+      // One mutation per output row C(i, :) chunk for this k.
+      nosql::Mutation m(ca.key.qualifier);  // i = A's column key
+      bool any = false;
+      for (const auto& cb : row_b.cells) {
+        const auto bv = decode_double(cb.value);
+        if (!bv) continue;
+        m.put(ca.key.family, cb.key.qualifier,
+              encode_double(options.multiply(*av, *bv)));
+        any = true;
+        ++stats.partial_products;
+      }
+      if (any) writer.add_mutation(std::move(m));
+    }
+    have_a = reader_a.has_next();
+    if (have_a) row_a = reader_a.next_row();
+    have_b = reader_b.has_next();
+    if (have_b) row_b = reader_b.next_row();
+  }
+  writer.flush();
+  if (options.compact_result) db.compact(table_c);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+TableMultStats client_side_mult(nosql::Instance& db, const std::string& table_a,
+                                const std::string& table_b,
+                                const std::string& table_c, la::Index rows,
+                                la::Index cols_a, la::Index cols_b) {
+  util::Timer timer;
+  TableMultStats stats;
+  // Full round trip: table -> client matrices -> SpGEMM -> table.
+  const auto a = assoc::read_matrix(db, table_a, rows, cols_a);
+  const auto b = assoc::read_matrix(db, table_b, rows, cols_b);
+  const auto c =
+      la::spgemm<la::PlusTimes<double>>(la::transpose(a), b);
+  create_sum_table(db, table_c);
+  stats.partial_products = static_cast<std::size_t>(c.nnz());
+  assoc::write_matrix(db, table_c, c);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace graphulo::core

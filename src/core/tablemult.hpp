@@ -1,0 +1,70 @@
+#pragma once
+// TableMult: sparse matrix multiply executed INSIDE the database — the
+// headline Graphulo operation the paper's Section I-A/IV anticipates
+// ("use various Accumulo features, such as the Accumulo iterator
+// framework ... and perform batch operations").
+//
+// Semantics: C(i, j) (+)= sum_k A(k, i) (x) B(k, j), i.e. C += A^T * B,
+// where A and B are tables under the D4M matrix convention (row = row
+// key, qualifier = column key, value = encoded double). The transpose
+// form is forced by the storage: tables are row-sorted, so the only
+// cheap join is over the shared ROW dimension k — a row-aligned merge
+// join of the two tables' sorted streams (the real Graphulo's
+// TwoTableIterator does exactly this). Partial products are written to
+// C through a BatchWriter; a (+)-combiner attached to C at scan and
+// compaction scope makes the table itself perform the reduction.
+//
+// The client-side baseline (read A and B out, SpGEMM locally, write C
+// back) is provided for the bench_tablemult ablation.
+
+#include <functional>
+#include <string>
+
+#include "la/spmat.hpp"
+#include "nosql/instance.hpp"
+
+namespace graphulo::core {
+
+/// Options for table_mult().
+struct TableMultOptions {
+  /// The (x) of the semiring; defaults to ordinary multiplication.
+  std::function<double(double, double)> multiply =
+      [](double a, double b) { return a * b; };
+  /// Attach a summing combiner (+ of the plus-times semiring) to C at
+  /// all scopes if C does not exist yet. Set false when the caller
+  /// configured C manually (e.g. a min-combiner for tropical products).
+  bool configure_result_table = true;
+  /// Compact C after the multiply so the partial products are physically
+  /// collapsed (otherwise they collapse lazily at scan/compaction time).
+  bool compact_result = false;
+};
+
+/// Statistics from one table_mult() run.
+struct TableMultStats {
+  std::size_t rows_joined = 0;        ///< shared row keys of A and B
+  std::size_t partial_products = 0;   ///< cells written to C
+  double seconds = 0.0;
+};
+
+/// C += A^T * B, all three named tables of `db`. Creates C when missing
+/// (with a summing combiner per options). Returns run statistics.
+TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
+                          const std::string& table_b,
+                          const std::string& table_c,
+                          const TableMultOptions& options = {});
+
+/// Client-side baseline: scans A and B into local sparse matrices of
+/// shape (`rows` x `cols_a`) / (`rows` x `cols_b`), multiplies with
+/// SpGEMM, writes the full result back to C. Matches table_mult()'s
+/// output exactly; exists to quantify the round-trip the server-side
+/// path avoids.
+TableMultStats client_side_mult(nosql::Instance& db, const std::string& table_a,
+                                const std::string& table_b,
+                                const std::string& table_c, la::Index rows,
+                                la::Index cols_a, la::Index cols_b);
+
+/// Creates `table` configured as a TableMult result sink: versioning
+/// off, summing combiner at every scope. No-op if it already exists.
+void create_sum_table(nosql::Instance& db, const std::string& table);
+
+}  // namespace graphulo::core

@@ -1,0 +1,142 @@
+#include "gen/erdos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace graphulo::gen {
+
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+namespace {
+
+/// Emits each j in [lo, hi) independently with probability p using
+/// geometric skips, so the cost is O(p * (hi - lo)).
+template <class Emit>
+void sample_row(util::Xoshiro256& rng, Index lo, Index hi, double p,
+                double log1mp, Emit&& emit) {
+  if (p >= 1.0) {
+    for (Index j = lo; j < hi; ++j) emit(j);
+    return;
+  }
+  double jf = static_cast<double>(lo);
+  while (true) {
+    const double u = rng.uniform();
+    jf += std::floor(std::log1p(-u) / log1mp);
+    if (jf >= static_cast<double>(hi)) return;
+    emit(static_cast<Index>(jf));
+    jf += 1.0;
+    if (jf >= static_cast<double>(hi)) return;
+  }
+}
+
+}  // namespace
+
+SpMat<double> erdos_renyi_gnp(Index n, double p, std::uint64_t seed,
+                              bool undirected) {
+  if (n < 0 || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi_gnp: bad parameters");
+  }
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> triples;
+  if (p > 0.0 && n > 1) {
+    const double log1mp = p < 1.0 ? std::log(1.0 - p) : -1.0;
+    for (Index i = 0; i < n; ++i) {
+      if (undirected) {
+        sample_row(rng, i + 1, n, p, log1mp, [&](Index j) {
+          triples.push_back({i, j, 1.0});
+          triples.push_back({j, i, 1.0});
+        });
+      } else {
+        sample_row(rng, 0, n, p, log1mp, [&](Index j) {
+          if (j != i) triples.push_back({i, j, 1.0});
+        });
+      }
+    }
+  }
+  return SpMat<double>::from_triples(n, n, std::move(triples),
+                                     [](double a, double) { return a; });
+}
+
+SpMat<double> erdos_renyi_gnm(Index n, std::size_t m, std::uint64_t seed,
+                              bool undirected) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi_gnm: n < 2");
+  const auto nn = static_cast<std::uint64_t>(n);
+  const std::uint64_t max_edges =
+      undirected ? nn * (nn - 1) / 2 : nn * (nn - 1);
+  if (m > max_edges) throw std::invalid_argument("erdos_renyi_gnm: m too large");
+
+  util::Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  std::vector<Triple<double>> triples;
+  while (chosen.size() < m) {
+    auto u = static_cast<Index>(rng.uniform_int(nn));
+    auto v = static_cast<Index>(rng.uniform_int(nn));
+    if (u == v) continue;
+    if (undirected && u > v) std::swap(u, v);
+    const std::uint64_t key = static_cast<std::uint64_t>(u) * nn +
+                              static_cast<std::uint64_t>(v);
+    if (!chosen.insert(key).second) continue;
+    triples.push_back({u, v, 1.0});
+    if (undirected) triples.push_back({v, u, 1.0});
+  }
+  return SpMat<double>::from_triples(n, n, std::move(triples));
+}
+
+SpMat<double> watts_strogatz(Index n, int k, double beta, std::uint64_t seed) {
+  if (k <= 0 || k % 2 != 0 || k >= n) {
+    throw std::invalid_argument("watts_strogatz: k must be even, 0 < k < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta in [0, 1]");
+  }
+  util::Xoshiro256 rng(seed);
+  // Edge set as (min, max) pairs for O(1) duplicate checks during
+  // rewiring.
+  std::unordered_set<std::uint64_t> edges;
+  const auto nn = static_cast<std::uint64_t>(n);
+  auto key = [nn](Index u, Index v) {
+    if (u > v) std::swap(u, v);
+    return static_cast<std::uint64_t>(u) * nn + static_cast<std::uint64_t>(v);
+  };
+  for (Index u = 0; u < n; ++u) {
+    for (int hop = 1; hop <= k / 2; ++hop) {
+      edges.insert(key(u, static_cast<Index>((u + hop) % n)));
+    }
+  }
+  // Rewire: each lattice edge (u, u+hop) keeps u and redraws the far
+  // endpoint with probability beta (skipping loops and duplicates).
+  for (Index u = 0; u < n; ++u) {
+    for (int hop = 1; hop <= k / 2; ++hop) {
+      if (rng.uniform() >= beta) continue;
+      const auto v = static_cast<Index>((u + hop) % n);
+      const auto old_key = key(u, v);
+      if (!edges.count(old_key)) continue;  // already rewired away
+      // Try a few times to find a fresh endpoint; give up rather than
+      // loop forever on dense corner cases.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const auto w = static_cast<Index>(rng.uniform_int(nn));
+        if (w == u || edges.count(key(u, w))) continue;
+        edges.erase(old_key);
+        edges.insert(key(u, w));
+        break;
+      }
+    }
+  }
+  std::vector<Triple<double>> triples;
+  triples.reserve(edges.size() * 2);
+  for (std::uint64_t e : edges) {
+    const auto u = static_cast<Index>(e / nn);
+    const auto v = static_cast<Index>(e % nn);
+    triples.push_back({u, v, 1.0});
+    triples.push_back({v, u, 1.0});
+  }
+  return SpMat<double>::from_triples(n, n, std::move(triples));
+}
+
+}  // namespace graphulo::gen

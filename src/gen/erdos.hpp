@@ -1,0 +1,31 @@
+#pragma once
+// Erdos-Renyi random graphs: the no-structure baseline workload for the
+// kernel and algorithm sweeps.
+
+#include <cstdint>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::gen {
+
+/// G(n, p): each ordered pair (i, j), i != j, is an edge independently
+/// with probability p. `undirected` samples only i < j and mirrors.
+/// Sampling uses geometric skips, so the cost is O(#edges), not O(n^2).
+la::SpMat<double> erdos_renyi_gnp(la::Index n, double p, std::uint64_t seed,
+                                  bool undirected = true);
+
+/// G(n, m): exactly m distinct edges chosen uniformly (i < j, mirrored
+/// when undirected).
+la::SpMat<double> erdos_renyi_gnm(la::Index n, std::size_t m,
+                                  std::uint64_t seed, bool undirected = true);
+
+/// Watts-Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its k/2 nearest neighbors on each side, with every
+/// lattice edge rewired to a random endpoint with probability beta.
+/// beta = 0 is the pure lattice (high clustering, long paths); beta = 1
+/// approaches G(n, nk/2). k must be even and < n.
+la::SpMat<double> watts_strogatz(la::Index n, int k, double beta,
+                                 std::uint64_t seed);
+
+}  // namespace graphulo::gen

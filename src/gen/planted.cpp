@@ -1,0 +1,91 @@
+#include "gen/planted.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "gen/erdos.hpp"
+#include "la/ewise.hpp"
+#include "la/structure.hpp"
+#include "util/rng.hpp"
+
+namespace graphulo::gen {
+
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+PlantedGraph planted_clique(Index n, Index clique_size, double p_background,
+                            std::uint64_t seed) {
+  if (clique_size > n) {
+    throw std::invalid_argument("planted_clique: clique larger than graph");
+  }
+  util::Xoshiro256 rng(seed);
+
+  // Choose the planted vertices: partial Fisher-Yates.
+  std::vector<Index> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), Index{0});
+  for (Index i = 0; i < clique_size; ++i) {
+    const auto j = static_cast<std::size_t>(i) +
+                   rng.uniform_int(static_cast<std::uint64_t>(n - i));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+  }
+  std::vector<Index> planted(ids.begin(), ids.begin() + clique_size);
+
+  SpMat<double> background = erdos_renyi_gnp(n, p_background, seed + 1, true);
+  std::vector<Triple<double>> clique_edges;
+  for (Index i = 0; i < clique_size; ++i) {
+    for (Index j = i + 1; j < clique_size; ++j) {
+      const Index u = planted[static_cast<std::size_t>(i)];
+      const Index v = planted[static_cast<std::size_t>(j)];
+      clique_edges.push_back({u, v, 1.0});
+      clique_edges.push_back({v, u, 1.0});
+    }
+  }
+  auto clique = SpMat<double>::from_triples(n, n, std::move(clique_edges));
+  PlantedGraph out;
+  out.adjacency = la::pattern(la::add(background, clique));
+  out.planted_set = std::move(planted);
+  return out;
+}
+
+std::vector<int> partition_labels(Index n, int communities) {
+  if (communities < 1) throw std::invalid_argument("partition_labels");
+  const Index block = n / communities;
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (Index v = 0; v < n; ++v) {
+    labels[static_cast<std::size_t>(v)] =
+        std::min(communities - 1, static_cast<int>(block == 0 ? 0 : v / block));
+  }
+  return labels;
+}
+
+PlantedGraph planted_partition(Index n, int communities, double p_in,
+                               double p_out, std::uint64_t seed) {
+  if (communities < 1 || p_in < 0 || p_in > 1 || p_out < 0 || p_out > 1) {
+    throw std::invalid_argument("planted_partition: bad parameters");
+  }
+  const auto labels = partition_labels(n, communities);
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> edges;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      const double p = labels[static_cast<std::size_t>(i)] ==
+                               labels[static_cast<std::size_t>(j)]
+                           ? p_in
+                           : p_out;
+      if (rng.uniform() < p) {
+        edges.push_back({i, j, 1.0});
+        edges.push_back({j, i, 1.0});
+      }
+    }
+  }
+  PlantedGraph out;
+  out.adjacency = SpMat<double>::from_triples(n, n, std::move(edges));
+  const Index block = n / communities;
+  for (Index v = 0; v < std::max(Index{1}, block); ++v) {
+    out.planted_set.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace graphulo::gen

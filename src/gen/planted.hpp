@@ -1,0 +1,37 @@
+#pragma once
+// Planted-structure graphs for the subgraph detection experiments
+// (Section III-B motivates k-truss with planted clique / planted cluster
+// detection): a background Erdos-Renyi graph with a dense subgraph
+// planted on a known vertex subset, so detection quality is measurable.
+
+#include <cstdint>
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::gen {
+
+/// A planted graph and the ground-truth planted vertex set.
+struct PlantedGraph {
+  la::SpMat<double> adjacency;         ///< simple undirected graph (0/1)
+  std::vector<la::Index> planted_set;  ///< vertices of the planted part
+};
+
+/// Background G(n, p_background) plus a clique on `clique_size` randomly
+/// chosen vertices. A clique of size s is an s-truss, so k-truss with
+/// k <= s isolates it from a sparse background.
+PlantedGraph planted_clique(la::Index n, la::Index clique_size,
+                            double p_background, std::uint64_t seed);
+
+/// Planted partition: `communities` blocks of equal size; edge
+/// probability p_in within a block, p_out across blocks. Ground truth
+/// set = block 0 (representative community).
+PlantedGraph planted_partition(la::Index n, int communities, double p_in,
+                               double p_out, std::uint64_t seed);
+
+/// Community label of every vertex for a planted_partition graph with
+/// the same parameters (vertex v belongs to block v / (n/communities)).
+std::vector<int> partition_labels(la::Index n, int communities);
+
+}  // namespace graphulo::gen

@@ -1,0 +1,74 @@
+#include "gen/rmat.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "la/structure.hpp"
+#include "util/rng.hpp"
+
+namespace graphulo::gen {
+
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+std::vector<std::pair<Index, Index>> rmat_edges(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 30) {
+    throw std::invalid_argument("rmat: scale out of range [1, 30]");
+  }
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must be nonnegative");
+  }
+  const Index n = Index{1} << params.scale;
+  const auto m = static_cast<std::size_t>(params.edge_factor *
+                                          static_cast<double>(n));
+  util::Xoshiro256 rng(params.seed);
+
+  // Optional id scramble: a random permutation of [0, n).
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), Index{0});
+  if (params.scramble_ids) {
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.uniform_int(i)]);
+    }
+  }
+
+  std::vector<std::pair<Index, Index>> edges;
+  edges.reserve(m);
+  const double ab = params.a + params.b;
+  const double a_norm = params.a / ab;
+  const double c_norm = params.c / (params.c + d);
+  while (edges.size() < m) {
+    Index u = 0, v = 0;
+    for (int bit = 0; bit < params.scale; ++bit) {
+      const bool down = rng.uniform() > ab;        // descend to bottom half
+      const double right_prob = down ? c_norm : a_norm;
+      const bool right = rng.uniform() > right_prob;
+      u = (u << 1) | static_cast<Index>(down);
+      v = (v << 1) | static_cast<Index>(right);
+    }
+    if (params.remove_self_loops && u == v) continue;
+    edges.emplace_back(perm[static_cast<std::size_t>(u)],
+                       perm[static_cast<std::size_t>(v)]);
+  }
+  return edges;
+}
+
+SpMat<double> rmat_adjacency(const RmatParams& params) {
+  const Index n = Index{1} << params.scale;
+  auto edges = rmat_edges(params);
+  std::vector<Triple<double>> triples;
+  triples.reserve(edges.size() * (params.undirected ? 2 : 1));
+  for (auto [u, v] : edges) {
+    triples.push_back({u, v, 1.0});
+    if (params.undirected && u != v) triples.push_back({v, u, 1.0});
+  }
+  return SpMat<double>::from_triples(n, n, std::move(triples));
+}
+
+SpMat<double> rmat_simple_adjacency(const RmatParams& params) {
+  return la::pattern(rmat_adjacency(params));
+}
+
+}  // namespace graphulo::gen

@@ -1,0 +1,46 @@
+#pragma once
+// R-MAT / Graph500-style Kronecker graph sampler.
+//
+// Real graphs the paper targets (social media, Twitter) have power-law
+// degree distributions; R-MAT reproduces that shape by recursively
+// descending a 2x2 probability matrix (a, b; c, d) to choose each edge's
+// endpoints. scale = log2(#vertices); edge_factor = edges per vertex.
+
+#include <cstdint>
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::gen {
+
+/// Parameters for the R-MAT sampler. Defaults are the Graph500 values.
+struct RmatParams {
+  int scale = 10;          ///< number of vertices = 2^scale
+  double edge_factor = 16; ///< average edges per vertex (before dedup)
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  bool undirected = true;    ///< mirror each edge
+  bool remove_self_loops = true;
+  std::uint64_t seed = 1;
+  /// Randomly permute vertex ids so the heavy vertices are not clustered
+  /// at the low indices (Graph500 does this too).
+  bool scramble_ids = true;
+};
+
+/// Samples an R-MAT graph and returns its adjacency matrix. Duplicate
+/// edges are summed, so values are edge multiplicities, matching the
+/// paper's adjacency matrix definition "A(i,j) = # edges from vi to vj".
+la::SpMat<double> rmat_adjacency(const RmatParams& params);
+
+/// Same sample with every stored entry set to 1 (simple graph pattern) —
+/// the form the k-truss and Jaccard algorithms expect.
+la::SpMat<double> rmat_simple_adjacency(const RmatParams& params);
+
+/// Raw sampled edge list (u, v) before dedup; exposed for ingest
+/// benchmarks that want a stream of mutations rather than a matrix.
+std::vector<std::pair<la::Index, la::Index>> rmat_edges(const RmatParams& params);
+
+}  // namespace graphulo::gen

@@ -1,0 +1,144 @@
+#include "gen/tweets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/zipf.hpp"
+
+namespace graphulo::gen {
+
+namespace {
+
+// Topic-specific word pools, semantically matching the five topics the
+// paper reports in Fig. 3 (ASCII transliterations for the Turkish and
+// Spanish pools).
+const std::vector<std::string> kTurkish = {
+    "merhaba", "selam",   "nasilsin", "tesekkurler", "gunaydin", "arkadas",
+    "sevgili", "guzel",   "turkiye",  "istanbul",    "ankara",   "kahve",
+    "deniz",   "gunes",   "mutlu",    "hayat",       "askim",    "canim",
+    "evet",    "hayir",   "simdi",    "bugun",       "yarin",    "gece",
+    "sabah",   "iyi",     "cok",      "biraz",       "belki",    "tamam"};
+
+const std::vector<std::string> kDating = {
+    "date",     "love",    "single",  "crush",    "romance", "dating",
+    "cute",     "heart",   "kiss",    "match",    "profile", "swipe",
+    "flirt",    "dinner",  "movie",   "valentine", "couple", "chemistry",
+    "butterflies", "text", "call",    "meet",     "coffee",  "spark",
+    "soulmate", "first",   "shy",     "smile",    "eyes",    "forever"};
+
+const std::vector<std::string> kGuitar = {
+    "guitar",  "acoustic", "strings",  "chord",   "concert",  "atlanta",
+    "competition", "stage", "melody",  "riff",    "strum",    "fingerstyle",
+    "capo",    "fret",     "tuning",   "amp",     "song",     "solo",
+    "band",    "festival", "audience", "winner",  "judges",   "perform",
+    "practice", "pick",    "bridge",   "georgia", "contest",  "luthier"};
+
+const std::vector<std::string> kSpanish = {
+    "hola",    "amigo",  "fiesta",  "gracias", "noche",   "corazon",
+    "bueno",   "vamos",  "siempre", "musica",  "baile",   "feliz",
+    "amor",    "playa",  "sol",     "familia", "comida",  "casa",
+    "tiempo",  "manana", "tarde",   "mucho",   "poco",    "nunca",
+    "contigo", "porque", "donde",   "quiero",  "vida",    "suerte"};
+
+const std::vector<std::string> kEnglish = {
+    "today",   "great",  "time",    "people",  "world",   "happy",
+    "work",    "life",   "good",    "day",     "news",    "weather",
+    "morning", "night",  "weekend", "friends", "family",  "home",
+    "school",  "game",   "team",    "city",    "music",   "food",
+    "coffee",  "sleep",  "week",    "year",    "best",    "thing"};
+
+// Topic-neutral filler ("stop") words shared across all tweets; these
+// are the high-document-frequency noise terms NMF has to look past.
+const std::vector<std::string> kStopwords = {
+    "rt",  "the", "a",   "to",  "and", "of",  "in",  "is",
+    "it",  "you", "i",   "for", "on",  "my",  "me",  "so",
+    "at",  "be",  "this", "that"};
+
+const std::vector<std::string> kTopicNames = {"turkish", "dating",
+                                              "guitar-atlanta", "spanish",
+                                              "english"};
+
+const std::vector<const std::vector<std::string>*> kPools = {
+    &kTurkish, &kDating, &kGuitar, &kSpanish, &kEnglish};
+
+}  // namespace
+
+int tweet_topic_count() { return static_cast<int>(kPools.size()); }
+
+const std::string& tweet_topic_name(int topic) {
+  if (topic < 0 || topic >= tweet_topic_count()) {
+    throw std::out_of_range("tweet_topic_name");
+  }
+  return kTopicNames[static_cast<std::size_t>(topic)];
+}
+
+const std::vector<std::string>& tweet_topic_pool(int topic) {
+  if (topic < 0 || topic >= tweet_topic_count()) {
+    throw std::out_of_range("tweet_topic_pool");
+  }
+  return *kPools[static_cast<std::size_t>(topic)];
+}
+
+TweetCorpus generate_tweets(const TweetParams& params) {
+  if (params.words_min < 1 || params.words_max < params.words_min) {
+    throw std::invalid_argument("generate_tweets: word count range");
+  }
+  if (params.topic_word_prob + params.stopword_prob > 1.0) {
+    throw std::invalid_argument("generate_tweets: probabilities exceed 1");
+  }
+  util::Xoshiro256 rng(params.seed);
+
+  std::vector<util::ZipfSampler> pool_samplers;
+  pool_samplers.reserve(kPools.size());
+  for (const auto* pool : kPools) {
+    pool_samplers.emplace_back(pool->size(), params.zipf_exponent);
+  }
+  util::ZipfSampler stop_sampler(kStopwords.size(), params.zipf_exponent);
+
+  TweetCorpus corpus;
+  corpus.topic_names = kTopicNames;
+  corpus.tweets.reserve(params.num_tweets);
+
+  const int id_width = 7;
+  const auto topics = static_cast<std::uint64_t>(tweet_topic_count());
+  for (std::size_t t = 0; t < params.num_tweets; ++t) {
+    Tweet tweet;
+    tweet.id = "tweet|" + util::zero_pad(t, id_width);
+    tweet.true_topic = static_cast<int>(rng.uniform_int(topics));
+    const int len = params.words_min +
+                    static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(
+                        params.words_max - params.words_min + 1)));
+    tweet.words.reserve(static_cast<std::size_t>(len));
+    for (int w = 0; w < len; ++w) {
+      const double u = rng.uniform();
+      int pool_topic;
+      if (u < params.topic_word_prob) {
+        pool_topic = tweet.true_topic;
+      } else if (u < params.topic_word_prob + params.stopword_prob) {
+        tweet.words.push_back(kStopwords[stop_sampler.sample(rng)]);
+        continue;
+      } else {
+        pool_topic = static_cast<int>(rng.uniform_int(topics));
+      }
+      const auto& pool = *kPools[static_cast<std::size_t>(pool_topic)];
+      tweet.words.push_back(
+          pool[pool_samplers[static_cast<std::size_t>(pool_topic)].sample(rng)]);
+    }
+    corpus.tweets.push_back(std::move(tweet));
+  }
+
+  for (const auto* pool : kPools) {
+    corpus.vocabulary.insert(corpus.vocabulary.end(), pool->begin(), pool->end());
+  }
+  corpus.vocabulary.insert(corpus.vocabulary.end(), kStopwords.begin(),
+                           kStopwords.end());
+  std::sort(corpus.vocabulary.begin(), corpus.vocabulary.end());
+  corpus.vocabulary.erase(
+      std::unique(corpus.vocabulary.begin(), corpus.vocabulary.end()),
+      corpus.vocabulary.end());
+  return corpus;
+}
+
+}  // namespace graphulo::gen

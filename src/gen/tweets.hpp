@@ -1,0 +1,62 @@
+#pragma once
+// Synthetic tweet corpus with known latent topics.
+//
+// The paper's Fig. 3 applies NMF (Algorithm 5) to ~20,000 real tweets
+// and finds 5 topics: Turkish-language tweets, dating, an acoustic
+// guitar competition in Atlanta, Spanish-language tweets, and generic
+// English. We cannot ship that corpus, so this generator produces a
+// corpus with the same *structure*: 5 topic-specific word pools (with
+// the same semantic flavors), Zipf-distributed word frequencies within
+// each pool, a shared stop-word pool, and per-tweet topic mixtures.
+// Because ground-truth topic labels are known, the reproduction can
+// report a quantitative topic-purity score on top of the qualitative
+// top-words table the paper shows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphulo::gen {
+
+/// One synthetic tweet.
+struct Tweet {
+  std::string id;                  ///< "tweet|0000042"-style sortable id
+  int true_topic;                  ///< ground-truth dominant topic
+  std::vector<std::string> words;  ///< tokenized text (duplicates kept)
+};
+
+/// A generated corpus.
+struct TweetCorpus {
+  std::vector<Tweet> tweets;
+  std::vector<std::string> topic_names;  ///< size = #topics
+  /// Union of all word pools (stop words last); handy for dictionaries.
+  std::vector<std::string> vocabulary;
+};
+
+/// Generator parameters; the defaults mirror the Fig. 3 experiment.
+struct TweetParams {
+  std::size_t num_tweets = 20000;
+  int words_min = 6;    ///< min words per tweet
+  int words_max = 14;   ///< max words per tweet
+  /// Probability that a word is drawn from the tweet's own topic pool
+  /// (the rest come from the shared stop-word pool or a random topic).
+  double topic_word_prob = 0.7;
+  double stopword_prob = 0.2;
+  double zipf_exponent = 1.0;  ///< word-frequency skew inside a pool
+  std::uint64_t seed = 42;
+};
+
+/// Number of built-in topics (fixed at 5 to match Fig. 3).
+int tweet_topic_count();
+
+/// Name of a built-in topic, e.g. "turkish", "dating".
+const std::string& tweet_topic_name(int topic);
+
+/// The word pool of a built-in topic (distinct, topic-specific words).
+const std::vector<std::string>& tweet_topic_pool(int topic);
+
+/// Generates the corpus. Tweets are assigned topics round-robin-random
+/// with equal probability; word draws follow TweetParams.
+TweetCorpus generate_tweets(const TweetParams& params);
+
+}  // namespace graphulo::gen

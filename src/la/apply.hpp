@@ -1,0 +1,78 @@
+#pragma once
+// Apply / Scale / Select.
+//
+// Apply maps a unary function over stored entries (the GraphBLAS Apply
+// kernel); results equal to the structural zero are dropped, which is
+// exactly how Algorithm 1 turns R into its "(R == 2)" indicator. Scale
+// is SpEWiseX with a scalar. Select keeps entries satisfying a
+// predicate on (row, col, value) — the generalization the paper uses for
+// triu via a user-defined Hadamard function (Section III-C).
+
+#include <functional>
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// C(i,j) = f(A(i,j)) on stored entries; entries mapping to `zero` are
+/// dropped from the result.
+template <class T, class F>
+SpMat<T> apply(const SpMat<T>& a, F f, T zero = T{}) {
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<Index> cols;
+  std::vector<T> vals;
+  cols.reserve(static_cast<std::size_t>(a.nnz()));
+  vals.reserve(static_cast<std::size_t>(a.nnz()));
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto rc = a.row_cols(i);
+    const auto rv = a.row_vals(i);
+    for (std::size_t p = 0; p < rc.size(); ++p) {
+      const T v = f(rv[p]);
+      if (v != zero) {
+        cols.push_back(rc[p]);
+        vals.push_back(v);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<Offset>(cols.size());
+  }
+  return SpMat<T>::from_csr(a.rows(), a.cols(), std::move(row_ptr),
+                            std::move(cols), std::move(vals));
+}
+
+/// Scale: C = alpha * A (SpEWiseX with a scalar). alpha == 0 empties C.
+template <class T>
+SpMat<T> scale(const SpMat<T>& a, T alpha) {
+  return apply(a, [alpha](T v) { return alpha * v; });
+}
+
+/// Select: keep entries where pred(row, col, value) holds.
+template <class T, class Pred>
+SpMat<T> select(const SpMat<T>& a, Pred pred) {
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<Index> cols;
+  std::vector<T> vals;
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto rc = a.row_cols(i);
+    const auto rv = a.row_vals(i);
+    for (std::size_t p = 0; p < rc.size(); ++p) {
+      if (pred(i, rc[p], rv[p])) {
+        cols.push_back(rc[p]);
+        vals.push_back(rv[p]);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<Offset>(cols.size());
+  }
+  return SpMat<T>::from_csr(a.rows(), a.cols(), std::move(row_ptr),
+                            std::move(cols), std::move(vals));
+}
+
+/// Indicator of equality: C(i,j) = 1 where A(i,j) == target — the
+/// "(R == 2)" step of Algorithm 1.
+template <class T>
+SpMat<T> equals_indicator(const SpMat<T>& a, T target) {
+  return apply(a, [target](T v) { return v == target ? T{1} : T{0}; });
+}
+
+}  // namespace graphulo::la

@@ -1,0 +1,176 @@
+#pragma once
+// Small dense matrices.
+//
+// NMF (Algorithms 3/5) factors a sparse m-by-n matrix into dense
+// W (m-by-k) and H (k-by-n) with k tiny (the topic count), and the
+// Newton-Schulz inverse (Algorithm 4) runs on k-by-k Gram matrices, so a
+// simple row-major dense type with textbook GEMM is all that is needed.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// Row-major dense matrix of doubles-or-similar.
+template <class T>
+class Dense {
+ public:
+  using value_type = T;
+
+  Dense() = default;
+
+  /// rows-by-cols matrix filled with `fill`.
+  Dense(Index rows, Index cols, T fill = T{})
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Dense: shape");
+  }
+
+  /// Builds from a row-major initializer.
+  static Dense from_rows(Index rows, Index cols, std::vector<T> data) {
+    if (data.size() !=
+        static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+      throw std::invalid_argument("Dense::from_rows: size mismatch");
+    }
+    Dense m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  /// n-by-n identity.
+  static Dense eye(Index n) {
+    Dense m(n, n);
+    for (Index i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+
+  T& operator()(Index i, Index j) {
+    return data_[static_cast<std::size_t>(i) * cols_ + static_cast<std::size_t>(j)];
+  }
+  T operator()(Index i, Index j) const {
+    return data_[static_cast<std::size_t>(i) * cols_ + static_cast<std::size_t>(j)];
+  }
+
+  std::span<T> row(Index i) {
+    return std::span<T>(data_).subspan(
+        static_cast<std::size_t>(i) * cols_, static_cast<std::size_t>(cols_));
+  }
+  std::span<const T> row(Index i) const {
+    return std::span<const T>(data_).subspan(
+        static_cast<std::size_t>(i) * cols_, static_cast<std::size_t>(cols_));
+  }
+
+  std::span<T> data() noexcept { return data_; }
+  std::span<const T> data() const noexcept { return data_; }
+
+  /// Transposed copy.
+  Dense transposed() const {
+    Dense t(cols_, rows_);
+    for (Index i = 0; i < rows_; ++i) {
+      for (Index j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    }
+    return t;
+  }
+
+  friend bool operator==(const Dense&, const Dense&) = default;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// C = A * B (textbook ikj GEMM; shapes validated).
+template <class T>
+Dense<T> matmul(const Dense<T>& a, const Dense<T>& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape");
+  Dense<T> c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (Index j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+/// C = alpha * A + beta * B, elementwise; shapes must match.
+template <class T>
+Dense<T> lincomb(T alpha, const Dense<T>& a, T beta, const Dense<T>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("lincomb: shape");
+  }
+  Dense<T> c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.data().size(); ++i) {
+    c.data()[i] = alpha * a.data()[i] + beta * b.data()[i];
+  }
+  return c;
+}
+
+/// Frobenius norm.
+template <class T>
+double fro_norm(const Dense<T>& a) {
+  double s = 0.0;
+  for (T v : a.data()) s += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(s);
+}
+
+/// Frobenius norm of (a - b).
+template <class T>
+double fro_diff(const Dense<T>& a, const Dense<T>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("fro_diff: shape");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) -
+                     static_cast<double>(b.data()[i]);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+/// Max row sum: ||A||_inf style norm used to scale the Newton-Schulz
+/// starting iterate (Algorithm 4's ||A_row||).
+template <class T>
+double max_row_sum(const Dense<T>& a) {
+  double best = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (T v : a.row(i)) s += std::abs(static_cast<double>(v));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+/// Max column sum (||A||_1 style; Algorithm 4's ||A_col||).
+template <class T>
+double max_col_sum(const Dense<T>& a) {
+  std::vector<double> sums(static_cast<std::size_t>(a.cols()), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto r = a.row(i);
+    for (Index j = 0; j < a.cols(); ++j) {
+      sums[static_cast<std::size_t>(j)] += std::abs(static_cast<double>(r[j]));
+    }
+  }
+  double best = 0.0;
+  for (double s : sums) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace graphulo::la

@@ -1,0 +1,120 @@
+#pragma once
+// SpEWiseX and eWiseAdd: element-wise sparse ops.
+//
+// eWiseMult (the paper's SpEWiseX) works on the *intersection* of the
+// two patterns; eWiseAdd on the *union*. Section II observes that
+// "addition of two arrays represents a union, and multiplication
+// represents a correlation" — these two kernels are that statement.
+
+#include <stdexcept>
+#include <vector>
+
+#include "la/semiring.hpp"
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// C(i,j) = op(A(i,j), B(i,j)) wherever BOTH are stored (pattern
+/// intersection). Entries that evaluate to `zero` are dropped.
+template <class T, class Op>
+SpMat<T> ewise_mult(const SpMat<T>& a, const SpMat<T>& b, Op op, T zero = T{}) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("ewise_mult: shape mismatch");
+  }
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<Index> cols;
+  std::vector<T> vals;
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto ac = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    const auto bc = b.row_cols(i);
+    const auto bv = b.row_vals(i);
+    std::size_t p = 0, q = 0;
+    while (p < ac.size() && q < bc.size()) {
+      if (ac[p] < bc[q]) {
+        ++p;
+      } else if (ac[p] > bc[q]) {
+        ++q;
+      } else {
+        const T v = op(av[p], bv[q]);
+        if (v != zero) {
+          cols.push_back(ac[p]);
+          vals.push_back(v);
+        }
+        ++p;
+        ++q;
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<Offset>(cols.size());
+  }
+  return SpMat<T>::from_csr(a.rows(), a.cols(), std::move(row_ptr),
+                            std::move(cols), std::move(vals));
+}
+
+/// C(i,j) = A(i,j) op B(i,j) over the pattern *union*; where only one
+/// operand is stored its value passes through unchanged (op applied with
+/// the implicit `zero` would change semantics for non-monoid ops, so the
+/// single-operand case copies, which matches GraphBLAS eWiseAdd).
+template <class T, class Op>
+SpMat<T> ewise_add(const SpMat<T>& a, const SpMat<T>& b, Op op, T zero = T{}) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("ewise_add: shape mismatch");
+  }
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<Index> cols;
+  std::vector<T> vals;
+  auto emit = [&](Index c, T v) {
+    if (v != zero) {
+      cols.push_back(c);
+      vals.push_back(v);
+    }
+  };
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto ac = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    const auto bc = b.row_cols(i);
+    const auto bv = b.row_vals(i);
+    std::size_t p = 0, q = 0;
+    while (p < ac.size() || q < bc.size()) {
+      if (q >= bc.size() || (p < ac.size() && ac[p] < bc[q])) {
+        emit(ac[p], av[p]);
+        ++p;
+      } else if (p >= ac.size() || bc[q] < ac[p]) {
+        emit(bc[q], bv[q]);
+        ++q;
+      } else {
+        emit(ac[p], op(av[p], bv[q]));
+        ++p;
+        ++q;
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<Offset>(cols.size());
+  }
+  return SpMat<T>::from_csr(a.rows(), a.cols(), std::move(row_ptr),
+                            std::move(cols), std::move(vals));
+}
+
+/// A + B in ordinary arithmetic.
+template <class T>
+SpMat<T> add(const SpMat<T>& a, const SpMat<T>& b) {
+  return ewise_add(a, b, [](T x, T y) { return x + y; });
+}
+
+/// A - B in ordinary arithmetic.
+template <class T>
+SpMat<T> subtract(const SpMat<T>& a, const SpMat<T>& b) {
+  // Union semantics: entries only in B must be negated, which the
+  // pass-through rule of ewise_add would get wrong; negate B first.
+  SpMat<T> neg = b;
+  for (auto& v : neg.values_mut()) v = -v;
+  return add(a, neg);
+}
+
+/// Hadamard (elementwise) product in ordinary arithmetic.
+template <class T>
+SpMat<T> hadamard(const SpMat<T>& a, const SpMat<T>& b) {
+  return ewise_mult(a, b, [](T x, T y) { return x * y; });
+}
+
+}  // namespace graphulo::la

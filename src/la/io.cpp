@@ -1,0 +1,118 @@
+#include "la/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace graphulo::la {
+
+bool write_matrix_market(const SpMat<double>& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  for (const auto& t : a.to_triples()) {
+    out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.val << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+SpMat<double> read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_matrix_market: cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header)) {
+    throw std::runtime_error("read_matrix_market: empty file");
+  }
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix" ||
+      format != "coordinate") {
+    throw std::runtime_error("read_matrix_market: unsupported header");
+  }
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    throw std::runtime_error("read_matrix_market: unsupported field " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw std::runtime_error("read_matrix_market: unsupported symmetry " +
+                             symmetry);
+  }
+
+  std::string line;
+  // Skip comment lines.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long rows = 0, cols = 0, nnz = 0;
+  if (!(dims >> rows >> cols >> nnz) || rows < 0 || cols < 0) {
+    throw std::runtime_error("read_matrix_market: bad size line");
+  }
+  std::vector<Triple<double>> triples;
+  triples.reserve(static_cast<std::size_t>(nnz));
+  for (long k = 0; k < nnz; ++k) {
+    long i = 0, j = 0;
+    double v = 1.0;
+    if (!(in >> i >> j)) {
+      throw std::runtime_error("read_matrix_market: truncated entries");
+    }
+    if (!pattern && !(in >> v)) {
+      throw std::runtime_error("read_matrix_market: missing value");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw std::runtime_error("read_matrix_market: index out of range");
+    }
+    triples.push_back({static_cast<Index>(i - 1), static_cast<Index>(j - 1), v});
+    if (symmetric && i != j) {
+      triples.push_back(
+          {static_cast<Index>(j - 1), static_cast<Index>(i - 1), v});
+    }
+  }
+  return SpMat<double>::from_triples(static_cast<Index>(rows),
+                                     static_cast<Index>(cols),
+                                     std::move(triples));
+}
+
+bool write_edge_tsv(const SpMat<double>& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const auto& t : a.to_triples()) {
+    out << t.row << '\t' << t.col << '\t' << t.val << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+SpMat<double> read_edge_tsv(const std::string& path, Index n) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_tsv: cannot open " + path);
+  std::vector<Triple<double>> triples;
+  Index max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("read_edge_tsv: bad line: " + line);
+    }
+    ls >> w;  // optional weight
+    if (u < 0 || v < 0) {
+      throw std::runtime_error("read_edge_tsv: negative vertex id");
+    }
+    triples.push_back({static_cast<Index>(u), static_cast<Index>(v), w});
+    max_id = std::max({max_id, static_cast<Index>(u), static_cast<Index>(v)});
+  }
+  const Index dim = n > 0 ? n : max_id + 1;
+  return SpMat<double>::from_triples(dim, dim, std::move(triples));
+}
+
+}  // namespace graphulo::la

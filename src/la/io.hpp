@@ -1,0 +1,29 @@
+#pragma once
+// Sparse matrix file I/O: Matrix Market coordinate format (the standard
+// interchange format for sparse matrices, so graphs from SuiteSparse /
+// SNAP collections can be loaded) and plain TSV edge lists.
+
+#include <string>
+
+#include "la/spmat.hpp"
+
+namespace graphulo::la {
+
+/// Writes A in MatrixMarket coordinate format ("%%MatrixMarket matrix
+/// coordinate real general"). Returns false on I/O failure.
+bool write_matrix_market(const SpMat<double>& a, const std::string& path);
+
+/// Reads a MatrixMarket coordinate file (real or pattern, general or
+/// symmetric — symmetric entries are mirrored). Throws
+/// std::runtime_error on parse errors or unsupported qualifiers.
+SpMat<double> read_matrix_market(const std::string& path);
+
+/// Writes "src<TAB>dst<TAB>weight" lines, one stored entry per line.
+bool write_edge_tsv(const SpMat<double>& a, const std::string& path);
+
+/// Reads a TSV/space-separated edge list ("src dst [weight]"), 0-based
+/// vertex ids; dimension = 1 + max id unless `n` > 0 forces the shape.
+/// Duplicate edges sum. Lines starting with '#' or '%' are comments.
+SpMat<double> read_edge_tsv(const std::string& path, Index n = 0);
+
+}  // namespace graphulo::la

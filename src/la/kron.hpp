@@ -1,0 +1,49 @@
+#pragma once
+// Kronecker product of sparse matrices over a semiring's multiply.
+// The Graph500/R-MAT generator family is defined by iterated Kronecker
+// products of a small seed matrix; gen/rmat.cpp samples that
+// distribution, and this explicit kernel lets tests cross-check small
+// instances against the exact product.
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// C = A (x) B, shape (rowsA*rowsB) x (colsA*colsB), with
+/// C(ia*rowsB + ib, ja*colsB + jb) = mul(A(ia,ja), B(ib,jb)).
+template <class T, class Mul>
+SpMat<T> kron(const SpMat<T>& a, const SpMat<T>& b, Mul mul) {
+  const std::size_t out_rows =
+      static_cast<std::size_t>(a.rows()) * static_cast<std::size_t>(b.rows());
+  const std::size_t out_cols =
+      static_cast<std::size_t>(a.cols()) * static_cast<std::size_t>(b.cols());
+  if (out_rows > static_cast<std::size_t>(std::numeric_limits<Index>::max()) ||
+      out_cols > static_cast<std::size_t>(std::numeric_limits<Index>::max())) {
+    throw std::invalid_argument("kron: result dimension overflows Index");
+  }
+  std::vector<Triple<T>> triples;
+  triples.reserve(static_cast<std::size_t>(a.nnz()) *
+                  static_cast<std::size_t>(b.nnz()));
+  for (const auto& ta : a.to_triples()) {
+    for (const auto& tb : b.to_triples()) {
+      triples.push_back({ta.row * b.rows() + tb.row,
+                         ta.col * b.cols() + tb.col, mul(ta.val, tb.val)});
+    }
+  }
+  return SpMat<T>::from_triples(static_cast<Index>(out_rows),
+                                static_cast<Index>(out_cols),
+                                std::move(triples));
+}
+
+/// Arithmetic Kronecker product.
+template <class T>
+SpMat<T> kron(const SpMat<T>& a, const SpMat<T>& b) {
+  return kron(a, b, [](T x, T y) { return x * y; });
+}
+
+}  // namespace graphulo::la

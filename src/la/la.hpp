@@ -1,0 +1,22 @@
+#pragma once
+// Umbrella header for the sparse linear algebra layer: the GraphBLAS
+// kernel set of the paper (SpGEMM, SpM{Sp}V, SpEWiseX, SpRef, SpAsgn,
+// Scale, Apply, Reduce) plus the structural helpers they compose with.
+
+#include "la/apply.hpp"      // Apply, Scale, Select
+#include "la/dense.hpp"      // dense matrices for NMF factors
+#include "la/ewise.hpp"      // SpEWiseX (intersection) and eWiseAdd (union)
+#include "la/io.hpp"         // Matrix Market / TSV file I/O
+#include "la/kron.hpp"       // Kronecker product
+#include "la/norms.hpp"      // convergence metrics
+#include "la/print.hpp"      // worked-example rendering
+#include "la/reduce.hpp"     // Reduce
+#include "la/semiring.hpp"   // semiring policies
+#include "la/spgemm.hpp"     // SpGEMM
+#include "la/spmat.hpp"      // CSR storage
+#include "la/spmm.hpp"       // sparse*dense products
+#include "la/spmv.hpp"       // SpMV / SpMSpV
+#include "la/spref.hpp"      // SpRef / SpAsgn
+#include "la/spvec.hpp"      // sparse vectors
+#include "la/structure.hpp"  // triu/tril/diag/pattern
+#include "la/types.hpp"

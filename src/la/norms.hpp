@@ -1,0 +1,68 @@
+#pragma once
+// Norms over sparse matrices and dense vectors: convergence tests for
+// the power method (Section III-A), Newton-Schulz (Algorithm 4) and NMF
+// (Algorithms 3/5) all reduce to these.
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "la/ewise.hpp"
+#include "la/spmat.hpp"
+
+namespace graphulo::la {
+
+/// Frobenius norm of a sparse matrix.
+template <class T>
+double fro_norm(const SpMat<T>& a) {
+  double s = 0.0;
+  for (T v : a.values()) {
+    s += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return std::sqrt(s);
+}
+
+/// ||A - B||_F for sparse matrices of equal shape.
+template <class T>
+double fro_diff(const SpMat<T>& a, const SpMat<T>& b) {
+  return fro_norm(subtract(a, b));
+}
+
+/// Euclidean norm of a dense vector.
+template <class T>
+double norm2(const std::vector<T>& x) {
+  double s = 0.0;
+  for (T v : x) s += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(s);
+}
+
+/// Dot product of dense vectors.
+template <class T>
+double dot(const std::vector<T>& x, const std::vector<T>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    s += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return s;
+}
+
+/// Sum of entries of a dense vector.
+template <class T>
+double vec_sum(const std::vector<T>& x) {
+  double s = 0.0;
+  for (T v : x) s += static_cast<double>(v);
+  return s;
+}
+
+/// x / ||x||_2 in place; returns the norm. A zero vector is untouched.
+template <class T>
+double normalize2(std::vector<T>& x) {
+  const double n = norm2(x);
+  if (n > 0.0) {
+    for (auto& v : x) v = static_cast<T>(static_cast<double>(v) / n);
+  }
+  return n;
+}
+
+}  // namespace graphulo::la

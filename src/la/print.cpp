@@ -1,0 +1,72 @@
+#include "la/print.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace graphulo::la {
+
+namespace {
+
+std::string fmt_value(double v, int precision) {
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return buf;
+}
+
+std::string render_grid(const std::vector<std::vector<std::string>>& cells) {
+  std::size_t width = 1;
+  for (const auto& row : cells) {
+    for (const auto& cell : row) width = std::max(width, cell.size());
+  }
+  std::ostringstream out;
+  for (const auto& row : cells) {
+    out << "[ ";
+    for (const auto& cell : row) {
+      out << std::string(width - cell.size(), ' ') << cell << ' ';
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_pretty_string(const SpMat<double>& a, int precision) {
+  std::vector<std::vector<std::string>> cells(
+      static_cast<std::size_t>(a.rows()),
+      std::vector<std::string>(static_cast<std::size_t>(a.cols()), "0"));
+  for (const auto& t : a.to_triples()) {
+    cells[static_cast<std::size_t>(t.row)][static_cast<std::size_t>(t.col)] =
+        fmt_value(t.val, precision);
+  }
+  return render_grid(cells);
+}
+
+std::string to_pretty_string(const Dense<double>& a, int precision) {
+  std::vector<std::vector<std::string>> cells(
+      static_cast<std::size_t>(a.rows()),
+      std::vector<std::string>(static_cast<std::size_t>(a.cols())));
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      cells[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          fmt_value(a(i, j), precision);
+    }
+  }
+  return render_grid(cells);
+}
+
+std::string to_pretty_string(const std::vector<double>& v, int precision) {
+  std::ostringstream out;
+  out << "[ ";
+  for (double x : v) out << fmt_value(x, precision) << ' ';
+  out << "]";
+  return out.str();
+}
+
+}  // namespace graphulo::la

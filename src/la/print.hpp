@@ -1,0 +1,25 @@
+#pragma once
+// Human-readable rendering of small matrices — used by the worked-example
+// benches to print the exact intermediate matrices from the paper's
+// Figures 1 and 2.
+
+#include <string>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/spmat.hpp"
+
+namespace graphulo::la {
+
+/// Renders a sparse matrix densely with aligned columns. Intended for
+/// small matrices (worked examples); `precision` controls float digits,
+/// and integral values print without a decimal point.
+std::string to_pretty_string(const SpMat<double>& a, int precision = 3);
+
+/// Renders a dense matrix with aligned columns.
+std::string to_pretty_string(const Dense<double>& a, int precision = 3);
+
+/// Renders a dense vector on one line.
+std::string to_pretty_string(const std::vector<double>& v, int precision = 3);
+
+}  // namespace graphulo::la

@@ -1,0 +1,70 @@
+#pragma once
+// Reduce: fold the stored entries of each row / each column / the whole
+// matrix with a monoid. Degree centrality (Section III-A) is exactly a
+// row or column Reduce of the adjacency matrix; Algorithm 1's
+// `d = sum(E)` is a column Reduce of the incidence matrix.
+
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// Row reduction: out[i] = fold of row i under `op` starting from `init`.
+/// Rows with no stored entries yield `init`.
+template <class T, class Op>
+std::vector<T> reduce_rows(const SpMat<T>& a, Op op, T init = T{}) {
+  std::vector<T> out(static_cast<std::size_t>(a.rows()), init);
+  for (Index i = 0; i < a.rows(); ++i) {
+    T acc = init;
+    for (T v : a.row_vals(i)) acc = op(acc, v);
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+/// Column reduction: out[j] = fold of column j.
+template <class T, class Op>
+std::vector<T> reduce_cols(const SpMat<T>& a, Op op, T init = T{}) {
+  std::vector<T> out(static_cast<std::size_t>(a.cols()), init);
+  const auto cols = a.col_idx();
+  const auto vals = a.values();
+  for (std::size_t p = 0; p < cols.size(); ++p) {
+    auto& slot = out[static_cast<std::size_t>(cols[p])];
+    slot = op(slot, vals[p]);
+  }
+  return out;
+}
+
+/// Whole-matrix reduction.
+template <class T, class Op>
+T reduce_all(const SpMat<T>& a, Op op, T init = T{}) {
+  T acc = init;
+  for (T v : a.values()) acc = op(acc, v);
+  return acc;
+}
+
+/// Row sums (ordinary +). The paper's `sum(E, 2)`-style reduction.
+template <class T>
+std::vector<T> row_sums(const SpMat<T>& a) {
+  return reduce_rows(a, [](T x, T y) { return x + y; });
+}
+
+/// Column sums (ordinary +). The paper's `d = sum(E)`.
+template <class T>
+std::vector<T> col_sums(const SpMat<T>& a) {
+  return reduce_cols(a, [](T x, T y) { return x + y; });
+}
+
+/// Number of stored entries per row (structure-only degree).
+template <class T>
+std::vector<Index> row_nnz_counts(const SpMat<T>& a) {
+  std::vector<Index> out(static_cast<std::size_t>(a.rows()));
+  for (Index i = 0; i < a.rows(); ++i) {
+    out[static_cast<std::size_t>(i)] = a.row_degree(i);
+  }
+  return out;
+}
+
+}  // namespace graphulo::la

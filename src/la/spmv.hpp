@@ -1,0 +1,101 @@
+#pragma once
+// SpMV and SpMSpV: sparse matrix times (dense | sparse) vector over an
+// arbitrary semiring — the GraphBLAS SpM{Sp}V kernel. All of the
+// paper's centrality metrics (Section III-A) reduce to iterated SpMV;
+// BFS and Bellman-Ford use the sparse-vector form.
+
+#include <stdexcept>
+#include <vector>
+
+#include "la/semiring.hpp"
+#include "la/spmat.hpp"
+#include "la/spvec.hpp"
+#include "util/parallel.hpp"
+
+namespace graphulo::la {
+
+/// y = A (+.x) x with dense x; y is dense (size = rows of A), initialized
+/// to the semiring zero.
+template <SemiringPolicy SR>
+std::vector<typename SR::value_type> spmv(
+    const SpMat<typename SR::value_type>& a,
+    const std::vector<typename SR::value_type>& x,
+    util::ParallelOptions par = {.grain = 4096}) {
+  using T = typename SR::value_type;
+  if (static_cast<Index>(x.size()) != a.cols()) {
+    throw std::invalid_argument("spmv: dimension mismatch");
+  }
+  std::vector<T> y(static_cast<std::size_t>(a.rows()), SR::zero());
+  util::parallel_for_blocked(
+      0, static_cast<std::size_t>(a.rows()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto cols = a.row_cols(static_cast<Index>(i));
+          const auto vals = a.row_vals(static_cast<Index>(i));
+          T acc = SR::zero();
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            acc = SR::add(acc,
+                          SR::mul(vals[p], x[static_cast<std::size_t>(cols[p])]));
+          }
+          y[i] = acc;
+        }
+      },
+      par);
+  return y;
+}
+
+/// y = x^T (+.x) A for dense x (i.e. a column-space product using row
+/// access only); returns a dense vector of size cols(A). This is how a
+/// row-major store multiplies "vector times matrix" without a transpose.
+template <SemiringPolicy SR>
+std::vector<typename SR::value_type> vspm(
+    const std::vector<typename SR::value_type>& x,
+    const SpMat<typename SR::value_type>& a) {
+  using T = typename SR::value_type;
+  if (static_cast<Index>(x.size()) != a.rows()) {
+    throw std::invalid_argument("vspm: dimension mismatch");
+  }
+  std::vector<T> y(static_cast<std::size_t>(a.cols()), SR::zero());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const T xi = x[static_cast<std::size_t>(i)];
+    if (is_zero<SR>(xi)) continue;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      auto& slot = y[static_cast<std::size_t>(cols[p])];
+      slot = SR::add(slot, SR::mul(xi, vals[p]));
+    }
+  }
+  return y;
+}
+
+/// y = x^T (+.x) A with *sparse* x: the SpMSpV kernel. Only rows of A
+/// named by x's nonzeros are touched, so the cost is proportional to the
+/// frontier's out-edges — the property BFS depends on. Returns a sparse
+/// vector of dimension cols(A).
+template <SemiringPolicy SR>
+SpVec<typename SR::value_type> spmspv(
+    const SpVec<typename SR::value_type>& x,
+    const SpMat<typename SR::value_type>& a) {
+  using T = typename SR::value_type;
+  if (x.dim() != a.rows()) {
+    throw std::invalid_argument("spmspv: dimension mismatch");
+  }
+  std::vector<std::pair<Index, T>> products;
+  const auto& xi = x.indices();
+  const auto& xv = x.values();
+  for (std::size_t k = 0; k < xi.size(); ++k) {
+    const Index i = xi[k];
+    const T v = xv[k];
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      products.emplace_back(cols[p], SR::mul(v, vals[p]));
+    }
+  }
+  return SpVec<T>::from_pairs(a.cols(), std::move(products),
+                              [](T p, T q) { return SR::add(p, q); },
+                              SR::zero());
+}
+
+}  // namespace graphulo::la

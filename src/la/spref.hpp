@@ -1,0 +1,136 @@
+#pragma once
+// SpRef / SpAsgn: sparse reference to and assignment of a sub-matrix,
+// i.e. MATLAB's A(rows, cols) read and write. Algorithm 1 uses SpRef
+// heavily: E(x, :) extracts the rows of the incidence matrix for the
+// edges being removed, E(xc, :) keeps the complement.
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// B = A(rows, cols). `rows` and `cols` are index lists (need not be
+/// sorted; duplicates allowed, exactly like MATLAB indexing). The result
+/// has shape |rows| x |cols| with B(i, j) = A(rows[i], cols[j]).
+template <class T>
+SpMat<T> spref(const SpMat<T>& a, const std::vector<Index>& rows,
+               const std::vector<Index>& cols) {
+  for (Index r : rows) {
+    if (r < 0 || r >= a.rows()) throw std::out_of_range("spref: row index");
+  }
+  // Column renumbering: old column -> list of new positions.
+  std::vector<std::vector<Index>> col_map(static_cast<std::size_t>(a.cols()));
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (cols[j] < 0 || cols[j] >= a.cols()) {
+      throw std::out_of_range("spref: col index");
+    }
+    col_map[static_cast<std::size_t>(cols[j])].push_back(static_cast<Index>(j));
+  }
+
+  std::vector<Triple<T>> triples;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto rc = a.row_cols(rows[i]);
+    const auto rv = a.row_vals(rows[i]);
+    for (std::size_t p = 0; p < rc.size(); ++p) {
+      for (Index new_col : col_map[static_cast<std::size_t>(rc[p])]) {
+        triples.push_back({static_cast<Index>(i), new_col, rv[p]});
+      }
+    }
+  }
+  return SpMat<T>::from_triples(static_cast<Index>(rows.size()),
+                                static_cast<Index>(cols.size()),
+                                std::move(triples));
+}
+
+/// B = A(rows, :) — row subset, all columns.
+template <class T>
+SpMat<T> spref_rows(const SpMat<T>& a, const std::vector<Index>& rows) {
+  std::vector<Offset> row_ptr(rows.size() + 1, 0);
+  std::vector<Index> cols;
+  std::vector<T> vals;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] < 0 || rows[i] >= a.rows()) {
+      throw std::out_of_range("spref_rows: row index");
+    }
+    const auto rc = a.row_cols(rows[i]);
+    const auto rv = a.row_vals(rows[i]);
+    cols.insert(cols.end(), rc.begin(), rc.end());
+    vals.insert(vals.end(), rv.begin(), rv.end());
+    row_ptr[i + 1] = static_cast<Offset>(cols.size());
+  }
+  return SpMat<T>::from_csr(static_cast<Index>(rows.size()), a.cols(),
+                            std::move(row_ptr), std::move(cols), std::move(vals));
+}
+
+/// B = A(:, cols) — column subset, all rows.
+template <class T>
+SpMat<T> spref_cols(const SpMat<T>& a, const std::vector<Index>& cols) {
+  std::vector<Index> all_rows(static_cast<std::size_t>(a.rows()));
+  for (Index i = 0; i < a.rows(); ++i) all_rows[static_cast<std::size_t>(i)] = i;
+  return spref(a, all_rows, cols);
+}
+
+/// SpAsgn: C = A with C(rows, cols) = B. `rows`/`cols` must contain no
+/// duplicates (assignment would be ambiguous). Entries of A inside the
+/// (rows x cols) cross-product that B leaves unset are cleared, matching
+/// MATLAB's A(r,c) = B semantics.
+template <class T>
+SpMat<T> spasgn(const SpMat<T>& a, const std::vector<Index>& rows,
+                const std::vector<Index>& cols, const SpMat<T>& b) {
+  if (static_cast<Index>(rows.size()) != b.rows() ||
+      static_cast<Index>(cols.size()) != b.cols()) {
+    throw std::invalid_argument("spasgn: shape of B vs index lists");
+  }
+  std::vector<char> row_sel(static_cast<std::size_t>(a.rows()), 0);
+  std::vector<char> col_sel(static_cast<std::size_t>(a.cols()), 0);
+  for (Index r : rows) {
+    if (r < 0 || r >= a.rows()) throw std::out_of_range("spasgn: row index");
+    if (row_sel[static_cast<std::size_t>(r)]) {
+      throw std::invalid_argument("spasgn: duplicate row index");
+    }
+    row_sel[static_cast<std::size_t>(r)] = 1;
+  }
+  for (Index c : cols) {
+    if (c < 0 || c >= a.cols()) throw std::out_of_range("spasgn: col index");
+    if (col_sel[static_cast<std::size_t>(c)]) {
+      throw std::invalid_argument("spasgn: duplicate col index");
+    }
+    col_sel[static_cast<std::size_t>(c)] = 1;
+  }
+
+  std::vector<Triple<T>> triples;
+  // Keep A entries outside the assigned cross-product.
+  for (const auto& t : a.to_triples()) {
+    if (!(row_sel[static_cast<std::size_t>(t.row)] &&
+          col_sel[static_cast<std::size_t>(t.col)])) {
+      triples.push_back(t);
+    }
+  }
+  // Insert B entries mapped through the index lists.
+  for (const auto& t : b.to_triples()) {
+    triples.push_back({rows[static_cast<std::size_t>(t.row)],
+                       cols[static_cast<std::size_t>(t.col)], t.val});
+  }
+  return SpMat<T>::from_triples(a.rows(), a.cols(), std::move(triples));
+}
+
+/// The complement of an index set within [0, n): the paper's `xc`.
+std::vector<Index> inline complement(const std::vector<Index>& x, Index n) {
+  std::vector<char> in_x(static_cast<std::size_t>(n), 0);
+  for (Index i : x) {
+    if (i < 0 || i >= n) throw std::out_of_range("complement: index");
+    in_x[static_cast<std::size_t>(i)] = 1;
+  }
+  std::vector<Index> xc;
+  xc.reserve(static_cast<std::size_t>(n) - x.size());
+  for (Index i = 0; i < n; ++i) {
+    if (!in_x[static_cast<std::size_t>(i)]) xc.push_back(i);
+  }
+  return xc;
+}
+
+}  // namespace graphulo::la

@@ -1,0 +1,103 @@
+#pragma once
+// Sparse vector: sorted (index, value) pairs. Used as the frontier type
+// by SpMSpV-based traversals (BFS, Bellman-Ford with sparse frontiers).
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// Sparse vector over value type T; indices strictly increasing.
+template <class T>
+class SpVec {
+ public:
+  using value_type = T;
+
+  SpVec() = default;
+
+  /// Empty sparse vector of logical dimension n.
+  explicit SpVec(Index n) : dim_(n) {
+    if (n < 0) throw std::invalid_argument("SpVec: negative dimension");
+  }
+
+  /// Builds from unsorted (index, value) pairs; duplicates combined with
+  /// `combine`, entries equal to `zero` dropped.
+  template <class Combine>
+  static SpVec from_pairs(Index n, std::vector<std::pair<Index, T>> pairs,
+                          Combine combine, T zero = T{}) {
+    SpVec v(n);
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [i, x] : pairs) {
+      if (i < 0 || i >= n) throw std::out_of_range("SpVec::from_pairs");
+      if (!v.idx_.empty() && v.idx_.back() == i) {
+        v.val_.back() = combine(v.val_.back(), x);
+      } else {
+        v.idx_.push_back(i);
+        v.val_.push_back(x);
+      }
+    }
+    // Drop zeros after combining.
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < v.idx_.size(); ++k) {
+      if (v.val_[k] != zero) {
+        v.idx_[out] = v.idx_[k];
+        v.val_[out] = v.val_[k];
+        ++out;
+      }
+    }
+    v.idx_.resize(out);
+    v.val_.resize(out);
+    return v;
+  }
+
+  static SpVec from_pairs(Index n, std::vector<std::pair<Index, T>> pairs) {
+    return from_pairs(n, std::move(pairs), [](T a, T b) { return a + b; });
+  }
+
+  /// Appends an entry; index must exceed the last stored index.
+  void push_back(Index i, T v) {
+    if (i < 0 || i >= dim_ || (!idx_.empty() && idx_.back() >= i)) {
+      throw std::invalid_argument("SpVec::push_back: index order");
+    }
+    idx_.push_back(i);
+    val_.push_back(v);
+  }
+
+  Index dim() const noexcept { return dim_; }
+  std::size_t nnz() const noexcept { return idx_.size(); }
+  bool empty() const noexcept { return idx_.empty(); }
+
+  const std::vector<Index>& indices() const noexcept { return idx_; }
+  const std::vector<T>& values() const noexcept { return val_; }
+  std::vector<T>& values_mut() noexcept { return val_; }
+
+  /// Value at index i, or `zero` if absent. O(log nnz).
+  T at(Index i, T zero = T{}) const {
+    auto it = std::lower_bound(idx_.begin(), idx_.end(), i);
+    if (it == idx_.end() || *it != i) return zero;
+    return val_[static_cast<std::size_t>(it - idx_.begin())];
+  }
+
+  /// Dense copy with `zero` fill.
+  std::vector<T> to_dense(T zero = T{}) const {
+    std::vector<T> dense(static_cast<std::size_t>(dim_), zero);
+    for (std::size_t k = 0; k < idx_.size(); ++k) {
+      dense[static_cast<std::size_t>(idx_[k])] = val_[k];
+    }
+    return dense;
+  }
+
+  friend bool operator==(const SpVec&, const SpVec&) = default;
+
+ private:
+  Index dim_ = 0;
+  std::vector<Index> idx_;
+  std::vector<T> val_;
+};
+
+}  // namespace graphulo::la

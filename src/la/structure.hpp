@@ -1,0 +1,81 @@
+#pragma once
+// Structural helpers: triangular extraction, diagonals, pattern,
+// symmetrization. Algorithm 2 (Jaccard) is built on triu; Algorithm 1
+// (k-truss) on diag; both are expressible as Select/Apply per the paper
+// ("triu(A) = A (x) 1 with f(i,j) keeping i <= j").
+
+#include <stdexcept>
+#include <vector>
+
+#include "la/apply.hpp"
+#include "la/ewise.hpp"
+#include "la/spmat.hpp"
+#include "la/types.hpp"
+
+namespace graphulo::la {
+
+/// Strictly upper-triangular part (k-th superdiagonal and above;
+/// `diag_offset` = 1 excludes the main diagonal, 0 includes it).
+template <class T>
+SpMat<T> triu(const SpMat<T>& a, Index diag_offset = 1) {
+  return select(a, [diag_offset](Index i, Index j, T) {
+    return j - i >= diag_offset;
+  });
+}
+
+/// Lower-triangular counterpart: keeps j - i <= -diag_offset.
+template <class T>
+SpMat<T> tril(const SpMat<T>& a, Index diag_offset = 1) {
+  return select(a, [diag_offset](Index i, Index j, T) {
+    return i - j >= diag_offset;
+  });
+}
+
+/// Main diagonal as a dense vector (square matrices).
+template <class T>
+std::vector<T> diag_vector(const SpMat<T>& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("diag_vector: square");
+  std::vector<T> d(static_cast<std::size_t>(a.rows()), T{});
+  for (Index i = 0; i < a.rows(); ++i) d[static_cast<std::size_t>(i)] = a.at(i, i);
+  return d;
+}
+
+/// Diagonal matrix from a vector: diag(d).
+template <class T>
+SpMat<T> diag_matrix(const std::vector<T>& d) {
+  std::vector<Triple<T>> triples;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i] != T{}) {
+      triples.push_back({static_cast<Index>(i), static_cast<Index>(i), d[i]});
+    }
+  }
+  return SpMat<T>::from_triples(static_cast<Index>(d.size()),
+                                static_cast<Index>(d.size()), std::move(triples));
+}
+
+/// A with its main diagonal removed: the paper's A = E^T E - diag(d).
+template <class T>
+SpMat<T> remove_diag(const SpMat<T>& a) {
+  return select(a, [](Index i, Index j, T) { return i != j; });
+}
+
+/// Pattern of A: every stored entry becomes `one`.
+template <class T>
+SpMat<T> pattern(const SpMat<T>& a, T one = T{1}) {
+  return apply(a, [one](T) { return one; });
+}
+
+/// max(A, A^T) as a pattern — makes a directed graph undirected.
+template <class T>
+SpMat<T> symmetrize(const SpMat<T>& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("symmetrize: square");
+  return ewise_add(a, transpose(a), [](T x, T y) { return x > y ? x : y; });
+}
+
+/// True iff A equals its transpose exactly.
+template <class T>
+bool is_symmetric(const SpMat<T>& a) {
+  return a.rows() == a.cols() && a == transpose(a);
+}
+
+}  // namespace graphulo::la

@@ -1,0 +1,18 @@
+#pragma once
+// Fundamental index types for the sparse linear algebra layer.
+//
+// Indices are 32-bit (a matrix dimension may not exceed ~2.1e9), while
+// row-pointer offsets are 64-bit so that nnz may exceed 2^31. This is
+// the convention used by most GraphBLAS implementations.
+
+#include <cstdint>
+
+namespace graphulo::la {
+
+/// Row/column index.
+using Index = std::int32_t;
+
+/// Offset into the nonzero arrays (CSR row pointers).
+using Offset = std::int64_t;
+
+}  // namespace graphulo::la

@@ -1,0 +1,35 @@
+#include "nosql/batch_writer.hpp"
+
+namespace graphulo::nosql {
+
+BatchWriter::BatchWriter(Instance& instance, std::string table,
+                         std::size_t max_buffer_bytes)
+    : instance_(instance),
+      table_(std::move(table)),
+      max_buffer_bytes_(max_buffer_bytes) {}
+
+BatchWriter::~BatchWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; data loss here means the caller
+    // dropped the writer without flushing after a failure.
+  }
+}
+
+void BatchWriter::add_mutation(Mutation mutation) {
+  buffered_bytes_ += mutation.estimated_bytes();
+  buffer_.push_back(std::move(mutation));
+  if (buffered_bytes_ >= max_buffer_bytes_) flush();
+}
+
+void BatchWriter::flush() {
+  for (const auto& m : buffer_) {
+    instance_.apply(table_, m);
+  }
+  written_ += buffer_.size();
+  buffer_.clear();
+  buffered_bytes_ = 0;
+}
+
+}  // namespace graphulo::nosql

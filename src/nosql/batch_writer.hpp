@@ -1,0 +1,46 @@
+#pragma once
+// Buffered write client, modeled on Accumulo's BatchWriter: mutations
+// accumulate in a client-side buffer and are pushed to the instance when
+// the buffer exceeds a byte threshold, on flush(), or at destruction.
+
+#include <string>
+#include <vector>
+
+#include "nosql/instance.hpp"
+#include "nosql/mutation.hpp"
+
+namespace graphulo::nosql {
+
+class BatchWriter {
+ public:
+  /// Buffers up to `max_buffer_bytes` of mutations before auto-flushing.
+  BatchWriter(Instance& instance, std::string table,
+              std::size_t max_buffer_bytes = 4 << 20);
+
+  /// Flushes remaining mutations. Destruction never throws; errors from
+  /// the final flush are swallowed (call flush() explicitly to observe
+  /// them).
+  ~BatchWriter();
+
+  BatchWriter(const BatchWriter&) = delete;
+  BatchWriter& operator=(const BatchWriter&) = delete;
+
+  /// Queues one mutation.
+  void add_mutation(Mutation mutation);
+
+  /// Pushes every buffered mutation to the instance.
+  void flush();
+
+  /// Mutations pushed so far (after flushes).
+  std::size_t mutations_written() const noexcept { return written_; }
+
+ private:
+  Instance& instance_;
+  std::string table_;
+  std::size_t max_buffer_bytes_;
+  std::size_t buffered_bytes_ = 0;
+  std::vector<Mutation> buffer_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,61 @@
+#include "nosql/codec.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace graphulo::nosql {
+
+std::string encode_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) {  // cannot happen for finite doubles in 64 bytes
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  return std::string(buf, ptr);
+}
+
+std::optional<double> decode_double(const std::string& bytes) {
+  double v = 0.0;
+  const char* first = bytes.data();
+  const char* last = bytes.data() + bytes.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || bytes.empty()) return std::nullopt;
+  return v;
+}
+
+std::string encode_int(std::int64_t v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+std::optional<std::int64_t> decode_int(const std::string& bytes) {
+  std::int64_t v = 0;
+  const char* first = bytes.data();
+  const char* last = bytes.data() + bytes.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last || bytes.empty()) return std::nullopt;
+  return v;
+}
+
+std::string encode_u64_be(std::uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> decode_u64_be(const std::string& bytes) {
+  if (bytes.size() != 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : bytes) {
+    v = (v << 8) | static_cast<unsigned char>(c);
+  }
+  return v;
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,38 @@
+#pragma once
+// Value and key codecs.
+//
+// Values in the store are raw bytes; the Graphulo layers stores numbers
+// in them. Two encodings are provided:
+//   * decimal text ("3.5") — human-readable, what D4M uses; and
+//   * fixed-width big-endian binary — compact, order-preserving for
+//     unsigned integers.
+// Row/column keys that represent vertex indices use zero-padded decimal
+// so lexicographic key order equals numeric order (util::zero_pad).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace graphulo::nosql {
+
+/// Encodes a double as decimal text (shortest round-trip form).
+std::string encode_double(double v);
+
+/// Parses decimal text; std::nullopt on malformed input.
+std::optional<double> decode_double(const std::string& bytes);
+
+/// Encodes an int64 as decimal text.
+std::string encode_int(std::int64_t v);
+
+/// Parses a decimal int64; std::nullopt on malformed input.
+std::optional<std::int64_t> decode_int(const std::string& bytes);
+
+/// 8-byte big-endian encoding of an unsigned integer; lexicographic
+/// order of the encodings equals numeric order.
+std::string encode_u64_be(std::uint64_t v);
+
+/// Decodes an 8-byte big-endian unsigned integer; nullopt if the input
+/// is not exactly 8 bytes.
+std::optional<std::uint64_t> decode_u64_be(const std::string& bytes);
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,73 @@
+#include "nosql/combiner.hpp"
+
+#include <algorithm>
+
+#include "nosql/codec.hpp"
+
+namespace graphulo::nosql {
+
+CombinerIterator::CombinerIterator(IterPtr source, Reducer reduce,
+                                   std::set<std::string> families)
+    : source_(std::move(source)),
+      reduce_(std::move(reduce)),
+      families_(std::move(families)) {}
+
+void CombinerIterator::seek(const Range& range) {
+  source_->seek(range);
+  load_group();
+}
+
+void CombinerIterator::next() { load_group(); }
+
+void CombinerIterator::load_group() {
+  if (!source_->has_top()) {
+    have_top_ = false;
+    return;
+  }
+  top_key_ = source_->top_key();
+  top_value_ = source_->top_value();
+  source_->next();
+  const bool combinable =
+      families_.empty() || families_.count(top_key_.family) > 0;
+  if (!combinable) {
+    have_top_ = true;
+    return;
+  }
+  // Fold every remaining version of this cell (they are adjacent in key
+  // order). The combined cell keeps the newest timestamp, which is the
+  // first one seen.
+  while (source_->has_top() && source_->top_key().same_cell(top_key_)) {
+    top_value_ = reduce_(top_value_, source_->top_value());
+    source_->next();
+  }
+  have_top_ = true;
+}
+
+CombinerIterator::Reducer sum_double_reducer() {
+  return [](const Value& a, const Value& b) {
+    return encode_double(decode_double(a).value_or(0.0) +
+                         decode_double(b).value_or(0.0));
+  };
+}
+
+CombinerIterator::Reducer sum_int_reducer() {
+  return [](const Value& a, const Value& b) {
+    return encode_int(decode_int(a).value_or(0) + decode_int(b).value_or(0));
+  };
+}
+
+CombinerIterator::Reducer min_double_reducer() {
+  return [](const Value& a, const Value& b) {
+    return encode_double(std::min(decode_double(a).value_or(0.0),
+                                  decode_double(b).value_or(0.0)));
+  };
+}
+
+CombinerIterator::Reducer max_double_reducer() {
+  return [](const Value& a, const Value& b) {
+    return encode_double(std::max(decode_double(a).value_or(0.0),
+                                  decode_double(b).value_or(0.0)));
+  };
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,59 @@
+#pragma once
+// Combiner iterator: folds all versions of a cell into one value — the
+// server-side reduction Graphulo leans on. When TableMult writes partial
+// products C(i,j) += A(i,k)*B(k,j) as separate timestamped puts, a
+// SummingCombiner attached at scan and compaction scope makes the table
+// *be* the accumulated sum, with no client round trip (Sections I-A and
+// IV of the paper).
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "nosql/iterator.hpp"
+
+namespace graphulo::nosql {
+
+/// Folds the (newest-first) version stream of each cell into one cell.
+class CombinerIterator : public SortedKVIterator {
+ public:
+  /// Reduces two encoded values into one.
+  using Reducer = std::function<Value(const Value&, const Value&)>;
+
+  /// `families`: if non-empty, only cells in these column families are
+  /// combined; others pass through unmodified (all versions).
+  CombinerIterator(IterPtr source, Reducer reduce,
+                   std::set<std::string> families = {});
+
+  void seek(const Range& range) override;
+  bool has_top() const override { return have_top_; }
+  const Key& top_key() const override { return top_key_; }
+  const Value& top_value() const override { return top_value_; }
+  void next() override;
+
+ private:
+  void load_group();
+
+  IterPtr source_;
+  Reducer reduce_;
+  std::set<std::string> families_;
+  bool have_top_ = false;
+  Key top_key_;
+  Value top_value_;
+};
+
+/// Reducer over decimal-double encoded values: addition. Malformed
+/// operands are treated as 0 (matching Accumulo's lossy combiners).
+CombinerIterator::Reducer sum_double_reducer();
+
+/// Reducer over decimal-int64 encoded values: addition.
+CombinerIterator::Reducer sum_int_reducer();
+
+/// Reducer over decimal-double encoded values: minimum.
+CombinerIterator::Reducer min_double_reducer();
+
+/// Reducer over decimal-double encoded values: maximum.
+CombinerIterator::Reducer max_double_reducer();
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,113 @@
+#include "nosql/filter_iterators.hpp"
+
+namespace graphulo::nosql {
+
+void DeletingIterator::seek(const Range& range) {
+  have_delete_ = false;
+  WrappingIterator::seek(range);
+  skip_suppressed();
+}
+
+void DeletingIterator::next() {
+  WrappingIterator::next();
+  skip_suppressed();
+}
+
+void DeletingIterator::skip_suppressed() {
+  while (source().has_top()) {
+    const Key& k = source().top_key();
+    if (k.deleted) {
+      // Remember the newest delete for this cell and consume the marker.
+      have_delete_ = true;
+      delete_key_ = k;
+      source().next();
+      continue;
+    }
+    if (have_delete_ && k.same_cell(delete_key_) && k.ts <= delete_key_.ts) {
+      source().next();  // shadowed by the marker
+      continue;
+    }
+    return;
+  }
+}
+
+VersioningIterator::VersioningIterator(IterPtr source, int max_versions)
+    : WrappingIterator(std::move(source)),
+      max_versions_(max_versions < 1 ? 1 : max_versions) {}
+
+void VersioningIterator::seek(const Range& range) {
+  have_cell_ = false;
+  seen_in_cell_ = 0;
+  WrappingIterator::seek(range);
+  skip_excess();
+}
+
+void VersioningIterator::next() {
+  ++seen_in_cell_;
+  WrappingIterator::next();
+  skip_excess();
+}
+
+void VersioningIterator::skip_excess() {
+  while (source().has_top()) {
+    const Key& k = source().top_key();
+    if (!have_cell_ || !k.same_cell(cell_key_)) {
+      have_cell_ = true;
+      cell_key_ = k;
+      seen_in_cell_ = 0;
+      return;
+    }
+    if (seen_in_cell_ < max_versions_) return;
+    source().next();
+  }
+}
+
+FilterIterator::FilterIterator(IterPtr source, Predicate keep)
+    : WrappingIterator(std::move(source)), keep_(std::move(keep)) {}
+
+void FilterIterator::seek(const Range& range) {
+  WrappingIterator::seek(range);
+  skip_rejected();
+}
+
+void FilterIterator::next() {
+  WrappingIterator::next();
+  skip_rejected();
+}
+
+void FilterIterator::skip_rejected() {
+  while (source().has_top() &&
+         !keep_(source().top_key(), source().top_value())) {
+    source().next();
+  }
+}
+
+IterPtr make_column_family_filter(IterPtr source,
+                                  std::set<std::string> families) {
+  return std::make_unique<FilterIterator>(
+      std::move(source),
+      [families = std::move(families)](const Key& k, const Value&) {
+        return families.count(k.family) > 0;
+      });
+}
+
+IterPtr make_timestamp_filter(IterPtr source, Timestamp min_ts,
+                              Timestamp max_ts) {
+  return std::make_unique<FilterIterator>(
+      std::move(source), [min_ts, max_ts](const Key& k, const Value&) {
+        return k.ts >= min_ts && k.ts <= max_ts;
+      });
+}
+
+IterPtr make_grep_iterator(IterPtr source, std::string needle) {
+  return std::make_unique<FilterIterator>(
+      std::move(source),
+      [needle = std::move(needle)](const Key& k, const Value& v) {
+        return k.row.find(needle) != std::string::npos ||
+               k.family.find(needle) != std::string::npos ||
+               k.qualifier.find(needle) != std::string::npos ||
+               v.find(needle) != std::string::npos;
+      });
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,97 @@
+#pragma once
+// Stock server-side iterators: delete handling, versioning, filters, and
+// value transforms. These mirror Accumulo's built-in iterator palette —
+// the machinery Graphulo composes graph analytics from.
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "nosql/iterator.hpp"
+
+namespace graphulo::nosql {
+
+/// Suppresses cells shadowed by delete markers and the markers
+/// themselves. Relies on key order: within a cell, newest first and a
+/// delete sorting before a put of equal timestamp, so a marker at ts T
+/// hides every same-cell version with ts <= T.
+class DeletingIterator : public WrappingIterator {
+ public:
+  explicit DeletingIterator(IterPtr source)
+      : WrappingIterator(std::move(source)) {}
+
+  void seek(const Range& range) override;
+  void next() override;
+
+ private:
+  void skip_suppressed();
+
+  bool have_delete_ = false;
+  Key delete_key_;
+};
+
+/// Keeps only the newest `max_versions` versions of each cell.
+class VersioningIterator : public WrappingIterator {
+ public:
+  explicit VersioningIterator(IterPtr source, int max_versions = 1);
+
+  void seek(const Range& range) override;
+  void next() override;
+
+ private:
+  void skip_excess();
+
+  int max_versions_;
+  int seen_in_cell_ = 0;
+  bool have_cell_ = false;
+  Key cell_key_;
+};
+
+/// Generic predicate filter over (key, value).
+class FilterIterator : public WrappingIterator {
+ public:
+  using Predicate = std::function<bool(const Key&, const Value&)>;
+
+  FilterIterator(IterPtr source, Predicate keep);
+
+  void seek(const Range& range) override;
+  void next() override;
+
+ private:
+  void skip_rejected();
+
+  Predicate keep_;
+};
+
+/// Keeps only cells whose column family is in `families`.
+IterPtr make_column_family_filter(IterPtr source, std::set<std::string> families);
+
+/// Keeps only cells whose timestamp lies in [min_ts, max_ts].
+IterPtr make_timestamp_filter(IterPtr source, Timestamp min_ts, Timestamp max_ts);
+
+/// Accumulo's GrepIterator: keeps cells where `needle` occurs as a
+/// substring of the row, family, qualifier, or value.
+IterPtr make_grep_iterator(IterPtr source, std::string needle);
+
+/// Rewrites the value of every cell: the table-scope Apply kernel.
+/// The transform sees the key too, so positional functions (e.g. the
+/// paper's triu-via-user-defined-Hadamard) are expressible.
+class TransformIterator : public WrappingIterator {
+ public:
+  using Transform = std::function<Value(const Key&, const Value&)>;
+
+  TransformIterator(IterPtr source, Transform fn)
+      : WrappingIterator(std::move(source)), fn_(std::move(fn)) {}
+
+  const Value& top_value() const override {
+    cached_ = fn_(top_key(), WrappingIterator::top_value());
+    return cached_;
+  }
+
+ private:
+  Transform fn_;
+  mutable Value cached_;
+};
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,260 @@
+#include "nosql/instance.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace graphulo::nosql {
+
+Instance::Instance(int num_tablet_servers) {
+  if (num_tablet_servers < 1) {
+    throw std::invalid_argument("Instance: need at least one tablet server");
+  }
+  for (int i = 0; i < num_tablet_servers; ++i) {
+    servers_.push_back(std::make_unique<TabletServer>(i));
+  }
+}
+
+void Instance::create_table(const std::string& name, TableConfig config) {
+  std::unique_lock lock(catalog_mutex_);
+  if (tables_.count(name)) {
+    throw std::invalid_argument("create_table: table exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(config));
+  auto tablet =
+      std::make_shared<Tablet>(TabletExtent{"", ""}, &table->config());
+  const int sid = next_server_;
+  next_server_ = (next_server_ + 1) % static_cast<int>(servers_.size());
+  servers_[static_cast<std::size_t>(sid)]->host(tablet);
+  table->tablets_.push_back(std::move(tablet));
+  table->tablet_server_of_.push_back(sid);
+  tables_.emplace(name, std::move(table));
+  if (wal_) wal_->log_create_table(name);
+}
+
+void Instance::delete_table(const std::string& name) {
+  std::unique_lock lock(catalog_mutex_);
+  if (!tables_.erase(name)) {
+    throw std::invalid_argument("delete_table: no such table: " + name);
+  }
+  if (wal_) wal_->log_delete_table(name);
+}
+
+bool Instance::table_exists(const std::string& name) const {
+  std::shared_lock lock(catalog_mutex_);
+  return tables_.count(name) > 0;
+}
+
+void Instance::clone_table(const std::string& source,
+                           const std::string& target) {
+  std::unique_lock lock(catalog_mutex_);
+  const Table& src = get_table(source);
+  if (tables_.count(target)) {
+    throw std::invalid_argument("clone_table: target exists: " + target);
+  }
+  auto table = std::make_unique<Table>(target, src.config());
+  for (std::size_t i = 0; i < src.tablets().size(); ++i) {
+    const auto& src_tablet = src.tablets()[i];
+    auto tablet = std::make_shared<Tablet>(src_tablet->extent(),
+                                           &table->config());
+    auto stack = src_tablet->raw_stack();
+    for (auto& cell : drain(*stack, Range::all())) {
+      tablet->insert_cell(std::move(cell));
+    }
+    const int sid = next_server_;
+    next_server_ = (next_server_ + 1) % static_cast<int>(servers_.size());
+    servers_[static_cast<std::size_t>(sid)]->host(tablet);
+    table->tablets_.push_back(std::move(tablet));
+    table->tablet_server_of_.push_back(sid);
+  }
+  tables_.emplace(target, std::move(table));
+  // Clones are intentionally NOT journaled: the WAL records the write
+  // history, and a clone introduces no new writes. Re-clone after
+  // recovery if needed.
+}
+
+std::vector<std::string> Instance::table_names() const {
+  std::shared_lock lock(catalog_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [n, t] : tables_) names.push_back(n);
+  return names;
+}
+
+Table& Instance::get_table(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("no such table: " + name);
+  }
+  return *it->second;
+}
+
+const Table& Instance::get_table(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("no such table: " + name);
+  }
+  return *it->second;
+}
+
+TableConfig& Instance::table_config(const std::string& name) {
+  std::shared_lock lock(catalog_mutex_);
+  return get_table(name).config();
+}
+
+void Instance::add_splits(const std::string& name,
+                          std::vector<std::string> split_rows) {
+  std::unique_lock lock(catalog_mutex_);
+  Table& table = get_table(name);
+
+  // Union of existing and new split points.
+  std::set<std::string> splits(split_rows.begin(), split_rows.end());
+  for (const auto& t : table.tablets_) {
+    if (!t->extent().start_row.empty()) splits.insert(t->extent().start_row);
+  }
+
+  // Collect every cell currently stored (raw, preserving versions and
+  // delete markers), then rebuild the tablet set.
+  std::vector<Cell> all_cells;
+  for (const auto& t : table.tablets_) {
+    auto stack = t->raw_stack();
+    auto cells = drain(*stack, Range::all());
+    all_cells.insert(all_cells.end(), cells.begin(), cells.end());
+  }
+  std::sort(all_cells.begin(), all_cells.end(),
+            [](const Cell& a, const Cell& b) { return a.key < b.key; });
+
+  std::vector<std::shared_ptr<Tablet>> tablets;
+  std::vector<int> server_of;
+  std::string prev;
+  auto add_tablet = [&](const std::string& lo, const std::string& hi) {
+    auto tablet =
+        std::make_shared<Tablet>(TabletExtent{lo, hi}, &table.config());
+    const int sid = next_server_;
+    next_server_ = (next_server_ + 1) % static_cast<int>(servers_.size());
+    servers_[static_cast<std::size_t>(sid)]->host(tablet);
+    tablets.push_back(std::move(tablet));
+    server_of.push_back(sid);
+  };
+  for (const auto& s : splits) {
+    add_tablet(prev, s);
+    prev = s;
+  }
+  add_tablet(prev, "");
+
+  // Redistribute the data.
+  std::size_t t_idx = 0;
+  for (auto& cell : all_cells) {
+    while (!tablets[t_idx]->extent().contains_row(cell.key.row)) ++t_idx;
+    tablets[t_idx]->insert_cell(std::move(cell));
+  }
+  table.tablets_ = std::move(tablets);
+  table.tablet_server_of_ = std::move(server_of);
+}
+
+std::vector<std::string> Instance::list_splits(const std::string& name) const {
+  std::shared_lock lock(catalog_mutex_);
+  const Table& table = get_table(name);
+  std::vector<std::string> splits;
+  for (const auto& t : table.tablets_) {
+    if (!t->extent().start_row.empty()) splits.push_back(t->extent().start_row);
+  }
+  return splits;
+}
+
+std::shared_ptr<Tablet> Instance::route_locked(Table& table,
+                                               const std::string& row,
+                                               int* server_id) const {
+  // Tablets are sorted by extent; binary search on start_row.
+  const auto& tablets = table.tablets_;
+  std::size_t lo = 0, hi = tablets.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (!tablets[mid]->extent().start_row.empty() &&
+        row < tablets[mid]->extent().start_row) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  if (server_id) *server_id = table.tablet_server_of_[lo];
+  return tablets[lo];
+}
+
+void Instance::apply(const std::string& name, const Mutation& mutation) {
+  std::shared_lock lock(catalog_mutex_);
+  Table& table = get_table(name);
+  int sid = 0;
+  auto tablet = route_locked(table, mutation.row(), &sid);
+  const Timestamp ts = next_timestamp();
+  if (wal_) wal_->log_mutation(name, mutation, ts);
+  servers_[static_cast<std::size_t>(sid)]->apply(*tablet, mutation, ts);
+}
+
+void Instance::apply_replayed(const std::string& name,
+                              const Mutation& mutation,
+                              Timestamp assigned_ts) {
+  std::shared_lock lock(catalog_mutex_);
+  Table& table = get_table(name);
+  int sid = 0;
+  auto tablet = route_locked(table, mutation.row(), &sid);
+  // Keep the clock ahead of everything replayed so post-recovery writes
+  // sort newer.
+  Timestamp current = clock_.load(std::memory_order_relaxed);
+  while (current < assigned_ts &&
+         !clock_.compare_exchange_weak(current, assigned_ts)) {
+  }
+  servers_[static_cast<std::size_t>(sid)]->apply(*tablet, mutation,
+                                                 assigned_ts);
+}
+
+void Instance::flush(const std::string& name) {
+  std::shared_lock lock(catalog_mutex_);
+  for (const auto& t : get_table(name).tablets_) t->flush();
+}
+
+void Instance::compact(const std::string& name) {
+  std::shared_lock lock(catalog_mutex_);
+  for (const auto& t : get_table(name).tablets_) t->major_compact();
+}
+
+std::vector<std::pair<std::shared_ptr<Tablet>, int>>
+Instance::tablets_for_range(const std::string& name, const Range& range) const {
+  std::shared_lock lock(catalog_mutex_);
+  const Table& table = get_table(name);
+  std::vector<std::pair<std::shared_ptr<Tablet>, int>> out;
+  for (std::size_t i = 0; i < table.tablets_.size(); ++i) {
+    const auto& extent = table.tablets_[i]->extent();
+    if (range.may_intersect_rows(extent.start_row, extent.end_row)) {
+      out.emplace_back(table.tablets_[i], table.tablet_server_of_[i]);
+    }
+  }
+  return out;
+}
+
+std::size_t recover_from_wal(Instance& db, const std::string& path) {
+  return replay_wal(path, [&db](const WalRecord& record) {
+    switch (record.kind) {
+      case WalRecord::Kind::kCreateTable:
+        if (!db.table_exists(record.table)) db.create_table(record.table);
+        break;
+      case WalRecord::Kind::kDeleteTable:
+        if (db.table_exists(record.table)) db.delete_table(record.table);
+        break;
+      case WalRecord::Kind::kMutation:
+        if (db.table_exists(record.table)) {
+          db.apply_replayed(record.table, record.mutation, record.assigned_ts);
+        }
+        break;
+    }
+  });
+}
+
+std::size_t Instance::entry_estimate(const std::string& name) const {
+  std::shared_lock lock(catalog_mutex_);
+  std::size_t total = 0;
+  for (const auto& t : get_table(name).tablets_) total += t->entry_estimate();
+  return total;
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,158 @@
+#pragma once
+// The database instance: table catalog, split management, mutation
+// routing, and the logical timestamp authority — the in-process stand-in
+// for an Accumulo cluster (see DESIGN.md for what this substitution
+// preserves).
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "nosql/mutation.hpp"
+#include "nosql/table_config.hpp"
+#include "nosql/tablet.hpp"
+#include "nosql/tablet_server.hpp"
+#include "nosql/wal.hpp"
+
+namespace graphulo::nosql {
+
+/// One table: config + tablets sorted by extent, each assigned to a
+/// tablet server round-robin.
+class Table {
+ public:
+  Table(std::string name, TableConfig config)
+      : name_(std::move(name)),
+        config_(std::make_unique<TableConfig>(std::move(config))) {}
+
+  const std::string& name() const noexcept { return name_; }
+  TableConfig& config() noexcept { return *config_; }
+  const TableConfig& config() const noexcept { return *config_; }
+
+  /// Tablets in extent order.
+  const std::vector<std::shared_ptr<Tablet>>& tablets() const noexcept {
+    return tablets_;
+  }
+
+ private:
+  friend class Instance;
+
+  std::string name_;
+  std::unique_ptr<TableConfig> config_;  // stable address for tablets
+  std::vector<std::shared_ptr<Tablet>> tablets_;
+  std::vector<int> tablet_server_of_;  ///< parallel to tablets_
+};
+
+class Instance {
+ public:
+  /// Creates an instance with `num_tablet_servers` logical servers.
+  explicit Instance(int num_tablet_servers = 1);
+
+  // -- catalog ------------------------------------------------------------
+
+  /// Creates a table with one tablet covering all rows. Throws if the
+  /// name exists.
+  void create_table(const std::string& name, TableConfig config = {});
+
+  /// Drops a table. Throws if missing.
+  void delete_table(const std::string& name);
+
+  bool table_exists(const std::string& name) const;
+  std::vector<std::string> table_names() const;
+
+  /// Clones `source` into a new table `target`: same config, same
+  /// splits, same data (versions and delete markers preserved). Like
+  /// Accumulo's clone, the copy is independent afterwards. Clones are
+  /// not WAL-journaled (they add no write history); re-clone after a
+  /// recovery if needed.
+  void clone_table(const std::string& source, const std::string& target);
+
+  /// Mutable table config (attach iterators before/while writing).
+  TableConfig& table_config(const std::string& name);
+
+  // -- splits -------------------------------------------------------------
+
+  /// Adds split points: each named row becomes a tablet boundary. Data
+  /// already written is repartitioned. New tablets are balanced across
+  /// tablet servers round-robin.
+  void add_splits(const std::string& name, std::vector<std::string> split_rows);
+
+  /// Current split points of a table.
+  std::vector<std::string> list_splits(const std::string& name) const;
+
+  // -- writes -------------------------------------------------------------
+
+  /// Applies a mutation, routed to the owning tablet; assigns the next
+  /// logical timestamp to updates without one. Logged to the WAL when
+  /// one is attached.
+  void apply(const std::string& name, const Mutation& mutation);
+
+  /// Applies a mutation with a pre-assigned timestamp and NO WAL write —
+  /// the replay path of crash recovery. Advances the logical clock past
+  /// `assigned_ts`.
+  void apply_replayed(const std::string& name, const Mutation& mutation,
+                      Timestamp assigned_ts);
+
+  // -- durability -----------------------------------------------------------
+
+  /// Attaches a write-ahead log: from now on catalog events and
+  /// mutations are appended to it before being applied.
+  void attach_wal(std::shared_ptr<WriteAheadLog> wal) { wal_ = std::move(wal); }
+
+  /// Flushes the attached WAL (no-op without one).
+  void sync_wal() {
+    if (wal_) wal_->sync();
+  }
+
+  /// Flushes every tablet's memtable (minor compaction).
+  void flush(const std::string& name);
+
+  /// Major-compacts every tablet.
+  void compact(const std::string& name);
+
+  // -- reads --------------------------------------------------------------
+
+  /// The table's tablets whose extents may intersect `range`, in extent
+  /// order, paired with their server ids. Used by Scanner/BatchScanner.
+  std::vector<std::pair<std::shared_ptr<Tablet>, int>> tablets_for_range(
+      const std::string& name, const Range& range) const;
+
+  // -- introspection -------------------------------------------------------
+
+  int tablet_server_count() const noexcept {
+    return static_cast<int>(servers_.size());
+  }
+  TabletServer& server(int id) { return *servers_[static_cast<std::size_t>(id)]; }
+
+  /// Total logical entries stored in a table (pre-versioning estimate).
+  std::size_t entry_estimate(const std::string& name) const;
+
+  /// Next logical timestamp (also advances the clock).
+  Timestamp next_timestamp() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  Table& get_table(const std::string& name);
+  const Table& get_table(const std::string& name) const;
+  std::shared_ptr<Tablet> route_locked(Table& table, const std::string& row,
+                                       int* server_id) const;
+
+  mutable std::shared_mutex catalog_mutex_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::unique_ptr<TabletServer>> servers_;
+  std::atomic<Timestamp> clock_{0};
+  int next_server_ = 0;  ///< round-robin assignment cursor
+  std::shared_ptr<WriteAheadLog> wal_;
+};
+
+/// Crash recovery: replays the WAL at `path` into `db` (normally a
+/// fresh instance). Tables are recreated with default configs —
+/// iterator settings are code, not log records; reattach them after
+/// recovery. Returns the number of records replayed. The WAL is NOT
+/// attached to `db`; attach it explicitly to continue logging.
+std::size_t recover_from_wal(Instance& db, const std::string& path);
+
+}  // namespace graphulo::nosql

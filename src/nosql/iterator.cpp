@@ -1,0 +1,44 @@
+#include "nosql/iterator.hpp"
+
+#include <algorithm>
+
+namespace graphulo::nosql {
+
+void VectorIterator::seek(const Range& range) {
+  const auto& cells = *cells_;
+  auto key_less = [](const Cell& c, const Key& k) { return c.key < k; };
+  if (range.has_start) {
+    auto it = std::lower_bound(cells.begin(), cells.end(), range.start, key_less);
+    // lower_bound lands on the first key >= start; for an exclusive
+    // start bound, skip keys equal to it.
+    while (it != cells.end() && !range.start_inclusive &&
+           it->key == range.start) {
+      ++it;
+    }
+    pos_ = static_cast<std::size_t>(it - cells.begin());
+  } else {
+    pos_ = 0;
+  }
+  if (range.has_end) {
+    auto it = std::lower_bound(cells.begin(), cells.end(), range.end, key_less);
+    while (it != cells.end() && range.end_inclusive && it->key == range.end) {
+      ++it;
+    }
+    limit_ = static_cast<std::size_t>(it - cells.begin());
+  } else {
+    limit_ = cells.size();
+  }
+  if (limit_ < pos_) limit_ = pos_;
+}
+
+std::vector<Cell> drain(SortedKVIterator& it, const Range& range) {
+  std::vector<Cell> out;
+  it.seek(range);
+  while (it.has_top()) {
+    out.push_back({it.top_key(), it.top_value()});
+    it.next();
+  }
+  return out;
+}
+
+}  // namespace graphulo::nosql

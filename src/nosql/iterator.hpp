@@ -1,0 +1,88 @@
+#pragma once
+// The server-side iterator framework — the heart of the Accumulo
+// execution model that Graphulo targets ("use Accumulo server
+// components such as iterators to perform graph analytics", Section
+// I-A).
+//
+// A SortedKVIterator yields cells in key order after a seek(). Iterators
+// stack: filters, versioning, combiners and user analytics iterators all
+// wrap a source iterator and present the same interface, so a scan is
+// just the top of a stack whose bottom merges the tablet's memtable and
+// immutable files. The same stacks run at compaction time, which is how
+// summing combiners keep partial products collapsed on disk.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nosql/key.hpp"
+
+namespace graphulo::nosql {
+
+/// Interface for all sorted key/value iterators.
+class SortedKVIterator {
+ public:
+  virtual ~SortedKVIterator() = default;
+
+  /// Positions the iterator at the first cell inside `range`.
+  virtual void seek(const Range& range) = 0;
+
+  /// True when positioned on a cell.
+  virtual bool has_top() const = 0;
+
+  /// Key of the current cell. Precondition: has_top().
+  virtual const Key& top_key() const = 0;
+
+  /// Value of the current cell. Precondition: has_top().
+  virtual const Value& top_value() const = 0;
+
+  /// Advances to the next cell (possibly exhausting the iterator).
+  virtual void next() = 0;
+};
+
+using IterPtr = std::unique_ptr<SortedKVIterator>;
+
+/// Convenience base for iterators that wrap one source.
+class WrappingIterator : public SortedKVIterator {
+ public:
+  explicit WrappingIterator(IterPtr source) : source_(std::move(source)) {}
+
+  void seek(const Range& range) override { source_->seek(range); }
+  bool has_top() const override { return source_->has_top(); }
+  const Key& top_key() const override { return source_->top_key(); }
+  const Value& top_value() const override { return source_->top_value(); }
+  void next() override { source_->next(); }
+
+ protected:
+  SortedKVIterator& source() { return *source_; }
+  const SortedKVIterator& source() const { return *source_; }
+
+ private:
+  IterPtr source_;
+};
+
+/// Iterator over an in-memory sorted vector of cells (the building block
+/// used by memtable snapshots, RFiles and tests).
+class VectorIterator : public SortedKVIterator {
+ public:
+  /// `cells` must already be sorted by Key.
+  explicit VectorIterator(std::shared_ptr<const std::vector<Cell>> cells)
+      : cells_(std::move(cells)) {}
+
+  void seek(const Range& range) override;
+  bool has_top() const override { return pos_ < limit_; }
+  const Key& top_key() const override { return (*cells_)[pos_].key; }
+  const Value& top_value() const override { return (*cells_)[pos_].value; }
+  void next() override { ++pos_; }
+
+ private:
+  std::shared_ptr<const std::vector<Cell>> cells_;
+  std::size_t pos_ = 0;
+  std::size_t limit_ = 0;
+};
+
+/// Drains an iterator into a vector (test/debug helper; scans of bounded
+/// result size).
+std::vector<Cell> drain(SortedKVIterator& it, const Range& range);
+
+}  // namespace graphulo::nosql

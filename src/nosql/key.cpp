@@ -1,0 +1,142 @@
+#include "nosql/key.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace graphulo::nosql {
+
+std::strong_ordering Key::operator<=>(const Key& other) const noexcept {
+  if (auto c = row.compare(other.row); c != 0) {
+    return c < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (auto c = family.compare(other.family); c != 0) {
+    return c < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (auto c = qualifier.compare(other.qualifier); c != 0) {
+    return c < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (auto c = visibility.compare(other.visibility); c != 0) {
+    return c < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  // Newest first.
+  if (ts != other.ts) {
+    return ts > other.ts ? std::strong_ordering::less
+                         : std::strong_ordering::greater;
+  }
+  // Deletes sort before non-deletes at the same timestamp.
+  if (deleted != other.deleted) {
+    return deleted ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+bool Key::same_cell(const Key& other) const noexcept {
+  return row == other.row && family == other.family &&
+         qualifier == other.qualifier && visibility == other.visibility;
+}
+
+std::string Key::to_string() const {
+  std::ostringstream out;
+  out << row << ' ' << family << ':' << qualifier;
+  if (!visibility.empty()) out << " [" << visibility << ']';
+  out << ' ' << ts;
+  if (deleted) out << " (del)";
+  return out.str();
+}
+
+Range Range::all() { return Range{}; }
+
+Range Range::exact_row(const std::string& row) {
+  return row_range(row, row);
+}
+
+Range Range::row_range(const std::string& start_row,
+                       const std::string& end_row) {
+  Range r;
+  r.has_start = true;
+  r.start = min_key_for_row(start_row);
+  r.start_inclusive = true;
+  r.has_end = true;
+  r.end = key_after_row(end_row);
+  r.end_inclusive = false;
+  return r;
+}
+
+Range Range::prefix(const std::string& row_prefix) {
+  Range r;
+  r.has_start = true;
+  r.start = min_key_for_row(row_prefix);
+  r.start_inclusive = true;
+  // The prefix successor: bump the last byte (append 0xFF-safe approach:
+  // prefix + '\xff'... simplest correct bound is prefix with a 0xFF
+  // sentinel appended repeatedly; we use prefix + char(0xFF) which covers
+  // all practical keys that extend the prefix with bytes < 0xFF, and fall
+  // back to unbounded if the prefix is empty).
+  if (row_prefix.empty()) return all();
+  std::string hi = row_prefix;
+  hi.push_back('\xff');
+  r.has_end = true;
+  r.end = key_after_row(hi);
+  r.end_inclusive = false;
+  return r;
+}
+
+Range Range::at_least_row(const std::string& row) {
+  Range r;
+  r.has_start = true;
+  r.start = min_key_for_row(row);
+  r.start_inclusive = true;
+  return r;
+}
+
+bool Range::contains(const Key& key) const noexcept {
+  if (has_start) {
+    const auto c = key <=> start;
+    if (c < 0 || (c == 0 && !start_inclusive)) return false;
+  }
+  if (has_end) {
+    const auto c = key <=> end;
+    if (c > 0 || (c == 0 && !end_inclusive)) return false;
+  }
+  return true;
+}
+
+bool Range::is_past_end(const Key& key) const noexcept {
+  if (!has_end) return false;
+  const auto c = key <=> end;
+  return c > 0 || (c == 0 && !end_inclusive);
+}
+
+bool Range::may_intersect_rows(const std::string& row_lo,
+                               const std::string& row_hi) const noexcept {
+  // Tablet covers rows in [row_lo, row_hi); empty row_hi = unbounded.
+  if (has_end && !row_lo.empty()) {
+    if (end.row < row_lo) return false;
+    if (end.row == row_lo && !end_inclusive && end == min_key_for_row(row_lo)) {
+      return false;
+    }
+  }
+  if (has_start && !row_hi.empty()) {
+    if (start.row >= row_hi) return false;
+  }
+  return true;
+}
+
+Key min_key_for_row(const std::string& row) {
+  Key k;
+  k.row = row;
+  k.ts = std::numeric_limits<Timestamp>::max();
+  k.deleted = true;  // deletes sort first at equal ts
+  return k;
+}
+
+Key key_after_row(const std::string& row) {
+  Key k;
+  k.row = row;
+  k.row.push_back('\0');
+  k.ts = std::numeric_limits<Timestamp>::max();
+  k.deleted = true;
+  return k;
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,104 @@
+#pragma once
+// The sorted key/value data model of the NoSQL substrate.
+//
+// This mirrors Apache Accumulo's cell model, which the paper identifies
+// as isomorphic to a sparse associative array (Section II): a cell is
+//   (row, column family, column qualifier, visibility, timestamp)
+//     -> value
+// and the table is totally ordered by that key (timestamp descending, so
+// the newest version of a cell is encountered first). Delete markers are
+// part of the key ordering: at equal timestamps a delete sorts before a
+// non-delete so it can suppress it.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphulo::nosql {
+
+/// Cell timestamp (logical clock or wall micros; caller's choice).
+using Timestamp = std::int64_t;
+
+/// Cell value: uninterpreted bytes.
+using Value = std::string;
+
+/// A fully-qualified cell key.
+struct Key {
+  std::string row;
+  std::string family;     ///< column family
+  std::string qualifier;  ///< column qualifier
+  std::string visibility; ///< carried and filterable; not evaluated
+  Timestamp ts = 0;
+  bool deleted = false;   ///< delete marker
+
+  /// Sort order: row, family, qualifier, visibility ascending; ts
+  /// DESCENDING; deletes before non-deletes at the same ts.
+  std::strong_ordering operator<=>(const Key& other) const noexcept;
+  bool operator==(const Key& other) const noexcept = default;
+
+  /// True when two keys name the same logical column (all fields except
+  /// ts and the delete marker).
+  bool same_cell(const Key& other) const noexcept;
+
+  /// Renders "row family:qualifier [vis] ts (del)" for diagnostics.
+  std::string to_string() const;
+};
+
+/// A key/value cell.
+struct Cell {
+  Key key;
+  Value value;
+
+  bool operator==(const Cell& other) const noexcept = default;
+};
+
+/// A half-open-ish scan range [start, end] over keys. Empty optional
+/// bounds mean -infinity / +infinity. Bound keys are compared with the
+/// full Key ordering; the usual pattern is row-only bounds built with
+/// the factory helpers.
+struct Range {
+  bool has_start = false;
+  Key start;            ///< valid when has_start
+  bool start_inclusive = true;
+  bool has_end = false;
+  Key end;              ///< valid when has_end
+  bool end_inclusive = true;
+
+  /// The unbounded range (full table).
+  static Range all();
+
+  /// All cells of one row.
+  static Range exact_row(const std::string& row);
+
+  /// All cells with row in [start_row, end_row] (inclusive both ends).
+  static Range row_range(const std::string& start_row,
+                         const std::string& end_row);
+
+  /// All cells with the given row prefix.
+  static Range prefix(const std::string& row_prefix);
+
+  /// All cells at or after the given row.
+  static Range at_least_row(const std::string& row);
+
+  /// True when `key` lies inside this range.
+  bool contains(const Key& key) const noexcept;
+
+  /// True when `key` is strictly past the end of this range (scan can
+  /// stop).
+  bool is_past_end(const Key& key) const noexcept;
+
+  /// True when the rows [row_lo, row_hi) of a tablet may intersect this
+  /// range (row_hi empty = unbounded tablet).
+  bool may_intersect_rows(const std::string& row_lo,
+                          const std::string& row_hi) const noexcept;
+};
+
+/// The smallest key with the given row (used for seeks).
+Key min_key_for_row(const std::string& row);
+
+/// A key that sorts immediately after every key of `row` (the row
+/// successor: row + '\0').
+Key key_after_row(const std::string& row);
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,40 @@
+#include "nosql/memtable.hpp"
+
+namespace graphulo::nosql {
+
+void Memtable::apply(const Mutation& mutation, Timestamp assigned_ts) {
+  for (const auto& u : mutation.updates()) {
+    Key key;
+    key.row = mutation.row();
+    key.family = u.family;
+    key.qualifier = u.qualifier;
+    key.visibility = u.visibility;
+    key.ts = u.has_ts ? u.ts : assigned_ts;
+    key.deleted = u.deleted;
+    insert(std::move(key), u.deleted ? Value{} : u.value);
+  }
+}
+
+void Memtable::insert(Key key, Value value) {
+  bytes_ += key.row.size() + key.family.size() + key.qualifier.size() +
+            key.visibility.size() + value.size() + sizeof(Key);
+  // Identical keys (same cell, same timestamp, same delete flag)
+  // overwrite: last write wins, as in Accumulo's in-memory map.
+  auto [it, inserted] = cells_.insert_or_assign(std::move(key), std::move(value));
+  (void)it;
+  (void)inserted;
+}
+
+std::shared_ptr<const std::vector<Cell>> Memtable::snapshot() const {
+  auto cells = std::make_shared<std::vector<Cell>>();
+  cells->reserve(cells_.size());
+  for (const auto& [k, v] : cells_) cells->push_back({k, v});
+  return cells;
+}
+
+void Memtable::clear() {
+  cells_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace graphulo::nosql

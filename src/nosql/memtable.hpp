@@ -1,0 +1,42 @@
+#pragma once
+// In-memory sorted write buffer of a tablet. Mutations land here; when
+// the buffer exceeds the table's flush threshold the tablet performs a
+// minor compaction, turning the memtable into an immutable RFile.
+
+#include <map>
+#include <memory>
+
+#include "nosql/iterator.hpp"
+#include "nosql/key.hpp"
+#include "nosql/mutation.hpp"
+
+namespace graphulo::nosql {
+
+/// Sorted in-memory cell buffer.
+class Memtable {
+ public:
+  /// Applies one mutation; updates without an explicit timestamp get
+  /// `assigned_ts`.
+  void apply(const Mutation& mutation, Timestamp assigned_ts);
+
+  /// Inserts one fully-formed cell (used by compactions and tests).
+  void insert(Key key, Value value);
+
+  std::size_t entry_count() const noexcept { return cells_.size(); }
+  std::size_t approximate_bytes() const noexcept { return bytes_; }
+  bool empty() const noexcept { return cells_.empty(); }
+
+  /// Immutable snapshot of the current contents as a sorted cell vector.
+  /// Cost is O(entries); tablets bound memtable size via the flush
+  /// threshold, so snapshots stay cheap relative to scan work.
+  std::shared_ptr<const std::vector<Cell>> snapshot() const;
+
+  /// Clears the buffer (after a flush has persisted the snapshot).
+  void clear();
+
+ private:
+  std::map<Key, Value> cells_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,32 @@
+#include "nosql/merge_iterator.hpp"
+
+namespace graphulo::nosql {
+
+MergeIterator::MergeIterator(std::vector<IterPtr> children)
+    : children_(std::move(children)) {}
+
+void MergeIterator::seek(const Range& range) {
+  for (auto& child : children_) child->seek(range);
+  choose_current();
+}
+
+void MergeIterator::next() {
+  children_[current_]->next();
+  choose_current();
+}
+
+void MergeIterator::choose_current() {
+  // Linear scan over children: tablet scan stacks have only a handful of
+  // sources (1 memtable + O(compaction fan-in) files), so a heap would
+  // not pay for itself.
+  current_ = kNone;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->has_top()) continue;
+    if (current_ == kNone ||
+        children_[i]->top_key() < children_[current_]->top_key()) {
+      current_ = i;
+    }
+  }
+}
+
+}  // namespace graphulo::nosql

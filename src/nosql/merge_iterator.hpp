@@ -1,0 +1,37 @@
+#pragma once
+// Heap-merge of several sorted sources into one sorted stream — the
+// bottom of every tablet scan stack (memtable snapshot + each immutable
+// file) and of every compaction.
+
+#include <vector>
+
+#include "nosql/iterator.hpp"
+
+namespace graphulo::nosql {
+
+/// Merges child iterators by key order. Ties across children are broken
+/// by child index, with LOWER indices first; callers place newer sources
+/// (the memtable) at lower indices so the versioning iterator sees the
+/// newest duplicate first.
+class MergeIterator : public SortedKVIterator {
+ public:
+  explicit MergeIterator(std::vector<IterPtr> children);
+
+  void seek(const Range& range) override;
+  bool has_top() const override { return current_ != kNone; }
+  const Key& top_key() const override { return children_[current_]->top_key(); }
+  const Value& top_value() const override {
+    return children_[current_]->top_value();
+  }
+  void next() override;
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  void choose_current();
+
+  std::vector<IterPtr> children_;
+  std::size_t current_ = kNone;
+};
+
+}  // namespace graphulo::nosql

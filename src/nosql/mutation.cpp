@@ -1,0 +1,46 @@
+#include "nosql/mutation.hpp"
+
+namespace graphulo::nosql {
+
+Mutation& Mutation::put(std::string family, std::string qualifier,
+                        Value value) {
+  ColumnUpdate u;
+  u.family = std::move(family);
+  u.qualifier = std::move(qualifier);
+  u.value = std::move(value);
+  updates_.push_back(std::move(u));
+  return *this;
+}
+
+Mutation& Mutation::put(std::string family, std::string qualifier,
+                        std::string visibility, Timestamp ts, Value value) {
+  ColumnUpdate u;
+  u.family = std::move(family);
+  u.qualifier = std::move(qualifier);
+  u.visibility = std::move(visibility);
+  u.ts = ts;
+  u.has_ts = true;
+  u.value = std::move(value);
+  updates_.push_back(std::move(u));
+  return *this;
+}
+
+Mutation& Mutation::put_delete(std::string family, std::string qualifier) {
+  ColumnUpdate u;
+  u.family = std::move(family);
+  u.qualifier = std::move(qualifier);
+  u.deleted = true;
+  updates_.push_back(std::move(u));
+  return *this;
+}
+
+std::size_t Mutation::estimated_bytes() const noexcept {
+  std::size_t bytes = row_.size() + sizeof(Mutation);
+  for (const auto& u : updates_) {
+    bytes += u.family.size() + u.qualifier.size() + u.visibility.size() +
+             u.value.size() + sizeof(ColumnUpdate);
+  }
+  return bytes;
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,50 @@
+#pragma once
+// Write-path types: a Mutation collects puts/deletes for one row, like
+// Accumulo's Mutation. BatchWriter buffers mutations and routes them to
+// tablets.
+
+#include <string>
+#include <vector>
+
+#include "nosql/key.hpp"
+
+namespace graphulo::nosql {
+
+/// One column update inside a mutation.
+struct ColumnUpdate {
+  std::string family;
+  std::string qualifier;
+  std::string visibility;
+  Timestamp ts = 0;
+  bool has_ts = false;  ///< false -> server assigns a logical timestamp
+  bool deleted = false;
+  Value value;
+};
+
+/// All updates to one row, applied atomically by the owning tablet.
+class Mutation {
+ public:
+  explicit Mutation(std::string row) : row_(std::move(row)) {}
+
+  /// Adds a put of `value` at (family, qualifier).
+  Mutation& put(std::string family, std::string qualifier, Value value);
+
+  /// Adds a put with an explicit visibility and/or timestamp.
+  Mutation& put(std::string family, std::string qualifier,
+                std::string visibility, Timestamp ts, Value value);
+
+  /// Adds a delete marker for (family, qualifier).
+  Mutation& put_delete(std::string family, std::string qualifier);
+
+  const std::string& row() const noexcept { return row_; }
+  const std::vector<ColumnUpdate>& updates() const noexcept { return updates_; }
+
+  /// Approximate serialized size, for writer buffering decisions.
+  std::size_t estimated_bytes() const noexcept;
+
+ private:
+  std::string row_;
+  std::vector<ColumnUpdate> updates_;
+};
+
+}  // namespace graphulo::nosql

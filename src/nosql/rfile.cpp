@@ -1,0 +1,100 @@
+#include "nosql/rfile.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <fstream>
+
+namespace graphulo::nosql {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52464c31;  // "RFL1"
+
+void write_string(std::ofstream& out, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_string(std::ifstream& in, std::string& s) {
+  std::uint32_t len = 0;
+  if (!in.read(reinterpret_cast<char*>(&len), sizeof(len))) return false;
+  s.resize(len);
+  return static_cast<bool>(in.read(s.data(), static_cast<std::streamsize>(len)));
+}
+
+}  // namespace
+
+RFile::RFile(std::vector<Cell> cells) {
+  for (const auto& c : cells) {
+    bytes_ += c.key.row.size() + c.key.family.size() + c.key.qualifier.size() +
+              c.key.visibility.size() + c.value.size() + sizeof(Key);
+  }
+  cells_ = std::make_shared<const std::vector<Cell>>(std::move(cells));
+}
+
+std::shared_ptr<RFile> RFile::from_sorted(std::vector<Cell> cells) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    assert(!(cells[i].key < cells[i - 1].key) && "RFile cells must be sorted");
+  }
+#endif
+  return std::shared_ptr<RFile>(new RFile(std::move(cells)));
+}
+
+IterPtr RFile::iterator() const {
+  return std::make_unique<VectorIterator>(cells_);
+}
+
+bool RFile::write_to(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const auto count = static_cast<std::uint64_t>(cells_->size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& c : *cells_) {
+    write_string(out, c.key.row);
+    write_string(out, c.key.family);
+    write_string(out, c.key.qualifier);
+    write_string(out, c.key.visibility);
+    out.write(reinterpret_cast<const char*>(&c.key.ts), sizeof(c.key.ts));
+    const char del = c.key.deleted ? 1 : 0;
+    out.write(&del, 1);
+    write_string(out, c.value);
+  }
+  return static_cast<bool>(out);
+}
+
+std::shared_ptr<RFile> RFile::read_from(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  std::uint32_t magic = 0;
+  if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic)) ||
+      magic != kMagic) {
+    return nullptr;
+  }
+  std::uint64_t count = 0;
+  if (!in.read(reinterpret_cast<char*>(&count), sizeof(count))) return nullptr;
+  std::vector<Cell> cells;
+  cells.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Cell c;
+    if (!read_string(in, c.key.row) || !read_string(in, c.key.family) ||
+        !read_string(in, c.key.qualifier) ||
+        !read_string(in, c.key.visibility)) {
+      return nullptr;
+    }
+    if (!in.read(reinterpret_cast<char*>(&c.key.ts), sizeof(c.key.ts))) {
+      return nullptr;
+    }
+    char del = 0;
+    if (!in.read(&del, 1)) return nullptr;
+    c.key.deleted = del != 0;
+    if (!read_string(in, c.value)) return nullptr;
+    if (!cells.empty() && c.key < cells.back().key) return nullptr;  // corrupt
+    cells.push_back(std::move(c));
+  }
+  return from_sorted(std::move(cells));
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,51 @@
+#pragma once
+// Immutable sorted run ("RFile", after Accumulo's file format). Produced
+// by minor compactions (memtable flush) and major compactions (merging
+// several files through the compaction iterator stack). Carries a sparse
+// block index for seek; optionally serializable to disk.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nosql/iterator.hpp"
+#include "nosql/key.hpp"
+
+namespace graphulo::nosql {
+
+/// One immutable sorted cell file.
+class RFile {
+ public:
+  /// Builds from sorted cells (asserted in debug; callers are the
+  /// compaction paths which produce sorted output by construction).
+  static std::shared_ptr<RFile> from_sorted(std::vector<Cell> cells);
+
+  std::size_t entry_count() const noexcept { return cells_->size(); }
+  bool empty() const noexcept { return cells_->empty(); }
+
+  /// Smallest / largest key (preconditions: !empty()).
+  const Key& first_key() const { return cells_->front().key; }
+  const Key& last_key() const { return cells_->back().key; }
+
+  /// A fresh iterator over this file's cells.
+  IterPtr iterator() const;
+
+  /// Serializes to a simple length-prefixed binary file. Returns false
+  /// on I/O failure.
+  bool write_to(const std::string& path) const;
+
+  /// Loads a file written by write_to(); nullptr on failure or if the
+  /// content fails validation (unsorted keys, truncation).
+  static std::shared_ptr<RFile> read_from(const std::string& path);
+
+  /// Approximate in-memory footprint in bytes.
+  std::size_t approximate_bytes() const noexcept { return bytes_; }
+
+ private:
+  explicit RFile(std::vector<Cell> cells);
+
+  std::shared_ptr<const std::vector<Cell>> cells_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,161 @@
+#include "nosql/scanner.hpp"
+
+#include <future>
+#include <mutex>
+
+#include "nosql/filter_iterators.hpp"
+#include "nosql/visibility.hpp"
+
+namespace graphulo::nosql {
+
+namespace {
+
+IterPtr wrap_stages(IterPtr stack, const std::set<std::string>& families,
+                    const std::optional<std::set<std::string>>& auths,
+                    const std::vector<ScanIterator>& stages) {
+  if (auths) {
+    // Closest to the data, as Accumulo applies it.
+    stack = make_visibility_filter(std::move(stack), *auths);
+  }
+  if (!families.empty()) {
+    stack = make_column_family_filter(std::move(stack), families);
+  }
+  for (const auto& stage : stages) stack = stage(std::move(stack));
+  return stack;
+}
+
+std::size_t run_scan(SortedKVIterator& stack, const Range& range,
+                     const std::function<void(const Key&, const Value&)>& fn) {
+  std::size_t delivered = 0;
+  stack.seek(range);
+  while (stack.has_top()) {
+    fn(stack.top_key(), stack.top_value());
+    ++delivered;
+    stack.next();
+  }
+  return delivered;
+}
+
+}  // namespace
+
+Scanner::Scanner(Instance& instance, std::string table)
+    : instance_(instance), table_(std::move(table)) {}
+
+Scanner& Scanner::set_range(Range range) {
+  range_ = std::move(range);
+  return *this;
+}
+
+Scanner& Scanner::fetch_column_families(std::set<std::string> families) {
+  families_ = std::move(families);
+  return *this;
+}
+
+Scanner& Scanner::set_authorizations(std::set<std::string> auths) {
+  auths_ = std::move(auths);
+  return *this;
+}
+
+Scanner& Scanner::add_scan_iterator(ScanIterator stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+IterPtr Scanner::build_stack(const std::shared_ptr<Tablet>& tablet,
+                             int server_id) {
+  IterPtr stack = instance_.server(server_id).scan(*tablet);
+  return wrap_stages(std::move(stack), families_, auths_, stages_);
+}
+
+std::size_t Scanner::for_each(
+    const std::function<void(const Key&, const Value&)>& fn) {
+  std::size_t delivered = 0;
+  // Tablets are disjoint and extent-ordered, so scanning them in order
+  // yields globally ordered results.
+  for (auto& [tablet, sid] : instance_.tablets_for_range(table_, range_)) {
+    auto stack = build_stack(tablet, sid);
+    delivered += run_scan(*stack, range_, fn);
+  }
+  return delivered;
+}
+
+std::vector<Cell> Scanner::read_all() {
+  std::vector<Cell> out;
+  for_each([&out](const Key& k, const Value& v) { out.push_back({k, v}); });
+  return out;
+}
+
+BatchScanner::BatchScanner(Instance& instance, std::string table,
+                           util::ThreadPool* pool)
+    : instance_(instance),
+      table_(std::move(table)),
+      pool_(pool ? pool : &util::ThreadPool::global()) {}
+
+BatchScanner& BatchScanner::set_ranges(std::vector<Range> ranges) {
+  ranges_ = std::move(ranges);
+  return *this;
+}
+
+BatchScanner& BatchScanner::fetch_column_families(
+    std::set<std::string> families) {
+  families_ = std::move(families);
+  return *this;
+}
+
+BatchScanner& BatchScanner::set_authorizations(std::set<std::string> auths) {
+  auths_ = std::move(auths);
+  return *this;
+}
+
+BatchScanner& BatchScanner::add_scan_iterator(ScanIterator stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+std::size_t BatchScanner::for_each(
+    const std::function<void(const Key&, const Value&)>& fn) {
+  // One task per (tablet, range) pair.
+  struct Task {
+    std::shared_ptr<Tablet> tablet;
+    int sid;
+    Range range;
+  };
+  std::vector<Task> work;
+  for (const auto& range : ranges_) {
+    for (auto& [tablet, sid] : instance_.tablets_for_range(table_, range)) {
+      work.push_back({tablet, sid, range});
+    }
+  }
+  auto run_one = [this, &fn](const Task& task) -> std::size_t {
+    IterPtr stack = instance_.server(task.sid).scan(*task.tablet);
+    stack = wrap_stages(std::move(stack), families_, auths_, stages_);
+    return run_scan(*stack, task.range, fn);
+  };
+
+  std::size_t delivered = 0;
+  // Run inline when parallelism cannot help (single task or single
+  // worker); this also keeps nested scans on a one-thread pool safe.
+  if (work.size() <= 1 || pool_->size() <= 1) {
+    for (const auto& task : work) delivered += run_one(task);
+    return delivered;
+  }
+  std::vector<std::future<std::size_t>> tasks;
+  tasks.reserve(work.size());
+  for (const auto& task : work) {
+    tasks.push_back(pool_->submit([&run_one, task] { return run_one(task); }));
+  }
+  for (auto& t : tasks) delivered += t.get();
+  return delivered;
+}
+
+std::vector<Cell> BatchScanner::read_all() {
+  std::vector<Cell> out;
+  std::mutex out_mutex;
+  for_each([&](const Key& k, const Value& v) {
+    std::lock_guard lock(out_mutex);
+    out.push_back({k, v});
+  });
+  return out;
+}
+
+}  // namespace graphulo::nosql

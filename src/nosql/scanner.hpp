@@ -1,0 +1,91 @@
+#pragma once
+// Read path: Scanner (ordered, single range) and BatchScanner (multiple
+// ranges, parallel across tablets, unordered delivery) — the Accumulo
+// client read APIs Graphulo drives.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nosql/instance.hpp"
+#include "nosql/iterator.hpp"
+#include "util/threadpool.hpp"
+
+namespace graphulo::nosql {
+
+/// A scan-time iterator stage the client attaches for one scan only
+/// (in addition to the table's configured iterators).
+using ScanIterator = std::function<IterPtr(IterPtr)>;
+
+/// Ordered scan over one range of one table.
+class Scanner {
+ public:
+  Scanner(Instance& instance, std::string table);
+
+  /// Restricts the scan to `range` (default: whole table).
+  Scanner& set_range(Range range);
+
+  /// Keeps only the given column families.
+  Scanner& fetch_column_families(std::set<std::string> families);
+
+  /// Restricts the scan to cells whose visibility expression these
+  /// authorizations satisfy. Without this call no visibility filtering
+  /// happens (the open-trust default of the simulation).
+  Scanner& set_authorizations(std::set<std::string> auths);
+
+  /// Attaches a scan-time iterator (outermost last).
+  Scanner& add_scan_iterator(ScanIterator stage);
+
+  /// Invokes `fn` for every cell in key order. Returns cells delivered.
+  std::size_t for_each(const std::function<void(const Key&, const Value&)>& fn);
+
+  /// Collects all cells (bounded result sets).
+  std::vector<Cell> read_all();
+
+ private:
+  IterPtr build_stack(const std::shared_ptr<Tablet>& tablet, int server_id);
+
+  Instance& instance_;
+  std::string table_;
+  Range range_ = Range::all();
+  std::set<std::string> families_;
+  std::optional<std::set<std::string>> auths_;
+  std::vector<ScanIterator> stages_;
+};
+
+/// Unordered parallel scan over many ranges. Results from different
+/// tablets are delivered concurrently; the callback must be thread-safe
+/// (read_all() handles locking internally).
+class BatchScanner {
+ public:
+  /// `pool` defaults to the process-global pool.
+  BatchScanner(Instance& instance, std::string table,
+               util::ThreadPool* pool = nullptr);
+
+  BatchScanner& set_ranges(std::vector<Range> ranges);
+  BatchScanner& fetch_column_families(std::set<std::string> families);
+  BatchScanner& set_authorizations(std::set<std::string> auths);
+  BatchScanner& add_scan_iterator(ScanIterator stage);
+
+  /// Invokes `fn(key, value)` for every cell of every range; cells of
+  /// one (tablet, range) task arrive in order, tasks interleave
+  /// arbitrarily. `fn` must be thread-safe. Returns cells delivered.
+  std::size_t for_each(const std::function<void(const Key&, const Value&)>& fn);
+
+  /// Collects all cells, unordered.
+  std::vector<Cell> read_all();
+
+ private:
+  Instance& instance_;
+  std::string table_;
+  util::ThreadPool* pool_;
+  std::vector<Range> ranges_ = {Range::all()};
+  std::set<std::string> families_;
+  std::optional<std::set<std::string>> auths_;
+  std::vector<ScanIterator> stages_;
+};
+
+}  // namespace graphulo::nosql

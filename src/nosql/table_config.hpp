@@ -1,0 +1,63 @@
+#pragma once
+// Per-table configuration: LSM tuning knobs and attached server-side
+// iterators, mirroring Accumulo's table properties + iterator settings.
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nosql/iterator.hpp"
+
+namespace graphulo::nosql {
+
+/// Where an attached iterator runs (bitmask).
+enum IteratorScope : unsigned {
+  kScanScope = 1u << 0,   ///< applied to every scan
+  kMincScope = 1u << 1,   ///< applied when flushing the memtable
+  kMajcScope = 1u << 2,   ///< applied when merging files
+  kAllScopes = kScanScope | kMincScope | kMajcScope,
+};
+
+/// One attached iterator: a factory that wraps a source with the
+/// iterator's behaviour. Lower priority runs closer to the data (is
+/// applied first), as in Accumulo.
+struct IteratorSetting {
+  int priority = 20;
+  std::string name;
+  unsigned scopes = kScanScope;
+  std::function<IterPtr(IterPtr)> factory;
+};
+
+/// Table properties.
+struct TableConfig {
+  /// Minor compaction (memtable flush) threshold, in entries.
+  std::size_t flush_entries = 100000;
+  /// Major compaction trigger: merge when a tablet holds this many files.
+  std::size_t compaction_fanin = 10;
+  /// Keep only the newest version of each cell (disable when an attached
+  /// combiner needs to see every version).
+  bool versioning = true;
+  int max_versions = 1;
+  /// Attached server-side iterators.
+  std::vector<IteratorSetting> iterators;
+
+  /// Attaches an iterator; keeps the list sorted by priority.
+  void attach_iterator(IteratorSetting setting) {
+    iterators.push_back(std::move(setting));
+    std::stable_sort(iterators.begin(), iterators.end(),
+                     [](const IteratorSetting& a, const IteratorSetting& b) {
+                       return a.priority < b.priority;
+                     });
+  }
+
+  /// Removes the iterator with the given name; returns whether found.
+  bool remove_iterator(const std::string& name) {
+    const auto before = iterators.size();
+    std::erase_if(iterators,
+                  [&](const IteratorSetting& s) { return s.name == name; });
+    return iterators.size() != before;
+  }
+};
+
+}  // namespace graphulo::nosql

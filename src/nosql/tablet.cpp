@@ -1,0 +1,139 @@
+#include "nosql/tablet.hpp"
+
+#include <stdexcept>
+
+#include "nosql/filter_iterators.hpp"
+#include "nosql/merge_iterator.hpp"
+
+namespace graphulo::nosql {
+
+namespace {
+
+/// Wraps `source` with every attached iterator matching `scope`,
+/// priority order (lowest first = closest to the data).
+IterPtr apply_scope_iterators(IterPtr source, const TableConfig& config,
+                              unsigned scope) {
+  for (const auto& setting : config.iterators) {
+    if (setting.scopes & scope) source = setting.factory(std::move(source));
+  }
+  return source;
+}
+
+/// Runs `stack` to completion over everything and collects the cells.
+std::vector<Cell> drain_all(SortedKVIterator& stack) {
+  return drain(stack, Range::all());
+}
+
+}  // namespace
+
+void Tablet::apply(const Mutation& mutation, Timestamp assigned_ts) {
+  std::lock_guard lock(mutex_);
+  if (!extent_.contains_row(mutation.row())) {
+    throw std::logic_error("Tablet::apply: row outside extent");
+  }
+  memtable_.apply(mutation, assigned_ts);
+  if (memtable_.entry_count() >= config_->flush_entries) {
+    flush_locked();
+    if (files_.size() >= config_->compaction_fanin) major_compact_locked();
+  }
+}
+
+void Tablet::insert_cell(Cell cell) {
+  std::lock_guard lock(mutex_);
+  memtable_.insert(std::move(cell.key), std::move(cell.value));
+  if (memtable_.entry_count() >= config_->flush_entries) {
+    flush_locked();
+    if (files_.size() >= config_->compaction_fanin) major_compact_locked();
+  }
+}
+
+void Tablet::flush() {
+  std::lock_guard lock(mutex_);
+  flush_locked();
+}
+
+void Tablet::flush_locked() {
+  if (memtable_.empty()) return;
+  auto snapshot = memtable_.snapshot();
+  IterPtr stack = std::make_unique<VectorIterator>(snapshot);
+  stack = apply_scope_iterators(std::move(stack), *config_, kMincScope);
+  auto cells = drain_all(*stack);
+  files_.insert(files_.begin(), RFile::from_sorted(std::move(cells)));
+  memtable_.clear();
+  ++minor_compactions_;
+}
+
+void Tablet::major_compact() {
+  std::lock_guard lock(mutex_);
+  flush_locked();
+  major_compact_locked();
+}
+
+void Tablet::major_compact_locked() {
+  // A single file is still rewritten: one-shot majc-scope iterators
+  // (table_apply / table_filter) and delete resolution depend on every
+  // cell passing through the compaction stack.
+  if (files_.empty()) return;
+  std::vector<IterPtr> children;
+  children.reserve(files_.size());
+  for (const auto& f : files_) children.push_back(f->iterator());
+  IterPtr stack = std::make_unique<MergeIterator>(std::move(children));
+  // Full major compaction: deletes are resolved and dropped, versions
+  // collapsed, then majc-scope iterators (e.g. combiners) run.
+  stack = std::make_unique<DeletingIterator>(std::move(stack));
+  if (config_->versioning) {
+    stack = std::make_unique<VersioningIterator>(std::move(stack),
+                                                 config_->max_versions);
+  }
+  stack = apply_scope_iterators(std::move(stack), *config_, kMajcScope);
+  auto cells = drain_all(*stack);
+  files_.clear();
+  files_.push_back(RFile::from_sorted(std::move(cells)));
+  ++major_compactions_;
+}
+
+IterPtr Tablet::merged_sources_locked() const {
+  std::vector<IterPtr> children;
+  children.reserve(files_.size() + 1);
+  // Memtable first: at equal keys the merge prefers lower child indices,
+  // and the memtable holds the newest data.
+  if (!memtable_.empty()) {
+    children.push_back(std::make_unique<VectorIterator>(memtable_.snapshot()));
+  }
+  for (const auto& f : files_) children.push_back(f->iterator());
+  return std::make_unique<MergeIterator>(std::move(children));
+}
+
+IterPtr Tablet::scan_stack() const {
+  std::lock_guard lock(mutex_);
+  IterPtr stack = merged_sources_locked();
+  stack = std::make_unique<DeletingIterator>(std::move(stack));
+  if (config_->versioning) {
+    stack = std::make_unique<VersioningIterator>(std::move(stack),
+                                                 config_->max_versions);
+  }
+  return apply_scope_iterators(std::move(stack), *config_, kScanScope);
+}
+
+IterPtr Tablet::raw_stack() const {
+  std::lock_guard lock(mutex_);
+  return merged_sources_locked();
+}
+
+TabletStats Tablet::stats() const {
+  std::lock_guard lock(mutex_);
+  TabletStats s;
+  s.memtable_entries = memtable_.entry_count();
+  s.file_count = files_.size();
+  for (const auto& f : files_) s.file_entries += f->entry_count();
+  s.minor_compactions = minor_compactions_;
+  s.major_compactions = major_compactions_;
+  return s;
+}
+
+std::size_t Tablet::entry_estimate() const {
+  const auto s = stats();
+  return s.memtable_entries + s.file_entries;
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,97 @@
+#pragma once
+// A tablet: one contiguous row-range shard of a table, consisting of an
+// in-memory write buffer (memtable) plus immutable sorted files, with
+// minor/major compaction — the standard LSM structure Accumulo tablets
+// use. All public methods are thread-safe.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nosql/iterator.hpp"
+#include "nosql/memtable.hpp"
+#include "nosql/mutation.hpp"
+#include "nosql/rfile.hpp"
+#include "nosql/table_config.hpp"
+
+namespace graphulo::nosql {
+
+/// The row interval a tablet covers: [start_row, end_row), where an
+/// empty string means unbounded on that side.
+struct TabletExtent {
+  std::string start_row;  ///< inclusive; "" = -infinity
+  std::string end_row;    ///< exclusive; "" = +infinity
+
+  bool contains_row(const std::string& row) const noexcept {
+    if (!start_row.empty() && row < start_row) return false;
+    if (!end_row.empty() && row >= end_row) return false;
+    return true;
+  }
+};
+
+/// Point-in-time statistics for one tablet.
+struct TabletStats {
+  std::size_t memtable_entries = 0;
+  std::size_t file_count = 0;
+  std::size_t file_entries = 0;
+  std::size_t minor_compactions = 0;
+  std::size_t major_compactions = 0;
+};
+
+class Tablet {
+ public:
+  /// `config` must outlive the tablet (owned by the Table).
+  Tablet(TabletExtent extent, const TableConfig* config)
+      : extent_(std::move(extent)), config_(config) {}
+
+  const TabletExtent& extent() const noexcept { return extent_; }
+
+  /// Applies a mutation whose row must be inside this extent.
+  /// Triggers a minor compaction (flush) when the memtable exceeds the
+  /// configured threshold, and a major compaction when the file count
+  /// reaches the configured fan-in.
+  void apply(const Mutation& mutation, Timestamp assigned_ts);
+
+  /// Inserts one pre-formed cell (compaction/move path).
+  void insert_cell(Cell cell);
+
+  /// Flushes the memtable into a new immutable file through the
+  /// minc-scope iterator stack. No-op when the memtable is empty.
+  void flush();
+
+  /// Merges all files (flushing the memtable first) through the
+  /// majc-scope iterator stack into a single file. Delete markers are
+  /// dropped (full-majority compaction semantics).
+  void major_compact();
+
+  /// Builds a scan stack over a consistent snapshot:
+  /// merge(memtable, files) -> deletes -> versioning -> scan-scope
+  /// attached iterators. The caller may wrap further scan-time
+  /// iterators around the returned stack.
+  IterPtr scan_stack() const;
+
+  /// Snapshot of the raw merged data WITHOUT versioning/scan iterators
+  /// (diagnostics and split).
+  IterPtr raw_stack() const;
+
+  TabletStats stats() const;
+
+  /// Total logical entries (memtable + files, before versioning).
+  std::size_t entry_estimate() const;
+
+ private:
+  IterPtr merged_sources_locked() const;  // requires mutex_ held
+  void flush_locked();
+  void major_compact_locked();
+
+  TabletExtent extent_;
+  const TableConfig* config_;
+  mutable std::mutex mutex_;
+  Memtable memtable_;
+  std::vector<std::shared_ptr<RFile>> files_;  // newest first
+  std::size_t minor_compactions_ = 0;
+  std::size_t major_compactions_ = 0;
+};
+
+}  // namespace graphulo::nosql

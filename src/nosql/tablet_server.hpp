@@ -1,0 +1,67 @@
+#pragma once
+// A logical tablet server: hosts tablets and tracks write/scan traffic.
+// In real Accumulo these are separate processes; here they are in-process
+// shards that give the batch scanner its parallelism domain and the
+// ingest benchmarks their scaling axis.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nosql/tablet.hpp"
+
+namespace graphulo::nosql {
+
+/// Cumulative traffic counters for one server.
+struct ServerStats {
+  std::size_t entries_written = 0;
+  std::size_t mutations_applied = 0;
+  std::size_t scans_started = 0;
+};
+
+class TabletServer {
+ public:
+  explicit TabletServer(int id) : id_(id) {}
+
+  int id() const noexcept { return id_; }
+
+  /// Registers a tablet with this server (called by the Instance when
+  /// tables are created or split).
+  void host(std::shared_ptr<Tablet> tablet) {
+    hosted_.push_back(std::move(tablet));
+  }
+
+  /// Applies a mutation to a hosted tablet, updating traffic counters.
+  void apply(Tablet& tablet, const Mutation& mutation, Timestamp ts) {
+    tablet.apply(mutation, ts);
+    entries_written_.fetch_add(mutation.updates().size(),
+                               std::memory_order_relaxed);
+    mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Builds a scan stack for a hosted tablet, counting the scan.
+  IterPtr scan(const Tablet& tablet) {
+    scans_started_.fetch_add(1, std::memory_order_relaxed);
+    return tablet.scan_stack();
+  }
+
+  const std::vector<std::shared_ptr<Tablet>>& hosted() const noexcept {
+    return hosted_;
+  }
+
+  ServerStats stats() const {
+    return {entries_written_.load(std::memory_order_relaxed),
+            mutations_applied_.load(std::memory_order_relaxed),
+            scans_started_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  int id_;
+  std::vector<std::shared_ptr<Tablet>> hosted_;
+  std::atomic<std::size_t> entries_written_{0};
+  std::atomic<std::size_t> mutations_applied_{0};
+  std::atomic<std::size_t> scans_started_{0};
+};
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,116 @@
+#include "nosql/visibility.hpp"
+
+#include <cctype>
+
+#include "nosql/filter_iterators.hpp"
+
+namespace graphulo::nosql {
+
+namespace {
+
+/// Recursive-descent parser over the grammar
+///   or_expr  := and_expr ('|' and_expr)*
+///   and_expr := primary ('&' primary)*
+///   primary  := label | '(' or_expr ')'
+/// evaluating as it parses. Returns nullopt on syntax errors.
+class VisibilityParser {
+ public:
+  VisibilityParser(const std::string& expr, const std::set<std::string>& auths)
+      : expr_(expr), auths_(auths) {}
+
+  std::optional<bool> parse() {
+    skip_spaces();
+    if (pos_ == expr_.size()) return true;  // empty = public
+    const auto result = parse_or();
+    if (!result) return std::nullopt;
+    skip_spaces();
+    if (pos_ != expr_.size()) return std::nullopt;  // trailing junk
+    return result;
+  }
+
+ private:
+  std::optional<bool> parse_or() {
+    auto left = parse_and();
+    if (!left) return std::nullopt;
+    skip_spaces();
+    while (pos_ < expr_.size() && expr_[pos_] == '|') {
+      ++pos_;
+      const auto right = parse_and();
+      if (!right) return std::nullopt;
+      left = *left || *right;
+      skip_spaces();
+    }
+    return left;
+  }
+
+  std::optional<bool> parse_and() {
+    auto left = parse_primary();
+    if (!left) return std::nullopt;
+    skip_spaces();
+    while (pos_ < expr_.size() && expr_[pos_] == '&') {
+      ++pos_;
+      const auto right = parse_primary();
+      if (!right) return std::nullopt;
+      left = *left && *right;
+      skip_spaces();
+    }
+    return left;
+  }
+
+  std::optional<bool> parse_primary() {
+    skip_spaces();
+    if (pos_ < expr_.size() && expr_[pos_] == '(') {
+      ++pos_;
+      const auto inner = parse_or();
+      if (!inner) return std::nullopt;
+      skip_spaces();
+      if (pos_ >= expr_.size() || expr_[pos_] != ')') return std::nullopt;
+      ++pos_;
+      return inner;
+    }
+    // A label: [A-Za-z0-9_.:-]+
+    const std::size_t start = pos_;
+    while (pos_ < expr_.size() && is_label_char(expr_[pos_])) ++pos_;
+    if (pos_ == start) return std::nullopt;
+    return auths_.count(expr_.substr(start, pos_ - start)) > 0;
+  }
+
+  static bool is_label_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == ':' || c == '-';
+  }
+
+  void skip_spaces() {
+    while (pos_ < expr_.size() &&
+           std::isspace(static_cast<unsigned char>(expr_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& expr_;
+  const std::set<std::string>& auths_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<bool> evaluate_visibility(const std::string& expression,
+                                        const std::set<std::string>& auths) {
+  return VisibilityParser(expression, auths).parse();
+}
+
+bool visibility_is_valid(const std::string& expression) {
+  // Evaluation against the empty auth set exercises the full parse.
+  return evaluate_visibility(expression, {}).has_value();
+}
+
+IterPtr make_visibility_filter(IterPtr source, std::set<std::string> auths) {
+  return std::make_unique<FilterIterator>(
+      std::move(source),
+      [auths = std::move(auths)](const Key& k, const Value&) {
+        const auto visible = evaluate_visibility(k.visibility, auths);
+        return visible.value_or(false);  // malformed -> fail closed
+      });
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,29 @@
+#pragma once
+// Column-visibility expressions, Accumulo style: each cell carries a
+// boolean expression over security labels ("admin", "pii&legal",
+// "(a|b)&c"); a scan presents a set of authorizations and sees only
+// cells whose expression it satisfies. '&' binds tighter than '|',
+// parentheses group, and the empty expression is visible to everyone.
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "nosql/iterator.hpp"
+
+namespace graphulo::nosql {
+
+/// Evaluates a visibility expression against an authorization set.
+/// Returns nullopt on a malformed expression (callers treat that as
+/// not visible — fail closed).
+std::optional<bool> evaluate_visibility(const std::string& expression,
+                                        const std::set<std::string>& auths);
+
+/// True when the expression parses. Useful for validating writes.
+bool visibility_is_valid(const std::string& expression);
+
+/// Wraps `source` so only cells whose visibility is satisfied by
+/// `auths` pass (malformed expressions are dropped — fail closed).
+IterPtr make_visibility_filter(IterPtr source, std::set<std::string> auths);
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,174 @@
+#include "nosql/wal.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace graphulo::nosql {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x57414c31;  // "WAL1"
+
+void put_string(std::string& buf, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  buf.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  buf.append(s);
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool get_string(const std::string& buf, std::size_t& pos, std::string& s) {
+  if (pos + sizeof(std::uint32_t) > buf.size()) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf.data() + pos, sizeof(len));
+  pos += sizeof(len);
+  if (pos + len > buf.size()) return false;
+  s.assign(buf, pos, len);
+  pos += len;
+  return true;
+}
+
+bool get_u64(const std::string& buf, std::size_t& pos, std::uint64_t& v) {
+  if (pos + sizeof(v) > buf.size()) return false;
+  std::memcpy(&v, buf.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return true;
+}
+
+/// Serializes a record body (everything after the magic + length).
+std::string encode_body(const WalRecord& record) {
+  std::string body;
+  body.push_back(static_cast<char>(record.kind));
+  put_string(body, record.table);
+  if (record.kind == WalRecord::Kind::kMutation) {
+    put_u64(body, static_cast<std::uint64_t>(record.assigned_ts));
+    put_string(body, record.mutation.row());
+    put_u64(body, record.mutation.updates().size());
+    for (const auto& u : record.mutation.updates()) {
+      put_string(body, u.family);
+      put_string(body, u.qualifier);
+      put_string(body, u.visibility);
+      put_u64(body, static_cast<std::uint64_t>(u.ts));
+      body.push_back(u.has_ts ? 1 : 0);
+      body.push_back(u.deleted ? 1 : 0);
+      put_string(body, u.value);
+    }
+  }
+  return body;
+}
+
+/// Parses a record body; false on any truncation/corruption.
+bool decode_body(const std::string& body, WalRecord& record) {
+  std::size_t pos = 0;
+  if (body.empty()) return false;
+  const auto kind = static_cast<std::uint8_t>(body[pos++]);
+  if (kind < 1 || kind > 3) return false;
+  record.kind = static_cast<WalRecord::Kind>(kind);
+  if (!get_string(body, pos, record.table)) return false;
+  if (record.kind != WalRecord::Kind::kMutation) return pos == body.size();
+
+  std::uint64_t ts = 0;
+  std::string row;
+  std::uint64_t update_count = 0;
+  if (!get_u64(body, pos, ts) || !get_string(body, pos, row) ||
+      !get_u64(body, pos, update_count)) {
+    return false;
+  }
+  record.assigned_ts = static_cast<Timestamp>(ts);
+  Mutation mutation(row);
+  for (std::uint64_t i = 0; i < update_count; ++i) {
+    std::string family, qualifier, visibility, value;
+    std::uint64_t uts = 0;
+    if (!get_string(body, pos, family) || !get_string(body, pos, qualifier) ||
+        !get_string(body, pos, visibility) || !get_u64(body, pos, uts)) {
+      return false;
+    }
+    if (pos + 2 > body.size()) return false;
+    const bool has_ts = body[pos++] != 0;
+    const bool deleted = body[pos++] != 0;
+    if (!get_string(body, pos, value)) return false;
+    if (deleted) {
+      mutation.put_delete(std::move(family), std::move(qualifier));
+    } else if (has_ts) {
+      mutation.put(std::move(family), std::move(qualifier),
+                   std::move(visibility), static_cast<Timestamp>(uts),
+                   std::move(value));
+    } else {
+      mutation.put(std::move(family), std::move(qualifier), std::move(value));
+    }
+  }
+  record.mutation = std::move(mutation);
+  return pos == body.size();
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(const std::string& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::app) {
+  if (!out_) throw std::runtime_error("WriteAheadLog: cannot open " + path);
+}
+
+void WriteAheadLog::write_record(const WalRecord& record) {
+  const std::string body = encode_body(record);
+  const auto len = static_cast<std::uint32_t>(body.size());
+  std::lock_guard lock(mutex_);
+  out_.write(reinterpret_cast<const char*>(&kRecordMagic),
+             sizeof(kRecordMagic));
+  out_.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out_.write(body.data(), static_cast<std::streamsize>(body.size()));
+}
+
+void WriteAheadLog::log_create_table(const std::string& table) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kCreateTable;
+  r.table = table;
+  write_record(r);
+}
+
+void WriteAheadLog::log_delete_table(const std::string& table) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kDeleteTable;
+  r.table = table;
+  write_record(r);
+}
+
+void WriteAheadLog::log_mutation(const std::string& table,
+                                 const Mutation& mutation,
+                                 Timestamp assigned_ts) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kMutation;
+  r.table = table;
+  r.assigned_ts = assigned_ts;
+  r.mutation = mutation;
+  write_record(r);
+}
+
+void WriteAheadLog::sync() {
+  std::lock_guard lock(mutex_);
+  out_.flush();
+}
+
+std::size_t replay_wal(const std::string& path,
+                       const std::function<void(const WalRecord&)>& apply) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::size_t replayed = 0;
+  while (true) {
+    std::uint32_t magic = 0, len = 0;
+    if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic))) break;
+    if (magic != kRecordMagic) break;  // corruption: stop cleanly
+    if (!in.read(reinterpret_cast<char*>(&len), sizeof(len))) break;
+    std::string body(len, '\0');
+    if (!in.read(body.data(), static_cast<std::streamsize>(len))) break;
+    WalRecord record;
+    if (!decode_body(body, record)) break;
+    apply(record);
+    ++replayed;
+  }
+  return replayed;
+}
+
+}  // namespace graphulo::nosql

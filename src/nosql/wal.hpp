@@ -1,0 +1,64 @@
+#pragma once
+// Write-ahead log: durability for the in-process store. Every catalog
+// event (create/delete table) and every mutation is appended as a
+// length-prefixed record before it is applied; recovery replays the log
+// into a fresh instance. There is no checkpoint/truncation — the log
+// retains the full history (RFiles live in memory in this simulation,
+// so the log is the single durable artifact). Torn tails — a record cut
+// off mid-write by a crash — are detected and ignored.
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "nosql/mutation.hpp"
+
+namespace graphulo::nosql {
+
+/// One replayed log record.
+struct WalRecord {
+  enum class Kind : std::uint8_t {
+    kCreateTable = 1,
+    kDeleteTable = 2,
+    kMutation = 3,
+  };
+  Kind kind;
+  std::string table;
+  Timestamp assigned_ts = 0;  ///< for mutations
+  Mutation mutation{""};      ///< valid when kind == kMutation
+};
+
+/// Append-only log writer (thread-safe).
+class WriteAheadLog {
+ public:
+  /// Opens (appends to) `path`. Throws on I/O failure.
+  explicit WriteAheadLog(const std::string& path);
+
+  void log_create_table(const std::string& table);
+  void log_delete_table(const std::string& table);
+  void log_mutation(const std::string& table, const Mutation& mutation,
+                    Timestamp assigned_ts);
+
+  /// Flushes buffered records to the OS.
+  void sync();
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_record(const WalRecord& record);
+
+  std::string path_;
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+/// Replays a log, invoking `apply` per intact record in order. Returns
+/// the number of records replayed. A torn or corrupt tail terminates
+/// replay cleanly (everything before it is delivered). A missing file
+/// yields 0.
+std::size_t replay_wal(const std::string& path,
+                       const std::function<void(const WalRecord&)>& apply);
+
+}  // namespace graphulo::nosql

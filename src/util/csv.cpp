@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace graphulo::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < columns_; ++c) {
+    if (c) out_ << ',';
+    if (c < row.size()) out_ << escape(row[c]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace graphulo::util

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal CSV emission for experiment outputs. Every figure bench can
+// optionally dump its series as CSV next to the console table so results
+// are machine-readable.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace graphulo::util {
+
+/// Streams rows to a CSV file; fields containing commas, quotes, or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on I/O
+  /// failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row. Short rows are padded with empty fields.
+  void add_row(const std::vector<std::string>& row);
+
+  /// Escapes a single field per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace graphulo::util

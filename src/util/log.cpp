@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/strings.hpp"
+
+namespace graphulo::util {
+
+namespace {
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    if (const char* env = std::getenv("GRAPHULO_LOG")) {
+      return static_cast<int>(parse_log_level(env));
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) noexcept {
+  const std::string lower = to_lower(name);
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace graphulo::util

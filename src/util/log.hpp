@@ -1,0 +1,52 @@
+#pragma once
+// Leveled logging to stderr. Benches run at Warn by default so their
+// stdout tables stay clean; tests can raise verbosity via
+// GRAPHULO_LOG=debug.
+
+#include <sstream>
+#include <string>
+
+namespace graphulo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive); unknown
+/// strings map to kInfo.
+LogLevel parse_log_level(const std::string& name) noexcept;
+
+/// Emits one line: "[LEVEL] message\n" to stderr (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace graphulo::util
+
+#define GRAPHULO_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::graphulo::util::log_level())) \
+    ;                                                                    \
+  else                                                                   \
+    ::graphulo::util::detail::LogLine(level)
+
+#define GRAPHULO_DEBUG GRAPHULO_LOG(::graphulo::util::LogLevel::kDebug)
+#define GRAPHULO_INFO GRAPHULO_LOG(::graphulo::util::LogLevel::kInfo)
+#define GRAPHULO_WARN GRAPHULO_LOG(::graphulo::util::LogLevel::kWarn)
+#define GRAPHULO_ERROR GRAPHULO_LOG(::graphulo::util::LogLevel::kError)

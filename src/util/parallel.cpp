@@ -1,0 +1,42 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace graphulo::util {
+
+void parallel_for_blocked(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          ParallelOptions opts) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t grain = opts.grain == 0 ? 1 : opts.grain;
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+
+  // One block, or nothing to gain from parallelism: run inline.
+  if (n <= grain || pool.size() <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  const std::size_t max_blocks = pool.size() * 4;
+  const std::size_t block =
+      std::max(grain, (n + max_blocks - 1) / max_blocks);
+
+  std::vector<std::future<void>> futures;
+  for (std::size_t lo = begin; lo < end; lo += block) {
+    const std::size_t hi = std::min(end, lo + block);
+    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace graphulo::util

@@ -1,0 +1,72 @@
+#pragma once
+// parallel_for / parallel_reduce over an index range, built on ThreadPool.
+//
+// The iteration space [begin, end) is split into contiguous blocks of at
+// least `grain` indices, one task per block. With a single hardware
+// thread this degrades to a plain loop with no task overhead.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace graphulo::util {
+
+/// Options controlling a parallel loop.
+struct ParallelOptions {
+  /// Minimum indices per task; blocks smaller than this run inline.
+  std::size_t grain = 1024;
+  /// Pool to run on; nullptr selects ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+/// Invokes `body(lo, hi)` over disjoint sub-ranges covering [begin, end).
+/// Blocks until every sub-range completes. Exceptions from body tasks are
+/// rethrown on the calling thread (first one wins).
+void parallel_for_blocked(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          ParallelOptions opts = {});
+
+/// Invokes `body(i)` for each i in [begin, end), parallelized in blocks.
+template <class Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  ParallelOptions opts = {}) {
+  parallel_for_blocked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      opts);
+}
+
+/// Parallel reduction: `partial(lo, hi)` computes a block-local value,
+/// `combine(a, b)` folds block results in block order.
+template <class T, class Partial, class Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T init, Partial&& partial,
+                  Combine&& combine, ParallelOptions opts = {}) {
+  if (begin >= end) return init;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  const std::size_t n = end - begin;
+  const std::size_t grain = opts.grain == 0 ? 1 : opts.grain;
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    blocks.emplace_back(lo, std::min(end, lo + grain));
+  }
+  if (blocks.size() == 1) {
+    return combine(init, partial(begin, end));
+  }
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  std::vector<std::future<T>> futures;
+  futures.reserve(blocks.size());
+  for (auto [lo, hi] : blocks) {
+    futures.push_back(pool.submit([&partial, lo, hi] { return partial(lo, hi); }));
+  }
+  T acc = init;
+  for (auto& f : futures) acc = combine(acc, f.get());
+  (void)n;
+  return acc;
+}
+
+}  // namespace graphulo::util

@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the library (graph generators, NMF
+// initialization, benchmark workloads) draw from these generators so that
+// every experiment is reproducible from a single seed. Xoshiro256** is
+// the workhorse; SplitMix64 seeds it and provides cheap stateless
+// hashing of indices.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace graphulo::util {
+
+/// SplitMix64: tiny, fast generator used for seeding and index hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless hash of a 64-bit value (one SplitMix64 step). Useful for
+/// deterministic per-element randomness without carrying generator state.
+std::uint64_t hash64(std::uint64_t x) noexcept;
+
+/// Xoshiro256**: fast, high-quality 64-bit generator
+/// (Blackman & Vigna). Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions as well.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 of `seed`.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() noexcept;
+
+  /// Jump function: advances the state by 2^128 steps; used to carve
+  /// independent streams for parallel workers.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace graphulo::util

@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace graphulo::util {
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double x : samples) ss += (x - s.mean) * (x - s.mean);
+    s.stdev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  s.p50 = percentile(samples, 0.50);
+  s.p95 = percentile(samples, 0.95);
+  return s;
+}
+
+double geomean(std::span<const double> samples) {
+  if (samples.empty()) throw std::invalid_argument("geomean: empty sample");
+  double log_sum = 0.0;
+  for (double x : samples) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: non-positive sample");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+namespace {
+std::string with_suffix(double value, const char* const* suffixes,
+                        std::size_t n_suffixes, double base) {
+  std::size_t idx = 0;
+  while (value >= base && idx + 1 < n_suffixes) {
+    value /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", value, suffixes[idx]);
+  return buf;
+}
+}  // namespace
+
+std::string human_rate(double per_second) {
+  static const char* kSuffix[] = {"/s", "K/s", "M/s", "G/s"};
+  return with_suffix(per_second, kSuffix, 4, 1000.0);
+}
+
+std::string human_bytes(double bytes) {
+  static const char* kSuffix[] = {" B", " KiB", " MiB", " GiB", " TiB"};
+  return with_suffix(bytes, kSuffix, 5, 1024.0);
+}
+
+}  // namespace graphulo::util

@@ -1,0 +1,38 @@
+#pragma once
+// Summary statistics over benchmark samples.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace graphulo::util {
+
+/// Five-number-style summary of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary. An empty sample yields an all-zero Summary.
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile, q in [0, 1]. Sample must be non-empty.
+double percentile(std::span<const double> samples, double q);
+
+/// Geometric mean; samples must all be positive.
+double geomean(std::span<const double> samples);
+
+/// Formats a throughput (ops/sec) with a human-readable suffix, e.g.
+/// "3.2M/s".
+std::string human_rate(double per_second);
+
+/// Formats a byte count with a binary suffix, e.g. "1.5 MiB".
+std::string human_bytes(double bytes);
+
+}  // namespace graphulo::util

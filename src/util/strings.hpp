@@ -1,0 +1,30 @@
+#pragma once
+// Small string helpers shared by the D4M schema code (which lives and
+// dies by string keys) and the NoSQL key encoding.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphulo::util {
+
+/// Splits `s` on `sep`; empty fields are preserved ("a||b" -> 3 fields).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Zero-pads a non-negative integer to `width` digits, e.g. (7, 4) ->
+/// "0007". Used to build lexicographically sortable numeric keys, the
+/// standard D4M trick for keeping numeric ordering inside a string-sorted
+/// store.
+std::string zero_pad(std::uint64_t value, int width);
+
+/// Lower-cases ASCII characters in place and returns the string.
+std::string to_lower(std::string s);
+
+}  // namespace graphulo::util

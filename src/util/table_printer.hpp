@@ -1,0 +1,43 @@
+#pragma once
+// Aligned console tables for the experiment harnesses. The figure/table
+// benches print the same rows/series the paper reports; this gives them
+// a consistent, readable rendering.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace graphulo::util {
+
+/// Collects rows of string cells and renders them with aligned columns,
+/// a header rule, and an optional title, e.g.
+///
+///   === Table I: algorithm class coverage ===
+///   class                  algorithm     kernels            time_ms
+///   ---------------------  ------------  -----------------  -------
+///   Exploration&Traversal  BFS           SpMSpV,Apply       12.1
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Renders the table to a string.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Renders and writes to stdout.
+  void print(const std::string& title = "") const;
+
+  /// Number of data rows so far.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace graphulo::util

@@ -1,0 +1,73 @@
+#pragma once
+// Fixed-size worker pool used by the parallel GraphBLAS kernels and the
+// NoSQL batch scanner. Tasks are type-erased std::function<void()> jobs;
+// submit() returns a std::future for the task's result.
+//
+// The pool is deliberately simple (single mutex + condition variable).
+// Kernel-level parallelism in this library is coarse-grained (one task
+// per row block / per tablet), so queue contention is negligible.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace graphulo::util {
+
+/// A fixed-size pool of worker threads executing submitted jobs FIFO.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. `num_threads == 0` is
+  /// clamped to 1 so that submit() always makes progress.
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers. Pending tasks are completed before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn(args...)` and returns a future for its result.
+  template <class F, class... Args>
+  auto submit(F&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::forward<F>(fn),
+         ... a = std::forward<Args>(args)]() mutable { return f(a...); });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit on stopped pool");
+      }
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// A process-wide pool sized to the hardware concurrency. Kernels that
+  /// accept no explicit pool use this one.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace graphulo::util

@@ -1,0 +1,37 @@
+#pragma once
+// Zipf-distributed sampling over ranks {0, ..., n-1} with exponent s:
+// P(rank k) proportional to 1 / (k+1)^s.
+//
+// Used by the synthetic tweet generator (word frequencies within a topic
+// follow a Zipf law, as natural-language corpora do) and by skewed
+// database workloads in the ingest benchmarks. Sampling is O(log n) by
+// binary search over the precomputed CDF.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace graphulo::util {
+
+/// Samples ranks from a Zipf(s) distribution over n items.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (s = 0 -> uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::size_t sample(Xoshiro256& rng) const;
+
+  /// Number of items.
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace graphulo::util

@@ -1,0 +1,132 @@
+// Apply / Scale / Select and Reduce kernels.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/apply.hpp"
+#include "la/reduce.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse_int;
+
+TEST(Apply, MapsStoredEntries) {
+  auto a = SpMat<double>::from_triples(2, 2, {{0, 0, 2.0}, {1, 1, -3.0}});
+  auto b = apply(a, [](double v) { return v * v; });
+  EXPECT_EQ(b.at(0, 0), 4.0);
+  EXPECT_EQ(b.at(1, 1), 9.0);
+}
+
+TEST(Apply, DropsResultsEqualToZero) {
+  auto a = SpMat<double>::from_triples(1, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {0, 2, 3.0}});
+  auto b = apply(a, [](double v) { return v == 2.0 ? 1.0 : 0.0; });
+  EXPECT_EQ(b.nnz(), 1);
+  EXPECT_EQ(b.at(0, 1), 1.0);
+}
+
+TEST(Apply, EqualsIndicatorMatchesPaperUsage) {
+  // (R == 2) from Algorithm 1.
+  auto r = SpMat<double>::from_dense(2, 3, std::vector<double>{1, 2, 2, 0, 2, 1});
+  auto ind = equals_indicator(r, 2.0);
+  EXPECT_EQ(ind.to_dense(), (std::vector<double>{0, 1, 1, 0, 1, 0}));
+}
+
+TEST(Scale, MultipliesEveryEntry) {
+  auto a = random_sparse_int(8, 8, 0.4, 101);
+  auto b = scale(a, 3.0);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  for (const auto& t : a.to_triples()) {
+    EXPECT_DOUBLE_EQ(b.at(t.row, t.col), 3.0 * t.val);
+  }
+}
+
+TEST(Scale, ByZeroEmptiesMatrix) {
+  auto a = random_sparse_int(8, 8, 0.4, 102);
+  EXPECT_EQ(scale(a, 0.0).nnz(), 0);
+}
+
+TEST(Select, FiltersByPosition) {
+  auto a = SpMat<double>::from_dense(
+      3, 3, std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  auto diag_only = select(a, [](Index i, Index j, double) { return i == j; });
+  EXPECT_EQ(diag_only.to_dense(),
+            (std::vector<double>{1, 0, 0, 0, 5, 0, 0, 0, 9}));
+}
+
+TEST(Select, FiltersByValue) {
+  auto a = random_sparse_int(10, 10, 0.5, 103);
+  auto big = select(a, [](Index, Index, double v) { return v >= 3.0; });
+  for (const auto& t : big.to_triples()) EXPECT_GE(t.val, 3.0);
+  for (const auto& t : a.to_triples()) {
+    if (t.val >= 3.0) {
+      EXPECT_EQ(big.at(t.row, t.col), t.val);
+    }
+  }
+}
+
+TEST(Reduce, RowSumsMatchDense) {
+  auto a = random_sparse_int(12, 7, 0.3, 104);
+  const auto sums = row_sums(a);
+  const auto ad = a.to_dense();
+  for (Index i = 0; i < 12; ++i) {
+    double ref = 0;
+    for (Index j = 0; j < 7; ++j) ref += ad[static_cast<std::size_t>(i) * 7 + j];
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(i)], ref);
+  }
+}
+
+TEST(Reduce, ColSumsMatchDense) {
+  auto a = random_sparse_int(9, 11, 0.3, 105);
+  const auto sums = col_sums(a);
+  const auto ad = a.to_dense();
+  for (Index j = 0; j < 11; ++j) {
+    double ref = 0;
+    for (Index i = 0; i < 9; ++i) ref += ad[static_cast<std::size_t>(i) * 11 + j];
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(j)], ref);
+  }
+}
+
+TEST(Reduce, CustomMonoidMax) {
+  auto a = SpMat<double>::from_triples(2, 3, {{0, 0, 5.0}, {0, 2, 9.0}, {1, 1, 2.0}});
+  const auto maxes = reduce_rows(
+      a, [](double x, double y) { return std::max(x, y); }, -1.0);
+  EXPECT_EQ(maxes, (std::vector<double>{9.0, 2.0}));
+}
+
+TEST(Reduce, EmptyRowYieldsInit) {
+  SpMat<double> a(3, 3);
+  const auto sums = row_sums(a);
+  EXPECT_EQ(sums, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(Reduce, AllSumsEverything) {
+  auto a = SpMat<double>::from_triples(2, 2, {{0, 0, 1.5}, {1, 1, 2.5}});
+  EXPECT_DOUBLE_EQ(reduce_all(a, [](double x, double y) { return x + y; }), 4.0);
+}
+
+TEST(Reduce, RowNnzCountsDegrees) {
+  auto a = SpMat<double>::from_triples(3, 3, {{0, 0, 1.0}, {0, 1, 1.0}, {2, 2, 1.0}});
+  EXPECT_EQ(row_nnz_counts(a), (std::vector<Index>{2, 0, 1}));
+}
+
+// Apply(Reduce) composition property: sum of squares equals reducing the
+// squared matrix — over a parameter grid.
+class ApplyReduceGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApplyReduceGrid, SumOfSquaresComposition) {
+  auto a = random_sparse_int(20, 20, GetParam(), 106);
+  auto squared = apply(a, [](double v) { return v * v; });
+  const auto via_apply = reduce_all(squared, [](double x, double y) { return x + y; });
+  double direct = 0;
+  for (double v : a.values()) direct += v * v;
+  EXPECT_DOUBLE_EQ(via_apply, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ApplyReduceGrid,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace graphulo::la

@@ -1,0 +1,258 @@
+// Associative arrays: key algebra (union-add, intersection-multiply,
+// correlation), sub-referencing, schemas (adjacency, incidence, D4M).
+
+#include <gtest/gtest.h>
+
+#include "assoc/assoc_array.hpp"
+#include "assoc/schemas.hpp"
+#include "gen/tweets.hpp"
+#include "la/reduce.hpp"
+
+namespace graphulo::assoc {
+namespace {
+
+AssocArray small_array() {
+  return AssocArray::from_entries({{"alice", "bob", 1.0},
+                                   {"alice", "carol", 2.0},
+                                   {"bob", "carol", 3.0}});
+}
+
+TEST(AssocArray, FromEntriesBuildsSortedDictionaries) {
+  auto a = small_array();
+  EXPECT_EQ(a.row_keys(), (std::vector<std::string>{"alice", "bob"}));
+  EXPECT_EQ(a.col_keys(), (std::vector<std::string>{"bob", "carol"}));
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_EQ(a.at("alice", "carol"), 2.0);
+  EXPECT_EQ(a.at("bob", "bob"), 0.0);
+  EXPECT_EQ(a.at("nobody", "bob"), 0.0);
+}
+
+TEST(AssocArray, DuplicateEntriesCombine) {
+  auto a = AssocArray::from_entries({{"r", "c", 1.0}, {"r", "c", 2.5}});
+  EXPECT_EQ(a.at("r", "c"), 3.5);
+  auto mx = AssocArray::from_entries(
+      {{"r", "c", 1.0}, {"r", "c", 2.5}},
+      [](double x, double y) { return std::max(x, y); });
+  EXPECT_EQ(mx.at("r", "c"), 2.5);
+}
+
+TEST(AssocArray, FromMatrixValidates) {
+  auto m = la::SpMat<double>::from_triples(2, 1, {{0, 0, 1.0}});
+  EXPECT_NO_THROW(AssocArray::from_matrix({"a", "b"}, {"x"}, m));
+  EXPECT_THROW(AssocArray::from_matrix({"a"}, {"x"}, m), std::invalid_argument);
+  EXPECT_THROW(AssocArray::from_matrix({"b", "a"}, {"x"}, m),
+               std::invalid_argument);
+  EXPECT_THROW(AssocArray::from_matrix({"a", "a"}, {"x"}, m),
+               std::invalid_argument);
+}
+
+TEST(AssocArray, EntriesRoundTrip) {
+  auto a = small_array();
+  auto rebuilt = AssocArray::from_entries(a.entries());
+  EXPECT_EQ(a, rebuilt);
+}
+
+TEST(AssocArray, AddUnionsKeys) {
+  // Section II-A: summing arrays with disjoint keys unions their
+  // supports.
+  auto a = AssocArray::from_entries({{"r1", "c1", 1.0}});
+  auto b = AssocArray::from_entries({{"r2", "c2", 2.0}});
+  auto c = a.add(b);
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_EQ(c.at("r1", "c1"), 1.0);
+  EXPECT_EQ(c.at("r2", "c2"), 2.0);
+  // Overlapping keys sum.
+  auto d = a.add(AssocArray::from_entries({{"r1", "c1", 5.0}}));
+  EXPECT_EQ(d.at("r1", "c1"), 6.0);
+}
+
+TEST(AssocArray, EwiseMultIntersectsKeys) {
+  auto a = AssocArray::from_entries({{"r", "c1", 2.0}, {"r", "c2", 3.0}});
+  auto b = AssocArray::from_entries({{"r", "c2", 4.0}, {"r", "c3", 5.0}});
+  auto c = a.ewise_mult(b);
+  EXPECT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.at("r", "c2"), 12.0);
+  // Completely disjoint -> empty.
+  auto empty = a.ewise_mult(AssocArray::from_entries({{"z", "z", 1.0}}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(AssocArray, MultiplyCorrelatesOnMatchingKeys) {
+  // docs x terms  times  terms x topics: only shared term keys correlate.
+  auto docs = AssocArray::from_entries(
+      {{"d1", "apple", 1.0}, {"d1", "pear", 1.0}, {"d2", "apple", 2.0}});
+  auto topics = AssocArray::from_entries(
+      {{"apple", "fruit", 1.0}, {"pear", "fruit", 1.0}, {"car", "vehicle", 1.0}});
+  auto c = docs.multiply(topics);
+  EXPECT_EQ(c.at("d1", "fruit"), 2.0);
+  EXPECT_EQ(c.at("d2", "fruit"), 2.0);
+  EXPECT_EQ(c.col_keys(), (std::vector<std::string>{"fruit"}));  // condensed
+}
+
+TEST(AssocArray, MultiplyWithNoSharedKeysIsEmpty) {
+  auto a = AssocArray::from_entries({{"r", "x", 1.0}});
+  auto b = AssocArray::from_entries({{"y", "c", 1.0}});
+  EXPECT_TRUE(a.multiply(b).empty());
+}
+
+TEST(AssocArray, TransposeSwapsKeys) {
+  auto a = small_array();
+  auto t = a.transposed();
+  EXPECT_EQ(t.row_keys(), a.col_keys());
+  EXPECT_EQ(t.at("carol", "alice"), 2.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(AssocArray, ApplyAndScale) {
+  auto a = small_array();
+  auto doubled = a.scale(2.0);
+  EXPECT_EQ(doubled.at("bob", "carol"), 6.0);
+  auto indicator = a.apply([](double v) { return v >= 2.0 ? 1.0 : 0.0; });
+  EXPECT_EQ(indicator.nnz(), 2);
+  EXPECT_EQ(indicator.at("alice", "bob"), 0.0);
+  // Dictionaries condense after the zero-drop: "alice"/"bob" rows remain
+  // because both still hold entries, but scaling by 0 empties everything.
+  EXPECT_TRUE(a.scale(0.0).empty());
+  EXPECT_TRUE(a.scale(0.0).row_keys().empty());
+}
+
+TEST(AssocArray, SelectRowsAndCols) {
+  auto a = small_array();
+  auto rows = a.select_rows({"alice", "nobody"});
+  EXPECT_EQ(rows.row_keys(), (std::vector<std::string>{"alice"}));
+  EXPECT_EQ(rows.nnz(), 2);
+  auto cols = a.select_cols({"carol"});
+  EXPECT_EQ(cols.nnz(), 2);
+  EXPECT_EQ(cols.at("bob", "carol"), 3.0);
+}
+
+TEST(AssocArray, SelectRowRangeAndPrefix) {
+  auto a = AssocArray::from_entries({{"user|ann", "x", 1.0},
+                                     {"user|bob", "x", 2.0},
+                                     {"item|1", "x", 3.0}});
+  auto users = a.select_row_prefix("user|");
+  EXPECT_EQ(users.nnz(), 2);
+  auto range = a.select_row_range("item|0", "item|9");
+  EXPECT_EQ(range.nnz(), 1);
+  EXPECT_EQ(range.at("item|1", "x"), 3.0);
+}
+
+TEST(AssocArray, RowAndColSums) {
+  auto a = small_array();
+  const auto rs = a.row_sums();
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0], (std::pair<std::string, double>{"alice", 3.0}));
+  EXPECT_EQ(rs[1], (std::pair<std::string, double>{"bob", 3.0}));
+  const auto cs = a.col_sums();
+  EXPECT_EQ(cs[0], (std::pair<std::string, double>{"bob", 1.0}));
+  EXPECT_EQ(cs[1], (std::pair<std::string, double>{"carol", 5.0}));
+}
+
+TEST(AssocArray, ToStringListsEntries) {
+  const auto s = small_array().to_string();
+  EXPECT_NE(s.find("(alice, bob) = 1"), std::string::npos);
+  EXPECT_NE(s.find("2x2"), std::string::npos);
+}
+
+TEST(Schemas, AdjacencyDirectedAndUndirected) {
+  const std::vector<LabeledEdge> edges = {{"a", "b", 1.0}, {"b", "c", 2.0}};
+  auto directed = adjacency_schema(edges, false);
+  EXPECT_EQ(directed.at("a", "b"), 1.0);
+  EXPECT_EQ(directed.at("b", "a"), 0.0);
+  auto undirected = adjacency_schema(edges, true);
+  EXPECT_EQ(undirected.at("b", "a"), 1.0);
+  EXPECT_EQ(undirected.at("c", "b"), 2.0);
+}
+
+TEST(Schemas, AdjacencyAccumulatesMultiEdges) {
+  auto a = adjacency_schema({{"a", "b", 1.0}, {"a", "b", 1.0}}, false);
+  EXPECT_EQ(a.at("a", "b"), 2.0);  // A(i,j) = # edges, per Section II-B-1
+}
+
+TEST(Schemas, UnorientedIncidenceMatchesKTrussForm) {
+  const std::vector<LabeledEdge> edges = {{"v1", "v2"}, {"v2", "v3"}};
+  auto e = incidence_schema(edges, false);
+  EXPECT_EQ(e.row_count(), 2u);
+  EXPECT_EQ(e.at("e|000000", "v1"), 1.0);
+  EXPECT_EQ(e.at("e|000000", "v2"), 1.0);
+  EXPECT_EQ(e.at("e|000001", "v3"), 1.0);
+}
+
+TEST(Schemas, OrientedIncidenceSignsDirection) {
+  auto e = incidence_schema({{"src", "dst", 2.0}}, true);
+  EXPECT_EQ(e.at("e|000000", "dst"), 2.0);   // +|e| into v_j
+  EXPECT_EQ(e.at("e|000000", "src"), -2.0);  // -|e| leaving v_j
+}
+
+TEST(Schemas, IncidenceSelfLoopSingleEntry) {
+  auto e = incidence_schema({{"v", "v", 1.0}}, false);
+  EXPECT_EQ(e.nnz(), 1);
+}
+
+TEST(Schemas, D4MExplodeBuildsFourTables) {
+  const std::vector<std::pair<std::string, Record>> records = {
+      {"rec1", {{"color", "red"}, {"size", "big"}}},
+      {"rec2", {{"color", "red"}, {"size", "small"}}},
+  };
+  auto d4m = d4m_explode(records);
+  // Tedge: record x "field|value".
+  EXPECT_EQ(d4m.tedge.at("rec1", "color|red"), 1.0);
+  EXPECT_EQ(d4m.tedge.at("rec2", "size|small"), 1.0);
+  EXPECT_EQ(d4m.tedge.at("rec1", "size|small"), 0.0);
+  // TedgeT is the transpose.
+  EXPECT_EQ(d4m.tedge_t.at("color|red", "rec1"), 1.0);
+  // Tdeg counts records per exploded column.
+  EXPECT_EQ(d4m.tdeg.at("color|red", "deg"), 2.0);
+  EXPECT_EQ(d4m.tdeg.at("size|big", "deg"), 1.0);
+  // Traw keeps the raw field text.
+  bool found = false;
+  for (const auto& [key, text] : d4m.raw_values) {
+    if (key.first == "rec1" && key.second == "color") {
+      EXPECT_EQ(text, "red");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Schemas, D4MCorrelationViaMultiply) {
+  // Section II-B-3: multiplying exploded arrays correlates records.
+  const std::vector<std::pair<std::string, Record>> records = {
+      {"rec1", {{"color", "red"}}},
+      {"rec2", {{"color", "red"}}},
+      {"rec3", {{"color", "blue"}}},
+  };
+  auto d4m = d4m_explode(records);
+  auto corr = d4m.tedge.multiply(d4m.tedge_t);
+  EXPECT_EQ(corr.at("rec1", "rec2"), 1.0);  // share color|red
+  EXPECT_EQ(corr.at("rec1", "rec3"), 0.0);
+}
+
+TEST(Schemas, TweetsIncidenceCountsTerms) {
+  gen::TweetParams params;
+  params.num_tweets = 30;
+  const auto corpus = gen::generate_tweets(params);
+  auto inc = tweets_to_incidence(corpus);
+  EXPECT_EQ(inc.row_count(), 30u);
+  // Every column is word|-prefixed and every value a positive count.
+  for (const auto& key : inc.col_keys()) {
+    EXPECT_EQ(key.rfind("word|", 0), 0u);
+  }
+  for (const auto& e : inc.entries()) EXPECT_GE(e.val, 1.0);
+  // Row sums equal tweet lengths.
+  const auto sums = inc.row_sums();
+  for (std::size_t i = 0; i < corpus.tweets.size(); ++i) {
+    EXPECT_EQ(sums[i].second, static_cast<double>(corpus.tweets[i].words.size()));
+  }
+}
+
+TEST(KeyHelpers, UnionAndIntersection) {
+  const std::vector<std::string> a = {"a", "c", "e"};
+  const std::vector<std::string> b = {"b", "c", "e", "f"};
+  EXPECT_EQ(key_union(a, b), (std::vector<std::string>{"a", "b", "c", "e", "f"}));
+  EXPECT_EQ(key_intersection(a, b), (std::vector<std::string>{"c", "e"}));
+  EXPECT_TRUE(key_intersection(a, {}).empty());
+}
+
+}  // namespace
+}  // namespace graphulo::assoc

@@ -1,0 +1,174 @@
+// Centrality metrics (Section III-A): degree, eigenvector, Katz,
+// PageRank — checked against closed forms on structured graphs and a
+// dense reference on random graphs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/centrality.hpp"
+#include "gen/rmat.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::algo {
+namespace {
+
+using graphulo::testing::random_undirected;
+using la::Index;
+using la::SpMat;
+
+SpMat<double> star_graph(Index leaves) {
+  // Vertex 0 is the hub.
+  std::vector<la::Triple<double>> t;
+  for (Index v = 1; v <= leaves; ++v) {
+    t.push_back({0, v, 1.0});
+    t.push_back({v, 0, 1.0});
+  }
+  return SpMat<double>::from_triples(leaves + 1, leaves + 1, t);
+}
+
+TEST(DegreeCentrality, RowAndColumnReductions) {
+  auto a = SpMat<double>::from_triples(3, 3, {{0, 1, 1.0}, {0, 2, 1.0},
+                                              {2, 1, 1.0}});
+  EXPECT_EQ(out_degree_centrality(a), (std::vector<double>{2, 0, 1}));
+  EXPECT_EQ(in_degree_centrality(a), (std::vector<double>{0, 2, 1}));
+}
+
+TEST(DegreeCentrality, WeightsAreSummed) {
+  auto a = SpMat<double>::from_triples(2, 2, {{0, 1, 2.5}, {1, 0, 1.5}});
+  EXPECT_EQ(out_degree_centrality(a), (std::vector<double>{2.5, 1.5}));
+}
+
+TEST(EigenvectorCentrality, HubDominatesStar) {
+  const auto result = eigenvector_centrality(star_graph(6));
+  EXPECT_TRUE(result.converged);
+  for (std::size_t v = 1; v < result.scores.size(); ++v) {
+    EXPECT_GT(result.scores[0], result.scores[v]);
+  }
+  // Star eigenvector: hub = 1/sqrt(2), each leaf = 1/sqrt(2k). The
+  // cosine stopping rule at tolerance t leaves O(sqrt(t)) component
+  // error, hence the loose bound.
+  EXPECT_NEAR(result.scores[0], 1.0 / std::sqrt(2.0), 1e-4);
+  EXPECT_NEAR(result.scores[1], 1.0 / std::sqrt(12.0), 1e-4);
+}
+
+TEST(EigenvectorCentrality, UniformOnCompleteGraph) {
+  const Index n = 5;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (i != j) t.push_back({i, j, 1.0});
+    }
+  }
+  const auto result =
+      eigenvector_centrality(SpMat<double>::from_triples(n, n, t));
+  EXPECT_TRUE(result.converged);
+  for (double s : result.scores) {
+    EXPECT_NEAR(s, 1.0 / std::sqrt(static_cast<double>(n)), 2e-5);
+  }
+}
+
+TEST(EigenvectorCentrality, MatchesDensePowerIteration) {
+  const auto a = random_undirected(25, 0.3, 81);
+  const auto result = eigenvector_centrality(a, {.max_iterations = 500,
+                                                 .tolerance = 1e-14});
+  // Residual check: A x ~ lambda x.
+  const auto ax = la::spmv<la::PlusTimes<double>>(a, result.scores);
+  const double lambda = la::dot(result.scores, ax);
+  double residual = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double r = ax[i] - lambda * result.scores[i];
+    residual += r * r;
+  }
+  EXPECT_LT(std::sqrt(residual), 1e-4 * std::abs(lambda));
+}
+
+TEST(KatzCentrality, HigherAlphaWeighsDistantPaths) {
+  // Path graph 0-1-2-3: Katz of the interior beats the exterior.
+  auto a = SpMat<double>::from_triples(
+      4, 4, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0},
+             {2, 3, 1.0}, {3, 2, 1.0}});
+  const auto result = katz_centrality(a, 0.3);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.scores[1], result.scores[0]);
+  EXPECT_GT(result.scores[2], result.scores[3]);
+  EXPECT_NEAR(result.scores[1], result.scores[2], 1e-9);  // symmetric
+}
+
+TEST(KatzCentrality, MatchesSeriesClosedFormOnTinyGraph) {
+  // Two vertices, one undirected edge: d_k alternates between the two
+  // columns; x = sum_k alpha^k (A^k 1). For this graph A^k 1 = 1, so
+  // x_v = alpha/(1-alpha) at convergence.
+  auto a = SpMat<double>::from_triples(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  const double alpha = 0.5;
+  const auto result = katz_centrality(a, alpha, {.max_iterations = 200,
+                                                 .tolerance = 1e-14});
+  EXPECT_NEAR(result.scores[0], alpha / (1 - alpha), 1e-6);
+  EXPECT_NEAR(result.scores[1], alpha / (1 - alpha), 1e-6);
+}
+
+TEST(KatzCentrality, RejectsBadAlpha) {
+  auto a = star_graph(3);
+  EXPECT_THROW(katz_centrality(a, 0.0), std::invalid_argument);
+  EXPECT_THROW(katz_centrality(a, 1.0), std::invalid_argument);
+}
+
+TEST(PageRank, SumsToOneAndConverges) {
+  gen::RmatParams p;
+  p.scale = 7;
+  p.edge_factor = 6;
+  const auto a = gen::rmat_simple_adjacency(p);
+  const auto result = pagerank(a);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(la::vec_sum(result.scores), 1.0, 1e-9);
+  for (double s : result.scores) EXPECT_GT(s, 0.0);  // jump term floor
+}
+
+TEST(PageRank, UniformOnCycle) {
+  const Index n = 6;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < n; ++i) t.push_back({i, (i + 1) % n, 1.0});
+  const auto result = pagerank(SpMat<double>::from_triples(n, n, t));
+  for (double s : result.scores) {
+    EXPECT_NEAR(s, 1.0 / static_cast<double>(n), 1e-9);
+  }
+}
+
+TEST(PageRank, DanglingVertexHandled) {
+  // 0 -> 1, 1 dangles: mass must not leak.
+  auto a = SpMat<double>::from_triples(2, 2, {{0, 1, 1.0}});
+  const auto result = pagerank(a);
+  EXPECT_NEAR(la::vec_sum(result.scores), 1.0, 1e-12);
+  EXPECT_GT(result.scores[1], result.scores[0]);  // 1 receives from 0
+}
+
+TEST(PageRank, MatchesDenseReference) {
+  for (std::uint64_t seed : {91u, 92u}) {
+    const auto a = random_undirected(20, 0.25, seed);
+    const auto sparse = pagerank(a, 0.15, {.max_iterations = 300,
+                                           .tolerance = 1e-15});
+    const auto dense = pagerank_dense_reference(a, 0.15, 300);
+    ASSERT_EQ(sparse.scores.size(), dense.size());
+    for (std::size_t v = 0; v < dense.size(); ++v) {
+      EXPECT_NEAR(sparse.scores[v], dense[v], 1e-8) << "v=" << v;
+    }
+  }
+}
+
+TEST(PageRank, HubOutranksLeavesInStar) {
+  const auto result = pagerank(star_graph(8));
+  for (std::size_t v = 1; v < result.scores.size(); ++v) {
+    EXPECT_GT(result.scores[0], result.scores[v]);
+  }
+}
+
+TEST(Centrality, RejectsNonSquare) {
+  SpMat<double> rect(2, 3);
+  EXPECT_THROW(eigenvector_centrality(rect), std::invalid_argument);
+  EXPECT_THROW(katz_centrality(rect, 0.1), std::invalid_argument);
+  EXPECT_THROW(pagerank(rect), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace graphulo::algo

@@ -1,0 +1,324 @@
+// Graphulo core: table I/O, server-side TableMult vs local SpGEMM,
+// table-scope kernels, and the table-level graph algorithms.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "assoc/table_io.hpp"
+#include "core/table_algos.hpp"
+#include "core/table_ops.hpp"
+#include "core/table_scan.hpp"
+#include "core/tablemult.hpp"
+#include "gen/erdos.hpp"
+#include "la/la.hpp"
+#include "nosql/codec.hpp"
+#include "nosql/scanner.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::core {
+namespace {
+
+using assoc::read_matrix;
+using assoc::write_matrix;
+using graphulo::testing::paper_example_adjacency;
+using graphulo::testing::random_sparse_int;
+
+TEST(TableIO, MatrixRoundTrip) {
+  nosql::Instance db(2);
+  auto m = random_sparse_int(20, 15, 0.25, 201);
+  write_matrix(db, "m", m);
+  EXPECT_EQ(read_matrix(db, "m", 20, 15), m);
+}
+
+TEST(TableIO, AssocRoundTrip) {
+  nosql::Instance db;
+  auto a = assoc::AssocArray::from_entries(
+      {{"alice", "bob", 1.5}, {"bob", "carol", -2.0}});
+  assoc::write_assoc(db, "t", a);
+  EXPECT_EQ(assoc::read_assoc(db, "t"), a);
+}
+
+TEST(TableIO, VertexKeyOrderMatchesNumericOrder) {
+  EXPECT_LT(assoc::vertex_key(9), assoc::vertex_key(10));
+  EXPECT_LT(assoc::vertex_key(99), assoc::vertex_key(100));
+  EXPECT_EQ(assoc::parse_vertex_key(assoc::vertex_key(1234)), 1234);
+  EXPECT_EQ(assoc::parse_vertex_key("garbage"), -1);
+  EXPECT_EQ(assoc::parse_vertex_key("v|12x4"), -1);
+}
+
+TEST(TableScan, RowReaderGroupsRows) {
+  nosql::Instance db;
+  db.create_table("t");
+  for (const char* row : {"a", "a", "b"}) {
+    static int q = 0;
+    nosql::Mutation m(row);
+    std::string qual = "q";
+    qual += std::to_string(q++);  // built in steps: GCC 12 -Wrestrict FP
+    m.put("f", std::move(qual), "v");
+    db.apply("t", m);
+  }
+  RowReader reader(open_table_scan(db, "t"));
+  ASSERT_TRUE(reader.has_next());
+  auto block = reader.next_row();
+  EXPECT_EQ(block.row, "a");
+  EXPECT_EQ(block.cells.size(), 2u);
+  block = reader.next_row();
+  EXPECT_EQ(block.row, "b");
+  EXPECT_EQ(block.cells.size(), 1u);
+  EXPECT_FALSE(reader.has_next());
+}
+
+TEST(TableMult, MatchesLocalSpGemmTransposeProduct) {
+  nosql::Instance db(2);
+  auto a = random_sparse_int(12, 10, 0.3, 202);
+  auto b = random_sparse_int(12, 9, 0.3, 203);
+  write_matrix(db, "A", a);
+  write_matrix(db, "B", b);
+  const auto stats = table_mult(db, "A", "B", "C");
+  EXPECT_GT(stats.partial_products, 0u);
+  const auto expected =
+      la::spgemm<la::PlusTimes<double>>(la::transpose(a), b);
+  EXPECT_EQ(read_matrix(db, "C", 10, 9), expected);
+}
+
+TEST(TableMult, AccumulatesIntoExistingResult) {
+  // Two multiplies into the same sink: C = A1^T B + A2^T B.
+  nosql::Instance db;
+  auto a1 = random_sparse_int(8, 6, 0.4, 204);
+  auto a2 = random_sparse_int(8, 6, 0.4, 205);
+  auto b = random_sparse_int(8, 7, 0.4, 206);
+  write_matrix(db, "A1", a1);
+  write_matrix(db, "A2", a2);
+  write_matrix(db, "B", b);
+  table_mult(db, "A1", "B", "C");
+  table_mult(db, "A2", "B", "C");
+  const auto expected = la::add(
+      la::spgemm<la::PlusTimes<double>>(la::transpose(a1), b),
+      la::spgemm<la::PlusTimes<double>>(la::transpose(a2), b));
+  EXPECT_EQ(read_matrix(db, "C", 6, 7), expected);
+}
+
+TEST(TableMult, CompactionCollapsesPartialProducts) {
+  nosql::Instance db;
+  auto a = random_sparse_int(10, 8, 0.5, 207);
+  write_matrix(db, "A", a);
+  const auto stats =
+      table_mult(db, "A", "A", "C", {.compact_result = true});
+  const auto expected =
+      la::spgemm<la::PlusTimes<double>>(la::transpose(a), a);
+  // After compaction, the physical entry count equals the logical nnz:
+  // the combiner folded the partial products on disk.
+  EXPECT_GE(stats.partial_products, static_cast<std::size_t>(expected.nnz()));
+  EXPECT_EQ(db.entry_estimate("C"), static_cast<std::size_t>(expected.nnz()));
+  EXPECT_EQ(read_matrix(db, "C", 8, 8), expected);
+}
+
+TEST(TableMult, CustomMultiplyOp) {
+  // min-multiply with sum-combine: counts handled by options.multiply.
+  nosql::Instance db;
+  auto a = random_sparse_int(6, 5, 0.5, 208, 3);
+  write_matrix(db, "A", a);
+  TableMultOptions opts;
+  opts.multiply = [](double x, double y) { return std::min(x, y); };
+  table_mult(db, "A", "A", "C", opts);
+  // Reference: C(i,j) = sum_k min(A(k,i), A(k,j)).
+  const auto ad = a.to_dense();
+  const auto c = read_matrix(db, "C", 5, 5);
+  for (la::Index i = 0; i < 5; ++i) {
+    for (la::Index j = 0; j < 5; ++j) {
+      double ref = 0;
+      for (la::Index k = 0; k < 6; ++k) {
+        const double x = ad[static_cast<std::size_t>(k) * 5 + i];
+        const double y = ad[static_cast<std::size_t>(k) * 5 + j];
+        if (x != 0 && y != 0) ref += std::min(x, y);
+      }
+      EXPECT_DOUBLE_EQ(c.at(i, j), ref) << i << "," << j;
+    }
+  }
+}
+
+TEST(TableMult, ClientSideBaselineAgrees) {
+  nosql::Instance db;
+  auto a = random_sparse_int(10, 8, 0.3, 209);
+  auto b = random_sparse_int(10, 7, 0.3, 210);
+  write_matrix(db, "A", a);
+  write_matrix(db, "B", b);
+  table_mult(db, "A", "B", "Cserver");
+  client_side_mult(db, "A", "B", "Cclient", 10, 8, 7);
+  EXPECT_EQ(read_matrix(db, "Cserver", 8, 7), read_matrix(db, "Cclient", 8, 7));
+}
+
+TEST(TableOps, ApplyRewritesValuesInPlace) {
+  nosql::Instance db;
+  auto a = random_sparse_int(8, 8, 0.4, 211);
+  write_matrix(db, "A", a);
+  table_apply(db, "A", [](double v) { return v * v; });
+  const auto expected = la::apply(a, [](double v) { return v * v; });
+  EXPECT_EQ(read_matrix(db, "A", 8, 8), expected);
+}
+
+TEST(TableOps, ScaleAndZeroPruning) {
+  nosql::Instance db;
+  auto a = random_sparse_int(6, 6, 0.5, 212);
+  write_matrix(db, "A", a);
+  table_scale(db, "A", 0.0);
+  EXPECT_EQ(table_entry_count(db, "A"), 0u);
+  EXPECT_EQ(db.entry_estimate("A"), 0u);  // physically pruned, not hidden
+}
+
+TEST(TableOps, FilterDeletesCells) {
+  nosql::Instance db;
+  auto a = random_sparse_int(10, 10, 0.4, 213, 5);
+  write_matrix(db, "A", a);
+  table_filter(db, "A",
+               [](const nosql::Key&, double v) { return v >= 3.0; });
+  const auto expected =
+      la::select(a, [](la::Index, la::Index, double v) { return v >= 3.0; });
+  EXPECT_EQ(read_matrix(db, "A", 10, 10), expected);
+}
+
+TEST(TableOps, ReduceAndSum) {
+  nosql::Instance db(3);
+  auto a = random_sparse_int(15, 15, 0.3, 214);
+  write_matrix(db, "A", a);
+  db.add_splits("A", {assoc::vertex_key(5), assoc::vertex_key(10)});
+  double expected_sum = 0;
+  double expected_max = 0;
+  for (double v : a.values()) {
+    expected_sum += v;
+    expected_max = std::max(expected_max, v);
+  }
+  EXPECT_DOUBLE_EQ(table_sum(db, "A"), expected_sum);
+  EXPECT_DOUBLE_EQ(table_reduce(
+                       db, "A",
+                       [](double x, double y) { return std::max(x, y); }, 0.0),
+                   expected_max);
+  nosql::Instance empty_db;
+  empty_db.create_table("E");
+  EXPECT_EQ(table_sum(empty_db, "E"), 0.0);
+}
+
+TEST(TableOps, RowDegrees) {
+  nosql::Instance db;
+  auto a = random_sparse_int(9, 9, 0.4, 215);
+  write_matrix(db, "A", a);
+  table_row_degrees(db, "A", "Adeg");
+  const auto sums = la::row_sums(a);
+  nosql::Scanner scan(db, "Adeg");
+  std::size_t seen = 0;
+  scan.for_each([&](const nosql::Key& k, const nosql::Value& v) {
+    const auto i = assoc::parse_vertex_key(k.row);
+    ASSERT_GE(i, 0);
+    EXPECT_DOUBLE_EQ(nosql::decode_double(v).value_or(-1),
+                     sums[static_cast<std::size_t>(i)]);
+    ++seen;
+  });
+  // Rows with no entries are absent (associative arrays have no empty rows).
+  std::size_t nonempty = 0;
+  for (double s : sums) {
+    if (s != 0) ++nonempty;
+  }
+  EXPECT_EQ(seen, nonempty);
+}
+
+TEST(TableOps, EwiseMultIntersectsTables) {
+  nosql::Instance db;
+  auto a = random_sparse_int(12, 12, 0.35, 216);
+  auto b = random_sparse_int(12, 12, 0.35, 217);
+  write_matrix(db, "A", a);
+  write_matrix(db, "B", b);
+  table_ewise_mult(db, "A", "B", "C");
+  EXPECT_EQ(read_matrix(db, "C", 12, 12), la::hadamard(a, b));
+}
+
+TEST(TableAlgos, BfsLevelsMatchMatrixBfs) {
+  nosql::Instance db;
+  // Path 0-1-2-3 plus isolated 4: distances from 0 are 0,1,2,3.
+  auto a = la::SpMat<double>::from_triples(
+      5, 5, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0},
+             {2, 3, 1.0}, {3, 2, 1.0}});
+  write_matrix(db, "A", a);
+  const auto levels = adj_bfs(db, "A", {assoc::vertex_key(0)}, 10);
+  EXPECT_EQ(levels.size(), 4u);  // vertex 4 unreachable
+  EXPECT_EQ(levels.at(assoc::vertex_key(0)), 0);
+  EXPECT_EQ(levels.at(assoc::vertex_key(1)), 1);
+  EXPECT_EQ(levels.at(assoc::vertex_key(3)), 3);
+}
+
+TEST(TableAlgos, BfsHopLimitTruncates) {
+  nosql::Instance db;
+  auto a = la::SpMat<double>::from_triples(
+      4, 4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  write_matrix(db, "A", a);
+  const auto levels = adj_bfs(db, "A", {assoc::vertex_key(0)}, 2);
+  EXPECT_EQ(levels.size(), 3u);
+  EXPECT_FALSE(levels.count(assoc::vertex_key(3)));
+}
+
+TEST(TableAlgos, BfsMultipleSeeds) {
+  nosql::Instance db;
+  auto a = la::SpMat<double>::from_triples(
+      6, 6, {{0, 1, 1.0}, {4, 5, 1.0}});
+  write_matrix(db, "A", a);
+  const auto levels =
+      adj_bfs(db, "A", {assoc::vertex_key(0), assoc::vertex_key(4)}, 3);
+  EXPECT_EQ(levels.at(assoc::vertex_key(1)), 1);
+  EXPECT_EQ(levels.at(assoc::vertex_key(5)), 1);
+}
+
+TEST(TableAlgos, JaccardMatchesPaperExample) {
+  // Fig. 2 of the paper: J(1,2)=1/5, J(1,3)=1/2, J(1,4)=1/4, J(1,5)=1/3,
+  // J(2,4)=2/3, J(3,5)=1/3 (1-indexed). Vertices map to v|000000...
+  nosql::Instance db;
+  write_matrix(db, "A", paper_example_adjacency());
+  const auto written = table_jaccard(db, "A", "J");
+  EXPECT_EQ(written, 8u);  // nonzero upper-triangle coefficients
+  auto j = read_matrix(db, "J", 5, 5);
+  EXPECT_NEAR(j.at(0, 1), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(j.at(0, 2), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(j.at(0, 3), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(j.at(0, 4), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(j.at(1, 3), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(j.at(2, 4), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TableAlgos, KTrussRemovesDanglingEdge) {
+  // The paper's Fig. 1 example: the 3-truss removes edge 6 (v2-v5) and
+  // keeps the 5 remaining edges (10 directed cells).
+  nosql::Instance db;
+  write_matrix(db, "A", paper_example_adjacency());
+  const auto cells = table_ktruss(db, "A", 3, "T");
+  EXPECT_EQ(cells, 10u);
+  auto t = read_matrix(db, "T", 5, 5);
+  EXPECT_EQ(t.at(1, 4), 0.0);  // v2-v5 gone
+  EXPECT_EQ(t.at(0, 1), 1.0);
+  EXPECT_EQ(t.at(2, 3), 1.0);
+}
+
+TEST(TableAlgos, KTrussOfTriangleFreeGraphIsEmpty) {
+  nosql::Instance db;
+  // 4-cycle: no triangles, so the 3-truss is empty.
+  auto a = la::SpMat<double>::from_triples(
+      4, 4, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0},
+             {2, 3, 1.0}, {3, 2, 1.0}, {3, 0, 1.0}, {0, 3, 1.0}});
+  write_matrix(db, "A", a);
+  EXPECT_EQ(table_ktruss(db, "A", 3, "T"), 0u);
+}
+
+TEST(TableAlgos, KTrussKeepsClique) {
+  nosql::Instance db;
+  // K5 is a 5-truss: survives k=5 intact (20 directed cells).
+  std::vector<la::Triple<double>> triples;
+  for (la::Index i = 0; i < 5; ++i) {
+    for (la::Index j = 0; j < 5; ++j) {
+      if (i != j) triples.push_back({i, j, 1.0});
+    }
+  }
+  write_matrix(db, "A", la::SpMat<double>::from_triples(5, 5, triples));
+  EXPECT_EQ(table_ktruss(db, "A", 5, "T"), 20u);
+  EXPECT_EQ(table_ktruss(db, "A", 6, "T6"), 0u);
+}
+
+}  // namespace
+}  // namespace graphulo::core

@@ -1,0 +1,134 @@
+// Dense matrix helpers and the sparse*dense products NMF relies on.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/dense.hpp"
+#include "la/spmm.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse;
+
+TEST(Dense, ConstructionAndIndexing) {
+  Dense<double> m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(1, 2) = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+}
+
+TEST(Dense, FromRowsValidates) {
+  EXPECT_THROW(Dense<double>::from_rows(2, 2, {1.0}), std::invalid_argument);
+  auto m = Dense<double>::from_rows(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Dense, EyeAndMatmulIdentity) {
+  auto m = Dense<double>::from_rows(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(matmul(m, Dense<double>::eye(2)), m);
+  EXPECT_EQ(matmul(Dense<double>::eye(2), m), m);
+}
+
+TEST(Dense, MatmulKnownProduct) {
+  auto a = Dense<double>::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  auto b = Dense<double>::from_rows(3, 2, {7, 8, 9, 10, 11, 12});
+  auto c = matmul(a, b);
+  EXPECT_EQ(c, Dense<double>::from_rows(2, 2, {58, 64, 139, 154}));
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(Dense, TransposedSwapsIndices) {
+  auto a = Dense<double>::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  auto t = a.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Dense, LincombAndNorms) {
+  auto a = Dense<double>::from_rows(1, 2, {3, 4});
+  auto b = Dense<double>::from_rows(1, 2, {1, 1});
+  EXPECT_EQ(lincomb(2.0, a, -1.0, b), Dense<double>::from_rows(1, 2, {5, 7}));
+  EXPECT_DOUBLE_EQ(fro_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(fro_diff(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(fro_diff(a, b), std::sqrt(4.0 + 9.0));
+}
+
+TEST(Dense, RowAndColNorms) {
+  auto a = Dense<double>::from_rows(2, 2, {1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(max_row_sum(a), 7.0);
+  EXPECT_DOUBLE_EQ(max_col_sum(a), 6.0);
+}
+
+TEST(SpMM, SparseTimesDenseMatchesDense) {
+  auto a = random_sparse(15, 10, 0.3, 121);
+  Dense<double> b(10, 4);
+  for (Index i = 0; i < 10; ++i) {
+    for (Index j = 0; j < 4; ++j) b(i, j) = static_cast<double>(i + j);
+  }
+  auto c = spmm(a, b);
+  const auto ad = a.to_dense();
+  for (Index i = 0; i < 15; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      double ref = 0;
+      for (Index k = 0; k < 10; ++k) {
+        ref += ad[static_cast<std::size_t>(i) * 10 + k] * b(k, j);
+      }
+      EXPECT_NEAR(c(i, j), ref, 1e-12);
+    }
+  }
+}
+
+TEST(SpMM, DenseTimesSparseMatchesDense) {
+  auto a = random_sparse(10, 12, 0.3, 122);
+  Dense<double> b(3, 10);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 10; ++j) b(i, j) = static_cast<double>(i * j % 5);
+  }
+  auto c = mmsp(b, a);
+  const auto ad = a.to_dense();
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 12; ++j) {
+      double ref = 0;
+      for (Index k = 0; k < 10; ++k) {
+        ref += b(i, k) * ad[static_cast<std::size_t>(k) * 12 + j];
+      }
+      EXPECT_NEAR(c(i, j), ref, 1e-12);
+    }
+  }
+}
+
+TEST(SpMM, ShapeMismatchThrows) {
+  SpMat<double> a(3, 4);
+  Dense<double> b(5, 2);
+  EXPECT_THROW(spmm(a, b), std::invalid_argument);
+  EXPECT_THROW(mmsp(b, a), std::invalid_argument);
+}
+
+TEST(SpMM, FroDiffSparseDenseMatchesExplicit) {
+  auto a = random_sparse(8, 9, 0.3, 123);
+  Dense<double> w(8, 3), h(3, 9);
+  util::Xoshiro256 rng(7);
+  for (auto& v : w.data()) v = rng.uniform();
+  for (auto& v : h.data()) v = rng.uniform();
+  const double fast = fro_diff_sparse_dense(a, w, h);
+  // Explicit: densify A and W*H.
+  auto wh = matmul(w, h);
+  const auto ad = a.to_dense();
+  double slow = 0;
+  for (Index i = 0; i < 8; ++i) {
+    for (Index j = 0; j < 9; ++j) {
+      const double d = ad[static_cast<std::size_t>(i) * 9 + j] - wh(i, j);
+      slow += d * d;
+    }
+  }
+  EXPECT_NEAR(fast, std::sqrt(slow), 1e-12);
+}
+
+}  // namespace
+}  // namespace graphulo::la

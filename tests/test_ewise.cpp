@@ -1,0 +1,109 @@
+// SpEWiseX (intersection) / eWiseAdd (union) semantics, including the
+// paper's Section II reading: "addition of two arrays represents a
+// union, multiplication a correlation (intersection)".
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/ewise.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse_int;
+
+TEST(EWise, MultIntersectsPatterns) {
+  auto a = SpMat<double>::from_triples(2, 3, {{0, 0, 2.0}, {0, 2, 3.0}, {1, 1, 4.0}});
+  auto b = SpMat<double>::from_triples(2, 3, {{0, 2, 5.0}, {1, 0, 6.0}});
+  auto c = hadamard(a, b);
+  EXPECT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.at(0, 2), 15.0);
+}
+
+TEST(EWise, AddUnionsPatterns) {
+  auto a = SpMat<double>::from_triples(2, 3, {{0, 0, 2.0}});
+  auto b = SpMat<double>::from_triples(2, 3, {{1, 2, 5.0}});
+  auto c = add(a, b);
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_EQ(c.at(0, 0), 2.0);
+  EXPECT_EQ(c.at(1, 2), 5.0);
+}
+
+TEST(EWise, ShapeMismatchThrows) {
+  SpMat<double> a(2, 3), b(3, 2);
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(hadamard(a, b), std::invalid_argument);
+}
+
+TEST(EWise, SubtractHandlesOneSidedEntries) {
+  auto a = SpMat<double>::from_triples(2, 2, {{0, 0, 5.0}});
+  auto b = SpMat<double>::from_triples(2, 2, {{0, 0, 2.0}, {1, 1, 3.0}});
+  auto c = subtract(a, b);
+  EXPECT_EQ(c.at(0, 0), 3.0);
+  EXPECT_EQ(c.at(1, 1), -3.0);
+}
+
+TEST(EWise, SubtractSelfIsEmpty) {
+  auto a = random_sparse_int(15, 15, 0.3, 71);
+  EXPECT_EQ(subtract(a, a).nnz(), 0);
+}
+
+TEST(EWise, AddMatchesDenseReference) {
+  auto a = random_sparse_int(20, 25, 0.2, 72);
+  auto b = random_sparse_int(20, 25, 0.25, 73);
+  const auto cd = add(a, b).to_dense();
+  const auto ad = a.to_dense();
+  const auto bd = b.to_dense();
+  for (std::size_t i = 0; i < cd.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cd[i], ad[i] + bd[i]);
+  }
+}
+
+TEST(EWise, MultMatchesDenseReference) {
+  auto a = random_sparse_int(20, 25, 0.3, 74);
+  auto b = random_sparse_int(20, 25, 0.35, 75);
+  const auto cd = hadamard(a, b).to_dense();
+  const auto ad = a.to_dense();
+  const auto bd = b.to_dense();
+  for (std::size_t i = 0; i < cd.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cd[i], ad[i] * bd[i]);
+  }
+}
+
+TEST(EWise, CustomOpMinOverUnion) {
+  auto a = SpMat<double>::from_triples(1, 3, {{0, 0, 3.0}, {0, 1, 1.0}});
+  auto b = SpMat<double>::from_triples(1, 3, {{0, 0, 2.0}, {0, 2, 7.0}});
+  auto c = ewise_add(a, b, [](double x, double y) { return std::min(x, y); });
+  EXPECT_EQ(c.at(0, 0), 2.0);  // min where both present
+  EXPECT_EQ(c.at(0, 1), 1.0);  // pass-through where one present
+  EXPECT_EQ(c.at(0, 2), 7.0);
+}
+
+TEST(EWise, ResultZerosArePruned) {
+  auto a = SpMat<double>::from_triples(1, 2, {{0, 0, 1.0}, {0, 1, 2.0}});
+  auto b = SpMat<double>::from_triples(1, 2, {{0, 0, -1.0}, {0, 1, 2.0}});
+  auto sum = add(a, b);
+  EXPECT_EQ(sum.nnz(), 1);  // (0,0) cancels exactly
+  EXPECT_EQ(sum.at(0, 1), 4.0);
+}
+
+TEST(EWise, AdditionIsCommutativeAndAssociative) {
+  auto a = random_sparse_int(12, 12, 0.3, 81);
+  auto b = random_sparse_int(12, 12, 0.3, 82);
+  auto c = random_sparse_int(12, 12, 0.3, 83);
+  EXPECT_EQ(add(a, b), add(b, a));
+  EXPECT_EQ(add(add(a, b), c), add(a, add(b, c)));
+}
+
+TEST(EWise, UnionOfDisjointKeysHasSummedNnz) {
+  // Paper, Section II-A: summing arrays with no common keys unions their
+  // nonzero sets.
+  auto a = SpMat<double>::from_triples(4, 4, {{0, 0, 1.0}, {1, 1, 1.0}});
+  auto b = SpMat<double>::from_triples(4, 4, {{2, 2, 1.0}, {3, 3, 1.0}});
+  EXPECT_EQ(add(a, b).nnz(), a.nnz() + b.nnz());
+}
+
+}  // namespace
+}  // namespace graphulo::la

@@ -1,0 +1,140 @@
+// The Section IV / future-work extensions: closeness centrality, the
+// fused k-truss support kernel, and the fused upper-triangular Jaccard
+// kernel — each validated against the kernel-composed forms.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "algo/centrality.hpp"
+#include "algo/jaccard.hpp"
+#include "algo/ktruss.hpp"
+#include "algo/sssp.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::algo {
+namespace {
+
+using graphulo::testing::paper_example_adjacency;
+using graphulo::testing::random_undirected;
+using la::Index;
+using la::SpMat;
+
+TEST(Closeness, PathGraphCenterIsClosest) {
+  // Path 0-1-2-3-4: vertex 2 minimizes total distance.
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i + 1 < 5; ++i) {
+    t.push_back({i, i + 1, 1.0});
+    t.push_back({i + 1, i, 1.0});
+  }
+  const auto c = closeness_centrality(SpMat<double>::from_triples(5, 5, t));
+  EXPECT_GT(c[2], c[1]);
+  EXPECT_GT(c[1], c[0]);
+  EXPECT_NEAR(c[0], c[4], 1e-12);  // symmetric ends
+  // Exact: center has distances 1+1+2+2=6 -> 4/6.
+  EXPECT_NEAR(c[2], 4.0 / 6.0, 1e-12);
+}
+
+TEST(Closeness, MatchesBfsDistancesOnRandomGraph) {
+  const auto a = random_undirected(40, 0.1, 301);
+  const auto c = closeness_centrality(a);
+  // Reference via Bellman-Ford on the 0/1 weights.
+  const Index n = a.rows();
+  for (Index v = 0; v < n; ++v) {
+    const auto dist = bellman_ford(a, v);
+    double sum = 0.0;
+    double reached = 0.0;
+    for (double d : dist) {
+      if (d < std::numeric_limits<double>::infinity() && d > 0.0) {
+        sum += d;
+        ++reached;
+      }
+    }
+    const double expected =
+        sum > 0 ? (reached / (n - 1)) * (reached / sum) : 0.0;
+    EXPECT_NEAR(c[static_cast<std::size_t>(v)], expected, 1e-9) << "v=" << v;
+  }
+}
+
+TEST(Closeness, IsolatedVertexScoresZero) {
+  SpMat<double> a(3, 3);
+  const auto c = closeness_centrality(a);
+  EXPECT_EQ(c, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(FusedKTrussSupport, MatchesAlgorithmOneSupports) {
+  const auto a = paper_example_adjacency();
+  // Edges in upper-triangle order: (0,1) (0,2) (0,3) (1,2) (1,4) (2,3).
+  std::vector<std::pair<Index, Index>> edges;
+  for (const auto& t : la::triu(a).to_triples()) {
+    edges.emplace_back(t.row, t.col);
+  }
+  const auto support = ktruss_support_fused(a, edges);
+  // Supports: common-neighbor counts per edge. v1v2 share v3 -> 1;
+  // v1v3 share v2,v4 -> 2; v1v4 share v3 -> 1; v2v3 share v1 -> 1;
+  // v2v5 share none -> 0; v3v4 share v1 -> 1.
+  ASSERT_EQ(support.size(), 6u);
+  EXPECT_EQ(support[0], 1.0);  // (0,1)
+  EXPECT_EQ(support[1], 2.0);  // (0,2)
+  EXPECT_EQ(support[2], 1.0);  // (0,3)
+  EXPECT_EQ(support[3], 1.0);  // (1,2)
+  EXPECT_EQ(support[4], 0.0);  // (1,4)
+  EXPECT_EQ(support[5], 1.0);  // (2,3)
+}
+
+class FusedKTrussAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FusedKTrussAgreement, FusedMatchesAlgorithmOne) {
+  const auto a = random_undirected(45, 0.18, GetParam());
+  for (int k : {3, 4, 5}) {
+    KTrussStats s_alg1, s_fused;
+    const auto alg1 = ktruss_adjacency(a, k, &s_alg1);
+    const auto fused = ktruss_adjacency_fused(a, k, &s_fused);
+    EXPECT_EQ(alg1, fused) << "k=" << k;
+    // Simultaneous-removal rounds are identical by construction.
+    EXPECT_EQ(s_alg1.edges_removed, s_fused.edges_removed) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedKTrussAgreement,
+                         ::testing::Values(21, 22, 23));
+
+TEST(FusedKTruss, TwoTrussKeepsEverythingAndStripsLoops) {
+  auto a = SpMat<double>::from_triples(
+      3, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}});
+  const auto result = ktruss_adjacency_fused(a, 2);
+  EXPECT_EQ(result.at(0, 0), 0.0);  // loop stripped
+  EXPECT_EQ(result.at(0, 1), 1.0);  // kept, value normalized to pattern
+}
+
+TEST(FusedJaccard, MatchesAlgorithmTwoOnPaperExample) {
+  const auto a = paper_example_adjacency();
+  const auto fused = jaccard_fused(a);
+  const auto alg2 = jaccard_linalg(a);
+  EXPECT_EQ(fused.nnz(), alg2.nnz());
+  EXPECT_LT(la::fro_diff(fused, alg2), 1e-12);
+  EXPECT_NEAR(fused.at(1, 3), 2.0 / 3.0, 1e-12);
+}
+
+class FusedJaccardAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FusedJaccardAgreement, FusedMatchesAlgorithmTwo) {
+  const auto a = random_undirected(50, 0.15, GetParam());
+  const auto fused = jaccard_fused(a);
+  const auto alg2 = jaccard_linalg(a);
+  ASSERT_EQ(fused.nnz(), alg2.nnz());
+  EXPECT_LT(la::fro_diff(fused, alg2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedJaccardAgreement,
+                         ::testing::Values(31, 32, 33, 34));
+
+TEST(FusedJaccard, SymmetricOutput) {
+  const auto a = random_undirected(30, 0.2, 41);
+  EXPECT_TRUE(la::is_symmetric(jaccard_fused(a)));
+}
+
+}  // namespace
+}  // namespace graphulo::algo

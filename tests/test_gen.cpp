@@ -1,0 +1,227 @@
+// Generators: R-MAT, Erdos-Renyi, planted structures, synthetic tweets.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos.hpp"
+#include "gen/planted.hpp"
+#include "gen/rmat.hpp"
+#include "gen/tweets.hpp"
+#include "la/reduce.hpp"
+#include "la/structure.hpp"
+
+namespace graphulo::gen {
+namespace {
+
+using la::Index;
+
+TEST(Rmat, ShapeAndEdgeBudget) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  auto a = rmat_adjacency(p);
+  EXPECT_EQ(a.rows(), 256);
+  EXPECT_EQ(a.cols(), 256);
+  // Values are multiplicities; total equals 2x the sampled edges
+  // (undirected mirror), minus nothing since self loops were rejected.
+  const double total = la::reduce_all(a, [](double x, double y) { return x + y; });
+  EXPECT_DOUBLE_EQ(total, 2.0 * 8 * 256);
+}
+
+TEST(Rmat, UndirectedIsSymmetricAndLoopFree) {
+  RmatParams p;
+  p.scale = 7;
+  auto a = rmat_adjacency(p);
+  EXPECT_TRUE(la::is_symmetric(a));
+  for (Index i = 0; i < a.rows(); ++i) EXPECT_EQ(a.at(i, i), 0.0);
+}
+
+TEST(Rmat, DeterministicBySeed) {
+  RmatParams p;
+  p.scale = 7;
+  p.seed = 5;
+  EXPECT_EQ(rmat_adjacency(p), rmat_adjacency(p));
+  RmatParams q = p;
+  q.seed = 6;
+  EXPECT_NE(rmat_adjacency(p), rmat_adjacency(q));
+}
+
+TEST(Rmat, SkewProducesHeavyTail) {
+  // With Graph500 parameters the max degree should far exceed the mean.
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  auto a = rmat_simple_adjacency(p);
+  const auto deg = la::row_nnz_counts(a);
+  const double mean =
+      static_cast<double>(a.nnz()) / static_cast<double>(a.rows());
+  const double max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(max_deg, 4.0 * mean);
+}
+
+TEST(Rmat, SimpleAdjacencyIsZeroOne) {
+  RmatParams p;
+  p.scale = 6;
+  auto a = rmat_simple_adjacency(p);
+  for (double v : a.values()) EXPECT_EQ(v, 1.0);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+  p.scale = 5;
+  p.a = 0.9;
+  p.b = 0.2;  // a+b+c > 1
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, GnpEdgeCountNearExpectation) {
+  const Index n = 200;
+  const double p = 0.05;
+  auto a = erdos_renyi_gnp(n, p, 7, true);
+  EXPECT_TRUE(la::is_symmetric(a));
+  const double edges = static_cast<double>(a.nnz()) / 2.0;
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(edges, expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, GnpExtremes) {
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, 1, true).nnz(), 0);
+  auto full = erdos_renyi_gnp(20, 1.0, 1, true);
+  EXPECT_EQ(full.nnz(), 20 * 19);  // complete graph, both directions
+}
+
+TEST(ErdosRenyi, GnpDirectedHasNoLoops) {
+  auto a = erdos_renyi_gnp(60, 0.2, 3, false);
+  for (Index i = 0; i < a.rows(); ++i) EXPECT_EQ(a.at(i, i), 0.0);
+}
+
+TEST(ErdosRenyi, GnmExactEdgeCount) {
+  auto a = erdos_renyi_gnm(100, 250, 9, true);
+  EXPECT_EQ(a.nnz(), 500);
+  EXPECT_TRUE(la::is_symmetric(a));
+  EXPECT_THROW(erdos_renyi_gnm(10, 1000, 9, true), std::invalid_argument);
+}
+
+TEST(Planted, CliqueVerticesFormClique) {
+  auto g = planted_clique(100, 10, 0.02, 17);
+  ASSERT_EQ(g.planted_set.size(), 10u);
+  for (Index u : g.planted_set) {
+    for (Index v : g.planted_set) {
+      if (u != v) {
+        EXPECT_EQ(g.adjacency.at(u, v), 1.0);
+      }
+    }
+  }
+  EXPECT_TRUE(la::is_symmetric(g.adjacency));
+}
+
+TEST(Planted, CliqueLargerThanGraphThrows) {
+  EXPECT_THROW(planted_clique(5, 6, 0.1, 1), std::invalid_argument);
+}
+
+TEST(Planted, PartitionDensityContrast) {
+  auto g = planted_partition(120, 3, 0.3, 0.01, 19);
+  const auto labels = partition_labels(120, 3);
+  std::size_t in = 0, out = 0, in_possible = 0, out_possible = 0;
+  for (Index i = 0; i < 120; ++i) {
+    for (Index j = i + 1; j < 120; ++j) {
+      const bool same = labels[static_cast<std::size_t>(i)] ==
+                        labels[static_cast<std::size_t>(j)];
+      const bool edge = g.adjacency.at(i, j) != 0.0;
+      (same ? in_possible : out_possible) += 1;
+      if (edge) (same ? in : out) += 1;
+    }
+  }
+  const double p_in = static_cast<double>(in) / static_cast<double>(in_possible);
+  const double p_out = static_cast<double>(out) / static_cast<double>(out_possible);
+  EXPECT_GT(p_in, 5.0 * p_out);
+}
+
+TEST(Tweets, CorpusShapeMatchesParameters) {
+  TweetParams p;
+  p.num_tweets = 500;
+  auto corpus = generate_tweets(p);
+  EXPECT_EQ(corpus.tweets.size(), 500u);
+  EXPECT_EQ(corpus.topic_names.size(), 5u);
+  for (const auto& t : corpus.tweets) {
+    EXPECT_GE(static_cast<int>(t.words.size()), p.words_min);
+    EXPECT_LE(static_cast<int>(t.words.size()), p.words_max);
+    EXPECT_GE(t.true_topic, 0);
+    EXPECT_LT(t.true_topic, 5);
+  }
+}
+
+TEST(Tweets, IdsAreSortableAndUnique) {
+  TweetParams p;
+  p.num_tweets = 100;
+  auto corpus = generate_tweets(p);
+  std::set<std::string> ids;
+  for (const auto& t : corpus.tweets) ids.insert(t.id);
+  EXPECT_EQ(ids.size(), 100u);
+  EXPECT_LT(corpus.tweets[9].id, corpus.tweets[10].id);
+}
+
+TEST(Tweets, TopicWordsDominateTheirTopic) {
+  TweetParams p;
+  p.num_tweets = 2000;
+  p.seed = 3;
+  auto corpus = generate_tweets(p);
+  // For each topic, count how often its pool words appear in tweets of
+  // that topic vs other topics.
+  for (int topic = 0; topic < tweet_topic_count(); ++topic) {
+    const auto& pool = tweet_topic_pool(topic);
+    std::set<std::string> pool_set(pool.begin(), pool.end());
+    std::size_t own = 0, other = 0, own_words = 0, other_words = 0;
+    for (const auto& t : corpus.tweets) {
+      for (const auto& w : t.words) {
+        const bool in_pool = pool_set.count(w) > 0;
+        if (t.true_topic == topic) {
+          own_words += 1;
+          own += in_pool;
+        } else {
+          other_words += 1;
+          other += in_pool;
+        }
+      }
+    }
+    const double own_rate = static_cast<double>(own) / static_cast<double>(own_words);
+    const double other_rate =
+        static_cast<double>(other) / static_cast<double>(other_words);
+    EXPECT_GT(own_rate, 5.0 * other_rate) << "topic " << topic;
+  }
+}
+
+TEST(Tweets, DeterministicBySeed) {
+  TweetParams p;
+  p.num_tweets = 50;
+  auto a = generate_tweets(p);
+  auto b = generate_tweets(p);
+  ASSERT_EQ(a.tweets.size(), b.tweets.size());
+  for (std::size_t i = 0; i < a.tweets.size(); ++i) {
+    EXPECT_EQ(a.tweets[i].words, b.tweets[i].words);
+  }
+}
+
+TEST(Tweets, RejectsBadParameters) {
+  TweetParams p;
+  p.words_min = 0;
+  EXPECT_THROW(generate_tweets(p), std::invalid_argument);
+  TweetParams q;
+  q.topic_word_prob = 0.9;
+  q.stopword_prob = 0.3;
+  EXPECT_THROW(generate_tweets(q), std::invalid_argument);
+}
+
+TEST(Tweets, TopicAccessorsGuardRange) {
+  EXPECT_THROW(tweet_topic_name(-1), std::out_of_range);
+  EXPECT_THROW(tweet_topic_pool(5), std::out_of_range);
+  EXPECT_EQ(tweet_topic_name(0), "turkish");
+}
+
+}  // namespace
+}  // namespace graphulo::gen

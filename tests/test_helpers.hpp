@@ -1,0 +1,112 @@
+#pragma once
+// Shared helpers for the test suite: dense reference implementations the
+// sparse kernels are checked against, and random sparse matrix builders.
+
+#include <cstdint>
+#include <vector>
+
+#include "la/la.hpp"
+#include "util/rng.hpp"
+
+namespace graphulo::testing {
+
+using la::Index;
+using la::SpMat;
+using la::Triple;
+
+/// Random sparse matrix: each cell nonzero with probability `density`,
+/// value uniform in [lo, hi].
+inline SpMat<double> random_sparse(Index rows, Index cols, double density,
+                                   std::uint64_t seed, double lo = 0.5,
+                                   double hi = 2.0) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> triples;
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      if (rng.uniform() < density) triples.push_back({i, j, rng.uniform(lo, hi)});
+    }
+  }
+  return SpMat<double>::from_triples(rows, cols, std::move(triples));
+}
+
+/// Random sparse matrix with small-integer values (exact arithmetic).
+inline SpMat<double> random_sparse_int(Index rows, Index cols, double density,
+                                       std::uint64_t seed, int max_value = 4) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> triples;
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      if (rng.uniform() < density) {
+        triples.push_back(
+            {i, j, static_cast<double>(1 + rng.uniform_int(
+                       static_cast<std::uint64_t>(max_value)))});
+      }
+    }
+  }
+  return SpMat<double>::from_triples(rows, cols, std::move(triples));
+}
+
+/// Random simple undirected graph as a 0/1 symmetric adjacency matrix.
+inline SpMat<double> random_undirected(Index n, double density,
+                                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Triple<double>> triples;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      if (rng.uniform() < density) {
+        triples.push_back({i, j, 1.0});
+        triples.push_back({j, i, 1.0});
+      }
+    }
+  }
+  return SpMat<double>::from_triples(n, n, std::move(triples));
+}
+
+/// Dense reference SpGEMM over an arbitrary semiring.
+template <class SR>
+std::vector<typename SR::value_type> dense_gemm_ref(
+    const std::vector<typename SR::value_type>& a, Index m, Index k,
+    const std::vector<typename SR::value_type>& b, Index n) {
+  using T = typename SR::value_type;
+  std::vector<T> c(static_cast<std::size_t>(m) * n, SR::zero());
+  for (Index i = 0; i < m; ++i) {
+    for (Index p = 0; p < k; ++p) {
+      const T av = a[static_cast<std::size_t>(i) * k + p];
+      for (Index j = 0; j < n; ++j) {
+        const T bv = b[static_cast<std::size_t>(p) * n + j];
+        c[static_cast<std::size_t>(i) * n + j] =
+            SR::add(c[static_cast<std::size_t>(i) * n + j], SR::mul(av, bv));
+      }
+    }
+  }
+  return c;
+}
+
+/// The 5-vertex example graph of the paper's Fig. 1. Edges (1-indexed in
+/// the paper, 0-indexed here): e1=(v1,v2), e2=(v2,v3), e3=(v1,v4),
+/// e4=(v3,v4), e5=(v1,v3), e6=(v2,v5), read off the incidence matrix E
+/// printed in Section III-B.
+inline SpMat<double> paper_example_incidence() {
+  // Rows = 6 edges, cols = 5 vertices; matches the matrix E in the paper.
+  const std::vector<double> dense = {
+      1, 1, 0, 0, 0,  //
+      0, 1, 1, 0, 0,  //
+      1, 0, 0, 1, 0,  //
+      0, 0, 1, 1, 0,  //
+      1, 0, 1, 0, 0,  //
+      0, 1, 0, 0, 1};
+  return SpMat<double>::from_dense(6, 5, dense);
+}
+
+/// Adjacency matrix of the same example graph (A = E^T E - diag(d)).
+inline SpMat<double> paper_example_adjacency() {
+  const std::vector<double> dense = {
+      0, 1, 1, 1, 0,  //
+      1, 0, 1, 0, 1,  //
+      1, 1, 0, 1, 0,  //
+      1, 0, 1, 0, 0,  //
+      0, 1, 0, 0, 0};
+  return SpMat<double>::from_dense(5, 5, dense);
+}
+
+}  // namespace graphulo::testing

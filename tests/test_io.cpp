@@ -1,0 +1,121 @@
+// Matrix Market / TSV edge-list I/O and the D4M degree filter.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "assoc/schemas.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/graphulo_io_" + name;
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const auto a = random_sparse(17, 23, 0.2, 601);
+  const auto path = temp_path("roundtrip.mtx");
+  ASSERT_TRUE(write_matrix_market(a, path));
+  const auto b = read_matrix_market(path);
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.nnz(), b.nnz());
+  for (const auto& t : a.to_triples()) {
+    EXPECT_NEAR(b.at(t.row, t.col), t.val, 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, ReadsSymmetricAndPattern) {
+  const auto path = temp_path("sym.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        << "% a comment line\n"
+        << "3 3 2\n"
+        << "2 1\n"
+        << "3 3\n";
+  }
+  const auto a = read_matrix_market(path);
+  EXPECT_EQ(a.at(1, 0), 1.0);
+  EXPECT_EQ(a.at(0, 1), 1.0);  // mirrored
+  EXPECT_EQ(a.at(2, 2), 1.0);  // diagonal not duplicated
+  EXPECT_EQ(a.nnz(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, RejectsBadInput) {
+  EXPECT_THROW(read_matrix_market("/no/such/file.mtx"), std::runtime_error);
+  const auto path = temp_path("bad.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+  }
+  EXPECT_THROW(read_matrix_market(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n";
+  }
+  EXPECT_THROW(read_matrix_market(path), std::runtime_error);  // out of range
+  std::remove(path.c_str());
+}
+
+TEST(EdgeTsv, RoundTrip) {
+  const auto a = graphulo::testing::random_sparse_int(12, 12, 0.3, 602);
+  const auto path = temp_path("edges.tsv");
+  ASSERT_TRUE(write_edge_tsv(a, path));
+  EXPECT_EQ(read_edge_tsv(path, 12), a);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeTsv, InfersDimensionAndSkipsComments) {
+  const auto path = temp_path("infer.tsv");
+  {
+    std::ofstream out(path);
+    out << "# comment\n0 1\n1 2 2.5\n% other comment\n4 0\n";
+  }
+  const auto a = read_edge_tsv(path);
+  EXPECT_EQ(a.rows(), 5);  // max id 4
+  EXPECT_EQ(a.at(0, 1), 1.0);   // default weight
+  EXPECT_EQ(a.at(1, 2), 2.5);
+  EXPECT_EQ(a.at(4, 0), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeTsv, DuplicatesSumAndErrorsSurface) {
+  const auto path = temp_path("dups.tsv");
+  {
+    std::ofstream out(path);
+    out << "0 1 2\n0 1 3\n";
+  }
+  EXPECT_EQ(read_edge_tsv(path).at(0, 1), 5.0);
+  {
+    std::ofstream out(path);
+    out << "not numbers\n";
+  }
+  EXPECT_THROW(read_edge_tsv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DegreeFilter, DropsCommonAndRareColumns) {
+  using assoc::AssocArray;
+  // col "stop" in 3 rows, "mid" in 2, "rare" in 1.
+  auto a = AssocArray::from_entries({{"r1", "stop", 1.0}, {"r2", "stop", 5.0},
+                                     {"r3", "stop", 1.0}, {"r1", "mid", 1.0},
+                                     {"r2", "mid", 1.0}, {"r3", "rare", 1.0}});
+  const auto filtered = assoc::filter_cols_by_degree(a, 2.0, 2.0);
+  EXPECT_EQ(filtered.col_keys(), (std::vector<std::string>{"mid"}));
+  // Degree counts structure, not value sums (stop has value-sum 7 but
+  // degree 3).
+  const auto no_rare = assoc::filter_cols_by_degree(a, 2.0, 0.0);
+  EXPECT_EQ(no_rare.col_keys(), (std::vector<std::string>{"mid", "stop"}));
+}
+
+}  // namespace
+}  // namespace graphulo::la

@@ -1,0 +1,169 @@
+// Jaccard similarity — Algorithm 2, verified against the exact
+// intermediate matrices and final coefficients of the paper's Fig. 2,
+// plus agreement properties across the three implementations.
+
+#include <gtest/gtest.h>
+
+#include "algo/jaccard.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::algo {
+namespace {
+
+using graphulo::testing::paper_example_adjacency;
+using graphulo::testing::random_undirected;
+using la::Index;
+using la::SpMat;
+
+TEST(JaccardPaperExample, IntermediateMatricesMatchFig2) {
+  const auto a = paper_example_adjacency();
+  const auto u = la::triu(a);
+  // U as printed in Fig. 2.
+  EXPECT_EQ(u.to_dense(), (std::vector<double>{
+      0, 1, 1, 1, 0,
+      0, 0, 1, 0, 1,
+      0, 0, 0, 1, 0,
+      0, 0, 0, 0, 0,
+      0, 0, 0, 0, 0}));
+  // U^2 as printed.
+  const auto u2 = la::spgemm<la::PlusTimes<double>>(u, u);
+  EXPECT_EQ(u2.to_dense(), (std::vector<double>{
+      0, 0, 1, 1, 1,
+      0, 0, 0, 1, 0,
+      0, 0, 0, 0, 0,
+      0, 0, 0, 0, 0,
+      0, 0, 0, 0, 0}));
+  // U U^T as printed.
+  const auto uut = la::spgemm<la::PlusTimes<double>>(u, la::transpose(u));
+  EXPECT_EQ(uut.to_dense(), (std::vector<double>{
+      3, 1, 1, 0, 0,
+      1, 2, 0, 0, 0,
+      1, 0, 1, 0, 0,
+      0, 0, 0, 0, 0,
+      0, 0, 0, 0, 0}));
+  // U^T U as printed.
+  const auto utu = la::spgemm<la::PlusTimes<double>>(la::transpose(u), u);
+  EXPECT_EQ(utu.to_dense(), (std::vector<double>{
+      0, 0, 0, 0, 0,
+      0, 1, 1, 1, 0,
+      0, 1, 2, 1, 1,
+      0, 1, 1, 2, 0,
+      0, 0, 1, 0, 1}));
+  // J (common-neighbor counts) = U^2 + triu(UU^T) + triu(U^TU) - diag.
+  const auto counts = la::remove_diag(
+      la::add(u2, la::add(la::triu(uut), la::triu(utu))));
+  EXPECT_EQ(counts.to_dense(), (std::vector<double>{
+      0, 1, 2, 1, 1,
+      0, 0, 1, 2, 0,
+      0, 0, 0, 1, 1,
+      0, 0, 0, 0, 0,
+      0, 0, 0, 0, 0}));
+}
+
+TEST(JaccardPaperExample, FinalCoefficientsMatchFig2) {
+  const auto j = jaccard_linalg(paper_example_adjacency());
+  EXPECT_NEAR(j.at(0, 1), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(j.at(0, 2), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(j.at(0, 3), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(j.at(0, 4), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(j.at(1, 2), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(j.at(1, 3), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(j.at(2, 3), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(j.at(2, 4), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(j.at(1, 4), 0.0);  // adjacent but no common neighbors
+  EXPECT_EQ(j.at(3, 4), 0.0);
+  // Symmetric, zero diagonal.
+  EXPECT_TRUE(la::is_symmetric(j));
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(j.at(i, i), 0.0);
+}
+
+TEST(Jaccard, RejectsNonSquareOrSelfLoops) {
+  SpMat<double> rect(2, 3);
+  EXPECT_THROW(jaccard_linalg(rect), std::invalid_argument);
+  auto loop = SpMat<double>::from_triples(2, 2, {{0, 0, 1.0}});
+  EXPECT_THROW(jaccard_linalg(loop), std::invalid_argument);
+}
+
+TEST(Jaccard, EmptyAndSingleEdgeGraphs) {
+  SpMat<double> empty(4, 4);
+  EXPECT_EQ(jaccard_linalg(empty).nnz(), 0);
+  auto one_edge = SpMat<double>::from_triples(3, 3, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_EQ(jaccard_linalg(one_edge).nnz(), 0);  // no common neighbors
+}
+
+TEST(Jaccard, CompleteGraphCoefficients) {
+  // In K_n every pair shares n-2 neighbors and |union| = n:
+  // J = (n-2)/( (n-1)+(n-1)-(n-2) ) = (n-2)/n.
+  const Index n = 6;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (i != j) t.push_back({i, j, 1.0});
+    }
+  }
+  const auto j = jaccard_linalg(SpMat<double>::from_triples(n, n, t));
+  for (Index p = 0; p < n; ++p) {
+    for (Index q = 0; q < n; ++q) {
+      if (p != q) {
+        EXPECT_NEAR(j.at(p, q), (n - 2.0) / n, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Jaccard, CoefficientsAreInUnitInterval) {
+  const auto a = random_undirected(50, 0.15, 61);
+  const auto j = jaccard_linalg(a);
+  for (double v : j.values()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+class JaccardAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JaccardAgreement, ThreeImplementationsAgree) {
+  const auto a = random_undirected(45, 0.18, GetParam());
+  const auto fast = jaccard_linalg(a);
+  const auto naive = jaccard_naive(a);
+  const auto brute = jaccard_baseline(a);
+  ASSERT_EQ(fast.nnz(), naive.nnz());
+  ASSERT_EQ(fast.nnz(), brute.nnz());
+  for (const auto& t : fast.to_triples()) {
+    EXPECT_NEAR(naive.at(t.row, t.col), t.val, 1e-12);
+    EXPECT_NEAR(brute.at(t.row, t.col), t.val, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JaccardAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LinkPrediction, RanksNonAdjacentPairs) {
+  // Two triangles sharing vertex 2 with a missing chord: the pair with
+  // the largest neighborhood overlap should top the prediction list.
+  // Graph: 0-1, 0-2, 1-2, 2-3, 2-4, 3-4, plus 0-3.
+  const auto a = SpMat<double>::from_triples(
+      5, 5, {{0, 1, 1.0}, {1, 0, 1.0}, {0, 2, 1.0}, {2, 0, 1.0},
+             {1, 2, 1.0}, {2, 1, 1.0}, {2, 3, 1.0}, {3, 2, 1.0},
+             {2, 4, 1.0}, {4, 2, 1.0}, {3, 4, 1.0}, {4, 3, 1.0},
+             {0, 3, 1.0}, {3, 0, 1.0}});
+  const auto links = predict_links(a, 3);
+  ASSERT_FALSE(links.empty());
+  for (const auto& link : links) {
+    EXPECT_EQ(a.at(link.u, link.v), 0.0);  // only non-edges predicted
+    EXPECT_GT(link.score, 0.0);
+  }
+  // Scores are sorted descending.
+  for (std::size_t i = 1; i < links.size(); ++i) {
+    EXPECT_GE(links[i - 1].score, links[i].score);
+  }
+}
+
+TEST(LinkPrediction, TopKTruncates) {
+  const auto a = random_undirected(30, 0.2, 71);
+  EXPECT_LE(predict_links(a, 5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace graphulo::algo

@@ -1,0 +1,68 @@
+// Kronecker product kernel.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/kron.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse_int;
+
+TEST(Kron, KnownSmallProduct) {
+  auto a = SpMat<double>::from_dense(2, 2, std::vector<double>{1, 2, 3, 4});
+  auto b = SpMat<double>::from_dense(2, 2, std::vector<double>{0, 5, 6, 7});
+  auto c = kron(a, b);
+  EXPECT_EQ(c.rows(), 4);
+  EXPECT_EQ(c.cols(), 4);
+  EXPECT_EQ(c.to_dense(), (std::vector<double>{
+      0, 5, 0, 10,
+      6, 7, 12, 14,
+      0, 15, 0, 20,
+      18, 21, 24, 28}));
+}
+
+TEST(Kron, NnzIsProductOfNnz) {
+  auto a = random_sparse_int(5, 4, 0.4, 131);
+  auto b = random_sparse_int(3, 6, 0.4, 132);
+  auto c = kron(a, b);
+  EXPECT_EQ(c.nnz(), a.nnz() * b.nnz());
+  c.check_invariants();
+}
+
+TEST(Kron, IdentityKronIdentityIsIdentity) {
+  EXPECT_EQ(kron(identity<double>(3), identity<double>(4)),
+            identity<double>(12));
+}
+
+TEST(Kron, MatchesDenseDefinition) {
+  auto a = random_sparse_int(3, 4, 0.5, 133);
+  auto b = random_sparse_int(2, 5, 0.5, 134);
+  auto c = kron(a, b);
+  const auto ad = a.to_dense();
+  const auto bd = b.to_dense();
+  for (Index ia = 0; ia < 3; ++ia) {
+    for (Index ja = 0; ja < 4; ++ja) {
+      for (Index ib = 0; ib < 2; ++ib) {
+        for (Index jb = 0; jb < 5; ++jb) {
+          EXPECT_EQ(c.at(ia * 2 + ib, ja * 5 + jb),
+                    ad[static_cast<std::size_t>(ia) * 4 + ja] *
+                        bd[static_cast<std::size_t>(ib) * 5 + jb]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kron, CustomMulOperator) {
+  auto a = SpMat<double>::from_dense(1, 2, std::vector<double>{2, 3});
+  auto b = SpMat<double>::from_dense(1, 2, std::vector<double>{4, 5});
+  auto c = kron(a, b, [](double x, double y) { return std::min(x, y); });
+  EXPECT_EQ(c.to_dense(), (std::vector<double>{2, 2, 3, 3}));
+}
+
+}  // namespace
+}  // namespace graphulo::la

@@ -1,0 +1,237 @@
+// k-truss — Algorithm 1, verified step by step against the exact
+// intermediate matrices printed in the paper (Fig. 1 example), plus
+// property tests: incremental vs recompute arms agree, linalg vs
+// edge-peeling baseline agree, truss decomposition invariants.
+
+#include <gtest/gtest.h>
+
+#include "algo/ktruss.hpp"
+#include "gen/erdos.hpp"
+#include "gen/planted.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::algo {
+namespace {
+
+using graphulo::testing::paper_example_adjacency;
+using graphulo::testing::paper_example_incidence;
+using graphulo::testing::random_undirected;
+using la::Index;
+using la::SpMat;
+
+TEST(KTrussPaperExample, IncidenceToAdjacencyIdentity) {
+  // A = E^T E - diag(d), with the exact matrices from Section III-B.
+  const auto e = paper_example_incidence();
+  EXPECT_EQ(adjacency_from_incidence(e, 5), paper_example_adjacency());
+}
+
+TEST(KTrussPaperExample, InitialSupportVector) {
+  // The paper computes s = (R == 2) 1 = [1 1 1 2 0]^T... transcribed:
+  // supports per edge are [1, 1, 1, 2, 0] for edges 1..5 and edge 6 has
+  // support 0? The printed s is [1; 1; 1; 2; 0] for 5 of 6 edges with
+  // x = {6}: edges 1-5 have support >= 1 and edge 6 support 0.
+  const auto e = paper_example_incidence();
+  const auto d = la::col_sums(e);
+  const auto a =
+      la::subtract(la::spgemm<la::PlusTimes<double>>(la::transpose(e), e),
+                   la::diag_matrix(d));
+  const auto r = la::spgemm<la::PlusTimes<double>>(e, a);
+  const auto s = la::row_sums(la::equals_indicator(r, 2.0));
+  // Paper prints s = [1 1 1 2 0 ...]: the key fact driving the example
+  // is that edge 6 (v2-v5) alone has support < 1 for k = 3.
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_GE(s[0], 1.0);
+  EXPECT_GE(s[1], 1.0);
+  EXPECT_GE(s[2], 1.0);
+  EXPECT_GE(s[3], 1.0);
+  EXPECT_GE(s[4], 1.0);
+  EXPECT_EQ(s[5], 0.0);  // the dangling edge v2-v5
+}
+
+TEST(KTrussPaperExample, RMatrixMatchesPaper) {
+  // R = E * A exactly as printed in the paper.
+  const auto e = paper_example_incidence();
+  const auto a = paper_example_adjacency();
+  const auto r = la::spgemm<la::PlusTimes<double>>(e, a);
+  const std::vector<double> expected = {
+      1, 1, 2, 1, 1,  //
+      2, 1, 1, 1, 1,  //
+      1, 1, 2, 1, 0,  //
+      2, 1, 1, 1, 0,  //
+      1, 2, 1, 2, 0,  //
+      1, 1, 1, 0, 1};
+  EXPECT_EQ(r.to_dense(), expected);
+}
+
+TEST(KTrussPaperExample, ThreeTrussRemovesEdgeSix) {
+  const auto e = paper_example_incidence();
+  KTrussStats stats;
+  const auto e3 = ktruss_incidence(e, 3, &stats);
+  // The paper's walk-through removes exactly edge 6 in one round and
+  // stops: the remaining 5 edges are a 3-truss.
+  EXPECT_EQ(e3.rows(), 5);
+  EXPECT_EQ(stats.rounds, 1);
+  EXPECT_EQ(stats.edges_removed, 1);
+  // The surviving incidence matrix equals the first five rows of E.
+  EXPECT_EQ(e3, la::spref_rows(e, {0, 1, 2, 3, 4}));
+  // And the paper's updated R (first five rows, last column zeroed).
+  const auto a3 = adjacency_from_incidence(e3, 5);
+  const auto r3 = la::spgemm<la::PlusTimes<double>>(e3, a3);
+  const std::vector<double> expected_r = {
+      1, 1, 2, 1, 0,  //
+      2, 1, 1, 1, 0,  //
+      1, 1, 2, 1, 0,  //
+      2, 1, 1, 1, 0,  //
+      1, 2, 1, 2, 0};
+  EXPECT_EQ(r3.to_dense(), expected_r);
+}
+
+TEST(KTruss, TwoTrussIsWholeGraph) {
+  const auto e = paper_example_incidence();
+  EXPECT_EQ(ktruss_incidence(e, 2), e);
+}
+
+TEST(KTruss, AdjacencyWrapperMatchesIncidenceForm) {
+  const auto a = paper_example_adjacency();
+  const auto t = ktruss_adjacency(a, 3);
+  EXPECT_EQ(t.at(1, 4), 0.0);  // v2-v5 removed
+  EXPECT_EQ(t.at(4, 1), 0.0);
+  EXPECT_EQ(t.nnz(), 10);  // 5 undirected edges
+  EXPECT_TRUE(la::is_symmetric(t));
+}
+
+TEST(KTruss, CliqueIsItsOwnTruss) {
+  // K6 is a 6-truss: nothing removed for any k <= 6.
+  const Index n = 6;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (i != j) t.push_back({i, j, 1.0});
+    }
+  }
+  const auto a = SpMat<double>::from_triples(n, n, t);
+  for (int k = 3; k <= 6; ++k) {
+    EXPECT_EQ(ktruss_adjacency(a, k), a) << "k=" << k;
+  }
+  EXPECT_EQ(ktruss_adjacency(a, 7).nnz(), 0);
+}
+
+TEST(KTruss, CycleHasEmptyThreeTruss) {
+  const Index n = 8;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    const Index j = (i + 1) % n;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  const auto a = SpMat<double>::from_triples(n, n, t);
+  EXPECT_EQ(ktruss_adjacency(a, 3).nnz(), 0);
+}
+
+TEST(KTruss, IncrementalAndRecomputeArmsAgree) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto a = random_undirected(40, 0.15, seed);
+    const auto e = incidence_from_adjacency(a);
+    for (int k : {3, 4}) {
+      KTrussStats s1, s2;
+      const auto incremental = ktruss_incidence(e, k, &s1, true);
+      const auto recompute = ktruss_incidence(e, k, &s2, false);
+      EXPECT_EQ(incremental, recompute) << "seed " << seed << " k " << k;
+      EXPECT_EQ(s1.rounds, s2.rounds);
+      EXPECT_EQ(s1.edges_removed, s2.edges_removed);
+    }
+  }
+}
+
+TEST(KTruss, MatchesPeelingBaselineOnRandomGraphs) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto a = random_undirected(35, 0.2, seed);
+    for (int k : {3, 4, 5}) {
+      EXPECT_EQ(ktruss_adjacency(a, k), ktruss_peeling_baseline(a, k))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(KTruss, PlantedCliqueIsolatedByTruss) {
+  // A 10-clique planted in sparse noise survives k=6 while the noise
+  // does not (clique edges have support 8 >= 4).
+  const auto g = gen::planted_clique(150, 10, 0.015, 99);
+  const auto t = ktruss_adjacency(g.adjacency, 6);
+  // All clique edges survive.
+  for (Index u : g.planted_set) {
+    for (Index v : g.planted_set) {
+      if (u != v) {
+        EXPECT_EQ(t.at(u, v), 1.0);
+      }
+    }
+  }
+  // The truss is not much larger than the clique itself.
+  EXPECT_LE(t.nnz(), 10 * 9 + 20);
+}
+
+TEST(KTruss, NestednessProperty) {
+  // "Any k-truss in a graph is part of a (k-1)-truss" (Section III-B):
+  // every edge of the k-truss must appear in the (k-1)-truss.
+  const auto a = random_undirected(40, 0.25, 21);
+  auto prev = ktruss_adjacency(a, 3);
+  for (int k = 4; k <= 6; ++k) {
+    const auto current = ktruss_adjacency(a, k);
+    for (const auto& t : current.to_triples()) {
+      EXPECT_EQ(prev.at(t.row, t.col), 1.0) << "k=" << k;
+    }
+    prev = current;
+  }
+}
+
+TEST(TrussDecomposition, PaperExample) {
+  const auto decomp = truss_decomposition(paper_example_adjacency());
+  ASSERT_EQ(decomp.edges.size(), 6u);
+  // Edge (1,4) (0-indexed v2-v5) has truss number 2; all others 3.
+  for (std::size_t i = 0; i < decomp.edges.size(); ++i) {
+    const auto [u, v] = decomp.edges[i];
+    const int expected = (u == 1 && v == 4) ? 2 : 3;
+    EXPECT_EQ(decomp.truss_number[i], expected) << u << "-" << v;
+  }
+  EXPECT_EQ(decomp.max_k, 3);
+}
+
+TEST(TrussDecomposition, ConsistentWithDirectKTruss) {
+  const auto a = random_undirected(30, 0.25, 31);
+  const auto decomp = truss_decomposition(a);
+  for (int k = 3; k <= decomp.max_k; ++k) {
+    const auto tk = ktruss_adjacency(a, k);
+    for (std::size_t i = 0; i < decomp.edges.size(); ++i) {
+      const auto [u, v] = decomp.edges[i];
+      const bool in_truss = tk.at(u, v) != 0.0;
+      EXPECT_EQ(decomp.truss_number[i] >= k, in_truss)
+          << "edge " << u << "-" << v << " k " << k;
+    }
+  }
+}
+
+TEST(TrussDecomposition, CliqueAllMaxK) {
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      if (i != j) t.push_back({i, j, 1.0});
+    }
+  }
+  const auto decomp = truss_decomposition(SpMat<double>::from_triples(5, 5, t));
+  EXPECT_EQ(decomp.max_k, 5);
+  for (int tn : decomp.truss_number) EXPECT_EQ(tn, 5);
+}
+
+TEST(IncidenceBuilders, RoundTripOnRandomGraphs) {
+  for (std::uint64_t seed : {41u, 42u}) {
+    const auto a = random_undirected(25, 0.3, seed);
+    const auto e = incidence_from_adjacency(a);
+    EXPECT_EQ(adjacency_from_incidence(e, 25), a);
+    // Each incidence row has exactly two endpoints.
+    for (Index r = 0; r < e.rows(); ++r) EXPECT_EQ(e.row_degree(r), 2);
+  }
+}
+
+}  // namespace
+}  // namespace graphulo::algo

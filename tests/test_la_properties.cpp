@@ -1,0 +1,176 @@
+// Algebraic property tests over randomized inputs: the identities the
+// GraphBLAS kernel set must satisfy for the paper's algorithm
+// derivations (A = E'E - diag, the Jaccard decomposition, the k-truss
+// update rule) to be sound. Small-integer values keep arithmetic exact,
+// so every identity is checked with operator== — no tolerances.
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse_int;
+
+class LaAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  SpMat<double> A() const { return random_sparse_int(14, 14, 0.3, GetParam()); }
+  SpMat<double> B() const {
+    return random_sparse_int(14, 14, 0.3, GetParam() + 1000);
+  }
+  SpMat<double> C() const {
+    return random_sparse_int(14, 14, 0.3, GetParam() + 2000);
+  }
+};
+
+TEST_P(LaAlgebra, MatrixMultiplicationIsAssociative) {
+  const auto a = A(), b = B(), c = C();
+  EXPECT_EQ(spgemm_arith(spgemm_arith(a, b), c),
+            spgemm_arith(a, spgemm_arith(b, c)));
+}
+
+TEST_P(LaAlgebra, MultiplicationDistributesOverAddition) {
+  const auto a = A(), b = B(), c = C();
+  EXPECT_EQ(spgemm_arith(a, add(b, c)),
+            add(spgemm_arith(a, b), spgemm_arith(a, c)));
+  EXPECT_EQ(spgemm_arith(add(a, b), c),
+            add(spgemm_arith(a, c), spgemm_arith(b, c)));
+}
+
+TEST_P(LaAlgebra, TransposeReversesProducts) {
+  const auto a = A(), b = B();
+  EXPECT_EQ(transpose(spgemm_arith(a, b)),
+            spgemm_arith(transpose(b), transpose(a)));
+}
+
+TEST_P(LaAlgebra, TransposeDistributesOverAddition) {
+  const auto a = A(), b = B();
+  EXPECT_EQ(transpose(add(a, b)), add(transpose(a), transpose(b)));
+}
+
+TEST_P(LaAlgebra, ScaleCommutesWithMultiply) {
+  const auto a = A(), b = B();
+  EXPECT_EQ(scale(spgemm_arith(a, b), 3.0), spgemm_arith(scale(a, 3.0), b));
+  EXPECT_EQ(scale(spgemm_arith(a, b), 3.0), spgemm_arith(a, scale(b, 3.0)));
+}
+
+TEST_P(LaAlgebra, HadamardIsCommutativeAndAssociative) {
+  const auto a = A(), b = B(), c = C();
+  EXPECT_EQ(hadamard(a, b), hadamard(b, a));
+  EXPECT_EQ(hadamard(hadamard(a, b), c), hadamard(a, hadamard(b, c)));
+}
+
+TEST_P(LaAlgebra, SpMvAgreesWithSpGemmOnColumnMatrix) {
+  const auto a = A();
+  // x as an n x 1 matrix: A*x via SpGEMM must equal spmv.
+  std::vector<Triple<double>> xt;
+  for (Index i = 0; i < 14; ++i) {
+    xt.push_back({i, 0, static_cast<double>((i % 5) - 2)});
+  }
+  const auto x_mat = SpMat<double>::from_triples(14, 1, xt);
+  std::vector<double> x_vec(14);
+  for (Index i = 0; i < 14; ++i) {
+    x_vec[static_cast<std::size_t>(i)] = static_cast<double>((i % 5) - 2);
+  }
+  const auto via_gemm = spgemm_arith(a, x_mat);
+  const auto via_spmv = spmv<PlusTimes<double>>(a, x_vec);
+  for (Index i = 0; i < 14; ++i) {
+    EXPECT_EQ(via_gemm.at(i, 0), via_spmv[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_P(LaAlgebra, ReduceRowsEqualsSpMvWithOnes) {
+  const auto a = A();
+  const std::vector<double> ones(14, 1.0);
+  EXPECT_EQ(row_sums(a), (spmv<PlusTimes<double>>(a, ones)));
+}
+
+TEST_P(LaAlgebra, KronMixedProductProperty) {
+  // (A (x) B)(C (x) D) = (AC) (x) (BD) on small operands.
+  const auto a = random_sparse_int(4, 5, 0.5, GetParam() + 1);
+  const auto b = random_sparse_int(3, 4, 0.5, GetParam() + 2);
+  const auto c = random_sparse_int(5, 4, 0.5, GetParam() + 3);
+  const auto d = random_sparse_int(4, 3, 0.5, GetParam() + 4);
+  EXPECT_EQ(spgemm_arith(kron(a, b), kron(c, d)),
+            kron(spgemm_arith(a, c), spgemm_arith(b, d)));
+}
+
+TEST_P(LaAlgebra, KronDistributesOverAddition) {
+  const auto a = random_sparse_int(4, 4, 0.5, GetParam() + 5);
+  const auto b = random_sparse_int(4, 4, 0.5, GetParam() + 6);
+  const auto c = random_sparse_int(3, 3, 0.5, GetParam() + 7);
+  EXPECT_EQ(kron(add(a, b), c), add(kron(a, c), kron(b, c)));
+}
+
+TEST_P(LaAlgebra, SpRefComposesWithSpGemm) {
+  // (A B)(rows, :) == A(rows, :) B — the identity the k-truss update
+  // rule relies on when restricting R to surviving edges.
+  const auto a = A(), b = B();
+  const std::vector<Index> rows = {0, 3, 7, 11};
+  EXPECT_EQ(spref_rows(spgemm_arith(a, b), rows),
+            spgemm_arith(spref_rows(a, rows), b));
+}
+
+TEST_P(LaAlgebra, TriuTrilDiagPartition) {
+  const auto a = A();
+  EXPECT_EQ(add(add(triu(a), tril(a)), diag_matrix(diag_vector(a))), a);
+  // triu and tril are idempotent.
+  EXPECT_EQ(triu(triu(a)), triu(a));
+  EXPECT_EQ(tril(tril(a)), tril(a));
+}
+
+TEST_P(LaAlgebra, BooleanSemiringMatchesPatternOfArithmetic) {
+  // Over 0/1 matrices, the OrAndDouble product's pattern equals the
+  // arithmetic product's pattern.
+  const auto a = pattern(A());
+  const auto b = pattern(B());
+  const auto boolean = spgemm<OrAndDouble>(a, b);
+  const auto arithmetic = pattern(spgemm_arith(a, b));
+  EXPECT_EQ(boolean, arithmetic);
+}
+
+TEST_P(LaAlgebra, MinPlusProductIsTwoHopDistances) {
+  // Over (min, +), (A^2)(i, j) <= A(i, k) + A(k, j) for every k, with
+  // equality for some k — verified entry-wise against brute force.
+  using SR = MinPlus<double>;
+  const auto raw = random_sparse_int(10, 10, 0.3, GetParam() + 8);
+  const auto a2 = spgemm<SR>(raw, raw);
+  const auto dense = raw.to_dense();
+  for (Index i = 0; i < 10; ++i) {
+    for (Index j = 0; j < 10; ++j) {
+      double best = SR::zero();
+      for (Index k = 0; k < 10; ++k) {
+        const double x = dense[static_cast<std::size_t>(i) * 10 + k];
+        const double y = dense[static_cast<std::size_t>(k) * 10 + j];
+        if (x != 0.0 && y != 0.0) best = std::min(best, x + y);
+      }
+      EXPECT_EQ(a2.at(i, j, SR::zero()), best) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaAlgebra,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+TEST(PrettyPrint, RendersMatricesAndVectors) {
+  const auto a = SpMat<double>::from_dense(2, 2, std::vector<double>{1, 0,
+                                                                     0.5, 2});
+  const auto s = to_pretty_string(a);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("0.500"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+
+  Dense<double> d(1, 3);
+  d(0, 2) = 4.25;
+  EXPECT_NE(to_pretty_string(d, 2).find("4.25"), std::string::npos);
+
+  EXPECT_EQ(to_pretty_string(std::vector<double>{1.0, 2.5}, 1), "[ 1 2.5 ]");
+}
+
+}  // namespace
+}  // namespace graphulo::la

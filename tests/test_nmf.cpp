@@ -1,0 +1,259 @@
+// NMF and the Newton-Schulz inverse — Algorithms 3, 4, 5 — plus
+// triangle counting.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/inverse.hpp"
+#include "algo/nmf.hpp"
+#include "algo/tricount.hpp"
+#include "assoc/schemas.hpp"
+#include "gen/tweets.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::algo {
+namespace {
+
+using graphulo::testing::random_undirected;
+using la::Dense;
+using la::Index;
+using la::SpMat;
+
+TEST(NewtonInverse, InvertsWellConditionedMatrix) {
+  const auto a = Dense<double>::from_rows(2, 2, {4, 1, 2, 3});
+  const auto result = newton_inverse(a);
+  EXPECT_TRUE(result.converged);
+  const auto prod = la::matmul(a, result.inverse);
+  EXPECT_LT(la::fro_diff(prod, Dense<double>::eye(2)), 1e-9);
+}
+
+TEST(NewtonInverse, MatchesGaussJordan) {
+  util::Xoshiro256 rng(3);
+  // Diagonally dominant random matrices are safely invertible.
+  for (int trial = 0; trial < 5; ++trial) {
+    const Index n = 8;
+    Dense<double> a(n, n);
+    for (Index i = 0; i < n; ++i) {
+      double off = 0;
+      for (Index j = 0; j < n; ++j) {
+        if (i != j) {
+          a(i, j) = rng.uniform(-1.0, 1.0);
+          off += std::abs(a(i, j));
+        }
+      }
+      a(i, i) = off + 1.0;
+    }
+    const auto newton = newton_inverse(a, 1e-14, 500);
+    ASSERT_TRUE(newton.converged) << "trial " << trial;
+    const auto gj = gauss_jordan_inverse(a);
+    EXPECT_LT(la::fro_diff(newton.inverse, gj), 1e-8);
+  }
+}
+
+TEST(NewtonInverse, IdentityIsFixed) {
+  const auto result = newton_inverse(Dense<double>::eye(5));
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(la::fro_diff(result.inverse, Dense<double>::eye(5)), 1e-10);
+}
+
+TEST(NewtonInverse, RejectsBadInput) {
+  EXPECT_THROW(newton_inverse(Dense<double>(2, 3)), std::invalid_argument);
+  EXPECT_THROW(newton_inverse(Dense<double>(3, 3)), std::invalid_argument);
+}
+
+TEST(NewtonInverse, SingularConvergesToPseudoinverse) {
+  // Rank-1 matrix: no inverse exists (Gauss-Jordan throws), but
+  // Newton-Schulz started from cA^T is known to converge to the
+  // Moore-Penrose pseudoinverse A+ = A^T / 25 instead.
+  const auto a = Dense<double>::from_rows(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW(gauss_jordan_inverse(a), std::runtime_error);
+  const auto result = newton_inverse(a, 1e-12, 200);
+  Dense<double> pinv = a.transposed();
+  for (auto& v : pinv.data()) v /= 25.0;
+  EXPECT_LT(la::fro_diff(result.inverse, pinv), 1e-8);
+  // A * A+ is a projector, not the identity.
+  const auto proj = la::matmul(a, result.inverse);
+  EXPECT_GT(la::fro_diff(proj, Dense<double>::eye(2)), 0.5);
+}
+
+TEST(NewtonInverse, IterationCountGrowsWithConditionNumber) {
+  auto make = [](double eps) {
+    auto m = Dense<double>::eye(4);
+    m(3, 3) = eps;  // condition ~ 1/eps
+    return m;
+  };
+  const auto easy = newton_inverse(make(0.5), 1e-12, 500);
+  const auto hard = newton_inverse(make(0.01), 1e-12, 500);
+  ASSERT_TRUE(easy.converged);
+  ASSERT_TRUE(hard.converged);
+  EXPECT_GT(hard.iterations, easy.iterations);
+}
+
+TEST(GaussJordan, KnownInverse) {
+  const auto a = Dense<double>::from_rows(2, 2, {2, 0, 0, 4});
+  const auto inv = gauss_jordan_inverse(a);
+  EXPECT_NEAR(inv(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.25, 1e-12);
+}
+
+// --------------------------------------------------------------------------
+
+SpMat<double> planted_topic_matrix(Index docs, Index terms, int topics,
+                                   std::uint64_t seed,
+                                   std::vector<int>* labels) {
+  // Block matrix: doc d in topic t uses terms from block t, counts 1-3.
+  util::Xoshiro256 rng(seed);
+  std::vector<la::Triple<double>> triples;
+  labels->clear();
+  const Index terms_per_topic = terms / topics;
+  for (Index d = 0; d < docs; ++d) {
+    const int topic = static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(topics)));
+    labels->push_back(topic);
+    for (int w = 0; w < 6; ++w) {
+      const Index term = topic * terms_per_topic +
+                         static_cast<Index>(rng.uniform_int(
+                             static_cast<std::uint64_t>(terms_per_topic)));
+      triples.push_back({d, term, 1.0 + static_cast<double>(rng.uniform_int(3))});
+    }
+  }
+  return SpMat<double>::from_triples(docs, terms, std::move(triples));
+}
+
+TEST(NmfAlsNewton, ResidualDecreasesAndFactorsNonnegative) {
+  std::vector<int> labels;
+  const auto a = planted_topic_matrix(120, 40, 4, 5, &labels);
+  NmfOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 40;
+  const auto result = nmf_als_newton(a, opts);
+  ASSERT_GE(result.residual_history.size(), 2u);
+  // Residual at the end well below the starting residual.
+  EXPECT_LT(result.residual_history.back(),
+            0.9 * result.residual_history.front());
+  for (double v : result.w.data()) EXPECT_GE(v, 0.0);
+  for (double v : result.h.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(NmfAlsNewton, RecoversPlantedTopics) {
+  std::vector<int> labels;
+  const auto a = planted_topic_matrix(200, 40, 4, 7, &labels);
+  NmfOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 60;
+  const auto result = nmf_als_newton(a, opts);
+  const double purity = topic_purity(assign_topics(result.w), labels);
+  EXPECT_GT(purity, 0.9);  // block structure is clean; near-perfect
+}
+
+TEST(NmfMultiplicative, RecoversPlantedTopics) {
+  std::vector<int> labels;
+  const auto a = planted_topic_matrix(200, 40, 4, 9, &labels);
+  NmfOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 80;
+  const auto result = nmf_multiplicative(a, opts);
+  const double purity = topic_purity(assign_topics(result.w), labels);
+  EXPECT_GT(purity, 0.9);
+  // Multiplicative updates never go negative by construction.
+  for (double v : result.w.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(NmfMultiplicative, ResidualMonotonicallyNonIncreasing) {
+  std::vector<int> labels;
+  const auto a = planted_topic_matrix(80, 30, 3, 11, &labels);
+  NmfOptions opts;
+  opts.rank = 3;
+  opts.max_iterations = 30;
+  opts.tolerance = 0.0;  // run all iterations
+  const auto result = nmf_multiplicative(a, opts);
+  for (std::size_t i = 1; i < result.residual_history.size(); ++i) {
+    EXPECT_LE(result.residual_history[i],
+              result.residual_history[i - 1] + 1e-9);
+  }
+}
+
+TEST(Nmf, SyntheticTweetsSeparateIntoTopics) {
+  // The Fig. 3 scenario at test scale: 600 tweets, 5 topics.
+  gen::TweetParams params;
+  params.num_tweets = 600;
+  params.seed = 17;
+  const auto corpus = gen::generate_tweets(params);
+  const auto incidence = assoc::tweets_to_incidence(corpus);
+  NmfOptions opts;
+  opts.rank = 5;
+  opts.max_iterations = 60;
+  opts.seed = 3;
+  const auto result = nmf_multiplicative(incidence.matrix(), opts);
+  std::vector<int> truth;
+  for (const auto& t : corpus.tweets) truth.push_back(t.true_topic);
+  const double purity = topic_purity(assign_topics(result.w), truth);
+  EXPECT_GT(purity, 0.6);  // far above the 0.2 chance level
+}
+
+TEST(Nmf, RejectsBadRank) {
+  SpMat<double> a(4, 4);
+  EXPECT_THROW(nmf_als_newton(a, {.rank = 0}), std::invalid_argument);
+}
+
+TEST(TopicHelpers, AssignAndPurity) {
+  auto w = Dense<double>::from_rows(3, 2, {0.9, 0.1, 0.2, 0.8, 0.6, 0.4});
+  EXPECT_EQ(assign_topics(w), (std::vector<int>{0, 1, 0}));
+  EXPECT_DOUBLE_EQ(topic_purity({0, 1, 0}, {5, 7, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(topic_purity({0, 0, 0, 0}, {1, 1, 2, 2}), 0.5);
+  EXPECT_THROW(topic_purity({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(TopicHelpers, TopTermsSortedByWeight) {
+  auto h = Dense<double>::from_rows(2, 4, {0.1, 0.9, 0.5, 0.2,
+                                           0.7, 0.0, 0.3, 0.8});
+  EXPECT_EQ(top_terms(h, 0, 2), (std::vector<Index>{1, 2}));
+  EXPECT_EQ(top_terms(h, 1, 3), (std::vector<Index>{3, 0, 2}));
+  EXPECT_THROW(top_terms(h, 2, 1), std::out_of_range);
+}
+
+// --------------------------------------------------------------------------
+
+TEST(TriangleCount, KnownSmallGraphs) {
+  // Triangle.
+  auto tri = SpMat<double>::from_triples(
+      3, 3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0},
+             {0, 2, 1.0}, {2, 0, 1.0}});
+  EXPECT_EQ(triangle_count_trace(tri), 1u);
+  EXPECT_EQ(triangle_count_masked(tri), 1u);
+  EXPECT_EQ(triangle_count_baseline(tri), 1u);
+  // K4 has 4 triangles.
+  std::vector<la::Triple<double>> k4;
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      if (i != j) k4.push_back({i, j, 1.0});
+    }
+  }
+  const auto a = SpMat<double>::from_triples(4, 4, k4);
+  EXPECT_EQ(triangle_count_trace(a), 4u);
+  EXPECT_EQ(triangle_count_masked(a), 4u);
+  EXPECT_EQ(triangle_count_baseline(a), 4u);
+  // 4-cycle has none.
+  auto cyc = SpMat<double>::from_triples(
+      4, 4, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0},
+             {2, 3, 1.0}, {3, 2, 1.0}, {3, 0, 1.0}, {0, 3, 1.0}});
+  EXPECT_EQ(triangle_count_trace(cyc), 0u);
+}
+
+class TriangleAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangleAgreement, AllThreeMethodsAgree) {
+  const auto a = random_undirected(60, 0.15, GetParam());
+  const auto expected = triangle_count_baseline(a);
+  EXPECT_EQ(triangle_count_trace(a), expected);
+  EXPECT_EQ(triangle_count_masked(a), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace graphulo::algo

@@ -1,0 +1,282 @@
+// The server-side iterator framework: vector/merge iterators, delete
+// handling, versioning, filters, combiners, transforms.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nosql/codec.hpp"
+#include "nosql/combiner.hpp"
+#include "nosql/filter_iterators.hpp"
+#include "nosql/instance.hpp"
+#include "nosql/iterator.hpp"
+#include "nosql/merge_iterator.hpp"
+#include "nosql/scanner.hpp"
+
+namespace graphulo::nosql {
+namespace {
+
+Cell cell(std::string row, std::string fam, std::string qual, Timestamp ts,
+          std::string value, bool deleted = false) {
+  Cell c;
+  c.key.row = std::move(row);
+  c.key.family = std::move(fam);
+  c.key.qualifier = std::move(qual);
+  c.key.ts = ts;
+  c.key.deleted = deleted;
+  c.value = std::move(value);
+  return c;
+}
+
+IterPtr vec_iter(std::vector<Cell> cells) {
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.key < b.key; });
+  return std::make_unique<VectorIterator>(
+      std::make_shared<const std::vector<Cell>>(std::move(cells)));
+}
+
+TEST(VectorIterator, SeeksWithinRange) {
+  auto it = vec_iter({cell("a", "f", "q", 1, "1"), cell("c", "f", "q", 1, "2"),
+                      cell("e", "f", "q", 1, "3")});
+  const auto cells = drain(*it, Range::row_range("b", "d"));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.row, "c");
+}
+
+TEST(VectorIterator, FullScanInOrder) {
+  auto it = vec_iter({cell("b", "f", "q", 1, "2"), cell("a", "f", "q", 1, "1")});
+  const auto cells = drain(*it, Range::all());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].key.row, "a");
+  EXPECT_EQ(cells[1].key.row, "b");
+}
+
+TEST(VectorIterator, ReseekResets) {
+  auto it = vec_iter({cell("a", "f", "q", 1, "1"), cell("b", "f", "q", 1, "2")});
+  EXPECT_EQ(drain(*it, Range::exact_row("b")).size(), 1u);
+  EXPECT_EQ(drain(*it, Range::all()).size(), 2u);  // reseek widens again
+}
+
+TEST(MergeIterator, InterleavesSources) {
+  std::vector<IterPtr> children;
+  children.push_back(vec_iter({cell("a", "f", "q", 1, "1"),
+                               cell("c", "f", "q", 1, "3")}));
+  children.push_back(vec_iter({cell("b", "f", "q", 1, "2"),
+                               cell("d", "f", "q", 1, "4")}));
+  MergeIterator merge(std::move(children));
+  const auto cells = drain(merge, Range::all());
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].key.row, "a");
+  EXPECT_EQ(cells[1].key.row, "b");
+  EXPECT_EQ(cells[2].key.row, "c");
+  EXPECT_EQ(cells[3].key.row, "d");
+}
+
+TEST(MergeIterator, TieBreaksTowardEarlierChild) {
+  // Same key in both children: the first (newer source) must win first.
+  std::vector<IterPtr> children;
+  children.push_back(vec_iter({cell("a", "f", "q", 5, "new")}));
+  children.push_back(vec_iter({cell("a", "f", "q", 5, "old")}));
+  MergeIterator merge(std::move(children));
+  merge.seek(Range::all());
+  ASSERT_TRUE(merge.has_top());
+  EXPECT_EQ(merge.top_value(), "new");
+}
+
+TEST(MergeIterator, EmptyChildrenHandled) {
+  std::vector<IterPtr> children;
+  children.push_back(vec_iter({}));
+  MergeIterator merge(std::move(children));
+  merge.seek(Range::all());
+  EXPECT_FALSE(merge.has_top());
+}
+
+TEST(DeletingIterator, SuppressesOlderVersionsAndMarker) {
+  auto src = vec_iter({cell("a", "f", "q", 5, "", true),   // delete at ts 5
+                       cell("a", "f", "q", 7, "newer"),    // survives
+                       cell("a", "f", "q", 5, "at-mark"),  // shadowed
+                       cell("a", "f", "q", 3, "older"),    // shadowed
+                       cell("b", "f", "q", 1, "keep")});
+  DeletingIterator del(std::move(src));
+  const auto cells = drain(del, Range::all());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].value, "newer");
+  EXPECT_EQ(cells[1].value, "keep");
+}
+
+TEST(DeletingIterator, MarkerOnlyAffectsItsCell) {
+  auto src = vec_iter({cell("a", "f", "q1", 5, "", true),
+                       cell("a", "f", "q2", 3, "other-col")});
+  DeletingIterator del(std::move(src));
+  const auto cells = drain(del, Range::all());
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].value, "other-col");
+}
+
+TEST(VersioningIterator, KeepsNewestVersion) {
+  auto src = vec_iter({cell("a", "f", "q", 9, "v9"), cell("a", "f", "q", 5, "v5"),
+                       cell("a", "f", "q", 1, "v1"), cell("b", "f", "q", 2, "b2")});
+  VersioningIterator ver(std::move(src), 1);
+  const auto cells = drain(ver, Range::all());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].value, "v9");
+  EXPECT_EQ(cells[1].value, "b2");
+}
+
+TEST(VersioningIterator, KeepsRequestedVersionCount) {
+  auto src = vec_iter({cell("a", "f", "q", 9, "v9"), cell("a", "f", "q", 5, "v5"),
+                       cell("a", "f", "q", 1, "v1")});
+  VersioningIterator ver(std::move(src), 2);
+  const auto cells = drain(ver, Range::all());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].value, "v9");
+  EXPECT_EQ(cells[1].value, "v5");
+}
+
+TEST(FilterIterator, DropsRejectedCells) {
+  auto src = vec_iter({cell("a", "f", "q", 1, "keep"), cell("b", "f", "q", 1, "drop")});
+  FilterIterator filter(std::move(src), [](const Key&, const Value& v) {
+    return v == "keep";
+  });
+  const auto cells = drain(filter, Range::all());
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].value, "keep");
+}
+
+TEST(ColumnFamilyFilter, KeepsNamedFamilies) {
+  auto src = vec_iter({cell("a", "deg", "q", 1, "3"), cell("a", "edge", "q", 1, "1")});
+  auto filter = make_column_family_filter(std::move(src), {"deg"});
+  const auto cells = drain(*filter, Range::all());
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.family, "deg");
+}
+
+TEST(TimestampFilter, KeepsWindow) {
+  auto src = vec_iter({cell("a", "f", "q", 10, "t10"), cell("b", "f", "q", 5, "t5"),
+                       cell("c", "f", "q", 1, "t1")});
+  auto filter = make_timestamp_filter(std::move(src), 2, 7);
+  const auto cells = drain(*filter, Range::all());
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].value, "t5");
+}
+
+TEST(GrepIterator, MatchesAnyField) {
+  auto src = vec_iter({cell("user|alice", "f", "q", 1, "x"),
+                       cell("user|bob", "f", "q", 1, "alice-friend"),
+                       cell("user|carol", "f", "q", 1, "z")});
+  auto grep = make_grep_iterator(std::move(src), "alice");
+  EXPECT_EQ(drain(*grep, Range::all()).size(), 2u);
+}
+
+TEST(TransformIterator, RewritesValues) {
+  auto src = vec_iter({cell("a", "f", "q", 1, encode_double(2.0))});
+  TransformIterator tr(std::move(src), [](const Key&, const Value& v) {
+    return encode_double(decode_double(v).value_or(0.0) * 10.0);
+  });
+  tr.seek(Range::all());
+  ASSERT_TRUE(tr.has_top());
+  EXPECT_EQ(decode_double(tr.top_value()), 20.0);
+}
+
+TEST(Combiner, SumsAllVersionsOfACell) {
+  auto src = vec_iter({cell("a", "f", "q", 3, encode_double(1.5)),
+                       cell("a", "f", "q", 2, encode_double(2.0)),
+                       cell("a", "f", "q", 1, encode_double(0.5)),
+                       cell("b", "f", "q", 1, encode_double(7.0))});
+  CombinerIterator comb(std::move(src), sum_double_reducer());
+  const auto cells = drain(comb, Range::all());
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(decode_double(cells[0].value), 4.0);
+  EXPECT_EQ(cells[0].key.ts, 3);  // newest timestamp kept
+  EXPECT_EQ(decode_double(cells[1].value), 7.0);
+}
+
+TEST(Combiner, RestrictsToNamedFamilies) {
+  auto src = vec_iter({cell("a", "sum", "q", 2, encode_double(1.0)),
+                       cell("a", "sum", "q", 1, encode_double(2.0)),
+                       cell("a", "raw", "q", 2, "x"),
+                       cell("a", "raw", "q", 1, "y")});
+  CombinerIterator comb(std::move(src), sum_double_reducer(), {"sum"});
+  const auto cells = drain(comb, Range::all());
+  // raw family passes through with both versions; sum family collapsed.
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].value, "x");
+  EXPECT_EQ(cells[1].value, "y");
+  EXPECT_EQ(decode_double(cells[2].value), 3.0);
+}
+
+TEST(Combiner, MinMaxIntReducers) {
+  auto src1 = vec_iter({cell("a", "f", "q", 2, encode_double(5.0)),
+                        cell("a", "f", "q", 1, encode_double(3.0))});
+  CombinerIterator mn(std::move(src1), min_double_reducer());
+  mn.seek(Range::all());
+  EXPECT_EQ(decode_double(mn.top_value()), 3.0);
+
+  auto src2 = vec_iter({cell("a", "f", "q", 2, encode_double(5.0)),
+                        cell("a", "f", "q", 1, encode_double(3.0))});
+  CombinerIterator mx(std::move(src2), max_double_reducer());
+  mx.seek(Range::all());
+  EXPECT_EQ(decode_double(mx.top_value()), 5.0);
+
+  auto src3 = vec_iter({cell("a", "f", "q", 2, encode_int(40)),
+                        cell("a", "f", "q", 1, encode_int(2))});
+  CombinerIterator si(std::move(src3), sum_int_reducer());
+  si.seek(Range::all());
+  EXPECT_EQ(decode_int(si.top_value()), 42);
+}
+
+TEST(Stacking, AttachedIteratorPriorityOrdersStages) {
+  // Two table-attached iterators: a doubler and a >=4 filter. With the
+  // doubler at LOWER priority (closer to the data) a stored 2 becomes 4
+  // and passes the filter; with priorities swapped the raw 2 is filtered
+  // out before doubling. Priority must control composition order.
+  auto make_double = [](IterPtr src) -> IterPtr {
+    return std::make_unique<TransformIterator>(
+        std::move(src), [](const Key&, const Value& v) {
+          return encode_double(decode_double(v).value_or(0.0) * 2.0);
+        });
+  };
+  auto make_filter = [](IterPtr src) -> IterPtr {
+    return std::make_unique<FilterIterator>(
+        std::move(src), [](const Key&, const Value& v) {
+          return decode_double(v).value_or(0.0) >= 4.0;
+        });
+  };
+  for (const bool double_first : {true, false}) {
+    Instance db;
+    TableConfig cfg;
+    cfg.attach_iterator({double_first ? 10 : 20, "double", kScanScope,
+                         make_double});
+    cfg.attach_iterator({double_first ? 20 : 10, "filter", kScanScope,
+                         make_filter});
+    db.create_table("t", std::move(cfg));
+    Mutation m("r");
+    m.put("f", "q", encode_double(2.0));
+    db.apply("t", m);
+    Scanner scan(db, "t");
+    const auto cells = scan.read_all();
+    if (double_first) {
+      ASSERT_EQ(cells.size(), 1u);
+      EXPECT_EQ(decode_double(cells[0].value), 4.0);
+    } else {
+      EXPECT_TRUE(cells.empty());
+    }
+  }
+}
+
+TEST(Stacking, DeleteThenVersionThenCombine) {
+  // Realistic stack: deletes resolved first, then a summing combiner
+  // folds surviving versions.
+  auto src = vec_iter({cell("a", "f", "q", 9, encode_double(1.0)),
+                       cell("a", "f", "q", 5, "", true),
+                       cell("a", "f", "q", 4, encode_double(100.0)),  // deleted
+                       cell("a", "f", "q", 7, encode_double(2.0))});
+  IterPtr stack = std::make_unique<DeletingIterator>(std::move(src));
+  CombinerIterator comb(std::move(stack), sum_double_reducer());
+  const auto cells = drain(comb, Range::all());
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(decode_double(cells[0].value), 3.0);  // 1.0 + 2.0, not 100
+}
+
+}  // namespace
+}  // namespace graphulo::nosql

@@ -1,0 +1,133 @@
+// Key ordering, ranges, and codecs for the NoSQL substrate.
+
+#include <gtest/gtest.h>
+
+#include "nosql/codec.hpp"
+#include "nosql/key.hpp"
+
+namespace graphulo::nosql {
+namespace {
+
+Key make_key(std::string row, std::string fam = "", std::string qual = "",
+             Timestamp ts = 0, bool deleted = false) {
+  Key k;
+  k.row = std::move(row);
+  k.family = std::move(fam);
+  k.qualifier = std::move(qual);
+  k.ts = ts;
+  k.deleted = deleted;
+  return k;
+}
+
+TEST(Key, OrdersByRowThenColumn) {
+  EXPECT_LT(make_key("a"), make_key("b"));
+  EXPECT_LT(make_key("a", "f1"), make_key("a", "f2"));
+  EXPECT_LT(make_key("a", "f", "q1"), make_key("a", "f", "q2"));
+}
+
+TEST(Key, NewestTimestampSortsFirst) {
+  EXPECT_LT(make_key("a", "f", "q", 10), make_key("a", "f", "q", 5));
+}
+
+TEST(Key, DeleteSortsBeforePutAtSameTimestamp) {
+  EXPECT_LT(make_key("a", "f", "q", 5, true), make_key("a", "f", "q", 5, false));
+}
+
+TEST(Key, SameCellIgnoresTimestampAndDelete) {
+  EXPECT_TRUE(make_key("a", "f", "q", 1).same_cell(make_key("a", "f", "q", 9, true)));
+  EXPECT_FALSE(make_key("a", "f", "q").same_cell(make_key("a", "f", "r")));
+}
+
+TEST(Key, ToStringIsReadable) {
+  auto k = make_key("r1", "deg", "out", 7, true);
+  const auto s = k.to_string();
+  EXPECT_NE(s.find("r1"), std::string::npos);
+  EXPECT_NE(s.find("deg:out"), std::string::npos);
+  EXPECT_NE(s.find("(del)"), std::string::npos);
+}
+
+TEST(Range, AllContainsEverything) {
+  const auto r = Range::all();
+  EXPECT_TRUE(r.contains(make_key("")));
+  EXPECT_TRUE(r.contains(make_key("zzz", "f", "q", 42)));
+  EXPECT_FALSE(r.is_past_end(make_key("zzz")));
+}
+
+TEST(Range, ExactRowContainsOnlyThatRow) {
+  const auto r = Range::exact_row("b");
+  EXPECT_TRUE(r.contains(make_key("b")));
+  EXPECT_TRUE(r.contains(make_key("b", "f", "q", 3)));
+  EXPECT_FALSE(r.contains(make_key("a")));
+  EXPECT_FALSE(r.contains(make_key("c")));
+  EXPECT_FALSE(r.contains(make_key(std::string("b\0x", 3), "f")));
+}
+
+TEST(Range, RowRangeIsInclusiveBothEnds) {
+  const auto r = Range::row_range("b", "d");
+  EXPECT_FALSE(r.contains(make_key("a")));
+  EXPECT_TRUE(r.contains(make_key("b")));
+  EXPECT_TRUE(r.contains(make_key("c")));
+  EXPECT_TRUE(r.contains(make_key("d", "f", "q")));
+  EXPECT_FALSE(r.contains(make_key("e")));
+  EXPECT_TRUE(r.is_past_end(make_key("e")));
+}
+
+TEST(Range, PrefixMatchesExtensions) {
+  const auto r = Range::prefix("tweet|");
+  EXPECT_TRUE(r.contains(make_key("tweet|0001")));
+  EXPECT_TRUE(r.contains(make_key("tweet|zzz")));
+  EXPECT_FALSE(r.contains(make_key("tweet")));
+  EXPECT_FALSE(r.contains(make_key("user|1")));
+}
+
+TEST(Range, AtLeastRowIsHalfOpen) {
+  const auto r = Range::at_least_row("m");
+  EXPECT_FALSE(r.contains(make_key("l")));
+  EXPECT_TRUE(r.contains(make_key("m")));
+  EXPECT_TRUE(r.contains(make_key("z")));
+}
+
+TEST(Range, MayIntersectRows) {
+  const auto r = Range::row_range("c", "f");
+  EXPECT_TRUE(r.may_intersect_rows("", ""));       // unbounded tablet
+  EXPECT_TRUE(r.may_intersect_rows("a", "d"));     // overlaps start
+  EXPECT_TRUE(r.may_intersect_rows("d", "z"));     // overlaps end
+  EXPECT_FALSE(r.may_intersect_rows("g", "z"));    // after
+  EXPECT_FALSE(r.may_intersect_rows("", "c"));     // tablet [.., c) excludes row c
+  EXPECT_TRUE(r.may_intersect_rows("", "d"));      // tablet [.., d) includes row c
+  EXPECT_FALSE(r.may_intersect_rows("g", ""));
+}
+
+TEST(Codec, DoubleRoundTrip) {
+  for (double v : {0.0, 1.5, -3.25, 1e-9, 12345.678, -0.0}) {
+    const auto enc = encode_double(v);
+    const auto dec = decode_double(enc);
+    ASSERT_TRUE(dec.has_value()) << enc;
+    EXPECT_EQ(*dec, v);
+  }
+}
+
+TEST(Codec, DoubleRejectsGarbage) {
+  EXPECT_FALSE(decode_double("abc").has_value());
+  EXPECT_FALSE(decode_double("1.5x").has_value());
+  EXPECT_FALSE(decode_double("").has_value());
+}
+
+TEST(Codec, IntRoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{-17},
+                         std::int64_t{1} << 40}) {
+    EXPECT_EQ(decode_int(encode_int(v)), v);
+  }
+  EXPECT_FALSE(decode_int("12.5").has_value());
+}
+
+TEST(Codec, U64BigEndianPreservesOrder) {
+  EXPECT_LT(encode_u64_be(5), encode_u64_be(6));
+  EXPECT_LT(encode_u64_be(255), encode_u64_be(256));
+  EXPECT_LT(encode_u64_be(1), encode_u64_be(std::uint64_t{1} << 56));
+  EXPECT_EQ(decode_u64_be(encode_u64_be(123456789ULL)), 123456789ULL);
+  EXPECT_FALSE(decode_u64_be("short").has_value());
+}
+
+}  // namespace
+}  // namespace graphulo::nosql

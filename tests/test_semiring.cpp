@@ -1,0 +1,118 @@
+// Property tests for the semiring policies: the axioms from Section II
+// (associativity, commutativity of add, identities, annihilation) are
+// checked on randomized operand triples. PlusAnd is intentionally NOT a
+// semiring (see the Discussion in Section IV); its test documents which
+// axiom fails.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/semiring.hpp"
+#include "util/rng.hpp"
+
+namespace graphulo::la {
+namespace {
+
+// Random small-integer doubles keep arithmetic exact so associativity
+// holds bit-for-bit.
+std::vector<double> random_operands(std::uint64_t seed, int count) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    v.push_back(static_cast<double>(rng.uniform_int(19)) - 9.0);
+  }
+  return v;
+}
+
+template <class SR>
+void expect_semiring_axioms(const std::vector<double>& operands) {
+  using T = typename SR::value_type;
+  for (std::size_t i = 0; i + 2 < operands.size(); i += 3) {
+    const T a = static_cast<T>(operands[i]);
+    const T b = static_cast<T>(operands[i + 1]);
+    const T c = static_cast<T>(operands[i + 2]);
+    // add: associative, commutative, identity zero.
+    EXPECT_EQ(SR::add(SR::add(a, b), c), SR::add(a, SR::add(b, c)));
+    EXPECT_EQ(SR::add(a, b), SR::add(b, a));
+    EXPECT_EQ(SR::add(a, SR::zero()), a);
+    // mul: associative, identity one.
+    EXPECT_EQ(SR::mul(SR::mul(a, b), c), SR::mul(a, SR::mul(b, c)));
+    EXPECT_EQ(SR::mul(a, SR::one()), a);
+    EXPECT_EQ(SR::mul(SR::one(), a), a);
+    // zero annihilates.
+    EXPECT_EQ(SR::mul(a, SR::zero()), SR::zero());
+    EXPECT_EQ(SR::mul(SR::zero(), a), SR::zero());
+    // distributivity.
+    EXPECT_EQ(SR::mul(a, SR::add(b, c)), SR::add(SR::mul(a, b), SR::mul(a, c)));
+  }
+}
+
+TEST(Semiring, PlusTimesAxioms) {
+  expect_semiring_axioms<PlusTimes<double>>(random_operands(1, 300));
+}
+
+TEST(Semiring, MinPlusAxioms) {
+  auto ops = random_operands(2, 300);
+  ops.push_back(MinPlus<double>::zero());  // include infinity
+  expect_semiring_axioms<MinPlus<double>>(ops);
+}
+
+TEST(Semiring, MaxPlusAxioms) {
+  auto ops = random_operands(3, 300);
+  ops.push_back(MaxPlus<double>::zero());
+  expect_semiring_axioms<MaxPlus<double>>(ops);
+}
+
+TEST(Semiring, OrAndAxioms) {
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      for (bool c : {false, true}) {
+        EXPECT_EQ(OrAnd::add(OrAnd::add(a, b), c), OrAnd::add(a, OrAnd::add(b, c)));
+        EXPECT_EQ(OrAnd::mul(a, OrAnd::add(b, c)),
+                  OrAnd::add(OrAnd::mul(a, b), OrAnd::mul(a, c)));
+      }
+    }
+    EXPECT_EQ(OrAnd::add(a, OrAnd::zero()), a);
+    EXPECT_EQ(OrAnd::mul(a, OrAnd::one()), a);
+    EXPECT_EQ(OrAnd::mul(a, OrAnd::zero()), OrAnd::zero());
+  }
+}
+
+TEST(Semiring, MinMaxAxioms) {
+  auto ops = random_operands(4, 300);
+  expect_semiring_axioms<MinMax<double>>(ops);
+}
+
+TEST(Semiring, MinPlusIdentitiesBehaveAsPathLengths) {
+  using SR = MinPlus<double>;
+  // "No path" (infinity) never wins over a real path, and concatenating
+  // with an infinite leg yields no path.
+  EXPECT_EQ(SR::add(3.0, SR::zero()), 3.0);
+  EXPECT_EQ(SR::mul(3.0, SR::zero()), SR::zero());
+  EXPECT_EQ(SR::mul(3.0, SR::one()), 3.0);
+  EXPECT_EQ(SR::mul(2.0, 5.0), 7.0);
+}
+
+TEST(Semiring, PlusAndCountsOverlapsButBreaksMulIdentity) {
+  using SR = PlusAnd<double>;
+  // The useful behaviour: mul is an AND indicator.
+  EXPECT_EQ(SR::mul(2.0, 3.0), 1.0);
+  EXPECT_EQ(SR::mul(0.0, 3.0), 0.0);
+  EXPECT_EQ(SR::mul(2.0, 0.0), 0.0);
+  // The documented axiom violation (Section IV): one() is not a true
+  // multiplicative identity, since mul collapses magnitudes.
+  EXPECT_NE(SR::mul(2.0, SR::one()), 2.0);
+}
+
+TEST(Semiring, IsZeroMatchesAdditiveIdentity) {
+  EXPECT_TRUE(is_zero<PlusTimes<double>>(0.0));
+  EXPECT_FALSE(is_zero<PlusTimes<double>>(1.0));
+  EXPECT_TRUE(is_zero<MinPlus<double>>(MinPlus<double>::zero()));
+  EXPECT_FALSE(is_zero<MinPlus<double>>(0.0));  // 0 is one(), not zero()
+}
+
+}  // namespace
+}  // namespace graphulo::la

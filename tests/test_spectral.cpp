@@ -1,0 +1,170 @@
+// Spectral bisection: Laplacian construction, Fiedler vector, and
+// community recovery on planted partitions.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/spectral.hpp"
+#include "algo/traversal.hpp"
+#include "gen/erdos.hpp"
+#include "gen/planted.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::algo {
+namespace {
+
+using graphulo::testing::random_undirected;
+using la::Index;
+using la::SpMat;
+
+TEST(Laplacian, RowsSumToZero) {
+  const auto a = random_undirected(20, 0.3, 501);
+  const auto l = laplacian(a);
+  for (double s : la::row_sums(l)) EXPECT_NEAR(s, 0.0, 1e-12);
+  // Diagonal = degrees, off-diagonal = -A.
+  const auto deg = la::row_sums(a);
+  for (Index i = 0; i < 20; ++i) {
+    EXPECT_EQ(l.at(i, i), deg[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_THROW(laplacian(SpMat<double>(2, 3)), std::invalid_argument);
+}
+
+TEST(Spectral, SplitsTwoDisjointCliques) {
+  // Two 5-cliques with no connection: lambda2 = 0, sides = components.
+  std::vector<la::Triple<double>> t;
+  for (Index block = 0; block < 2; ++block) {
+    for (Index i = 0; i < 5; ++i) {
+      for (Index j = 0; j < 5; ++j) {
+        if (i != j) t.push_back({block * 5 + i, block * 5 + j, 1.0});
+      }
+    }
+  }
+  const auto result =
+      spectral_bisection(SpMat<double>::from_triples(10, 10, t));
+  EXPECT_NEAR(result.lambda2, 0.0, 1e-6);
+  for (Index v = 1; v < 5; ++v) {
+    EXPECT_EQ(result.side[static_cast<std::size_t>(v)], result.side[0]);
+    EXPECT_EQ(result.side[static_cast<std::size_t>(5 + v)], result.side[5]);
+  }
+  EXPECT_NE(result.side[0], result.side[5]);
+}
+
+TEST(Spectral, PathGraphSplitsAtMidpoint) {
+  // Fiedler vector of a path is monotone: the sign split is the middle.
+  const Index n = 8;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i + 1, 1.0});
+    t.push_back({i + 1, i, 1.0});
+  }
+  const auto result =
+      spectral_bisection(SpMat<double>::from_triples(n, n, t));
+  // One side is {0..3}, the other {4..7} (orientation is arbitrary).
+  for (Index v = 0; v < 4; ++v) {
+    EXPECT_EQ(result.side[static_cast<std::size_t>(v)], result.side[0]);
+    EXPECT_NE(result.side[static_cast<std::size_t>(4 + v)], result.side[0]);
+  }
+  // lambda2 of a path P_n is 2(1 - cos(pi/n)).
+  EXPECT_NEAR(result.lambda2, 2.0 * (1.0 - std::cos(M_PI / n)), 1e-4);
+}
+
+TEST(Spectral, RecoversPlantedPartition) {
+  const auto g = gen::planted_partition(120, 2, 0.3, 0.02, 502);
+  const auto labels = gen::partition_labels(120, 2);
+  const auto result = spectral_bisection(g.adjacency);
+  // Count agreement up to side relabeling.
+  std::size_t agree = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (result.side[v] == labels[v]) ++agree;
+  }
+  const double accuracy =
+      std::max(agree, labels.size() - agree) / static_cast<double>(labels.size());
+  EXPECT_GT(accuracy, 0.95);
+}
+
+TEST(Spectral, FiedlerIsUnitAndOrthogonalToOnes) {
+  const auto a = random_undirected(30, 0.2, 503);
+  const auto result = spectral_bisection(a);
+  EXPECT_NEAR(la::norm2(result.fiedler), 1.0, 1e-9);
+  EXPECT_NEAR(la::vec_sum(result.fiedler), 0.0, 1e-8);
+  EXPECT_GE(result.lambda2, -1e-9);
+}
+
+TEST(Spectral, Lambda2MatchesRayleighLowerBoundOnCompleteGraph) {
+  // K_n: lambda2 = n.
+  const Index n = 6;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (i != j) t.push_back({i, j, 1.0});
+    }
+  }
+  const auto result =
+      spectral_bisection(SpMat<double>::from_triples(n, n, t));
+  EXPECT_NEAR(result.lambda2, static_cast<double>(n), 1e-6);
+}
+
+TEST(Modularity, TwoCliquesScoreHighWithCorrectLabels) {
+  std::vector<la::Triple<double>> t;
+  for (Index block = 0; block < 2; ++block) {
+    for (Index i = 0; i < 5; ++i) {
+      for (Index j = 0; j < 5; ++j) {
+        if (i != j) t.push_back({block * 5 + i, block * 5 + j, 1.0});
+      }
+    }
+  }
+  // One bridging edge so the graph is connected.
+  t.push_back({0, 5, 1.0});
+  t.push_back({5, 0, 1.0});
+  const auto a = SpMat<double>::from_triples(10, 10, t);
+  const std::vector<int> good = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  const std::vector<int> all_one(10, 0);
+  EXPECT_GT(modularity(a, good), 0.4);
+  EXPECT_NEAR(modularity(a, all_one), 0.0, 1e-12);
+  // Shuffled labels should be near (or below) zero.
+  const std::vector<int> bad = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_LT(modularity(a, bad), modularity(a, good));
+}
+
+TEST(Modularity, SpectralSplitOfPlantedPartitionScoresWell) {
+  const auto g = gen::planted_partition(100, 2, 0.3, 0.02, 504);
+  const auto result = spectral_bisection(g.adjacency);
+  EXPECT_GT(modularity(g.adjacency, result.side), 0.3);
+}
+
+TEST(Modularity, ValidatesInput) {
+  SpMat<double> a(3, 3);
+  EXPECT_EQ(modularity(a, {0, 0, 0}), 0.0);  // empty graph
+  EXPECT_THROW(modularity(a, {0, 0}), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, LatticeAndRewiredProperties) {
+  // beta = 0: exact ring lattice, every vertex degree k.
+  const auto lattice = gen::watts_strogatz(40, 4, 0.0, 1);
+  const auto deg = la::row_nnz_counts(lattice);
+  for (Index d : deg) EXPECT_EQ(d, 4);
+  EXPECT_TRUE(la::is_symmetric(lattice));
+  // beta > 0 keeps the edge count (rewired, not added/removed).
+  const auto rewired = gen::watts_strogatz(40, 4, 0.3, 2);
+  EXPECT_EQ(rewired.nnz(), lattice.nnz());
+  EXPECT_TRUE(la::is_symmetric(rewired));
+  EXPECT_NE(rewired, lattice);
+  // Parameter validation.
+  EXPECT_THROW(gen::watts_strogatz(10, 3, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::watts_strogatz(10, 4, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(gen::watts_strogatz(4, 4, 0.1, 1), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, SmallWorldShortensPaths) {
+  // The defining effect: a little rewiring slashes the diameter.
+  const auto lattice = gen::watts_strogatz(200, 4, 0.0, 3);
+  const auto rewired = gen::watts_strogatz(200, 4, 0.2, 3);
+  const auto bfs_lattice = bfs_classic(lattice, 0);
+  const auto bfs_rewired = bfs_classic(rewired, 0);
+  EXPECT_LT(bfs_rewired.max_level, bfs_lattice.max_level);
+}
+
+}  // namespace
+}  // namespace graphulo::algo

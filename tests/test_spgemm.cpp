@@ -1,0 +1,188 @@
+// SpGEMM correctness: checked against a dense reference over a parameter
+// grid of shapes, densities, semirings, and SPA strategies.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/apply.hpp"
+#include "la/ewise.hpp"
+#include "la/spgemm.hpp"
+#include "la/spmat.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::dense_gemm_ref;
+using graphulo::testing::random_sparse_int;
+
+TEST(SpGemm, TinyKnownProduct) {
+  // [1 2; 0 3] * [0 1; 4 0] = [8 1; 12 0]
+  auto a = SpMat<double>::from_dense(2, 2, std::vector<double>{1, 2, 0, 3});
+  auto b = SpMat<double>::from_dense(2, 2, std::vector<double>{0, 1, 4, 0});
+  auto c = spgemm<PlusTimes<double>>(a, b);
+  EXPECT_EQ(c.to_dense(), (std::vector<double>{8, 1, 12, 0}));
+}
+
+TEST(SpGemm, InnerDimensionMismatchThrows) {
+  SpMat<double> a(2, 3), b(4, 2);
+  EXPECT_THROW(spgemm<PlusTimes<double>>(a, b), std::invalid_argument);
+}
+
+TEST(SpGemm, EmptyOperandsYieldEmptyResult) {
+  SpMat<double> a(4, 3), b(3, 5);
+  auto c = spgemm<PlusTimes<double>>(a, b);
+  EXPECT_EQ(c.rows(), 4);
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(SpGemm, IdentityIsNeutral) {
+  auto a = random_sparse_int(9, 9, 0.3, 17);
+  auto eye = identity<double>(9);
+  EXPECT_EQ(spgemm<PlusTimes<double>>(a, eye), a);
+  EXPECT_EQ(spgemm<PlusTimes<double>>(eye, a), a);
+}
+
+TEST(SpGemm, CancellationDropsEntries) {
+  // Row [1, -1] times column [1; 1] -> exact zero must not be stored.
+  auto a = SpMat<double>::from_dense(1, 2, std::vector<double>{1, -1});
+  auto b = SpMat<double>::from_dense(2, 1, std::vector<double>{1, 1});
+  auto c = spgemm<PlusTimes<double>>(a, b);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(SpGemm, MinPlusComputesShortestTwoHopPaths) {
+  // Path graph 0-1-2 with weights 2 and 3; A^2 over min-plus gives the
+  // 2-hop distance 0->2 = 5.
+  auto a = SpMat<double>::from_triples(3, 3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  auto a2 = spgemm<MinPlus<double>>(a, a);
+  EXPECT_EQ(a2.at(0, 2, MinPlus<double>::zero()), 5.0);
+  EXPECT_EQ(a2.nnz(), 1);
+}
+
+TEST(SpGemm, DenseAndHashSpaAgree) {
+  auto a = random_sparse_int(40, 60, 0.15, 3);
+  auto b = random_sparse_int(60, 50, 0.15, 4);
+  auto dense_spa = spgemm<PlusTimes<double>>(a, b, SpaKind::kDense);
+  auto hash_spa = spgemm<PlusTimes<double>>(a, b, SpaKind::kHash);
+  EXPECT_EQ(dense_spa, hash_spa);
+}
+
+TEST(SpGemm, ParallelAgreesWithSerial) {
+  auto a = random_sparse_int(300, 200, 0.05, 5);
+  auto b = random_sparse_int(200, 250, 0.05, 6);
+  auto serial = spgemm<PlusTimes<double>>(a, b, SpaKind::kAuto,
+                                          {.grain = 1 << 30});
+  auto parallel = spgemm<PlusTimes<double>>(a, b, SpaKind::kAuto, {.grain = 16});
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SpGemmMasked, ComputesOnlyMaskedEntries) {
+  auto a = random_sparse_int(12, 10, 0.4, 61);
+  auto b = random_sparse_int(10, 11, 0.4, 62);
+  auto mask = random_sparse_int(12, 11, 0.3, 63);
+  const auto full = spgemm<PlusTimes<double>>(a, b);
+  const auto masked = spgemm_masked<PlusTimes<double>>(a, b, mask);
+  // Every masked entry equals the full product; nothing outside the
+  // mask is stored.
+  for (const auto& t : masked.to_triples()) {
+    EXPECT_NE(mask.at(t.row, t.col), 0.0);
+    EXPECT_EQ(t.val, full.at(t.row, t.col));
+  }
+  for (const auto& t : full.to_triples()) {
+    if (mask.at(t.row, t.col) != 0.0) {
+      EXPECT_EQ(masked.at(t.row, t.col), t.val);
+    }
+  }
+}
+
+TEST(SpGemmMasked, EmptyMaskYieldsEmptyResult) {
+  auto a = random_sparse_int(6, 6, 0.5, 64);
+  SpMat<double> empty_mask(6, 6);
+  EXPECT_EQ(spgemm_masked<PlusTimes<double>>(a, a, empty_mask).nnz(), 0);
+}
+
+TEST(SpGemmMasked, ShapeValidation) {
+  SpMat<double> a(3, 4), b(4, 5), bad_mask(3, 4);
+  EXPECT_THROW(spgemm_masked<PlusTimes<double>>(a, b, bad_mask),
+               std::invalid_argument);
+  SpMat<double> bad_b(5, 5);
+  SpMat<double> mask(3, 5);
+  EXPECT_THROW(spgemm_masked<PlusTimes<double>>(a, bad_b, mask),
+               std::invalid_argument);
+}
+
+TEST(SpGemmMasked, KTrussSupportUseCase) {
+  // Edge supports = (A*A) masked by A — the pattern the k-truss and
+  // Jaccard table algorithms want.
+  auto a = graphulo::testing::random_undirected(20, 0.3, 65);
+  const auto masked = spgemm_masked<PlusTimes<double>>(a, a, a);
+  const auto reference = hadamard(
+      spgemm<PlusTimes<double>>(a, a),
+      apply(a, [](double) { return 1.0; }));
+  // Same pattern restricted to edges, same counts.
+  for (const auto& t : reference.to_triples()) {
+    EXPECT_EQ(masked.at(t.row, t.col), t.val);
+  }
+  EXPECT_EQ(masked.nnz(), reference.nnz());
+}
+
+struct SpGemmCase {
+  int m, k, n;
+  double density;
+  SpaKind spa;
+};
+
+class SpGemmVsDense : public ::testing::TestWithParam<SpGemmCase> {};
+
+TEST_P(SpGemmVsDense, MatchesDenseReferencePlusTimes) {
+  const auto p = GetParam();
+  auto a = random_sparse_int(p.m, p.k, p.density, 11);
+  auto b = random_sparse_int(p.k, p.n, p.density, 13);
+  auto c = spgemm<PlusTimes<double>>(a, b, p.spa);
+  c.check_invariants();
+  const auto ref = dense_gemm_ref<PlusTimes<double>>(a.to_dense(), p.m, p.k,
+                                                     b.to_dense(), p.n);
+  EXPECT_EQ(c.to_dense(), ref);
+}
+
+TEST_P(SpGemmVsDense, MatchesDenseReferenceOrAndViaDoubles) {
+  // Use PlusAnd-then-indicator to emulate boolean structure products on
+  // double storage, checked against an explicit reference.
+  const auto p = GetParam();
+  auto a = random_sparse_int(p.m, p.k, p.density, 21, 1);
+  auto b = random_sparse_int(p.k, p.n, p.density, 23, 1);
+  auto c = spgemm<PlusAnd<double>>(a, b, p.spa);
+  const auto ad = a.to_dense();
+  const auto bd = b.to_dense();
+  for (Index i = 0; i < p.m; ++i) {
+    for (Index j = 0; j < p.n; ++j) {
+      double count = 0;
+      for (Index t = 0; t < p.k; ++t) {
+        if (ad[static_cast<std::size_t>(i) * p.k + t] != 0 &&
+            bd[static_cast<std::size_t>(t) * p.n + j] != 0) {
+          count += 1;
+        }
+      }
+      EXPECT_EQ(c.at(i, j), count) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpGemmVsDense,
+    ::testing::Values(SpGemmCase{1, 1, 1, 1.0, SpaKind::kAuto},
+                      SpGemmCase{8, 8, 8, 0.5, SpaKind::kDense},
+                      SpGemmCase{8, 8, 8, 0.5, SpaKind::kHash},
+                      SpGemmCase{20, 30, 10, 0.2, SpaKind::kDense},
+                      SpGemmCase{20, 30, 10, 0.2, SpaKind::kHash},
+                      SpGemmCase{50, 40, 60, 0.05, SpaKind::kAuto},
+                      SpGemmCase{33, 1, 33, 0.6, SpaKind::kAuto},
+                      SpGemmCase{1, 50, 1, 0.3, SpaKind::kHash},
+                      SpGemmCase{64, 64, 64, 0.1, SpaKind::kAuto}));
+
+}  // namespace
+}  // namespace graphulo::la

@@ -1,0 +1,168 @@
+// Unit and property tests for the CSR sparse matrix container.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/spmat.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse;
+
+TEST(SpMat, EmptyMatrixHasNoEntries) {
+  SpMat<double> m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.at(2, 3), 0.0);
+  m.check_invariants();
+}
+
+TEST(SpMat, FromTriplesSortsAndStores) {
+  auto m = SpMat<double>::from_triples(2, 3, {{1, 2, 5.0}, {0, 1, 3.0}, {1, 0, 4.0}});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.at(0, 1), 3.0);
+  EXPECT_EQ(m.at(1, 0), 4.0);
+  EXPECT_EQ(m.at(1, 2), 5.0);
+  EXPECT_EQ(m.at(0, 0), 0.0);
+  m.check_invariants();
+}
+
+TEST(SpMat, DuplicatesCombineWithDefaultAdd) {
+  auto m = SpMat<double>::from_triples(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.at(0, 0), 3.5);
+}
+
+TEST(SpMat, DuplicatesCombineWithCustomOp) {
+  auto m = SpMat<double>::from_triples(
+      2, 2, {{0, 0, 3.0}, {0, 0, 5.0}},
+      [](double a, double b) { return std::max(a, b); });
+  EXPECT_EQ(m.at(0, 0), 5.0);
+}
+
+TEST(SpMat, ZeroValuesAreDropped) {
+  auto m = SpMat<double>::from_triples(2, 2, {{0, 0, 1.0}, {0, 1, 0.0},
+                                              {1, 1, 2.0}, {1, 1, -2.0}});
+  EXPECT_EQ(m.nnz(), 1);  // (0,1) explicit zero and (1,1) cancel both drop
+  EXPECT_EQ(m.at(0, 0), 1.0);
+}
+
+TEST(SpMat, OutOfRangeTripleThrows) {
+  EXPECT_THROW(SpMat<double>::from_triples(2, 2, {{2, 0, 1.0}}),
+               std::out_of_range);
+  EXPECT_THROW(SpMat<double>::from_triples(2, 2, {{0, -1, 1.0}}),
+               std::out_of_range);
+}
+
+TEST(SpMat, FromCsrValidates) {
+  EXPECT_NO_THROW(SpMat<double>::from_csr(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0}));
+  // row_ptr.back() != nnz
+  EXPECT_THROW(SpMat<double>::from_csr(2, 2, {0, 1, 3}, {0, 1}, {1.0, 2.0}),
+               std::invalid_argument);
+  // columns not strictly increasing within a row
+  EXPECT_THROW(
+      SpMat<double>::from_csr(1, 3, {0, 2}, {1, 1}, {1.0, 2.0}),
+      std::logic_error);
+}
+
+TEST(SpMat, DenseRoundTrip) {
+  const std::vector<double> dense = {0, 1, 0, 2, 0, 0, 0, 3, 4, 0, 0, 0};
+  auto m = SpMat<double>::from_dense(3, 4, dense);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.to_dense(), dense);
+}
+
+TEST(SpMat, TriplesRoundTrip) {
+  auto m = random_sparse(17, 23, 0.2, 99);
+  auto rebuilt = SpMat<double>::from_triples(17, 23, m.to_triples());
+  EXPECT_EQ(m, rebuilt);
+}
+
+TEST(SpMat, RowAccessors) {
+  auto m = SpMat<double>::from_triples(3, 4, {{1, 0, 9.0}, {1, 3, 8.0}});
+  EXPECT_EQ(m.row_degree(0), 0);
+  EXPECT_EQ(m.row_degree(1), 2);
+  const auto cols = m.row_cols(1);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 3);
+  const auto vals = m.row_vals(1);
+  EXPECT_EQ(vals[0], 9.0);
+  EXPECT_EQ(vals[1], 8.0);
+  EXPECT_THROW(m.row_cols(3), std::out_of_range);
+}
+
+TEST(SpMat, TransposeInvolution) {
+  auto m = random_sparse(13, 29, 0.15, 5);
+  auto t = transpose(m);
+  EXPECT_EQ(t.rows(), m.cols());
+  EXPECT_EQ(t.cols(), m.rows());
+  t.check_invariants();
+  EXPECT_EQ(transpose(t), m);
+}
+
+TEST(SpMat, TransposeMatchesDense) {
+  auto m = random_sparse(7, 5, 0.4, 8);
+  auto t = transpose(m);
+  const auto md = m.to_dense();
+  const auto td = t.to_dense();
+  for (Index i = 0; i < 7; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      EXPECT_EQ(md[static_cast<std::size_t>(i) * 5 + j],
+                td[static_cast<std::size_t>(j) * 7 + i]);
+    }
+  }
+}
+
+TEST(SpMat, IdentityIsDiagonal) {
+  auto eye = identity<double>(4);
+  EXPECT_EQ(eye.nnz(), 4);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_EQ(eye.at(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(SpMat, EqualityDistinguishesValueAndShape) {
+  auto a = SpMat<double>::from_triples(2, 2, {{0, 0, 1.0}});
+  auto b = SpMat<double>::from_triples(2, 2, {{0, 0, 2.0}});
+  auto c = SpMat<double>::from_triples(2, 3, {{0, 0, 1.0}});
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SpMat, NegativeDimensionThrows) {
+  EXPECT_THROW(SpMat<double>(-1, 2), std::invalid_argument);
+}
+
+// Parameterized property: from_triples -> to_triples -> from_triples is
+// the identity on random matrices over a grid of shapes/densities.
+class SpMatRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(SpMatRoundTrip, TripleRoundTripAndInvariants) {
+  const auto [rows, cols, density] = GetParam();
+  auto m = random_sparse(rows, cols, density,
+                         static_cast<std::uint64_t>(rows * 1000 + cols));
+  m.check_invariants();
+  auto rebuilt = SpMat<double>::from_triples(rows, cols, m.to_triples());
+  EXPECT_EQ(m, rebuilt);
+  auto tt = transpose(transpose(m));
+  EXPECT_EQ(tt, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpMatRoundTrip,
+    ::testing::Combine(::testing::Values(1, 5, 32, 101),
+                       ::testing::Values(1, 7, 64),
+                       ::testing::Values(0.0, 0.05, 0.3, 0.9)));
+
+}  // namespace
+}  // namespace graphulo::la

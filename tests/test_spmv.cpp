@@ -1,0 +1,125 @@
+// SpMV / vspm / SpMSpV correctness against dense references, over
+// multiple semirings, plus frontier-expansion semantics used by BFS.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/spmv.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse_int;
+
+TEST(SpMV, TinyKnownProduct) {
+  // [1 2; 3 0] * [5, 7] = [19, 15]
+  auto a = SpMat<double>::from_dense(2, 2, std::vector<double>{1, 2, 3, 0});
+  const auto y = spmv<PlusTimes<double>>(a, {5.0, 7.0});
+  EXPECT_EQ(y, (std::vector<double>{19.0, 15.0}));
+}
+
+TEST(SpMV, DimensionMismatchThrows) {
+  SpMat<double> a(2, 3);
+  EXPECT_THROW(spmv<PlusTimes<double>>(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SpMV, MatchesDenseReference) {
+  const Index m = 37, n = 23;
+  auto a = random_sparse_int(m, n, 0.2, 31);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) x[static_cast<std::size_t>(j)] = j % 5 - 2;
+  const auto y = spmv<PlusTimes<double>>(a, x);
+  const auto ad = a.to_dense();
+  for (Index i = 0; i < m; ++i) {
+    double ref = 0;
+    for (Index j = 0; j < n; ++j) {
+      ref += ad[static_cast<std::size_t>(i) * n + j] * x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], ref);
+  }
+}
+
+TEST(SpMV, MinPlusRelaxesDistances) {
+  // Star: 0->1 (w 4), 0->2 (w 1), 2->1 (w 2). One min-plus step from
+  // x = [0, inf, inf] over A^T relaxes to the one-hop distances.
+  auto a = SpMat<double>::from_triples(3, 3, {{0, 1, 4.0}, {0, 2, 1.0},
+                                              {2, 1, 2.0}});
+  using SR = MinPlus<double>;
+  const double inf = SR::zero();
+  const std::vector<double> x = {0.0, inf, inf};
+  const auto y = vspm<SR>(x, a);  // x^T A: distances out of vertex 0
+  EXPECT_EQ(y[0], inf);
+  EXPECT_EQ(y[1], 4.0);
+  EXPECT_EQ(y[2], 1.0);
+}
+
+TEST(VSpM, MatchesTransposeSpMV) {
+  auto a = random_sparse_int(19, 26, 0.25, 41);
+  std::vector<double> x(19);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 7);
+  const auto via_vspm = vspm<PlusTimes<double>>(x, a);
+  const auto via_transpose = spmv<PlusTimes<double>>(transpose(a), x);
+  ASSERT_EQ(via_vspm.size(), via_transpose.size());
+  for (std::size_t j = 0; j < via_vspm.size(); ++j) {
+    EXPECT_DOUBLE_EQ(via_vspm[j], via_transpose[j]);
+  }
+}
+
+TEST(SpMSpV, ExpandsFrontier) {
+  // Directed edges 0->{1,2}, 1->3. Frontier {0} expands to {1, 2}.
+  auto a = SpMat<double>::from_triples(4, 4, {{0, 1, 1.0}, {0, 2, 1.0},
+                                              {1, 3, 1.0}});
+  SpVec<double> frontier(4);
+  frontier.push_back(0, 1.0);
+  const auto next = spmspv<PlusTimes<double>>(frontier, a);
+  EXPECT_EQ(next.indices(), (std::vector<Index>{1, 2}));
+  EXPECT_EQ(next.values(), (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(SpMSpV, AccumulatesMultiplePredecessors) {
+  // 0->2 and 1->2: frontier {0, 1} hits 2 twice, values add.
+  auto a = SpMat<double>::from_triples(3, 3, {{0, 2, 1.0}, {1, 2, 1.0}});
+  SpVec<double> frontier(3);
+  frontier.push_back(0, 1.0);
+  frontier.push_back(1, 1.0);
+  const auto next = spmspv<PlusTimes<double>>(frontier, a);
+  ASSERT_EQ(next.nnz(), 1u);
+  EXPECT_EQ(next.at(2), 2.0);
+}
+
+TEST(SpMSpV, MatchesDenseVspm) {
+  auto a = random_sparse_int(31, 44, 0.15, 51);
+  std::vector<std::pair<Index, double>> pairs = {{3, 2.0}, {10, 1.0}, {30, 3.0}};
+  auto x = SpVec<double>::from_pairs(31, pairs);
+  const auto sparse_result = spmspv<PlusTimes<double>>(x, a);
+  const auto dense_result = vspm<PlusTimes<double>>(x.to_dense(), a);
+  EXPECT_EQ(sparse_result.to_dense(), dense_result);
+}
+
+TEST(SpMSpV, EmptyFrontierYieldsEmptyResult) {
+  auto a = random_sparse_int(10, 10, 0.3, 61);
+  SpVec<double> empty(10);
+  EXPECT_TRUE(spmspv<PlusTimes<double>>(empty, a).empty());
+}
+
+TEST(SpVec, FromPairsCombinesAndSorts) {
+  auto v = SpVec<double>::from_pairs(10, {{7, 1.0}, {2, 2.0}, {7, 3.0}});
+  EXPECT_EQ(v.indices(), (std::vector<Index>{2, 7}));
+  EXPECT_EQ(v.at(7), 4.0);
+  EXPECT_EQ(v.at(3), 0.0);
+}
+
+TEST(SpVec, PushBackEnforcesOrder) {
+  SpVec<double> v(5);
+  v.push_back(1, 1.0);
+  EXPECT_THROW(v.push_back(1, 2.0), std::invalid_argument);
+  EXPECT_THROW(v.push_back(0, 2.0), std::invalid_argument);
+  EXPECT_THROW(v.push_back(5, 2.0), std::invalid_argument);
+  v.push_back(4, 2.0);
+  EXPECT_EQ(v.nnz(), 2u);
+}
+
+}  // namespace
+}  // namespace graphulo::la

@@ -1,0 +1,113 @@
+// SpRef / SpAsgn / complement — the sub-array kernels Algorithm 1 uses
+// for E(x, :) and E(xc, :).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/spref.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::random_sparse_int;
+
+TEST(SpRef, ExtractsSubmatrix) {
+  auto a = SpMat<double>::from_dense(
+      3, 3, std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  auto b = spref(a, {0, 2}, {1, 2});
+  EXPECT_EQ(b.to_dense(), (std::vector<double>{2, 3, 8, 9}));
+}
+
+TEST(SpRef, ReordersAndDuplicates) {
+  auto a = SpMat<double>::from_dense(2, 2, std::vector<double>{1, 2, 3, 4});
+  auto b = spref(a, {1, 0, 1}, {1, 0});
+  EXPECT_EQ(b.to_dense(), (std::vector<double>{4, 3, 2, 1, 4, 3}));
+}
+
+TEST(SpRef, OutOfRangeThrows) {
+  auto a = random_sparse_int(4, 4, 0.5, 91);
+  EXPECT_THROW(spref(a, {4}, {0}), std::out_of_range);
+  EXPECT_THROW(spref(a, {0}, {-1}), std::out_of_range);
+}
+
+TEST(SpRefRows, KeepsFullRows) {
+  auto a = random_sparse_int(10, 8, 0.4, 92);
+  auto b = spref_rows(a, {2, 7, 3});
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 8);
+  for (Index j = 0; j < 8; ++j) {
+    EXPECT_EQ(b.at(0, j), a.at(2, j));
+    EXPECT_EQ(b.at(1, j), a.at(7, j));
+    EXPECT_EQ(b.at(2, j), a.at(3, j));
+  }
+}
+
+TEST(SpRefRows, MatchesGeneralSpRef) {
+  auto a = random_sparse_int(12, 9, 0.3, 93);
+  std::vector<Index> rows = {0, 5, 11, 3};
+  std::vector<Index> all_cols;
+  for (Index j = 0; j < 9; ++j) all_cols.push_back(j);
+  EXPECT_EQ(spref_rows(a, rows), spref(a, rows, all_cols));
+}
+
+TEST(SpRefCols, KeepsFullColumns) {
+  auto a = random_sparse_int(6, 10, 0.4, 94);
+  auto b = spref_cols(a, {9, 0});
+  EXPECT_EQ(b.rows(), 6);
+  EXPECT_EQ(b.cols(), 2);
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_EQ(b.at(i, 0), a.at(i, 9));
+    EXPECT_EQ(b.at(i, 1), a.at(i, 0));
+  }
+}
+
+TEST(SpAsgn, ReplacesBlock) {
+  auto a = SpMat<double>::from_dense(
+      3, 3, std::vector<double>{1, 1, 1, 1, 1, 1, 1, 1, 1});
+  auto b = SpMat<double>::from_dense(2, 2, std::vector<double>{5, 0, 0, 6});
+  auto c = spasgn(a, {0, 2}, {0, 2}, b);
+  // Assigned cross product (rows {0,2} x cols {0,2}): B's values, with
+  // B's zeros clearing prior entries.
+  EXPECT_EQ(c.at(0, 0), 5.0);
+  EXPECT_EQ(c.at(0, 2), 0.0);
+  EXPECT_EQ(c.at(2, 0), 0.0);
+  EXPECT_EQ(c.at(2, 2), 6.0);
+  // Untouched positions keep A's values.
+  EXPECT_EQ(c.at(0, 1), 1.0);
+  EXPECT_EQ(c.at(1, 1), 1.0);
+  EXPECT_EQ(c.at(2, 1), 1.0);
+}
+
+TEST(SpAsgn, ShapeMismatchThrows) {
+  auto a = random_sparse_int(4, 4, 0.5, 95);
+  auto b = random_sparse_int(2, 3, 0.5, 96);
+  EXPECT_THROW(spasgn(a, {0, 1}, {0, 1}, b), std::invalid_argument);
+}
+
+TEST(SpAsgn, DuplicateIndexThrows) {
+  auto a = random_sparse_int(4, 4, 0.5, 97);
+  auto b = random_sparse_int(2, 2, 0.5, 98);
+  EXPECT_THROW(spasgn(a, {0, 0}, {0, 1}, b), std::invalid_argument);
+}
+
+TEST(SpAsgn, RoundTripWithSpRef) {
+  // Assigning A(rows, cols) back into A must be a no-op.
+  auto a = random_sparse_int(9, 9, 0.35, 99);
+  const std::vector<Index> rows = {1, 4, 6};
+  const std::vector<Index> cols = {0, 8, 2};
+  auto block = spref(a, rows, cols);
+  EXPECT_EQ(spasgn(a, rows, cols, block), a);
+}
+
+TEST(Complement, PartitionsIndexSpace) {
+  const auto xc = complement({1, 3}, 5);
+  EXPECT_EQ(xc, (std::vector<Index>{0, 2, 4}));
+  EXPECT_EQ(complement({}, 3), (std::vector<Index>{0, 1, 2}));
+  EXPECT_TRUE(complement({0, 1, 2}, 3).empty());
+  EXPECT_THROW(complement({3}, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace graphulo::la

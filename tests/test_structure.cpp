@@ -1,0 +1,120 @@
+// Structural helpers: triu/tril/diag/pattern/symmetrize, including the
+// paper's incidence-to-adjacency identity A = E^T E - diag(d) on the
+// exact Fig. 1 example.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/reduce.hpp"
+#include "la/spgemm.hpp"
+#include "la/structure.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::la {
+namespace {
+
+using graphulo::testing::paper_example_adjacency;
+using graphulo::testing::paper_example_incidence;
+using graphulo::testing::random_sparse_int;
+using graphulo::testing::random_undirected;
+
+TEST(Structure, TriuKeepsStrictUpperByDefault) {
+  auto a = SpMat<double>::from_dense(
+      3, 3, std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(triu(a).to_dense(),
+            (std::vector<double>{0, 2, 3, 0, 0, 6, 0, 0, 0}));
+  EXPECT_EQ(triu(a, 0).to_dense(),
+            (std::vector<double>{1, 2, 3, 0, 5, 6, 0, 0, 9}));
+}
+
+TEST(Structure, TrilMirrorsTriu) {
+  auto a = random_sparse_int(10, 10, 0.4, 111);
+  EXPECT_EQ(tril(a), transpose(triu(transpose(a))));
+}
+
+TEST(Structure, TriuPlusTrilPlusDiagReassembles) {
+  auto a = random_sparse_int(12, 12, 0.4, 112);
+  auto reassembled =
+      add(add(triu(a), tril(a)), diag_matrix(diag_vector(a)));
+  EXPECT_EQ(reassembled, a);
+}
+
+TEST(Structure, DiagVectorReadsMainDiagonal) {
+  auto a = SpMat<double>::from_dense(
+      2, 2, std::vector<double>{7, 1, 0, 9});
+  EXPECT_EQ(diag_vector(a), (std::vector<double>{7, 9}));
+  SpMat<double> rect(2, 3);
+  EXPECT_THROW(diag_vector(rect), std::invalid_argument);
+}
+
+TEST(Structure, DiagMatrixSkipsZeros) {
+  auto d = diag_matrix<double>({1.0, 0.0, 3.0});
+  EXPECT_EQ(d.nnz(), 2);
+  EXPECT_EQ(d.at(0, 0), 1.0);
+  EXPECT_EQ(d.at(2, 2), 3.0);
+}
+
+TEST(Structure, RemoveDiagClearsSelfLoops) {
+  auto a = SpMat<double>::from_dense(
+      2, 2, std::vector<double>{5, 1, 2, 6});
+  auto b = remove_diag(a);
+  EXPECT_EQ(b.to_dense(), (std::vector<double>{0, 1, 2, 0}));
+}
+
+TEST(Structure, PatternSetsAllValuesToOne) {
+  auto a = random_sparse_int(8, 8, 0.3, 113);
+  auto p = pattern(a);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  for (double v : p.values()) EXPECT_EQ(v, 1.0);
+}
+
+TEST(Structure, SymmetrizeProducesSymmetricMatrix) {
+  auto a = random_sparse_int(15, 15, 0.2, 114);
+  auto s = symmetrize(a);
+  EXPECT_TRUE(is_symmetric(s));
+  // Every original entry survives (possibly increased to the mirror max).
+  for (const auto& t : a.to_triples()) {
+    EXPECT_GE(s.at(t.row, t.col), t.val);
+  }
+}
+
+TEST(Structure, IsSymmetricDetectsAsymmetry) {
+  auto sym = random_undirected(10, 0.3, 115);
+  EXPECT_TRUE(is_symmetric(sym));
+  auto asym = SpMat<double>::from_triples(3, 3, {{0, 1, 1.0}});
+  EXPECT_FALSE(is_symmetric(asym));
+}
+
+TEST(Structure, PaperIncidenceToAdjacencyIdentity) {
+  // A = E^T E - diag(d), with d = sum(E) (column sums), Section III-B.
+  const auto e = paper_example_incidence();
+  const auto d = col_sums(e);
+  EXPECT_EQ(d, (std::vector<double>{3, 3, 3, 2, 1}));  // printed in paper
+  auto ete = spgemm<PlusTimes<double>>(transpose(e), e);
+  auto a = subtract(ete, diag_matrix(d));
+  EXPECT_EQ(a, paper_example_adjacency());
+}
+
+TEST(Structure, IncidenceIdentityHoldsOnRandomGraphs) {
+  // Property: for any simple undirected graph, building the unoriented
+  // incidence matrix and forming E^T E - diag(degrees) recovers A.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto a = random_undirected(20, 0.25, seed);
+    // Build incidence from the upper triangle.
+    std::vector<Triple<double>> inc;
+    Index edge = 0;
+    for (const auto& t : triu(a).to_triples()) {
+      inc.push_back({edge, t.row, 1.0});
+      inc.push_back({edge, t.col, 1.0});
+      ++edge;
+    }
+    auto e = SpMat<double>::from_triples(edge, 20, std::move(inc));
+    auto rebuilt = subtract(spgemm<PlusTimes<double>>(transpose(e), e),
+                            diag_matrix(col_sums(e)));
+    EXPECT_EQ(rebuilt, a) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace graphulo::la

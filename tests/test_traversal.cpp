@@ -1,0 +1,196 @@
+// BFS (linear-algebraic vs classical), DFS, k-hop neighborhoods,
+// betweenness centrality.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/betweenness.hpp"
+#include "algo/traversal.hpp"
+#include "gen/rmat.hpp"
+#include "la/la.hpp"
+#include "test_helpers.hpp"
+
+namespace graphulo::algo {
+namespace {
+
+using graphulo::testing::random_undirected;
+using la::Index;
+using la::SpMat;
+
+TEST(Bfs, LevelsOnPathGraph) {
+  auto a = SpMat<double>::from_triples(
+      4, 4, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0},
+             {2, 3, 1.0}, {3, 2, 1.0}});
+  const auto r = bfs_linalg(a, 0);
+  EXPECT_EQ(r.level, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(r.parent, (std::vector<Index>{-1, 0, 1, 2}));
+  EXPECT_EQ(r.max_level, 3);
+}
+
+TEST(Bfs, UnreachableVerticesStayAtMinusOne) {
+  auto a = SpMat<double>::from_triples(4, 4, {{0, 1, 1.0}});
+  const auto r = bfs_linalg(a, 0);
+  EXPECT_EQ(r.level[2], -1);
+  EXPECT_EQ(r.level[3], -1);
+  EXPECT_EQ(r.parent[2], -1);
+}
+
+TEST(Bfs, DirectedEdgesRespected) {
+  // 1 -> 0: not reachable from 0.
+  auto a = SpMat<double>::from_triples(2, 2, {{1, 0, 1.0}});
+  const auto r = bfs_linalg(a, 0);
+  EXPECT_EQ(r.level[1], -1);
+}
+
+TEST(Bfs, ParentsFormValidTree) {
+  const auto a = random_undirected(60, 0.08, 101);
+  const auto r = bfs_linalg(a, 0);
+  for (Index v = 0; v < a.rows(); ++v) {
+    const auto lv = r.level[static_cast<std::size_t>(v)];
+    const auto pv = r.parent[static_cast<std::size_t>(v)];
+    if (lv > 0) {
+      ASSERT_GE(pv, 0);
+      EXPECT_EQ(r.level[static_cast<std::size_t>(pv)], lv - 1);
+      EXPECT_NE(a.at(pv, v), 0.0);  // parent edge exists
+    }
+  }
+}
+
+class BfsAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsAgreement, LinalgMatchesClassic) {
+  const auto a = random_undirected(80, 0.06, GetParam());
+  const auto fast = bfs_linalg(a, 0);
+  const auto classic = bfs_classic(a, 0);
+  EXPECT_EQ(fast.level, classic.level);  // levels are unique; parents may differ
+  EXPECT_EQ(fast.max_level, classic.max_level);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsAgreement, ::testing::Values(1, 2, 3, 4));
+
+TEST(Bfs, SourceValidation) {
+  SpMat<double> a(3, 3);
+  EXPECT_THROW(bfs_linalg(a, 3), std::out_of_range);
+  EXPECT_THROW(bfs_linalg(a, -1), std::out_of_range);
+  SpMat<double> rect(2, 3);
+  EXPECT_THROW(bfs_linalg(rect, 0), std::invalid_argument);
+}
+
+TEST(Dfs, PreorderOnTree) {
+  //      0
+  //     / |
+  //    1   4
+  //   / |
+  //  2   3
+  auto a = SpMat<double>::from_triples(
+      5, 5, {{0, 1, 1.0}, {0, 4, 1.0}, {1, 2, 1.0}, {1, 3, 1.0}});
+  EXPECT_EQ(dfs_preorder(a, 0), (std::vector<Index>{0, 1, 2, 3, 4}));
+}
+
+TEST(Dfs, VisitsReachableOnlyOnce) {
+  const auto a = random_undirected(40, 0.2, 111);
+  const auto order = dfs_preorder(a, 0);
+  std::set<Index> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+  // Connected enough at this density that all vertices are reached.
+  EXPECT_EQ(order.size(), 40u);
+}
+
+TEST(KHop, GrowsMonotonically) {
+  const auto a = random_undirected(50, 0.08, 121);
+  std::size_t prev = 0;
+  for (int h = 0; h <= 4; ++h) {
+    const auto nb = k_hop_neighborhood(a, {0}, h);
+    EXPECT_GE(nb.size(), prev);
+    prev = nb.size();
+  }
+  // 0 hops = just the seed.
+  EXPECT_EQ(k_hop_neighborhood(a, {0}, 0), (std::vector<Index>{0}));
+}
+
+TEST(KHop, MatchesBfsLevels) {
+  const auto a = random_undirected(50, 0.1, 122);
+  const auto r = bfs_classic(a, 0);
+  const auto nb = k_hop_neighborhood(a, {0}, 2);
+  std::set<Index> nb_set(nb.begin(), nb.end());
+  for (Index v = 0; v < a.rows(); ++v) {
+    const bool within = r.level[static_cast<std::size_t>(v)] >= 0 &&
+                        r.level[static_cast<std::size_t>(v)] <= 2;
+    EXPECT_EQ(nb_set.count(v) > 0, within) << "v=" << v;
+  }
+}
+
+TEST(Betweenness, PathGraphInteriorDominates) {
+  // Path 0-1-2-3-4: betweenness (undirected convention: both directions
+  // counted) peaks at the middle vertex.
+  const Index n = 5;
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i + 1, 1.0});
+    t.push_back({i + 1, i, 1.0});
+  }
+  const auto a = SpMat<double>::from_triples(n, n, t);
+  const auto bc = betweenness_centrality(a);
+  // Closed form (directed counts both orders): v1: 2*(1*3)=6, v2: 2*4=8.
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 6.0);
+  EXPECT_DOUBLE_EQ(bc[2], 8.0);
+  EXPECT_DOUBLE_EQ(bc[3], 6.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+}
+
+TEST(Betweenness, StarHubCarriesAllPairs) {
+  // Star with hub 0 and k=4 leaves: every leaf pair's shortest path
+  // passes the hub; bc(hub) = k*(k-1) = 12 (ordered pairs).
+  std::vector<la::Triple<double>> t;
+  for (Index v = 1; v <= 4; ++v) {
+    t.push_back({0, v, 1.0});
+    t.push_back({v, 0, 1.0});
+  }
+  const auto bc = betweenness_centrality(SpMat<double>::from_triples(5, 5, t));
+  EXPECT_DOUBLE_EQ(bc[0], 12.0);
+  for (int v = 1; v <= 4; ++v) EXPECT_DOUBLE_EQ(bc[static_cast<std::size_t>(v)], 0.0);
+}
+
+TEST(Betweenness, MultipleShortestPathsSplitCredit) {
+  // 4-cycle: two shortest paths between opposite corners; each
+  // intermediate gets half per ordered pair -> bc = 1 for every vertex.
+  std::vector<la::Triple<double>> t;
+  for (Index i = 0; i < 4; ++i) {
+    const Index j = (i + 1) % 4;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  const auto bc = betweenness_centrality(SpMat<double>::from_triples(4, 4, t));
+  for (double v : bc) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+class BetweennessAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BetweennessAgreement, LinalgMatchesBrandesBaseline) {
+  const auto a = random_undirected(35, 0.15, GetParam());
+  std::vector<Index> sources;
+  for (Index s = 0; s < a.rows(); ++s) sources.push_back(s);
+  const auto fast = betweenness_centrality(a, sources);
+  const auto slow = betweenness_brandes_baseline(a, sources);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t v = 0; v < fast.size(); ++v) {
+    EXPECT_NEAR(fast[v], slow[v], 1e-9) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetweennessAgreement,
+                         ::testing::Values(5, 6, 7));
+
+TEST(Betweenness, SampledSourcesSubsetOfExact) {
+  const auto a = random_undirected(30, 0.2, 131);
+  const auto sampled = betweenness_centrality(a, {0, 5, 10});
+  const auto sampled_ref = betweenness_brandes_baseline(a, {0, 5, 10});
+  for (std::size_t v = 0; v < sampled.size(); ++v) {
+    EXPECT_NEAR(sampled[v], sampled_ref[v], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace graphulo::algo

@@ -1,0 +1,281 @@
+// Unit tests for src/util: thread pool, parallel loops, RNG, Zipf,
+// statistics, string helpers, CSV escaping, table printing, logging.
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table_printer.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+#include "util/zipf.hpp"
+
+namespace graphulo::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 7; });
+  auto f2 = pool.submit([](int x) { return x * 2; }, 21);
+  EXPECT_EQ(f1.get(), 7);
+  EXPECT_EQ(f2.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+               {.grain = 64});
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(10, 10, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(0, 100, [](std::size_t i) {
+        if (i == 50) throw std::runtime_error("body");
+      }, {.grain = 1}),
+      std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsRange) {
+  const auto sum = parallel_reduce<long>(
+      1, 1001, 0,
+      [](std::size_t lo, std::size_t hi) {
+        long s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += static_cast<long>(i);
+        return s;
+      },
+      [](long a, long b) { return a + b; }, {.grain = 37});
+  EXPECT_EQ(sum, 500500);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Xoshiro256 a2(123), c2(124);
+  bool all_equal = true;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() != c2.next()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Xoshiro256 rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Hash64, DistinctForDistinctInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(hash64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfSampler zipf(4, 0.0);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(zipf.pmf(k), 0.25, 1e-12);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  ZipfSampler zipf(100, 1.2);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(10));
+  Xoshiro256 rng(3);
+  int rank0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.sample(rng) == 0) ++rank0;
+  }
+  EXPECT_NEAR(static_cast<double>(rank0) / n, zipf.pmf(0), 0.02);
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stdev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {10, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 20.0);
+}
+
+TEST(Stats, GeomeanAndGuards) {
+  const std::vector<double> v = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+  EXPECT_THROW(geomean({}), std::invalid_argument);
+  EXPECT_THROW(geomean({{-1.0}}), std::invalid_argument);
+}
+
+TEST(Stats, HumanFormats) {
+  EXPECT_EQ(human_rate(1500.0), "1.50K/s");
+  EXPECT_EQ(human_bytes(1536.0), "1.50 KiB");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto f = split("a||b", '|');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "b");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ','), "x,y,z");
+  EXPECT_EQ(split(join(parts, ','), ','), parts);
+}
+
+TEST(Strings, ZeroPadSorts) {
+  EXPECT_EQ(zero_pad(7, 4), "0007");
+  EXPECT_LT(zero_pad(9, 4), zero_pad(10, 4));  // lexicographic == numeric
+}
+
+TEST(Strings, StartsWithAndLower) {
+  EXPECT_TRUE(starts_with("tweet|0001", "tweet|"));
+  EXPECT_FALSE(starts_with("tw", "tweet|"));
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(TablePrinter, AlignsColumnsAndPadsShortRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer"});
+  const std::string s = t.to_string("demo");
+  EXPECT_NE(s.find("=== demo ==="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds());  // ms value >= s value numerically
+}
+
+TEST(Log, ParseAndThreshold) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kInfo);
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace graphulo::util

@@ -1,0 +1,121 @@
+// Column-visibility expressions and authorization-filtered scans.
+
+#include <gtest/gtest.h>
+
+#include "nosql/nosql.hpp"
+
+namespace graphulo::nosql {
+namespace {
+
+TEST(Visibility, EmptyExpressionIsPublic) {
+  EXPECT_EQ(evaluate_visibility("", {}), true);
+  EXPECT_EQ(evaluate_visibility("  ", {"x"}), true);
+}
+
+TEST(Visibility, SingleLabel) {
+  EXPECT_EQ(evaluate_visibility("admin", {"admin"}), true);
+  EXPECT_EQ(evaluate_visibility("admin", {"user"}), false);
+  EXPECT_EQ(evaluate_visibility("admin", {}), false);
+}
+
+TEST(Visibility, ConjunctionAndDisjunction) {
+  EXPECT_EQ(evaluate_visibility("a&b", {"a", "b"}), true);
+  EXPECT_EQ(evaluate_visibility("a&b", {"a"}), false);
+  EXPECT_EQ(evaluate_visibility("a|b", {"b"}), true);
+  EXPECT_EQ(evaluate_visibility("a|b", {"c"}), false);
+}
+
+TEST(Visibility, PrecedenceAndParentheses) {
+  // & binds tighter than |.
+  EXPECT_EQ(evaluate_visibility("a|b&c", {"a"}), true);
+  EXPECT_EQ(evaluate_visibility("a|b&c", {"b"}), false);
+  EXPECT_EQ(evaluate_visibility("a|b&c", {"b", "c"}), true);
+  EXPECT_EQ(evaluate_visibility("(a|b)&c", {"a"}), false);
+  EXPECT_EQ(evaluate_visibility("(a|b)&c", {"a", "c"}), true);
+  EXPECT_EQ(evaluate_visibility("((a))", {"a"}), true);
+}
+
+TEST(Visibility, LabelCharacterSet) {
+  EXPECT_EQ(evaluate_visibility("org.team-1:pii_x",
+                                {"org.team-1:pii_x"}), true);
+  EXPECT_EQ(evaluate_visibility("a & b", {"a", "b"}), true);  // spaces ok
+}
+
+TEST(Visibility, MalformedExpressionsRejected) {
+  for (const char* bad : {"&", "a&", "|b", "(a", "a)", "a b", "a&&b", "()"}) {
+    EXPECT_FALSE(visibility_is_valid(bad)) << bad;
+    EXPECT_FALSE(evaluate_visibility(bad, {"a", "b"}).has_value()) << bad;
+  }
+  EXPECT_TRUE(visibility_is_valid("a&(b|c)"));
+}
+
+TEST(Visibility, ScanFiltersByAuthorizations) {
+  Instance db;
+  db.create_table("t");
+  auto put = [&](const char* row, const char* vis) {
+    Mutation m(row);
+    m.put("f", "q", vis, 1, "v");
+    db.apply("t", m);
+  };
+  put("public", "");
+  put("secret", "admin");
+  put("shared", "admin|analyst");
+  put("both", "admin&analyst");
+
+  auto rows_for = [&](std::set<std::string> auths) {
+    Scanner scan(db, "t");
+    scan.set_authorizations(std::move(auths));
+    std::set<std::string> rows;
+    scan.for_each([&rows](const Key& k, const Value&) { rows.insert(k.row); });
+    return rows;
+  };
+
+  EXPECT_EQ(rows_for({}), (std::set<std::string>{"public"}));
+  EXPECT_EQ(rows_for({"analyst"}),
+            (std::set<std::string>{"public", "shared"}));
+  EXPECT_EQ(rows_for({"admin"}), (std::set<std::string>{"public", "secret",
+                                                        "shared"}));
+  EXPECT_EQ(rows_for({"admin", "analyst"}),
+            (std::set<std::string>{"public", "secret", "shared", "both"}));
+}
+
+TEST(Visibility, UnfilteredScanSeesEverything) {
+  Instance db;
+  db.create_table("t");
+  Mutation m("r");
+  m.put("f", "q", "classified", 1, "v");
+  db.apply("t", m);
+  Scanner scan(db, "t");  // no set_authorizations: open-trust default
+  EXPECT_EQ(scan.read_all().size(), 1u);
+}
+
+TEST(Visibility, MalformedCellFailsClosed) {
+  Instance db;
+  db.create_table("t");
+  Mutation m("r");
+  m.put("f", "q", "a&&b", 1, "v");  // malformed expression
+  db.apply("t", m);
+  Scanner scan(db, "t");
+  scan.set_authorizations({"a", "b"});
+  EXPECT_TRUE(scan.read_all().empty());
+}
+
+TEST(Visibility, BatchScannerHonorsAuthorizations) {
+  Instance db(2);
+  db.create_table("t");
+  db.add_splits("t", {"m"});
+  for (const char* row : {"a", "z"}) {
+    Mutation pub(row);
+    pub.put("f", "public", "", 1, "v");
+    db.apply("t", pub);
+    Mutation sec(row);
+    sec.put("f", "secret", "clearance", 1, "v");
+    db.apply("t", sec);
+  }
+  BatchScanner scan(db, "t");
+  scan.set_authorizations({});
+  EXPECT_EQ(scan.read_all().size(), 2u);  // only the public cells
+}
+
+}  // namespace
+}  // namespace graphulo::nosql

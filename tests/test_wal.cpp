@@ -1,0 +1,210 @@
+// Write-ahead log + crash recovery, including failure injection
+// (torn/corrupt log tails), and table cloning.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "nosql/nosql.hpp"
+#include "util/strings.hpp"
+
+namespace graphulo::nosql {
+namespace {
+
+std::string temp_wal_path(const char* name) {
+  return ::testing::TempDir() + "/graphulo_" + name + ".wal";
+}
+
+TEST(Wal, RoundTripRecoversTablesAndData) {
+  const auto path = temp_wal_path("roundtrip");
+  std::remove(path.c_str());
+  {
+    Instance db(2);
+    db.attach_wal(std::make_shared<WriteAheadLog>(path));
+    db.create_table("users");
+    db.create_table("scratch");
+    for (int i = 0; i < 50; ++i) {
+      Mutation m("user" + util::zero_pad(static_cast<std::uint64_t>(i), 3));
+      m.put("f", "name", "value" + std::to_string(i));
+      db.apply("users", m);
+    }
+    Mutation del("user007");
+    del.put_delete("f", "name");
+    db.apply("users", del);
+    db.delete_table("scratch");
+    db.sync_wal();
+  }  // instance destroyed: the "crash"
+
+  Instance recovered(2);
+  const auto replayed = recover_from_wal(recovered, path);
+  EXPECT_EQ(replayed, 54u);  // 2 creates + 50 puts + 1 delete + 1 drop
+  EXPECT_TRUE(recovered.table_exists("users"));
+  EXPECT_FALSE(recovered.table_exists("scratch"));
+  Scanner scan(recovered, "users");
+  const auto cells = scan.read_all();
+  EXPECT_EQ(cells.size(), 49u);  // user007 deleted
+  EXPECT_EQ(cells[0].key.row, "user000");
+  EXPECT_EQ(cells[0].value, "value0");
+  bool found_deleted = false;
+  for (const auto& c : cells) {
+    if (c.key.row == "user007") found_deleted = true;
+  }
+  EXPECT_FALSE(found_deleted);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, RecoveredInstanceAcceptsNewerWrites) {
+  const auto path = temp_wal_path("clock");
+  std::remove(path.c_str());
+  {
+    Instance db;
+    db.attach_wal(std::make_shared<WriteAheadLog>(path));
+    db.create_table("t");
+    Mutation m("r");
+    m.put("f", "q", "old");
+    db.apply("t", m);
+    db.sync_wal();
+  }
+  Instance recovered;
+  recover_from_wal(recovered, path);
+  // The recovered clock must be past the replayed timestamps so a new
+  // write supersedes the old version.
+  Mutation m("r");
+  m.put("f", "q", "new");
+  recovered.apply("t", m);
+  Scanner scan(recovered, "t");
+  const auto cells = scan.read_all();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].value, "new");
+  std::remove(path.c_str());
+}
+
+TEST(Wal, TornTailIsIgnored) {
+  const auto path = temp_wal_path("torn");
+  std::remove(path.c_str());
+  {
+    Instance db;
+    db.attach_wal(std::make_shared<WriteAheadLog>(path));
+    db.create_table("t");
+    for (int i = 0; i < 10; ++i) {
+      Mutation m("row" + std::to_string(i));
+      m.put("f", "q", "v");
+      db.apply("t", m);
+    }
+    db.sync_wal();
+  }
+  // Failure injection: truncate the file mid-record.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.close();
+  std::string content(size, '\0');
+  {
+    std::ifstream full(path, std::ios::binary);
+    full.read(content.data(), static_cast<std::streamsize>(size));
+  }
+  content.resize(size - 7);  // cut into the last record
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+
+  Instance recovered;
+  const auto replayed = recover_from_wal(recovered, path);
+  EXPECT_EQ(replayed, 10u);  // create + 9 intact mutations; torn 10th dropped
+  Scanner scan(recovered, "t");
+  EXPECT_EQ(scan.read_all().size(), 9u);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, GarbageFileReplaysNothing) {
+  const auto path = temp_wal_path("garbage");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this is not a wal";
+  }
+  Instance recovered;
+  EXPECT_EQ(recover_from_wal(recovered, path), 0u);
+  EXPECT_TRUE(recovered.table_names().empty());
+  std::remove(path.c_str());
+}
+
+TEST(Wal, MissingFileReplaysNothing) {
+  Instance recovered;
+  EXPECT_EQ(recover_from_wal(recovered, "/does/not/exist.wal"), 0u);
+}
+
+TEST(Wal, MutationWithExplicitFieldsSurvives) {
+  const auto path = temp_wal_path("fields");
+  std::remove(path.c_str());
+  {
+    Instance db;
+    db.attach_wal(std::make_shared<WriteAheadLog>(path));
+    db.create_table("t");
+    Mutation m("r");
+    m.put("fam", "qual", "vis&label", 12345, "payload");
+    db.apply("t", m);
+    db.sync_wal();
+  }
+  Instance recovered;
+  recover_from_wal(recovered, path);
+  Scanner scan(recovered, "t");
+  scan.set_authorizations({"vis", "label"});
+  const auto cells = scan.read_all();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.family, "fam");
+  EXPECT_EQ(cells[0].key.visibility, "vis&label");
+  EXPECT_EQ(cells[0].key.ts, 12345);
+  EXPECT_EQ(cells[0].value, "payload");
+  std::remove(path.c_str());
+}
+
+TEST(CloneTable, IndependentCopyWithDataAndSplits) {
+  Instance db(2);
+  db.create_table("src");
+  db.add_splits("src", {"m"});
+  for (const char* row : {"a", "n", "z"}) {
+    Mutation m(row);
+    m.put("f", "q", std::string("v-") + row);
+    db.apply("src", m);
+  }
+  db.clone_table("src", "copy");
+  EXPECT_EQ(db.list_splits("copy"), db.list_splits("src"));
+  Scanner scan_copy(db, "copy");
+  EXPECT_EQ(scan_copy.read_all().size(), 3u);
+  // Mutating the copy leaves the source untouched.
+  Mutation m("extra");
+  m.put("f", "q", "only-in-copy");
+  db.apply("copy", m);
+  Scanner scan_src(db, "src");
+  EXPECT_EQ(scan_src.read_all().size(), 3u);
+  Scanner scan_copy2(db, "copy");
+  EXPECT_EQ(scan_copy2.read_all().size(), 4u);
+  // Cloning onto an existing name fails.
+  EXPECT_THROW(db.clone_table("src", "copy"), std::invalid_argument);
+}
+
+TEST(CloneTable, PreservesConfigBehaviour) {
+  Instance db;
+  TableConfig cfg;
+  cfg.versioning = false;
+  cfg.attach_iterator({10, "sum", kAllScopes, [](IterPtr src) {
+                         return std::make_unique<CombinerIterator>(
+                             std::move(src), sum_double_reducer());
+                       }});
+  db.create_table("src", std::move(cfg));
+  for (int i = 0; i < 5; ++i) {
+    Mutation m("counter");
+    m.put("f", "q", encode_double(1.0));
+    db.apply("src", m);
+  }
+  db.clone_table("src", "copy");
+  // The clone inherits the combiner: its scan folds the five versions.
+  Scanner scan(db, "copy");
+  const auto cells = scan.read_all();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(decode_double(cells[0].value), 5.0);
+}
+
+}  // namespace
+}  // namespace graphulo::nosql
