@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_centrality.dir/bench_centrality.cpp.o"
+  "CMakeFiles/bench_centrality.dir/bench_centrality.cpp.o.d"
+  "bench_centrality"
+  "bench_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

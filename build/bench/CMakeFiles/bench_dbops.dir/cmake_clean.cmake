@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbops.dir/bench_dbops.cpp.o"
+  "CMakeFiles/bench_dbops.dir/bench_dbops.cpp.o.d"
+  "bench_dbops"
+  "bench_dbops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

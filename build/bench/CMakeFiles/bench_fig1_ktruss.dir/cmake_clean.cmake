@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ktruss.dir/bench_fig1_ktruss.cpp.o"
+  "CMakeFiles/bench_fig1_ktruss.dir/bench_fig1_ktruss.cpp.o.d"
+  "bench_fig1_ktruss"
+  "bench_fig1_ktruss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ktruss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

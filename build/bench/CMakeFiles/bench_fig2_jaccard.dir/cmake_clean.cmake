@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_jaccard.dir/bench_fig2_jaccard.cpp.o"
+  "CMakeFiles/bench_fig2_jaccard.dir/bench_fig2_jaccard.cpp.o.d"
+  "bench_fig2_jaccard"
+  "bench_fig2_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_nmf.dir/bench_fig3_nmf.cpp.o"
+  "CMakeFiles/bench_fig3_nmf.dir/bench_fig3_nmf.cpp.o.d"
+  "bench_fig3_nmf"
+  "bench_fig3_nmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tablemult.dir/bench_tablemult.cpp.o"
+  "CMakeFiles/bench_tablemult.dir/bench_tablemult.cpp.o.d"
+  "bench_tablemult"
+  "bench_tablemult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tablemult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/betweenness.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/betweenness.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/betweenness.cpp.o.d"
+  "/root/repo/src/algo/centrality.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/centrality.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/centrality.cpp.o.d"
+  "/root/repo/src/algo/components.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/components.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/components.cpp.o.d"
+  "/root/repo/src/algo/inverse.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/inverse.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/inverse.cpp.o.d"
+  "/root/repo/src/algo/jaccard.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/jaccard.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/jaccard.cpp.o.d"
+  "/root/repo/src/algo/ktruss.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/ktruss.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/ktruss.cpp.o.d"
+  "/root/repo/src/algo/nmf.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/nmf.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/nmf.cpp.o.d"
+  "/root/repo/src/algo/nomination.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/nomination.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/nomination.cpp.o.d"
+  "/root/repo/src/algo/similarity_extra.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/similarity_extra.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/similarity_extra.cpp.o.d"
+  "/root/repo/src/algo/spectral.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/spectral.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/spectral.cpp.o.d"
+  "/root/repo/src/algo/sssp.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/sssp.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/sssp.cpp.o.d"
+  "/root/repo/src/algo/svd.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/svd.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/svd.cpp.o.d"
+  "/root/repo/src/algo/traversal.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/traversal.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/traversal.cpp.o.d"
+  "/root/repo/src/algo/tricount.cpp" "src/algo/CMakeFiles/graphulo_algo.dir/tricount.cpp.o" "gcc" "src/algo/CMakeFiles/graphulo_algo.dir/tricount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/graphulo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/graphulo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/graphulo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphulo_algo.dir/betweenness.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/betweenness.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/centrality.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/centrality.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/components.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/components.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/inverse.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/inverse.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/jaccard.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/jaccard.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/ktruss.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/ktruss.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/nmf.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/nmf.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/nomination.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/nomination.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/similarity_extra.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/similarity_extra.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/spectral.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/spectral.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/sssp.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/sssp.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/svd.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/svd.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/traversal.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/traversal.cpp.o.d"
+  "CMakeFiles/graphulo_algo.dir/tricount.cpp.o"
+  "CMakeFiles/graphulo_algo.dir/tricount.cpp.o.d"
+  "libgraphulo_algo.a"
+  "libgraphulo_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphulo_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

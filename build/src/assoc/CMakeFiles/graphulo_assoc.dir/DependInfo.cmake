@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assoc/assoc_array.cpp" "src/assoc/CMakeFiles/graphulo_assoc.dir/assoc_array.cpp.o" "gcc" "src/assoc/CMakeFiles/graphulo_assoc.dir/assoc_array.cpp.o.d"
+  "/root/repo/src/assoc/schemas.cpp" "src/assoc/CMakeFiles/graphulo_assoc.dir/schemas.cpp.o" "gcc" "src/assoc/CMakeFiles/graphulo_assoc.dir/schemas.cpp.o.d"
+  "/root/repo/src/assoc/table_io.cpp" "src/assoc/CMakeFiles/graphulo_assoc.dir/table_io.cpp.o" "gcc" "src/assoc/CMakeFiles/graphulo_assoc.dir/table_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/graphulo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/nosql/CMakeFiles/graphulo_nosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/graphulo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/graphulo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

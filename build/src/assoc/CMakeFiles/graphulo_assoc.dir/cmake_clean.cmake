@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphulo_assoc.dir/assoc_array.cpp.o"
+  "CMakeFiles/graphulo_assoc.dir/assoc_array.cpp.o.d"
+  "CMakeFiles/graphulo_assoc.dir/schemas.cpp.o"
+  "CMakeFiles/graphulo_assoc.dir/schemas.cpp.o.d"
+  "CMakeFiles/graphulo_assoc.dir/table_io.cpp.o"
+  "CMakeFiles/graphulo_assoc.dir/table_io.cpp.o.d"
+  "libgraphulo_assoc.a"
+  "libgraphulo_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphulo_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

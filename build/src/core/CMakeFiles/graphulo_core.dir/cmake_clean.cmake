@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphulo_core.dir/assoc_algos.cpp.o"
+  "CMakeFiles/graphulo_core.dir/assoc_algos.cpp.o.d"
+  "CMakeFiles/graphulo_core.dir/remote_write.cpp.o"
+  "CMakeFiles/graphulo_core.dir/remote_write.cpp.o.d"
+  "CMakeFiles/graphulo_core.dir/table_algos.cpp.o"
+  "CMakeFiles/graphulo_core.dir/table_algos.cpp.o.d"
+  "CMakeFiles/graphulo_core.dir/table_ops.cpp.o"
+  "CMakeFiles/graphulo_core.dir/table_ops.cpp.o.d"
+  "CMakeFiles/graphulo_core.dir/table_scan.cpp.o"
+  "CMakeFiles/graphulo_core.dir/table_scan.cpp.o.d"
+  "CMakeFiles/graphulo_core.dir/tablemult.cpp.o"
+  "CMakeFiles/graphulo_core.dir/tablemult.cpp.o.d"
+  "libgraphulo_core.a"
+  "libgraphulo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphulo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/erdos.cpp" "src/gen/CMakeFiles/graphulo_gen.dir/erdos.cpp.o" "gcc" "src/gen/CMakeFiles/graphulo_gen.dir/erdos.cpp.o.d"
+  "/root/repo/src/gen/planted.cpp" "src/gen/CMakeFiles/graphulo_gen.dir/planted.cpp.o" "gcc" "src/gen/CMakeFiles/graphulo_gen.dir/planted.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/gen/CMakeFiles/graphulo_gen.dir/rmat.cpp.o" "gcc" "src/gen/CMakeFiles/graphulo_gen.dir/rmat.cpp.o.d"
+  "/root/repo/src/gen/tweets.cpp" "src/gen/CMakeFiles/graphulo_gen.dir/tweets.cpp.o" "gcc" "src/gen/CMakeFiles/graphulo_gen.dir/tweets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/graphulo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/graphulo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

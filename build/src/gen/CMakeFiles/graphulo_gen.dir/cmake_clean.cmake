@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphulo_gen.dir/erdos.cpp.o"
+  "CMakeFiles/graphulo_gen.dir/erdos.cpp.o.d"
+  "CMakeFiles/graphulo_gen.dir/planted.cpp.o"
+  "CMakeFiles/graphulo_gen.dir/planted.cpp.o.d"
+  "CMakeFiles/graphulo_gen.dir/rmat.cpp.o"
+  "CMakeFiles/graphulo_gen.dir/rmat.cpp.o.d"
+  "CMakeFiles/graphulo_gen.dir/tweets.cpp.o"
+  "CMakeFiles/graphulo_gen.dir/tweets.cpp.o.d"
+  "libgraphulo_gen.a"
+  "libgraphulo_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphulo_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

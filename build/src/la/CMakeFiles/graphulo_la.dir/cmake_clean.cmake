@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphulo_la.dir/io.cpp.o"
+  "CMakeFiles/graphulo_la.dir/io.cpp.o.d"
+  "CMakeFiles/graphulo_la.dir/print.cpp.o"
+  "CMakeFiles/graphulo_la.dir/print.cpp.o.d"
+  "libgraphulo_la.a"
+  "libgraphulo_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphulo_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

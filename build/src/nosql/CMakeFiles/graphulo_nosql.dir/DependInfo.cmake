@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nosql/batch_writer.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/batch_writer.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/batch_writer.cpp.o.d"
+  "/root/repo/src/nosql/codec.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/codec.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/codec.cpp.o.d"
+  "/root/repo/src/nosql/combiner.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/combiner.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/combiner.cpp.o.d"
+  "/root/repo/src/nosql/filter_iterators.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/filter_iterators.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/filter_iterators.cpp.o.d"
+  "/root/repo/src/nosql/instance.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/instance.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/instance.cpp.o.d"
+  "/root/repo/src/nosql/iterator.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/iterator.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/iterator.cpp.o.d"
+  "/root/repo/src/nosql/key.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/key.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/key.cpp.o.d"
+  "/root/repo/src/nosql/memtable.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/memtable.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/memtable.cpp.o.d"
+  "/root/repo/src/nosql/merge_iterator.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/merge_iterator.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/merge_iterator.cpp.o.d"
+  "/root/repo/src/nosql/mutation.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/mutation.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/mutation.cpp.o.d"
+  "/root/repo/src/nosql/rfile.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/rfile.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/rfile.cpp.o.d"
+  "/root/repo/src/nosql/scanner.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/scanner.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/scanner.cpp.o.d"
+  "/root/repo/src/nosql/tablet.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/tablet.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/tablet.cpp.o.d"
+  "/root/repo/src/nosql/visibility.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/visibility.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/visibility.cpp.o.d"
+  "/root/repo/src/nosql/wal.cpp" "src/nosql/CMakeFiles/graphulo_nosql.dir/wal.cpp.o" "gcc" "src/nosql/CMakeFiles/graphulo_nosql.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/graphulo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

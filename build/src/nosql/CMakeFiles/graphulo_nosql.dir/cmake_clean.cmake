@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphulo_nosql.dir/batch_writer.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/batch_writer.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/codec.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/codec.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/combiner.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/combiner.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/filter_iterators.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/filter_iterators.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/instance.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/instance.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/iterator.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/iterator.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/key.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/key.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/memtable.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/memtable.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/merge_iterator.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/merge_iterator.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/mutation.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/mutation.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/rfile.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/rfile.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/scanner.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/scanner.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/tablet.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/tablet.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/visibility.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/visibility.cpp.o.d"
+  "CMakeFiles/graphulo_nosql.dir/wal.cpp.o"
+  "CMakeFiles/graphulo_nosql.dir/wal.cpp.o.d"
+  "libgraphulo_nosql.a"
+  "libgraphulo_nosql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphulo_nosql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphulo_util.dir/csv.cpp.o"
+  "CMakeFiles/graphulo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/log.cpp.o"
+  "CMakeFiles/graphulo_util.dir/log.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/parallel.cpp.o"
+  "CMakeFiles/graphulo_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/rng.cpp.o"
+  "CMakeFiles/graphulo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/stats.cpp.o"
+  "CMakeFiles/graphulo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/strings.cpp.o"
+  "CMakeFiles/graphulo_util.dir/strings.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/table_printer.cpp.o"
+  "CMakeFiles/graphulo_util.dir/table_printer.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/threadpool.cpp.o"
+  "CMakeFiles/graphulo_util.dir/threadpool.cpp.o.d"
+  "CMakeFiles/graphulo_util.dir/zipf.cpp.o"
+  "CMakeFiles/graphulo_util.dir/zipf.cpp.o.d"
+  "libgraphulo_util.a"
+  "libgraphulo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphulo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphulo_util.a"
+)

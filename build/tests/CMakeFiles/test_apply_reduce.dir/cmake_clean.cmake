@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apply_reduce.dir/test_apply_reduce.cpp.o"
+  "CMakeFiles/test_apply_reduce.dir/test_apply_reduce.cpp.o.d"
+  "test_apply_reduce"
+  "test_apply_reduce.pdb"
+  "test_apply_reduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apply_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assoc.dir/test_assoc.cpp.o"
+  "CMakeFiles/test_assoc.dir/test_assoc.cpp.o.d"
+  "test_assoc"
+  "test_assoc.pdb"
+  "test_assoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assoc_algos.dir/test_assoc_algos.cpp.o"
+  "CMakeFiles/test_assoc_algos.dir/test_assoc_algos.cpp.o.d"
+  "test_assoc_algos"
+  "test_assoc_algos.pdb"
+  "test_assoc_algos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assoc_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_centrality.dir/test_centrality.cpp.o"
+  "CMakeFiles/test_centrality.dir/test_centrality.cpp.o.d"
+  "test_centrality"
+  "test_centrality.pdb"
+  "test_centrality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ewise.dir/test_ewise.cpp.o"
+  "CMakeFiles/test_ewise.dir/test_ewise.cpp.o.d"
+  "test_ewise"
+  "test_ewise.pdb"
+  "test_ewise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ewise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

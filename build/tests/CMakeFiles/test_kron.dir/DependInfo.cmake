@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kron.cpp" "tests/CMakeFiles/test_kron.dir/test_kron.cpp.o" "gcc" "tests/CMakeFiles/test_kron.dir/test_kron.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/graphulo_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/graphulo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assoc/CMakeFiles/graphulo_assoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nosql/CMakeFiles/graphulo_nosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/graphulo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/graphulo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/graphulo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ktruss.dir/test_ktruss.cpp.o"
+  "CMakeFiles/test_ktruss.dir/test_ktruss.cpp.o.d"
+  "test_ktruss"
+  "test_ktruss.pdb"
+  "test_ktruss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ktruss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_properties.dir/test_la_properties.cpp.o"
+  "CMakeFiles/test_la_properties.dir/test_la_properties.cpp.o.d"
+  "test_la_properties"
+  "test_la_properties.pdb"
+  "test_la_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

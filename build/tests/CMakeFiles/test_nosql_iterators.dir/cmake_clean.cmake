@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nosql_iterators.dir/test_nosql_iterators.cpp.o"
+  "CMakeFiles/test_nosql_iterators.dir/test_nosql_iterators.cpp.o.d"
+  "test_nosql_iterators"
+  "test_nosql_iterators.pdb"
+  "test_nosql_iterators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nosql_iterators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

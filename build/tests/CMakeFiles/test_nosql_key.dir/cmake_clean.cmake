@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nosql_key.dir/test_nosql_key.cpp.o"
+  "CMakeFiles/test_nosql_key.dir/test_nosql_key.cpp.o.d"
+  "test_nosql_key"
+  "test_nosql_key.pdb"
+  "test_nosql_key[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nosql_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

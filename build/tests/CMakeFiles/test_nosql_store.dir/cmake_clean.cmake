@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nosql_store.dir/test_nosql_store.cpp.o"
+  "CMakeFiles/test_nosql_store.dir/test_nosql_store.cpp.o.d"
+  "test_nosql_store"
+  "test_nosql_store.pdb"
+  "test_nosql_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nosql_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

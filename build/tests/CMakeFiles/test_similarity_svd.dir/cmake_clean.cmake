@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_similarity_svd.dir/test_similarity_svd.cpp.o"
+  "CMakeFiles/test_similarity_svd.dir/test_similarity_svd.cpp.o.d"
+  "test_similarity_svd"
+  "test_similarity_svd.pdb"
+  "test_similarity_svd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_similarity_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

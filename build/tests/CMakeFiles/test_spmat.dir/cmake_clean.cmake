@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmat.dir/test_spmat.cpp.o"
+  "CMakeFiles/test_spmat.dir/test_spmat.cpp.o.d"
+  "test_spmat"
+  "test_spmat.pdb"
+  "test_spmat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

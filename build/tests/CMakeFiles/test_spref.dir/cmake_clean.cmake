@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spref.dir/test_spref.cpp.o"
+  "CMakeFiles/test_spref.dir/test_spref.cpp.o.d"
+  "test_spref"
+  "test_spref.pdb"
+  "test_spref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
