@@ -60,6 +60,77 @@ int main() {
     table.print("TableMult: server-side vs client-side C = A'A");
   }
 
+  // Worker scaling of the partitioned pipeline: same multiply, same
+  // input, num_workers swept. Throughput is partial products per second
+  // — the number the Graphulo follow-up papers benchmark. Single-worker
+  // runs take the serial path (one all-rows partition, no pool), so the
+  // speedup column is measured against the seed-equivalent baseline.
+  {
+    util::TablePrinter table({"workers", "partitions", "rows_joined",
+                              "partials", "ms", "partials/s", "speedup",
+                              "agree"});
+    gen::RmatParams p;
+    p.scale = 9;
+    p.edge_factor = 6;
+    const auto a = gen::rmat_simple_adjacency(p);
+    constexpr int kTablets = 4;
+    nosql::Instance db(kTablets);
+    assoc::write_matrix(db, "A", a);
+    std::vector<std::string> splits;
+    for (int s = 1; s < kTablets; ++s) {
+      splits.push_back(assoc::vertex_key(a.rows() * s / kTablets));
+    }
+    db.add_splits("A", splits);
+    double serial_seconds = 0;
+    la::SpMat<double> serial_result;
+    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+      const std::string result = "Cw" + std::to_string(workers);
+      const auto stats = core::table_mult(
+          db, "A", "A", result,
+          {.compact_result = true, .num_workers = workers});
+      const auto c = assoc::read_matrix(db, result, a.cols(), a.cols());
+      if (workers == 1) {
+        serial_seconds = stats.seconds;
+        serial_result = c;
+      }
+      const double throughput =
+          stats.seconds > 0
+              ? static_cast<double>(stats.partial_products) / stats.seconds
+              : 0.0;
+      table.add_row({std::to_string(workers),
+                     std::to_string(stats.partitions.size()),
+                     std::to_string(stats.rows_joined),
+                     std::to_string(stats.partial_products),
+                     util::TablePrinter::fmt(stats.seconds * 1e3, 1),
+                     util::TablePrinter::fmt(throughput / 1e6, 2) + "M",
+                     util::TablePrinter::fmt(serial_seconds / stats.seconds, 2),
+                     c == serial_result ? "yes" : "NO"});
+    }
+    table.print("TableMult worker scaling (RMAT scale 9, 4 tablets)");
+
+    // Per-partition breakdown of one 4-worker run: where each worker's
+    // time went, and how balanced the tablet-derived partitions are.
+    util::TablePrinter parts({"partition", "rows_joined", "partials",
+                              "seeks", "scan_ms", "emit_ms", "flush_ms",
+                              "total_ms"});
+    const auto stats = core::table_mult(db, "A", "A", "Cparts",
+                                        {.num_workers = 4});
+    for (std::size_t i = 0; i < stats.partitions.size(); ++i) {
+      const auto& part = stats.partitions[i];
+      const std::string lo = part.start_row.empty() ? "-inf" : part.start_row;
+      const std::string hi = part.end_row.empty() ? "+inf" : part.end_row;
+      parts.add_row({"[" + lo + ", " + hi + ")",
+                     std::to_string(part.rows_joined),
+                     std::to_string(part.partial_products),
+                     std::to_string(part.seeks),
+                     util::TablePrinter::fmt(part.scan_seconds * 1e3, 1),
+                     util::TablePrinter::fmt(part.emit_seconds * 1e3, 1),
+                     util::TablePrinter::fmt(part.flush_seconds * 1e3, 1),
+                     util::TablePrinter::fmt(part.seconds * 1e3, 1)});
+    }
+    parts.print("TableMult per-partition counters (4 workers)");
+  }
+
   // In-database graph algorithms (the Graphulo library trio).
   {
     util::TablePrinter table({"algorithm", "n", "result", "time_ms"});

@@ -26,9 +26,16 @@ RowBlock RowReader::next_row() {
 }
 
 void RowReader::advance_to(const std::string& row) {
-  while (source_->has_top() && source_->top_key().row < row) {
-    source_->next();
-  }
+  if (!source_->has_top() || source_->top_key().row >= row) return;
+  // Re-seek the stack at the target row, preserving the scan's end
+  // bound. The new start is ahead of the old one (the current position
+  // is before `row`), so the clipped range never moves backwards.
+  nosql::Range clipped = range_;
+  clipped.has_start = true;
+  clipped.start = nosql::min_key_for_row(row);
+  clipped.start_inclusive = true;
+  source_->seek(clipped);
+  ++seeks_;
 }
 
 }  // namespace graphulo::core

@@ -31,7 +31,11 @@ struct RowBlock {
 class RowReader {
  public:
   /// Takes ownership of a seeked iterator (as from open_table_scan).
-  explicit RowReader(nosql::IterPtr source) : source_(std::move(source)) {}
+  /// `range` must be the range the iterator was seeked to; advance_to()
+  /// re-seeks within it, so an end bound keeps applying after skips.
+  explicit RowReader(nosql::IterPtr source,
+                     nosql::Range range = nosql::Range::all())
+      : source_(std::move(source)), range_(std::move(range)) {}
 
   /// True when another row is available.
   bool has_next() const { return source_->has_top(); }
@@ -39,12 +43,19 @@ class RowReader {
   /// Reads the next row (consumes all of its cells).
   RowBlock next_row();
 
-  /// Skips rows until the current row key is >= `row` (cheap seek
-  /// substitute for the merge join; rows already passed stay passed).
+  /// Positions the stream at the first row key >= `row` by seeking the
+  /// underlying iterator stack — O(log cells) per skip instead of the
+  /// O(skipped cells) a next() drain would cost. Rows already passed
+  /// stay passed (a target at or behind the current row is a no-op).
   void advance_to(const std::string& row);
+
+  /// Number of seeks advance_to() has issued (observability + tests).
+  std::size_t seeks_performed() const noexcept { return seeks_; }
 
  private:
   nosql::IterPtr source_;
+  nosql::Range range_;
+  std::size_t seeks_ = 0;
 };
 
 }  // namespace graphulo::core

@@ -1,11 +1,17 @@
 #include "core/tablemult.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <thread>
+
 #include "assoc/table_io.hpp"
 #include "core/table_scan.hpp"
 #include "nosql/batch_writer.hpp"
 #include "nosql/codec.hpp"
 #include "nosql/combiner.hpp"
 #include "la/spgemm.hpp"
+#include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
 namespace graphulo::core {
@@ -26,40 +32,54 @@ void create_sum_table(nosql::Instance& db, const std::string& table) {
   db.create_table(table, std::move(cfg));
 }
 
-TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
-                          const std::string& table_b,
-                          const std::string& table_c,
-                          const TableMultOptions& options) {
-  util::Timer timer;
-  if (options.configure_result_table) create_sum_table(db, table_c);
-  if (!db.table_exists(table_c)) db.create_table(table_c);
+namespace {
 
-  TableMultStats stats;
-  RowReader reader_a(open_table_scan(db, table_a));
-  RowReader reader_b(open_table_scan(db, table_b));
+/// One partition of the row-aligned merge join: scans [range) of A and
+/// B, emits the partial products of every shared row through a private
+/// BatchWriter. Runs on a worker thread; touches no shared state beyond
+/// the (thread-safe) Instance scan/write entry points.
+TableMultPartitionStats mult_partition(nosql::Instance& db,
+                                       const std::string& table_a,
+                                       const std::string& table_b,
+                                       const std::string& table_c,
+                                       const TableMultOptions& options,
+                                       const nosql::Range& range) {
+  util::Timer total;
+  TableMultPartitionStats stats;
+  if (range.has_start) stats.start_row = range.start.row;
+  if (range.has_end) stats.end_row = range.end.row;
+
+  RowReader reader_a(open_table_scan(db, table_a, range), range);
+  RowReader reader_b(open_table_scan(db, table_b, range), range);
   nosql::BatchWriter writer(db, table_c);
 
-  // Row-aligned merge join over the shared row dimension k.
+  util::Timer phase;
   bool have_a = reader_a.has_next();
   bool have_b = reader_b.has_next();
   RowBlock row_a, row_b;
   if (have_a) row_a = reader_a.next_row();
   if (have_b) row_b = reader_b.next_row();
+  stats.scan_seconds += phase.seconds();
   while (have_a && have_b) {
     if (row_a.row < row_b.row) {
+      phase.reset();
       reader_a.advance_to(row_b.row);
       have_a = reader_a.has_next();
       if (have_a) row_a = reader_a.next_row();
+      stats.scan_seconds += phase.seconds();
       continue;
     }
     if (row_b.row < row_a.row) {
+      phase.reset();
       reader_b.advance_to(row_a.row);
       have_b = reader_b.has_next();
       if (have_b) row_b = reader_b.next_row();
+      stats.scan_seconds += phase.seconds();
       continue;
     }
     // Shared row k: emit the outer product of A(k, :) and B(k, :).
     ++stats.rows_joined;
+    phase.reset();
     for (const auto& ca : row_a.cells) {
       const auto av = decode_double(ca.value);
       if (!av) continue;
@@ -76,12 +96,93 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
       }
       if (any) writer.add_mutation(std::move(m));
     }
+    stats.emit_seconds += phase.seconds();
+    phase.reset();
     have_a = reader_a.has_next();
     if (have_a) row_a = reader_a.next_row();
     have_b = reader_b.has_next();
     if (have_b) row_b = reader_b.next_row();
+    stats.scan_seconds += phase.seconds();
   }
+  phase.reset();
   writer.flush();
+  stats.flush_seconds = phase.seconds();
+  stats.seeks = reader_a.seeks_performed() + reader_b.seeks_performed();
+  stats.seconds = total.seconds();
+  return stats;
+}
+
+/// Cuts the row space of `table_a` into up to `workers` contiguous
+/// half-open ranges at tablet split points (sampled keys as fallback).
+std::vector<nosql::Range> partition_ranges(nosql::Instance& db,
+                                           const std::string& table_a,
+                                           std::size_t workers) {
+  std::vector<nosql::Range> ranges;
+  if (workers > 1) {
+    const auto bounds = db.partition_rows(table_a, workers);
+    std::string prev;
+    for (const auto& b : bounds) {
+      ranges.push_back(nosql::Range::half_open_row_range(prev, b));
+      prev = b;
+    }
+    ranges.push_back(nosql::Range::half_open_row_range(prev, ""));
+  } else {
+    ranges.push_back(nosql::Range::all());
+  }
+  return ranges;
+}
+
+}  // namespace
+
+TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
+                          const std::string& table_b,
+                          const std::string& table_c,
+                          const TableMultOptions& options) {
+  util::Timer timer;
+  if (options.configure_result_table) create_sum_table(db, table_c);
+  if (!db.table_exists(table_c)) db.create_table(table_c);
+
+  std::size_t workers = options.num_workers != 0
+                            ? options.num_workers
+                            : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  const auto ranges = partition_ranges(db, table_a, workers);
+
+  TableMultStats stats;
+  stats.partitions.reserve(ranges.size());
+  if (ranges.size() == 1) {
+    // Serial path: identical order of scans and writes to a single-table
+    // run, no pool, no partition boundaries.
+    stats.partitions.push_back(
+        mult_partition(db, table_a, table_b, table_c, options, ranges[0]));
+  } else {
+    util::ThreadPool pool(std::min(workers, ranges.size()));
+    std::vector<std::future<TableMultPartitionStats>> futures;
+    futures.reserve(ranges.size());
+    for (const auto& range : ranges) {
+      futures.push_back(pool.submit([&db, &table_a, &table_b, &table_c,
+                                     &options, &range] {
+        return mult_partition(db, table_a, table_b, table_c, options, range);
+      }));
+    }
+    // Flush barrier: join every worker (collecting its counters) before
+    // the optional compaction; rethrow the first failure only after all
+    // writers have drained.
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        stats.partitions.push_back(f.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  for (const auto& p : stats.partitions) {
+    stats.rows_joined += p.rows_joined;
+    stats.partial_products += p.partial_products;
+    stats.seeks += p.seeks;
+  }
   if (options.compact_result) db.compact(table_c);
   stats.seconds = timer.seconds();
   return stats;

@@ -14,11 +14,23 @@
 // C through a BatchWriter; a (+)-combiner attached to C at scan and
 // compaction scope makes the table itself perform the reduction.
 //
+// Execution is a partitioned pipeline: the shared row dimension k is cut
+// into contiguous row ranges at the tablet split points of A (refined by
+// sampled row keys when A is a single tablet), and each partition runs
+// the merge join independently on a worker thread with its own pair of
+// scans and its own BatchWriter. No cross-worker coordination is needed
+// beyond the final flush barrier: distinct k-partitions contribute
+// disjoint partial-product SETS, and the (+)-combiner on C is
+// commutative and associative, so any interleaving of the concurrent
+// writes folds to the same table. (Callers configuring C manually must
+// likewise attach a commutative combiner, or run with num_workers = 1.)
+//
 // The client-side baseline (read A and B out, SpGEMM locally, write C
 // back) is provided for the bench_tablemult ablation.
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "la/spmat.hpp"
 #include "nosql/instance.hpp"
@@ -37,13 +49,33 @@ struct TableMultOptions {
   /// Compact C after the multiply so the partial products are physically
   /// collapsed (otherwise they collapse lazily at scan/compaction time).
   bool compact_result = false;
+  /// Worker threads for the partitioned pipeline; 0 = hardware
+  /// concurrency. With 1 worker the multiply runs inline on the calling
+  /// thread over a single all-rows partition — the serial path.
+  std::size_t num_workers = 0;
 };
 
-/// Statistics from one table_mult() run.
+/// Per-partition counters from one table_mult() worker.
+struct TableMultPartitionStats {
+  std::string start_row;              ///< partition range ["start", "end")
+  std::string end_row;                ///< empty = unbounded on that side
+  std::size_t rows_joined = 0;        ///< shared row keys in this range
+  std::size_t partial_products = 0;   ///< cells written by this worker
+  std::size_t seeks = 0;              ///< advance_to() seeks on A + B
+  double scan_seconds = 0.0;          ///< reading/aligning the two streams
+  double emit_seconds = 0.0;          ///< building + buffering mutations
+  double flush_seconds = 0.0;         ///< final BatchWriter flush
+  double seconds = 0.0;               ///< wall time of the whole partition
+};
+
+/// Statistics from one table_mult() run. Totals are the sums over
+/// `partitions`, aggregated at join time.
 struct TableMultStats {
   std::size_t rows_joined = 0;        ///< shared row keys of A and B
   std::size_t partial_products = 0;   ///< cells written to C
-  double seconds = 0.0;
+  std::size_t seeks = 0;              ///< merge-join seeks on A + B
+  double seconds = 0.0;               ///< wall time (partitions overlap)
+  std::vector<TableMultPartitionStats> partitions;
 };
 
 /// C += A^T * B, all three named tables of `db`. Creates C when missing

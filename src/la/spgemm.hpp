@@ -18,7 +18,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -47,12 +46,12 @@ class DenseSpa {
  public:
   explicit DenseSpa(Index cols)
       : vals_(static_cast<std::size_t>(cols), SR::zero()),
-        occupied_(static_cast<std::size_t>(cols), false) {}
+        occupied_(static_cast<std::size_t>(cols), 0) {}
 
   void accumulate(Index col, T v) {
     const auto c = static_cast<std::size_t>(col);
     if (!occupied_[c]) {
-      occupied_[c] = true;
+      occupied_[c] = 1;
       touched_.push_back(col);
       vals_[c] = v;
     } else {
@@ -69,7 +68,7 @@ class DenseSpa {
         out_cols.push_back(c);
         out_vals.push_back(vals_[ci]);
       }
-      occupied_[ci] = false;
+      occupied_[ci] = 0;
       vals_[ci] = SR::zero();
     }
     touched_.clear();
@@ -77,7 +76,9 @@ class DenseSpa {
 
  private:
   std::vector<T> vals_;
-  std::vector<bool> occupied_;
+  // char, not bool: vector<bool>'s bit proxies cost a read-modify-write
+  // in the innermost accumulate loop.
+  std::vector<char> occupied_;
   std::vector<Index> touched_;
 };
 
@@ -199,38 +200,43 @@ SpMat<typename SR::value_type> spgemm(
 
   std::vector<Offset> row_nnz(static_cast<std::size_t>(m), 0);
 
-  // Each block produces a private (cols, vals) segment; blocks are
-  // stitched in row order afterwards.
+  // Each block produces a private (cols, vals) segment, written into its
+  // pre-sized slot by block index — no mutex, no post-hoc sort. The
+  // block size replicates parallel_for_blocked's policy (at least the
+  // grain, at most 4 blocks per pool thread) so `lo / block` is the
+  // block index of every sub-range the loop hands out.
   struct Segment {
-    Index row_lo, row_hi;
     std::vector<Index> cols;
     std::vector<T> vals;
   };
-  std::vector<Segment> segments;
-  std::mutex segments_mutex;
+  const std::size_t m_sz = static_cast<std::size_t>(m);
+  util::ThreadPool& pool =
+      par.pool ? *par.pool : util::ThreadPool::global();
+  const std::size_t grain = par.grain == 0 ? 1 : par.grain;
+  const std::size_t max_blocks = pool.size() * 4;
+  const std::size_t block =
+      std::max(grain, (m_sz + max_blocks - 1) / max_blocks);
+  std::vector<Segment> segments(m_sz == 0 ? 0 : (m_sz - 1) / block + 1);
+  util::ParallelOptions block_par = par;
+  block_par.grain = block;
 
   util::parallel_for_blocked(
-      0, static_cast<std::size_t>(m),
+      0, m_sz,
       [&](std::size_t lo, std::size_t hi) {
-        Segment seg;
-        seg.row_lo = static_cast<Index>(lo);
-        seg.row_hi = static_cast<Index>(hi);
+        Segment& seg = segments[lo / block];
         if (use_dense_spa) {
           detail::DenseSpa<SR> spa(n);
-          detail::spgemm_rows<SR>(a, b, seg.row_lo, seg.row_hi, spa, seg.cols,
+          detail::spgemm_rows<SR>(a, b, static_cast<Index>(lo),
+                                  static_cast<Index>(hi), spa, seg.cols,
                                   seg.vals, row_nnz);
         } else {
           detail::HashSpa<SR> spa(64);
-          detail::spgemm_rows<SR>(a, b, seg.row_lo, seg.row_hi, spa, seg.cols,
+          detail::spgemm_rows<SR>(a, b, static_cast<Index>(lo),
+                                  static_cast<Index>(hi), spa, seg.cols,
                                   seg.vals, row_nnz);
         }
-        std::lock_guard lock(segments_mutex);
-        segments.push_back(std::move(seg));
       },
-      par);
-
-  std::sort(segments.begin(), segments.end(),
-            [](const Segment& x, const Segment& y) { return x.row_lo < y.row_lo; });
+      block_par);
 
   std::vector<Offset> row_ptr(static_cast<std::size_t>(m) + 1, 0);
   for (Index i = 0; i < m; ++i) {

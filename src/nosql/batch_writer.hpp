@@ -2,6 +2,18 @@
 // Buffered write client, modeled on Accumulo's BatchWriter: mutations
 // accumulate in a client-side buffer and are pushed to the instance when
 // the buffer exceeds a byte threshold, on flush(), or at destruction.
+//
+// Concurrency contract (audited for the parallel TableMult pipeline):
+// one BatchWriter instance is NOT thread-safe — it buffers in plain
+// members and must be confined to a single thread. Any number of
+// BatchWriter instances MAY write to the same table concurrently:
+// flush() funnels into Instance::apply, which routes under a shared
+// catalog lock, stamps timestamps from an atomic clock, and lands in
+// per-tablet mutexes. Writers therefore interleave at mutation
+// granularity with no lost updates; relative order across writers is
+// unspecified, so concurrent writers to one table should only be used
+// when the table's semantics are order-independent (e.g. a commutative
+// combiner folding partial products).
 
 #include <string>
 #include <vector>

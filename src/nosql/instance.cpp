@@ -162,6 +162,44 @@ std::vector<std::string> Instance::list_splits(const std::string& name) const {
   return splits;
 }
 
+std::vector<std::string> Instance::partition_rows(
+    const std::string& name, std::size_t target_partitions) const {
+  std::vector<std::shared_ptr<Tablet>> tablets;
+  std::set<std::string> candidates;
+  {
+    std::shared_lock lock(catalog_mutex_);
+    const Table& table = get_table(name);
+    tablets = table.tablets_;
+  }
+  if (target_partitions < 2) return {};
+  for (const auto& t : tablets) {
+    if (!t->extent().start_row.empty()) candidates.insert(t->extent().start_row);
+  }
+  if (candidates.size() < target_partitions - 1) {
+    // Not enough tablet boundaries: refine with data samples. Sampling
+    // happens outside the catalog lock — tablets are individually
+    // thread-safe and shared_ptr-held, so a concurrent split/drop cannot
+    // invalidate them.
+    const std::size_t per_tablet =
+        std::max<std::size_t>(4, 4 * target_partitions / std::max<std::size_t>(1, tablets.size()));
+    for (const auto& t : tablets) {
+      for (auto& row : t->sample_split_rows(per_tablet)) {
+        if (!row.empty()) candidates.insert(std::move(row));
+      }
+    }
+  }
+  std::vector<std::string> sorted(candidates.begin(), candidates.end());
+  if (sorted.size() <= target_partitions - 1) return sorted;
+  // Evenly spaced subset of the candidates.
+  std::vector<std::string> bounds;
+  bounds.reserve(target_partitions - 1);
+  for (std::size_t i = 1; i < target_partitions; ++i) {
+    bounds.push_back(sorted[i * sorted.size() / target_partitions]);
+  }
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
 std::shared_ptr<Tablet> Instance::route_locked(Table& table,
                                                const std::string& row,
                                                int* server_id) const {

@@ -82,6 +82,16 @@ class Instance {
   /// Current split points of a table.
   std::vector<std::string> list_splits(const std::string& name) const;
 
+  /// Row keys that cut `name` into up to `target_partitions` contiguous
+  /// row ranges for parallel scans: the tablet split points, refined with
+  /// row keys sampled from tablet data when the table has fewer tablets
+  /// than partitions wanted (e.g. a single-tablet table). Returns at most
+  /// `target_partitions - 1` sorted distinct non-empty rows; fewer when
+  /// the data does not contain enough distinct rows. Thread-safe, like
+  /// all scan entry points.
+  std::vector<std::string> partition_rows(const std::string& name,
+                                          std::size_t target_partitions) const;
+
   // -- writes -------------------------------------------------------------
 
   /// Applies a mutation, routed to the owning tablet; assigns the next

@@ -62,6 +62,22 @@ Range Range::row_range(const std::string& start_row,
   return r;
 }
 
+Range Range::half_open_row_range(const std::string& start_row,
+                                 const std::string& end_row) {
+  Range r;
+  if (!start_row.empty()) {
+    r.has_start = true;
+    r.start = min_key_for_row(start_row);
+    r.start_inclusive = true;
+  }
+  if (!end_row.empty()) {
+    r.has_end = true;
+    r.end = min_key_for_row(end_row);
+    r.end_inclusive = false;
+  }
+  return r;
+}
+
 Range Range::prefix(const std::string& row_prefix) {
   Range r;
   r.has_start = true;

@@ -75,6 +75,14 @@ struct Range {
   static Range row_range(const std::string& start_row,
                          const std::string& end_row);
 
+  /// All cells with row in [start_row, end_row): inclusive start,
+  /// EXCLUSIVE end. An empty string leaves that side unbounded. Adjacent
+  /// ranges built from a sorted boundary list tile the key space with no
+  /// overlap and no gap — the partition shape of the parallel TableMult
+  /// pipeline.
+  static Range half_open_row_range(const std::string& start_row,
+                                   const std::string& end_row);
+
   /// All cells with the given row prefix.
   static Range prefix(const std::string& row_prefix);
 

@@ -1,5 +1,7 @@
 #include "nosql/memtable.hpp"
 
+#include <algorithm>
+
 namespace graphulo::nosql {
 
 void Memtable::apply(const Mutation& mutation, Timestamp assigned_ts) {
@@ -30,6 +32,20 @@ std::shared_ptr<const std::vector<Cell>> Memtable::snapshot() const {
   cells->reserve(cells_.size());
   for (const auto& [k, v] : cells_) cells->push_back({k, v});
   return cells;
+}
+
+std::vector<std::string> Memtable::sample_rows(std::size_t n) const {
+  std::vector<std::string> rows;
+  if (cells_.empty() || n == 0) return rows;
+  rows.reserve(n);
+  const std::size_t stride = std::max<std::size_t>(1, cells_.size() / n);
+  std::size_t i = 0;
+  for (const auto& [k, v] : cells_) {
+    if (i++ % stride != 0) continue;
+    if (rows.empty() || rows.back() != k.row) rows.push_back(k.row);
+    if (rows.size() >= n) break;
+  }
+  return rows;
 }
 
 void Memtable::clear() {

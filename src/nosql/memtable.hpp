@@ -31,6 +31,11 @@ class Memtable {
   /// threshold, so snapshots stay cheap relative to scan work.
   std::shared_ptr<const std::vector<Cell>> snapshot() const;
 
+  /// Up to `n` evenly spaced row keys (distinct-adjacent, sorted) —
+  /// partition-boundary candidates for parallel scans. O(entries) walk,
+  /// no value copies.
+  std::vector<std::string> sample_rows(std::size_t n) const;
+
   /// Clears the buffer (after a flush has persisted the snapshot).
   void clear();
 

@@ -1,5 +1,6 @@
 #include "nosql/rfile.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <fstream>
@@ -44,6 +45,20 @@ std::shared_ptr<RFile> RFile::from_sorted(std::vector<Cell> cells) {
 
 IterPtr RFile::iterator() const {
   return std::make_unique<VectorIterator>(cells_);
+}
+
+std::vector<std::string> RFile::sample_rows(std::size_t n) const {
+  std::vector<std::string> rows;
+  const auto& cells = *cells_;
+  if (cells.empty() || n == 0) return rows;
+  rows.reserve(n);
+  const std::size_t stride = std::max<std::size_t>(1, cells.size() / n);
+  for (std::size_t i = 0; i < cells.size() && rows.size() < n; i += stride) {
+    if (rows.empty() || rows.back() != cells[i].key.row) {
+      rows.push_back(cells[i].key.row);
+    }
+  }
+  return rows;
 }
 
 bool RFile::write_to(const std::string& path) const {

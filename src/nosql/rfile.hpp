@@ -30,6 +30,11 @@ class RFile {
   /// A fresh iterator over this file's cells.
   IterPtr iterator() const;
 
+  /// Up to `n` evenly spaced row keys from this file (distinct-adjacent,
+  /// sorted). O(n) — the cells are index-addressable. Used to derive
+  /// partition boundaries for parallel scans.
+  std::vector<std::string> sample_rows(std::size_t n) const;
+
   /// Serializes to a simple length-prefixed binary file. Returns false
   /// on I/O failure.
   bool write_to(const std::string& path) const;

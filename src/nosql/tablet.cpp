@@ -1,5 +1,7 @@
 #include "nosql/tablet.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 #include "nosql/filter_iterators.hpp"
@@ -134,6 +136,19 @@ TabletStats Tablet::stats() const {
 std::size_t Tablet::entry_estimate() const {
   const auto s = stats();
   return s.memtable_entries + s.file_entries;
+}
+
+std::vector<std::string> Tablet::sample_split_rows(std::size_t n) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> rows = memtable_.sample_rows(n);
+  for (const auto& f : files_) {
+    auto from_file = f->sample_rows(n);
+    rows.insert(rows.end(), std::make_move_iterator(from_file.begin()),
+                std::make_move_iterator(from_file.end()));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
 }
 
 }  // namespace graphulo::nosql

@@ -80,6 +80,11 @@ class Tablet {
   /// Total logical entries (memtable + files, before versioning).
   std::size_t entry_estimate() const;
 
+  /// Up to `n` row keys sampled evenly from this tablet's data (sorted,
+  /// deduplicated). Candidates for partition boundaries when a table has
+  /// fewer tablets than a parallel scan wants workers.
+  std::vector<std::string> sample_split_rows(std::size_t n) const;
+
  private:
   IterPtr merged_sources_locked() const;  // requires mutex_ held
   void flush_locked();

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "assoc/table_io.hpp"
+#include "core/tablemult.hpp"
+#include "gen/rmat.hpp"
 #include "nosql/nosql.hpp"
 #include "util/strings.hpp"
 
@@ -112,6 +115,44 @@ TEST(Concurrency, CompactionsRaceWithScans) {
   }
   stop.store(true);
   compactor.join();
+}
+
+TEST(Concurrency, TableMultEightWorkersRacingCompactions) {
+  // The parallel TableMult pipeline under fire: 8 workers scanning two
+  // tables and writing partial products through concurrent BatchWriters,
+  // while another thread keeps flushing and major-compacting the result
+  // table (folding partials through the majc-scope combiner mid-write).
+  // The folded table must equal the serial 1-worker product exactly.
+  gen::RmatParams p;
+  p.scale = 7;
+  p.edge_factor = 6;
+  const auto a = gen::rmat_simple_adjacency(p);
+  Instance db(4);
+  assoc::write_matrix(db, "A", a);
+  db.add_splits("A", {assoc::vertex_key(a.rows() / 4),
+                      assoc::vertex_key(a.rows() / 2),
+                      assoc::vertex_key(3 * a.rows() / 4)});
+
+  core::create_sum_table(db, "C");
+  std::atomic<bool> stop{false};
+  std::thread compactor([&] {
+    while (!stop.load()) {
+      db.flush("C");
+      db.compact("C");
+    }
+  });
+  const auto stats =
+      core::table_mult(db, "A", "A", "C", {.num_workers = 8});
+  stop.store(true);
+  compactor.join();
+  db.compact("C");
+
+  const auto serial = core::table_mult(
+      db, "A", "A", "Cserial", {.compact_result = true, .num_workers = 1});
+  EXPECT_EQ(stats.rows_joined, serial.rows_joined);
+  EXPECT_EQ(stats.partial_products, serial.partial_products);
+  EXPECT_EQ(assoc::read_matrix(db, "C", a.cols(), a.cols()),
+            assoc::read_matrix(db, "Cserial", a.cols(), a.cols()));
 }
 
 TEST(Concurrency, BatchScannerParallelDelivery) {

@@ -2,6 +2,8 @@
 // table-scope kernels, and the table-level graph algorithms.
 
 #include <cmath>
+#include <cstdint>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -11,10 +13,12 @@
 #include "core/table_scan.hpp"
 #include "core/tablemult.hpp"
 #include "gen/erdos.hpp"
+#include "gen/rmat.hpp"
 #include "la/la.hpp"
 #include "nosql/codec.hpp"
 #include "nosql/scanner.hpp"
 #include "test_helpers.hpp"
+#include "util/strings.hpp"
 
 namespace graphulo::core {
 namespace {
@@ -66,6 +70,78 @@ TEST(TableScan, RowReaderGroupsRows) {
   block = reader.next_row();
   EXPECT_EQ(block.row, "b");
   EXPECT_EQ(block.cells.size(), 1u);
+  EXPECT_FALSE(reader.has_next());
+}
+
+// Counts the seek()/next() traffic RowReader sends down the stack.
+class CountingIterator : public nosql::WrappingIterator {
+ public:
+  CountingIterator(nosql::IterPtr source, std::size_t* seeks,
+                   std::size_t* nexts)
+      : WrappingIterator(std::move(source)), seeks_(seeks), nexts_(nexts) {}
+
+  void seek(const nosql::Range& range) override {
+    ++*seeks_;
+    WrappingIterator::seek(range);
+  }
+  void next() override {
+    ++*nexts_;
+    WrappingIterator::next();
+  }
+
+ private:
+  std::size_t* seeks_;
+  std::size_t* nexts_;
+};
+
+TEST(TableScan, AdvanceToSeeksInsteadOfDraining) {
+  nosql::Instance db;
+  db.create_table("t");
+  constexpr std::uint64_t kRows = 200;
+  for (std::uint64_t i = 0; i < kRows; ++i) {
+    std::string row = "r";  // built in steps: GCC 12 -Wrestrict FP
+    row += util::zero_pad(i, 3);
+    nosql::Mutation m(std::move(row));
+    m.put("f", "q", "v");
+    db.apply("t", m);
+  }
+  std::size_t seeks = 0, nexts = 0;
+  auto counting = std::make_unique<CountingIterator>(
+      open_table_scan(db, "t"), &seeks, &nexts);
+  RowReader reader(std::move(counting));
+  EXPECT_EQ(reader.next_row().row, "r000");
+  const std::size_t nexts_before = nexts;
+  reader.advance_to("r150");
+  // The skip must be one seek on the stack, not a next() drain across
+  // the 149 skipped rows.
+  EXPECT_EQ(seeks, 1u);
+  EXPECT_EQ(nexts, nexts_before);
+  EXPECT_EQ(reader.seeks_performed(), 1u);
+  ASSERT_TRUE(reader.has_next());
+  EXPECT_EQ(reader.next_row().row, "r150");
+  // Targets at or behind the current position are no-ops, never a
+  // backwards seek (rows already passed stay passed).
+  reader.advance_to("r100");
+  EXPECT_EQ(seeks, 1u);
+  EXPECT_EQ(reader.next_row().row, "r151");
+}
+
+TEST(TableScan, AdvanceToRespectsScanEndBound) {
+  nosql::Instance db;
+  db.create_table("t");
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    std::string row = "r";
+    row += util::zero_pad(i, 3);
+    nosql::Mutation m(std::move(row));
+    m.put("f", "q", "v");
+    db.apply("t", m);
+  }
+  const auto range = nosql::Range::half_open_row_range("r010", "r050");
+  RowReader reader(open_table_scan(db, "t", range), range);
+  EXPECT_EQ(reader.next_row().row, "r010");
+  // Seeking forward must keep the partition's end bound: a target past
+  // the end exhausts the reader instead of spilling into [r050, ...).
+  reader.advance_to("r060");
   EXPECT_FALSE(reader.has_next());
 }
 
@@ -147,6 +223,68 @@ TEST(TableMult, ClientSideBaselineAgrees) {
   table_mult(db, "A", "B", "Cserver");
   client_side_mult(db, "A", "B", "Cclient", 10, 8, 7);
   EXPECT_EQ(read_matrix(db, "Cserver", 8, 7), read_matrix(db, "Cclient", 8, 7));
+}
+
+// Drains a table into (row, family, qualifier, decoded value) tuples —
+// the physical cells, for exact comparisons after compaction.
+std::vector<std::tuple<std::string, std::string, std::string, double>>
+read_cells(nosql::Instance& db, const std::string& table) {
+  std::vector<std::tuple<std::string, std::string, std::string, double>> out;
+  nosql::Scanner scan(db, table);
+  scan.for_each([&out](const nosql::Key& k, const nosql::Value& v) {
+    const auto d = nosql::decode_double(v);
+    ASSERT_TRUE(d.has_value()) << k.to_string();
+    out.emplace_back(k.row, k.family, k.qualifier, *d);
+  });
+  return out;
+}
+
+TEST(TableMult, MultithreadedMatchesClientSideOnRmat) {
+  gen::RmatParams p;
+  p.scale = 7;
+  p.edge_factor = 6;
+  const auto a = gen::rmat_simple_adjacency(p);
+  // tablets=1 exercises the sampled-boundary fallback (no split points);
+  // tablets=4 exercises tablet-derived partitions.
+  for (int tablets : {1, 4}) {
+    nosql::Instance db(tablets);
+    assoc::write_matrix(db, "A", a);
+    if (tablets > 1) {
+      std::vector<std::string> splits;
+      for (int s = 1; s < tablets; ++s) {
+        splits.push_back(assoc::vertex_key(a.rows() * s / tablets));
+      }
+      db.add_splits("A", splits);
+    }
+    const auto stats = table_mult(
+        db, "A", "A", "Cs", {.compact_result = true, .num_workers = 4});
+    EXPECT_GE(stats.partitions.size(), 2u) << "tablets=" << tablets;
+    client_side_mult(db, "A", "A", "Cc", a.rows(), a.cols(), a.cols());
+    db.compact("Cc");
+    // Exact cell-by-cell agreement of the physical tables. Inputs are
+    // 0/1 adjacency, so every partial-product sum is a small integer and
+    // floating-point addition order cannot perturb it.
+    const auto server = read_cells(db, "Cs");
+    const auto client = read_cells(db, "Cc");
+    EXPECT_GT(server.size(), 0u);
+    EXPECT_EQ(server, client) << "tablets=" << tablets;
+  }
+}
+
+TEST(TableMult, WorkerCountDoesNotChangeResult) {
+  // 1-worker (serial path) vs 4-worker pipeline: identical tables.
+  auto a = random_sparse_int(30, 25, 0.2, 212);
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    nosql::Instance db(2);
+    write_matrix(db, "A", a);
+    const auto stats = table_mult(db, "A", "A", "C",
+                                  {.compact_result = true,
+                                   .num_workers = workers});
+    EXPECT_GT(stats.rows_joined, 0u);
+    const auto expected =
+        la::spgemm<la::PlusTimes<double>>(la::transpose(a), a);
+    EXPECT_EQ(read_matrix(db, "C", 25, 25), expected) << workers;
+  }
 }
 
 TEST(TableOps, ApplyRewritesValuesInPlace) {
