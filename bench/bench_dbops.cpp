@@ -6,6 +6,7 @@
 // pre-splitting, and the LSM knobs (flush threshold, compaction fan-in).
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -115,6 +116,60 @@ int main() {
       }
     }
     table.print("LSM tuning: flush threshold and compaction fan-in");
+  }
+
+  // Block scan sweep: full-table scan throughput vs next_block() batch
+  // size. Size 1 is the legacy cell-at-a-time path (every cell pays the
+  // full virtual-dispatch chain through the stack); larger blocks
+  // amortize it via the run-length merge and bulk RFile copies.
+  {
+    nosql::Instance db(1);
+    nosql::TableConfig cfg;
+    cfg.flush_entries = 60000;  // several rfiles -> a real merge fan-in
+    db.create_table("t", cfg);
+    {
+      nosql::BatchWriter writer(db, "t");
+      for (std::size_t i = 0; i < 2 * kCells; ++i) {
+        nosql::Mutation m(util::zero_pad(i % 4096, 4));
+        m.put("f", util::zero_pad(i / 4096, 6), nosql::encode_double(1.0));
+        writer.add_mutation(std::move(m));
+      }
+      writer.flush();
+    }
+    db.flush("t");
+
+    util::TablePrinter table({"block", "scan", "speedup"});
+    double base_rate = 0.0;
+    std::string json = "{\"bench\": \"scan_block_sweep\", \"cells\": " +
+                       std::to_string(2 * kCells) + ", \"results\": [";
+    bool first = true;
+    for (const std::size_t block : {1, 64, 1024, 4096}) {
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {  // best-of-3 per point
+        nosql::Scanner scanner(db, "t");
+        scanner.set_batch_size(block);
+        std::size_t seen = 0;
+        util::Timer t;
+        scanner.for_each(
+            [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
+        const double rate = static_cast<double>(seen) / t.seconds();
+        if (rate > best) best = rate;
+      }
+      if (block == 1) base_rate = best;
+      const double speedup = base_rate > 0 ? best / base_rate : 1.0;
+      table.add_row({std::to_string(block), util::human_rate(best),
+                     util::TablePrinter::fmt(speedup, 2) + "x"});
+      if (!first) json += ", ";
+      first = false;
+      json += "{\"block\": " + std::to_string(block) +
+              ", \"cells_per_s\": " + std::to_string(best) +
+              ", \"speedup_vs_block1\": " +
+              util::TablePrinter::fmt(speedup, 3) + "}";
+    }
+    json += "]}\n";
+    table.print("Scan throughput vs block size (block 1 = cell-at-a-time)");
+    std::ofstream("BENCH_scan.json") << json;
+    std::printf("wrote BENCH_scan.json\n\n");
   }
 
   // WAL overhead: journaled vs unjournaled ingest of the same workload.

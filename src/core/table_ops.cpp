@@ -72,18 +72,22 @@ double table_reduce(nosql::Instance& db, const std::string& table,
   bool first_partial = true;
   // Per-tablet partial reduction — the work a Graphulo reduce iterator
   // performs on each server — then a client-side fold of the partials.
+  nosql::CellBlock block;
   for (auto& [tablet, sid] : db.tablets_for_range(table, nosql::Range::all())) {
     auto stack = db.server(sid).scan(*tablet);
     stack->seek(nosql::Range::all());
     double partial = init;
     bool any = false;
     while (stack->has_top()) {
-      const auto d = decode_double(stack->top_value());
-      if (d) {
-        partial = any ? op(partial, *d) : *d;
-        any = true;
+      block.clear();
+      if (stack->next_block(block, 1024) == 0) break;
+      for (const auto& c : block) {
+        const auto d = decode_double(c.value);
+        if (d) {
+          partial = any ? op(partial, *d) : *d;
+          any = true;
+        }
       }
-      stack->next();
     }
     if (any) {
       acc = first_partial ? partial : op(acc, partial);

@@ -15,21 +15,55 @@ nosql::IterPtr open_table_scan(nosql::Instance& db, const std::string& table,
   return merged;
 }
 
+void RowReader::refill() {
+  buf_.clear();
+  pos_ = 0;
+  source_->next_block(buf_, block_size_);
+}
+
 RowBlock RowReader::next_row() {
+  if (pos_ >= buf_.size()) refill();
   RowBlock block;
-  block.row = source_->top_key().row;
-  while (source_->has_top() && source_->top_key().row == block.row) {
-    block.cells.push_back({source_->top_key(), source_->top_value()});
-    source_->next();
+  block.row = buf_[pos_].key.row;
+  while (true) {
+    while (pos_ < buf_.size() && buf_[pos_].key.row == block.row) {
+      block.cells.push_back(buf_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < buf_.size()) break;      // next row already buffered
+    if (!source_->has_top()) break;     // stream exhausted
+    refill();                           // row may span fills
   }
   return block;
 }
 
 void RowReader::advance_to(const std::string& row) {
-  if (!source_->has_top() || source_->top_key().row >= row) return;
-  // Re-seek the stack at the target row, preserving the scan's end
-  // bound. The new start is ahead of the old one (the current position
-  // is before `row`), so the clipped range never moves backwards.
+  // In-buffer skip: the buffered cells are sorted, so if the target row
+  // is at or before the last buffered cell a binary search lands on it
+  // without touching the stack.
+  if (pos_ < buf_.size()) {
+    if (buf_[pos_].key.row >= row) return;  // already there (or past)
+    if (buf_[buf_.size() - 1].key.row >= row) {
+      std::size_t lo = pos_, hi = buf_.size();
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (buf_[mid].key.row < row) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos_ = lo;
+      return;
+    }
+  }
+  // Target beyond the buffer: drop it and re-seek the stack at the
+  // target row, preserving the scan's end bound. The new start is ahead
+  // of the old one (everything buffered was before `row`), so the
+  // clipped range never moves backwards.
+  buf_.clear();
+  pos_ = 0;
+  if (!source_->has_top()) return;  // exhausted; nothing to seek over
   nosql::Range clipped = range_;
   clipped.has_start = true;
   clipped.start = nosql::min_key_for_row(row);

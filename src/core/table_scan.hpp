@@ -27,34 +27,47 @@ struct RowBlock {
   std::vector<nosql::Cell> cells;
 };
 
-/// Groups a cell stream into rows.
+/// Groups a cell stream into rows. Consumes the stream block-at-a-time
+/// through next_block(), so the per-cell virtual dispatch of the
+/// underlying stack is amortized across `block_size` cells.
 class RowReader {
  public:
   /// Takes ownership of a seeked iterator (as from open_table_scan).
   /// `range` must be the range the iterator was seeked to; advance_to()
   /// re-seeks within it, so an end bound keeps applying after skips.
+  /// `block_size` is the read-ahead per fill (>= 1).
   explicit RowReader(nosql::IterPtr source,
-                     nosql::Range range = nosql::Range::all())
-      : source_(std::move(source)), range_(std::move(range)) {}
+                     nosql::Range range = nosql::Range::all(),
+                     std::size_t block_size = 1024)
+      : source_(std::move(source)),
+        range_(std::move(range)),
+        block_size_(block_size == 0 ? 1 : block_size) {}
 
   /// True when another row is available.
-  bool has_next() const { return source_->has_top(); }
+  bool has_next() const { return pos_ < buf_.size() || source_->has_top(); }
 
   /// Reads the next row (consumes all of its cells).
   RowBlock next_row();
 
-  /// Positions the stream at the first row key >= `row` by seeking the
-  /// underlying iterator stack — O(log cells) per skip instead of the
-  /// O(skipped cells) a next() drain would cost. Rows already passed
-  /// stay passed (a target at or behind the current row is a no-op).
+  /// Positions the stream at the first row key >= `row`. Targets inside
+  /// the current read-ahead block are skipped in place (a binary search
+  /// over buffered cells, no stack traffic); targets beyond it seek the
+  /// underlying iterator stack — O(log cells) instead of the O(skipped
+  /// cells) a next() drain would cost. Rows already passed stay passed
+  /// (a target at or behind the current row is a no-op).
   void advance_to(const std::string& row);
 
   /// Number of seeks advance_to() has issued (observability + tests).
   std::size_t seeks_performed() const noexcept { return seeks_; }
 
  private:
+  void refill();
+
   nosql::IterPtr source_;
   nosql::Range range_;
+  std::size_t block_size_;
+  nosql::CellBlock buf_;   ///< read-ahead, reused across refills
+  std::size_t pos_ = 0;    ///< cursor into buf_
   std::size_t seeks_ = 0;
 };
 

@@ -13,20 +13,43 @@ CombinerIterator::CombinerIterator(IterPtr source, Reducer reduce,
       families_(std::move(families)) {}
 
 void CombinerIterator::seek(const Range& range) {
+  buf_.clear();
+  buf_pos_ = 0;
   source_->seek(range);
   load_group();
 }
 
 void CombinerIterator::next() { load_group(); }
 
+std::size_t CombinerIterator::next_block(CellBlock& out, std::size_t max) {
+  std::size_t appended = 0;
+  while (appended < max && have_top_) {
+    out.append(top_key_, top_value_);
+    ++appended;
+    load_group();
+  }
+  return appended;
+}
+
+const Cell* CombinerIterator::peek() {
+  constexpr std::size_t kReadAhead = 256;
+  if (buf_pos_ >= buf_.size()) {
+    buf_.clear();
+    buf_pos_ = 0;
+    if (source_->has_top()) source_->next_block(buf_, kReadAhead);
+  }
+  return buf_pos_ < buf_.size() ? &buf_[buf_pos_] : nullptr;
+}
+
 void CombinerIterator::load_group() {
-  if (!source_->has_top()) {
+  const Cell* c = peek();
+  if (!c) {
     have_top_ = false;
     return;
   }
-  top_key_ = source_->top_key();
-  top_value_ = source_->top_value();
-  source_->next();
+  top_key_ = c->key;
+  top_value_ = c->value;
+  advance();
   const bool combinable =
       families_.empty() || families_.count(top_key_.family) > 0;
   if (!combinable) {
@@ -36,9 +59,9 @@ void CombinerIterator::load_group() {
   // Fold every remaining version of this cell (they are adjacent in key
   // order). The combined cell keeps the newest timestamp, which is the
   // first one seen.
-  while (source_->has_top() && source_->top_key().same_cell(top_key_)) {
-    top_value_ = reduce_(top_value_, source_->top_value());
-    source_->next();
+  while ((c = peek()) != nullptr && c->key.same_cell(top_key_)) {
+    top_value_ = reduce_(top_value_, c->value);
+    advance();
   }
   have_top_ = true;
 }

@@ -32,8 +32,15 @@ class CombinerIterator : public SortedKVIterator {
   const Value& top_value() const override { return top_value_; }
   void next() override;
 
+  /// Emits up to `max` combined cells. Groups are folded out of an
+  /// internal read-ahead block pulled from the source, so the per-cell
+  /// work below the combiner is batched too.
+  std::size_t next_block(CellBlock& out, std::size_t max) override;
+
  private:
   void load_group();
+  const Cell* peek();
+  void advance() { ++buf_pos_; }
 
   IterPtr source_;
   Reducer reduce_;
@@ -41,6 +48,8 @@ class CombinerIterator : public SortedKVIterator {
   bool have_top_ = false;
   Key top_key_;
   Value top_value_;
+  CellBlock buf_;  ///< read-ahead from source_, reused across refills
+  std::size_t buf_pos_ = 0;
 };
 
 /// Reducer over decimal-double encoded values: addition. Malformed

@@ -13,6 +13,35 @@ void DeletingIterator::next() {
   skip_suppressed();
 }
 
+std::size_t DeletingIterator::next_block(CellBlock& out, std::size_t max) {
+  std::size_t appended = 0;
+  auto& src = source();
+  while (appended < max && src.has_top()) {
+    const std::size_t start = out.size();
+    const std::size_t pulled = src.next_block(out, max - appended);
+    std::size_t w = start;
+    for (std::size_t r = start; r < start + pulled; ++r) {
+      const Key& k = out[r].key;
+      if (k.deleted) {
+        have_delete_ = true;
+        delete_key_ = k;
+        continue;
+      }
+      if (have_delete_ && k.same_cell(delete_key_) && k.ts <= delete_key_.ts) {
+        continue;
+      }
+      if (w != r) out.swap_cells(w, r);
+      ++w;
+    }
+    appended += w - start;
+    out.truncate(w);
+  }
+  // Restore the cell-at-a-time invariant (source top is a live cell) so
+  // has_top() stays exact and block/cell calls can be mixed.
+  skip_suppressed();
+  return appended;
+}
+
 void DeletingIterator::skip_suppressed() {
   while (source().has_top()) {
     const Key& k = source().top_key();
@@ -48,6 +77,46 @@ void VersioningIterator::next() {
   skip_excess();
 }
 
+std::size_t VersioningIterator::next_block(CellBlock& out, std::size_t max) {
+  const std::size_t base = out.size();
+  std::size_t appended = 0;
+  auto& src = source();
+  while (appended < max && src.has_top()) {
+    const std::size_t start = out.size();
+    const std::size_t pulled = src.next_block(out, max - appended);
+    std::size_t w = start;
+    for (std::size_t r = start; r < start + pulled; ++r) {
+      const Key& k = out[r].key;
+      // seen_in_cell_ counts versions already emitted for the current
+      // cell (the cell path's next()/skip_excess convention). Inside
+      // this call the last kept version sits in the output block, so
+      // the same-cell test reads it there instead of copy-assigning
+      // cell_key_ (four string copies) on every new cell; cell_key_ is
+      // synced once per call, below. Dropped versions are contiguous
+      // with their kept ones, so out[w-1] is always the right witness.
+      const bool same = (w > base) ? k.same_cell(out[w - 1].key)
+                                   : (have_cell_ && k.same_cell(cell_key_));
+      if (!same) {
+        seen_in_cell_ = 1;
+      } else if (seen_in_cell_ < max_versions_) {
+        ++seen_in_cell_;
+      } else {
+        continue;
+      }
+      if (w != r) out.swap_cells(w, r);
+      ++w;
+    }
+    appended += w - start;
+    out.truncate(w);
+  }
+  if (appended > 0) {
+    have_cell_ = true;
+    cell_key_ = out[base + appended - 1].key;
+  }
+  skip_excess();  // restore: source top is a kept version
+  return appended;
+}
+
 void VersioningIterator::skip_excess() {
   while (source().has_top()) {
     const Key& k = source().top_key();
@@ -73,6 +142,25 @@ void FilterIterator::seek(const Range& range) {
 void FilterIterator::next() {
   WrappingIterator::next();
   skip_rejected();
+}
+
+std::size_t FilterIterator::next_block(CellBlock& out, std::size_t max) {
+  std::size_t appended = 0;
+  auto& src = source();
+  while (appended < max && src.has_top()) {
+    const std::size_t start = out.size();
+    const std::size_t pulled = src.next_block(out, max - appended);
+    std::size_t w = start;
+    for (std::size_t r = start; r < start + pulled; ++r) {
+      if (!keep_(out[r].key, out[r].value)) continue;
+      if (w != r) out.swap_cells(w, r);
+      ++w;
+    }
+    appended += w - start;
+    out.truncate(w);
+  }
+  skip_rejected();  // restore: source top passes the predicate
+  return appended;
 }
 
 void FilterIterator::skip_rejected() {

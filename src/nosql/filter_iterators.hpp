@@ -23,6 +23,10 @@ class DeletingIterator : public WrappingIterator {
 
   void seek(const Range& range) override;
   void next() override;
+  /// Pulls raw blocks from the source and resolves deletes in place
+  /// (markers can shadow cells across block boundaries; the marker state
+  /// persists between fills).
+  std::size_t next_block(CellBlock& out, std::size_t max) override;
 
  private:
   void skip_suppressed();
@@ -38,6 +42,8 @@ class VersioningIterator : public WrappingIterator {
 
   void seek(const Range& range) override;
   void next() override;
+  /// Drops excess versions in place on whole blocks.
+  std::size_t next_block(CellBlock& out, std::size_t max) override;
 
  private:
   void skip_excess();
@@ -57,6 +63,9 @@ class FilterIterator : public WrappingIterator {
 
   void seek(const Range& range) override;
   void next() override;
+  /// Applies the predicate in place on whole blocks, compacting kept
+  /// cells toward the front.
+  std::size_t next_block(CellBlock& out, std::size_t max) override;
 
  private:
   void skip_rejected();
@@ -87,6 +96,17 @@ class TransformIterator : public WrappingIterator {
   const Value& top_value() const override {
     cached_ = fn_(top_key(), WrappingIterator::top_value());
     return cached_;
+  }
+
+  /// Delegates the fill to the source, then rewrites the values in
+  /// place.
+  std::size_t next_block(CellBlock& out, std::size_t max) override {
+    const std::size_t start = out.size();
+    const std::size_t n = source().next_block(out, max);
+    for (std::size_t i = start; i < start + n; ++i) {
+      out[i].value = fn_(out[i].key, out[i].value);
+    }
+    return n;
   }
 
  private:

@@ -31,12 +31,56 @@ void VectorIterator::seek(const Range& range) {
   if (limit_ < pos_) limit_ = pos_;
 }
 
+std::size_t VectorIterator::next_block(CellBlock& out, std::size_t max) {
+  const auto& cells = *cells_;
+  const std::size_t n = std::min(max, limit_ - pos_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& c = cells[pos_ + i];
+    out.append(c.key, c.value);
+  }
+  pos_ += n;
+  return n;
+}
+
+std::size_t VectorIterator::next_block_until(CellBlock& out, std::size_t max,
+                                             const Key& bound,
+                                             bool allow_equal) {
+  const std::size_t cap = std::min(max, limit_ - pos_);
+  const Cell* base = cells_->data() + pos_;
+  // Keys ascend, so "within the bound" is a true-prefix predicate over
+  // [pos_, pos_+cap): gallop for a bracket around the end of the run,
+  // then binary-search inside it. A run of length r costs O(log r) key
+  // comparisons regardless of how much of the file remains.
+  auto within = [&](const Cell& c) {
+    const auto cmp = c.key <=> bound;
+    return cmp < 0 || (cmp == 0 && allow_equal);
+  };
+  if (cap == 0 || !within(base[0])) return 0;
+  std::size_t lo = 1, hi = 1;
+  while (hi < cap && within(base[hi])) {
+    lo = hi + 1;
+    hi *= 2;
+  }
+  if (hi > cap) hi = cap;
+  const std::size_t n = static_cast<std::size_t>(
+      std::partition_point(base + lo, base + hi, within) - base);
+  for (std::size_t i = 0; i < n; ++i) out.append(base[i].key, base[i].value);
+  pos_ += n;
+  return n;
+}
+
 std::vector<Cell> drain(SortedKVIterator& it, const Range& range) {
+  // Block-at-a-time: this is the consumption path of compactions
+  // (Tablet::flush/major_compact drain their iterator stacks).
+  constexpr std::size_t kDrainBlock = 1024;
   std::vector<Cell> out;
   it.seek(range);
+  CellBlock block;
   while (it.has_top()) {
-    out.push_back({it.top_key(), it.top_value()});
-    it.next();
+    block.clear();
+    if (it.next_block(block, kDrainBlock) == 0) break;
+    out.insert(out.end(), std::make_move_iterator(block.begin()),
+               std::make_move_iterator(block.end()));
   }
   return out;
 }

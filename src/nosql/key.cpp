@@ -31,8 +31,12 @@ std::strong_ordering Key::operator<=>(const Key& other) const noexcept {
 }
 
 bool Key::same_cell(const Key& other) const noexcept {
-  return row == other.row && family == other.family &&
-         qualifier == other.qualifier && visibility == other.visibility;
+  // Qualifier first: the hot callers (versioning, deleting, combiners)
+  // test consecutive cells of a sorted stream, where row and family
+  // almost always match and the qualifier is what differs — so it is
+  // the component most likely to short-circuit the conjunction.
+  return qualifier == other.qualifier && row == other.row &&
+         family == other.family && visibility == other.visibility;
 }
 
 std::string Key::to_string() const {

@@ -38,12 +38,24 @@ std::vector<std::string> Memtable::sample_rows(std::size_t n) const {
   std::vector<std::string> rows;
   if (cells_.empty() || n == 0) return rows;
   rows.reserve(n);
-  const std::size_t stride = std::max<std::size_t>(1, cells_.size() / n);
+  // Ceil stride + always considering the final row: same tail-coverage
+  // fix as RFile::sample_rows (a floor stride oversamples the head).
+  const std::size_t stride = (cells_.size() + n - 1) / n;
   std::size_t i = 0;
+  const std::string* last_row = nullptr;
   for (const auto& [k, v] : cells_) {
+    last_row = &k.row;
     if (i++ % stride != 0) continue;
-    if (rows.empty() || rows.back() != k.row) rows.push_back(k.row);
-    if (rows.size() >= n) break;
+    if (rows.size() < n && (rows.empty() || rows.back() != k.row)) {
+      rows.push_back(k.row);
+    }
+  }
+  if (last_row && !rows.empty() && rows.back() != *last_row) {
+    if (rows.size() < n) {
+      rows.push_back(*last_row);
+    } else {
+      rows.back() = *last_row;
+    }
   }
   return rows;
 }

@@ -15,6 +15,53 @@ void MergeIterator::next() {
   choose_current();
 }
 
+std::size_t MergeIterator::next_block(CellBlock& out, std::size_t max) {
+  std::size_t appended = 0;
+  while (appended < max && current_ != kNone) {
+    SortedKVIterator& win = *children_[current_];
+    // Barrier: the smallest top key among the OTHER children (lowest
+    // index wins ties, matching choose_current's tie-break). It stays
+    // valid through the run because only the winner is advanced.
+    const Key* barrier = nullptr;
+    std::size_t barrier_idx = kNone;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i == current_ || !children_[i]->has_top()) continue;
+      const Key& k = children_[i]->top_key();
+      if (!barrier || k < *barrier) {
+        barrier = &k;
+        barrier_idx = i;
+      }
+    }
+    if (!barrier) {
+      // Sole surviving child: delegate the whole remainder of the block
+      // to its (possibly bulk) next_block.
+      appended += win.next_block(out, max - appended);
+      if (!win.has_top()) current_ = kNone;
+    } else {
+      // Emit the winner's whole run below the barrier in one bounded
+      // bulk call (leaves gallop to the run's end instead of paying a
+      // comparison plus virtual dispatch per cell). At a tie the winner
+      // goes first only when its child index is lower (newer source),
+      // matching choose_current's tie-break.
+      appended += win.next_block_until(out, max - appended, *barrier,
+                                       /*allow_equal=*/current_ < barrier_idx);
+      // Re-elect without rescanning every child: the others sat still,
+      // so the new minimum is either the winner (run stopped at the
+      // block cap) or the barrier child (run stopped at the barrier).
+      // One comparison decides; `barrier` stayed valid throughout.
+      if (!win.has_top()) {
+        current_ = barrier_idx;
+      } else {
+        const auto cmp = win.top_key() <=> *barrier;
+        if (cmp > 0 || (cmp == 0 && current_ > barrier_idx)) {
+          current_ = barrier_idx;
+        }
+      }
+    }
+  }
+  return appended;
+}
+
 void MergeIterator::choose_current() {
   // Linear scan over children: tablet scan stacks have only a handful of
   // sources (1 memtable + O(compaction fan-in) files), so a heap would

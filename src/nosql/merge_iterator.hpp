@@ -25,6 +25,12 @@ class MergeIterator : public SortedKVIterator {
   }
   void next() override;
 
+  /// Run-length fast path: while the winning child's keys stay below
+  /// every other child's top (the "barrier"), the whole run is emitted
+  /// with ONE key comparison per cell instead of a full re-election of
+  /// the minimum across children.
+  std::size_t next_block(CellBlock& out, std::size_t max) override;
+
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 

@@ -1,86 +1,353 @@
 #include "nosql/rfile.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
-#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <functional>
 
 namespace graphulo::nosql {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x52464c31;  // "RFL1"
+constexpr std::uint32_t kMagic = 0x52464c32;  // "RFL2" (RFL1 + CRC trailer)
 
-void write_string(std::ofstream& out, const std::string& s) {
-  const auto len = static_cast<std::uint32_t>(s.size());
-  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+// ---- CRC32 (IEEE 802.3, reflected) -------------------------------------
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
 }
 
-bool read_string(std::ifstream& in, std::string& s) {
-  std::uint32_t len = 0;
-  if (!in.read(reinterpret_cast<char*>(&len), sizeof(len))) return false;
-  s.resize(len);
-  return static_cast<bool>(in.read(s.data(), static_cast<std::streamsize>(len)));
+std::uint32_t crc32(const char* data, std::size_t len) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// ---- payload (de)serialization -----------------------------------------
+
+void append_raw(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+void append_string(std::string& out, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  append_raw(out, &len, sizeof(len));
+  out.append(s);
+}
+
+/// Cursor over an in-memory payload; read_* return false on truncation.
+struct PayloadReader {
+  const char* p;
+  std::size_t remaining;
+
+  bool read_raw(void* dst, std::size_t n) {
+    if (remaining < n) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    remaining -= n;
+    return true;
+  }
+
+  bool read_string(std::string& s) {
+    std::uint32_t len = 0;
+    if (!read_raw(&len, sizeof(len))) return false;
+    if (remaining < len) return false;
+    s.assign(p, len);
+    p += len;
+    remaining -= len;
+    return true;
+  }
+};
+
+// ---- row Bloom hashing --------------------------------------------------
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Returns the single row `range` can contain cells of, or nullptr when
+/// the range spans more than one row. Recognizes both end.row ==
+/// start.row and the Range::exact_row shape (exclusive end at the
+/// minimal key of the row successor start.row + '\0').
+const std::string* single_row_of(const Range& range) {
+  if (!range.has_start || !range.has_end) return nullptr;
+  if (range.end.row == range.start.row) return &range.start.row;
+  if (!range.end_inclusive && range.end.row.size() == range.start.row.size() + 1 &&
+      range.end.row.back() == '\0' &&
+      range.end.row.compare(0, range.start.row.size(), range.start.row) == 0 &&
+      !(min_key_for_row(range.end.row) < range.end)) {
+    // No key of the successor row clears the exclusive end bound, so
+    // every containable key has exactly start.row.
+    return &range.start.row;
+  }
+  return nullptr;
 }
 
 }  // namespace
 
-RFile::RFile(std::vector<Cell> cells) {
+// ---- construction -------------------------------------------------------
+
+RFile::RFile(std::vector<Cell> cells, const RFileOptions& options) {
   for (const auto& c : cells) {
     bytes_ += c.key.row.size() + c.key.family.size() + c.key.qualifier.size() +
               c.key.visibility.size() + c.value.size() + sizeof(Key);
   }
   cells_ = std::make_shared<const std::vector<Cell>>(std::move(cells));
+  build_index(options);
+  build_bloom(options);
 }
 
-std::shared_ptr<RFile> RFile::from_sorted(std::vector<Cell> cells) {
+std::shared_ptr<RFile> RFile::from_sorted(std::vector<Cell> cells,
+                                          const RFileOptions& options) {
 #ifndef NDEBUG
   for (std::size_t i = 1; i < cells.size(); ++i) {
     assert(!(cells[i].key < cells[i - 1].key) && "RFile cells must be sorted");
   }
 #endif
-  return std::shared_ptr<RFile>(new RFile(std::move(cells)));
+  return std::shared_ptr<RFile>(new RFile(std::move(cells), options));
 }
 
-IterPtr RFile::iterator() const {
-  return std::make_unique<VectorIterator>(cells_);
+void RFile::build_index(const RFileOptions& options) {
+  const auto& cells = *cells_;
+  const std::size_t stride = std::max<std::size_t>(1, options.index_stride);
+  index_.reserve(cells.size() / stride + 1);
+  for (std::size_t i = 0; i < cells.size(); i += stride) index_.push_back(i);
+  bytes_ += index_.size() * sizeof(std::size_t);
 }
+
+void RFile::build_bloom(const RFileOptions& options) {
+  const auto& cells = *cells_;
+  if (options.bloom_bits_per_row == 0 || cells.empty()) return;
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i == 0 || cells[i].key.row != cells[i - 1].key.row) ++distinct;
+  }
+  bloom_bits_ = std::max<std::size_t>(64, distinct * options.bloom_bits_per_row);
+  bloom_.assign((bloom_bits_ + 63) / 64, 0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0 && cells[i].key.row == cells[i - 1].key.row) continue;
+    const auto h1 = static_cast<std::uint64_t>(
+        std::hash<std::string>{}(cells[i].key.row));
+    const auto h2 = splitmix64(h1);
+    for (const auto h : {h1, h2}) {
+      const std::size_t bit = h % bloom_bits_;
+      bloom_[bit / 64] |= 1ull << (bit % 64);
+    }
+  }
+  bytes_ += bloom_.size() * sizeof(std::uint64_t);
+}
+
+bool RFile::may_contain_row(const std::string& row) const {
+  if (empty()) return false;
+  if (row < first_key().row || last_key().row < row) return false;
+  if (bloom_.empty()) return true;
+  const auto h1 = static_cast<std::uint64_t>(std::hash<std::string>{}(row));
+  const auto h2 = splitmix64(h1);
+  for (const auto h : {h1, h2}) {
+    const std::size_t bit = h % bloom_bits_;
+    if (!(bloom_[bit / 64] & (1ull << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+bool RFile::may_intersect(const Range& range) const {
+  if (empty()) return false;
+  // Bounds pruning: the whole file sorts before the start or after the
+  // end of the range (conservative about inclusivity edge cases).
+  if (range.has_start && last_key() < range.start) return false;
+  if (range.has_end && range.end < first_key()) return false;
+  if (const std::string* row = single_row_of(range)) {
+    return may_contain_row(*row);
+  }
+  return true;
+}
+
+std::size_t RFile::lower_bound_pos(const Key& key) const {
+  const auto& cells = *cells_;
+  // Narrow to one stride window via the sparse index, then binary-search
+  // only that window.
+  std::size_t lo = 0;
+  std::size_t hi = cells.size();
+  if (!index_.empty()) {
+    const auto first_ge = std::partition_point(
+        index_.begin(), index_.end(),
+        [&](std::size_t pos) { return cells[pos].key < key; });
+    lo = first_ge == index_.begin() ? 0 : *(first_ge - 1);
+    // cells[*first_ge].key >= key, so the answer is at or before it.
+    hi = first_ge == index_.end() ? cells.size() : *first_ge;
+  }
+  const auto it = std::lower_bound(
+      cells.begin() + static_cast<std::ptrdiff_t>(lo),
+      cells.begin() + static_cast<std::ptrdiff_t>(hi), key,
+      [](const Cell& c, const Key& k) { return c.key < k; });
+  const auto pos = static_cast<std::size_t>(it - cells.begin());
+  // When the window [lo, hi) held only smaller keys the answer is hi
+  // itself (the indexed cell known to be >= key), which lower_bound
+  // already returns.
+  return pos;
+}
+
+// ---- iterator -----------------------------------------------------------
+
+/// Iterator over one RFile with pruning seeks: consults the file's
+/// bounds + Bloom filter to skip impossible ranges in O(1), and the
+/// sparse block index to narrow in-range seeks.
+class RFileIterator : public SortedKVIterator {
+ public:
+  explicit RFileIterator(std::shared_ptr<const RFile> file)
+      : file_(std::move(file)) {}
+
+  void seek(const Range& range) override {
+    pos_ = limit_ = 0;
+    if (!file_->may_intersect(range)) return;  // pruned: exhausted
+    const auto& cells = *file_->cells_;
+    if (range.has_start) {
+      pos_ = file_->lower_bound_pos(range.start);
+      while (pos_ < cells.size() && !range.start_inclusive &&
+             cells[pos_].key == range.start) {
+        ++pos_;
+      }
+    }
+    if (range.has_end) {
+      limit_ = file_->lower_bound_pos(range.end);
+      while (limit_ < cells.size() && range.end_inclusive &&
+             cells[limit_].key == range.end) {
+        ++limit_;
+      }
+    } else {
+      limit_ = cells.size();
+    }
+    if (limit_ < pos_) limit_ = pos_;
+  }
+
+  bool has_top() const override { return pos_ < limit_; }
+  const Key& top_key() const override { return (*file_->cells_)[pos_].key; }
+  const Value& top_value() const override {
+    return (*file_->cells_)[pos_].value;
+  }
+  void next() override { ++pos_; }
+
+  std::size_t next_block(CellBlock& out, std::size_t max) override {
+    const auto& cells = *file_->cells_;
+    const std::size_t n = std::min(max, limit_ - pos_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Cell& c = cells[pos_ + i];
+      out.append(c.key, c.value);
+    }
+    pos_ += n;
+    return n;
+  }
+
+  std::size_t next_block_until(CellBlock& out, std::size_t max,
+                               const Key& bound, bool allow_equal) override {
+    // Gallop + binary search for the end of the qualifying run (keys
+    // ascend, so the bound test is a true-prefix predicate), then copy.
+    const std::size_t cap = std::min(max, limit_ - pos_);
+    const Cell* base = file_->cells_->data() + pos_;
+    auto within = [&](const Cell& c) {
+      const auto cmp = c.key <=> bound;
+      return cmp < 0 || (cmp == 0 && allow_equal);
+    };
+    if (cap == 0 || !within(base[0])) return 0;
+    std::size_t lo = 1, hi = 1;
+    while (hi < cap && within(base[hi])) {
+      lo = hi + 1;
+      hi *= 2;
+    }
+    if (hi > cap) hi = cap;
+    const std::size_t n = static_cast<std::size_t>(
+        std::partition_point(base + lo, base + hi, within) - base);
+    for (std::size_t i = 0; i < n; ++i) out.append(base[i].key, base[i].value);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::shared_ptr<const RFile> file_;
+  std::size_t pos_ = 0;
+  std::size_t limit_ = 0;
+};
+
+IterPtr RFile::iterator() const {
+  return std::make_unique<RFileIterator>(shared_from_this());
+}
+
+// ---- sampling -----------------------------------------------------------
 
 std::vector<std::string> RFile::sample_rows(std::size_t n) const {
   std::vector<std::string> rows;
   const auto& cells = *cells_;
   if (cells.empty() || n == 0) return rows;
   rows.reserve(n);
-  const std::size_t stride = std::max<std::size_t>(1, cells.size() / n);
+  // Round the stride UP: a floor stride of size/n oversamples the head
+  // and can exhaust the budget before the tail rows are ever visited,
+  // skewing parallel-scan partitions toward low keys.
+  const std::size_t stride = (cells.size() + n - 1) / n;
   for (std::size_t i = 0; i < cells.size() && rows.size() < n; i += stride) {
     if (rows.empty() || rows.back() != cells[i].key.row) {
       rows.push_back(cells[i].key.row);
     }
   }
+  // Always consider the last distinct row so the sample spans the file.
+  const std::string& last_row = cells.back().key.row;
+  if (!rows.empty() && rows.back() != last_row) {
+    if (rows.size() < n) {
+      rows.push_back(last_row);
+    } else {
+      rows.back() = last_row;
+    }
+  }
   return rows;
 }
+
+// ---- disk format --------------------------------------------------------
+// magic(4) | payload_len(8) | payload | crc32(payload)(4)
 
 bool RFile::write_to(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  std::string payload;
+  payload.reserve(bytes_ + cells_->size() * 8);
   const auto count = static_cast<std::uint64_t>(cells_->size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  append_raw(payload, &count, sizeof(count));
   for (const auto& c : *cells_) {
-    write_string(out, c.key.row);
-    write_string(out, c.key.family);
-    write_string(out, c.key.qualifier);
-    write_string(out, c.key.visibility);
-    out.write(reinterpret_cast<const char*>(&c.key.ts), sizeof(c.key.ts));
+    append_string(payload, c.key.row);
+    append_string(payload, c.key.family);
+    append_string(payload, c.key.qualifier);
+    append_string(payload, c.key.visibility);
+    append_raw(payload, &c.key.ts, sizeof(c.key.ts));
     const char del = c.key.deleted ? 1 : 0;
-    out.write(&del, 1);
-    write_string(out, c.value);
+    append_raw(payload, &del, 1);
+    append_string(payload, c.value);
   }
+  const auto payload_len = static_cast<std::uint64_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&payload_len), sizeof(payload_len));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   return static_cast<bool>(out);
 }
 
-std::shared_ptr<RFile> RFile::read_from(const std::string& path) {
+std::shared_ptr<RFile> RFile::read_from(const std::string& path,
+                                        const RFileOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return nullptr;
   std::uint32_t magic = 0;
@@ -88,28 +355,43 @@ std::shared_ptr<RFile> RFile::read_from(const std::string& path) {
       magic != kMagic) {
     return nullptr;
   }
+  std::uint64_t payload_len = 0;
+  if (!in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len))) {
+    return nullptr;
+  }
+  std::string payload(payload_len, '\0');
+  if (!in.read(payload.data(), static_cast<std::streamsize>(payload_len))) {
+    return nullptr;  // truncated
+  }
+  std::uint32_t stored_crc = 0;
+  if (!in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc))) {
+    return nullptr;
+  }
+  if (crc32(payload.data(), payload.size()) != stored_crc) {
+    return nullptr;  // corrupt (bit flips, partial writes)
+  }
+  PayloadReader reader{payload.data(), payload.size()};
   std::uint64_t count = 0;
-  if (!in.read(reinterpret_cast<char*>(&count), sizeof(count))) return nullptr;
+  if (!reader.read_raw(&count, sizeof(count))) return nullptr;
   std::vector<Cell> cells;
   cells.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     Cell c;
-    if (!read_string(in, c.key.row) || !read_string(in, c.key.family) ||
-        !read_string(in, c.key.qualifier) ||
-        !read_string(in, c.key.visibility)) {
+    if (!reader.read_string(c.key.row) || !reader.read_string(c.key.family) ||
+        !reader.read_string(c.key.qualifier) ||
+        !reader.read_string(c.key.visibility)) {
       return nullptr;
     }
-    if (!in.read(reinterpret_cast<char*>(&c.key.ts), sizeof(c.key.ts))) {
-      return nullptr;
-    }
+    if (!reader.read_raw(&c.key.ts, sizeof(c.key.ts))) return nullptr;
     char del = 0;
-    if (!in.read(&del, 1)) return nullptr;
+    if (!reader.read_raw(&del, 1)) return nullptr;
     c.key.deleted = del != 0;
-    if (!read_string(in, c.value)) return nullptr;
+    if (!reader.read_string(c.value)) return nullptr;
     if (!cells.empty() && c.key < cells.back().key) return nullptr;  // corrupt
     cells.push_back(std::move(c));
   }
-  return from_sorted(std::move(cells));
+  if (reader.remaining != 0) return nullptr;  // trailing garbage
+  return from_sorted(std::move(cells), options);
 }
 
 }  // namespace graphulo::nosql

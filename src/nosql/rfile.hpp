@@ -2,8 +2,11 @@
 // Immutable sorted run ("RFile", after Accumulo's file format). Produced
 // by minor compactions (memtable flush) and major compactions (merging
 // several files through the compaction iterator stack). Carries a sparse
-// block index for seek; optionally serializable to disk.
+// block index (every Nth key) consulted by seek, a per-file row Bloom
+// filter plus first/last-key bounds for seek pruning, and is optionally
+// serializable to disk with a CRC32 integrity checksum.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,12 +16,24 @@
 
 namespace graphulo::nosql {
 
+/// Construction knobs for RFile acceleration structures.
+struct RFileOptions {
+  /// One sparse-index entry every `index_stride` cells. The index
+  /// narrows seeks to a single stride window before the final search.
+  std::size_t index_stride = 128;
+  /// Bits per distinct row in the row Bloom filter; 0 disables the
+  /// filter (seek pruning then falls back to first/last-key bounds
+  /// only).
+  std::size_t bloom_bits_per_row = 10;
+};
+
 /// One immutable sorted cell file.
-class RFile {
+class RFile : public std::enable_shared_from_this<RFile> {
  public:
   /// Builds from sorted cells (asserted in debug; callers are the
   /// compaction paths which produce sorted output by construction).
-  static std::shared_ptr<RFile> from_sorted(std::vector<Cell> cells);
+  static std::shared_ptr<RFile> from_sorted(std::vector<Cell> cells,
+                                            const RFileOptions& options = {});
 
   std::size_t entry_count() const noexcept { return cells_->size(); }
   bool empty() const noexcept { return cells_->empty(); }
@@ -27,30 +42,60 @@ class RFile {
   const Key& first_key() const { return cells_->front().key; }
   const Key& last_key() const { return cells_->back().key; }
 
-  /// A fresh iterator over this file's cells.
+  /// A fresh iterator over this file's cells. Its seek() consults the
+  /// sparse block index and skips the file entirely (exhausted
+  /// immediately) when the range cannot intersect it — the first/last
+  /// key bounds or, for single-row ranges, the row Bloom filter prove
+  /// the target absent.
   IterPtr iterator() const;
 
+  /// False when no cell of this file can lie inside `range` (bounds
+  /// check + row Bloom filter for single-row ranges). Conservative:
+  /// true does not guarantee a hit.
+  bool may_intersect(const Range& range) const;
+
+  /// False when the file provably holds no cell of `row` (Bloom filter
+  /// + first/last row bounds). Conservative: true may be a false
+  /// positive.
+  bool may_contain_row(const std::string& row) const;
+
+  /// Position of the first cell with key >= `key` (entry_count() when
+  /// none). Sparse-index-accelerated binary search.
+  std::size_t lower_bound_pos(const Key& key) const;
+
   /// Up to `n` evenly spaced row keys from this file (distinct-adjacent,
-  /// sorted). O(n) — the cells are index-addressable. Used to derive
-  /// partition boundaries for parallel scans.
+  /// sorted). O(n) — the cells are index-addressable. The stride rounds
+  /// UP and the file's last distinct row is always considered, so
+  /// parallel-scan partitions derived from the samples cover the tail
+  /// of the key space instead of skewing toward low keys.
   std::vector<std::string> sample_rows(std::size_t n) const;
 
-  /// Serializes to a simple length-prefixed binary file. Returns false
-  /// on I/O failure.
+  /// Serializes to a length-prefixed binary file with a trailing CRC32
+  /// over the payload. Returns false on I/O failure.
   bool write_to(const std::string& path) const;
 
   /// Loads a file written by write_to(); nullptr on failure or if the
-  /// content fails validation (unsorted keys, truncation).
-  static std::shared_ptr<RFile> read_from(const std::string& path);
+  /// content fails validation (bad magic, truncation, CRC mismatch,
+  /// unsorted keys).
+  static std::shared_ptr<RFile> read_from(const std::string& path,
+                                          const RFileOptions& options = {});
 
   /// Approximate in-memory footprint in bytes.
   std::size_t approximate_bytes() const noexcept { return bytes_; }
 
  private:
-  explicit RFile(std::vector<Cell> cells);
+  friend class RFileIterator;
+
+  RFile(std::vector<Cell> cells, const RFileOptions& options);
+
+  void build_index(const RFileOptions& options);
+  void build_bloom(const RFileOptions& options);
 
   std::shared_ptr<const std::vector<Cell>> cells_;
   std::size_t bytes_ = 0;
+  std::vector<std::size_t> index_;        ///< cell positions 0, N, 2N, ...
+  std::vector<std::uint64_t> bloom_;      ///< row Bloom bits; empty = off
+  std::size_t bloom_bits_ = 0;
 };
 
 }  // namespace graphulo::nosql

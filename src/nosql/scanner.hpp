@@ -20,6 +20,10 @@ namespace graphulo::nosql {
 /// (in addition to the table's configured iterators).
 using ScanIterator = std::function<IterPtr(IterPtr)>;
 
+/// Default number of cells pulled per next_block() fill by the scan
+/// clients (Scanner/BatchScanner).
+inline constexpr std::size_t kDefaultScanBatch = 1024;
+
 /// Ordered scan over one range of one table.
 class Scanner {
  public:
@@ -39,6 +43,10 @@ class Scanner {
   /// Attaches a scan-time iterator (outermost last).
   Scanner& add_scan_iterator(ScanIterator stage);
 
+  /// Cells pulled per block from the server-side stack. 1 selects the
+  /// legacy cell-at-a-time path (the benchmark baseline).
+  Scanner& set_batch_size(std::size_t batch);
+
   /// Invokes `fn` for every cell in key order. Returns cells delivered.
   std::size_t for_each(const std::function<void(const Key&, const Value&)>& fn);
 
@@ -54,6 +62,7 @@ class Scanner {
   std::set<std::string> families_;
   std::optional<std::set<std::string>> auths_;
   std::vector<ScanIterator> stages_;
+  std::size_t batch_size_ = kDefaultScanBatch;
 };
 
 /// Unordered parallel scan over many ranges. Results from different
@@ -69,6 +78,9 @@ class BatchScanner {
   BatchScanner& fetch_column_families(std::set<std::string> families);
   BatchScanner& set_authorizations(std::set<std::string> auths);
   BatchScanner& add_scan_iterator(ScanIterator stage);
+
+  /// Cells pulled per block from each tablet stack; 1 = cell-at-a-time.
+  BatchScanner& set_batch_size(std::size_t batch);
 
   /// Invokes `fn(key, value)` for every cell of every range; cells of
   /// one (tablet, range) task arrive in order, tasks interleave
@@ -86,6 +98,7 @@ class BatchScanner {
   std::set<std::string> families_;
   std::optional<std::set<std::string>> auths_;
   std::vector<ScanIterator> stages_;
+  std::size_t batch_size_ = kDefaultScanBatch;
 };
 
 }  // namespace graphulo::nosql

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nosql/iterator.hpp"
+#include "nosql/rfile.hpp"
 
 namespace graphulo::nosql {
 
@@ -39,6 +40,9 @@ struct TableConfig {
   /// combiner needs to see every version).
   bool versioning = true;
   int max_versions = 1;
+  /// Acceleration structures built into the table's RFiles (sparse seek
+  /// index stride, row Bloom filter sizing).
+  RFileOptions rfile;
   /// Attached server-side iterators.
   std::vector<IteratorSetting> iterators;
 

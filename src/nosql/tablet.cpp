@@ -60,7 +60,8 @@ void Tablet::flush_locked() {
   IterPtr stack = std::make_unique<VectorIterator>(snapshot);
   stack = apply_scope_iterators(std::move(stack), *config_, kMincScope);
   auto cells = drain_all(*stack);
-  files_.insert(files_.begin(), RFile::from_sorted(std::move(cells)));
+  files_.insert(files_.begin(),
+                RFile::from_sorted(std::move(cells), config_->rfile));
   memtable_.clear();
   ++minor_compactions_;
 }
@@ -90,7 +91,7 @@ void Tablet::major_compact_locked() {
   stack = apply_scope_iterators(std::move(stack), *config_, kMajcScope);
   auto cells = drain_all(*stack);
   files_.clear();
-  files_.push_back(RFile::from_sorted(std::move(cells)));
+  files_.push_back(RFile::from_sorted(std::move(cells), config_->rfile));
   ++major_compactions_;
 }
 

@@ -108,7 +108,10 @@ TEST(TableScan, AdvanceToSeeksInsteadOfDraining) {
   std::size_t seeks = 0, nexts = 0;
   auto counting = std::make_unique<CountingIterator>(
       open_table_scan(db, "t"), &seeks, &nexts);
-  RowReader reader(std::move(counting));
+  // Small read-ahead so the skip target lies beyond the buffered block
+  // and must go through the stack.
+  RowReader reader(std::move(counting), nosql::Range::all(),
+                   /*block_size=*/8);
   EXPECT_EQ(reader.next_row().row, "r000");
   const std::size_t nexts_before = nexts;
   reader.advance_to("r150");
@@ -124,6 +127,12 @@ TEST(TableScan, AdvanceToSeeksInsteadOfDraining) {
   reader.advance_to("r100");
   EXPECT_EQ(seeks, 1u);
   EXPECT_EQ(reader.next_row().row, "r151");
+  // A target inside the read-ahead block is skipped in place: no stack
+  // seek, but the reader still lands on the first row >= target.
+  reader.advance_to("r154");
+  EXPECT_EQ(seeks, 1u);
+  EXPECT_EQ(reader.seeks_performed(), 1u);
+  EXPECT_EQ(reader.next_row().row, "r154");
 }
 
 TEST(TableScan, AdvanceToRespectsScanEndBound) {
