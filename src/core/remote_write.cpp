@@ -20,6 +20,8 @@ RemoteWriteIterator::RemoteWriteIterator(nosql::IterPtr source,
 
 RemoteWriteIterator::~RemoteWriteIterator() = default;
 
+void RemoteWriteIterator::close() { writer_.close(); }
+
 void RemoteWriteIterator::seek(const nosql::Range& range) {
   WrappingIterator::seek(range);
   write_top();
@@ -58,6 +60,7 @@ std::size_t table_copy_filtered(
                                                       target_table);
   writer->seek(range);
   while (writer->has_top()) writer->next();
+  writer->close();  // surface final-flush errors instead of swallowing
   return writer->cells_written();
 }
 

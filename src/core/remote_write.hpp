@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "nosql/batch_writer.hpp"
@@ -24,11 +25,22 @@ class RemoteWriteIterator : public nosql::WrappingIterator {
   RemoteWriteIterator(nosql::IterPtr source, nosql::Instance& db,
                       std::string target_table);
 
-  /// Flushes the underlying writer (also flushed on destruction).
+  /// Flushes the underlying writer unless close() ran; a failure at
+  /// destruction time is logged as a warning (call close() to observe
+  /// it as an exception).
   ~RemoteWriteIterator() override;
 
   void seek(const nosql::Range& range) override;
   void next() override;
+
+  /// Final flush of the underlying writer; throws on failure (also
+  /// recorded in last_error()). Idempotent.
+  void close();
+
+  /// The last flush error the underlying writer recorded, if any.
+  const std::optional<std::string>& last_error() const noexcept {
+    return writer_.last_error();
+  }
 
   /// Cells written so far.
   std::size_t cells_written() const noexcept { return written_; }

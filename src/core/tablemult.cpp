@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <future>
+#include <stdexcept>
 #include <thread>
 
 #include "assoc/table_io.hpp"
@@ -11,6 +12,8 @@
 #include "nosql/codec.hpp"
 #include "nosql/combiner.hpp"
 #include "la/spgemm.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
@@ -34,82 +37,151 @@ void create_sum_table(nosql::Instance& db, const std::string& table) {
 
 namespace {
 
-/// One partition of the row-aligned merge join: scans [range) of A and
-/// B, emits the partial products of every shared row through a private
-/// BatchWriter. Runs on a worker thread; touches no shared state beyond
-/// the (thread-safe) Instance scan/write entry points.
+/// A partition attempt exceeded its cooperative deadline.
+struct PartitionTimeout : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One attempt at one partition of the row-aligned merge join: scans
+/// [range) of A and B, emits the partial products of every shared row
+/// through a private BatchWriter. Runs on a worker thread; touches no
+/// shared state beyond the (thread-safe) Instance scan/write entry
+/// points.
+///
+/// Exactly-once across attempts: the mutation stream of a partition is
+/// a deterministic function of the (stable) inputs, so a retry skips
+/// the first `durable` mutations — the prefix prior attempts applied —
+/// and on any failure `durable` is advanced past everything THIS
+/// attempt applied before the buffered remainder is abandoned.
 TableMultPartitionStats mult_partition(nosql::Instance& db,
                                        const std::string& table_a,
                                        const std::string& table_b,
                                        const std::string& table_c,
                                        const TableMultOptions& options,
-                                       const nosql::Range& range) {
+                                       const nosql::Range& range,
+                                       std::size_t& durable) {
   util::Timer total;
   TableMultPartitionStats stats;
   if (range.has_start) stats.start_row = range.start.row;
   if (range.has_end) stats.end_row = range.end.row;
+  const std::size_t skip = durable;
+  std::size_t generated = 0;  // mutations emitted (skipped or written)
+  const double deadline_s =
+      std::chrono::duration<double>(options.partition_deadline).count();
 
-  RowReader reader_a(open_table_scan(db, table_a, range), range);
-  RowReader reader_b(open_table_scan(db, table_b, range), range);
   nosql::BatchWriter writer(db, table_c);
+  try {
+    RowReader reader_a(open_table_scan(db, table_a, range), range);
+    RowReader reader_b(open_table_scan(db, table_b, range), range);
 
-  util::Timer phase;
-  bool have_a = reader_a.has_next();
-  bool have_b = reader_b.has_next();
-  RowBlock row_a, row_b;
-  if (have_a) row_a = reader_a.next_row();
-  if (have_b) row_b = reader_b.next_row();
-  stats.scan_seconds += phase.seconds();
-  while (have_a && have_b) {
-    if (row_a.row < row_b.row) {
+    util::Timer phase;
+    bool have_a = reader_a.has_next();
+    bool have_b = reader_b.has_next();
+    RowBlock row_a, row_b;
+    if (have_a) row_a = reader_a.next_row();
+    if (have_b) row_b = reader_b.next_row();
+    stats.scan_seconds += phase.seconds();
+    while (have_a && have_b) {
+      util::fault::point(util::fault::sites::kTableMultWorker);
+      if (deadline_s > 0.0 && total.seconds() > deadline_s) {
+        throw PartitionTimeout("TableMult partition [" + stats.start_row +
+                               ", " + stats.end_row + ") exceeded its " +
+                               std::to_string(deadline_s) + "s deadline");
+      }
+      if (row_a.row < row_b.row) {
+        phase.reset();
+        reader_a.advance_to(row_b.row);
+        have_a = reader_a.has_next();
+        if (have_a) row_a = reader_a.next_row();
+        stats.scan_seconds += phase.seconds();
+        continue;
+      }
+      if (row_b.row < row_a.row) {
+        phase.reset();
+        reader_b.advance_to(row_a.row);
+        have_b = reader_b.has_next();
+        if (have_b) row_b = reader_b.next_row();
+        stats.scan_seconds += phase.seconds();
+        continue;
+      }
+      // Shared row k: emit the outer product of A(k, :) and B(k, :).
+      ++stats.rows_joined;
       phase.reset();
-      reader_a.advance_to(row_b.row);
+      for (const auto& ca : row_a.cells) {
+        const auto av = decode_double(ca.value);
+        if (!av) continue;
+        // One mutation per output row C(i, :) chunk for this k.
+        nosql::Mutation m(ca.key.qualifier);  // i = A's column key
+        bool any = false;
+        for (const auto& cb : row_b.cells) {
+          const auto bv = decode_double(cb.value);
+          if (!bv) continue;
+          m.put(ca.key.family, cb.key.qualifier,
+                encode_double(options.multiply(*av, *bv)));
+          any = true;
+          ++stats.partial_products;
+        }
+        if (any && generated++ >= skip) writer.add_mutation(std::move(m));
+      }
+      stats.emit_seconds += phase.seconds();
+      phase.reset();
       have_a = reader_a.has_next();
       if (have_a) row_a = reader_a.next_row();
-      stats.scan_seconds += phase.seconds();
-      continue;
-    }
-    if (row_b.row < row_a.row) {
-      phase.reset();
-      reader_b.advance_to(row_a.row);
       have_b = reader_b.has_next();
       if (have_b) row_b = reader_b.next_row();
       stats.scan_seconds += phase.seconds();
-      continue;
     }
-    // Shared row k: emit the outer product of A(k, :) and B(k, :).
-    ++stats.rows_joined;
     phase.reset();
-    for (const auto& ca : row_a.cells) {
-      const auto av = decode_double(ca.value);
-      if (!av) continue;
-      // One mutation per output row C(i, :) chunk for this k.
-      nosql::Mutation m(ca.key.qualifier);  // i = A's column key
-      bool any = false;
-      for (const auto& cb : row_b.cells) {
-        const auto bv = decode_double(cb.value);
-        if (!bv) continue;
-        m.put(ca.key.family, cb.key.qualifier,
-              encode_double(options.multiply(*av, *bv)));
-        any = true;
-        ++stats.partial_products;
-      }
-      if (any) writer.add_mutation(std::move(m));
-    }
-    stats.emit_seconds += phase.seconds();
-    phase.reset();
-    have_a = reader_a.has_next();
-    if (have_a) row_a = reader_a.next_row();
-    have_b = reader_b.has_next();
-    if (have_b) row_b = reader_b.next_row();
-    stats.scan_seconds += phase.seconds();
+    writer.close();
+    stats.flush_seconds = phase.seconds();
+    stats.seeks = reader_a.seeks_performed() + reader_b.seeks_performed();
+    stats.seconds = total.seconds();
+    durable = skip + writer.mutations_written();
+    return stats;
+  } catch (...) {
+    // Everything this attempt managed to apply is durable; the buffered
+    // remainder must NOT flush from the destructor (a retry regenerates
+    // it), so abandon the writer before propagating.
+    durable = skip + writer.mutations_written();
+    writer.abandon();
+    throw;
   }
-  phase.reset();
-  writer.flush();
-  stats.flush_seconds = phase.seconds();
-  stats.seeks = reader_a.seeks_performed() + reader_b.seeks_performed();
-  stats.seconds = total.seconds();
-  return stats;
+}
+
+/// Runs one partition to completion: retries transient failures on
+/// fresh scans + a fresh writer (see mult_partition for the
+/// exactly-once argument), degrades a deadline overrun into a
+/// timed-out partition record instead of an exception.
+TableMultPartitionStats run_partition(nosql::Instance& db,
+                                      const std::string& table_a,
+                                      const std::string& table_b,
+                                      const std::string& table_c,
+                                      const TableMultOptions& options,
+                                      const nosql::Range& range) {
+  std::size_t durable = 0;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      auto stats =
+          mult_partition(db, table_a, table_b, table_c, options, range, durable);
+      stats.attempts = attempt;
+      return stats;
+    } catch (const PartitionTimeout& e) {
+      GRAPHULO_WARN << "TableMult: " << e.what()
+                    << "; degrading to a partial result";
+      TableMultPartitionStats stats;
+      if (range.has_start) stats.start_row = range.start.row;
+      if (range.has_end) stats.end_row = range.end.row;
+      stats.attempts = attempt;
+      stats.timed_out = true;
+      return stats;
+    } catch (const util::TransientError& e) {
+      if (attempt > options.max_partition_retries) throw;
+      GRAPHULO_WARN << "TableMult: partition [" << range.start.row << ", "
+                    << range.end.row << ") attempt " << attempt
+                    << " failed (" << e.what() << "); retrying with "
+                    << durable << " mutations already durable";
+    }
+  }
 }
 
 /// Cuts the row space of `table_a` into up to `workers` contiguous
@@ -139,14 +211,22 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
                           const std::string& table_c,
                           const TableMultOptions& options) {
   util::Timer timer;
-  if (options.configure_result_table) create_sum_table(db, table_c);
-  if (!db.table_exists(table_c)) db.create_table(table_c);
+  // Setup is retry-safe: create_sum_table re-checks existence, and
+  // partitioning is a read-only pass over A — both may hit transient
+  // (injected) faults that a second attempt clears.
+  util::with_retries("TableMult: result table setup", db.retry_policy(), [&] {
+    if (options.configure_result_table) create_sum_table(db, table_c);
+    if (!db.table_exists(table_c)) db.create_table(table_c);
+  });
 
   std::size_t workers = options.num_workers != 0
                             ? options.num_workers
                             : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  const auto ranges = partition_ranges(db, table_a, workers);
+  const auto ranges =
+      util::with_retries("TableMult: partitioning", db.retry_policy(), [&] {
+        return partition_ranges(db, table_a, workers);
+      });
 
   TableMultStats stats;
   stats.partitions.reserve(ranges.size());
@@ -154,7 +234,7 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
     // Serial path: identical order of scans and writes to a single-table
     // run, no pool, no partition boundaries.
     stats.partitions.push_back(
-        mult_partition(db, table_a, table_b, table_c, options, ranges[0]));
+        run_partition(db, table_a, table_b, table_c, options, ranges[0]));
   } else {
     util::ThreadPool pool(std::min(workers, ranges.size()));
     std::vector<std::future<TableMultPartitionStats>> futures;
@@ -162,7 +242,7 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
     for (const auto& range : ranges) {
       futures.push_back(pool.submit([&db, &table_a, &table_b, &table_c,
                                      &options, &range] {
-        return mult_partition(db, table_a, table_b, table_c, options, range);
+        return run_partition(db, table_a, table_b, table_c, options, range);
       }));
     }
     // Flush barrier: join every worker (collecting its counters) before
@@ -182,6 +262,14 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
     stats.rows_joined += p.rows_joined;
     stats.partial_products += p.partial_products;
     stats.seeks += p.seeks;
+    if (p.attempts > 1) ++stats.retried_partitions;
+    if (p.timed_out) ++stats.timed_out_partitions;
+  }
+  if (stats.timed_out_partitions > 0) {
+    GRAPHULO_WARN << "TableMult: " << stats.timed_out_partitions << " of "
+                  << stats.partitions.size()
+                  << " partitions hit the deadline; " << table_c
+                  << " is missing their contributions";
   }
   if (options.compact_result) db.compact(table_c);
   stats.seconds = timer.seconds();

@@ -25,9 +25,20 @@
 // writes folds to the same table. (Callers configuring C manually must
 // likewise attach a commutative combiner, or run with num_workers = 1.)
 //
+// Failure recovery (see DESIGN.md §8): each partition is an
+// independently retryable unit. A transient failure — an injected
+// fault, a WAL hiccup the lower-level retries could not absorb —
+// abandons the attempt's buffered writes and re-runs the partition on
+// fresh scans with a fresh writer, skipping the prefix of its
+// deterministic mutation stream that prior attempts already made
+// durable (exactly-once emission, so even non-idempotent combiners
+// fold correctly). An optional per-partition deadline turns a hung
+// partition into a warning + stats flag instead of a stall.
+//
 // The client-side baseline (read A and B out, SpGEMM locally, write C
 // back) is provided for the bench_tablemult ablation.
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -53,6 +64,20 @@ struct TableMultOptions {
   /// concurrency. With 1 worker the multiply runs inline on the calling
   /// thread over a single all-rows partition — the serial path.
   std::size_t num_workers = 0;
+  /// A partition whose attempt fails transiently (injected fault, I/O
+  /// error surviving the lower-level retries) is re-run this many times
+  /// on fresh scans + a fresh writer. Re-runs are exactly-once: the
+  /// retry regenerates the partition's deterministic mutation stream
+  /// and skips the prefix already durably applied, so no partial
+  /// product is written twice.
+  std::size_t max_partition_retries = 2;
+  /// Wall-clock budget per partition attempt; zero = unlimited. A
+  /// partition that exceeds it aborts cooperatively and is reported as
+  /// timed out (a warning + TableMultStats::timed_out_partitions)
+  /// instead of stalling the whole multiply. C is then missing that
+  /// partition's contribution — callers opting into deadlines trade
+  /// completeness for bounded latency.
+  std::chrono::milliseconds partition_deadline{0};
 };
 
 /// Per-partition counters from one table_mult() worker.
@@ -66,6 +91,8 @@ struct TableMultPartitionStats {
   double emit_seconds = 0.0;          ///< building + buffering mutations
   double flush_seconds = 0.0;         ///< final BatchWriter flush
   double seconds = 0.0;               ///< wall time of the whole partition
+  std::size_t attempts = 1;           ///< 1 = no retries were needed
+  bool timed_out = false;             ///< gave up at the deadline
 };
 
 /// Statistics from one table_mult() run. Totals are the sums over
@@ -75,6 +102,8 @@ struct TableMultStats {
   std::size_t partial_products = 0;   ///< cells written to C
   std::size_t seeks = 0;              ///< merge-join seeks on A + B
   double seconds = 0.0;               ///< wall time (partitions overlap)
+  std::size_t retried_partitions = 0;   ///< partitions needing > 1 attempt
+  std::size_t timed_out_partitions = 0; ///< partitions lost to the deadline
   std::vector<TableMultPartitionStats> partitions;
 };
 

@@ -1,19 +1,32 @@
 #include "nosql/batch_writer.hpp"
 
+#include "util/log.hpp"
+
 namespace graphulo::nosql {
 
 BatchWriter::BatchWriter(Instance& instance, std::string table,
-                         std::size_t max_buffer_bytes)
+                         std::size_t max_buffer_bytes,
+                         util::RetryPolicy retry)
     : instance_(instance),
       table_(std::move(table)),
-      max_buffer_bytes_(max_buffer_bytes) {}
+      max_buffer_bytes_(max_buffer_bytes),
+      retry_(retry) {}
 
 BatchWriter::~BatchWriter() {
+  if (closed_) return;
   try {
     flush();
+  } catch (const std::exception& e) {
+    // Destructors must not throw. Unlike the old behaviour (silent
+    // swallow), the dropped data is at least reported; callers that
+    // care must close() and handle the error.
+    GRAPHULO_WARN << "BatchWriter(" << table_ << "): final flush failed in "
+                  << "destructor, " << buffer_.size()
+                  << " mutations dropped: " << e.what();
   } catch (...) {
-    // Destructors must not throw; data loss here means the caller
-    // dropped the writer without flushing after a failure.
+    GRAPHULO_WARN << "BatchWriter(" << table_ << "): final flush failed in "
+                  << "destructor, " << buffer_.size()
+                  << " mutations dropped (unknown error)";
   }
 }
 
@@ -24,12 +37,44 @@ void BatchWriter::add_mutation(Mutation mutation) {
 }
 
 void BatchWriter::flush() {
-  for (const auto& m : buffer_) {
-    instance_.apply(table_, m);
+  std::size_t applied = 0;
+  try {
+    for (; applied < buffer_.size(); ++applied) {
+      util::with_retries("BatchWriter::flush", retry_, [&] {
+        util::fault::point(util::fault::sites::kBatchWriterFlush);
+        instance_.apply(table_, buffer_[applied]);
+      });
+      ++written_;
+    }
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    // Keep only the unapplied suffix: a retried flush resumes exactly
+    // where this one failed, with no duplicate applies.
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(applied));
+    buffered_bytes_ = 0;
+    for (const auto& m : buffer_) buffered_bytes_ += m.estimated_bytes();
+    throw;
   }
-  written_ += buffer_.size();
   buffer_.clear();
   buffered_bytes_ = 0;
+}
+
+void BatchWriter::close() {
+  if (closed_) return;
+  try {
+    flush();
+  } catch (...) {
+    closed_ = true;  // the caller saw the error; don't re-flush on destroy
+    throw;
+  }
+  closed_ = true;
+}
+
+void BatchWriter::abandon() noexcept {
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  closed_ = true;
 }
 
 }  // namespace graphulo::nosql

@@ -1,7 +1,19 @@
 #pragma once
 // Buffered write client, modeled on Accumulo's BatchWriter: mutations
 // accumulate in a client-side buffer and are pushed to the instance when
-// the buffer exceeds a byte threshold, on flush(), or at destruction.
+// the buffer exceeds a byte threshold, on flush(), on close(), or at
+// destruction.
+//
+// Failure contract: flush() retries each mutation on TransientError
+// with bounded exponential backoff; when retries are exhausted the
+// exception propagates and the UNAPPLIED suffix of the buffer is
+// retained (already-applied mutations are dropped from it), so a later
+// flush()/close() resumes where the failure struck and nothing is
+// applied twice. close() is the explicit way to observe final-flush
+// errors; the destructor still flushes as a convenience but can only
+// WARN about failures (recorded in last_error() until then). abandon()
+// discards the buffer for callers that will re-generate the mutations
+// themselves (e.g. a retried TableMult partition).
 //
 // Concurrency contract (audited for the parallel TableMult pipeline):
 // one BatchWriter instance is NOT thread-safe — it buffers in plain
@@ -15,44 +27,72 @@
 // when the table's semantics are order-independent (e.g. a commutative
 // combiner folding partial products).
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "nosql/instance.hpp"
 #include "nosql/mutation.hpp"
+#include "util/fault.hpp"
 
 namespace graphulo::nosql {
 
 class BatchWriter {
  public:
   /// Buffers up to `max_buffer_bytes` of mutations before auto-flushing.
+  /// `retry` bounds the per-mutation retry of transient apply failures.
   BatchWriter(Instance& instance, std::string table,
-              std::size_t max_buffer_bytes = 4 << 20);
+              std::size_t max_buffer_bytes = 4 << 20,
+              util::RetryPolicy retry = {});
 
-  /// Flushes remaining mutations. Destruction never throws; errors from
-  /// the final flush are swallowed (call flush() explicitly to observe
-  /// them).
+  /// Flushes remaining mutations unless close()/abandon() already ran.
+  /// Destruction never throws; a failing final flush is logged as a
+  /// warning and recorded — call close() explicitly to observe it.
   ~BatchWriter();
 
   BatchWriter(const BatchWriter&) = delete;
   BatchWriter& operator=(const BatchWriter&) = delete;
 
-  /// Queues one mutation.
+  /// Queues one mutation. May throw if the buffer threshold triggers an
+  /// auto-flush that fails after retries.
   void add_mutation(Mutation mutation);
 
-  /// Pushes every buffered mutation to the instance.
+  /// Pushes every buffered mutation to the instance, retrying transient
+  /// failures per mutation. On exhaustion the failing exception
+  /// propagates; mutations already applied are removed from the buffer
+  /// so a subsequent flush() resumes without duplicates.
   void flush();
 
-  /// Mutations pushed so far (after flushes).
+  /// Final flush + marks the writer closed (destructor becomes a
+  /// no-op). Throws on failure, with the error also in last_error().
+  void close();
+
+  /// Discards the buffered (unapplied) mutations and marks the writer
+  /// closed. For callers that re-generate their writes on retry.
+  void abandon() noexcept;
+
+  /// The last flush/close error message, if any.
+  const std::optional<std::string>& last_error() const noexcept {
+    return last_error_;
+  }
+
+  /// Mutations applied to the instance so far (exact, maintained
+  /// per-mutation — meaningful mid-failure).
   std::size_t mutations_written() const noexcept { return written_; }
+
+  /// Mutations still buffered (unapplied).
+  std::size_t mutations_pending() const noexcept { return buffer_.size(); }
 
  private:
   Instance& instance_;
   std::string table_;
   std::size_t max_buffer_bytes_;
+  util::RetryPolicy retry_;
   std::size_t buffered_bytes_ = 0;
   std::vector<Mutation> buffer_;
   std::size_t written_ = 0;
+  bool closed_ = false;
+  std::optional<std::string> last_error_;
 };
 
 }  // namespace graphulo::nosql

@@ -1,0 +1,261 @@
+#include "nosql/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/checksum.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace graphulo::nosql {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x47434b31;  // "GCK1"
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_string(std::string& buf, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  buf.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  buf.append(s);
+}
+
+struct PayloadReader {
+  const char* p;
+  std::size_t remaining;
+
+  bool read_raw(void* dst, std::size_t n) {
+    if (remaining < n) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    remaining -= n;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& v) { return read_raw(&v, sizeof(v)); }
+
+  bool read_string(std::string& s) {
+    std::uint32_t len = 0;
+    if (!read_raw(&len, sizeof(len))) return false;
+    if (remaining < len) return false;
+    s.assign(p, len);
+    p += len;
+    remaining -= len;
+    return true;
+  }
+};
+
+/// One table's snapshot, decoded.
+struct TableSnapshot {
+  std::string name;
+  std::vector<std::string> splits;
+  std::vector<Cell> cells;
+};
+
+/// Decoded checkpoint payload.
+struct CheckpointImage {
+  Timestamp clock = 0;
+  std::uint64_t covers_seq = 0;
+  std::vector<TableSnapshot> tables;
+};
+
+std::string encode_checkpoint(Instance& db, std::uint64_t covers_seq,
+                              CheckpointStats& stats) {
+  std::string payload;
+  put_u64(payload, static_cast<std::uint64_t>(db.last_timestamp()));
+  put_u64(payload, covers_seq);
+  const auto names = db.table_names();
+  put_u64(payload, names.size());
+  for (const auto& name : names) {
+    put_string(payload, name);
+    const auto splits = db.list_splits(name);
+    put_u64(payload, splits.size());
+    for (const auto& s : splits) put_string(payload, s);
+    // Raw cells (all versions + delete markers), in extent order across
+    // tablets so restore re-routes them identically.
+    std::vector<Cell> cells;
+    for (const auto& [tablet, sid] : db.tablets_for_range(name, Range::all())) {
+      auto stack = tablet->raw_stack();
+      auto part = drain(*stack, Range::all());
+      cells.insert(cells.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    put_u64(payload, cells.size());
+    for (const auto& c : cells) {
+      put_string(payload, c.key.row);
+      put_string(payload, c.key.family);
+      put_string(payload, c.key.qualifier);
+      put_string(payload, c.key.visibility);
+      put_u64(payload, static_cast<std::uint64_t>(c.key.ts));
+      payload.push_back(c.key.deleted ? 1 : 0);
+      put_string(payload, c.value);
+    }
+    stats.cells += cells.size();
+    ++stats.tables;
+  }
+  return payload;
+}
+
+bool decode_checkpoint(const std::string& payload, CheckpointImage& image) {
+  PayloadReader reader{payload.data(), payload.size()};
+  std::uint64_t clock = 0, covers_seq = 0, table_count = 0;
+  if (!reader.read_u64(clock) || !reader.read_u64(covers_seq) ||
+      !reader.read_u64(table_count)) {
+    return false;
+  }
+  image.clock = static_cast<Timestamp>(clock);
+  image.covers_seq = covers_seq;
+  for (std::uint64_t t = 0; t < table_count; ++t) {
+    TableSnapshot snap;
+    if (!reader.read_string(snap.name)) return false;
+    std::uint64_t split_count = 0;
+    if (!reader.read_u64(split_count)) return false;
+    for (std::uint64_t i = 0; i < split_count; ++i) {
+      std::string s;
+      if (!reader.read_string(s)) return false;
+      snap.splits.push_back(std::move(s));
+    }
+    std::uint64_t cell_count = 0;
+    if (!reader.read_u64(cell_count)) return false;
+    snap.cells.reserve(cell_count);
+    for (std::uint64_t i = 0; i < cell_count; ++i) {
+      Cell c;
+      std::uint64_t ts = 0;
+      if (!reader.read_string(c.key.row) ||
+          !reader.read_string(c.key.family) ||
+          !reader.read_string(c.key.qualifier) ||
+          !reader.read_string(c.key.visibility) || !reader.read_u64(ts)) {
+        return false;
+      }
+      c.key.ts = static_cast<Timestamp>(ts);
+      char del = 0;
+      if (!reader.read_raw(&del, 1)) return false;
+      c.key.deleted = del != 0;
+      if (!reader.read_string(c.value)) return false;
+      snap.cells.push_back(std::move(c));
+    }
+    image.tables.push_back(std::move(snap));
+  }
+  return reader.remaining == 0;
+}
+
+/// Writes magic | len | payload | crc to `path`. False on I/O failure.
+bool write_file(const std::string& path, const std::string& payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const auto payload_len = static_cast<std::uint64_t>(payload.size());
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  out.write(reinterpret_cast<const char*>(&kCheckpointMagic),
+            sizeof(kCheckpointMagic));
+  out.write(reinterpret_cast<const char*>(&payload_len), sizeof(payload_len));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+/// Loads and validates a checkpoint file. False on missing file, bad
+/// magic, truncation, or CRC mismatch.
+bool load_file(const std::string& path, CheckpointImage& image) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint32_t magic = 0;
+  if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic)) ||
+      magic != kCheckpointMagic) {
+    return false;
+  }
+  std::uint64_t payload_len = 0;
+  if (!in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len))) {
+    return false;
+  }
+  std::string payload(payload_len, '\0');
+  if (!in.read(payload.data(), static_cast<std::streamsize>(payload_len))) {
+    return false;
+  }
+  std::uint32_t stored_crc = 0;
+  if (!in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc))) {
+    return false;
+  }
+  if (util::crc32(payload.data(), payload.size()) != stored_crc) return false;
+  return decode_checkpoint(payload, image);
+}
+
+}  // namespace
+
+CheckpointStats write_checkpoint(Instance& db,
+                                 const std::string& checkpoint_path) {
+  const auto& wal = db.wal();
+  if (!wal) {
+    throw std::logic_error("write_checkpoint: instance has no attached WAL");
+  }
+  CheckpointStats stats;
+  const std::uint64_t covers_seq = wal->next_seq();
+  const std::string tmp_path = checkpoint_path + ".tmp";
+  // Encode inside the retry scope: draining the tablets is a read-only
+  // pass that may itself hit transient (injected) scan faults, and
+  // re-encoding on retry just re-reads the same snapshot.
+  util::with_retries("write_checkpoint", db.retry_policy(), [&] {
+    util::fault::point(util::fault::sites::kCheckpointWrite);
+    CheckpointStats fresh;
+    fresh.covers_seq = covers_seq;
+    const std::string payload = encode_checkpoint(db, covers_seq, fresh);
+    if (!write_file(tmp_path, payload)) {
+      throw util::TransientError("write_checkpoint: I/O failure on " +
+                                 tmp_path);
+    }
+    stats = fresh;
+  });
+  if (std::rename(tmp_path.c_str(), checkpoint_path.c_str()) != 0) {
+    throw std::runtime_error("write_checkpoint: rename to " +
+                             checkpoint_path + " failed");
+  }
+  // Only after the checkpoint is durably in place may the log shrink.
+  // A crash before this rotate leaves stale records in the WAL, which
+  // recovery skips by sequence number.
+  wal->rotate();
+  GRAPHULO_INFO << "checkpoint: " << stats.tables << " tables, "
+                << stats.cells << " cells, WAL truncated at seq "
+                << stats.covers_seq;
+  return stats;
+}
+
+RecoveryStats recover_instance(Instance& db,
+                               const std::string& checkpoint_path,
+                               const std::string& wal_path,
+                               const TableConfigProvider& config_for) {
+  RecoveryStats stats;
+  CheckpointImage image;
+  bool loaded = false;
+  try {
+    util::with_retries("recover_instance: checkpoint load",
+                       db.retry_policy(), [&] {
+                         util::fault::point(util::fault::sites::kCheckpointLoad);
+                         image = CheckpointImage{};
+                         loaded = load_file(checkpoint_path, image);
+                       });
+  } catch (const util::TransientError&) {
+    loaded = false;  // exhausted retries: fall back to WAL-only recovery
+  }
+  std::uint64_t min_seq = 0;
+  if (loaded) {
+    for (auto& snap : image.tables) {
+      db.create_table(snap.name,
+                      config_for ? config_for(snap.name) : TableConfig{});
+      if (!snap.splits.empty()) db.add_splits(snap.name, snap.splits);
+      stats.cells_restored += snap.cells.size();
+      db.restore_cells(snap.name, std::move(snap.cells));
+      ++stats.tables_restored;
+    }
+    db.advance_clock(image.clock);
+    min_seq = image.covers_seq;
+    stats.checkpoint_loaded = true;
+  }
+  stats.records_replayed = recover_from_wal(db, wal_path, config_for, min_seq);
+  return stats;
+}
+
+}  // namespace graphulo::nosql

@@ -1,0 +1,69 @@
+#pragma once
+// WAL checkpoint + rotation: bounds crash-recovery time by live data
+// instead of total write history.
+//
+// A checkpoint snapshots the instance — catalog (table names + split
+// points), every tablet's raw cells (versions and delete markers
+// preserved), and the logical clock — into a single CRC-protected file,
+// records the WAL sequence number it covers up to, and then truncates
+// (rotates) the WAL. Recovery loads the checkpoint and replays only the
+// post-checkpoint WAL tail, filtered by sequence number, which makes
+// replay idempotent even when a crash lands between the checkpoint
+// rename and the WAL truncation (the stale pre-checkpoint records are
+// skipped by their sequence numbers).
+//
+// The checkpoint is written to `<path>.tmp` and renamed into place, so
+// a crash mid-checkpoint leaves the previous checkpoint (or none)
+// intact and the full WAL still replayable.
+//
+// Table configs (iterator settings, LSM knobs) are code, not data:
+// recovery recreates tables through the caller's TableConfigProvider,
+// exactly as WAL-only recovery does.
+//
+// Caller contract: quiesce writers while checkpointing — the snapshot
+// is per-tablet consistent but not cross-tablet atomic under
+// concurrent writes.
+
+#include <cstdint>
+#include <string>
+
+#include "nosql/instance.hpp"
+
+namespace graphulo::nosql {
+
+/// Outcome of write_checkpoint().
+struct CheckpointStats {
+  std::size_t tables = 0;
+  std::size_t cells = 0;          ///< raw cells captured
+  std::uint64_t covers_seq = 0;   ///< WAL records with seq < this are covered
+};
+
+/// Outcome of recover_instance().
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  std::size_t tables_restored = 0;    ///< from the checkpoint
+  std::size_t cells_restored = 0;     ///< from the checkpoint
+  std::size_t records_replayed = 0;   ///< from the WAL tail
+};
+
+/// Snapshots `db` into `checkpoint_path` (tmp + rename), then rotates
+/// the attached WAL so the log is truncated to empty. Requires an
+/// attached WAL (the covered sequence comes from it). Transient I/O
+/// faults are retried per the instance's retry policy. Throws on
+/// unrecoverable failure — the WAL is only rotated after the checkpoint
+/// file is durably in place.
+CheckpointStats write_checkpoint(Instance& db,
+                                 const std::string& checkpoint_path);
+
+/// Rebuilds `db` (normally fresh) from `checkpoint_path` +
+/// `wal_path`: loads the checkpoint when present and valid (CRC), then
+/// replays the WAL tail (records at or past the checkpoint's covered
+/// sequence; the full log when no checkpoint loaded). `config_for`
+/// supplies table configs at creation, as in recover_from_wal. The WAL
+/// is NOT attached to `db`.
+RecoveryStats recover_instance(Instance& db,
+                               const std::string& checkpoint_path,
+                               const std::string& wal_path,
+                               const TableConfigProvider& config_for = {});
+
+}  // namespace graphulo::nosql

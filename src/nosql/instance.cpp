@@ -29,7 +29,13 @@ void Instance::create_table(const std::string& name, TableConfig config) {
   table->tablets_.push_back(std::move(tablet));
   table->tablet_server_of_.push_back(sid);
   tables_.emplace(name, std::move(table));
-  if (wal_) wal_->log_create_table(name);
+  // Journal writes are retryable in isolation: the WAL's injection site
+  // fires before any byte or sequence number is consumed, so a retried
+  // append lands exactly one record.
+  if (wal_) {
+    util::with_retries("Instance::create_table: journal", retry_policy_,
+                       [&] { wal_->log_create_table(name); });
+  }
 }
 
 void Instance::delete_table(const std::string& name) {
@@ -37,7 +43,10 @@ void Instance::delete_table(const std::string& name) {
   if (!tables_.erase(name)) {
     throw std::invalid_argument("delete_table: no such table: " + name);
   }
-  if (wal_) wal_->log_delete_table(name);
+  if (wal_) {
+    util::with_retries("Instance::delete_table: journal", retry_policy_,
+                       [&] { wal_->log_delete_table(name); });
+  }
 }
 
 bool Instance::table_exists(const std::string& name) const {
@@ -68,9 +77,14 @@ void Instance::clone_table(const std::string& source,
     table->tablet_server_of_.push_back(sid);
   }
   tables_.emplace(target, std::move(table));
-  // Clones are intentionally NOT journaled: the WAL records the write
-  // history, and a clone introduces no new writes. Re-clone after
-  // recovery if needed.
+  // Journaled so clones survive recovery. Replay order makes this
+  // correct: at the point the kCloneTable record replays, the source
+  // holds exactly its state at original clone time (later records have
+  // not been applied yet).
+  if (wal_) {
+    util::with_retries("Instance::clone_table: journal", retry_policy_,
+                       [&] { wal_->log_clone_table(source, target); });
+  }
 }
 
 std::vector<std::string> Instance::table_names() const {
@@ -150,6 +164,10 @@ void Instance::add_splits(const std::string& name,
   }
   table.tablets_ = std::move(tablets);
   table.tablet_server_of_ = std::move(server_of);
+  if (wal_) {
+    util::with_retries("Instance::add_splits: journal", retry_policy_,
+                       [&] { wal_->log_add_splits(name, split_rows); });
+  }
 }
 
 std::vector<std::string> Instance::list_splits(const std::string& name) const {
@@ -220,13 +238,24 @@ std::shared_ptr<Tablet> Instance::route_locked(Table& table,
 }
 
 void Instance::apply(const std::string& name, const Mutation& mutation) {
-  std::shared_lock lock(catalog_mutex_);
-  Table& table = get_table(name);
-  int sid = 0;
-  auto tablet = route_locked(table, mutation.row(), &sid);
+  // The timestamp is assigned ONCE: a retried attempt reuses it, so the
+  // logical clock sequence (and therefore recovered state) is identical
+  // whether or not transient faults fired along the way.
   const Timestamp ts = next_timestamp();
-  if (wal_) wal_->log_mutation(name, mutation, ts);
-  servers_[static_cast<std::size_t>(sid)]->apply(*tablet, mutation, ts);
+  util::with_retries("Instance::apply", retry_policy_, [&] {
+    util::fault::point(util::fault::sites::kInstanceApply);
+    std::shared_lock lock(catalog_mutex_);
+    Table& table = get_table(name);
+    int sid = 0;
+    auto tablet = route_locked(table, mutation.row(), &sid);
+    // Log-then-apply: the injection sites inside the WAL fire before
+    // any byte lands, so a retry after a WAL failure appends exactly
+    // one record. The tablet apply below contains its own transient
+    // failures (deferred flush/compaction), so nothing after the log
+    // write throws transiently — no double-logging window.
+    if (wal_) wal_->log_mutation(name, mutation, ts);
+    servers_[static_cast<std::size_t>(sid)]->apply(*tablet, mutation, ts);
+  });
 }
 
 void Instance::apply_replayed(const std::string& name,
@@ -238,22 +267,35 @@ void Instance::apply_replayed(const std::string& name,
   auto tablet = route_locked(table, mutation.row(), &sid);
   // Keep the clock ahead of everything replayed so post-recovery writes
   // sort newer.
-  Timestamp current = clock_.load(std::memory_order_relaxed);
-  while (current < assigned_ts &&
-         !clock_.compare_exchange_weak(current, assigned_ts)) {
-  }
+  advance_clock(assigned_ts);
   servers_[static_cast<std::size_t>(sid)]->apply(*tablet, mutation,
                                                  assigned_ts);
 }
 
+void Instance::restore_cells(const std::string& name,
+                             std::vector<Cell> cells) {
+  std::shared_lock lock(catalog_mutex_);
+  Table& table = get_table(name);
+  for (auto& cell : cells) {
+    auto tablet = route_locked(table, cell.key.row, nullptr);
+    tablet->insert_cell(std::move(cell));
+  }
+}
+
 void Instance::flush(const std::string& name) {
   std::shared_lock lock(catalog_mutex_);
-  for (const auto& t : get_table(name).tablets_) t->flush();
+  for (const auto& t : get_table(name).tablets_) {
+    util::with_retries("Instance::flush", retry_policy_,
+                       [&] { t->flush(); });
+  }
 }
 
 void Instance::compact(const std::string& name) {
   std::shared_lock lock(catalog_mutex_);
-  for (const auto& t : get_table(name).tablets_) t->major_compact();
+  for (const auto& t : get_table(name).tablets_) {
+    util::with_retries("Instance::compact", retry_policy_,
+                       [&] { t->major_compact(); });
+  }
 }
 
 std::vector<std::pair<std::shared_ptr<Tablet>, int>>
@@ -270,22 +312,43 @@ Instance::tablets_for_range(const std::string& name, const Range& range) const {
   return out;
 }
 
-std::size_t recover_from_wal(Instance& db, const std::string& path) {
-  return replay_wal(path, [&db](const WalRecord& record) {
-    switch (record.kind) {
-      case WalRecord::Kind::kCreateTable:
-        if (!db.table_exists(record.table)) db.create_table(record.table);
-        break;
-      case WalRecord::Kind::kDeleteTable:
-        if (db.table_exists(record.table)) db.delete_table(record.table);
-        break;
-      case WalRecord::Kind::kMutation:
-        if (db.table_exists(record.table)) {
-          db.apply_replayed(record.table, record.mutation, record.assigned_ts);
+std::size_t recover_from_wal(Instance& db, const std::string& path,
+                             const TableConfigProvider& config_for,
+                             std::uint64_t min_seq) {
+  return replay_wal(
+      path,
+      [&db, &config_for](const WalRecord& record) {
+        switch (record.kind) {
+          case WalRecord::Kind::kCreateTable:
+            if (!db.table_exists(record.table)) {
+              db.create_table(record.table,
+                              config_for ? config_for(record.table)
+                                         : TableConfig{});
+            }
+            break;
+          case WalRecord::Kind::kDeleteTable:
+            if (db.table_exists(record.table)) db.delete_table(record.table);
+            break;
+          case WalRecord::Kind::kCloneTable:
+            if (db.table_exists(record.table) &&
+                !db.table_exists(record.aux)) {
+              db.clone_table(record.table, record.aux);
+            }
+            break;
+          case WalRecord::Kind::kAddSplits:
+            if (db.table_exists(record.table)) {
+              db.add_splits(record.table, record.splits);
+            }
+            break;
+          case WalRecord::Kind::kMutation:
+            if (db.table_exists(record.table)) {
+              db.apply_replayed(record.table, record.mutation,
+                                record.assigned_ts);
+            }
+            break;
         }
-        break;
-    }
-  });
+      },
+      min_seq);
 }
 
 std::size_t Instance::entry_estimate(const std::string& name) const {

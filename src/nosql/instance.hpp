@@ -4,6 +4,8 @@
 // for an Accumulo cluster (see DESIGN.md for what this substitution
 // preserves).
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +18,7 @@
 #include "nosql/tablet.hpp"
 #include "nosql/tablet_server.hpp"
 #include "nosql/wal.hpp"
+#include "util/fault.hpp"
 
 namespace graphulo::nosql {
 
@@ -64,9 +67,10 @@ class Instance {
 
   /// Clones `source` into a new table `target`: same config, same
   /// splits, same data (versions and delete markers preserved). Like
-  /// Accumulo's clone, the copy is independent afterwards. Clones are
-  /// not WAL-journaled (they add no write history); re-clone after a
-  /// recovery if needed.
+  /// Accumulo's clone, the copy is independent afterwards. Journaled to
+  /// the WAL (kCloneTable) when one is attached, so clones survive
+  /// recovery; the clone's iterator settings, like every table's, are
+  /// code-side and must be reattached after recovery.
   void clone_table(const std::string& source, const std::string& target);
 
   /// Mutable table config (attach iterators before/while writing).
@@ -76,7 +80,8 @@ class Instance {
 
   /// Adds split points: each named row becomes a tablet boundary. Data
   /// already written is repartitioned. New tablets are balanced across
-  /// tablet servers round-robin.
+  /// tablet servers round-robin. Journaled to the WAL (kAddSplits) when
+  /// one is attached, so recovered tables keep their tablet layout.
   void add_splits(const std::string& name, std::vector<std::string> split_rows);
 
   /// Current split points of a table.
@@ -96,7 +101,10 @@ class Instance {
 
   /// Applies a mutation, routed to the owning tablet; assigns the next
   /// logical timestamp to updates without one. Logged to the WAL when
-  /// one is attached.
+  /// one is attached. Transient failures (injected or real) of the WAL
+  /// append are retried with bounded exponential backoff; the timestamp
+  /// is assigned once, before the first attempt, so retries do not
+  /// perturb the logical clock sequence.
   void apply(const std::string& name, const Mutation& mutation);
 
   /// Applies a mutation with a pre-assigned timestamp and NO WAL write —
@@ -105,21 +113,43 @@ class Instance {
   void apply_replayed(const std::string& name, const Mutation& mutation,
                       Timestamp assigned_ts);
 
+  /// Routes pre-formed cells straight into their tablets' memtables
+  /// (exact keys preserved, no timestamp assignment, no WAL write) —
+  /// the checkpoint-restore path.
+  void restore_cells(const std::string& name, std::vector<Cell> cells);
+
   // -- durability -----------------------------------------------------------
 
   /// Attaches a write-ahead log: from now on catalog events and
   /// mutations are appended to it before being applied.
   void attach_wal(std::shared_ptr<WriteAheadLog> wal) { wal_ = std::move(wal); }
 
-  /// Flushes the attached WAL (no-op without one).
+  /// Flushes the attached WAL (no-op without one). Transient sync
+  /// failures are retried with backoff.
   void sync_wal() {
-    if (wal_) wal_->sync();
+    if (wal_) {
+      util::with_retries("Instance::sync_wal", retry_policy_,
+                         [this] { wal_->sync(); });
+    }
   }
 
-  /// Flushes every tablet's memtable (minor compaction).
+  /// The attached WAL (nullptr when none).
+  const std::shared_ptr<WriteAheadLog>& wal() const noexcept { return wal_; }
+
+  /// Retry policy for transient failures in apply/sync/flush/compact.
+  void set_retry_policy(util::RetryPolicy policy) noexcept {
+    retry_policy_ = policy;
+  }
+  const util::RetryPolicy& retry_policy() const noexcept {
+    return retry_policy_;
+  }
+
+  /// Flushes every tablet's memtable (minor compaction). Transient
+  /// per-tablet failures are retried with backoff.
   void flush(const std::string& name);
 
-  /// Major-compacts every tablet.
+  /// Major-compacts every tablet. Transient per-tablet failures are
+  /// retried with backoff.
   void compact(const std::string& name);
 
   // -- reads --------------------------------------------------------------
@@ -144,6 +174,19 @@ class Instance {
     return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
+  /// The most recently issued logical timestamp.
+  Timestamp last_timestamp() const noexcept {
+    return clock_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances the clock to at least `ts` (replay/restore paths), so
+  /// post-recovery writes sort newer than everything recovered.
+  void advance_clock(Timestamp ts) {
+    Timestamp current = clock_.load(std::memory_order_relaxed);
+    while (current < ts && !clock_.compare_exchange_weak(current, ts)) {
+    }
+  }
+
  private:
   Table& get_table(const std::string& name);
   const Table& get_table(const std::string& name) const;
@@ -156,13 +199,27 @@ class Instance {
   std::atomic<Timestamp> clock_{0};
   int next_server_ = 0;  ///< round-robin assignment cursor
   std::shared_ptr<WriteAheadLog> wal_;
+  util::RetryPolicy retry_policy_;
 };
 
+/// Supplies the TableConfig a table should be recreated with during
+/// recovery. Iterator settings (combiners, filters) are code, not log
+/// records, so recovery cannot reconstruct them from the WAL alone — a
+/// provider lets the caller reattach them at creation time, BEFORE
+/// replayed mutations flow through flush/compaction stacks. The default
+/// provider returns TableConfig{}.
+using TableConfigProvider = std::function<TableConfig(const std::string&)>;
+
 /// Crash recovery: replays the WAL at `path` into `db` (normally a
-/// fresh instance). Tables are recreated with default configs —
-/// iterator settings are code, not log records; reattach them after
-/// recovery. Returns the number of records replayed. The WAL is NOT
-/// attached to `db`; attach it explicitly to continue logging.
-std::size_t recover_from_wal(Instance& db, const std::string& path);
+/// fresh instance), honoring every journaled record kind (create,
+/// delete, clone, splits, mutations). Tables are recreated with
+/// `config_for` (default configs when omitted) — iterator settings
+/// remain code-side. Only records with seq >= `min_seq` are applied
+/// (checkpoint recovery passes the checkpoint's covered sequence).
+/// Returns the number of records applied. The WAL is NOT attached to
+/// `db`; attach it explicitly to continue logging.
+std::size_t recover_from_wal(Instance& db, const std::string& path,
+                             const TableConfigProvider& config_for = {},
+                             std::uint64_t min_seq = 0);
 
 }  // namespace graphulo::nosql

@@ -4,6 +4,7 @@
 // clients) that the Graphulo core executes GraphBLAS kernels against.
 
 #include "nosql/batch_writer.hpp"
+#include "nosql/checkpoint.hpp"
 #include "nosql/codec.hpp"
 #include "nosql/combiner.hpp"
 #include "nosql/filter_iterators.hpp"

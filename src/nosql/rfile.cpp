@@ -1,41 +1,21 @@
 #include "nosql/rfile.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cassert>
 #include <cstring>
 #include <fstream>
 #include <functional>
 
+#include "util/checksum.hpp"
+#include "util/fault.hpp"
+
 namespace graphulo::nosql {
+
+using util::crc32;
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x52464c32;  // "RFL2" (RFL1 + CRC trailer)
-
-// ---- CRC32 (IEEE 802.3, reflected) -------------------------------------
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-std::uint32_t crc32(const char* data, std::size_t len) {
-  static const auto table = make_crc_table();
-  std::uint32_t crc = 0xffffffffu;
-  for (std::size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu] ^
-          (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
-}
 
 // ---- payload (de)serialization -----------------------------------------
 
@@ -215,6 +195,7 @@ class RFileIterator : public SortedKVIterator {
       : file_(std::move(file)) {}
 
   void seek(const Range& range) override {
+    util::fault::point(util::fault::sites::kRFileSeek);
     pos_ = limit_ = 0;
     if (!file_->may_intersect(range)) return;  // pruned: exhausted
     const auto& cells = *file_->cells_;
@@ -321,6 +302,7 @@ std::vector<std::string> RFile::sample_rows(std::size_t n) const {
 // magic(4) | payload_len(8) | payload | crc32(payload)(4)
 
 bool RFile::write_to(const std::string& path) const {
+  util::fault::point(util::fault::sites::kRFileWrite);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   std::string payload;
@@ -348,6 +330,7 @@ bool RFile::write_to(const std::string& path) const {
 
 std::shared_ptr<RFile> RFile::read_from(const std::string& path,
                                         const RFileOptions& options) {
+  util::fault::point(util::fault::sites::kRFileRead);
   std::ifstream in(path, std::ios::binary);
   if (!in) return nullptr;
   std::uint32_t magic = 0;

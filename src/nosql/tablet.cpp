@@ -6,6 +6,8 @@
 
 #include "nosql/filter_iterators.hpp"
 #include "nosql/merge_iterator.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 
 namespace graphulo::nosql {
 
@@ -34,18 +36,29 @@ void Tablet::apply(const Mutation& mutation, Timestamp assigned_ts) {
     throw std::logic_error("Tablet::apply: row outside extent");
   }
   memtable_.apply(mutation, assigned_ts);
-  if (memtable_.entry_count() >= config_->flush_entries) {
-    flush_locked();
-    if (files_.size() >= config_->compaction_fanin) major_compact_locked();
-  }
+  maybe_compact_locked();
 }
 
 void Tablet::insert_cell(Cell cell) {
   std::lock_guard lock(mutex_);
   memtable_.insert(std::move(cell.key), std::move(cell.value));
-  if (memtable_.entry_count() >= config_->flush_entries) {
+  maybe_compact_locked();
+}
+
+void Tablet::maybe_compact_locked() {
+  if (memtable_.entry_count() < config_->flush_entries) return;
+  // Threshold-triggered compactions are opportunistic: a transient
+  // failure (injected or real) leaves the memtable intact — the write
+  // that got us here already succeeded — and the next write past the
+  // threshold retries the flush. Mirrors a tablet server whose minor
+  // compaction failed: data stays in memory + WAL, nothing is lost.
+  try {
     flush_locked();
     if (files_.size() >= config_->compaction_fanin) major_compact_locked();
+  } catch (const util::TransientError& e) {
+    GRAPHULO_WARN << "Tablet[" << extent_.start_row << "," << extent_.end_row
+                  << "): deferred flush/compaction failed transiently, will "
+                  << "retry on a later write: " << e.what();
   }
 }
 
@@ -56,6 +69,9 @@ void Tablet::flush() {
 
 void Tablet::flush_locked() {
   if (memtable_.empty()) return;
+  // Site fires before any state change: a failed flush leaves memtable
+  // and file set exactly as they were.
+  util::fault::point(util::fault::sites::kMemtableFlush);
   auto snapshot = memtable_.snapshot();
   IterPtr stack = std::make_unique<VectorIterator>(snapshot);
   stack = apply_scope_iterators(std::move(stack), *config_, kMincScope);
@@ -77,6 +93,8 @@ void Tablet::major_compact_locked() {
   // (table_apply / table_filter) and delete resolution depend on every
   // cell passing through the compaction stack.
   if (files_.empty()) return;
+  // Before any state change, like the flush site above.
+  util::fault::point(util::fault::sites::kTabletCompact);
   std::vector<IterPtr> children;
   children.reserve(files_.size());
   for (const auto& f : files_) children.push_back(f->iterator());

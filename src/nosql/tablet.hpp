@@ -50,7 +50,10 @@ class Tablet {
   /// Applies a mutation whose row must be inside this extent.
   /// Triggers a minor compaction (flush) when the memtable exceeds the
   /// configured threshold, and a major compaction when the file count
-  /// reaches the configured fan-in.
+  /// reaches the configured fan-in. A TRANSIENT failure of those
+  /// threshold-triggered compactions is contained (warned, memtable
+  /// kept, retried by a later write); the mutation itself has already
+  /// landed and apply() still succeeds.
   void apply(const Mutation& mutation, Timestamp assigned_ts);
 
   /// Inserts one pre-formed cell (compaction/move path).
@@ -87,6 +90,7 @@ class Tablet {
 
  private:
   IterPtr merged_sources_locked() const;  // requires mutex_ held
+  void maybe_compact_locked();  ///< threshold flush/compact, failure-contained
   void flush_locked();
   void major_compact_locked();
 

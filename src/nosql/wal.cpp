@@ -1,14 +1,15 @@
 #include "nosql/wal.hpp"
 
 #include <cstring>
-#include <sstream>
 #include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace graphulo::nosql {
 
 namespace {
 
-constexpr std::uint32_t kRecordMagic = 0x57414c31;  // "WAL1"
+constexpr std::uint32_t kRecordMagic = 0x57414c32;  // "WAL2" (WAL1 + seq)
 
 void put_string(std::string& buf, const std::string& s) {
   const auto len = static_cast<std::uint32_t>(s.size());
@@ -41,20 +42,34 @@ bool get_u64(const std::string& buf, std::size_t& pos, std::uint64_t& v) {
 /// Serializes a record body (everything after the magic + length).
 std::string encode_body(const WalRecord& record) {
   std::string body;
+  put_u64(body, record.seq);
   body.push_back(static_cast<char>(record.kind));
   put_string(body, record.table);
-  if (record.kind == WalRecord::Kind::kMutation) {
-    put_u64(body, static_cast<std::uint64_t>(record.assigned_ts));
-    put_string(body, record.mutation.row());
-    put_u64(body, record.mutation.updates().size());
-    for (const auto& u : record.mutation.updates()) {
-      put_string(body, u.family);
-      put_string(body, u.qualifier);
-      put_string(body, u.visibility);
-      put_u64(body, static_cast<std::uint64_t>(u.ts));
-      body.push_back(u.has_ts ? 1 : 0);
-      body.push_back(u.deleted ? 1 : 0);
-      put_string(body, u.value);
+  switch (record.kind) {
+    case WalRecord::Kind::kCreateTable:
+    case WalRecord::Kind::kDeleteTable:
+      break;
+    case WalRecord::Kind::kCloneTable:
+      put_string(body, record.aux);
+      break;
+    case WalRecord::Kind::kAddSplits:
+      put_u64(body, record.splits.size());
+      for (const auto& s : record.splits) put_string(body, s);
+      break;
+    case WalRecord::Kind::kMutation: {
+      put_u64(body, static_cast<std::uint64_t>(record.assigned_ts));
+      put_string(body, record.mutation.row());
+      put_u64(body, record.mutation.updates().size());
+      for (const auto& u : record.mutation.updates()) {
+        put_string(body, u.family);
+        put_string(body, u.qualifier);
+        put_string(body, u.visibility);
+        put_u64(body, static_cast<std::uint64_t>(u.ts));
+        body.push_back(u.has_ts ? 1 : 0);
+        body.push_back(u.deleted ? 1 : 0);
+        put_string(body, u.value);
+      }
+      break;
     }
   }
   return body;
@@ -63,12 +78,33 @@ std::string encode_body(const WalRecord& record) {
 /// Parses a record body; false on any truncation/corruption.
 bool decode_body(const std::string& body, WalRecord& record) {
   std::size_t pos = 0;
-  if (body.empty()) return false;
+  if (!get_u64(body, pos, record.seq)) return false;
+  if (pos >= body.size()) return false;
   const auto kind = static_cast<std::uint8_t>(body[pos++]);
-  if (kind < 1 || kind > 3) return false;
+  if (kind < 1 || kind > 5) return false;
   record.kind = static_cast<WalRecord::Kind>(kind);
   if (!get_string(body, pos, record.table)) return false;
-  if (record.kind != WalRecord::Kind::kMutation) return pos == body.size();
+  switch (record.kind) {
+    case WalRecord::Kind::kCreateTable:
+    case WalRecord::Kind::kDeleteTable:
+      return pos == body.size();
+    case WalRecord::Kind::kCloneTable:
+      if (!get_string(body, pos, record.aux)) return false;
+      return pos == body.size();
+    case WalRecord::Kind::kAddSplits: {
+      std::uint64_t count = 0;
+      if (!get_u64(body, pos, count)) return false;
+      record.splits.clear();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::string s;
+        if (!get_string(body, pos, s)) return false;
+        record.splits.push_back(std::move(s));
+      }
+      return pos == body.size();
+    }
+    case WalRecord::Kind::kMutation:
+      break;
+  }
 
   std::uint64_t ts = 0;
   std::string row;
@@ -104,35 +140,92 @@ bool decode_body(const std::string& body, WalRecord& record) {
   return pos == body.size();
 }
 
+/// Scans an existing log for the sequence number after its last intact
+/// record (1 for a missing/empty/garbage file).
+std::uint64_t scan_next_seq(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 1;
+  std::uint64_t next = 1;
+  while (true) {
+    std::uint32_t magic = 0, len = 0;
+    if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic))) break;
+    if (magic != kRecordMagic) break;
+    if (!in.read(reinterpret_cast<char*>(&len), sizeof(len))) break;
+    if (len < sizeof(std::uint64_t)) break;
+    std::uint64_t seq = 0;
+    if (!in.read(reinterpret_cast<char*>(&seq), sizeof(seq))) break;
+    if (!in.seekg(static_cast<std::streamoff>(len - sizeof(seq)),
+                  std::ios::cur)) {
+      break;
+    }
+    // A torn record after this point invalidates this seq too, but the
+    // successor estimate only has to be PAST every replayable record,
+    // which "last header seq + 1" always is.
+    next = seq + 1;
+  }
+  return next;
+}
+
 }  // namespace
 
 WriteAheadLog::WriteAheadLog(const std::string& path)
-    : path_(path), out_(path, std::ios::binary | std::ios::app) {
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::app),
+      next_seq_(scan_next_seq(path)) {
   if (!out_) throw std::runtime_error("WriteAheadLog: cannot open " + path);
 }
 
-void WriteAheadLog::write_record(const WalRecord& record) {
+void WriteAheadLog::write_record(WalRecord record) {
+  // Injection site sits BEFORE any byte is written (and before the
+  // sequence number is consumed): a transient append failure leaves the
+  // log untouched, so the caller's retry appends the record exactly
+  // once.
+  util::fault::point(util::fault::sites::kWalAppend);
+  std::lock_guard lock(mutex_);
+  record.seq = next_seq_;
   const std::string body = encode_body(record);
   const auto len = static_cast<std::uint32_t>(body.size());
-  std::lock_guard lock(mutex_);
   out_.write(reinterpret_cast<const char*>(&kRecordMagic),
              sizeof(kRecordMagic));
   out_.write(reinterpret_cast<const char*>(&len), sizeof(len));
   out_.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out_) {
+    out_.clear();
+    throw util::FatalError("WriteAheadLog: append I/O failure on " + path_);
+  }
+  ++next_seq_;
 }
 
 void WriteAheadLog::log_create_table(const std::string& table) {
   WalRecord r;
   r.kind = WalRecord::Kind::kCreateTable;
   r.table = table;
-  write_record(r);
+  write_record(std::move(r));
 }
 
 void WriteAheadLog::log_delete_table(const std::string& table) {
   WalRecord r;
   r.kind = WalRecord::Kind::kDeleteTable;
   r.table = table;
-  write_record(r);
+  write_record(std::move(r));
+}
+
+void WriteAheadLog::log_clone_table(const std::string& source,
+                                    const std::string& target) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kCloneTable;
+  r.table = source;
+  r.aux = target;
+  write_record(std::move(r));
+}
+
+void WriteAheadLog::log_add_splits(const std::string& table,
+                                   const std::vector<std::string>& splits) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kAddSplits;
+  r.table = table;
+  r.splits = splits;
+  write_record(std::move(r));
 }
 
 void WriteAheadLog::log_mutation(const std::string& table,
@@ -143,19 +236,37 @@ void WriteAheadLog::log_mutation(const std::string& table,
   r.table = table;
   r.assigned_ts = assigned_ts;
   r.mutation = mutation;
-  write_record(r);
+  write_record(std::move(r));
 }
 
 void WriteAheadLog::sync() {
+  util::fault::point(util::fault::sites::kWalSync);
   std::lock_guard lock(mutex_);
   out_.flush();
 }
 
+void WriteAheadLog::rotate() {
+  std::lock_guard lock(mutex_);
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("WriteAheadLog: cannot rotate " + path_);
+  }
+  // next_seq_ keeps counting: post-rotation records sort after the
+  // checkpoint's covered sequence.
+}
+
+std::uint64_t WriteAheadLog::next_seq() const {
+  std::lock_guard lock(mutex_);
+  return next_seq_;
+}
+
 std::size_t replay_wal(const std::string& path,
-                       const std::function<void(const WalRecord&)>& apply) {
+                       const std::function<void(const WalRecord&)>& apply,
+                       std::uint64_t min_seq) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return 0;
-  std::size_t replayed = 0;
+  std::size_t delivered = 0;
   while (true) {
     std::uint32_t magic = 0, len = 0;
     if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic))) break;
@@ -165,10 +276,12 @@ std::size_t replay_wal(const std::string& path,
     if (!in.read(body.data(), static_cast<std::streamsize>(len))) break;
     WalRecord record;
     if (!decode_body(body, record)) break;
-    apply(record);
-    ++replayed;
+    if (record.seq >= min_seq) {
+      apply(record);
+      ++delivered;
+    }
   }
-  return replayed;
+  return delivered;
 }
 
 }  // namespace graphulo::nosql

@@ -1,17 +1,25 @@
 #pragma once
 // Write-ahead log: durability for the in-process store. Every catalog
-// event (create/delete table) and every mutation is appended as a
-// length-prefixed record before it is applied; recovery replays the log
-// into a fresh instance. There is no checkpoint/truncation — the log
-// retains the full history (RFiles live in memory in this simulation,
-// so the log is the single durable artifact). Torn tails — a record cut
-// off mid-write by a crash — are detected and ignored.
+// event (create/delete/clone table, split additions) and every mutation
+// is appended as a length-prefixed, sequence-numbered record before it
+// is applied; recovery replays the log into a fresh instance. Torn
+// tails — a record cut off mid-write by a crash — are detected and
+// ignored.
+//
+// Checkpointing (see nosql/checkpoint.hpp) bounds replay: a checkpoint
+// snapshots the live instance and then rotate() truncates the log, so
+// recovery reads checkpoint + post-checkpoint tail instead of the full
+// write history. Sequence numbers are monotonic ACROSS rotations; the
+// checkpoint records the sequence it covers up to, which makes replay
+// idempotent even if a crash lands between the checkpoint rename and
+// the log truncation.
 
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "nosql/mutation.hpp"
 
@@ -23,14 +31,21 @@ struct WalRecord {
     kCreateTable = 1,
     kDeleteTable = 2,
     kMutation = 3,
+    kCloneTable = 4,  ///< table = source, aux = clone target
+    kAddSplits = 5,   ///< splits = the added split rows
   };
   Kind kind;
+  std::uint64_t seq = 0;  ///< monotonic record sequence number
   std::string table;
-  Timestamp assigned_ts = 0;  ///< for mutations
-  Mutation mutation{""};      ///< valid when kind == kMutation
+  std::string aux;                  ///< clone target for kCloneTable
+  std::vector<std::string> splits;  ///< for kAddSplits
+  Timestamp assigned_ts = 0;        ///< for mutations
+  Mutation mutation{""};            ///< valid when kind == kMutation
 };
 
-/// Append-only log writer (thread-safe).
+/// Append-only log writer (thread-safe). Each record is assigned the
+/// next sequence number; on open of an existing log the sequence
+/// continues after the last intact record.
 class WriteAheadLog {
  public:
   /// Opens (appends to) `path`. Throws on I/O failure.
@@ -38,27 +53,43 @@ class WriteAheadLog {
 
   void log_create_table(const std::string& table);
   void log_delete_table(const std::string& table);
+  void log_clone_table(const std::string& source, const std::string& target);
+  void log_add_splits(const std::string& table,
+                      const std::vector<std::string>& splits);
   void log_mutation(const std::string& table, const Mutation& mutation,
                     Timestamp assigned_ts);
 
   /// Flushes buffered records to the OS.
   void sync();
 
+  /// Truncates the log file after a checkpoint has captured its
+  /// contents. Sequence numbers keep counting from where they were, so
+  /// records written after rotation sort after the checkpoint. Callers
+  /// must quiesce writers around checkpoint+rotate.
+  void rotate();
+
+  /// The sequence number the NEXT record will receive.
+  std::uint64_t next_seq() const;
+
   const std::string& path() const noexcept { return path_; }
 
  private:
-  void write_record(const WalRecord& record);
+  void write_record(WalRecord record);
 
   std::string path_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::ofstream out_;
+  std::uint64_t next_seq_ = 1;
 };
 
-/// Replays a log, invoking `apply` per intact record in order. Returns
-/// the number of records replayed. A torn or corrupt tail terminates
-/// replay cleanly (everything before it is delivered). A missing file
-/// yields 0.
+/// Replays a log, invoking `apply` per intact record with
+/// record.seq >= `min_seq`, in order. Returns the number of records
+/// DELIVERED (records below min_seq are skipped silently — they are
+/// covered by the checkpoint that supplied min_seq). A torn or corrupt
+/// tail terminates replay cleanly (everything intact before it is
+/// still delivered). A missing file yields 0.
 std::size_t replay_wal(const std::string& path,
-                       const std::function<void(const WalRecord&)>& apply);
+                       const std::function<void(const WalRecord&)>& apply,
+                       std::uint64_t min_seq = 0);
 
 }  // namespace graphulo::nosql

@@ -1,0 +1,13 @@
+#pragma once
+// CRC32 (IEEE 802.3, reflected) integrity checksum shared by the
+// on-disk formats (RFile, WAL checkpoint).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphulo::util {
+
+/// CRC32 of `len` bytes at `data`.
+std::uint32_t crc32(const char* data, std::size_t len) noexcept;
+
+}  // namespace graphulo::util
