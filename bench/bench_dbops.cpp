@@ -5,10 +5,14 @@
 // is measurable: ingest/scan rate vs tablet-server count, the effect of
 // pre-splitting, and the LSM knobs (flush threshold, compaction fan-in).
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "gen/rmat.hpp"
 #include "nosql/nosql.hpp"
@@ -58,10 +62,181 @@ std::pair<double, double> run_workload(int servers, int splits,
   return {ingest_rate, scan_rate};
 }
 
+const char* mode_name(nosql::WalSyncMode m) {
+  switch (m) {
+    case nosql::WalSyncMode::kPerAppend: return "per_append";
+    case nosql::WalSyncMode::kGroup: return "group";
+    case nosql::WalSyncMode::kInterval: return "interval";
+  }
+  return "?";
+}
+
+/// One point of the asynchronous-write-path sweep: `writers` threads
+/// apply mutations through a WAL in the given sync mode with background
+/// compactions on, then the table is flushed and scanned twice to
+/// exercise the block cache.
+struct IngestPoint {
+  double cells_per_s = 0.0;
+  double p50_us = 0.0;  ///< per-apply latency, microseconds
+  double p99_us = 0.0;
+  double scan_rate = 0.0;  ///< second (cache-warm) scan
+  double hit_rate = 0.0;   ///< cache hits / (hits + misses)
+  nosql::TabletStats agg;  ///< summed tablet stats (cache counters once)
+};
+
+IngestPoint run_ingest_point(int writers, nosql::WalSyncMode mode,
+                             bool cache_on, std::size_t total_cells,
+                             std::size_t cache_bytes) {
+  nosql::Instance db(2);
+  const std::string wal_path = "/tmp/graphulo_bench_ingest.wal";
+  std::remove(wal_path.c_str());
+  nosql::TableConfig cfg;
+  cfg.flush_entries = std::max<std::size_t>(1000, total_cells / 8);
+  cfg.wal.sync_mode = mode;
+  cfg.rfile.cache_bytes = cache_on ? cache_bytes : 0;
+  db.attach_wal(std::make_shared<nosql::WriteAheadLog>(wal_path, cfg.wal));
+  auto sched = std::make_shared<nosql::CompactionScheduler>(2);
+  db.attach_compaction_scheduler(sched);
+  db.create_table("t", cfg);
+
+  const std::size_t per_writer = total_cells / static_cast<std::size_t>(writers);
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(writers));
+  std::vector<std::thread> threads;
+  util::Timer t;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      auto& lat = latencies[static_cast<std::size_t>(w)];
+      lat.reserve(per_writer);
+      for (std::size_t i = 0; i < per_writer; ++i) {
+        const std::size_t n = static_cast<std::size_t>(w) * per_writer + i;
+        nosql::Mutation m(util::zero_pad(n % 1000, 4));
+        m.put("f", util::zero_pad(n / 1000, 6), nosql::encode_double(1.0));
+        util::Timer one;
+        db.apply("t", m);
+        lat.push_back(one.seconds() * 1e6);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  db.sync_wal();
+  const double elapsed = t.seconds();
+
+  IngestPoint p;
+  p.cells_per_s =
+      static_cast<double>(per_writer * static_cast<std::size_t>(writers)) /
+      elapsed;
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  const auto summary = util::summarize(all);
+  p.p50_us = summary.p50;
+  p.p99_us = summary.p99;
+
+  // Push everything into files, then scan twice: the second pass
+  // re-reads blocks the first inserted, so hits accumulate when
+  // caching is on.
+  db.flush("t");
+  db.quiesce_compactions();
+  for (int rep = 0; rep < 2; ++rep) {
+    nosql::Scanner scanner(db, "t");
+    std::size_t seen = 0;
+    util::Timer st;
+    scanner.for_each(
+        [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
+    p.scan_rate = static_cast<double>(seen) / st.seconds();
+  }
+  for (auto& [tablet, sid] : db.tablets_for_range("t", nosql::Range::all())) {
+    const auto s = tablet->stats();
+    p.agg.minor_compactions += s.minor_compactions;
+    p.agg.major_compactions += s.major_compactions;
+    p.agg.compactions_queued += s.compactions_queued;
+    p.agg.compactions_completed += s.compactions_completed;
+    p.agg.file_count += s.file_count;
+    // The cache is table-wide: every tablet reports the same counters,
+    // so assign rather than sum.
+    p.agg.cache_hits = s.cache_hits;
+    p.agg.cache_misses = s.cache_misses;
+    p.agg.cache_evictions = s.cache_evictions;
+  }
+  const double touches =
+      static_cast<double>(p.agg.cache_hits + p.agg.cache_misses);
+  p.hit_rate =
+      touches > 0 ? static_cast<double>(p.agg.cache_hits) / touches : 0.0;
+  std::remove(wal_path.c_str());
+  return p;
+}
+
+/// The asynchronous-write-path sweep: writers x WAL sync mode x cache.
+/// Writes BENCH_ingest.json. `total_cells` is per configuration.
+void run_ingest_sweep(std::size_t total_cells, std::size_t cache_bytes) {
+  util::TablePrinter table({"writers", "sync", "cache", "ingest", "p50_us",
+                            "p99_us", "bg_compactions", "hit_rate"});
+  std::string json = "{\"bench\": \"ingest_sweep\", \"cells\": " +
+                     std::to_string(total_cells) + ", \"results\": [";
+  bool first = true;
+  double per_append_8w = 0.0, group_8w = 0.0;
+  for (int writers : {1, 8}) {
+    for (auto mode : {nosql::WalSyncMode::kPerAppend,
+                      nosql::WalSyncMode::kGroup,
+                      nosql::WalSyncMode::kInterval}) {
+      for (bool cache_on : {false, true}) {
+        const auto p = run_ingest_point(writers, mode, cache_on, total_cells,
+                                        cache_bytes);
+        if (writers == 8 && !cache_on) {
+          if (mode == nosql::WalSyncMode::kPerAppend) per_append_8w = p.cells_per_s;
+          if (mode == nosql::WalSyncMode::kGroup) group_8w = p.cells_per_s;
+        }
+        table.add_row(
+            {std::to_string(writers), mode_name(mode), cache_on ? "on" : "off",
+             util::human_rate(p.cells_per_s),
+             util::TablePrinter::fmt(p.p50_us, 1),
+             util::TablePrinter::fmt(p.p99_us, 1),
+             std::to_string(p.agg.compactions_completed) + "/" +
+                 std::to_string(p.agg.compactions_queued),
+             cache_on ? util::TablePrinter::fmt(p.hit_rate, 3) : "-"});
+        if (!first) json += ", ";
+        first = false;
+        json += "{\"writers\": " + std::to_string(writers) +
+                ", \"sync_mode\": \"" + mode_name(mode) +
+                "\", \"cache\": " + (cache_on ? "true" : "false") +
+                ", \"cells_per_s\": " + std::to_string(p.cells_per_s) +
+                ", \"apply_p50_us\": " + util::TablePrinter::fmt(p.p50_us, 2) +
+                ", \"apply_p99_us\": " + util::TablePrinter::fmt(p.p99_us, 2) +
+                ", \"scan_cells_per_s\": " + std::to_string(p.scan_rate) +
+                ", \"cache_hit_rate\": " + util::TablePrinter::fmt(p.hit_rate, 4) +
+                ", \"cache_evictions\": " + std::to_string(p.agg.cache_evictions) +
+                ", \"bg_compactions_completed\": " +
+                std::to_string(p.agg.compactions_completed) + "}";
+      }
+    }
+  }
+  const double speedup = per_append_8w > 0 ? group_8w / per_append_8w : 0.0;
+  json += "], \"group_vs_per_append_8w\": " +
+          util::TablePrinter::fmt(speedup, 2) + "}\n";
+  table.print("Async write path: WAL sync mode x writers x block cache (" +
+              std::to_string(total_cells) + " cells each)");
+  std::printf("group vs per_append at 8 writers: %.2fx\n", speedup);
+  std::ofstream("BENCH_ingest.json") << json;
+  std::printf("wrote BENCH_ingest.json\n\n");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  if (smoke) {
+    // Tiny sweep for sanitizer CI: every sync mode, background
+    // compactions, and a cache small enough to evict.
+    run_ingest_sweep(1600, 16 * 1024);
+    return 0;
+  }
+
   const std::size_t kCells = 200000;
+
+  // Cache sized to hold the working set: a sequential re-scan against a
+  // smaller-than-data LRU evicts every block before its re-read (the
+  // classic scan-thrash pattern, visible in --smoke's tiny cache).
+  run_ingest_sweep(16000, 8 * 1024 * 1024);
 
   {
     util::TablePrinter table({"servers", "splits", "ingest", "scan"});

@@ -193,6 +193,11 @@ CheckpointStats write_checkpoint(Instance& db,
     throw std::logic_error("write_checkpoint: instance has no attached WAL");
   }
   CheckpointStats stats;
+  // Settle background compactions first so the snapshot drains a stable
+  // {memtable, frozen, files} set instead of racing installs mid-encode.
+  // (The encode would still be CORRECT mid-race — tablet snapshots are
+  // consistent — but quiescing keeps checkpoint sizes deterministic.)
+  db.quiesce_compactions();
   const std::uint64_t covers_seq = wal->next_seq();
   const std::string tmp_path = checkpoint_path + ".tmp";
   // Encode inside the retry scope: draining the tablets is a read-only

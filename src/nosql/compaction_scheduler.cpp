@@ -1,0 +1,62 @@
+#include "nosql/compaction_scheduler.hpp"
+
+#include <exception>
+
+#include "util/log.hpp"
+
+namespace graphulo::nosql {
+
+CompactionScheduler::CompactionScheduler(std::size_t threads)
+    : pool_(threads == 0 ? 1 : threads) {}
+
+CompactionScheduler::~CompactionScheduler() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  drain();
+  // pool_ (declared last) is destroyed first, joining the workers.
+}
+
+bool CompactionScheduler::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return false;
+    ++queued_;
+    ++in_flight_;
+  }
+  try {
+    pool_.submit([this, task = std::move(task)] {
+      try {
+        task();
+      } catch (const std::exception& e) {
+        GRAPHULO_WARN << "CompactionScheduler: task failed: " << e.what();
+      } catch (...) {
+        GRAPHULO_WARN << "CompactionScheduler: task failed with unknown error";
+      }
+      std::lock_guard lock(mutex_);
+      ++completed_;
+      --in_flight_;
+      idle_cv_.notify_all();
+    });
+  } catch (const std::exception&) {
+    // Pool refused (stopped): roll the accounting back.
+    std::lock_guard lock(mutex_);
+    --queued_;
+    --in_flight_;
+    return false;
+  }
+  return true;
+}
+
+void CompactionScheduler::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+CompactionSchedulerStats CompactionScheduler::stats() const {
+  std::lock_guard lock(mutex_);
+  return {queued_, completed_, in_flight_};
+}
+
+}  // namespace graphulo::nosql

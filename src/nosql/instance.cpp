@@ -21,8 +21,9 @@ void Instance::create_table(const std::string& name, TableConfig config) {
     throw std::invalid_argument("create_table: table exists: " + name);
   }
   auto table = std::make_unique<Table>(name, std::move(config));
-  auto tablet =
-      std::make_shared<Tablet>(TabletExtent{"", ""}, &table->config());
+  auto tablet = std::make_shared<Tablet>(TabletExtent{"", ""},
+                                         &table->config(), table->cache(),
+                                         scheduler_.get());
   const int sid = next_server_;
   next_server_ = (next_server_ + 1) % static_cast<int>(servers_.size());
   servers_[static_cast<std::size_t>(sid)]->host(tablet);
@@ -65,7 +66,8 @@ void Instance::clone_table(const std::string& source,
   for (std::size_t i = 0; i < src.tablets().size(); ++i) {
     const auto& src_tablet = src.tablets()[i];
     auto tablet = std::make_shared<Tablet>(src_tablet->extent(),
-                                           &table->config());
+                                           &table->config(), table->cache(),
+                                           scheduler_.get());
     auto stack = src_tablet->raw_stack();
     for (auto& cell : drain(*stack, Range::all())) {
       tablet->insert_cell(std::move(cell));
@@ -84,6 +86,17 @@ void Instance::clone_table(const std::string& source,
   if (wal_) {
     util::with_retries("Instance::clone_table: journal", retry_policy_,
                        [&] { wal_->log_clone_table(source, target); });
+  }
+}
+
+void Instance::attach_compaction_scheduler(
+    std::shared_ptr<CompactionScheduler> s) {
+  std::unique_lock lock(catalog_mutex_);
+  scheduler_ = std::move(s);
+  for (const auto& [name, table] : tables_) {
+    for (const auto& tablet : table->tablets_) {
+      tablet->set_compaction_scheduler(scheduler_.get());
+    }
   }
 }
 
@@ -142,8 +155,9 @@ void Instance::add_splits(const std::string& name,
   std::vector<int> server_of;
   std::string prev;
   auto add_tablet = [&](const std::string& lo, const std::string& hi) {
-    auto tablet =
-        std::make_shared<Tablet>(TabletExtent{lo, hi}, &table.config());
+    auto tablet = std::make_shared<Tablet>(TabletExtent{lo, hi},
+                                           &table.config(), table.cache(),
+                                           scheduler_.get());
     const int sid = next_server_;
     next_server_ = (next_server_ + 1) % static_cast<int>(servers_.size());
     servers_[static_cast<std::size_t>(sid)]->host(tablet);

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "nosql/block_cache.hpp"
+#include "nosql/compaction_scheduler.hpp"
 #include "nosql/mutation.hpp"
 #include "nosql/table_config.hpp"
 #include "nosql/tablet.hpp"
@@ -23,12 +25,18 @@
 namespace graphulo::nosql {
 
 /// One table: config + tablets sorted by extent, each assigned to a
-/// tablet server round-robin.
+/// tablet server round-robin. When the config asks for RFile block
+/// caching (rfile.cache_bytes > 0) the table owns one shared
+/// BlockCache that every tablet's file iterators read through.
 class Table {
  public:
   Table(std::string name, TableConfig config)
       : name_(std::move(name)),
-        config_(std::make_unique<TableConfig>(std::move(config))) {}
+        config_(std::make_unique<TableConfig>(std::move(config))) {
+    if (config_->rfile.cache_bytes > 0) {
+      cache_ = std::make_unique<BlockCache>(config_->rfile.cache_bytes);
+    }
+  }
 
   const std::string& name() const noexcept { return name_; }
   TableConfig& config() noexcept { return *config_; }
@@ -39,11 +47,15 @@ class Table {
     return tablets_;
   }
 
+  /// The table-wide RFile block cache; nullptr when caching is off.
+  BlockCache* cache() const noexcept { return cache_.get(); }
+
  private:
   friend class Instance;
 
   std::string name_;
   std::unique_ptr<TableConfig> config_;  // stable address for tablets
+  std::unique_ptr<BlockCache> cache_;    // stable address for tablets
   std::vector<std::shared_ptr<Tablet>> tablets_;
   std::vector<int> tablet_server_of_;  ///< parallel to tablets_
 };
@@ -136,6 +148,27 @@ class Instance {
   /// The attached WAL (nullptr when none).
   const std::shared_ptr<WriteAheadLog>& wal() const noexcept { return wal_; }
 
+  // -- background compactions ----------------------------------------------
+
+  /// Attaches a background compaction scheduler: from now on (and for
+  /// every existing tablet) threshold flushes and fan-in majors run on
+  /// the scheduler's thread pool instead of inline under the write.
+  /// Pass nullptr to detach and return to inline compaction.
+  void attach_compaction_scheduler(std::shared_ptr<CompactionScheduler> s);
+
+  /// The attached scheduler (nullptr when compactions run inline).
+  const std::shared_ptr<CompactionScheduler>& compaction_scheduler()
+      const noexcept {
+    return scheduler_;
+  }
+
+  /// Blocks until every queued/in-flight background compaction has
+  /// finished (no-op without a scheduler). Call before checkpointing or
+  /// any operation wanting a settled file set.
+  void quiesce_compactions() {
+    if (scheduler_) scheduler_->drain();
+  }
+
   /// Retry policy for transient failures in apply/sync/flush/compact.
   void set_retry_policy(util::RetryPolicy policy) noexcept {
     retry_policy_ = policy;
@@ -199,6 +232,7 @@ class Instance {
   std::atomic<Timestamp> clock_{0};
   int next_server_ = 0;  ///< round-robin assignment cursor
   std::shared_ptr<WriteAheadLog> wal_;
+  std::shared_ptr<CompactionScheduler> scheduler_;
   util::RetryPolicy retry_policy_;
 };
 

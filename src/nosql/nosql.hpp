@@ -4,9 +4,11 @@
 // clients) that the Graphulo core executes GraphBLAS kernels against.
 
 #include "nosql/batch_writer.hpp"
+#include "nosql/block_cache.hpp"
 #include "nosql/checkpoint.hpp"
 #include "nosql/codec.hpp"
 #include "nosql/combiner.hpp"
+#include "nosql/compaction_scheduler.hpp"
 #include "nosql/filter_iterators.hpp"
 #include "nosql/instance.hpp"
 #include "nosql/iterator.hpp"
@@ -21,3 +23,4 @@
 #include "nosql/tablet_server.hpp"
 #include "nosql/visibility.hpp"
 #include "nosql/wal.hpp"
+#include "nosql/wal_options.hpp"

@@ -1,11 +1,13 @@
 #include "nosql/rfile.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <fstream>
 #include <functional>
 
+#include "nosql/block_cache.hpp"
 #include "util/checksum.hpp"
 #include "util/fault.hpp"
 
@@ -85,6 +87,8 @@ const std::string* single_row_of(const Range& range) {
 // ---- construction -------------------------------------------------------
 
 RFile::RFile(std::vector<Cell> cells, const RFileOptions& options) {
+  static std::atomic<std::uint64_t> next_file_id{1};
+  file_id_ = next_file_id.fetch_add(1, std::memory_order_relaxed);
   for (const auto& c : cells) {
     bytes_ += c.key.row.size() + c.key.family.size() + c.key.qualifier.size() +
               c.key.visibility.size() + c.value.size() + sizeof(Key);
@@ -106,10 +110,24 @@ std::shared_ptr<RFile> RFile::from_sorted(std::vector<Cell> cells,
 
 void RFile::build_index(const RFileOptions& options) {
   const auto& cells = *cells_;
-  const std::size_t stride = std::max<std::size_t>(1, options.index_stride);
-  index_.reserve(cells.size() / stride + 1);
-  for (std::size_t i = 0; i < cells.size(); i += stride) index_.push_back(i);
-  bytes_ += index_.size() * sizeof(std::size_t);
+  stride_ = std::max<std::size_t>(1, options.index_stride);
+  index_.reserve(cells.size() / stride_ + 1);
+  block_bytes_.reserve(cells.size() / stride_ + 1);
+  for (std::size_t i = 0; i < cells.size(); i += stride_) {
+    index_.push_back(i);
+    // Byte charge of the data block [i, i + stride): what this block
+    // costs the block cache while resident.
+    std::size_t charge = 0;
+    const std::size_t end = std::min(cells.size(), i + stride_);
+    for (std::size_t j = i; j < end; ++j) {
+      const Cell& c = cells[j];
+      charge += c.key.row.size() + c.key.family.size() +
+                c.key.qualifier.size() + c.key.visibility.size() +
+                c.value.size() + sizeof(Cell);
+    }
+    block_bytes_.push_back(charge);
+  }
+  bytes_ += (index_.size() + block_bytes_.size()) * sizeof(std::size_t);
 }
 
 void RFile::build_bloom(const RFileOptions& options) {
@@ -191,8 +209,9 @@ std::size_t RFile::lower_bound_pos(const Key& key) const {
 /// sparse block index to narrow in-range seeks.
 class RFileIterator : public SortedKVIterator {
  public:
-  explicit RFileIterator(std::shared_ptr<const RFile> file)
-      : file_(std::move(file)) {}
+  explicit RFileIterator(std::shared_ptr<const RFile> file,
+                         BlockCache* cache = nullptr)
+      : file_(std::move(file)), cache_(cache) {}
 
   void seek(const Range& range) override {
     util::fault::point(util::fault::sites::kRFileSeek);
@@ -216,6 +235,11 @@ class RFileIterator : public SortedKVIterator {
       limit_ = cells.size();
     }
     if (limit_ < pos_) limit_ = pos_;
+    if (cache_ && pos_ < limit_) {
+      // The seek landed inside a block: that block is the first read.
+      block_end_ = pos_ - pos_ % file_->block_stride();
+      touch_through(pos_);
+    }
   }
 
   bool has_top() const override { return pos_ < limit_; }
@@ -223,7 +247,10 @@ class RFileIterator : public SortedKVIterator {
   const Value& top_value() const override {
     return (*file_->cells_)[pos_].value;
   }
-  void next() override { ++pos_; }
+  void next() override {
+    ++pos_;
+    if (cache_ && pos_ < limit_) touch_through(pos_);
+  }
 
   std::size_t next_block(CellBlock& out, std::size_t max) override {
     const auto& cells = *file_->cells_;
@@ -233,6 +260,7 @@ class RFileIterator : public SortedKVIterator {
       out.append(c.key, c.value);
     }
     pos_ += n;
+    if (cache_ && n > 0) touch_through(std::min(pos_, limit_ - 1));
     return n;
   }
 
@@ -257,17 +285,38 @@ class RFileIterator : public SortedKVIterator {
         std::partition_point(base + lo, base + hi, within) - base);
     for (std::size_t i = 0; i < n; ++i) out.append(base[i].key, base[i].value);
     pos_ += n;
+    if (cache_ && n > 0) touch_through(std::min(pos_, limit_ - 1));
     return n;
   }
 
  private:
+  /// Pulls every block covering positions up to `last` (inclusive)
+  /// through the cache. Iteration is forward-only, so `block_end_`
+  /// (end position of the newest touched block) makes each block cost
+  /// one cache touch per scan pass.
+  void touch_through(std::size_t last) {
+    const std::size_t stride = file_->block_stride();
+    while (block_end_ <= last) {
+      const std::size_t block = block_end_ / stride;
+      cache_->touch(file_->file_id(), block, file_->cells_,
+                    file_->block_charge(block));
+      block_end_ += stride;
+    }
+  }
+
   std::shared_ptr<const RFile> file_;
+  BlockCache* cache_ = nullptr;
   std::size_t pos_ = 0;
   std::size_t limit_ = 0;
+  std::size_t block_end_ = 0;  ///< first position past the touched blocks
 };
 
 IterPtr RFile::iterator() const {
   return std::make_unique<RFileIterator>(shared_from_this());
+}
+
+IterPtr RFile::iterator(BlockCache* cache) const {
+  return std::make_unique<RFileIterator>(shared_from_this(), cache);
 }
 
 // ---- sampling -----------------------------------------------------------

@@ -16,15 +16,22 @@
 
 namespace graphulo::nosql {
 
+class BlockCache;
+
 /// Construction knobs for RFile acceleration structures.
 struct RFileOptions {
   /// One sparse-index entry every `index_stride` cells. The index
   /// narrows seeks to a single stride window before the final search.
+  /// Also the data-block granularity the block cache operates on.
   std::size_t index_stride = 128;
   /// Bits per distinct row in the row Bloom filter; 0 disables the
   /// filter (seek pruning then falls back to first/last-key bounds
   /// only).
   std::size_t bloom_bits_per_row = 10;
+  /// Byte budget for the table's RFile block cache (see
+  /// nosql/block_cache.hpp). 0 disables caching entirely — iterators
+  /// never touch a cache and pay zero overhead.
+  std::size_t cache_bytes = 0;
 };
 
 /// One immutable sorted cell file.
@@ -48,6 +55,22 @@ class RFile : public std::enable_shared_from_this<RFile> {
   /// key bounds or, for single-row ranges, the row Bloom filter prove
   /// the target absent.
   IterPtr iterator() const;
+
+  /// Same, but every data block the iterator reads is pulled through
+  /// `cache` (see nosql/block_cache.hpp). `cache == nullptr` behaves
+  /// exactly like iterator().
+  IterPtr iterator(BlockCache* cache) const;
+
+  /// Process-unique id of this file, the cache key namespace.
+  std::uint64_t file_id() const noexcept { return file_id_; }
+
+  /// Data-block geometry for the cache: cells per block and per-block
+  /// approximate byte charges.
+  std::size_t block_stride() const noexcept { return stride_; }
+  std::size_t block_count() const noexcept { return block_bytes_.size(); }
+  std::size_t block_charge(std::size_t block) const {
+    return block_bytes_[block];
+  }
 
   /// False when no cell of this file can lie inside `range` (bounds
   /// check + row Bloom filter for single-row ranges). Conservative:
@@ -92,8 +115,11 @@ class RFile : public std::enable_shared_from_this<RFile> {
   void build_bloom(const RFileOptions& options);
 
   std::shared_ptr<const std::vector<Cell>> cells_;
+  std::uint64_t file_id_ = 0;             ///< process-unique
   std::size_t bytes_ = 0;
+  std::size_t stride_ = 1;                ///< cells per data block
   std::vector<std::size_t> index_;        ///< cell positions 0, N, 2N, ...
+  std::vector<std::size_t> block_bytes_;  ///< per-block byte charges
   std::vector<std::uint64_t> bloom_;      ///< row Bloom bits; empty = off
   std::size_t bloom_bits_ = 0;
 };

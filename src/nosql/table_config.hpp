@@ -9,6 +9,7 @@
 
 #include "nosql/iterator.hpp"
 #include "nosql/rfile.hpp"
+#include "nosql/wal_options.hpp"
 
 namespace graphulo::nosql {
 
@@ -36,6 +37,13 @@ struct TableConfig {
   std::size_t flush_entries = 100000;
   /// Major compaction trigger: merge when a tablet holds this many files.
   std::size_t compaction_fanin = 10;
+  /// Hard ceiling on a tablet's file count when a background
+  /// CompactionScheduler is attached: writers block (back-pressure)
+  /// until a major compaction brings the count back down.
+  std::size_t max_tablet_files = 64;
+  /// WAL durability knobs (sync mode, group-commit batch limits) for
+  /// instances whose WriteAheadLog is built from this config.
+  WalOptions wal;
   /// Keep only the newest version of each cell (disable when an attached
   /// combiner needs to see every version).
   bool versioning = true;

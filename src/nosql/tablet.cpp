@@ -1,7 +1,9 @@
 #include "nosql/tablet.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
+#include <limits>
 #include <stdexcept>
 
 #include "nosql/filter_iterators.hpp"
@@ -13,11 +15,16 @@ namespace graphulo::nosql {
 
 namespace {
 
-/// Wraps `source` with every attached iterator matching `scope`,
+/// Ceiling on frozen memtables per tablet before writers block: enough
+/// to ride out a slow flush, small enough to bound memory.
+constexpr std::size_t kMaxFrozenMemtables = 4;
+
+/// Wraps `source` with every iterator in `settings` matching `scope`,
 /// priority order (lowest first = closest to the data).
-IterPtr apply_scope_iterators(IterPtr source, const TableConfig& config,
+IterPtr apply_scope_iterators(IterPtr source,
+                              const std::vector<IteratorSetting>& settings,
                               unsigned scope) {
-  for (const auto& setting : config.iterators) {
+  for (const auto& setting : settings) {
     if (setting.scopes & scope) source = setting.factory(std::move(source));
   }
   return source;
@@ -30,23 +37,37 @@ std::vector<Cell> drain_all(SortedKVIterator& stack) {
 
 }  // namespace
 
-void Tablet::apply(const Mutation& mutation, Timestamp assigned_ts) {
+void Tablet::set_compaction_scheduler(CompactionScheduler* s) {
   std::lock_guard lock(mutex_);
+  scheduler_ = s;
+}
+
+void Tablet::apply(const Mutation& mutation, Timestamp assigned_ts) {
+  std::unique_lock lock(mutex_);
   if (!extent_.contains_row(mutation.row())) {
     throw std::logic_error("Tablet::apply: row outside extent");
   }
+  wait_for_capacity_locked(lock);
   memtable_.apply(mutation, assigned_ts);
   maybe_compact_locked();
 }
 
 void Tablet::insert_cell(Cell cell) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  wait_for_capacity_locked(lock);
   memtable_.insert(std::move(cell.key), std::move(cell.value));
   maybe_compact_locked();
 }
 
 void Tablet::maybe_compact_locked() {
   if (memtable_.entry_count() < config_->flush_entries) return;
+  if (scheduler_) {
+    // Background mode: O(1) freeze + enqueue; the writer returns
+    // immediately and the flush runs on the scheduler's pool.
+    freeze_active_locked();
+    maybe_enqueue_major_locked();
+    return;
+  }
   // Threshold-triggered compactions are opportunistic: a transient
   // failure (injected or real) leaves the memtable intact — the write
   // that got us here already succeeded — and the next write past the
@@ -62,28 +83,265 @@ void Tablet::maybe_compact_locked() {
   }
 }
 
+void Tablet::wait_for_capacity_locked(std::unique_lock<std::mutex>& lock) {
+  if (!scheduler_) return;
+  while (files_.size() >= config_->max_tablet_files ||
+         frozen_.size() >= kMaxFrozenMemtables) {
+    if (!minor_inflight_ && !frozen_.empty()) enqueue_minor_locked();
+    maybe_enqueue_major_locked();
+    if (minor_inflight_ || major_inflight_) {
+      state_cv_.wait_for(lock, std::chrono::microseconds(200));
+      continue;
+    }
+    // Nothing is in flight and nothing could be queued (scheduler
+    // shutting down, or the file pattern cannot trigger a major):
+    // relieve the pressure inline rather than spinning.
+    try {
+      flush_locked();
+      major_compact_locked();
+    } catch (const util::TransientError& e) {
+      GRAPHULO_WARN << "Tablet: inline back-pressure relief failed "
+                    << "transiently: " << e.what();
+    }
+    break;
+  }
+}
+
+std::vector<Cell> Tablet::build_minor_cells(
+    const std::shared_ptr<const std::vector<Cell>>& snapshot,
+    const std::vector<IteratorSetting>& settings) const {
+  // Site fires before any state change: a failed flush leaves memtable
+  // and file set exactly as they were.
+  util::fault::point(util::fault::sites::kMemtableFlush);
+  IterPtr stack = std::make_unique<VectorIterator>(snapshot);
+  stack = apply_scope_iterators(std::move(stack), settings, kMincScope);
+  return drain_all(*stack);
+}
+
+void Tablet::freeze_active_locked() {
+  if (memtable_.empty()) return;  // never enqueue a no-op flush
+  frozen_.insert(frozen_.begin(),
+                 FrozenMemtable{next_data_seq_++, memtable_.snapshot()});
+  memtable_.clear();
+  enqueue_minor_locked();
+}
+
+void Tablet::enqueue_minor_locked() {
+  if (!scheduler_ || minor_inflight_) return;
+  minor_inflight_ = true;
+  auto self = shared_from_this();
+  if (scheduler_->enqueue([self] { self->run_background_minor(); })) {
+    ++bg_queued_;
+  } else {
+    minor_inflight_ = false;  // scheduler stopping; flush() rescues later
+  }
+}
+
+void Tablet::maybe_enqueue_major_locked() {
+  if (!scheduler_ || major_inflight_) return;
+  // Only files older than every pending frozen memtable are mergeable
+  // (see run_background_major); trigger on the fan-in among those, or
+  // unconditionally at the hard file ceiling.
+  const std::uint64_t min_pending =
+      frozen_.empty() ? std::numeric_limits<std::uint64_t>::max()
+                      : frozen_.back().seq;
+  std::size_t eligible = 0;
+  for (const auto& f : files_) {
+    if (f.seq < min_pending) ++eligible;
+  }
+  if (eligible < 2) return;
+  if (eligible < config_->compaction_fanin &&
+      files_.size() < config_->max_tablet_files) {
+    return;
+  }
+  major_inflight_ = true;
+  auto self = shared_from_this();
+  if (scheduler_->enqueue([self] { self->run_background_major(); })) {
+    ++bg_queued_;
+  } else {
+    major_inflight_ = false;
+  }
+}
+
+void Tablet::run_background_minor() {
+  std::unique_lock lock(mutex_);
+  while (!frozen_.empty()) {
+    const FrozenMemtable target = frozen_.back();  // oldest first
+    const auto settings = config_->iterators;      // copied under the lock
+    const RFileOptions rfile_opts = config_->rfile;
+    lock.unlock();
+    std::shared_ptr<RFile> file;
+    bool ok = true;
+    try {
+      auto cells = build_minor_cells(target.cells, settings);
+      if (!cells.empty()) {
+        file = RFile::from_sorted(std::move(cells), rfile_opts);
+      }
+    } catch (const std::exception& e) {
+      // Contained exactly like an inline threshold flush: the frozen
+      // memtable stays queued in memory (and in the WAL) and a later
+      // trigger or an explicit flush() retries it.
+      GRAPHULO_WARN << "Tablet[" << extent_.start_row << ","
+                    << extent_.end_row
+                    << "): background flush failed, keeping memtable "
+                    << "frozen for retry: " << e.what();
+      ok = false;
+    }
+    lock.lock();
+    if (!ok) break;
+    install_minor_locked(target.seq, file);
+    maybe_enqueue_major_locked();
+  }
+  minor_inflight_ = false;
+  ++bg_completed_;
+  state_cv_.notify_all();
+}
+
+void Tablet::run_background_major() {
+  std::unique_lock lock(mutex_);
+  // Mergeable inputs: files older than every pending frozen memtable.
+  // A flush finishing mid-merge then lands a file NEWER than all
+  // inputs and the output, so install order stays seq-consistent.
+  const std::uint64_t min_pending =
+      frozen_.empty() ? std::numeric_limits<std::uint64_t>::max()
+                      : frozen_.back().seq;
+  std::vector<TabletFile> inputs;
+  for (const auto& f : files_) {
+    if (f.seq < min_pending) inputs.push_back(f);
+  }
+  // A merge of every file with nothing frozen is a FULL major: delete
+  // markers resolve and drop. A partial merge keeps them for scan-time
+  // resolution (Accumulo partial-major semantics).
+  const bool full = frozen_.empty() && inputs.size() == files_.size();
+  if (inputs.size() < 2) {
+    major_inflight_ = false;
+    ++bg_completed_;
+    state_cv_.notify_all();
+    return;
+  }
+  const auto settings = config_->iterators;  // copied under the lock
+  const bool versioning = config_->versioning;
+  const int max_versions = config_->max_versions;
+  const RFileOptions rfile_opts = config_->rfile;
+  lock.unlock();
+
+  std::shared_ptr<RFile> output;
+  bool ok = true;
+  try {
+    util::fault::point(util::fault::sites::kTabletCompact);
+    std::vector<IterPtr> children;
+    children.reserve(inputs.size());
+    for (const auto& f : inputs) children.push_back(f.file->iterator());
+    IterPtr stack = std::make_unique<MergeIterator>(std::move(children));
+    if (full) stack = std::make_unique<DeletingIterator>(std::move(stack));
+    if (versioning) {
+      stack = std::make_unique<VersioningIterator>(std::move(stack),
+                                                   max_versions);
+    }
+    stack = apply_scope_iterators(std::move(stack), settings, kMajcScope);
+    auto cells = drain_all(*stack);
+    if (!cells.empty()) {
+      output = RFile::from_sorted(std::move(cells), rfile_opts);
+    }
+  } catch (const std::exception& e) {
+    GRAPHULO_WARN << "Tablet[" << extent_.start_row << "," << extent_.end_row
+                  << "): background major compaction failed, keeping "
+                  << "inputs: " << e.what();
+    ok = false;
+  }
+
+  lock.lock();
+  if (ok) {
+    // Install only if every input is still present (an explicit
+    // major_compact() may have raced us and already merged them).
+    std::size_t present = 0;
+    for (const auto& in : inputs) {
+      for (const auto& f : files_) {
+        if (f.seq == in.seq && f.file == in.file) {
+          ++present;
+          break;
+        }
+      }
+    }
+    if (present == inputs.size()) {
+      for (const auto& in : inputs) {
+        if (cache_) cache_->erase_file(in.file->file_id());
+        std::erase_if(files_,
+                      [&](const TabletFile& f) { return f.seq == in.seq; });
+      }
+      // The output ranks where its newest input ranked: nothing else
+      // can hold a sequence number inside the merged range.
+      if (output) insert_file_locked(inputs.front().seq, output);
+      ++major_compactions_;
+    } else {
+      GRAPHULO_DEBUG << "Tablet: discarding background major result "
+                     << "(inputs changed during merge)";
+    }
+  }
+  major_inflight_ = false;
+  ++bg_completed_;
+  state_cv_.notify_all();
+}
+
+void Tablet::install_minor_locked(std::uint64_t seq,
+                                  const std::shared_ptr<RFile>& file) {
+  std::erase_if(frozen_,
+                [&](const FrozenMemtable& f) { return f.seq == seq; });
+  // A minc stack may legitimately drop every cell (filters): count the
+  // flush but never install a zero-cell file.
+  if (file && !file->empty()) insert_file_locked(seq, file);
+  ++minor_compactions_;
+  state_cv_.notify_all();
+}
+
+void Tablet::insert_file_locked(std::uint64_t seq,
+                                const std::shared_ptr<RFile>& file) {
+  const auto pos =
+      std::find_if(files_.begin(), files_.end(),
+                   [&](const TabletFile& f) { return f.seq < seq; });
+  files_.insert(pos, TabletFile{seq, file});
+}
+
 void Tablet::flush() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  // Let an in-flight background flush finish rather than duplicating
+  // its work, then drain whatever is left inline.
+  if (scheduler_) state_cv_.wait(lock, [&] { return !minor_inflight_; });
   flush_locked();
 }
 
 void Tablet::flush_locked() {
+  // Rescue path: frozen memtables whose background flush failed (or
+  // was never queued) drain here, oldest first, preserving seq order.
+  while (!frozen_.empty()) {
+    const FrozenMemtable target = frozen_.back();
+    auto cells = build_minor_cells(target.cells, config_->iterators);
+    std::shared_ptr<RFile> file;
+    if (!cells.empty()) {
+      file = RFile::from_sorted(std::move(cells), config_->rfile);
+    }
+    install_minor_locked(target.seq, file);
+  }
   if (memtable_.empty()) return;
-  // Site fires before any state change: a failed flush leaves memtable
-  // and file set exactly as they were.
-  util::fault::point(util::fault::sites::kMemtableFlush);
-  auto snapshot = memtable_.snapshot();
-  IterPtr stack = std::make_unique<VectorIterator>(snapshot);
-  stack = apply_scope_iterators(std::move(stack), *config_, kMincScope);
-  auto cells = drain_all(*stack);
-  files_.insert(files_.begin(),
-                RFile::from_sorted(std::move(cells), config_->rfile));
+  const std::uint64_t seq = next_data_seq_;
+  auto cells = build_minor_cells(memtable_.snapshot(), config_->iterators);
+  // Past the fault site: commit the sequence number and install.
+  ++next_data_seq_;
+  if (!cells.empty()) {
+    insert_file_locked(seq,
+                       RFile::from_sorted(std::move(cells), config_->rfile));
+  }
   memtable_.clear();
   ++minor_compactions_;
+  state_cv_.notify_all();
 }
 
 void Tablet::major_compact() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  if (scheduler_) {
+    state_cv_.wait(lock,
+                   [&] { return !minor_inflight_ && !major_inflight_; });
+  }
   flush_locked();
   major_compact_locked();
 }
@@ -97,7 +355,7 @@ void Tablet::major_compact_locked() {
   util::fault::point(util::fault::sites::kTabletCompact);
   std::vector<IterPtr> children;
   children.reserve(files_.size());
-  for (const auto& f : files_) children.push_back(f->iterator());
+  for (const auto& f : files_) children.push_back(f.file->iterator());
   IterPtr stack = std::make_unique<MergeIterator>(std::move(children));
   // Full major compaction: deletes are resolved and dropped, versions
   // collapsed, then majc-scope iterators (e.g. combiners) run.
@@ -106,22 +364,44 @@ void Tablet::major_compact_locked() {
     stack = std::make_unique<VersioningIterator>(std::move(stack),
                                                  config_->max_versions);
   }
-  stack = apply_scope_iterators(std::move(stack), *config_, kMajcScope);
+  stack = apply_scope_iterators(std::move(stack), config_->iterators,
+                                kMajcScope);
   auto cells = drain_all(*stack);
+  const std::uint64_t out_seq = files_.front().seq;
+  for (const auto& f : files_) {
+    if (cache_) cache_->erase_file(f.file->file_id());
+  }
   files_.clear();
-  files_.push_back(RFile::from_sorted(std::move(cells), config_->rfile));
+  if (!cells.empty()) {
+    insert_file_locked(out_seq,
+                       RFile::from_sorted(std::move(cells), config_->rfile));
+  }
   ++major_compactions_;
+  state_cv_.notify_all();
 }
 
 IterPtr Tablet::merged_sources_locked() const {
   std::vector<IterPtr> children;
-  children.reserve(files_.size() + 1);
-  // Memtable first: at equal keys the merge prefers lower child indices,
-  // and the memtable holds the newest data.
+  children.reserve(frozen_.size() + files_.size() + 1);
+  // Newest source first: at equal keys the merge prefers lower child
+  // indices. The active memtable is always newest; frozen memtables
+  // and files interleave by data sequence number (a file can be newer
+  // than a frozen memtable when flushes complete out of order).
   if (!memtable_.empty()) {
     children.push_back(std::make_unique<VectorIterator>(memtable_.snapshot()));
   }
-  for (const auto& f : files_) children.push_back(f->iterator());
+  auto fz = frozen_.begin();
+  auto fl = files_.begin();
+  while (fz != frozen_.end() || fl != files_.end()) {
+    if (fl == files_.end() ||
+        (fz != frozen_.end() && fz->seq > fl->seq)) {
+      children.push_back(std::make_unique<VectorIterator>(fz->cells));
+      ++fz;
+    } else {
+      children.push_back(fl->file->iterator(cache_));
+      ++fl;
+    }
+  }
   return std::make_unique<MergeIterator>(std::move(children));
 }
 
@@ -133,7 +413,8 @@ IterPtr Tablet::scan_stack() const {
     stack = std::make_unique<VersioningIterator>(std::move(stack),
                                                  config_->max_versions);
   }
-  return apply_scope_iterators(std::move(stack), *config_, kScanScope);
+  return apply_scope_iterators(std::move(stack), config_->iterators,
+                               kScanScope);
 }
 
 IterPtr Tablet::raw_stack() const {
@@ -145,23 +426,44 @@ TabletStats Tablet::stats() const {
   std::lock_guard lock(mutex_);
   TabletStats s;
   s.memtable_entries = memtable_.entry_count();
+  s.frozen_memtables = frozen_.size();
+  for (const auto& f : frozen_) s.frozen_entries += f.cells->size();
   s.file_count = files_.size();
-  for (const auto& f : files_) s.file_entries += f->entry_count();
+  for (const auto& f : files_) s.file_entries += f.file->entry_count();
   s.minor_compactions = minor_compactions_;
   s.major_compactions = major_compactions_;
+  s.compactions_queued = bg_queued_;
+  s.compactions_completed = bg_completed_;
+  s.compactions_in_flight =
+      (minor_inflight_ ? 1u : 0u) + (major_inflight_ ? 1u : 0u);
+  if (cache_) {
+    const auto cs = cache_->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_evictions = cs.evictions;
+  }
   return s;
 }
 
 std::size_t Tablet::entry_estimate() const {
   const auto s = stats();
-  return s.memtable_entries + s.file_entries;
+  return s.memtable_entries + s.frozen_entries + s.file_entries;
 }
 
 std::vector<std::string> Tablet::sample_split_rows(std::size_t n) const {
   std::lock_guard lock(mutex_);
   std::vector<std::string> rows = memtable_.sample_rows(n);
+  for (const auto& frozen : frozen_) {
+    const auto& cells = *frozen.cells;
+    if (cells.empty()) continue;
+    const std::size_t stride = (cells.size() + n - 1) / std::max<std::size_t>(1, n);
+    for (std::size_t i = 0; i < cells.size(); i += std::max<std::size_t>(1, stride)) {
+      rows.push_back(cells[i].key.row);
+    }
+    rows.push_back(cells.back().key.row);
+  }
   for (const auto& f : files_) {
-    auto from_file = f->sample_rows(n);
+    auto from_file = f.file->sample_rows(n);
     rows.insert(rows.end(), std::make_move_iterator(from_file.begin()),
                 std::make_move_iterator(from_file.end()));
   }

@@ -1,14 +1,43 @@
 #pragma once
 // A tablet: one contiguous row-range shard of a table, consisting of an
-// in-memory write buffer (memtable) plus immutable sorted files, with
+// in-memory write buffer (memtable), zero or more frozen (immutable)
+// memtables awaiting flush, and immutable sorted files, with
 // minor/major compaction — the standard LSM structure Accumulo tablets
 // use. All public methods are thread-safe.
+//
+// Two compaction execution modes:
+//
+//  - Inline (no CompactionScheduler attached, the default): threshold
+//    flushes and fan-in majors run synchronously inside apply(), under
+//    the tablet lock, exactly as a single-threaded tablet server would.
+//
+//  - Background (CompactionScheduler attached): a threshold crossing
+//    freezes the active memtable (O(1) swap) and enqueues the flush on
+//    the scheduler; writers continue into a fresh memtable while the
+//    frozen one compacts off-thread. Scans merge {active memtable,
+//    frozen memtables, files}, ordered by a per-tablet data sequence
+//    number so out-of-order background completions can never invert
+//    newest-wins resolution. Back-pressure: writers block when the
+//    file count reaches TableConfig::max_tablet_files or too many
+//    frozen memtables pile up, until background compactions catch up.
+//
+// Background majors merge the oldest files whose sequence numbers sit
+// below every pending frozen memtable, so a late-landing flush can
+// never slot between a merge's inputs and its output. A background
+// merge that covers every file while nothing is frozen is a FULL major
+// and drops delete markers (and runs DeletingIterator); a partial
+// merge keeps the markers for scan-time resolution, as Accumulo's
+// partial majors do.
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "nosql/block_cache.hpp"
+#include "nosql/compaction_scheduler.hpp"
 #include "nosql/iterator.hpp"
 #include "nosql/memtable.hpp"
 #include "nosql/mutation.hpp"
@@ -33,45 +62,83 @@ struct TabletExtent {
 /// Point-in-time statistics for one tablet.
 struct TabletStats {
   std::size_t memtable_entries = 0;
+  std::size_t frozen_memtables = 0;  ///< immutable memtables awaiting flush
+  std::size_t frozen_entries = 0;
   std::size_t file_count = 0;
   std::size_t file_entries = 0;
   std::size_t minor_compactions = 0;
   std::size_t major_compactions = 0;
+  /// Background-compaction accounting (0 unless a scheduler is
+  /// attached).
+  std::size_t compactions_queued = 0;
+  std::size_t compactions_completed = 0;
+  std::size_t compactions_in_flight = 0;
+  /// Block-cache counters, from the table-level cache this tablet's
+  /// scans read through (0 when caching is off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 };
 
-class Tablet {
+class Tablet : public std::enable_shared_from_this<Tablet> {
  public:
-  /// `config` must outlive the tablet (owned by the Table).
-  Tablet(TabletExtent extent, const TableConfig* config)
-      : extent_(std::move(extent)), config_(config) {}
+  /// `config` must outlive the tablet (owned by the Table), as must
+  /// `cache` when non-null. Attaching a `scheduler` requires the
+  /// tablet itself to be owned by a shared_ptr (background tasks keep
+  /// it alive via shared_from_this). The scheduler pointer is
+  /// NON-OWNING — the attacher (Instance, or a test) keeps it alive
+  /// while attached. Tablets deliberately hold no strong reference:
+  /// a finishing background task may drop the last tablet reference
+  /// on a scheduler pool thread, and a tablet-owned scheduler ref
+  /// would then run the scheduler's destructor on its own worker
+  /// (self-join deadlock).
+  Tablet(TabletExtent extent, const TableConfig* config,
+         BlockCache* cache = nullptr,
+         CompactionScheduler* scheduler = nullptr)
+      : extent_(std::move(extent)),
+        config_(config),
+        cache_(cache),
+        scheduler_(scheduler) {}
 
   const TabletExtent& extent() const noexcept { return extent_; }
+
+  /// Attaches (or detaches, with nullptr) the background scheduler
+  /// (non-owning; see the constructor note). The tablet must be
+  /// shared_ptr-owned when attaching.
+  void set_compaction_scheduler(CompactionScheduler* s);
 
   /// Applies a mutation whose row must be inside this extent.
   /// Triggers a minor compaction (flush) when the memtable exceeds the
   /// configured threshold, and a major compaction when the file count
-  /// reaches the configured fan-in. A TRANSIENT failure of those
-  /// threshold-triggered compactions is contained (warned, memtable
-  /// kept, retried by a later write); the mutation itself has already
-  /// landed and apply() still succeeds.
+  /// reaches the configured fan-in — inline without a scheduler,
+  /// enqueued in the background with one. A TRANSIENT failure of those
+  /// threshold-triggered compactions is contained (warned, data kept
+  /// in memory, retried by a later write); the mutation itself has
+  /// already landed and apply() still succeeds. May block on
+  /// back-pressure in background mode.
   void apply(const Mutation& mutation, Timestamp assigned_ts);
 
   /// Inserts one pre-formed cell (compaction/move path).
   void insert_cell(Cell cell);
 
-  /// Flushes the memtable into a new immutable file through the
-  /// minc-scope iterator stack. No-op when the memtable is empty.
+  /// Flushes the memtable (and any frozen memtables) into immutable
+  /// files through the minc-scope iterator stack, synchronously: on
+  /// return nothing is buffered in memory. Waits for an in-flight
+  /// background flush rather than duplicating it. No-op when nothing
+  /// is buffered; a flush whose minc stack drops every cell installs
+  /// no file.
   void flush();
 
   /// Merges all files (flushing the memtable first) through the
-  /// majc-scope iterator stack into a single file. Delete markers are
-  /// dropped (full-majority compaction semantics).
+  /// majc-scope iterator stack into a single file, synchronously.
+  /// Delete markers are dropped (full-major compaction semantics). An
+  /// empty merge result installs no file.
   void major_compact();
 
   /// Builds a scan stack over a consistent snapshot:
-  /// merge(memtable, files) -> deletes -> versioning -> scan-scope
-  /// attached iterators. The caller may wrap further scan-time
-  /// iterators around the returned stack.
+  /// merge(memtable, frozen memtables, files) -> deletes -> versioning
+  /// -> scan-scope attached iterators. The caller may wrap further
+  /// scan-time iterators around the returned stack.
   IterPtr scan_stack() const;
 
   /// Snapshot of the raw merged data WITHOUT versioning/scan iterators
@@ -80,7 +147,8 @@ class Tablet {
 
   TabletStats stats() const;
 
-  /// Total logical entries (memtable + files, before versioning).
+  /// Total logical entries (memtable + frozen + files, before
+  /// versioning).
   std::size_t entry_estimate() const;
 
   /// Up to `n` row keys sampled evenly from this tablet's data (sorted,
@@ -89,18 +157,66 @@ class Tablet {
   std::vector<std::string> sample_split_rows(std::size_t n) const;
 
  private:
+  /// An immutable memtable snapshot awaiting flush, ordered by `seq`.
+  struct FrozenMemtable {
+    std::uint64_t seq = 0;
+    std::shared_ptr<const std::vector<Cell>> cells;
+  };
+  /// One file plus the data sequence number that orders it against
+  /// frozen memtables and other files (higher = newer).
+  struct TabletFile {
+    std::uint64_t seq = 0;
+    std::shared_ptr<RFile> file;
+  };
+
   IterPtr merged_sources_locked() const;  // requires mutex_ held
-  void maybe_compact_locked();  ///< threshold flush/compact, failure-contained
+  /// Threshold flush/compact: inline (failure-contained) without a
+  /// scheduler, freeze + enqueue with one.
+  void maybe_compact_locked();
   void flush_locked();
   void major_compact_locked();
+  /// Runs the minc-scope stack over one frozen snapshot; fires the
+  /// flush fault site. `settings` is passed in (copied under the lock
+  /// by background callers) so no config read races a concurrent
+  /// attach_iterator.
+  std::vector<Cell> build_minor_cells(
+      const std::shared_ptr<const std::vector<Cell>>& snapshot,
+      const std::vector<IteratorSetting>& settings) const;
+  /// Moves the active memtable into frozen_ (no-op when empty) and
+  /// makes sure a background flush is queued. Requires scheduler_.
+  void freeze_active_locked();
+  void enqueue_minor_locked();
+  void maybe_enqueue_major_locked();
+  /// Removes frozen entry `seq` and installs `file` (nullptr = the
+  /// minc stack dropped everything) into files_ in seq order.
+  void install_minor_locked(std::uint64_t seq,
+                            const std::shared_ptr<RFile>& file);
+  void insert_file_locked(std::uint64_t seq,
+                          const std::shared_ptr<RFile>& file);
+  /// Blocks the writer while files/frozen memtables exceed their
+  /// ceilings (background mode only), keeping compactions queued.
+  void wait_for_capacity_locked(std::unique_lock<std::mutex>& lock);
+  void run_background_minor();
+  void run_background_major();
 
   TabletExtent extent_;
   const TableConfig* config_;
+  BlockCache* cache_ = nullptr;
+  CompactionScheduler* scheduler_ = nullptr;  ///< non-owning
   mutable std::mutex mutex_;
+  /// Signalled on every install/completion: back-pressure waits,
+  /// flush()'s drain wait.
+  mutable std::condition_variable state_cv_;
   Memtable memtable_;
-  std::vector<std::shared_ptr<RFile>> files_;  // newest first
+  std::vector<FrozenMemtable> frozen_;  ///< sorted by seq, newest first
+  std::vector<TabletFile> files_;       ///< sorted by seq, newest first
+  std::uint64_t next_data_seq_ = 1;
+  bool minor_inflight_ = false;
+  bool major_inflight_ = false;
   std::size_t minor_compactions_ = 0;
   std::size_t major_compactions_ = 0;
+  std::uint64_t bg_queued_ = 0;
+  std::uint64_t bg_completed_ = 0;
 };
 
 }  // namespace graphulo::nosql

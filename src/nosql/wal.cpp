@@ -1,6 +1,11 @@
 #include "nosql/wal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 
 #include "util/fault.hpp"
@@ -10,6 +15,18 @@ namespace graphulo::nosql {
 namespace {
 
 constexpr std::uint32_t kRecordMagic = 0x57414c32;  // "WAL2" (WAL1 + seq)
+
+/// Retry budget for the commit path's injection site. Generous on
+/// purpose: the mass fault-injection test arms wal.commit with bursts
+/// of scheduled fires, and a batch whose records are already buffered
+/// (and acknowledged, in interval mode) must not be lost to a burst a
+/// few retries would outlast.
+const util::RetryPolicy& commit_retry_policy() {
+  static const util::RetryPolicy kPolicy{
+      /*max_attempts=*/25, std::chrono::microseconds(50), 2.0,
+      std::chrono::microseconds(2000)};
+  return kPolicy;
+}
 
 void put_string(std::string& buf, const std::string& s) {
   const auto len = static_cast<std::uint32_t>(s.size());
@@ -73,6 +90,18 @@ std::string encode_body(const WalRecord& record) {
     }
   }
   return body;
+}
+
+/// Wraps an encoded body in the on-disk frame: magic, length, body.
+std::string frame_body(const std::string& body) {
+  std::string framed;
+  framed.reserve(sizeof(kRecordMagic) + sizeof(std::uint32_t) + body.size());
+  framed.append(reinterpret_cast<const char*>(&kRecordMagic),
+                sizeof(kRecordMagic));
+  const auto len = static_cast<std::uint32_t>(body.size());
+  framed.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  framed.append(body);
+  return framed;
 }
 
 /// Parses a record body; false on any truncation/corruption.
@@ -166,13 +195,141 @@ std::uint64_t scan_next_seq(const std::string& path) {
   return next;
 }
 
+/// write(2) loop handling short writes. Throws FatalError on OS error:
+/// bytes may already be on disk, so this is never retryable.
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::FatalError("WriteAheadLog: write failure on " + path + ": " +
+                             std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    throw util::FatalError("WriteAheadLog: fsync failure on " + path + ": " +
+                           std::strerror(errno));
+  }
+}
+
 }  // namespace
 
-WriteAheadLog::WriteAheadLog(const std::string& path)
-    : path_(path),
-      out_(path, std::ios::binary | std::ios::app),
-      next_seq_(scan_next_seq(path)) {
-  if (!out_) throw std::runtime_error("WriteAheadLog: cannot open " + path);
+WriteAheadLog::WriteAheadLog(const std::string& path, WalOptions options)
+    : path_(path), options_(options), next_seq_(scan_next_seq(path)) {
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("WriteAheadLog: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  durable_seq_ = next_seq_ - 1;  // everything already in the file
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+    committer_cv_.notify_all();
+  }
+  if (committer_started_) committer_.join();
+  std::unique_lock lock(mutex_);
+  // Drain acknowledged-but-unwritten records (interval mode buffers
+  // them). After a fatal commit failure the buffer is dropped instead:
+  // those appends were never acknowledged, and the file keeps its
+  // clean, seq-ordered prefix.
+  if (!commit_error_ && !pending_.empty()) {
+    commit_pending_locked(lock, /*do_fsync=*/false);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WriteAheadLog::throw_if_failed_locked() const {
+  if (commit_error_) std::rethrow_exception(commit_error_);
+}
+
+void WriteAheadLog::start_committer_locked() {
+  if (committer_started_ || stop_) return;
+  committer_started_ = true;
+  committer_ = std::thread([this] { committer_loop(); });
+}
+
+void WriteAheadLog::committer_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (options_.sync_mode == WalSyncMode::kGroup) {
+      // Group commit: write as soon as anything is pending. While one
+      // batch's fsync is in flight, new appends accumulate and ride
+      // the next batch together.
+      committer_cv_.wait(lock, [&] {
+        return stop_ || (!pending_.empty() && !committing_);
+      });
+    } else {
+      // Interval: byte threshold wakes the committer early, otherwise
+      // the latency deadline bounds how long a record stays buffered.
+      committer_cv_.wait_for(lock, options_.max_batch_latency, [&] {
+        return stop_ || pending_bytes_ >= options_.max_batch_bytes;
+      });
+    }
+    if (stop_) return;  // the destructor drains what remains
+    if (!pending_.empty()) {
+      commit_pending_locked(lock,
+                            options_.sync_mode == WalSyncMode::kGroup);
+    }
+  }
+}
+
+void WriteAheadLog::commit_pending_locked(std::unique_lock<std::mutex>& lock,
+                                          bool do_fsync) {
+  // Single-committer discipline: batches leave the buffer in seq order
+  // and hit the file in seq order, so the log is always a seq-sorted
+  // prefix of the append history.
+  durable_cv_.wait(lock, [&] { return !committing_; });
+  if (commit_error_) return;
+  if (pending_.empty() && !do_fsync) return;
+
+  std::vector<PendingRecord> batch;
+  batch.swap(pending_);
+  pending_bytes_ = 0;
+  committing_ = true;
+  lock.unlock();
+
+  std::exception_ptr error;
+  try {
+    if (!batch.empty()) {
+      // The injection site fires before any byte of the batch is
+      // written; a retry re-attempts the whole batch exactly once.
+      util::with_retries("wal.commit", commit_retry_policy(),
+                         [] { util::fault::point(util::fault::sites::kWalCommit); });
+      std::string buffer;
+      std::size_t total = 0;
+      for (const auto& r : batch) total += r.framed.size();
+      buffer.reserve(total);
+      for (const auto& r : batch) buffer.append(r.framed);
+      write_all(fd_, buffer.data(), buffer.size(), path_);
+    }
+    if (do_fsync) fsync_or_throw(fd_, path_);
+  } catch (const std::exception& e) {
+    // Sticky: the batch is lost and every later append must fail too,
+    // or the log would develop a seq gap. Surfaced as FatalError so
+    // callers' retry loops do not re-append records that were already
+    // buffered once.
+    error = std::make_exception_ptr(util::FatalError(
+        std::string("WriteAheadLog: commit failed permanently: ") + e.what()));
+  }
+
+  lock.lock();
+  committing_ = false;
+  if (error) {
+    if (!commit_error_) commit_error_ = error;
+  } else if (!batch.empty()) {
+    durable_seq_ = batch.back().seq;
+  }
+  durable_cv_.notify_all();
 }
 
 void WriteAheadLog::write_record(WalRecord record) {
@@ -181,19 +338,52 @@ void WriteAheadLog::write_record(WalRecord record) {
   // log untouched, so the caller's retry appends the record exactly
   // once.
   util::fault::point(util::fault::sites::kWalAppend);
-  std::lock_guard lock(mutex_);
-  record.seq = next_seq_;
-  const std::string body = encode_body(record);
-  const auto len = static_cast<std::uint32_t>(body.size());
-  out_.write(reinterpret_cast<const char*>(&kRecordMagic),
-             sizeof(kRecordMagic));
-  out_.write(reinterpret_cast<const char*>(&len), sizeof(len));
-  out_.write(body.data(), static_cast<std::streamsize>(body.size()));
-  if (!out_) {
-    out_.clear();
-    throw util::FatalError("WriteAheadLog: append I/O failure on " + path_);
+  std::unique_lock lock(mutex_);
+  throw_if_failed_locked();
+
+  if (options_.sync_mode == WalSyncMode::kPerAppend) {
+    // Serialize with any in-flight sync()/rotate() commit.
+    durable_cv_.wait(lock, [&] { return !committing_; });
+    throw_if_failed_locked();
+    record.seq = next_seq_;
+    const std::string framed = frame_body(encode_body(record));
+    // One write + one fsync per record, appenders serialized on the
+    // log mutex: the per-record durability cost this mode models. The
+    // commit site fires before the write, so an escaping
+    // TransientError leaves the sequence number unconsumed and the
+    // caller's retry appends exactly once.
+    util::with_retries("wal.commit", commit_retry_policy(),
+                       [] { util::fault::point(util::fault::sites::kWalCommit); });
+    write_all(fd_, framed.data(), framed.size(), path_);
+    fsync_or_throw(fd_, path_);
+    ++next_seq_;
+    durable_seq_ = record.seq;
+    durable_cv_.notify_all();
+    return;
   }
-  ++next_seq_;
+
+  record.seq = next_seq_++;
+  PendingRecord pending;
+  pending.seq = record.seq;
+  pending.framed = frame_body(encode_body(record));
+  pending_bytes_ += pending.framed.size();
+  pending_.push_back(std::move(pending));
+  start_committer_locked();
+
+  if (options_.sync_mode == WalSyncMode::kGroup) {
+    committer_cv_.notify_one();
+    // Block until the committer has made this record durable (or the
+    // log failed, or rotate() covered it via a checkpoint).
+    durable_cv_.wait(lock, [&] {
+      return durable_seq_ >= record.seq || commit_error_ != nullptr;
+    });
+    if (durable_seq_ < record.seq) throw_if_failed_locked();
+    return;
+  }
+
+  // Interval mode: fire-and-forget; wake the committer early once the
+  // byte threshold is crossed.
+  if (pending_bytes_ >= options_.max_batch_bytes) committer_cv_.notify_one();
 }
 
 void WriteAheadLog::log_create_table(const std::string& table) {
@@ -241,24 +431,47 @@ void WriteAheadLog::log_mutation(const std::string& table,
 
 void WriteAheadLog::sync() {
   util::fault::point(util::fault::sites::kWalSync);
-  std::lock_guard lock(mutex_);
-  out_.flush();
+  std::unique_lock lock(mutex_);
+  throw_if_failed_locked();
+  const std::uint64_t target = next_seq_ - 1;
+  // Commit + fsync until everything appended before this call is
+  // durable. The loop re-runs if a concurrent committer stole records
+  // without fsyncing (interval mode): the empty-batch pass still
+  // fsyncs, covering them.
+  do {
+    commit_pending_locked(lock, /*do_fsync=*/true);
+    throw_if_failed_locked();
+  } while (durable_seq_ < target);
 }
 
 void WriteAheadLog::rotate() {
-  std::lock_guard lock(mutex_);
-  out_.close();
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_) {
-    throw std::runtime_error("WriteAheadLog: cannot rotate " + path_);
+  std::unique_lock lock(mutex_);
+  durable_cv_.wait(lock, [&] { return !committing_; });
+  throw_if_failed_locked();
+  // Buffered records are covered by the checkpoint that triggered the
+  // rotation (its covers_seq is a snapshot of next_seq_, which is past
+  // every buffered seq), so they are dropped, not written.
+  pending_.clear();
+  pending_bytes_ = 0;
+  if (::ftruncate(fd_, 0) != 0) {
+    throw std::runtime_error("WriteAheadLog: cannot rotate " + path_ + ": " +
+                             std::strerror(errno));
   }
   // next_seq_ keeps counting: post-rotation records sort after the
-  // checkpoint's covered sequence.
+  // checkpoint's covered sequence. Group-mode waiters for dropped
+  // records are released as durable — the checkpoint has their data.
+  durable_seq_ = next_seq_ - 1;
+  durable_cv_.notify_all();
 }
 
 std::uint64_t WriteAheadLog::next_seq() const {
   std::lock_guard lock(mutex_);
   return next_seq_;
+}
+
+std::uint64_t WriteAheadLog::durable_seq() const {
+  std::lock_guard lock(mutex_);
+  return durable_seq_;
 }
 
 std::size_t replay_wal(const std::string& path,

@@ -6,6 +6,22 @@
 // tails — a record cut off mid-write by a crash — are detected and
 // ignored.
 //
+// Appends go through one of three sync modes (WalOptions::sync_mode):
+//
+//   per_append  every append is written + fsync'd before it returns;
+//   group       appends buffer their encoded record and block until a
+//               background committer thread has made their sequence
+//               number durable — concurrent writers share one write()
+//               + one fsync() per batch (group commit);
+//   interval    appends return immediately; the committer flushes the
+//               batch on a byte/latency trigger and records are
+//               durable only after an explicit sync().
+//
+// The sequence number is assigned under the log mutex in append order,
+// and batches are committed in seq order, so the on-disk record order
+// is always a seq-sorted prefix of the append history — a crash (or a
+// failed commit) loses only a suffix.
+//
 // Checkpointing (see nosql/checkpoint.hpp) bounds replay: a checkpoint
 // snapshots the live instance and then rotate() truncates the log, so
 // recovery reads checkpoint + post-checkpoint tail instead of the full
@@ -14,14 +30,17 @@
 // idempotent even if a crash lands between the checkpoint rename and
 // the log truncation.
 
+#include <condition_variable>
 #include <cstdint>
-#include <fstream>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "nosql/mutation.hpp"
+#include "nosql/wal_options.hpp"
 
 namespace graphulo::nosql {
 
@@ -49,7 +68,16 @@ struct WalRecord {
 class WriteAheadLog {
  public:
   /// Opens (appends to) `path`. Throws on I/O failure.
-  explicit WriteAheadLog(const std::string& path);
+  explicit WriteAheadLog(const std::string& path, WalOptions options = {});
+
+  /// Drains any buffered records to the file (without fsync), stops the
+  /// committer thread, and closes the log. Never throws. If a commit
+  /// already failed fatally, buffered records are dropped instead —
+  /// their appenders were never acknowledged.
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   void log_create_table(const std::string& table);
   void log_delete_table(const std::string& table);
@@ -59,27 +87,62 @@ class WriteAheadLog {
   void log_mutation(const std::string& table, const Mutation& mutation,
                     Timestamp assigned_ts);
 
-  /// Flushes buffered records to the OS.
+  /// Makes every record appended so far durable (write + fsync),
+  /// regardless of sync mode.
   void sync();
 
   /// Truncates the log file after a checkpoint has captured its
-  /// contents. Sequence numbers keep counting from where they were, so
-  /// records written after rotation sort after the checkpoint. Callers
-  /// must quiesce writers around checkpoint+rotate.
+  /// contents. Buffered-but-uncommitted records are dropped: their
+  /// sequence numbers are below the checkpoint's covers_seq, so they
+  /// are covered by the snapshot. Sequence numbers keep counting from
+  /// where they were, so records written after rotation sort after the
+  /// checkpoint. Callers must quiesce writers around checkpoint+rotate.
   void rotate();
 
   /// The sequence number the NEXT record will receive.
   std::uint64_t next_seq() const;
 
+  /// Highest sequence number known to be safely in the file (fsync'd
+  /// in per_append/group modes; written in interval mode).
+  std::uint64_t durable_seq() const;
+
+  const WalOptions& options() const noexcept { return options_; }
   const std::string& path() const noexcept { return path_; }
 
  private:
+  struct PendingRecord {
+    std::uint64_t seq = 0;
+    std::string framed;  ///< magic + length + body, ready for write()
+  };
+
   void write_record(WalRecord record);
+  /// Steals the pending buffer and writes (+ optionally fsyncs) it to
+  /// the fd; serialized via committing_. Updates durable_seq_ and wakes
+  /// waiters. On failure, records the sticky commit error. Called with
+  /// `lock` held; returns with it held.
+  void commit_pending_locked(std::unique_lock<std::mutex>& lock,
+                             bool do_fsync);
+  void committer_loop();
+  void start_committer_locked();
+  void throw_if_failed_locked() const;
 
   std::string path_;
+  WalOptions options_;
+  int fd_ = -1;
+
   mutable std::mutex mutex_;
-  std::ofstream out_;
+  std::condition_variable committer_cv_;  ///< wakes the committer
+  std::condition_variable durable_cv_;    ///< wakes append/sync waiters
+  std::vector<PendingRecord> pending_;
+  std::size_t pending_bytes_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t durable_seq_ = 0;
+  bool committing_ = false;  ///< a thread is inside write/fsync
+  bool stop_ = false;
+  std::exception_ptr commit_error_;  ///< sticky: set once, never cleared
+
+  bool committer_started_ = false;
+  std::thread committer_;
 };
 
 /// Replays a log, invoking `apply` per intact record with

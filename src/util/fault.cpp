@@ -45,11 +45,11 @@ std::uint64_t site_stream_seed(std::uint64_t seed, const std::string& site) {
 
 const std::vector<std::string>& all_sites() {
   static const std::vector<std::string> kAll = {
-      sites::kWalAppend,       sites::kWalSync,       sites::kRFileWrite,
-      sites::kRFileRead,       sites::kRFileSeek,     sites::kMemtableFlush,
-      sites::kTabletCompact,   sites::kInstanceApply, sites::kBatchWriterFlush,
-      sites::kTableMultWorker, sites::kCheckpointWrite,
-      sites::kCheckpointLoad};
+      sites::kWalAppend,       sites::kWalSync,       sites::kWalCommit,
+      sites::kRFileWrite,      sites::kRFileRead,     sites::kRFileSeek,
+      sites::kMemtableFlush,   sites::kTabletCompact, sites::kInstanceApply,
+      sites::kBatchWriterFlush, sites::kTableMultWorker,
+      sites::kCheckpointWrite, sites::kCheckpointLoad};
   return kAll;
 }
 

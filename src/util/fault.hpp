@@ -89,6 +89,7 @@ namespace fault {
 namespace sites {
 inline constexpr const char* kWalAppend = "wal.append";
 inline constexpr const char* kWalSync = "wal.sync";
+inline constexpr const char* kWalCommit = "wal.commit";
 inline constexpr const char* kRFileWrite = "rfile.write";
 inline constexpr const char* kRFileRead = "rfile.read";
 inline constexpr const char* kRFileSeek = "rfile.seek";

@@ -39,6 +39,7 @@ Summary summarize(std::span<const double> samples) {
   }
   s.p50 = percentile(samples, 0.50);
   s.p95 = percentile(samples, 0.95);
+  s.p99 = percentile(samples, 0.99);
   return s;
 }
 

@@ -16,6 +16,7 @@ struct Summary {
   double min = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double max = 0.0;
 };
 

@@ -184,13 +184,13 @@ TEST_F(FaultTest, ResetDisarmsAndClearsCounters) {
 
 TEST_F(FaultTest, SiteCatalogCoversThePipeline) {
   const auto& all = fault::all_sites();
-  EXPECT_GE(all.size(), 12u);
-  for (const char* s : {sites::kWalAppend, sites::kWalSync, sites::kRFileWrite,
-                        sites::kRFileRead, sites::kRFileSeek,
-                        sites::kMemtableFlush, sites::kTabletCompact,
-                        sites::kInstanceApply, sites::kBatchWriterFlush,
-                        sites::kTableMultWorker, sites::kCheckpointWrite,
-                        sites::kCheckpointLoad}) {
+  EXPECT_GE(all.size(), 13u);
+  for (const char* s : {sites::kWalAppend, sites::kWalSync, sites::kWalCommit,
+                        sites::kRFileWrite, sites::kRFileRead,
+                        sites::kRFileSeek, sites::kMemtableFlush,
+                        sites::kTabletCompact, sites::kInstanceApply,
+                        sites::kBatchWriterFlush, sites::kTableMultWorker,
+                        sites::kCheckpointWrite, sites::kCheckpointLoad}) {
     EXPECT_NE(std::find(all.begin(), all.end(), std::string(s)), all.end())
         << "missing site " << s;
   }
@@ -274,6 +274,71 @@ TEST_F(FaultTest, ApplySurvivesInjectedApplyAndWalFaults) {
   });
   EXPECT_EQ(total, 3u);
   EXPECT_EQ(mutations, 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, GroupCommitAbsorbsTransientCommitFaults) {
+  const auto path = temp_path("group_transient.wal");
+  std::remove(path.c_str());
+  fault::FaultSpec spec;
+  spec.fire_on_hits = {1, 2, 5};
+  fault::arm(sites::kWalCommit, spec);
+  nosql::WalOptions opts;
+  opts.sync_mode = nosql::WalSyncMode::kGroup;
+  {
+    WriteAheadLog wal(path, opts);
+    for (int i = 0; i < 10; ++i) {
+      Mutation m("r" + std::to_string(i));
+      m.put("f", "q", "v");
+      wal.log_mutation("t", m, static_cast<nosql::Timestamp>(i + 1));
+    }
+    // The committer retried through the injected failures; every
+    // appender's record is durable and nothing was written twice (the
+    // commit site fires before any batch byte lands).
+    EXPECT_EQ(wal.durable_seq(), 10u);
+    EXPECT_GE(fault::stats(sites::kWalCommit).fires, 3u);
+  }
+  std::size_t replayed = 0;
+  std::uint64_t prev = 0;
+  replay_wal(path, [&](const nosql::WalRecord& r) {
+    EXPECT_EQ(r.seq, prev + 1);  // exactly once each, in order
+    prev = r.seq;
+    ++replayed;
+  });
+  EXPECT_EQ(replayed, 10u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, FatalGroupCommitCrashLeavesPrefixConsistentWal) {
+  const auto path = temp_path("group_fatal.wal");
+  std::remove(path.c_str());
+  nosql::WalOptions opts;
+  opts.sync_mode = nosql::WalSyncMode::kGroup;
+  {
+    WriteAheadLog wal(path, opts);
+    Mutation m("r");
+    m.put("f", "q", "v");
+    wal.log_mutation("t", m, 1);
+    wal.log_mutation("t", m, 2);
+    fault::FaultSpec spec;
+    spec.fire_on_hits = {1};
+    spec.fatal = true;
+    fault::arm(sites::kWalCommit, spec);
+    EXPECT_THROW(wal.log_mutation("t", m, 3), util::FatalError);
+    // The failure is sticky: once a commit fails permanently the WAL
+    // refuses further appends instead of risking a gapped tail.
+    EXPECT_THROW(wal.log_mutation("t", m, 4), util::FatalError);
+    EXPECT_EQ(wal.durable_seq(), 2u);
+  }  // destructor stays quiet and drops the failed suffix
+  std::size_t replayed = 0;
+  std::uint64_t last = 0;
+  replay_wal(path, [&](const nosql::WalRecord& r) {
+    last = r.seq;
+    ++replayed;
+  });
+  // Recovery sees exactly the clean prefix from before the crash.
+  EXPECT_EQ(replayed, 2u);
+  EXPECT_EQ(last, 2u);
   std::remove(path.c_str());
 }
 

@@ -230,8 +230,10 @@ TEST(Tablet, MajorCompactionMergesFilesAndDropsDeletes) {
   EXPECT_EQ(tablet.stats().file_count, 2u);
   tablet.major_compact();
   const auto s = tablet.stats();
-  EXPECT_EQ(s.file_count, 1u);
-  EXPECT_EQ(s.file_entries, 0u);  // delete resolved, marker dropped
+  // Delete resolved, marker dropped; a merge with no surviving cells
+  // installs no file at all rather than a zero-cell one.
+  EXPECT_EQ(s.file_count, 0u);
+  EXPECT_EQ(s.file_entries, 0u);
   auto stack = tablet.scan_stack();
   EXPECT_TRUE(drain(*stack, Range::all()).empty());
 }

@@ -299,6 +299,35 @@ TEST(Wal, TornTailAtEveryByteOffsetDeliversTheIntactPrefix) {
   std::remove(path.c_str());
 }
 
+TEST(Wal, RoundTripsUnderEverySyncMode) {
+  for (const auto mode : {WalSyncMode::kPerAppend, WalSyncMode::kGroup,
+                          WalSyncMode::kInterval}) {
+    const auto path = temp_wal_path("sync_modes");
+    std::remove(path.c_str());
+    WalOptions opts;
+    opts.sync_mode = mode;
+    {
+      Instance db;
+      db.attach_wal(std::make_shared<WriteAheadLog>(path, opts));
+      TableConfig cfg;
+      cfg.wal = opts;
+      db.create_table("t", cfg);
+      for (int i = 0; i < 40; ++i) {
+        Mutation m("r" + util::zero_pad(static_cast<std::uint64_t>(i), 3));
+        m.put("f", "q", "v" + std::to_string(i));
+        db.apply("t", m);
+      }
+      db.sync_wal();
+    }
+    Instance recovered;
+    const auto replayed = recover_from_wal(recovered, path);
+    EXPECT_EQ(replayed, 41u) << "mode " << static_cast<int>(mode);
+    Scanner scan(recovered, "t");
+    EXPECT_EQ(scan.read_all().size(), 40u) << "mode " << static_cast<int>(mode);
+    std::remove(path.c_str());
+  }
+}
+
 TEST(Wal, SequenceNumbersSurviveRotationAndReopen) {
   const auto path = temp_wal_path("seq");
   std::remove(path.c_str());
