@@ -17,6 +17,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -37,7 +39,8 @@ assoc::AssocArray random_assoc(std::size_t entries, std::size_t key_space,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   util::TablePrinter table({"entries", "keys", "op", "result_nnz", "time_ms"});
   for (std::size_t entries : {5000, 20000, 80000}) {
     const std::size_t key_space = entries / 4;

@@ -15,6 +15,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -43,7 +45,8 @@ double top10_overlap(const std::vector<double>& x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   util::TablePrinter table({"n", "edges", "metric", "iters", "time_ms",
                             "validation"});
   for (int scale : {8, 10, 12}) {

@@ -14,12 +14,15 @@
 #include <thread>
 #include <vector>
 
+#include "core/tablemult.hpp"
 #include "gen/rmat.hpp"
 #include "nosql/nosql.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
+
+#include "bench_metrics.hpp"
 
 using namespace graphulo;
 
@@ -220,14 +223,61 @@ void run_ingest_sweep(std::size_t total_cells, std::size_t cache_bytes) {
   std::printf("wrote BENCH_ingest.json\n\n");
 }
 
+/// Smoke-only: a small TableMult fed through BatchWriters, so one
+/// --smoke run touches every instrumented subsystem (WAL commit,
+/// flush/compaction, block cache, scan, BatchWriter, TableMult) and the
+/// metrics dump carries a non-zero series from each.
+void run_smoke_tablemult() {
+  nosql::Instance db(2);
+  const std::string wal_path = "/tmp/graphulo_bench_smoke_mult.wal";
+  std::remove(wal_path.c_str());
+  nosql::TableConfig cfg;
+  cfg.flush_entries = 64;
+  cfg.rfile.cache_bytes = 16 * 1024;
+  db.attach_wal(std::make_shared<nosql::WriteAheadLog>(wal_path));
+  db.create_table("A", cfg);
+  db.create_table("B", cfg);
+  {
+    nosql::BatchWriter wa(db, "A");
+    nosql::BatchWriter wb(db, "B");
+    for (int k = 0; k < 24; ++k) {
+      nosql::Mutation ma(util::zero_pad(static_cast<std::uint64_t>(k), 4));
+      nosql::Mutation mb(util::zero_pad(static_cast<std::uint64_t>(k), 4));
+      for (int j = 0; j < 6; ++j) {
+        ma.put("f", "a" + std::to_string((k + j) % 8),
+               nosql::encode_double(1.0 + j));
+        mb.put("f", "b" + std::to_string((k * 3 + j) % 8),
+               nosql::encode_double(2.0));
+      }
+      wa.add_mutation(std::move(ma));
+      wb.add_mutation(std::move(mb));
+    }
+    wa.close();
+    wb.close();
+  }
+  db.flush("A");
+  db.flush("B");
+  core::TableMultOptions options;
+  options.num_workers = 2;
+  const auto stats = core::table_mult(db, "A", "B", "C", options);
+  std::printf("smoke TableMult: %zu rows joined, %zu partial products\n",
+              stats.rows_joined, stats.partial_products);
+  std::remove(wal_path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  // --smoke always leaves a metrics dump behind (CI reads it);
+  // full runs opt in with --metrics-json <path>.
+  graphulo::bench::MetricsDump metrics_dump(argc, argv,
+                                            smoke ? "BENCH_metrics.json" : "");
   if (smoke) {
     // Tiny sweep for sanitizer CI: every sync mode, background
     // compactions, and a cache small enough to evict.
     run_ingest_sweep(1600, 16 * 1024);
+    run_smoke_tablemult();
     return 0;
   }
 

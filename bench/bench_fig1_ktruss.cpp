@@ -15,6 +15,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -54,7 +56,8 @@ void worked_example() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   worked_example();
 
   std::printf("--- k-truss sweep: LA (incremental) vs LA (recompute) vs "

@@ -15,6 +15,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -50,7 +52,8 @@ void worked_example() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   worked_example();
 
   std::printf("--- Jaccard sweep: Algorithm 2 vs naive A^2 vs brute force ---\n");

@@ -17,6 +17,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -45,7 +47,8 @@ void print_topics(const char* label, const algo::NmfResult& result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   gen::TweetParams params;
   params.num_tweets = 20000;  // the paper's corpus size
   const auto corpus = gen::generate_tweets(params);

@@ -14,6 +14,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -42,7 +44,8 @@ double inverse_error(const la::Dense<double>& a, const la::Dense<double>& x) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   // (a) size sweep at fixed conditioning.
   {
     util::TablePrinter table({"n", "newton_iters", "newton_ms", "gj_ms",

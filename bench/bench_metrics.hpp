@@ -1,0 +1,56 @@
+#pragma once
+// Shared --metrics-json support for the bench mains. Construct a
+// MetricsDump at the top of main(); if the command line carries
+// `--metrics-json <path>` (or `--metrics-json=<path>`, or the bench
+// passes a default path), the destructor writes a JSON snapshot of the
+// global metrics registry there when the bench exits — one flag, one
+// dump format, every bench.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace graphulo::bench {
+
+class MetricsDump {
+ public:
+  /// Scans argv for --metrics-json; `default_path` (may be empty = no
+  /// dump) applies when the flag is absent.
+  MetricsDump(int argc, char** argv, std::string default_path = "")
+      : path_(std::move(default_path)) {
+    const std::string flag = "--metrics-json";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == flag && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (arg.rfind(flag + "=", 0) == 0) {
+        path_ = arg.substr(flag.size() + 1);
+      }
+    }
+  }
+
+  MetricsDump(const MetricsDump&) = delete;
+  MetricsDump& operator=(const MetricsDump&) = delete;
+
+  ~MetricsDump() {
+    if (path_.empty()) return;
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "metrics dump: cannot open %s\n", path_.c_str());
+      return;
+    }
+    out << obs::to_json(snapshot);
+    std::printf("wrote metrics snapshot to %s\n", path_.c_str());
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace graphulo::bench

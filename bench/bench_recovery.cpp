@@ -20,6 +20,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -104,7 +106,8 @@ Sample run(std::size_t history) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   util::TablePrinter table({"history", "live cells", "wal-only ms",
                             "replayed", "ckpt ms", "replayed ",
                             "ckpt-write ms", "speedup"});

@@ -16,6 +16,8 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
 namespace {
@@ -26,7 +28,8 @@ std::string fmt(double v, int precision = 1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   gen::RmatParams params;
   params.scale = 11;  // 2048 vertices
   params.edge_factor = 8;

@@ -18,9 +18,12 @@
 #include "util/table_printer.hpp"
 #include "util/timer.hpp"
 
+#include "bench_metrics.hpp"
+
 using namespace graphulo;
 
-int main() {
+int main(int argc, char** argv) {
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
   {
     util::TablePrinter table({"n", "nnz(A)", "tablets", "server_ms",
                               "client_ms", "partials", "nnz(C)", "agree"});

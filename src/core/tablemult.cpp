@@ -12,6 +12,8 @@
 #include "nosql/codec.hpp"
 #include "nosql/combiner.hpp"
 #include "la/spgemm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
@@ -37,6 +39,24 @@ void create_sum_table(nosql::Instance& db, const std::string& table) {
 
 namespace {
 
+obs::Counter& tm_partitions() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablemult.partitions.total", "TableMult partition attempts completed");
+  return c;
+}
+obs::Counter& tm_rows_joined() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablemult.rows_joined.total",
+      "Shared rows joined by the TableMult merge join");
+  return c;
+}
+obs::Counter& tm_partial_products() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablemult.partial_products.total",
+      "Partial products emitted by TableMult");
+  return c;
+}
+
 /// A partition attempt exceeded its cooperative deadline.
 struct PartitionTimeout : std::runtime_error {
   using std::runtime_error::runtime_error;
@@ -60,6 +80,9 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
                                        const TableMultOptions& options,
                                        const nosql::Range& range,
                                        std::size_t& durable) {
+  // Per-partition wall time: same quantity TableMultPartitionStats
+  // reports per call, accumulated here as a global latency histogram.
+  TRACE_SPAN("tablemult.partition");
   util::Timer total;
   TableMultPartitionStats stats;
   if (range.has_start) stats.start_row = range.start.row;
@@ -265,6 +288,9 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
     if (p.attempts > 1) ++stats.retried_partitions;
     if (p.timed_out) ++stats.timed_out_partitions;
   }
+  tm_partitions().inc(stats.partitions.size());
+  tm_rows_joined().inc(stats.rows_joined);
+  tm_partial_products().inc(stats.partial_products);
   if (stats.timed_out_partitions > 0) {
     GRAPHULO_WARN << "TableMult: " << stats.timed_out_partitions << " of "
                   << stats.partitions.size()

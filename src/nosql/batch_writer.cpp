@@ -1,8 +1,31 @@
 #include "nosql/batch_writer.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace graphulo::nosql {
+
+namespace {
+
+obs::Counter& bw_flushes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "batch_writer.flushes.total", "BatchWriter flushes of a non-empty buffer");
+  return c;
+}
+obs::Counter& bw_mutations() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "batch_writer.mutations.total", "Mutations applied through BatchWriter");
+  return c;
+}
+obs::Counter& bw_retries() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "batch_writer.retries.total",
+      "Re-attempted applies after a transient flush failure");
+  return c;
+}
+
+}  // namespace
 
 BatchWriter::BatchWriter(Instance& instance, std::string table,
                          std::size_t max_buffer_bytes,
@@ -37,14 +60,20 @@ void BatchWriter::add_mutation(Mutation mutation) {
 }
 
 void BatchWriter::flush() {
+  if (buffer_.empty()) return;
+  TRACE_SPAN("batch_writer.flush");
+  bw_flushes().inc();
   std::size_t applied = 0;
   try {
     for (; applied < buffer_.size(); ++applied) {
+      std::size_t attempts = 0;
       util::with_retries("BatchWriter::flush", retry_, [&] {
+        if (++attempts > 1) bw_retries().inc();
         util::fault::point(util::fault::sites::kBatchWriterFlush);
         instance_.apply(table_, buffer_[applied]);
       });
       ++written_;
+      bw_mutations().inc();
     }
   } catch (const std::exception& e) {
     last_error_ = e.what();

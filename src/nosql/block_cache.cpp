@@ -1,8 +1,28 @@
 #include "nosql/block_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace graphulo::nosql {
 
 namespace {
+
+// Process-wide totals across every cache instance; per-cache numbers
+// stay available through BlockCache::stats().
+obs::Counter& cache_hits() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "cache.hits.total", "Block-cache hits");
+  return c;
+}
+obs::Counter& cache_misses() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "cache.misses.total", "Block-cache misses");
+  return c;
+}
+obs::Counter& cache_evictions() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "cache.evictions.total", "Block-cache evictions");
+  return c;
+}
 
 std::size_t round_up_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -47,10 +67,12 @@ bool BlockCache::touch(std::uint64_t file_id, std::uint64_t block_index,
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     ++shard.hits;
+    cache_hits().inc();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return true;
   }
   ++shard.misses;
+  cache_misses().inc();
   shard.lru.push_front(Entry{key, pin, charge});
   shard.map.emplace(key, shard.lru.begin());
   shard.bytes += charge;
@@ -60,6 +82,7 @@ bool BlockCache::touch(std::uint64_t file_id, std::uint64_t block_index,
     shard.map.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
+    cache_evictions().inc();
   }
   return false;
 }

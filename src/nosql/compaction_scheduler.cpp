@@ -2,9 +2,27 @@
 
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace graphulo::nosql {
+
+namespace {
+
+obs::Counter& tasks_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "compaction.tasks.total", "Background compaction tasks enqueued");
+  return c;
+}
+obs::Gauge& queue_depth() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "compaction.queue.depth",
+      "Background compaction tasks queued or running");
+  return g;
+}
+
+}  // namespace
 
 CompactionScheduler::CompactionScheduler(std::size_t threads)
     : pool_(threads == 0 ? 1 : threads) {}
@@ -25,15 +43,19 @@ bool CompactionScheduler::enqueue(std::function<void()> task) {
     ++queued_;
     ++in_flight_;
   }
+  tasks_total().inc();
+  queue_depth().add(1);
   try {
     pool_.submit([this, task = std::move(task)] {
       try {
+        TRACE_SPAN("compaction.task");
         task();
       } catch (const std::exception& e) {
         GRAPHULO_WARN << "CompactionScheduler: task failed: " << e.what();
       } catch (...) {
         GRAPHULO_WARN << "CompactionScheduler: task failed with unknown error";
       }
+      queue_depth().add(-1);
       std::lock_guard lock(mutex_);
       ++completed_;
       --in_flight_;
@@ -41,6 +63,7 @@ bool CompactionScheduler::enqueue(std::function<void()> task) {
     });
   } catch (const std::exception&) {
     // Pool refused (stopped): roll the accounting back.
+    queue_depth().add(-1);
     std::lock_guard lock(mutex_);
     --queued_;
     --in_flight_;

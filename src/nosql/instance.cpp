@@ -4,6 +4,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/export.hpp"
+#include "util/table_printer.hpp"
+
 namespace graphulo::nosql {
 
 Instance::Instance(int num_tablet_servers) {
@@ -370,6 +373,28 @@ std::size_t Instance::entry_estimate(const std::string& name) const {
   std::size_t total = 0;
   for (const auto& t : get_table(name).tablets_) total += t->entry_estimate();
   return total;
+}
+
+std::string Instance::metrics_report() const {
+  std::string out;
+  {
+    // The monitor's server summary: this instance's traffic only.
+    util::TablePrinter servers(
+        {"server", "entries_written", "mutations", "scans"});
+    std::shared_lock lock(catalog_mutex_);
+    for (const auto& server : servers_) {
+      const auto s = server->stats();
+      servers.add_row({std::to_string(server->id()),
+                       std::to_string(s.entries_written),
+                       std::to_string(s.mutations_applied),
+                       std::to_string(s.scans_started)});
+    }
+    out += servers.to_string("tablet servers");
+  }
+  out += "\n";
+  out += obs::metrics_table(obs::MetricsRegistry::global().snapshot(),
+                            "runtime metrics");
+  return out;
 }
 
 }  // namespace graphulo::nosql

@@ -194,6 +194,12 @@ class Instance {
 
   // -- introspection -------------------------------------------------------
 
+  /// Human-readable report over the global metrics registry — the
+  /// monitor-page view: per-server traffic, then every registry series
+  /// (counters, gauges, span histograms with p50/p95/p99). Pure
+  /// formatting; the data is the same snapshot the exporters serialize.
+  std::string metrics_report() const;
+
   int tablet_server_count() const noexcept {
     return static_cast<int>(servers_.size());
   }

@@ -5,10 +5,23 @@
 
 #include "nosql/filter_iterators.hpp"
 #include "nosql/visibility.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace graphulo::nosql {
 
 namespace {
+
+obs::Counter& scan_cells() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "scan.cells.total", "Cells delivered to scan callbacks");
+  return c;
+}
+obs::Counter& scan_blocks() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "scan.blocks.total", "Cell blocks delivered on the batched scan path");
+  return c;
+}
 
 IterPtr wrap_stages(IterPtr stack, const std::set<std::string>& families,
                     const std::optional<std::set<std::string>>& auths,
@@ -27,6 +40,7 @@ IterPtr wrap_stages(IterPtr stack, const std::set<std::string>& families,
 std::size_t run_scan(SortedKVIterator& stack, const Range& range,
                      std::size_t batch,
                      const std::function<void(const Key&, const Value&)>& fn) {
+  TRACE_SPAN("scan.range");
   std::size_t delivered = 0;
   stack.seek(range);
   if (batch <= 1) {
@@ -36,15 +50,20 @@ std::size_t run_scan(SortedKVIterator& stack, const Range& range,
       ++delivered;
       stack.next();
     }
+    scan_cells().inc(delivered);
     return delivered;
   }
   CellBlock block;
+  std::size_t blocks = 0;
   while (stack.has_top()) {
     block.clear();
     if (stack.next_block(block, batch) == 0) break;
     for (const auto& c : block) fn(c.key, c.value);
     delivered += block.size();
+    ++blocks;
   }
+  scan_cells().inc(delivered);
+  scan_blocks().inc(blocks);
   return delivered;
 }
 

@@ -8,12 +8,31 @@
 
 #include "nosql/filter_iterators.hpp"
 #include "nosql/merge_iterator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace graphulo::nosql {
 
 namespace {
+
+obs::Counter& flush_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablet.flush.total", "Minor compactions (memtable flushes) completed");
+  return c;
+}
+obs::Counter& major_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablet.compaction.total", "Major compactions completed");
+  return c;
+}
+obs::Gauge& frozen_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "tablet.frozen.memtables",
+      "Frozen (immutable) memtables awaiting background flush");
+  return g;
+}
 
 /// Ceiling on frozen memtables per tablet before writers block: enough
 /// to ride out a slow flush, small enough to bound memory.
@@ -36,6 +55,12 @@ std::vector<Cell> drain_all(SortedKVIterator& stack) {
 }
 
 }  // namespace
+
+Tablet::~Tablet() {
+  if (!frozen_.empty()) {
+    frozen_gauge().add(-static_cast<std::int64_t>(frozen_.size()));
+  }
+}
 
 void Tablet::set_compaction_scheduler(CompactionScheduler* s) {
   std::lock_guard lock(mutex_);
@@ -113,6 +138,7 @@ std::vector<Cell> Tablet::build_minor_cells(
   // Site fires before any state change: a failed flush leaves memtable
   // and file set exactly as they were.
   util::fault::point(util::fault::sites::kMemtableFlush);
+  TRACE_SPAN("tablet.flush");
   IterPtr stack = std::make_unique<VectorIterator>(snapshot);
   stack = apply_scope_iterators(std::move(stack), settings, kMincScope);
   return drain_all(*stack);
@@ -122,6 +148,7 @@ void Tablet::freeze_active_locked() {
   if (memtable_.empty()) return;  // never enqueue a no-op flush
   frozen_.insert(frozen_.begin(),
                  FrozenMemtable{next_data_seq_++, memtable_.snapshot()});
+  frozen_gauge().add(1);
   memtable_.clear();
   enqueue_minor_locked();
 }
@@ -228,6 +255,7 @@ void Tablet::run_background_major() {
   std::shared_ptr<RFile> output;
   bool ok = true;
   try {
+    TRACE_SPAN("tablet.compact");
     util::fault::point(util::fault::sites::kTabletCompact);
     std::vector<IterPtr> children;
     children.reserve(inputs.size());
@@ -273,6 +301,7 @@ void Tablet::run_background_major() {
       // can hold a sequence number inside the merged range.
       if (output) insert_file_locked(inputs.front().seq, output);
       ++major_compactions_;
+      major_total().inc();
     } else {
       GRAPHULO_DEBUG << "Tablet: discarding background major result "
                      << "(inputs changed during merge)";
@@ -285,12 +314,14 @@ void Tablet::run_background_major() {
 
 void Tablet::install_minor_locked(std::uint64_t seq,
                                   const std::shared_ptr<RFile>& file) {
-  std::erase_if(frozen_,
-                [&](const FrozenMemtable& f) { return f.seq == seq; });
+  const auto erased = std::erase_if(
+      frozen_, [&](const FrozenMemtable& f) { return f.seq == seq; });
+  frozen_gauge().add(-static_cast<std::int64_t>(erased));
   // A minc stack may legitimately drop every cell (filters): count the
   // flush but never install a zero-cell file.
   if (file && !file->empty()) insert_file_locked(seq, file);
   ++minor_compactions_;
+  flush_total().inc();
   state_cv_.notify_all();
 }
 
@@ -333,6 +364,7 @@ void Tablet::flush_locked() {
   }
   memtable_.clear();
   ++minor_compactions_;
+  flush_total().inc();
   state_cv_.notify_all();
 }
 
@@ -351,6 +383,7 @@ void Tablet::major_compact_locked() {
   // (table_apply / table_filter) and delete resolution depend on every
   // cell passing through the compaction stack.
   if (files_.empty()) return;
+  TRACE_SPAN("tablet.compact");
   // Before any state change, like the flush site above.
   util::fault::point(util::fault::sites::kTabletCompact);
   std::vector<IterPtr> children;
@@ -377,6 +410,7 @@ void Tablet::major_compact_locked() {
                        RFile::from_sorted(std::move(cells), config_->rfile));
   }
   ++major_compactions_;
+  major_total().inc();
   state_cv_.notify_all();
 }
 

@@ -100,6 +100,11 @@ class Tablet : public std::enable_shared_from_this<Tablet> {
         cache_(cache),
         scheduler_(scheduler) {}
 
+  /// Releases the tablet's contribution to the global frozen-memtable
+  /// gauge (a tablet dropped with unflushed frozen memtables must not
+  /// leave them counted forever).
+  ~Tablet();
+
   const TabletExtent& extent() const noexcept { return extent_; }
 
   /// Attaches (or detaches, with nullptr) the background scheduler

@@ -8,11 +8,35 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 
 namespace graphulo::nosql {
 
 namespace {
+
+// Registry handles resolved once; the hot path only touches atomics.
+obs::Counter& wal_appends() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "wal.appends.total", "WAL records appended (acknowledged)");
+  return c;
+}
+obs::Counter& wal_commit_batches() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "wal.commit.batches.total", "WAL commit batches written to disk");
+  return c;
+}
+obs::Counter& wal_commit_records() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "wal.commit.records.total", "WAL records written inside commit batches");
+  return c;
+}
+obs::Counter& wal_commit_bytes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "wal.commit.bytes.total", "Framed WAL bytes written to disk");
+  return c;
+}
 
 constexpr std::uint32_t kRecordMagic = 0x57414c32;  // "WAL2" (WAL1 + seq)
 
@@ -301,6 +325,7 @@ void WriteAheadLog::commit_pending_locked(std::unique_lock<std::mutex>& lock,
   std::exception_ptr error;
   try {
     if (!batch.empty()) {
+      TRACE_SPAN("wal.commit");
       // The injection site fires before any byte of the batch is
       // written; a retry re-attempts the whole batch exactly once.
       util::with_retries("wal.commit", commit_retry_policy(),
@@ -311,8 +336,13 @@ void WriteAheadLog::commit_pending_locked(std::unique_lock<std::mutex>& lock,
       buffer.reserve(total);
       for (const auto& r : batch) buffer.append(r.framed);
       write_all(fd_, buffer.data(), buffer.size(), path_);
+      if (do_fsync) fsync_or_throw(fd_, path_);
+      wal_commit_batches().inc();
+      wal_commit_records().inc(batch.size());
+      wal_commit_bytes().inc(buffer.size());
+    } else if (do_fsync) {
+      fsync_or_throw(fd_, path_);
     }
-    if (do_fsync) fsync_or_throw(fd_, path_);
   } catch (const std::exception& e) {
     // Sticky: the batch is lost and every later append must fail too,
     // or the log would develop a seq gap. Surfaced as FatalError so
@@ -338,6 +368,9 @@ void WriteAheadLog::write_record(WalRecord record) {
   // log untouched, so the caller's retry appends the record exactly
   // once.
   util::fault::point(util::fault::sites::kWalAppend);
+  // Append latency as seen by the caller: everything from here to the
+  // acknowledgement, including any group-commit durability wait.
+  TRACE_SPAN("wal.append");
   std::unique_lock lock(mutex_);
   throw_if_failed_locked();
 
@@ -352,10 +385,18 @@ void WriteAheadLog::write_record(WalRecord record) {
     // commit site fires before the write, so an escaping
     // TransientError leaves the sequence number unconsumed and the
     // caller's retry appends exactly once.
-    util::with_retries("wal.commit", commit_retry_policy(),
-                       [] { util::fault::point(util::fault::sites::kWalCommit); });
-    write_all(fd_, framed.data(), framed.size(), path_);
-    fsync_or_throw(fd_, path_);
+    {
+      TRACE_SPAN("wal.commit");
+      util::with_retries("wal.commit", commit_retry_policy(),
+                         [] { util::fault::point(util::fault::sites::kWalCommit); });
+      write_all(fd_, framed.data(), framed.size(), path_);
+      fsync_or_throw(fd_, path_);
+    }
+    // Per-append mode commits a batch of one.
+    wal_commit_batches().inc();
+    wal_commit_records().inc();
+    wal_commit_bytes().inc(framed.size());
+    wal_appends().inc();
     ++next_seq_;
     durable_seq_ = record.seq;
     durable_cv_.notify_all();
@@ -378,11 +419,13 @@ void WriteAheadLog::write_record(WalRecord record) {
       return durable_seq_ >= record.seq || commit_error_ != nullptr;
     });
     if (durable_seq_ < record.seq) throw_if_failed_locked();
+    wal_appends().inc();
     return;
   }
 
   // Interval mode: fire-and-forget; wake the committer early once the
   // byte threshold is crossed.
+  wal_appends().inc();
   if (pending_bytes_ >= options_.max_batch_bytes) committer_cv_.notify_one();
 }
 

@@ -1,0 +1,506 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table_printer.hpp"
+
+namespace graphulo::obs {
+
+namespace {
+
+/// Metric names use '.' as a separator; the exposition format allows
+/// only [a-zA-Z0-9_:].
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+/// Label-value escaping per the exposition format: backslash, double
+/// quote, and newline.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest faithful rendering: integers print without a fraction,
+/// everything else with enough digits to round-trip through strtod.
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// HELP text escaping: backslash and newline.
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& family : snapshot.families) {
+    const std::string name = prometheus_name(family.name);
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + escape_help(family.help) + "\n";
+    }
+    out += "# TYPE " + name + " " + type_name(family.kind) + "\n";
+    for (const auto& series : family.series) {
+      if (family.kind != MetricKind::kHistogram) {
+        out += name + format_labels(series.labels) + " " +
+               format_double(series.value) + "\n";
+        continue;
+      }
+      // Cumulative buckets, then the mandatory +Inf, _sum, _count.
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < series.bounds.size(); ++i) {
+        cumulative += series.bucket_counts[i];
+        Labels with_le = series.labels;
+        with_le.emplace_back("le", format_double(series.bounds[i]));
+        out += name + "_bucket" + format_labels(with_le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      cumulative += series.bucket_counts.empty()
+                        ? 0
+                        : series.bucket_counts.back();
+      Labels inf = series.labels;
+      inf.emplace_back("le", "+Inf");
+      out += name + "_bucket" + format_labels(inf) + " " +
+             std::to_string(cumulative) + "\n";
+      out += name + "_sum" + format_labels(series.labels) + " " +
+             format_double(series.sum) + "\n";
+      out += name + "_count" + format_labels(series.labels) + " " +
+             std::to_string(series.count) + "\n";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// -- minimal JSON value parser (only what from_json needs) ------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (p >= end) return false;
+    switch (*p) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.str);
+      case 't':
+        if (end - p >= 4 && std::string(p, 4) == "true") {
+          out.type = JsonValue::Type::kBool;
+          out.boolean = true;
+          p += 4;
+          return true;
+        }
+        return false;
+      case 'f':
+        if (end - p >= 5 && std::string(p, 5) == "false") {
+          out.type = JsonValue::Type::kBool;
+          out.boolean = false;
+          p += 5;
+          return true;
+        }
+        return false;
+      case 'n':
+        if (end - p >= 4 && std::string(p, 4) == "null") {
+          out.type = JsonValue::Type::kNull;
+          p += 4;
+          return true;
+        }
+        return false;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end - p < 5) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return false;
+            }
+            // Only the escapes json_escape emits (< 0x20) need support.
+            if (code > 0x7f) return false;
+            out += static_cast<char>(code);
+            p += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    char* num_end = nullptr;
+    out.number = std::strtod(p, &num_end);
+    if (num_end == p) return false;
+    out.type = JsonValue::Type::kNumber;
+    p = num_end;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++p;  // '['
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      out.array.push_back(std::move(item));
+      skip_ws();
+      if (p >= end) return false;
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == ']') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++p;  // '{'
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return false;
+      ++p;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (p >= end) return false;
+      if (*p == ',') {
+        ++p;
+        continue;
+      }
+      if (*p == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"families\": [";
+  bool first_family = true;
+  for (const auto& family : snapshot.families) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += "\n {\"name\": \"" + json_escape(family.name) + "\", \"help\": \"" +
+           json_escape(family.help) + "\", \"type\": \"" +
+           type_name(family.kind) + "\", \"series\": [";
+    bool first_series = true;
+    for (const auto& series : family.series) {
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "\n  {\"labels\": " + labels_json(series.labels);
+      if (family.kind != MetricKind::kHistogram) {
+        out += ", \"value\": " + format_double(series.value) + "}";
+        continue;
+      }
+      out += ", \"count\": " + std::to_string(series.count) +
+             ", \"sum\": " + format_double(series.sum) + ", \"bounds\": [";
+      for (std::size_t i = 0; i < series.bounds.size(); ++i) {
+        if (i) out += ", ";
+        out += format_double(series.bounds[i]);
+      }
+      out += "], \"bucket_counts\": [";
+      for (std::size_t i = 0; i < series.bucket_counts.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(series.bucket_counts[i]);
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool from_json(const std::string& json, MetricsSnapshot& out) {
+  JsonParser parser{json.data(), json.data() + json.size()};
+  JsonValue root;
+  if (!parser.parse_value(root)) return false;
+  if (root.type != JsonValue::Type::kObject) return false;
+  const JsonValue* families = root.get("families");
+  if (!families || families->type != JsonValue::Type::kArray) return false;
+
+  out.families.clear();
+  for (const auto& fv : families->array) {
+    if (fv.type != JsonValue::Type::kObject) return false;
+    FamilySnapshot family;
+    const JsonValue* name = fv.get("name");
+    const JsonValue* help = fv.get("help");
+    const JsonValue* type = fv.get("type");
+    const JsonValue* series = fv.get("series");
+    if (!name || name->type != JsonValue::Type::kString) return false;
+    if (!type || type->type != JsonValue::Type::kString) return false;
+    if (!series || series->type != JsonValue::Type::kArray) return false;
+    family.name = name->str;
+    if (help && help->type == JsonValue::Type::kString) family.help = help->str;
+    if (type->str == "counter") family.kind = MetricKind::kCounter;
+    else if (type->str == "gauge") family.kind = MetricKind::kGauge;
+    else if (type->str == "histogram") family.kind = MetricKind::kHistogram;
+    else return false;
+
+    for (const auto& sv : series->array) {
+      if (sv.type != JsonValue::Type::kObject) return false;
+      SeriesSnapshot s;
+      const JsonValue* labels = sv.get("labels");
+      if (!labels || labels->type != JsonValue::Type::kObject) return false;
+      for (const auto& [k, v] : labels->object) {
+        if (v.type != JsonValue::Type::kString) return false;
+        s.labels.emplace_back(k, v.str);
+      }
+      if (family.kind != MetricKind::kHistogram) {
+        const JsonValue* value = sv.get("value");
+        if (!value || value->type != JsonValue::Type::kNumber) return false;
+        s.value = value->number;
+      } else {
+        const JsonValue* count = sv.get("count");
+        const JsonValue* sum = sv.get("sum");
+        const JsonValue* bounds = sv.get("bounds");
+        const JsonValue* buckets = sv.get("bucket_counts");
+        if (!count || count->type != JsonValue::Type::kNumber) return false;
+        if (!sum || sum->type != JsonValue::Type::kNumber) return false;
+        if (!bounds || bounds->type != JsonValue::Type::kArray) return false;
+        if (!buckets || buckets->type != JsonValue::Type::kArray) return false;
+        s.count = static_cast<std::uint64_t>(count->number);
+        s.sum = sum->number;
+        for (const auto& b : bounds->array) {
+          if (b.type != JsonValue::Type::kNumber) return false;
+          s.bounds.push_back(b.number);
+        }
+        for (const auto& b : buckets->array) {
+          if (b.type != JsonValue::Type::kNumber) return false;
+          s.bucket_counts.push_back(static_cast<std::uint64_t>(b.number));
+        }
+      }
+      family.series.push_back(std::move(s));
+    }
+    out.families.push_back(std::move(family));
+  }
+  parser.skip_ws();
+  return parser.p == parser.end;
+}
+
+// ---------------------------------------------------------------------------
+// Human table
+// ---------------------------------------------------------------------------
+
+std::string metrics_table(const MetricsSnapshot& snapshot,
+                          const std::string& title) {
+  util::TablePrinter table(
+      {"metric", "type", "labels", "value", "p50", "p95", "p99"});
+  for (const auto& family : snapshot.families) {
+    for (const auto& series : family.series) {
+      std::string labels;
+      for (const auto& [k, v] : series.labels) {
+        if (!labels.empty()) labels += ",";
+        labels += k + "=" + v;
+      }
+      if (labels.empty()) labels = "-";
+      if (family.kind != MetricKind::kHistogram) {
+        table.add_row({family.name, type_name(family.kind), labels,
+                       format_double(series.value), "-", "-", "-"});
+        continue;
+      }
+      // Rebuild a histogram to reuse its quantile interpolation.
+      Histogram h(series.bounds);
+      // quantile() only needs bucket occupancy; replay the counts with
+      // representative in-bucket values.
+      std::vector<std::uint64_t> counts = series.bucket_counts;
+      const double mean =
+          series.count > 0 ? series.sum / static_cast<double>(series.count)
+                           : 0.0;
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double v = i < series.bounds.size()
+                             ? series.bounds[i]
+                             : (series.bounds.empty() ? 0.0
+                                                      : series.bounds.back());
+        for (std::uint64_t n = 0; n < counts[i]; ++n) h.observe(v);
+      }
+      table.add_row({family.name, "histogram", labels,
+                     std::to_string(series.count) + " (mean " +
+                         util::TablePrinter::fmt(mean * 1e6, 1) + "us)",
+                     util::TablePrinter::fmt(h.quantile(0.50) * 1e6, 1) + "us",
+                     util::TablePrinter::fmt(h.quantile(0.95) * 1e6, 1) + "us",
+                     util::TablePrinter::fmt(h.quantile(0.99) * 1e6, 1) +
+                         "us"});
+    }
+  }
+  return table.to_string(title);
+}
+
+}  // namespace graphulo::obs

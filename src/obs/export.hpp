@@ -1,0 +1,33 @@
+#pragma once
+// Exporters over MetricsSnapshot: Prometheus text exposition format,
+// a JSON snapshot (with a parser, so dumps round-trip), and a human
+// table in the style of the Accumulo monitor pages.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace graphulo::obs {
+
+/// Prometheus text exposition format (version 0.0.4): one HELP + TYPE
+/// line per family, dots in metric names folded to underscores,
+/// histograms expanded to cumulative `_bucket{le=...}` + `_sum` +
+/// `_count` samples.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON document: {"families": [{name, help, type, series: [...]}]}.
+/// Counter/gauge series carry {"labels", "value"}; histogram series
+/// carry {"labels", "count", "sum", "bounds", "bucket_counts"}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Parses a to_json() document back into a snapshot. Returns false on
+/// malformed input (out is left partially filled). to_json(parse(x))
+/// reproduces x byte-for-byte for any x produced by to_json.
+bool from_json(const std::string& json, MetricsSnapshot& out);
+
+/// Renders the snapshot as an aligned console table: one row per
+/// series; histograms show count, mean, and approximate p50/p95/p99.
+std::string metrics_table(const MetricsSnapshot& snapshot,
+                          const std::string& title = "metrics");
+
+}  // namespace graphulo::obs

@@ -1,0 +1,321 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "util/fault.hpp"
+
+namespace graphulo::obs {
+
+std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be sorted");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  // Linear scan: the default scheme has 22 bounds and latency samples
+  // land in the low buckets, so this beats a branchy binary search.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      if (i >= bounds_.size()) {
+        // +Inf bucket: the best point estimate is the largest finite
+        // bound (or 0 for a bound-less histogram).
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_buckets() {
+  static const std::vector<double> kBuckets = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+      5e-4, 1e-3,   2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+      2.5e-1, 5e-1, 1.0,  2.5,  5.0,  10.0};
+  return kBuckets;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+    return false;
+  }
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+    return false;
+  }
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+struct MetricsRegistry::Series {
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct MetricsRegistry::Family {
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::map<Labels, Series> series;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Series& MetricsRegistry::get_series(
+    const std::string& name, const std::string& help, MetricKind kind,
+    const Labels& labels, const std::vector<double>* bounds) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("MetricsRegistry: invalid metric name '" +
+                                name + "'");
+  }
+  for (const auto& [k, v] : labels) {
+    if (!valid_label_name(k)) {
+      throw std::invalid_argument("MetricsRegistry: invalid label name '" + k +
+                                  "' on metric '" + name + "'");
+    }
+  }
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::lock_guard lock(mutex_);
+  auto& family = families_[name];
+  if (!family) {
+    family = std::make_unique<Family>();
+    family->kind = kind;
+    family->help = help;
+  } else if (family->kind != kind) {
+    throw std::logic_error("MetricsRegistry: metric '" + name +
+                           "' already registered as " +
+                           kind_name(family->kind) + ", requested " +
+                           kind_name(kind));
+  }
+  if (family->help.empty() && !help.empty()) family->help = help;
+  Series& series = family->series[std::move(sorted)];
+  if (!series.counter && !series.gauge && !series.histogram) {
+    switch (kind) {
+      case MetricKind::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        series.histogram = std::make_unique<Histogram>(
+            bounds ? *bounds : default_latency_buckets());
+        break;
+    }
+  }
+  return series;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return *get_series(name, help, MetricKind::kCounter, labels, nullptr)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return *get_series(name, help, MetricKind::kGauge, labels, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const std::vector<double>& upper_bounds,
+                                      const Labels& labels) {
+  return *get_series(name, help, MetricKind::kHistogram, labels, &upper_bounds)
+              .histogram;
+}
+
+void MetricsRegistry::register_collector(Collector fn) {
+  std::lock_guard lock(mutex_);
+  collectors_.push_back(std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Collectors run outside the registry mutex: they typically call
+  // gauge(...).set(...), which takes it.
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard lock(mutex_);
+    collectors = collectors_;
+  }
+  for (const auto& fn : collectors) {
+    fn(const_cast<MetricsRegistry&>(*this));
+  }
+
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.families.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = family->help;
+    fs.kind = family->kind;
+    fs.series.reserve(family->series.size());
+    for (const auto& [labels, series] : family->series) {
+      SeriesSnapshot ss;
+      ss.labels = labels;
+      switch (family->kind) {
+        case MetricKind::kCounter:
+          ss.value = static_cast<double>(series.counter->value());
+          break;
+        case MetricKind::kGauge:
+          ss.value = static_cast<double>(series.gauge->value());
+          break;
+        case MetricKind::kHistogram:
+          ss.count = series.histogram->count();
+          ss.sum = series.histogram->sum();
+          ss.bounds = series.histogram->bounds();
+          ss.bucket_counts = series.histogram->bucket_counts();
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    snap.families.push_back(std::move(fs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, family] : families_) {
+    for (auto& [labels, series] : family->series) {
+      if (series.counter) series.counter->reset();
+      if (series.gauge) series.gauge->reset();
+      if (series.histogram) series.histogram->reset();
+    }
+  }
+}
+
+const SeriesSnapshot* MetricsSnapshot::find(const std::string& name,
+                                            const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& family : families) {
+    if (family.name != name) continue;
+    for (const auto& series : family.series) {
+      if (series.labels == sorted) return &series;
+    }
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(const std::string& name,
+                              const Labels& labels) const {
+  const SeriesSnapshot* s = find(name, labels);
+  return s ? s->value : 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();  // never destroyed: handles outlive exit
+    // Default collector: mirror the fault-injection sites' hit/fire
+    // counters (owned by util::fault) into labeled gauges, so injected
+    // failure traffic appears in the same export as everything else.
+    r->register_collector([](MetricsRegistry& reg) {
+      for (const auto& site : util::fault::all_sites()) {
+        const auto stats = util::fault::stats(site);
+        if (stats.hits == 0 && stats.fires == 0) continue;
+        reg.gauge("fault.site.hits", "Times an armed fault site was reached",
+                  {{"site", site}})
+            .set(static_cast<std::int64_t>(stats.hits));
+        reg.gauge("fault.site.fires", "Times a fault site threw",
+                  {{"site", site}})
+            .set(static_cast<std::int64_t>(stats.fires));
+      }
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace graphulo::obs

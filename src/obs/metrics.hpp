@@ -1,0 +1,223 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and
+// fixed-bucket histograms, optionally labeled, aggregated on read.
+//
+// The paper's premise — graph kernels running INSIDE the database —
+// makes their cost invisible without server-side telemetry (Weale et
+// al. had to bolt external measurement onto Accumulo's monitor to
+// explain TableMult scaling). This registry is the in-process stand-in
+// for that monitor: every hot path (WAL commit, flush/compaction,
+// block cache, scan, BatchWriter, TableMult) records into it, and one
+// snapshot answers "what is the system doing".
+//
+// Write-path cost model:
+//   Counter::inc    one relaxed fetch_add on a thread-striped,
+//                   cache-line-padded cell (no sharing between the
+//                   stripes concurrent writers land on);
+//   Gauge::set/add  one relaxed atomic op;
+//   Histogram::observe
+//                   a short linear scan of the fixed bucket bounds
+//                   plus two relaxed atomic adds.
+// Reads (snapshot/export) sum the cells under the registry mutex; they
+// are NOT linearizable against concurrent writers — each cell is read
+// atomically, so totals are a consistent-enough monitoring view, never
+// torn values.
+//
+// Handle lifetime: counter()/gauge()/histogram() return references
+// that stay valid for the registry's lifetime (the global registry
+// lives for the process). Hot paths resolve a handle once (static
+// local or member) and increment through it lock-free.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphulo::obs {
+
+/// Sorted (name, value) label pairs identifying one series of a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Assigns each thread a small dense index (first use registers the
+/// thread); counters stripe their cells by it.
+std::size_t thread_stripe() noexcept;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 8;
+
+  void inc(std::uint64_t n = 1) noexcept {
+    cells_[thread_stripe() % kStripes].v.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// A value that goes up and down (queue depths, in-flight counts).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: per-bucket counts plus sum/count, Prometheus
+/// cumulative-`le` semantics produced at export time. Bucket bounds are
+/// fixed at registration, so observe() never allocates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Finite upper bounds; an implicit +Inf bucket follows the last.
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+  /// Per-bucket (non-cumulative) counts, bounds().size() + 1 entries
+  /// (the final entry is the +Inf bucket).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Approximate quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket the rank lands in; returns 0 for an empty histogram and
+  /// the largest finite bound for ranks in the +Inf bucket.
+  double quantile(double q) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1 cells
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The default bucket scheme for latency histograms: 1-2.5-5 decades
+/// from 1 microsecond to 10 seconds (22 finite buckets + Inf), wide
+/// enough for a cached counter bump and a multi-second compaction in
+/// the same family.
+const std::vector<double>& default_latency_buckets();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time value of one labeled series.
+struct SeriesSnapshot {
+  Labels labels;
+  double value = 0.0;                        ///< counter/gauge
+  std::uint64_t count = 0;                   ///< histogram
+  double sum = 0.0;                          ///< histogram
+  std::vector<double> bounds;                ///< histogram
+  std::vector<std::uint64_t> bucket_counts;  ///< histogram, bounds+1
+};
+
+/// One metric family: a name, a kind, and its labeled series.
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<SeriesSnapshot> series;  ///< sorted by labels
+};
+
+/// A full registry snapshot, families sorted by name.
+struct MetricsSnapshot {
+  std::vector<FamilySnapshot> families;
+
+  /// The named series, or nullptr. Labels must match exactly
+  /// (pass {} for an unlabeled series).
+  const SeriesSnapshot* find(const std::string& name,
+                             const Labels& labels = {}) const;
+
+  /// Counter/gauge value of the series (0 when absent).
+  double value(const std::string& name, const Labels& labels = {}) const;
+};
+
+/// Thread-safe named-metric registry. Metric names may contain
+/// [a-zA-Z0-9_.] (starting with a letter or '_'); dots are separators
+/// that the Prometheus exporter folds to underscores. Registering the
+/// same (name, labels) twice returns the same object; registering a
+/// name under two different kinds throws.
+class MetricsRegistry {
+ public:
+  // Out of line: Family is incomplete here and the map member's
+  // cleanup paths must not instantiate against it.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem records into. Created on
+  /// first use with the default collectors (fault-site mirror)
+  /// installed.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       const std::vector<double>& upper_bounds =
+                           default_latency_buckets(),
+                       const Labels& labels = {});
+
+  /// Runs at snapshot time, before values are read — pull-style metrics
+  /// (e.g. fault-site counters owned elsewhere) set gauges here.
+  using Collector = std::function<void(MetricsRegistry&)>;
+  void register_collector(Collector fn);
+
+  /// Aggregated point-in-time view (runs collectors first).
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered cell (registrations and collectors stay).
+  /// Tests use this to isolate assertions against the global registry.
+  void reset_values();
+
+ private:
+  struct Series;
+  struct Family;
+
+  Series& get_series(const std::string& name, const std::string& help,
+                     MetricKind kind, const Labels& labels,
+                     const std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Family>> families_;
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace graphulo::obs

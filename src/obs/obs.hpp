@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for the observability subsystem: the metrics
+// registry (counters/gauges/histograms), scoped trace spans, and the
+// exporters (Prometheus text, JSON, human table).
+
+#include "obs/export.hpp"   // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

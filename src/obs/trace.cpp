@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace graphulo::obs {
+
+namespace {
+
+std::atomic<bool> g_spans_enabled{true};
+
+// The trace ring: a bounded deque of completed events guarded by one
+// mutex. Kept deliberately simple — the ring is a debugging capture
+// enabled explicitly, never a steady-state path.
+struct TraceRing {
+  std::mutex mutex;
+  std::size_t capacity = 0;
+  std::size_t next = 0;  ///< ring cursor
+  bool wrapped = false;
+  std::vector<TraceEvent> events;
+  bool have_epoch = false;
+  std::chrono::steady_clock::time_point epoch;
+};
+
+TraceRing& ring() {
+  static TraceRing r;
+  return r;
+}
+
+std::atomic<bool> g_ring_enabled{false};
+
+}  // namespace
+
+bool spans_enabled() noexcept {
+  return g_spans_enabled.load(std::memory_order_relaxed);
+}
+
+void set_spans_enabled(bool enabled) noexcept {
+  g_spans_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool detail::trace_ring_enabled() noexcept {
+  return g_ring_enabled.load(std::memory_order_relaxed);
+}
+
+void detail::record_trace_event(const char* name,
+                                std::chrono::steady_clock::time_point start,
+                                std::chrono::steady_clock::time_point end) {
+  TraceRing& r = ring();
+  std::lock_guard lock(r.mutex);
+  if (r.capacity == 0) return;
+  if (!r.have_epoch) {
+    r.epoch = start;
+    r.have_epoch = true;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.tid = static_cast<std::uint64_t>(thread_stripe());
+  event.start_us =
+      std::chrono::duration<double, std::micro>(start - r.epoch).count();
+  event.duration_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  if (r.events.size() < r.capacity) {
+    r.events.push_back(event);
+  } else {
+    r.events[r.next] = event;
+    r.wrapped = true;
+  }
+  r.next = (r.next + 1) % r.capacity;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  site_->histogram->observe(
+      std::chrono::duration<double>(end - start_).count());
+  if (detail::trace_ring_enabled()) {
+    detail::record_trace_event(site_->name, start_, end);
+  }
+}
+
+void set_trace_capacity(std::size_t capacity) {
+  TraceRing& r = ring();
+  std::lock_guard lock(r.mutex);
+  r.capacity = capacity;
+  r.events.clear();
+  r.events.reserve(capacity);
+  r.next = 0;
+  r.wrapped = false;
+  r.have_epoch = false;
+  g_ring_enabled.store(capacity > 0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> trace_events() {
+  TraceRing& r = ring();
+  std::lock_guard lock(r.mutex);
+  if (!r.wrapped) return r.events;
+  // Oldest-first rotation of a wrapped ring.
+  std::vector<TraceEvent> out;
+  out.reserve(r.events.size());
+  for (std::size_t i = 0; i < r.events.size(); ++i) {
+    out.push_back(r.events[(r.next + i) % r.events.size()]);
+  }
+  return out;
+}
+
+void clear_trace() {
+  TraceRing& r = ring();
+  std::lock_guard lock(r.mutex);
+  r.events.clear();
+  r.next = 0;
+  r.wrapped = false;
+  r.have_epoch = false;
+}
+
+std::string trace_json() {
+  const auto events = trace_events();
+  std::string out = "[";
+  bool first = true;
+  char buf[64];
+  for (const auto& e : events) {
+    if (!first) out += ",\n ";
+    first = false;
+    out += "{\"name\": \"";
+    out += e.name;  // site names are code literals: no escaping needed
+    out += "\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    std::snprintf(buf, sizeof(buf), "%.3f", e.start_us);
+    out += ", \"ts\": ";
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", e.duration_us);
+    out += ", \"dur\": ";
+    out += buf;
+    out += "}";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace graphulo::obs

@@ -1,0 +1,106 @@
+#pragma once
+// Scoped RAII trace spans. TRACE_SPAN("tablet.flush") at the top of a
+// scope records the scope's wall time into the global histogram
+// "tablet.flush.seconds"; when the bounded trace ring is enabled
+// (set_trace_capacity > 0) it also appends a timeline event readable
+// as a Chrome-trace JSON document (trace_json()).
+//
+// Cost: spans are ON by default. An enabled span pays two steady_clock
+// reads plus one Histogram::observe (tens of nanoseconds — measured in
+// tests/test_obs.cpp and reported in EXPERIMENTS.md); a disabled span
+// (set_spans_enabled(false)) is one relaxed atomic load and a branch.
+// The per-call-site histogram handle is resolved once, through a
+// function-local static SpanSite.
+//
+// The trace ring is OFF by default and mutex-guarded when on — it is a
+// debugging capture, not a production path; enabling it serializes
+// span exits through one lock.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace graphulo::obs {
+
+/// Global span switch (default on). Disabled spans skip the clock
+/// reads and record nothing.
+bool spans_enabled() noexcept;
+void set_spans_enabled(bool enabled) noexcept;
+
+/// One call site of TRACE_SPAN: resolves (once) the histogram the
+/// site's durations land in. `name` must outlive the site (the macro
+/// passes a string literal).
+struct SpanSite {
+  explicit SpanSite(const char* span_name)
+      : name(span_name),
+        histogram(&MetricsRegistry::global().histogram(
+            std::string(span_name) + ".seconds",
+            std::string("Wall time of ") + span_name + " spans")) {}
+
+  const char* name;
+  Histogram* histogram;
+};
+
+/// The RAII span: times construction..destruction.
+class Span {
+ public:
+  explicit Span(SpanSite& site) noexcept
+      : site_(&site), active_(spans_enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanSite* site_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;
+};
+
+/// One completed span in the trace ring.
+struct TraceEvent {
+  const char* name;       ///< the span's site name (a string literal)
+  std::uint64_t tid;      ///< dense per-thread index (obs::thread_stripe
+                          ///< source, not striped)
+  double start_us;        ///< microseconds since the first ring event
+  double duration_us;
+};
+
+/// Sizes (and clears) the in-memory trace ring; 0 disables capture.
+/// The ring keeps the most recent `capacity` events.
+void set_trace_capacity(std::size_t capacity);
+
+/// Completed events, oldest first.
+std::vector<TraceEvent> trace_events();
+
+/// Clears captured events (capacity unchanged).
+void clear_trace();
+
+/// The captured timeline as a Chrome-trace ("chrome://tracing", also
+/// Perfetto) JSON document: an array of complete ("ph":"X") events.
+std::string trace_json();
+
+namespace detail {
+void record_trace_event(const char* name,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end);
+bool trace_ring_enabled() noexcept;
+}  // namespace detail
+
+}  // namespace graphulo::obs
+
+#define GRAPHULO_OBS_CONCAT2(a, b) a##b
+#define GRAPHULO_OBS_CONCAT(a, b) GRAPHULO_OBS_CONCAT2(a, b)
+
+/// Times the rest of the enclosing scope into "<name>.seconds".
+#define TRACE_SPAN(name)                                            \
+  static ::graphulo::obs::SpanSite GRAPHULO_OBS_CONCAT(             \
+      graphulo_obs_site_, __LINE__)(name);                          \
+  ::graphulo::obs::Span GRAPHULO_OBS_CONCAT(graphulo_obs_span_,     \
+                                            __LINE__)(              \
+      GRAPHULO_OBS_CONCAT(graphulo_obs_site_, __LINE__))

@@ -1,8 +1,10 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 #include "util/strings.hpp"
@@ -10,14 +12,39 @@
 namespace graphulo::util {
 
 namespace {
+
+// Env-init warnings print with raw fprintf, not log_message: they run
+// inside the magic statics log_message itself reads, and a bad value
+// should be reported exactly once regardless of threshold.
+
 std::atomic<int>& level_storage() {
   static std::atomic<int> level = [] {
     if (const char* env = std::getenv("GRAPHULO_LOG")) {
-      return static_cast<int>(parse_log_level(env));
+      LogLevel parsed;
+      if (try_parse_log_level(env, parsed)) return static_cast<int>(parsed);
+      std::fprintf(stderr,
+                   "[WARN] GRAPHULO_LOG=%s is not a log level "
+                   "(debug|info|warn|error); keeping the default (warn)\n",
+                   env);
     }
     return static_cast<int>(LogLevel::kWarn);
   }();
   return level;
+}
+
+std::atomic<int>& format_storage() {
+  static std::atomic<int> format = [] {
+    if (const char* env = std::getenv("GRAPHULO_LOG_FORMAT")) {
+      LogFormat parsed;
+      if (try_parse_log_format(env, parsed)) return static_cast<int>(parsed);
+      std::fprintf(stderr,
+                   "[WARN] GRAPHULO_LOG_FORMAT=%s is not a log format "
+                   "(plain|kv); keeping the default (plain)\n",
+                   env);
+    }
+    return static_cast<int>(LogFormat::kPlain);
+  }();
+  return format;
 }
 
 const char* level_name(LogLevel level) {
@@ -29,6 +56,53 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+const char* level_name_lower(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+/// Dense per-thread index, assigned on first log from a thread.
+std::size_t log_thread_id() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "2026-08-06T12:34:56.789Z" — ISO-8601 UTC with milliseconds.
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+/// Escapes `"` and `\` for the kv rendering's quoted msg value.
+std::string kv_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
 }  // namespace
 
 LogLevel log_level() noexcept {
@@ -39,18 +113,57 @@ void set_log_level(LogLevel level) noexcept {
   level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-LogLevel parse_log_level(const std::string& name) noexcept {
+LogFormat log_format() noexcept {
+  return static_cast<LogFormat>(
+      format_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_format(LogFormat format) noexcept {
+  format_storage().store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+bool try_parse_log_level(const std::string& name, LogLevel& out) noexcept {
   const std::string lower = to_lower(name);
-  if (lower == "debug") return LogLevel::kDebug;
-  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
-  if (lower == "error") return LogLevel::kError;
-  return LogLevel::kInfo;
+  if (lower == "debug") out = LogLevel::kDebug;
+  else if (lower == "info") out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::kWarn;
+  else if (lower == "error") out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+bool try_parse_log_format(const std::string& name, LogFormat& out) noexcept {
+  const std::string lower = to_lower(name);
+  if (lower == "plain") out = LogFormat::kPlain;
+  else if (lower == "kv") out = LogFormat::kKv;
+  else return false;
+  return true;
+}
+
+LogLevel parse_log_level(const std::string& name) noexcept {
+  LogLevel level = LogLevel::kInfo;
+  try_parse_log_level(name, level);
+  return level;
+}
+
+std::string format_log_line(LogLevel level, const std::string& message,
+                            LogFormat format) {
+  const std::string ts = iso8601_now();
+  const std::size_t tid = log_thread_id();
+  if (format == LogFormat::kKv) {
+    return "ts=" + ts + " level=" + level_name_lower(level) +
+           " tid=" + std::to_string(tid) + " msg=\"" + kv_escape(message) +
+           "\"";
+  }
+  return ts + " [" + level_name(level) + "] (tid " + std::to_string(tid) +
+         ") " + message;
 }
 
 void log_message(LogLevel level, const std::string& message) {
+  const std::string line = format_log_line(level, message, log_format());
   static std::mutex mutex;
   std::lock_guard lock(mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace graphulo::util

@@ -2,6 +2,17 @@
 // Leveled logging to stderr. Benches run at Warn by default so their
 // stdout tables stay clean; tests can raise verbosity via
 // GRAPHULO_LOG=debug.
+//
+// Every line carries an ISO-8601 UTC timestamp and a dense per-thread
+// id. Two renderings, selected with GRAPHULO_LOG_FORMAT (or
+// set_log_format):
+//
+//   plain (default):  2026-08-06T12:34:56.789Z [WARN] (tid 0) message
+//   kv:               ts=2026-08-06T12:34:56.789Z level=warn tid=0 msg="message"
+//
+// Unrecognized GRAPHULO_LOG / GRAPHULO_LOG_FORMAT values warn once on
+// stderr and fall back to the default instead of being silently
+// remapped.
 
 #include <sstream>
 #include <string>
@@ -10,15 +21,37 @@ namespace graphulo::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Line rendering: human-readable (kPlain) or key=value (kKv).
+enum class LogFormat { kPlain = 0, kKv = 1 };
+
 /// Global threshold; messages below it are discarded.
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
 
+/// Global line format (see the header comment).
+LogFormat log_format() noexcept;
+void set_log_format(LogFormat format) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive) into `out`.
+/// Returns false (out untouched) for anything else.
+bool try_parse_log_level(const std::string& name, LogLevel& out) noexcept;
+
+/// Parses "plain"/"kv" (case-insensitive) into `out`; false otherwise.
+bool try_parse_log_format(const std::string& name, LogFormat& out) noexcept;
+
 /// Parses "debug"/"info"/"warn"/"error" (case-insensitive); unknown
-/// strings map to kInfo.
+/// strings map to kInfo. Prefer try_parse_log_level when the caller
+/// needs to distinguish bad input (the env-var path does, to warn).
 LogLevel parse_log_level(const std::string& name) noexcept;
 
-/// Emits one line: "[LEVEL] message\n" to stderr (thread-safe).
+/// Renders one line (no trailing newline) in `format`: timestamp,
+/// level, thread id, message. Exposed so tests can check the rendering
+/// without capturing stderr.
+std::string format_log_line(LogLevel level, const std::string& message,
+                            LogFormat format);
+
+/// Emits one line for `message` to stderr in the global format
+/// (thread-safe).
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,482 @@
+// Observability subsystem tests: metrics registry semantics, trace
+// spans + the trace ring, exporter correctness (Prometheus exposition
+// grammar, JSON round-trip with a golden document), span overhead, and
+// an end-to-end smoke workload asserting every instrumented subsystem
+// reports into one global snapshot.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <regex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tablemult.hpp"
+#include "nosql/nosql.hpp"
+#include "obs/obs.hpp"
+#include "util/strings.hpp"
+
+namespace graphulo {
+namespace {
+
+using obs::Labels;
+using obs::MetricKind;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+// ---------------------------------------------------------------------------
+// Registry primitives
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("test.ops.total", "ops");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.inc(5);
+  EXPECT_EQ(c.value(), kThreads * kPerThread + 5);
+}
+
+TEST(Metrics, GaugeSetAddAndSnapshotValue) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("test.queue.depth", "depth");
+  g.set(7);
+  g.add(-3);
+  g.add(1);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("test.queue.depth"), 5.0);
+}
+
+TEST(Metrics, HistogramBucketsSumAndQuantiles) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("test.latency.seconds", "", {1.0, 2.0, 4.0, 8.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  for (const double v : {0.5, 1.5, 1.5, 3.0, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 5u);  // 4 finite bounds + Inf
+  EXPECT_EQ(counts[0], 1u);      // <= 1
+  EXPECT_EQ(counts[1], 2u);      // <= 2
+  EXPECT_EQ(counts[2], 1u);      // <= 4
+  EXPECT_EQ(counts[3], 0u);      // <= 8
+  EXPECT_EQ(counts[4], 1u);      // +Inf
+  // Ranks in the +Inf bucket clamp to the largest finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+  // The median rank lands in the (1, 2] bucket.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+}
+
+TEST(Metrics, SameNameReturnsSameObjectAndKindMismatchThrows) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("test.dup.total");
+  auto& b = reg.counter("test.dup.total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(reg.gauge("test.dup.total"), std::logic_error);
+  EXPECT_THROW(reg.histogram("test.dup.total"), std::logic_error);
+}
+
+TEST(Metrics, InvalidNamesAndLabelsThrow) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("9starts.with.digit"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("ok.name", "", {{"bad-label", "v"}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(reg.counter("_ok.name2", "", {{"good_label", "v"}}));
+}
+
+TEST(Metrics, LabeledSeriesAreIndependent) {
+  MetricsRegistry reg;
+  reg.counter("test.srv.total", "", {{"server", "0"}}).inc(3);
+  reg.counter("test.srv.total", "", {{"server", "1"}}).inc(11);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("test.srv.total", {{"server", "0"}}), 3.0);
+  EXPECT_DOUBLE_EQ(snap.value("test.srv.total", {{"server", "1"}}), 11.0);
+  EXPECT_EQ(snap.find("test.srv.total", {{"server", "2"}}), nullptr);
+  EXPECT_DOUBLE_EQ(snap.value("test.srv.total", {{"server", "2"}}), 0.0);
+}
+
+TEST(Metrics, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("test.reset.total");
+  auto& h = reg.histogram("test.reset.seconds");
+  c.inc(9);
+  h.observe(0.01);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // Same handle still registered and usable.
+  EXPECT_EQ(&reg.counter("test.reset.total"), &c);
+}
+
+TEST(Metrics, CollectorsRunAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::atomic<int> source{0};
+  reg.register_collector([&source](MetricsRegistry& r) {
+    r.gauge("test.pulled.value").set(source.load());
+  });
+  source = 42;
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("test.pulled.value"), 42.0);
+  source = 7;
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("test.pulled.value"), 7.0);
+}
+
+TEST(Metrics, GlobalRegistryMirrorsFaultSites) {
+  // The global registry installs a collector for util::fault sites;
+  // snapshotting must not throw even with no sites armed.
+  EXPECT_NO_THROW(MetricsRegistry::global().snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans and the trace ring
+// ---------------------------------------------------------------------------
+
+TEST(Trace, SpanRecordsIntoNamedHistogram) {
+  auto& reg = MetricsRegistry::global();
+  auto& h = reg.histogram("test.unit_span.seconds");
+  const std::uint64_t before = h.count();
+  for (int i = 0; i < 3; ++i) {
+    TRACE_SPAN("test.unit_span");
+  }
+  EXPECT_EQ(h.count(), before + 3);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  auto& reg = MetricsRegistry::global();
+  auto& h = reg.histogram("test.disabled_span.seconds");
+  const std::uint64_t before = h.count();
+  obs::set_spans_enabled(false);
+  {
+    TRACE_SPAN("test.disabled_span");
+  }
+  obs::set_spans_enabled(true);
+  EXPECT_EQ(h.count(), before);
+  {
+    TRACE_SPAN("test.disabled_span");
+  }
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST(Trace, RingKeepsMostRecentEventsAndExportsChromeTrace) {
+  obs::set_trace_capacity(4);
+  for (int i = 0; i < 6; ++i) {
+    TRACE_SPAN("test.ring_span");
+  }
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 4u);  // ring wrapped, newest 4 kept
+  for (const auto& e : events) {
+    EXPECT_STREQ(e.name, "test.ring_span");
+    EXPECT_GE(e.duration_us, 0.0);
+  }
+  // Oldest first.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_us, events[i - 1].start_us);
+  }
+  const std::string json = obs::trace_json();
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.ring_span"), std::string::npos);
+
+  obs::clear_trace();
+  EXPECT_TRUE(obs::trace_events().empty());
+  obs::set_trace_capacity(0);
+  {
+    TRACE_SPAN("test.ring_span");
+  }
+  EXPECT_TRUE(obs::trace_events().empty());  // capture disabled
+}
+
+TEST(Trace, SpanOverheadStaysSmall) {
+  // Budget check for DESIGN.md §10: an enabled span should cost tens of
+  // nanoseconds; a disabled span a load+branch. Bounds are deliberately
+  // loose so sanitizer builds pass; the measured numbers are printed
+  // for EXPERIMENTS.md.
+  constexpr int kIters = 200000;
+  obs::set_spans_enabled(false);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    TRACE_SPAN("test.overhead_span");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  obs::set_spans_enabled(true);
+  const auto t2 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    TRACE_SPAN("test.overhead_span");
+  }
+  const auto t3 = std::chrono::steady_clock::now();
+
+  const double disabled_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+  const double enabled_ns =
+      std::chrono::duration<double, std::nano>(t3 - t2).count() / kIters;
+  std::printf("span overhead: disabled %.1f ns, enabled %.1f ns\n",
+              disabled_ns, enabled_ns);
+  RecordProperty("disabled_ns", static_cast<int>(disabled_ns));
+  RecordProperty("enabled_ns", static_cast<int>(enabled_ns));
+  EXPECT_LT(disabled_ns, 500.0);
+  EXPECT_LT(enabled_ns, 10000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+/// A small registry covering all three kinds, labels, and characters
+/// the exporters must escape.
+MetricsSnapshot exporter_fixture() {
+  MetricsRegistry reg;
+  reg.counter("demo.requests.total", "Requests served", {{"path", "/a\"b\\c"}})
+      .inc(12);
+  reg.counter("demo.requests.total", "Requests served", {{"path", "/plain"}})
+      .inc(3);
+  reg.gauge("demo.queue.depth", "Queue depth").set(-2);
+  // Integer-valued bounds render exactly ("1", not "%.17g" noise), so
+  // the exposition-format assertions can match sample lines verbatim.
+  auto& h = reg.histogram("demo.latency.seconds", "Request latency",
+                          {1.0, 10.0, 100.0});
+  for (const double v : {0.5, 5.0, 5.0, 50.0, 2000.0}) h.observe(v);
+  return reg.snapshot();
+}
+
+TEST(Export, PrometheusMatchesExpositionGrammar) {
+  const std::string text = obs::to_prometheus(exporter_fixture());
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+
+  const std::regex help_re(R"(^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$)");
+  const std::regex type_re(
+      R"(^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$)");
+  const std::regex sample_re(
+      R"(^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? -?[0-9+][0-9eE.+-]*$)");
+
+  std::set<std::string> typed_families;
+  std::size_t samples = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::smatch m;
+    if (std::regex_match(line, m, type_re)) {
+      // Exactly one TYPE line per family.
+      EXPECT_TRUE(typed_families.insert(m[1]).second) << line;
+    } else if (std::regex_match(line, help_re)) {
+      // ok
+    } else {
+      EXPECT_TRUE(std::regex_match(line, m, sample_re)) << "bad line: " << line;
+      ++samples;
+      // Every sample belongs to a family announced by a TYPE line
+      // (histogram samples via their _bucket/_sum/_count suffix).
+      std::string base = m[1];
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s = suffix;
+        if (base.size() > s.size() &&
+            base.compare(base.size() - s.size(), s.size(), s) == 0 &&
+            typed_families.count(base.substr(0, base.size() - s.size()))) {
+          base = base.substr(0, base.size() - s.size());
+          break;
+        }
+      }
+      EXPECT_TRUE(typed_families.count(base)) << "untyped sample: " << line;
+    }
+  }
+  EXPECT_GT(samples, 0u);
+
+  // Dots fold to underscores; no dotted names escape.
+  EXPECT_NE(text.find("demo_requests_total"), std::string::npos);
+  EXPECT_EQ(text.find("demo.requests"), std::string::npos);
+  // Histogram expansion: cumulative buckets end at the mandatory +Inf,
+  // which must equal _count.
+  EXPECT_NE(text.find("demo_latency_seconds_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_latency_seconds_count 5"), std::string::npos);
+  // Label values escape backslashes and quotes.
+  EXPECT_NE(text.find("path=\"/a\\\"b\\\\c\""), std::string::npos);
+}
+
+TEST(Export, PrometheusBucketsAreCumulative) {
+  const std::string text = obs::to_prometheus(exporter_fixture());
+  // bounds {1, 10, 100} with observations 1/2/1 and one overflow.
+  EXPECT_NE(text.find("demo_latency_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_latency_seconds_bucket{le=\"10\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_latency_seconds_bucket{le=\"100\"} 4"),
+            std::string::npos);
+}
+
+TEST(Export, JsonRoundTripsByteForByte) {
+  const MetricsSnapshot snap = exporter_fixture();
+  const std::string once = obs::to_json(snap);
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(obs::from_json(once, parsed));
+  EXPECT_EQ(obs::to_json(parsed), once);
+
+  // Parsed content matches the source snapshot, not just the bytes.
+  EXPECT_DOUBLE_EQ(parsed.value("demo.requests.total", {{"path", "/plain"}}),
+                   3.0);
+  const auto* h = parsed.find("demo.latency.seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 5u);
+  ASSERT_EQ(h->bounds.size(), 3u);
+  ASSERT_EQ(h->bucket_counts.size(), 4u);
+  EXPECT_EQ(h->bucket_counts[3], 1u);
+}
+
+TEST(Export, JsonGoldenDocument) {
+  MetricsRegistry reg;
+  reg.counter("demo.total", "h", {{"a", "b"}}).inc(3);
+  const std::string expected =
+      "{\"families\": [\n"
+      " {\"name\": \"demo.total\", \"help\": \"h\", \"type\": \"counter\","
+      " \"series\": [\n"
+      "  {\"labels\": {\"a\": \"b\"}, \"value\": 3}]}\n"
+      "]}\n";
+  EXPECT_EQ(obs::to_json(reg.snapshot()), expected);
+}
+
+TEST(Export, FromJsonRejectsMalformedInput) {
+  MetricsSnapshot out;
+  EXPECT_FALSE(obs::from_json("", out));
+  EXPECT_FALSE(obs::from_json("{", out));
+  EXPECT_FALSE(obs::from_json("[]", out));
+  EXPECT_FALSE(obs::from_json("{\"families\": 3}", out));
+  EXPECT_FALSE(obs::from_json("{\"families\": []} trailing", out));
+  EXPECT_TRUE(obs::from_json("{\"families\": []}", out));
+  EXPECT_TRUE(out.families.empty());
+}
+
+TEST(Export, MetricsTableRendersAllKinds) {
+  const std::string table = obs::metrics_table(exporter_fixture(), "test");
+  EXPECT_NE(table.find("demo.requests.total"), std::string::npos);
+  EXPECT_NE(table.find("demo.queue.depth"), std::string::npos);
+  EXPECT_NE(table.find("demo.latency.seconds"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: one workload, every instrumented subsystem reports
+// ---------------------------------------------------------------------------
+
+TEST(ObsEndToEnd, SmokeWorkloadPopulatesEverySubsystem) {
+  auto& reg = MetricsRegistry::global();
+  reg.reset_values();
+
+  nosql::Instance db(2);
+  const std::string wal_path = "/tmp/graphulo_test_obs.wal";
+  std::remove(wal_path.c_str());
+  nosql::TableConfig cfg;
+  cfg.flush_entries = 64;
+  cfg.rfile.cache_bytes = 16 * 1024;
+  auto wal = std::make_shared<nosql::WriteAheadLog>(wal_path);
+  db.attach_wal(wal);
+  db.attach_compaction_scheduler(
+      std::make_shared<nosql::CompactionScheduler>(2));
+  db.create_table("A", cfg);
+  db.create_table("B", cfg);
+  {
+    nosql::BatchWriter wa(db, "A");
+    nosql::BatchWriter wb(db, "B");
+    for (int k = 0; k < 24; ++k) {
+      nosql::Mutation ma(util::zero_pad(static_cast<std::uint64_t>(k), 4));
+      nosql::Mutation mb(util::zero_pad(static_cast<std::uint64_t>(k), 4));
+      for (int j = 0; j < 6; ++j) {
+        ma.put("f", "a" + std::to_string((k + j) % 8),
+               nosql::encode_double(1.0 + j));
+        mb.put("f", "b" + std::to_string((k * 3 + j) % 8),
+               nosql::encode_double(2.0));
+      }
+      wa.add_mutation(std::move(ma));
+      wb.add_mutation(std::move(mb));
+    }
+    wa.close();
+    wb.close();
+  }
+  db.flush("A");
+  db.flush("B");
+  db.compact("A");
+  db.quiesce_compactions();
+
+  // Two scans so the second one hits the block cache.
+  for (int pass = 0; pass < 2; ++pass) {
+    nosql::BatchScanner scanner(db, "A");
+    std::atomic<std::size_t> seen{0};
+    scanner.for_each([&seen](const nosql::Key&, const nosql::Value&) {
+      seen.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(seen.load(), 144u);
+  }
+
+  core::TableMultOptions options;
+  options.num_workers = 2;
+  const auto stats = core::table_mult(db, "A", "B", "C", options);
+  EXPECT_GT(stats.partial_products, 0u);
+
+  // The default interval-mode committer flushes on a timer; force the
+  // pending batch through so the commit counters are deterministic.
+  wal->sync();
+
+  const auto snap = reg.snapshot();
+  // WAL commit path.
+  EXPECT_GT(snap.value("wal.appends.total"), 0.0);
+  EXPECT_GT(snap.value("wal.commit.batches.total"), 0.0);
+  EXPECT_GT(snap.value("wal.commit.bytes.total"), 0.0);
+  // Flush + compaction.
+  EXPECT_GT(snap.value("tablet.flush.total"), 0.0);
+  EXPECT_GT(snap.value("tablet.compaction.total"), 0.0);
+  EXPECT_GE(snap.value("compaction.tasks.total"), 0.0);
+  // Block cache.
+  EXPECT_GT(snap.value("cache.hits.total") + snap.value("cache.misses.total"),
+            0.0);
+  // Scan path.
+  EXPECT_GT(snap.value("scan.cells.total"), 0.0);
+  // BatchWriter.
+  EXPECT_GT(snap.value("batch_writer.flushes.total"), 0.0);
+  EXPECT_GE(snap.value("batch_writer.mutations.total"), 48.0);
+  // TableMult.
+  EXPECT_GT(snap.value("tablemult.partitions.total"), 0.0);
+  EXPECT_GT(snap.value("tablemult.partial_products.total"), 0.0);
+  // Span histograms captured wall time for the same paths.
+  const auto* flush_h = snap.find("tablet.flush.seconds");
+  ASSERT_NE(flush_h, nullptr);
+  EXPECT_GT(flush_h->count, 0u);
+  const auto* mult_h = snap.find("tablemult.partition.seconds");
+  ASSERT_NE(mult_h, nullptr);
+  EXPECT_GT(mult_h->count, 0u);
+
+  // Exporters handle the full production snapshot.
+  EXPECT_FALSE(obs::to_prometheus(snap).empty());
+  MetricsSnapshot parsed;
+  const std::string json = obs::to_json(snap);
+  ASSERT_TRUE(obs::from_json(json, parsed));
+  EXPECT_EQ(obs::to_json(parsed), json);
+
+  // The Instance-level human report includes the registry table.
+  const std::string report = db.metrics_report();
+  EXPECT_NE(report.find("tablet servers"), std::string::npos);
+  EXPECT_NE(report.find("runtime metrics"), std::string::npos);
+  EXPECT_NE(report.find("wal.commit.batches.total"), std::string::npos);
+
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace graphulo

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -275,6 +276,104 @@ TEST(Log, ParseAndThreshold) {
   set_log_level(LogLevel::kError);
   EXPECT_EQ(log_level(), LogLevel::kError);
   set_log_level(saved);
+}
+
+TEST(Log, TryParseDistinguishesBadInput) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(try_parse_log_level("Debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(try_parse_log_level("warning", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  level = LogLevel::kError;
+  EXPECT_FALSE(try_parse_log_level("nonsense", level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+
+  LogFormat format = LogFormat::kPlain;
+  EXPECT_TRUE(try_parse_log_format("KV", format));
+  EXPECT_EQ(format, LogFormat::kKv);
+  EXPECT_TRUE(try_parse_log_format("plain", format));
+  EXPECT_EQ(format, LogFormat::kPlain);
+  EXPECT_FALSE(try_parse_log_format("json", format));
+}
+
+TEST(Log, PlainLineHasTimestampLevelAndThreadId) {
+  const std::string line =
+      format_log_line(LogLevel::kWarn, "hello world", LogFormat::kPlain);
+  // 2026-08-06T12:34:56.789Z [WARN] (tid N) hello world
+  EXPECT_NE(line.find("Z [WARN] (tid "), std::string::npos);
+  EXPECT_NE(line.find(") hello world"), std::string::npos);
+  // ISO-8601 prefix: YYYY-MM-DDTHH:MM:SS.mmmZ
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+}
+
+TEST(Log, KvLineQuotesAndEscapesMessage) {
+  const std::string line = format_log_line(
+      LogLevel::kError, "bad \"value\" seen", LogFormat::kKv);
+  EXPECT_EQ(line.rfind("ts=", 0), 0u);
+  EXPECT_NE(line.find(" level=error "), std::string::npos);
+  EXPECT_NE(line.find(" tid="), std::string::npos);
+  EXPECT_NE(line.find(" msg=\"bad \\\"value\\\" seen\""), std::string::npos);
+}
+
+TEST(Log, FormatSwitchIsGlobal) {
+  const LogFormat saved = log_format();
+  set_log_format(LogFormat::kKv);
+  EXPECT_EQ(log_format(), LogFormat::kKv);
+  set_log_format(saved);
+}
+
+TEST(Stats, PercentileSingleSampleIsThatSample) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+  EXPECT_DOUBLE_EQ(s.stdev, 0.0);
+}
+
+TEST(Stats, PercentileEndpointsAreMinAndMax) {
+  const std::vector<double> v = {5, 1, 3, 2, 4};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Stats, PercentileTwoSampleInterpolation) {
+  const std::vector<double> v = {10, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 12.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 17.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 19.9);
+}
+
+TEST(Stats, PercentileRejectsEmptySample) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, HumanRateUnitBoundaries) {
+  EXPECT_EQ(human_rate(0.0), "0.00/s");
+  EXPECT_EQ(human_rate(999.0), "999.00/s");
+  EXPECT_EQ(human_rate(1000.0), "1.00K/s");
+  EXPECT_EQ(human_rate(1000.0 * 1000.0), "1.00M/s");
+  EXPECT_EQ(human_rate(1000.0 * 1000.0 * 1000.0), "1.00G/s");
+}
+
+TEST(Stats, HumanBytesUnitBoundaries) {
+  EXPECT_EQ(human_bytes(0.0), "0.00 B");
+  EXPECT_EQ(human_bytes(1023.0), "1023.00 B");
+  EXPECT_EQ(human_bytes(1024.0), "1.00 KiB");
+  EXPECT_EQ(human_bytes(1024.0 * 1024.0), "1.00 MiB");
+  EXPECT_EQ(human_bytes(1024.0 * 1024.0 * 1024.0), "1.00 GiB");
+  EXPECT_EQ(human_bytes(1024.0 * 1024.0 * 1024.0 * 1024.0), "1.00 TiB");
 }
 
 }  // namespace
