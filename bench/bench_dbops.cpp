@@ -16,6 +16,7 @@
 
 #include "core/tablemult.hpp"
 #include "gen/rmat.hpp"
+#include "gen/tweets.hpp"
 #include "nosql/nosql.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -223,6 +224,231 @@ void run_ingest_sweep(std::size_t total_cells, std::size_t cache_bytes) {
   std::printf("wrote BENCH_ingest.json\n\n");
 }
 
+// ---- scan sweeps (BENCH_scan.json) --------------------------------------
+
+/// Block scan sweep: full-table scan throughput vs next_block() batch
+/// size. Size 1 is the legacy cell-at-a-time path (every cell pays the
+/// full virtual-dispatch chain through the stack); larger blocks
+/// amortize it via the run-length merge and bulk RFile copies. Returns
+/// the JSON object for the "block_sweep" key.
+std::string run_scan_block_sweep(std::size_t cells) {
+  nosql::Instance db(1);
+  nosql::TableConfig cfg;
+  cfg.flush_entries = std::max<std::size_t>(2000, cells / 7);  // real fan-in
+  db.create_table("t", cfg);
+  {
+    nosql::BatchWriter writer(db, "t");
+    for (std::size_t i = 0; i < cells; ++i) {
+      nosql::Mutation m(util::zero_pad(i % 4096, 4));
+      m.put("f", util::zero_pad(i / 4096, 6), nosql::encode_double(1.0));
+      writer.add_mutation(std::move(m));
+    }
+    writer.flush();
+  }
+  db.flush("t");
+
+  util::TablePrinter table({"block", "scan", "speedup"});
+  double base_rate = 0.0;
+  std::string json = "{\"cells\": " + std::to_string(cells) + ", \"results\": [";
+  bool first = true;
+  for (const std::size_t block : {1, 64, 1024, 4096}) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {  // best-of-3 per point
+      nosql::Scanner scanner(db, "t");
+      scanner.set_batch_size(block);
+      std::size_t seen = 0;
+      util::Timer t;
+      scanner.for_each(
+          [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
+      const double rate = static_cast<double>(seen) / t.seconds();
+      if (rate > best) best = rate;
+    }
+    if (block == 1) base_rate = best;
+    const double speedup = base_rate > 0 ? best / base_rate : 1.0;
+    table.add_row({std::to_string(block), util::human_rate(best),
+                   util::TablePrinter::fmt(speedup, 2) + "x"});
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"block\": " + std::to_string(block) +
+            ", \"cells_per_s\": " + std::to_string(best) +
+            ", \"speedup_vs_block1\": " + util::TablePrinter::fmt(speedup, 3) +
+            "}";
+  }
+  json += "]}";
+  table.print("Scan throughput vs block size (block 1 = cell-at-a-time)");
+  return json;
+}
+
+/// One table of the RFL3 encoding sweep.
+struct EncodingPoint {
+  std::size_t file_entries = 0;
+  std::size_t file_block_bytes = 0;  ///< encoded cache cost of all blocks
+  std::size_t scanned = 0;
+  double cold_rate = 0.0;  ///< first scan: every block decodes
+  double warm_rate = 0.0;  ///< second scan: cache-resident blocks
+  double hit_rate = 0.0;
+  double density = 0.0;  ///< cells held per cached byte
+};
+
+/// Ingests `entries` (row, qualifier) cells into one flushed table with
+/// the given RFL3 knobs and scans it twice through the block cache.
+EncodingPoint run_encoding_point(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    bool prefix, nosql::RFileCompressor comp) {
+  nosql::Instance db(1);
+  nosql::TableConfig cfg;
+  cfg.flush_entries = entries.size() + 1;  // one RFile: clean density
+  cfg.rfile.cache_bytes = 256 * 1024 * 1024;  // hold everything resident
+  cfg.rfile.index_stride = 128;
+  cfg.rfile.prefix_encode = prefix;
+  cfg.rfile.compressor = comp;
+  db.create_table("t", cfg);
+  {
+    nosql::BatchWriter writer(db, "t");
+    for (const auto& [row, qual] : entries) {
+      nosql::Mutation m(row);
+      m.put("f", qual, nosql::encode_double(1.0));
+      writer.add_mutation(std::move(m));
+    }
+    writer.flush();
+  }
+  db.flush("t");
+
+  auto scan_once = [&db] {
+    nosql::Scanner scanner(db, "t");
+    scanner.set_batch_size(1024);
+    std::size_t seen = 0;
+    util::Timer t;
+    scanner.for_each(
+        [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
+    return std::make_pair(seen, t.seconds());
+  };
+  EncodingPoint p;
+  const auto [cold_seen, cold_s] = scan_once();
+  const auto [warm_seen, warm_s] = scan_once();
+  p.scanned = cold_seen;
+  p.cold_rate = static_cast<double>(cold_seen) / cold_s;
+  p.warm_rate = static_cast<double>(warm_seen) / warm_s;
+  std::uint64_t hits = 0, misses = 0;
+  for (auto& [tablet, sid] : db.tablets_for_range("t", nosql::Range::all())) {
+    const auto s = tablet->stats();
+    p.file_entries += s.file_entries;
+    p.file_block_bytes += s.file_block_bytes;
+    // Table-wide cache: every tablet reports the same counters.
+    hits = s.cache_hits;
+    misses = s.cache_misses;
+  }
+  p.hit_rate = hits + misses > 0
+                   ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                   : 0.0;
+  p.density = p.file_block_bytes > 0
+                  ? static_cast<double>(p.file_entries) /
+                        static_cast<double>(p.file_block_bytes)
+                  : 0.0;
+  return p;
+}
+
+/// Prefix-encoding sweep over two corpus shapes (R-MAT adjacency and
+/// the tweet term table) x {plain, prefix, prefix+lz}. The headline
+/// number is cells-per-cached-byte: how many more cells the same block
+/// cache budget holds once blocks are stored encoded. Returns the JSON
+/// object for the "encoding_sweep" key.
+std::string run_encoding_sweep(bool smoke) {
+  // R-MAT adjacency: row = source vertex, qualifier = destination.
+  gen::RmatParams rp;
+  rp.scale = smoke ? 8 : 13;
+  std::vector<std::pair<std::string, std::string>> rmat_entries;
+  for (const auto& [u, v] : gen::rmat_edges(rp)) {
+    rmat_entries.emplace_back(
+        "v" + util::zero_pad(static_cast<std::uint64_t>(u), 7),
+        "v" + util::zero_pad(static_cast<std::uint64_t>(v), 7));
+  }
+  std::sort(rmat_entries.begin(), rmat_entries.end());
+  // Tweet term table: row = tweet id, qualifier = word.
+  gen::TweetParams tp;
+  tp.num_tweets = smoke ? 300 : 4000;
+  std::vector<std::pair<std::string, std::string>> tweet_entries;
+  for (const auto& tweet : gen::generate_tweets(tp).tweets) {
+    for (const auto& word : tweet.words) {
+      tweet_entries.emplace_back(tweet.id, word);
+    }
+  }
+
+  struct EncodingMode {
+    const char* name;
+    bool prefix;
+    nosql::RFileCompressor comp;
+  };
+  const EncodingMode modes[] = {
+      {"plain", false, nosql::RFileCompressor::kNone},
+      {"prefix", true, nosql::RFileCompressor::kNone},
+      {"prefix_lz", true, nosql::RFileCompressor::kLz},
+  };
+  const std::pair<const char*,
+                  const std::vector<std::pair<std::string, std::string>>*>
+      tables[] = {{"rmat", &rmat_entries}, {"tweets", &tweet_entries}};
+
+  util::TablePrinter table({"table", "encoding", "cells", "block_bytes",
+                            "cells_per_byte", "density_x", "cold_scan",
+                            "warm_scan", "hit_rate"});
+  std::string json = "{\"results\": [";
+  bool first = true;
+  double rmat_prefix_gain = 0.0, tweets_prefix_gain = 0.0;
+  for (const auto& [tname, entries] : tables) {
+    double plain_density = 0.0;
+    for (const auto& mode : modes) {
+      const auto p = run_encoding_point(*entries, mode.prefix, mode.comp);
+      if (!mode.prefix) plain_density = p.density;
+      const double gain = plain_density > 0 ? p.density / plain_density : 0.0;
+      if (std::string(tname) == "rmat" && std::string(mode.name) == "prefix") {
+        rmat_prefix_gain = gain;
+      }
+      if (std::string(tname) == "tweets" &&
+          std::string(mode.name) == "prefix") {
+        tweets_prefix_gain = gain;
+      }
+      table.add_row({tname, mode.name, std::to_string(p.file_entries),
+                     util::human_bytes(static_cast<double>(p.file_block_bytes)),
+                     util::TablePrinter::fmt(p.density, 4),
+                     util::TablePrinter::fmt(gain, 2) + "x",
+                     util::human_rate(p.cold_rate),
+                     util::human_rate(p.warm_rate),
+                     util::TablePrinter::fmt(p.hit_rate, 3)});
+      if (!first) json += ", ";
+      first = false;
+      json += std::string("{\"table\": \"") + tname + "\", \"encoding\": \"" +
+              mode.name +
+              "\", \"cells\": " + std::to_string(p.file_entries) +
+              ", \"file_block_bytes\": " + std::to_string(p.file_block_bytes) +
+              ", \"cells_per_cached_byte\": " +
+              util::TablePrinter::fmt(p.density, 6) +
+              ", \"density_vs_plain\": " + util::TablePrinter::fmt(gain, 3) +
+              ", \"cold_cells_per_s\": " + std::to_string(p.cold_rate) +
+              ", \"warm_cells_per_s\": " + std::to_string(p.warm_rate) +
+              ", \"cache_hit_rate\": " + util::TablePrinter::fmt(p.hit_rate, 4) +
+              "}";
+    }
+  }
+  json += "], \"rmat_density_prefix_vs_plain\": " +
+          util::TablePrinter::fmt(rmat_prefix_gain, 3) +
+          ", \"tweets_density_prefix_vs_plain\": " +
+          util::TablePrinter::fmt(tweets_prefix_gain, 3) + "}";
+  table.print(
+      "RFL3 prefix encoding: cells per cached byte and scan rates "
+      "(density_x = vs plain)");
+  return json;
+}
+
+/// Writes the combined BENCH_scan.json (block-size sweep + encoding
+/// sweep, one file so CI uploads a single scan artifact).
+void write_scan_json(const std::string& block_sweep,
+                     const std::string& encoding_sweep) {
+  std::ofstream("BENCH_scan.json")
+      << "{\"bench\": \"scan\", \"block_sweep\": " << block_sweep
+      << ", \"encoding_sweep\": " << encoding_sweep << "}\n";
+  std::printf("wrote BENCH_scan.json\n\n");
+}
+
 /// Smoke-only: a small TableMult fed through BatchWriters, so one
 /// --smoke run touches every instrumented subsystem (WAL commit,
 /// flush/compaction, block cache, scan, BatchWriter, TableMult) and the
@@ -277,6 +503,10 @@ int main(int argc, char** argv) {
     // Tiny sweep for sanitizer CI: every sync mode, background
     // compactions, and a cache small enough to evict.
     run_ingest_sweep(1600, 16 * 1024);
+    // Small-scale scan artifact so sanitizer jobs exercise the packed
+    // (RFL3) read path end to end and CI can assert on the JSON.
+    write_scan_json(run_scan_block_sweep(8000),
+                    run_encoding_sweep(/*smoke=*/true));
     run_smoke_tablemult();
     return 0;
   }
@@ -343,59 +573,11 @@ int main(int argc, char** argv) {
     table.print("LSM tuning: flush threshold and compaction fan-in");
   }
 
-  // Block scan sweep: full-table scan throughput vs next_block() batch
-  // size. Size 1 is the legacy cell-at-a-time path (every cell pays the
-  // full virtual-dispatch chain through the stack); larger blocks
-  // amortize it via the run-length merge and bulk RFile copies.
-  {
-    nosql::Instance db(1);
-    nosql::TableConfig cfg;
-    cfg.flush_entries = 60000;  // several rfiles -> a real merge fan-in
-    db.create_table("t", cfg);
-    {
-      nosql::BatchWriter writer(db, "t");
-      for (std::size_t i = 0; i < 2 * kCells; ++i) {
-        nosql::Mutation m(util::zero_pad(i % 4096, 4));
-        m.put("f", util::zero_pad(i / 4096, 6), nosql::encode_double(1.0));
-        writer.add_mutation(std::move(m));
-      }
-      writer.flush();
-    }
-    db.flush("t");
-
-    util::TablePrinter table({"block", "scan", "speedup"});
-    double base_rate = 0.0;
-    std::string json = "{\"bench\": \"scan_block_sweep\", \"cells\": " +
-                       std::to_string(2 * kCells) + ", \"results\": [";
-    bool first = true;
-    for (const std::size_t block : {1, 64, 1024, 4096}) {
-      double best = 0.0;
-      for (int rep = 0; rep < 3; ++rep) {  // best-of-3 per point
-        nosql::Scanner scanner(db, "t");
-        scanner.set_batch_size(block);
-        std::size_t seen = 0;
-        util::Timer t;
-        scanner.for_each(
-            [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
-        const double rate = static_cast<double>(seen) / t.seconds();
-        if (rate > best) best = rate;
-      }
-      if (block == 1) base_rate = best;
-      const double speedup = base_rate > 0 ? best / base_rate : 1.0;
-      table.add_row({std::to_string(block), util::human_rate(best),
-                     util::TablePrinter::fmt(speedup, 2) + "x"});
-      if (!first) json += ", ";
-      first = false;
-      json += "{\"block\": " + std::to_string(block) +
-              ", \"cells_per_s\": " + std::to_string(best) +
-              ", \"speedup_vs_block1\": " +
-              util::TablePrinter::fmt(speedup, 3) + "}";
-    }
-    json += "]}\n";
-    table.print("Scan throughput vs block size (block 1 = cell-at-a-time)");
-    std::ofstream("BENCH_scan.json") << json;
-    std::printf("wrote BENCH_scan.json\n\n");
-  }
+  // Scan artifact: block-size sweep over the legacy path plus the RFL3
+  // prefix-encoding sweep (cells-per-cached-byte on R-MAT adjacency and
+  // the tweet term table).
+  write_scan_json(run_scan_block_sweep(2 * kCells),
+                  run_encoding_sweep(/*smoke=*/false));
 
   // WAL overhead: journaled vs unjournaled ingest of the same workload.
   {

@@ -54,6 +54,20 @@ class BlockCache {
   bool touch(std::uint64_t file_id, std::uint64_t block_index, const Pin& pin,
              std::size_t charge);
 
+  /// Lookup-only half of the decode-through protocol: returns the
+  /// resident pin (refreshing its LRU position) or nullptr on a miss.
+  /// Hit/miss counters update either way; a miss does NOT insert — the
+  /// caller decodes the block and hands the result to insert().
+  Pin find(std::uint64_t file_id, std::uint64_t block_index);
+
+  /// Inserts a freshly decoded block (typically after a find() miss),
+  /// evicting LRU entries past the shard budget. If the key is already
+  /// resident (another scan raced the decode) the existing entry is
+  /// refreshed and kept — dropping the duplicate charge keeps the
+  /// budget accounting exact. No hit/miss counting: find() did that.
+  void insert(std::uint64_t file_id, std::uint64_t block_index, const Pin& pin,
+              std::size_t charge);
+
   /// Drops every block of `file_id` (called when a compaction retires
   /// the file, so dead blocks stop occupying budget). O(entries).
   void erase_file(std::uint64_t file_id);

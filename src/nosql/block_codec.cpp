@@ -1,0 +1,251 @@
+#include "nosql/block_codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace graphulo::nosql::blockcodec {
+
+namespace {
+
+/// Length of the longest common prefix of two strings.
+std::size_t shared_prefix(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void encode_component(std::string& out, const std::string& prev,
+                      const std::string& cur, bool restart) {
+  const std::size_t shared = restart ? 0 : shared_prefix(prev, cur);
+  put_varint(out, shared);
+  put_varint(out, cur.size() - shared);
+  out.append(cur, shared, cur.size() - shared);
+}
+
+/// Decodes one delta-coded component in place: `cur` is the previous
+/// entry's value on entry and the decoded value on exit (prefix kept,
+/// tail replaced — no allocation when capacity suffices).
+bool decode_component(const char*& p, const char* end, std::string& cur) {
+  std::uint64_t shared = 0, tail = 0;
+  if (!get_varint(p, end, shared) || !get_varint(p, end, tail)) return false;
+  if (shared > cur.size()) return false;
+  if (static_cast<std::uint64_t>(end - p) < tail) return false;
+  cur.resize(static_cast<std::size_t>(shared));
+  cur.append(p, static_cast<std::size_t>(tail));
+  p += tail;
+  return true;
+}
+
+/// Decoded-key cursor over a raw block's entries (values skipped).
+struct KeyCursor {
+  Key key;
+
+  /// Decodes the entry at `p`; `restart` resets the delta state.
+  bool step(const char*& p, const char* end, bool restart) {
+    if (restart) {
+      key.row.clear();
+      key.family.clear();
+      key.qualifier.clear();
+      key.visibility.clear();
+      key.ts = 0;
+    }
+    if (!decode_component(p, end, key.row) ||
+        !decode_component(p, end, key.family) ||
+        !decode_component(p, end, key.qualifier) ||
+        !decode_component(p, end, key.visibility)) {
+      return false;
+    }
+    std::uint64_t ts_delta = 0, value_len = 0;
+    if (!get_varint(p, end, ts_delta)) return false;
+    key.ts += unzigzag(ts_delta);
+    if (p == end) return false;
+    key.deleted = (*p++ & 1) != 0;
+    if (!get_varint(p, end, value_len)) return false;
+    if (static_cast<std::uint64_t>(end - p) < value_len) return false;
+    p += value_len;
+    return true;
+  }
+};
+
+/// Splits a raw block into its entry region and restart offsets.
+/// Returns false when the trailer is malformed.
+bool parse_trailer(std::string_view raw, const char*& entries_end,
+                   const char*& restarts, std::size_t& num_restarts) {
+  if (raw.size() < sizeof(std::uint32_t)) return false;
+  num_restarts = get_u32(raw.data() + raw.size() - sizeof(std::uint32_t));
+  const std::size_t trailer =
+      (num_restarts + 1) * sizeof(std::uint32_t);
+  if (num_restarts == 0 || trailer > raw.size()) return false;
+  restarts = raw.data() + raw.size() - trailer;
+  entries_end = restarts;
+  return true;
+}
+
+}  // namespace
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+bool get_varint(const char*& p, const char* end, std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (p == end) return false;
+    const auto byte = static_cast<std::uint8_t>(*p++);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return true;
+  }
+  return false;  // overlong
+}
+
+std::string encode_block(const Cell* cells, std::size_t n,
+                         std::size_t restart_interval) {
+  const std::size_t interval = std::max<std::size_t>(1, restart_interval);
+  std::string out;
+  std::vector<std::uint32_t> restarts;
+  static const std::string kEmpty;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool restart = i % interval == 0;
+    if (restart) restarts.push_back(static_cast<std::uint32_t>(out.size()));
+    const Key& k = cells[i].key;
+    const Key* prev = restart ? nullptr : &cells[i - 1].key;
+    encode_component(out, prev ? prev->row : kEmpty, k.row, restart);
+    encode_component(out, prev ? prev->family : kEmpty, k.family, restart);
+    encode_component(out, prev ? prev->qualifier : kEmpty, k.qualifier,
+                     restart);
+    encode_component(out, prev ? prev->visibility : kEmpty, k.visibility,
+                     restart);
+    put_varint(out, zigzag(k.ts - (prev ? prev->ts : 0)));
+    out.push_back(k.deleted ? 1 : 0);
+    put_varint(out, cells[i].value.size());
+    out.append(cells[i].value);
+  }
+  if (restarts.empty()) restarts.push_back(0);  // canonical empty block
+  for (const auto r : restarts) put_u32(out, r);
+  put_u32(out, static_cast<std::uint32_t>(restarts.size()));
+  return out;
+}
+
+bool decode_block(std::string_view raw, std::size_t expected_count,
+                  std::vector<Cell>& out) {
+  const char* entries_end = nullptr;
+  const char* restarts = nullptr;
+  std::size_t num_restarts = 0;
+  if (!parse_trailer(raw, entries_end, restarts, num_restarts)) return false;
+  out.resize(expected_count);
+  const char* p = raw.data();
+  std::size_t next_restart = 0;  // index of the next unseen restart offset
+  for (std::size_t i = 0; i < expected_count; ++i) {
+    Cell& c = out[i];
+    // Restart entries are recognized by offset: entry offsets strictly
+    // increase and the restart array lists restart-entry offsets in
+    // order, so a match is exact. Restarts reset the delta state (the
+    // encoder stored absolute values there).
+    const auto off = static_cast<std::uint32_t>(p - raw.data());
+    const bool restart =
+        next_restart < num_restarts &&
+        get_u32(restarts + next_restart * sizeof(std::uint32_t)) == off;
+    if (restart) ++next_restart;
+    if (restart || i == 0) {
+      if (i == 0 && !restart) return false;  // first entry must restart
+      c.key.row.clear();
+      c.key.family.clear();
+      c.key.qualifier.clear();
+      c.key.visibility.clear();
+      c.key.ts = 0;
+    } else {
+      // Delta base: copy the previous entry's components in, keeping
+      // this slot's heap buffers (assign reuses capacity).
+      const Cell& prev = out[i - 1];
+      c.key.row.assign(prev.key.row);
+      c.key.family.assign(prev.key.family);
+      c.key.qualifier.assign(prev.key.qualifier);
+      c.key.visibility.assign(prev.key.visibility);
+      c.key.ts = prev.key.ts;
+    }
+    if (!decode_component(p, entries_end, c.key.row) ||
+        !decode_component(p, entries_end, c.key.family) ||
+        !decode_component(p, entries_end, c.key.qualifier) ||
+        !decode_component(p, entries_end, c.key.visibility)) {
+      return false;
+    }
+    std::uint64_t ts_delta = 0, value_len = 0;
+    if (!get_varint(p, entries_end, ts_delta)) return false;
+    c.key.ts += unzigzag(ts_delta);
+    if (p == entries_end) return false;
+    c.key.deleted = (*p++ & 1) != 0;
+    if (!get_varint(p, entries_end, value_len)) return false;
+    if (static_cast<std::uint64_t>(entries_end - p) < value_len) return false;
+    c.value.assign(p, static_cast<std::size_t>(value_len));
+    p += value_len;
+  }
+  return p == entries_end;  // no trailing entry garbage
+}
+
+std::size_t block_lower_bound(std::string_view raw, std::size_t count,
+                              std::size_t restart_interval, const Key& key) {
+  if (count == 0) return 0;
+  const std::size_t interval = std::max<std::size_t>(1, restart_interval);
+  const char* entries_end = nullptr;
+  const char* restarts = nullptr;
+  std::size_t num_restarts = 0;
+  if (!parse_trailer(raw, entries_end, restarts, num_restarts)) return count;
+  // Binary search the restart array for the last restart whose key is
+  // < `key` (restart entries decode standalone). Invariant: lo's key is
+  // < key (virtual restart before the block), hi's is unknown-or->=.
+  std::size_t lo = 0, hi = num_restarts;  // search in (lo, hi]
+  bool lo_known_less = false;
+  {
+    std::size_t a = 0, b = num_restarts;  // candidate restarts [a, b)
+    while (a < b) {
+      const std::size_t mid = a + (b - a) / 2;
+      const char* p = raw.data() + get_u32(restarts + mid * sizeof(std::uint32_t));
+      KeyCursor cur;
+      if (p >= entries_end || !cur.step(p, entries_end, /*restart=*/true)) {
+        return count;  // malformed; CRC should have caught this
+      }
+      if (cur.key < key) {
+        a = mid + 1;
+        lo = mid;
+        lo_known_less = true;
+      } else {
+        b = mid;
+      }
+    }
+    hi = a;
+  }
+  if (!lo_known_less && hi == 0) {
+    // Even the first restart (the block's first key) is >= key.
+    return 0;
+  }
+  // Linear key-only decode from restart `lo` until an entry >= key.
+  std::size_t index = lo * interval;
+  const char* p = raw.data() + get_u32(restarts + lo * sizeof(std::uint32_t));
+  KeyCursor cur;
+  for (std::size_t i = index; i < count; ++i) {
+    if (!cur.step(p, entries_end, /*restart=*/i % interval == 0)) {
+      return count;
+    }
+    if (!(cur.key < key)) return i;
+  }
+  return count;
+}
+
+}  // namespace graphulo::nosql::blockcodec

@@ -6,10 +6,15 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <stdexcept>
 
 #include "nosql/block_cache.hpp"
+#include "nosql/block_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/checksum.hpp"
 #include "util/fault.hpp"
+#include "util/lz.hpp"
 
 namespace graphulo::nosql {
 
@@ -17,7 +22,44 @@ using util::crc32;
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x52464c32;  // "RFL2" (RFL1 + CRC trailer)
+constexpr std::uint32_t kMagic = 0x52464c32;   // "RFL2" (RFL1 + CRC trailer)
+constexpr std::uint32_t kMagic3 = 0x52464c33;  // "RFL3" (packed blocks)
+
+// ---- obs instrumentation ------------------------------------------------
+// Process-wide encode/decode accounting: how many logical key/value
+// bytes went in, how many encoded bytes came out (the compression-ratio
+// gauge is their running quotient), and how much block decoding the
+// read path performs.
+
+obs::Counter& encode_raw_bytes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rfile.encode.raw_bytes.total",
+      "Logical cell bytes fed to the RFile block encoder");
+  return c;
+}
+obs::Counter& encode_packed_bytes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rfile.encode.encoded_bytes.total",
+      "Encoded (post-compressor) RFile block bytes produced");
+  return c;
+}
+obs::Gauge& compression_ratio_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "rfile.encode.ratio_x1000",
+      "Running raw/encoded byte ratio across all encoded RFiles, x1000");
+  return g;
+}
+obs::Counter& decode_blocks() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rfile.decode.blocks.total", "RFile data blocks decoded");
+  return c;
+}
+obs::Counter& decode_raw_bytes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rfile.decode.raw_bytes.total",
+      "Prefix-encoded bytes run through the RFile block decoder");
+  return c;
+}
 
 // ---- payload (de)serialization -----------------------------------------
 
@@ -55,6 +97,33 @@ struct PayloadReader {
   }
 };
 
+void append_key(std::string& out, const Key& k) {
+  append_string(out, k.row);
+  append_string(out, k.family);
+  append_string(out, k.qualifier);
+  append_string(out, k.visibility);
+  append_raw(out, &k.ts, sizeof(k.ts));
+  const char del = k.deleted ? 1 : 0;
+  append_raw(out, &del, 1);
+}
+
+bool read_key(PayloadReader& reader, Key& k) {
+  if (!reader.read_string(k.row) || !reader.read_string(k.family) ||
+      !reader.read_string(k.qualifier) || !reader.read_string(k.visibility)) {
+    return false;
+  }
+  if (!reader.read_raw(&k.ts, sizeof(k.ts))) return false;
+  char del = 0;
+  if (!reader.read_raw(&del, 1)) return false;
+  k.deleted = del != 0;
+  return true;
+}
+
+std::size_t key_bytes(const Key& k) {
+  return k.row.size() + k.family.size() + k.qualifier.size() +
+         k.visibility.size();
+}
+
 // ---- row Bloom hashing --------------------------------------------------
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -89,13 +158,54 @@ const std::string* single_row_of(const Range& range) {
 RFile::RFile(std::vector<Cell> cells, const RFileOptions& options) {
   static std::atomic<std::uint64_t> next_file_id{1};
   file_id_ = next_file_id.fetch_add(1, std::memory_order_relaxed);
-  for (const auto& c : cells) {
-    bytes_ += c.key.row.size() + c.key.family.size() + c.key.qualifier.size() +
-              c.key.visibility.size() + c.value.size() + sizeof(Key);
+  count_ = cells.size();
+  stride_ = std::max<std::size_t>(1, options.index_stride);
+  restart_interval_ = std::max<std::size_t>(1, options.restart_interval);
+  if (!cells.empty()) {
+    first_key_ = cells.front().key;
+    last_key_ = cells.back().key;
   }
-  cells_ = std::make_shared<const std::vector<Cell>>(std::move(cells));
-  build_index(options);
-  build_bloom(options);
+  build_bloom_from_cells(cells, options);
+  if (options.prefix_encode) {
+    encoded_ = true;
+    encode_cells(cells, options);
+  } else {
+    for (const auto& c : cells) {
+      bytes_ += c.key.row.size() + c.key.family.size() +
+                c.key.qualifier.size() + c.key.visibility.size() +
+                c.value.size() + sizeof(Key);
+    }
+    cells_ = std::make_shared<const std::vector<Cell>>(std::move(cells));
+    build_index(options);
+  }
+  finish_block_accounting();
+}
+
+RFile::RFile(std::vector<EncodedBlock> blocks,
+             std::vector<Key> block_first_keys, Key first_key, Key last_key,
+             std::uint64_t count, std::vector<std::uint64_t> bloom,
+             std::size_t bloom_bits, std::size_t stride,
+             std::size_t restart_interval) {
+  static std::atomic<std::uint64_t> next_file_id{1};
+  file_id_ = next_file_id.fetch_add(1, std::memory_order_relaxed);
+  encoded_ = true;
+  blocks_ = std::move(blocks);
+  block_first_keys_ = std::move(block_first_keys);
+  first_key_ = std::move(first_key);
+  last_key_ = std::move(last_key);
+  count_ = static_cast<std::size_t>(count);
+  bloom_ = std::move(bloom);
+  bloom_bits_ = bloom_bits;
+  stride_ = std::max<std::size_t>(1, stride);
+  restart_interval_ = std::max<std::size_t>(1, restart_interval);
+  block_bytes_.reserve(blocks_.size());
+  for (const auto& b : blocks_) {
+    block_bytes_.push_back(b.data.size());
+    bytes_ += b.data.size() + sizeof(EncodedBlock);
+  }
+  for (const auto& k : block_first_keys_) bytes_ += key_bytes(k) + sizeof(Key);
+  bytes_ += bloom_.size() * sizeof(std::uint64_t);
+  finish_block_accounting();
 }
 
 std::shared_ptr<RFile> RFile::from_sorted(std::vector<Cell> cells,
@@ -110,7 +220,6 @@ std::shared_ptr<RFile> RFile::from_sorted(std::vector<Cell> cells,
 
 void RFile::build_index(const RFileOptions& options) {
   const auto& cells = *cells_;
-  stride_ = std::max<std::size_t>(1, options.index_stride);
   index_.reserve(cells.size() / stride_ + 1);
   block_bytes_.reserve(cells.size() / stride_ + 1);
   for (std::size_t i = 0; i < cells.size(); i += stride_) {
@@ -128,10 +237,11 @@ void RFile::build_index(const RFileOptions& options) {
     block_bytes_.push_back(charge);
   }
   bytes_ += (index_.size() + block_bytes_.size()) * sizeof(std::size_t);
+  (void)options;
 }
 
-void RFile::build_bloom(const RFileOptions& options) {
-  const auto& cells = *cells_;
+void RFile::build_bloom_from_cells(const std::vector<Cell>& cells,
+                                   const RFileOptions& options) {
   if (options.bloom_bits_per_row == 0 || cells.empty()) return;
   std::size_t distinct = 0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -152,9 +262,107 @@ void RFile::build_bloom(const RFileOptions& options) {
   bytes_ += bloom_.size() * sizeof(std::uint64_t);
 }
 
+void RFile::encode_cells(const std::vector<Cell>& cells,
+                         const RFileOptions& options) {
+  TRACE_SPAN("rfile.encode");
+  const std::size_t nblocks = (cells.size() + stride_ - 1) / stride_;
+  blocks_.reserve(nblocks);
+  block_first_keys_.reserve(nblocks);
+  block_bytes_.reserve(nblocks);
+  std::size_t raw_total = 0;
+  for (std::size_t i = 0; i < cells.size(); i += stride_) {
+    const std::size_t n = std::min(stride_, cells.size() - i);
+    for (std::size_t j = i; j < i + n; ++j) {
+      raw_total += key_bytes(cells[j].key) + cells[j].value.size() +
+                   sizeof(Timestamp) + 1;
+    }
+    EncodedBlock block;
+    block.count = static_cast<std::uint32_t>(n);
+    std::string raw =
+        blockcodec::encode_block(cells.data() + i, n, restart_interval_);
+    block.raw_bytes = static_cast<std::uint32_t>(raw.size());
+    if (options.compressor == RFileCompressor::kLz) {
+      std::string packed = util::lz_compress(raw);
+      if (packed.size() < raw.size()) {
+        block.data = std::move(packed);
+        block.compressed = true;
+      }
+    }
+    if (!block.compressed) block.data = std::move(raw);
+    block.data.shrink_to_fit();
+    block.crc = crc32(block.data.data(), block.data.size());
+    block_first_keys_.push_back(cells[i].key);
+    block_bytes_.push_back(block.data.size());
+    bytes_ += block.data.size() + sizeof(EncodedBlock) +
+              key_bytes(cells[i].key) + sizeof(Key);
+    blocks_.push_back(std::move(block));
+  }
+  std::size_t packed_total = 0;
+  for (const auto& b : blocks_) packed_total += b.data.size();
+  encode_raw_bytes().inc(raw_total);
+  encode_packed_bytes().inc(packed_total);
+  const auto raw_cum = encode_raw_bytes().value();
+  const auto packed_cum = encode_packed_bytes().value();
+  if (packed_cum > 0) {
+    compression_ratio_gauge().set(
+        static_cast<std::int64_t>(raw_cum * 1000 / packed_cum));
+  }
+}
+
+void RFile::finish_block_accounting() {
+  total_block_bytes_ = 0;
+  for (const auto b : block_bytes_) total_block_bytes_ += b;
+}
+
+// ---- encoded-block access -----------------------------------------------
+
+namespace {
+/// Decompressed-block scratch, one per thread: RFiles are shared across
+/// scan threads, and the scratch keeps repeated point lookups from
+/// allocating a fresh buffer per block.
+std::string& decompress_scratch() {
+  thread_local std::string scratch;
+  return scratch;
+}
+}  // namespace
+
+void RFile::decode_block_into(std::size_t b, std::vector<Cell>& out) const {
+  TRACE_SPAN("rfile.block_decode");
+  const EncodedBlock& block = blocks_[b];
+  std::string_view raw(block.data);
+  if (block.compressed) {
+    std::string& scratch = decompress_scratch();
+    if (!util::lz_decompress(block.data, scratch, block.raw_bytes)) {
+      throw std::logic_error("RFile: corrupt compressed block (post-CRC)");
+    }
+    raw = scratch;
+  }
+  if (!blockcodec::decode_block(raw, block.count, out)) {
+    throw std::logic_error("RFile: corrupt encoded block (post-CRC)");
+  }
+  decode_blocks().inc();
+  decode_raw_bytes().inc(raw.size());
+}
+
+std::size_t RFile::in_block_lower_bound(std::size_t b, const Key& key) const {
+  const EncodedBlock& block = blocks_[b];
+  std::string_view raw(block.data);
+  if (block.compressed) {
+    std::string& scratch = decompress_scratch();
+    if (!util::lz_decompress(block.data, scratch, block.raw_bytes)) {
+      throw std::logic_error("RFile: corrupt compressed block (post-CRC)");
+    }
+    raw = scratch;
+  }
+  return blockcodec::block_lower_bound(raw, block.count, restart_interval_,
+                                       key);
+}
+
+// ---- pruning ------------------------------------------------------------
+
 bool RFile::may_contain_row(const std::string& row) const {
   if (empty()) return false;
-  if (row < first_key().row || last_key().row < row) return false;
+  if (row < first_key_.row || last_key_.row < row) return false;
   if (bloom_.empty()) return true;
   const auto h1 = static_cast<std::uint64_t>(std::hash<std::string>{}(row));
   const auto h2 = splitmix64(h1);
@@ -169,8 +377,8 @@ bool RFile::may_intersect(const Range& range) const {
   if (empty()) return false;
   // Bounds pruning: the whole file sorts before the start or after the
   // end of the range (conservative about inclusivity edge cases).
-  if (range.has_start && last_key() < range.start) return false;
-  if (range.has_end && range.end < first_key()) return false;
+  if (range.has_start && last_key_ < range.start) return false;
+  if (range.has_end && range.end < first_key_) return false;
   if (const std::string* row = single_row_of(range)) {
     return may_contain_row(*row);
   }
@@ -178,6 +386,21 @@ bool RFile::may_intersect(const Range& range) const {
 }
 
 std::size_t RFile::lower_bound_pos(const Key& key) const {
+  if (encoded_) {
+    if (count_ == 0) return 0;
+    // Narrow to the one block that can hold the answer: the last block
+    // whose first key is < key (an earlier block cannot contain a
+    // larger-or-equal first hit; a later block's first key is already
+    // >= key). Duplicate full keys across a block boundary resolve to
+    // the earlier block, matching plain-mode lower_bound semantics.
+    const auto ge = std::partition_point(
+        block_first_keys_.begin(), block_first_keys_.end(),
+        [&](const Key& k) { return k < key; });
+    if (ge == block_first_keys_.begin()) return 0;
+    const auto b =
+        static_cast<std::size_t>(ge - block_first_keys_.begin()) - 1;
+    return b * stride_ + in_block_lower_bound(b, key);
+  }
   const auto& cells = *cells_;
   // Narrow to one stride window via the sparse index, then binary-search
   // only that window.
@@ -202,11 +425,11 @@ std::size_t RFile::lower_bound_pos(const Key& key) const {
   return pos;
 }
 
-// ---- iterator -----------------------------------------------------------
+// ---- iterators ----------------------------------------------------------
 
-/// Iterator over one RFile with pruning seeks: consults the file's
-/// bounds + Bloom filter to skip impossible ranges in O(1), and the
-/// sparse block index to narrow in-range seeks.
+/// Iterator over one plain (materialized) RFile with pruning seeks:
+/// consults the file's bounds + Bloom filter to skip impossible ranges
+/// in O(1), and the sparse block index to narrow in-range seeks.
 class RFileIterator : public SortedKVIterator {
  public:
   explicit RFileIterator(std::shared_ptr<const RFile> file,
@@ -311,11 +534,153 @@ class RFileIterator : public SortedKVIterator {
   std::size_t block_end_ = 0;  ///< first position past the touched blocks
 };
 
+/// Iterator over one prefix-encoded RFile. Blocks decode on demand:
+/// through the BlockCache when one is attached (the pin holds the
+/// DECODED cells, charged at encoded size, so hot blocks never
+/// re-decode), or into a private reusable buffer otherwise. Invariant:
+/// whenever has_top(), the block containing pos_ is loaded.
+class EncodedRFileIterator : public SortedKVIterator {
+ public:
+  explicit EncodedRFileIterator(std::shared_ptr<const RFile> file,
+                                BlockCache* cache = nullptr)
+      : file_(std::move(file)), cache_(cache) {}
+
+  void seek(const Range& range) override {
+    util::fault::point(util::fault::sites::kRFileSeek);
+    pos_ = limit_ = 0;
+    if (!file_->may_intersect(range)) return;  // pruned: exhausted
+    const std::size_t total = file_->count_;
+    if (range.has_start) {
+      pos_ = file_->lower_bound_pos(range.start);
+      while (pos_ < total && !range.start_inclusive &&
+             key_at(pos_) == range.start) {
+        ++pos_;
+      }
+    }
+    if (range.has_end) {
+      limit_ = file_->lower_bound_pos(range.end);
+      while (limit_ < total && range.end_inclusive &&
+             key_at(limit_) == range.end) {
+        ++limit_;
+      }
+    } else {
+      limit_ = total;
+    }
+    if (limit_ < pos_) limit_ = pos_;
+    if (pos_ < limit_) load_block(pos_ / file_->stride_);
+  }
+
+  bool has_top() const override { return pos_ < limit_; }
+  const Key& top_key() const override { return cell_at(pos_).key; }
+  const Value& top_value() const override { return cell_at(pos_).value; }
+  void next() override {
+    ++pos_;
+    if (pos_ < limit_) ensure_block(pos_);
+  }
+
+  std::size_t next_block(CellBlock& out, std::size_t max) override {
+    std::size_t appended = 0;
+    while (appended < max && pos_ < limit_) {
+      ensure_block(pos_);
+      const std::size_t base = cur_block_ * file_->stride_;
+      const std::size_t block_end = std::min(limit_, base + cur_->size());
+      const std::size_t take = std::min(max - appended, block_end - pos_);
+      const Cell* cells = cur_->data() + (pos_ - base);
+      for (std::size_t i = 0; i < take; ++i) {
+        out.append(cells[i].key, cells[i].value);
+      }
+      pos_ += take;
+      appended += take;
+    }
+    if (pos_ < limit_) ensure_block(pos_);
+    return appended;
+  }
+
+  std::size_t next_block_until(CellBlock& out, std::size_t max,
+                               const Key& bound, bool allow_equal) override {
+    auto within = [&](const Cell& c) {
+      const auto cmp = c.key <=> bound;
+      return cmp < 0 || (cmp == 0 && allow_equal);
+    };
+    std::size_t appended = 0;
+    while (appended < max && pos_ < limit_) {
+      ensure_block(pos_);
+      const std::size_t base = cur_block_ * file_->stride_;
+      const std::size_t block_end = std::min(limit_, base + cur_->size());
+      const std::size_t cap = std::min(max - appended, block_end - pos_);
+      const Cell* cells = cur_->data() + (pos_ - base);
+      if (cap == 0 || !within(cells[0])) break;
+      // Gallop + binary search inside this decoded block.
+      std::size_t lo = 1, hi = 1;
+      while (hi < cap && within(cells[hi])) {
+        lo = hi + 1;
+        hi *= 2;
+      }
+      if (hi > cap) hi = cap;
+      const std::size_t n = static_cast<std::size_t>(
+          std::partition_point(cells + lo, cells + hi, within) - cells);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.append(cells[i].key, cells[i].value);
+      }
+      pos_ += n;
+      appended += n;
+      if (n < cap) break;  // stopped by the bound, not the block edge
+    }
+    if (pos_ < limit_) ensure_block(pos_);
+    return appended;
+  }
+
+ private:
+  const Cell& cell_at(std::size_t pos) const {
+    return (*cur_)[pos - cur_block_ * file_->stride_];
+  }
+
+  const Key& key_at(std::size_t pos) {
+    ensure_block(pos);
+    return cell_at(pos).key;
+  }
+
+  void ensure_block(std::size_t pos) { load_block(pos / file_->stride_); }
+
+  void load_block(std::size_t b) {
+    if (b == cur_block_ && cur_) return;
+    if (cache_) {
+      if (auto pin = cache_->find(file_->file_id(), b)) {
+        cur_ = std::static_pointer_cast<const std::vector<Cell>>(pin);
+      } else {
+        auto decoded = std::make_shared<std::vector<Cell>>();
+        file_->decode_block_into(b, *decoded);
+        cache_->insert(file_->file_id(), b, decoded, file_->block_charge(b));
+        cur_ = std::move(decoded);
+      }
+    } else {
+      // No cache: decode into a private buffer whose slots (and their
+      // string capacity) are reused across blocks.
+      if (!own_) own_ = std::make_shared<std::vector<Cell>>();
+      file_->decode_block_into(b, *own_);
+      cur_ = own_;
+    }
+    cur_block_ = b;
+  }
+
+  std::shared_ptr<const RFile> file_;
+  BlockCache* cache_ = nullptr;
+  std::size_t pos_ = 0;
+  std::size_t limit_ = 0;
+  std::size_t cur_block_ = static_cast<std::size_t>(-1);
+  std::shared_ptr<const std::vector<Cell>> cur_;  ///< decoded cur_block_
+  std::shared_ptr<std::vector<Cell>> own_;        ///< cache-less buffer
+};
+
 IterPtr RFile::iterator() const {
+  if (encoded_) return std::make_unique<EncodedRFileIterator>(shared_from_this());
   return std::make_unique<RFileIterator>(shared_from_this());
 }
 
 IterPtr RFile::iterator(BlockCache* cache) const {
+  if (encoded_) {
+    return std::make_unique<EncodedRFileIterator>(shared_from_this(), cache);
+  }
   return std::make_unique<RFileIterator>(shared_from_this(), cache);
 }
 
@@ -323,20 +688,34 @@ IterPtr RFile::iterator(BlockCache* cache) const {
 
 std::vector<std::string> RFile::sample_rows(std::size_t n) const {
   std::vector<std::string> rows;
-  const auto& cells = *cells_;
-  if (cells.empty() || n == 0) return rows;
+  if (count_ == 0 || n == 0) return rows;
   rows.reserve(n);
   // Round the stride UP: a floor stride of size/n oversamples the head
   // and can exhaust the budget before the tail rows are ever visited,
   // skewing parallel-scan partitions toward low keys.
-  const std::size_t stride = (cells.size() + n - 1) / n;
-  for (std::size_t i = 0; i < cells.size() && rows.size() < n; i += stride) {
-    if (rows.empty() || rows.back() != cells[i].key.row) {
-      rows.push_back(cells[i].key.row);
+  const std::size_t stride = (count_ + n - 1) / n;
+  if (encoded_) {
+    std::vector<Cell> scratch;
+    std::size_t loaded = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < count_ && rows.size() < n; i += stride) {
+      const std::size_t b = i / stride_;
+      if (b != loaded) {
+        decode_block_into(b, scratch);
+        loaded = b;
+      }
+      const std::string& row = scratch[i - b * stride_].key.row;
+      if (rows.empty() || rows.back() != row) rows.push_back(row);
+    }
+  } else {
+    const auto& cells = *cells_;
+    for (std::size_t i = 0; i < cells.size() && rows.size() < n; i += stride) {
+      if (rows.empty() || rows.back() != cells[i].key.row) {
+        rows.push_back(cells[i].key.row);
+      }
     }
   }
   // Always consider the last distinct row so the sample spans the file.
-  const std::string& last_row = cells.back().key.row;
+  const std::string& last_row = last_key_.row;
   if (!rows.empty() && rows.back() != last_row) {
     if (rows.size() < n) {
       rows.push_back(last_row);
@@ -347,11 +726,18 @@ std::vector<std::string> RFile::sample_rows(std::size_t n) const {
   return rows;
 }
 
-// ---- disk format --------------------------------------------------------
-// magic(4) | payload_len(8) | payload | crc32(payload)(4)
+// ---- disk formats -------------------------------------------------------
+// RFL2 (plain): magic(4) | payload_len(8) | payload | crc32(payload)(4)
+// RFL3 (packed): magic(4) | header_len(8) | header | crc32(header)(4) |
+//                block data bytes, concatenated (lengths + per-block
+//                crc32s live in the header)
 
 bool RFile::write_to(const std::string& path) const {
   util::fault::point(util::fault::sites::kRFileWrite);
+  return encoded_ ? write_rfl3(path) : write_rfl2(path);
+}
+
+bool RFile::write_rfl2(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   std::string payload;
@@ -377,16 +763,68 @@ bool RFile::write_to(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+bool RFile::write_rfl3(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  std::string header;
+  const auto count = static_cast<std::uint64_t>(count_);
+  const auto stride = static_cast<std::uint64_t>(stride_);
+  const auto restart = static_cast<std::uint64_t>(restart_interval_);
+  append_raw(header, &count, sizeof(count));
+  append_raw(header, &stride, sizeof(stride));
+  append_raw(header, &restart, sizeof(restart));
+  const auto bloom_bits = static_cast<std::uint64_t>(bloom_bits_);
+  const auto bloom_words = static_cast<std::uint64_t>(bloom_.size());
+  append_raw(header, &bloom_bits, sizeof(bloom_bits));
+  append_raw(header, &bloom_words, sizeof(bloom_words));
+  append_raw(header, bloom_.data(), bloom_.size() * sizeof(std::uint64_t));
+  if (count_ > 0) {
+    append_key(header, first_key_);
+    append_key(header, last_key_);
+  }
+  const auto nblocks = static_cast<std::uint64_t>(blocks_.size());
+  append_raw(header, &nblocks, sizeof(nblocks));
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const EncodedBlock& block = blocks_[b];
+    append_key(header, block_first_keys_[b]);
+    append_raw(header, &block.count, sizeof(block.count));
+    append_raw(header, &block.raw_bytes, sizeof(block.raw_bytes));
+    const auto data_len = static_cast<std::uint32_t>(block.data.size());
+    append_raw(header, &data_len, sizeof(data_len));
+    const char compressed = block.compressed ? 1 : 0;
+    append_raw(header, &compressed, 1);
+    append_raw(header, &block.crc, sizeof(block.crc));
+  }
+  const auto header_len = static_cast<std::uint64_t>(header.size());
+  const std::uint32_t header_crc = crc32(header.data(), header.size());
+  out.write(reinterpret_cast<const char*>(&kMagic3), sizeof(kMagic3));
+  out.write(reinterpret_cast<const char*>(&header_len), sizeof(header_len));
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(&header_crc), sizeof(header_crc));
+  for (const auto& block : blocks_) {
+    out.write(block.data.data(),
+              static_cast<std::streamsize>(block.data.size()));
+  }
+  return static_cast<bool>(out);
+}
+
 std::shared_ptr<RFile> RFile::read_from(const std::string& path,
                                         const RFileOptions& options) {
   util::fault::point(util::fault::sites::kRFileRead);
   std::ifstream in(path, std::ios::binary);
   if (!in) return nullptr;
   std::uint32_t magic = 0;
-  if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic)) ||
-      magic != kMagic) {
-    return nullptr;
-  }
+  if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic))) return nullptr;
+  // Version dispatch: RFL2 files written before the packed layout still
+  // load (and re-encode in memory when the options ask for it); RFL3
+  // files keep their packed blocks verbatim.
+  if (magic == kMagic) return read_rfl2(in, options);
+  if (magic == kMagic3) return read_rfl3(in, options);
+  return nullptr;
+}
+
+std::shared_ptr<RFile> RFile::read_rfl2(std::ifstream& in,
+                                        const RFileOptions& options) {
   std::uint64_t payload_len = 0;
   if (!in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len))) {
     return nullptr;
@@ -424,6 +862,97 @@ std::shared_ptr<RFile> RFile::read_from(const std::string& path,
   }
   if (reader.remaining != 0) return nullptr;  // trailing garbage
   return from_sorted(std::move(cells), options);
+}
+
+std::shared_ptr<RFile> RFile::read_rfl3(std::ifstream& in,
+                                        const RFileOptions& options) {
+  std::uint64_t header_len = 0;
+  if (!in.read(reinterpret_cast<char*>(&header_len), sizeof(header_len))) {
+    return nullptr;
+  }
+  std::string header(header_len, '\0');
+  if (!in.read(header.data(), static_cast<std::streamsize>(header_len))) {
+    return nullptr;  // truncated
+  }
+  std::uint32_t stored_crc = 0;
+  if (!in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc))) {
+    return nullptr;
+  }
+  if (crc32(header.data(), header.size()) != stored_crc) {
+    return nullptr;  // corrupt header
+  }
+  PayloadReader reader{header.data(), header.size()};
+  std::uint64_t count = 0, stride = 0, restart = 0;
+  if (!reader.read_raw(&count, sizeof(count)) ||
+      !reader.read_raw(&stride, sizeof(stride)) ||
+      !reader.read_raw(&restart, sizeof(restart))) {
+    return nullptr;
+  }
+  if (stride == 0 || restart == 0) return nullptr;
+  std::uint64_t bloom_bits = 0, bloom_words = 0;
+  if (!reader.read_raw(&bloom_bits, sizeof(bloom_bits)) ||
+      !reader.read_raw(&bloom_words, sizeof(bloom_words))) {
+    return nullptr;
+  }
+  if (bloom_words > reader.remaining / sizeof(std::uint64_t)) return nullptr;
+  std::vector<std::uint64_t> bloom(bloom_words);
+  if (!reader.read_raw(bloom.data(), bloom_words * sizeof(std::uint64_t))) {
+    return nullptr;
+  }
+  Key first_key, last_key;
+  if (count > 0) {
+    if (!read_key(reader, first_key) || !read_key(reader, last_key)) {
+      return nullptr;
+    }
+    if (last_key < first_key) return nullptr;
+  }
+  std::uint64_t nblocks = 0;
+  if (!reader.read_raw(&nblocks, sizeof(nblocks))) return nullptr;
+  if (nblocks != (count + stride - 1) / stride) return nullptr;
+  std::vector<EncodedBlock> blocks;
+  std::vector<Key> first_keys;
+  blocks.reserve(nblocks);
+  first_keys.reserve(nblocks);
+  std::uint64_t cells_seen = 0;
+  for (std::uint64_t b = 0; b < nblocks; ++b) {
+    Key fk;
+    if (!read_key(reader, fk)) return nullptr;
+    if (!first_keys.empty() && fk < first_keys.back()) return nullptr;
+    EncodedBlock block;
+    std::uint32_t data_len = 0;
+    char compressed = 0;
+    if (!reader.read_raw(&block.count, sizeof(block.count)) ||
+        !reader.read_raw(&block.raw_bytes, sizeof(block.raw_bytes)) ||
+        !reader.read_raw(&data_len, sizeof(data_len)) ||
+        !reader.read_raw(&compressed, 1) ||
+        !reader.read_raw(&block.crc, sizeof(block.crc))) {
+      return nullptr;
+    }
+    if (block.count == 0 || block.count > stride) return nullptr;
+    block.compressed = compressed != 0;
+    block.data.resize(data_len);  // filled from the data section below
+    cells_seen += block.count;
+    blocks.push_back(std::move(block));
+    first_keys.push_back(std::move(fk));
+  }
+  if (reader.remaining != 0) return nullptr;  // trailing header garbage
+  if (cells_seen != count) return nullptr;
+  for (auto& block : blocks) {
+    if (!in.read(block.data.data(),
+                 static_cast<std::streamsize>(block.data.size()))) {
+      return nullptr;  // truncated data section
+    }
+    if (crc32(block.data.data(), block.data.size()) != block.crc) {
+      return nullptr;  // per-block corruption (bit flips, torn writes)
+    }
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) return nullptr;
+  (void)options;  // the stored layout wins for packed files
+  return std::shared_ptr<RFile>(new RFile(
+      std::move(blocks), std::move(first_keys), std::move(first_key),
+      std::move(last_key), count, std::move(bloom),
+      static_cast<std::size_t>(bloom_bits), static_cast<std::size_t>(stride),
+      static_cast<std::size_t>(restart)));
 }
 
 }  // namespace graphulo::nosql

@@ -463,7 +463,10 @@ TabletStats Tablet::stats() const {
   s.frozen_memtables = frozen_.size();
   for (const auto& f : frozen_) s.frozen_entries += f.cells->size();
   s.file_count = files_.size();
-  for (const auto& f : files_) s.file_entries += f.file->entry_count();
+  for (const auto& f : files_) {
+    s.file_entries += f.file->entry_count();
+    s.file_block_bytes += f.file->total_block_bytes();
+  }
   s.minor_compactions = minor_compactions_;
   s.major_compactions = major_compactions_;
   s.compactions_queued = bg_queued_;

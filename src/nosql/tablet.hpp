@@ -66,6 +66,11 @@ struct TabletStats {
   std::size_t frozen_entries = 0;
   std::size_t file_count = 0;
   std::size_t file_entries = 0;
+  /// Sum of RFile::total_block_bytes over this tablet's files: what a
+  /// block cache would pay to hold every data block resident. With
+  /// prefix encoding on, file_entries / file_block_bytes is the
+  /// cells-per-cached-byte density the encoding buys.
+  std::size_t file_block_bytes = 0;
   std::size_t minor_compactions = 0;
   std::size_t major_compactions = 0;
   /// Background-compaction accounting (0 unless a scheduler is

@@ -1,0 +1,142 @@
+#include "util/lz.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace graphulo::util {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 13;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t load32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t hash4(std::uint32_t v) {
+  // Fibonacci hashing of the next 4 bytes.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(std::string& out, std::size_t len) {
+  while (len >= 255) {
+    out.push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out.push_back(static_cast<char>(len));
+}
+
+void emit_sequence(std::string& out, const char* lit, std::size_t lit_len,
+                   std::size_t match_len, std::size_t offset) {
+  const std::size_t lit_nib = lit_len < 15 ? lit_len : 15;
+  const std::size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  const std::size_t match_nib = match_code < 15 ? match_code : 15;
+  out.push_back(static_cast<char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) put_length(out, lit_len - 15);
+  out.append(lit, lit_len);
+  if (match_len == 0) return;  // final literal-only sequence
+  const auto off16 = static_cast<std::uint16_t>(offset);
+  out.push_back(static_cast<char>(off16 & 0xff));
+  out.push_back(static_cast<char>(off16 >> 8));
+  if (match_nib == 15) put_length(out, match_code - 15);
+}
+
+}  // namespace
+
+std::string lz_compress(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() / 2 + 16);
+  const char* base = in.data();
+  const std::size_t n = in.size();
+  if (n < kMinMatch + 1) {
+    emit_sequence(out, base, n, 0, 0);
+    return out;
+  }
+  std::vector<std::uint32_t> table(kHashSize, 0);  // 0 = empty (pos + 1)
+  std::size_t pos = 0;
+  std::size_t anchor = 0;  // start of the pending literal run
+  // Leave room so load32 never reads past the end.
+  const std::size_t match_limit = n - kMinMatch;
+  while (pos <= match_limit) {
+    const std::uint32_t cur = load32(base + pos);
+    const std::uint32_t slot = hash4(cur);
+    const std::uint32_t cand_plus1 = table[slot];
+    table[slot] = static_cast<std::uint32_t>(pos + 1);
+    if (cand_plus1 == 0) {
+      ++pos;
+      continue;
+    }
+    const std::size_t cand = cand_plus1 - 1;
+    if (pos - cand > kMaxOffset || load32(base + cand) != cur) {
+      ++pos;
+      continue;
+    }
+    // Extend the match forward.
+    std::size_t len = kMinMatch;
+    while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+    emit_sequence(out, base + anchor, pos - anchor, len, pos - cand);
+    pos += len;
+    anchor = pos;
+  }
+  emit_sequence(out, base + anchor, n - anchor, 0, 0);
+  return out;
+}
+
+bool lz_decompress(std::string_view in, std::string& out,
+                   std::size_t expected_size) {
+  out.clear();
+  out.reserve(expected_size);
+  const char* p = in.data();
+  const char* end = p + in.size();
+  auto read_length = [&](std::size_t base_len) -> std::ptrdiff_t {
+    std::size_t len = base_len;
+    if (base_len == 15) {
+      std::uint8_t b;
+      do {
+        if (p == end) return -1;
+        b = static_cast<std::uint8_t>(*p++);
+        len += b;
+      } while (b == 255);
+    }
+    return static_cast<std::ptrdiff_t>(len);
+  };
+  while (p < end) {
+    const auto token = static_cast<std::uint8_t>(*p++);
+    const auto lit_len = read_length(token >> 4);
+    if (lit_len < 0) return false;
+    if (end - p < lit_len) return false;
+    if (out.size() + static_cast<std::size_t>(lit_len) > expected_size) {
+      return false;
+    }
+    out.append(p, static_cast<std::size_t>(lit_len));
+    p += lit_len;
+    if (p == end) {
+      if ((token & 0x0f) != 0) return false;  // match promised, absent
+      break;
+    }
+    if (end - p < 2) return false;
+    const std::size_t offset =
+        static_cast<std::uint8_t>(p[0]) |
+        (static_cast<std::size_t>(static_cast<std::uint8_t>(p[1])) << 8);
+    p += 2;
+    const auto match_code = read_length(token & 0x0f);
+    if (match_code < 0) return false;
+    const std::size_t match_len =
+        static_cast<std::size_t>(match_code) + kMinMatch;
+    if (offset == 0 || offset > out.size()) return false;
+    if (out.size() + match_len > expected_size) return false;
+    // Byte-at-a-time copy: overlapping matches (offset < length) must
+    // re-read freshly written bytes, which is how runs are encoded.
+    std::size_t src = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+  }
+  return out.size() == expected_size;
+}
+
+}  // namespace graphulo::util

@@ -1,0 +1,40 @@
+#pragma once
+// Small self-contained byte-oriented LZ codec (LZ4-style token stream:
+// literal runs + 16-bit-offset back-references, greedy hash-table
+// matcher). Used as the optional per-block general-purpose compressor
+// behind RFile prefix encoding — the container ships no compression
+// library, so the codec is local. Favors decode speed and zero
+// dependencies over ratio; typical graph-table blocks (already
+// prefix-compressed, so dominated by varints and short tails) still
+// shed 20-50% when values repeat.
+//
+// Format, repeated sequences:
+//   token byte: high nibble = literal length, low nibble = match
+//               length - kMinMatch; nibble 15 extends with 255-run
+//               length bytes (LZ4's scheme)
+//   <literal bytes>
+//   2-byte little-endian match offset (1..65535), absent in the final
+//   sequence (a stream may end after literals with match nibble 0)
+// Matches may overlap their output (offset < length), which encodes
+// runs. Decompression is fully bounds-checked: malformed input returns
+// false, never reads or writes out of bounds.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace graphulo::util {
+
+/// Compresses `in` (any bytes, any size). The output is never larger
+/// than in.size() + in.size()/255 + 16 (incompressible data costs only
+/// literal-run framing).
+std::string lz_compress(std::string_view in);
+
+/// Decompresses into `out` (cleared first; capacity is reused).
+/// `expected_size` is the exact decompressed size recorded by the
+/// caller's framing; returns false on malformed input or any size
+/// mismatch.
+bool lz_decompress(std::string_view in, std::string& out,
+                   std::size_t expected_size);
+
+}  // namespace graphulo::util

@@ -14,11 +14,14 @@
 #include <gtest/gtest.h>
 
 #include "core/table_scan.hpp"
+#include "nosql/block_cache.hpp"
+#include "nosql/block_codec.hpp"
 #include "nosql/codec.hpp"
 #include "nosql/combiner.hpp"
 #include "nosql/filter_iterators.hpp"
 #include "nosql/merge_iterator.hpp"
 #include "nosql/nosql.hpp"
+#include "nosql/rfile.hpp"
 #include "util/strings.hpp"
 
 namespace graphulo::nosql {
@@ -250,6 +253,217 @@ TEST(BlockScan, ScannerBatchSizesAgreeOnLiveTable) {
   const auto b = run(1024);
   expect_identical(a, b, "scanner batch 1 vs 1024");
   EXPECT_FALSE(a.empty());
+}
+
+// ---- prefix-encoded RFile blocks (RFL3) property tests -------------------
+
+/// The codec round-trips byte-identically at any restart interval.
+TEST(EncodedBlocks, CodecRoundTripAcrossRestartIntervals) {
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto cells = random_cells(rng, 20 + rng() % 200);
+    for (const std::size_t interval : {1u, 2u, 3u, 7u, 16u, 64u, 4096u}) {
+      const std::string raw =
+          blockcodec::encode_block(cells.data(), cells.size(), interval);
+      std::vector<Cell> decoded;
+      ASSERT_TRUE(blockcodec::decode_block(raw, cells.size(), decoded))
+          << "interval " << interval;
+      expect_identical(cells, decoded,
+                       "codec interval " + std::to_string(interval));
+      // Decoding into a dirty reused buffer must give the same result.
+      ASSERT_TRUE(blockcodec::decode_block(raw, cells.size(), decoded));
+      expect_identical(cells, decoded, "codec reuse");
+    }
+  }
+}
+
+/// block_lower_bound agrees with std::lower_bound for present, absent,
+/// before-first and after-last probe keys.
+TEST(EncodedBlocks, LowerBoundMatchesReference) {
+  std::mt19937 rng(5150);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto cells = random_cells(rng, 30 + rng() % 100);
+    for (const std::size_t interval : {1u, 3u, 16u, 50u}) {
+      const std::string raw =
+          blockcodec::encode_block(cells.data(), cells.size(), interval);
+      auto probe = [&](const Key& k) {
+        const auto ref = static_cast<std::size_t>(
+            std::lower_bound(cells.begin(), cells.end(), k,
+                             [](const Cell& c, const Key& key) {
+                               return c.key < key;
+                             }) -
+            cells.begin());
+        EXPECT_EQ(blockcodec::block_lower_bound(raw, cells.size(), interval, k),
+                  ref)
+            << "interval " << interval << " row " << k.row;
+      };
+      for (int i = 0; i < 40; ++i) {
+        Key k = cells[rng() % cells.size()].key;
+        switch (rng() % 4) {
+          case 0: break;                            // exact hit
+          case 1: k.qualifier += "~";    break;     // between keys
+          case 2: k.row = "";            break;     // before first
+          default: k.row = "\x7f\x7f";   break;     // after last
+        }
+        probe(k);
+      }
+    }
+  }
+}
+
+/// An encoded RFile must be observationally identical to a plain one
+/// built from the same cells — full scans, random range seeks, block
+/// drains and bounded drains — across restart intervals, strides and
+/// compressor settings.
+TEST(EncodedBlocks, EncodedRFileMatchesPlainAcrossKnobs) {
+  std::mt19937 rng(90210);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto cells = random_cells(rng, 40 + rng() % 150);
+    RFileOptions plain_opts;
+    plain_opts.index_stride = 1 + rng() % 64;
+    const auto plain = RFile::from_sorted(cells, plain_opts);
+    for (const auto compressor : {RFileCompressor::kNone, RFileCompressor::kLz}) {
+      RFileOptions opts;
+      opts.prefix_encode = true;
+      opts.index_stride = plain_opts.index_stride;
+      opts.restart_interval = 1 + rng() % 32;
+      opts.compressor = compressor;
+      const auto encoded = RFile::from_sorted(cells, opts);
+      ASSERT_TRUE(encoded->prefix_encoded());
+      ASSERT_EQ(encoded->entry_count(), cells.size());
+
+      // Full scan, cellwise and blockwise.
+      auto a = plain->iterator();
+      auto b = encoded->iterator();
+      a->seek(Range::all());
+      b->seek(Range::all());
+      expect_identical(drain_cellwise(*a), drain_cellwise(*b), "full scan");
+      a->seek(Range::all());
+      b->seek(Range::all());
+      expect_identical(drain_blockwise(*a, rng), drain_blockwise(*b, rng),
+                       "full block scan");
+
+      // Random range seeks + lower_bound_pos agreement.
+      for (int s = 0; s < 8; ++s) {
+        const auto lo = util::zero_pad(rng() % 200, 4);
+        const auto hi = util::zero_pad(rng() % 200, 4);
+        const Range r = (s % 3 == 0) ? Range::exact_row(lo)
+                        : (lo <= hi) ? Range::row_range(lo, hi)
+                                     : Range::row_range(hi, lo);
+        a->seek(r);
+        b->seek(r);
+        expect_identical(drain_cellwise(*a), drain_cellwise(*b), "range seek");
+        EXPECT_EQ(plain->lower_bound_pos(min_key_for_row(lo)),
+                  encoded->lower_bound_pos(min_key_for_row(lo)));
+      }
+
+      // Bounded drain (next_block_until) mid-stream.
+      a->seek(Range::all());
+      b->seek(Range::all());
+      const Key bound = cells[cells.size() / 2].key;
+      CellBlock ba, bb;
+      while (a->next_block_until(ba, 7, bound, true) > 0) {
+      }
+      while (b->next_block_until(bb, 7, bound, true) > 0) {
+      }
+      ASSERT_EQ(ba.size(), bb.size()) << "bounded drain";
+      for (std::size_t i = 0; i < ba.size(); ++i) {
+        EXPECT_EQ(ba.begin()[i].key, bb.begin()[i].key);
+      }
+      expect_identical(drain_cellwise(*a), drain_cellwise(*b),
+                       "post-bound remainder");
+
+      // sample_rows must agree (same stride arithmetic, different
+      // storage).
+      for (const std::size_t n : {1u, 3u, 10u}) {
+        EXPECT_EQ(plain->sample_rows(n), encoded->sample_rows(n));
+      }
+    }
+  }
+}
+
+/// Decode-through-cache: scanning an encoded file twice through a
+/// BlockCache decodes each block once — the second pass is pure hits —
+/// and the cache charges the ENCODED bytes, not the decoded footprint.
+TEST(EncodedBlocks, DecodeThroughCacheChargesEncodedBytes) {
+  std::mt19937 rng(60601);
+  const auto cells = random_cells(rng, 400);
+  RFileOptions opts;
+  opts.prefix_encode = true;
+  opts.index_stride = 64;
+  opts.compressor = RFileCompressor::kLz;
+  const auto rf = RFile::from_sorted(cells, opts);
+  BlockCache cache(64 << 20, 1);
+
+  auto scan = [&] {
+    auto it = rf->iterator(&cache);
+    it->seek(Range::all());
+    return drain_cellwise(*it);
+  };
+  const auto first = scan();
+  const auto stats1 = cache.stats();
+  EXPECT_EQ(stats1.misses, rf->block_count());
+  EXPECT_EQ(stats1.entries, rf->block_count());
+  // Budget accounting equals the sum of encoded block charges exactly.
+  EXPECT_EQ(stats1.bytes, rf->total_block_bytes());
+  // Encoded charges must be well under the materialized footprint.
+  std::size_t materialized = 0;
+  for (const auto& c : cells) {
+    materialized += c.key.row.size() + c.key.family.size() +
+                    c.key.qualifier.size() + c.key.visibility.size() +
+                    c.value.size() + sizeof(Cell);
+  }
+  EXPECT_LT(stats1.bytes, materialized / 2);
+
+  const auto second = scan();
+  const auto stats2 = cache.stats();
+  EXPECT_EQ(stats2.misses, stats1.misses) << "second pass must not decode";
+  EXPECT_GT(stats2.hits, stats1.hits);
+  expect_identical(first, second, "cached vs fresh scan");
+}
+
+/// A live table configured with prefix encoding reads identically to a
+/// plain-configured one through the whole Instance/Scanner stack.
+TEST(EncodedBlocks, ScannerAgreesWithPlainTableEndToEnd) {
+  auto run = [](bool encode, RFileCompressor comp) {
+    Instance db;
+    db.create_table("t");
+    auto& cfg = db.table_config("t");
+    cfg.max_versions = 2;
+    cfg.rfile.prefix_encode = encode;
+    cfg.rfile.compressor = comp;
+    cfg.rfile.index_stride = 32;
+    cfg.rfile.cache_bytes = 1 << 20;
+    BatchWriter writer(db, "t");
+    std::mt19937 rng(424242);
+    for (int i = 0; i < 500; ++i) {
+      Mutation m(util::zero_pad(rng() % 150, 4));
+      if (rng() % 12 == 0) {
+        m.put_delete("f", "q" + std::to_string(rng() % 3));
+      } else {
+        m.put("f", "q" + std::to_string(rng() % 3),
+              encode_double(double(rng() % 50)));
+      }
+      writer.add_mutation(std::move(m));
+      if (i % 83 == 0) {
+        writer.flush();
+        db.flush("t");
+      }
+    }
+    writer.flush();
+    db.flush("t");
+    Scanner sc(db, "t");
+    sc.set_batch_size(256);
+    std::vector<Cell> out;
+    sc.for_each([&](const Key& k, const Value& v) { out.push_back({k, v}); });
+    return out;
+  };
+  const auto plain = run(false, RFileCompressor::kNone);
+  const auto packed = run(true, RFileCompressor::kNone);
+  const auto packed_lz = run(true, RFileCompressor::kLz);
+  expect_identical(plain, packed, "plain vs prefix-encoded table");
+  expect_identical(plain, packed_lz, "plain vs prefix+lz table");
+  EXPECT_FALSE(plain.empty());
 }
 
 }  // namespace

@@ -1,13 +1,18 @@
-// Matrix Market / TSV edge-list I/O and the D4M degree filter.
+// Matrix Market / TSV edge-list I/O, the D4M degree filter, and the
+// RFile on-disk formats (RFL2 legacy + RFL3 packed blocks).
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
 #include "assoc/schemas.hpp"
 #include "la/la.hpp"
+#include "nosql/rfile.hpp"
 #include "test_helpers.hpp"
+#include "util/strings.hpp"
 
 namespace graphulo::la {
 namespace {
@@ -119,3 +124,187 @@ TEST(DegreeFilter, DropsCommonAndRareColumns) {
 
 }  // namespace
 }  // namespace graphulo::la
+
+namespace graphulo::nosql {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/graphulo_rfile_" + name;
+}
+
+/// Adjacency-shaped sorted cells: repeated row keys, shared qualifier
+/// prefixes — the workload the prefix codec exists for.
+std::vector<Cell> graph_cells(std::size_t rows, std::size_t degree) {
+  std::vector<Cell> cells;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      Cell c;
+      c.key.row = "v" + util::zero_pad(r, 6);
+      c.key.family = "out";
+      c.key.qualifier = "v" + util::zero_pad((r * 7 + d * 13) % rows, 6);
+      c.key.ts = static_cast<std::int64_t>(1000 + d);
+      c.value = "1";
+      cells.push_back(std::move(c));
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.key < b.key; });
+  return cells;
+}
+
+std::vector<Cell> drain(const RFile& f) {
+  std::vector<Cell> out;
+  auto it = f.iterator();
+  it->seek(Range::all());
+  while (it->has_top()) {
+    out.push_back({it->top_key(), it->top_value()});
+    it->next();
+  }
+  return out;
+}
+
+/// RFL2 files written before the packed layout existed must still load
+/// — through the default reader AND when the options now ask for
+/// prefix encoding (the cells are re-encoded in memory on load). The
+/// plain-mode writer is byte-for-byte the pre-RFL3 writer, so a file
+/// it produces IS a legacy file.
+TEST(RFileFormat, Rfl2VersionDispatchRoundTrip) {
+  const auto cells = graph_cells(40, 6);
+  const auto plain = RFile::from_sorted(cells, {});
+  const auto path = temp_path("rfl2_compat.rf");
+  ASSERT_TRUE(plain->write_to(path));
+
+  // Legacy magic on disk: "2LFR" little-endian (0x52464c32).
+  {
+    std::ifstream in(path, std::ios::binary);
+    char magic[4] = {};
+    ASSERT_TRUE(in.read(magic, 4));
+    EXPECT_EQ(std::string(magic, 4), "2LFR");
+  }
+
+  const auto reread = RFile::read_from(path, {});
+  ASSERT_NE(reread, nullptr);
+  EXPECT_FALSE(reread->prefix_encoded());
+  const auto ref = drain(*plain);
+  {
+    const auto got = drain(*reread);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].key, ref[i].key);
+      EXPECT_EQ(got[i].value, ref[i].value);
+    }
+  }
+
+  RFileOptions encode_opts;
+  encode_opts.prefix_encode = true;
+  encode_opts.compressor = RFileCompressor::kLz;
+  const auto upgraded = RFile::read_from(path, encode_opts);
+  ASSERT_NE(upgraded, nullptr);
+  EXPECT_TRUE(upgraded->prefix_encoded());
+  {
+    const auto got = drain(*upgraded);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].key, ref[i].key);
+      EXPECT_EQ(got[i].value, ref[i].value);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RFileFormat, Rfl3RoundTripAcrossCompressors) {
+  const auto cells = graph_cells(60, 5);
+  for (const auto comp : {RFileCompressor::kNone, RFileCompressor::kLz}) {
+    RFileOptions opts;
+    opts.prefix_encode = true;
+    opts.index_stride = 48;
+    opts.restart_interval = 8;
+    opts.compressor = comp;
+    const auto rf = RFile::from_sorted(cells, opts);
+    const auto path = temp_path("rfl3_roundtrip.rf");
+    ASSERT_TRUE(rf->write_to(path));
+    const auto reread = RFile::read_from(path, {});  // options don't matter
+    ASSERT_NE(reread, nullptr);
+    EXPECT_TRUE(reread->prefix_encoded());
+    EXPECT_EQ(reread->entry_count(), cells.size());
+    EXPECT_EQ(reread->block_stride(), rf->block_stride());
+    EXPECT_EQ(reread->total_block_bytes(), rf->total_block_bytes());
+    EXPECT_EQ(reread->first_key(), rf->first_key());
+    EXPECT_EQ(reread->last_key(), rf->last_key());
+    const auto a = drain(*rf);
+    const auto b = drain(*reread);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].key, b[i].key);
+      EXPECT_EQ(a[i].value, b[i].value);
+    }
+    // Pruning metadata survives the round trip.
+    EXPECT_TRUE(reread->may_contain_row(cells.front().key.row));
+    EXPECT_FALSE(reread->may_contain_row("zzz-absent"));
+    EXPECT_EQ(reread->sample_rows(5), rf->sample_rows(5));
+    std::remove(path.c_str());
+  }
+}
+
+/// Every byte of an RFL3 file is covered by a checksum (header CRC or a
+/// per-block CRC), so any single bit flip must be rejected at load.
+TEST(RFileFormat, Rfl3RejectsBitFlips) {
+  const auto cells = graph_cells(50, 6);
+  RFileOptions opts;
+  opts.prefix_encode = true;
+  opts.index_stride = 32;
+  opts.compressor = RFileCompressor::kLz;
+  const auto rf = RFile::from_sorted(cells, opts);
+  const auto path = temp_path("rfl3_corrupt.rf");
+  ASSERT_TRUE(rf->write_to(path));
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  // Offsets spanning magic, header length, header body, header CRC and
+  // the packed block data section.
+  const std::size_t offsets[] = {1,
+                                 6,
+                                 bytes.size() / 4,
+                                 bytes.size() / 2,
+                                 2 * bytes.size() / 3,
+                                 bytes.size() - 3};
+  for (const std::size_t off : offsets) {
+    std::string damaged = bytes;
+    damaged[off] = static_cast<char>(damaged[off] ^ 0x10);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+    }
+    EXPECT_EQ(RFile::read_from(path, {}), nullptr)
+        << "bit flip at offset " << off << " not detected";
+  }
+  // Truncation and trailing garbage are rejected too.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  EXPECT_EQ(RFile::read_from(path, {}), nullptr) << "truncation not detected";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.write("xx", 2);
+  }
+  EXPECT_EQ(RFile::read_from(path, {}), nullptr)
+      << "trailing garbage not detected";
+  // The pristine bytes still load (the harness above really was the
+  // only difference).
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_NE(RFile::read_from(path, {}), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace graphulo::nosql

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <random>
 #include <set>
+#include <string_view>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,6 +14,7 @@
 
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/lz.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -374,6 +377,75 @@ TEST(Stats, HumanBytesUnitBoundaries) {
   EXPECT_EQ(human_bytes(1024.0 * 1024.0), "1.00 MiB");
   EXPECT_EQ(human_bytes(1024.0 * 1024.0 * 1024.0), "1.00 GiB");
   EXPECT_EQ(human_bytes(1024.0 * 1024.0 * 1024.0 * 1024.0), "1.00 TiB");
+}
+
+TEST(Lz, RoundTripsAssortedInputs) {
+  std::mt19937 rng(8080);
+  auto check = [](const std::string& in) {
+    const std::string packed = lz_compress(in);
+    std::string out;
+    ASSERT_TRUE(lz_decompress(packed, out, in.size())) << in.size();
+    EXPECT_EQ(out, in);
+  };
+  check("");
+  check("a");
+  check("abc");
+  check(std::string(100000, 'x'));  // extreme run: overlapping matches
+  check("abcdabcdabcdabcdabcd");
+  {
+    // Incompressible: random bytes must still round-trip (stored as
+    // literals when no matches exist).
+    std::string noise(4096, '\0');
+    for (auto& c : noise) c = static_cast<char>(rng());
+    check(noise);
+  }
+  {
+    // Prefix-heavy text shaped like encoded key blocks.
+    std::string keys;
+    for (int i = 0; i < 2000; ++i) {
+      keys += "vertex/" + std::to_string(i % 97) + "/out/edge\x01";
+    }
+    const std::string packed = lz_compress(keys);
+    EXPECT_LT(packed.size(), keys.size() / 2) << "repetitive input must shrink";
+    check(keys);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    // Mixed compressibility: random-length runs of random chars.
+    std::string s;
+    while (s.size() < 1 + rng() % 9000) {
+      s.append(1 + rng() % 40, static_cast<char>('a' + rng() % 8));
+      if (rng() % 3 == 0) s.push_back(static_cast<char>(rng()));
+    }
+    check(s);
+  }
+}
+
+TEST(Lz, DecompressRejectsMalformedStreams) {
+  const std::string good = lz_compress("the quick brown fox the quick brown");
+  std::string out;
+  // Wrong expected size, both directions.
+  EXPECT_FALSE(lz_decompress(good, out, 5));
+  EXPECT_FALSE(lz_decompress(good, out, 4096));
+  // Truncations must never crash, over-read, or silently yield wrong
+  // data. (A truncation that drops only the redundant final empty
+  // literal token still forms a complete stream — success is allowed
+  // iff the output is exactly right.)
+  const std::string original = "the quick brown fox the quick brown";
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    if (lz_decompress(std::string_view(good.data(), n), out, 35)) {
+      EXPECT_EQ(out, original) << "truncated to " << n;
+    }
+  }
+  // Bogus offsets (pointing before the start of the output) rejected.
+  std::string bogus;
+  bogus.push_back(static_cast<char>(0x10));  // 1 literal, match code 0
+  bogus.push_back('A');
+  bogus.push_back(static_cast<char>(0x09));  // offset 9 > output size 1
+  bogus.push_back(static_cast<char>(0x00));
+  EXPECT_FALSE(lz_decompress(bogus, out, 40));
+  // Offset 0 is never valid.
+  bogus[2] = static_cast<char>(0x00);
+  EXPECT_FALSE(lz_decompress(bogus, out, 40));
 }
 
 }  // namespace
