@@ -491,6 +491,161 @@ void run_smoke_tablemult() {
   std::remove(wal_path.c_str());
 }
 
+// ---- leveled vs flat compaction sweep (BENCH_compaction.json) -----------
+
+/// One sustained-ingest run: overwrite-heavy cells (about four versions
+/// per column) pushed through threshold flushes and inline compactions,
+/// then the amplification shape plus a cache-warm full scan.
+struct CompactionPoint {
+  double ingest_rate = 0.0;
+  double warm_scan_rate = 0.0;
+  double write_amp = 0.0;  ///< cells written into files / cells ingested
+  double space_amp = 0.0;  ///< file-resident cells / live columns
+  std::size_t file_count = 0;
+  std::size_t l0_files = 0;
+  std::size_t sorted_levels = 0;      ///< non-empty levels above L0
+  std::size_t worst_point_files = 0;  ///< files a point read can consult
+  std::size_t flushes = 0;
+  std::size_t compactions = 0;
+};
+
+CompactionPoint run_compaction_point(bool leveled, std::size_t cells,
+                                     std::size_t level_base_bytes) {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto written_cells = [&reg] {
+    return reg.counter("tablet.flush.cells.total").value() +
+           reg.counter("tablet.compaction.cells.total").value();
+  };
+  const std::uint64_t written0 = written_cells();
+
+  nosql::Instance db(1);
+  nosql::TableConfig cfg;
+  cfg.flush_entries = std::max<std::size_t>(64, cells / 80);  // ~80 flushes
+  cfg.compaction.leveled = leveled;
+  cfg.compaction.level0_trigger = 4;
+  cfg.compaction.level_base_bytes = level_base_bytes;
+  cfg.compaction.level_multiplier = 8;
+  cfg.rfile.cache_bytes = 64 * 1024 * 1024;  // warm scan stays resident
+  db.create_table("t", cfg);
+
+  // Each column is rewritten ~4 times so compactions have versions to
+  // discard; key order cycles so every flush covers a keyspace slice.
+  const std::size_t live = std::max<std::size_t>(1, cells / 4);
+  util::Timer t;
+  {
+    nosql::BatchWriter writer(db, "t");
+    for (std::size_t i = 0; i < cells; ++i) {
+      const std::size_t k = i % live;
+      nosql::Mutation m(util::zero_pad(k % 1000, 4));
+      m.put("f", util::zero_pad(k / 1000, 6),
+            nosql::encode_double(static_cast<double>(i)));
+      writer.add_mutation(std::move(m));
+    }
+    writer.flush();
+  }
+  CompactionPoint p;
+  p.ingest_rate = static_cast<double>(cells) / t.seconds();
+  p.write_amp =
+      static_cast<double>(written_cells() - written0) / static_cast<double>(cells);
+
+  std::size_t file_cells = 0;
+  for (auto& [tablet, sid] : db.tablets_for_range("t", nosql::Range::all())) {
+    const auto s = tablet->stats();
+    p.file_count += s.file_count;
+    file_cells += s.file_entries;
+    p.flushes += s.minor_compactions;
+    p.compactions += s.major_compactions;
+    if (!s.level_files.empty()) p.l0_files += s.level_files[0];
+    for (std::size_t l = 1; l < s.level_files.size(); ++l) {
+      if (s.level_files[l] > 0) ++p.sorted_levels;
+    }
+  }
+  // A point read consults every L0 file but at most one file per sorted
+  // level (flat mode: everything lives in L0, so this is file_count).
+  p.worst_point_files = p.l0_files + p.sorted_levels;
+  p.space_amp = static_cast<double>(file_cells) / static_cast<double>(live);
+
+  for (int rep = 0; rep < 2; ++rep) {  // second pass is cache-warm
+    nosql::Scanner scanner(db, "t");
+    scanner.set_batch_size(1024);
+    std::size_t seen = 0;
+    util::Timer st;
+    scanner.for_each(
+        [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
+    p.warm_scan_rate = static_cast<double>(seen) / st.seconds();
+  }
+  return p;
+}
+
+/// Leveled vs flat under sustained overwrite ingest: cells x L1 byte
+/// budgets. Writes BENCH_compaction.json; the headline number is the
+/// warm-scan throughput ratio at the largest cell count.
+void run_compaction_sweep(bool smoke) {
+  const std::vector<std::size_t> cell_counts =
+      smoke ? std::vector<std::size_t>{6000}
+            : std::vector<std::size_t>{40000, 120000};
+  const std::vector<std::size_t> budgets{32 * 1024, 128 * 1024};
+  util::TablePrinter table({"layout", "cells", "l1_budget", "ingest",
+                            "warm_scan", "write_amp", "space_amp", "files",
+                            "l0", "levels", "worst_point"});
+  std::string json = "{\"bench\": \"compaction_sweep\", \"results\": [";
+  bool first = true;
+  double flat_warm = 0.0, leveled_warm = 0.0;
+  for (const std::size_t cells : cell_counts) {
+    struct Run {
+      const char* layout;
+      bool leveled;
+      std::size_t budget;
+    };
+    std::vector<Run> runs{{"flat", false, budgets.front()}};
+    for (const std::size_t b : budgets) runs.push_back({"leveled", true, b});
+    for (const Run& r : runs) {
+      const auto p = run_compaction_point(r.leveled, cells, r.budget);
+      if (cells == cell_counts.back()) {
+        if (!r.leveled) flat_warm = p.warm_scan_rate;
+        if (r.leveled) leveled_warm = std::max(leveled_warm, p.warm_scan_rate);
+      }
+      table.add_row({r.layout, std::to_string(cells),
+                     r.leveled ? util::human_bytes(static_cast<double>(r.budget))
+                               : "-",
+                     util::human_rate(p.ingest_rate),
+                     util::human_rate(p.warm_scan_rate),
+                     util::TablePrinter::fmt(p.write_amp, 2),
+                     util::TablePrinter::fmt(p.space_amp, 2),
+                     std::to_string(p.file_count), std::to_string(p.l0_files),
+                     std::to_string(p.sorted_levels),
+                     std::to_string(p.worst_point_files)});
+      if (!first) json += ", ";
+      first = false;
+      json += std::string("{\"layout\": \"") + r.layout +
+              "\", \"cells\": " + std::to_string(cells) +
+              ", \"level_base_bytes\": " +
+              std::to_string(r.leveled ? r.budget : 0) +
+              ", \"ingest_cells_per_s\": " + std::to_string(p.ingest_rate) +
+              ", \"warm_scan_cells_per_s\": " +
+              std::to_string(p.warm_scan_rate) +
+              ", \"write_amp\": " + util::TablePrinter::fmt(p.write_amp, 3) +
+              ", \"space_amp\": " + util::TablePrinter::fmt(p.space_amp, 3) +
+              ", \"file_count\": " + std::to_string(p.file_count) +
+              ", \"l0_files\": " + std::to_string(p.l0_files) +
+              ", \"sorted_levels\": " + std::to_string(p.sorted_levels) +
+              ", \"worst_point_files\": " +
+              std::to_string(p.worst_point_files) +
+              ", \"flushes\": " + std::to_string(p.flushes) +
+              ", \"compactions\": " + std::to_string(p.compactions) + "}";
+    }
+  }
+  const double ratio = flat_warm > 0 ? leveled_warm / flat_warm : 0.0;
+  json += "], \"leveled_vs_flat_warm_scan\": " +
+          util::TablePrinter::fmt(ratio, 2) + "}\n";
+  table.print(
+      "Leveled vs flat compaction under sustained overwrite ingest "
+      "(worst_point = L0 files + sorted levels)");
+  std::printf("leveled vs flat warm scan: %.2fx\n", ratio);
+  std::ofstream("BENCH_compaction.json") << json;
+  std::printf("wrote BENCH_compaction.json\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -507,6 +662,8 @@ int main(int argc, char** argv) {
     // (RFL3) read path end to end and CI can assert on the JSON.
     write_scan_json(run_scan_block_sweep(8000),
                     run_encoding_sweep(/*smoke=*/true));
+    // Small leveled-vs-flat sustained-ingest artifact for CI assertions.
+    run_compaction_sweep(/*smoke=*/true);
     run_smoke_tablemult();
     return 0;
   }
@@ -578,6 +735,9 @@ int main(int argc, char** argv) {
   // the tweet term table).
   write_scan_json(run_scan_block_sweep(2 * kCells),
                   run_encoding_sweep(/*smoke=*/false));
+
+  // Leveled vs flat amplification under sustained overwrite ingest.
+  run_compaction_sweep(/*smoke=*/false);
 
   // WAL overhead: journaled vs unjournaled ingest of the same workload.
   {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/table_printer.hpp"
 
 namespace graphulo::nosql {
@@ -299,6 +300,21 @@ void Instance::restore_cells(const std::string& name,
   }
 }
 
+void Instance::restore_files(const std::string& name,
+                             const std::string& extent_start,
+                             std::vector<FileMeta> files) {
+  std::shared_lock lock(catalog_mutex_);
+  Table& table = get_table(name);
+  for (const auto& tablet : table.tablets_) {
+    if (tablet->extent().start_row == extent_start) {
+      tablet->restore_files(std::move(files));
+      return;
+    }
+  }
+  throw std::invalid_argument("restore_files: no tablet of " + name +
+                              " starts at \"" + extent_start + "\"");
+}
+
 void Instance::flush(const std::string& name) {
   std::shared_lock lock(catalog_mutex_);
   for (const auto& t : get_table(name).tablets_) {
@@ -375,7 +391,52 @@ std::size_t Instance::entry_estimate(const std::string& name) const {
   return total;
 }
 
+void Instance::update_storage_gauges() const {
+  auto& reg = obs::MetricsRegistry::global();
+  // Aggregate the leveled shape across every tablet of every table.
+  std::vector<std::size_t> level_files;
+  std::vector<std::uint64_t> level_bytes;
+  std::uint64_t total_bytes = 0, deepest_bytes = 0;
+  {
+    std::shared_lock lock(catalog_mutex_);
+    for (const auto& [name, table] : tables_) {
+      for (const auto& tablet : table->tablets_) {
+        const auto s = tablet->stats();
+        if (s.level_files.size() > level_files.size()) {
+          level_files.resize(s.level_files.size());
+          level_bytes.resize(s.level_files.size());
+        }
+        for (std::size_t l = 0; l < s.level_files.size(); ++l) {
+          level_files[l] += s.level_files[l];
+          level_bytes[l] += s.level_bytes[l];
+        }
+        for (const auto b : s.level_bytes) total_bytes += b;
+        if (!s.level_bytes.empty()) deepest_bytes += s.level_bytes.back();
+      }
+    }
+  }
+  for (std::size_t l = 0; l < level_files.size(); ++l) {
+    const obs::Labels labels = {{"level", std::to_string(l)}};
+    reg.gauge("tablet.level.files", "Files per LSM level across all tablets",
+              labels)
+        .set(static_cast<std::int64_t>(level_files[l]));
+    reg.gauge("tablet.level.bytes", "Bytes per LSM level across all tablets",
+              labels)
+        .set(static_cast<std::int64_t>(level_bytes[l]));
+  }
+  // Share of file bytes already settled in the deepest levels: 100 =
+  // fully compacted (no space amplification from stale overlap).
+  reg.gauge("tablet.bytes.live_ratio_pct",
+            "Deepest-level bytes as a percentage of total file bytes "
+            "(space-amplification inverse)")
+      .set(total_bytes == 0
+               ? 100
+               : static_cast<std::int64_t>(100 * deepest_bytes /
+                                           total_bytes));
+}
+
 std::string Instance::metrics_report() const {
+  update_storage_gauges();
   std::string out;
   {
     // The monitor's server summary: this instance's traffic only.

@@ -127,8 +127,16 @@ class Instance {
 
   /// Routes pre-formed cells straight into their tablets' memtables
   /// (exact keys preserved, no timestamp assignment, no WAL write) —
-  /// the checkpoint-restore path.
+  /// the checkpoint-restore path for UNFLUSHED data.
   void restore_cells(const std::string& name, std::vector<Cell> cells);
+
+  /// Installs recovered immutable files into the tablet whose extent
+  /// starts at `extent_start` ("" = the first tablet) — the
+  /// checkpoint-restore path for the leveled file set described by a
+  /// replayed MANIFEST. Every FileMeta must carry a live RFile. Passes
+  /// through the `manifest.install` fault site (callers retry).
+  void restore_files(const std::string& name, const std::string& extent_start,
+                     std::vector<FileMeta> files);
 
   // -- durability -----------------------------------------------------------
 
@@ -151,8 +159,9 @@ class Instance {
   // -- background compactions ----------------------------------------------
 
   /// Attaches a background compaction scheduler: from now on (and for
-  /// every existing tablet) threshold flushes and fan-in majors run on
-  /// the scheduler's thread pool instead of inline under the write.
+  /// every existing tablet) threshold flushes and picker-selected
+  /// leveled compactions run on the scheduler's thread pool instead of
+  /// inline under the write.
   /// Pass nullptr to detach and return to inline compaction.
   void attach_compaction_scheduler(std::shared_ptr<CompactionScheduler> s);
 
@@ -194,10 +203,19 @@ class Instance {
 
   // -- introspection -------------------------------------------------------
 
+  /// Refreshes the storage-amplification gauges from current tablet
+  /// state: per-level file-count/byte gauges (labelled level="N") and
+  /// the live-vs-total-bytes ratio (percent of file bytes residing in
+  /// each tablet's deepest level — 100 means no space amplification).
+  /// Called by metrics_report(); exporters on a pull cadence can call
+  /// it directly before snapshotting.
+  void update_storage_gauges() const;
+
   /// Human-readable report over the global metrics registry — the
   /// monitor-page view: per-server traffic, then every registry series
   /// (counters, gauges, span histograms with p50/p95/p99). Pure
   /// formatting; the data is the same snapshot the exporters serialize.
+  /// Refreshes the storage gauges first.
   std::string metrics_report() const;
 
   int tablet_server_count() const noexcept {

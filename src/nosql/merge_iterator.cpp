@@ -1,5 +1,9 @@
 #include "nosql/merge_iterator.hpp"
 
+#include <algorithm>
+
+#include "nosql/block_cache.hpp"
+
 namespace graphulo::nosql {
 
 MergeIterator::MergeIterator(std::vector<IterPtr> children)
@@ -58,6 +62,75 @@ std::size_t MergeIterator::next_block(CellBlock& out, std::size_t max) {
         }
       }
     }
+  }
+  return appended;
+}
+
+LevelIterator::LevelIterator(
+    std::vector<FileMeta> files, BlockCache* cache,
+    std::shared_ptr<std::atomic<std::uint64_t>> consulted)
+    : files_(std::move(files)),
+      cache_(cache),
+      consulted_(std::move(consulted)) {}
+
+void LevelIterator::seek(const Range& range) {
+  range_ = range;
+  current_.reset();
+  // First file whose last key reaches the range start; earlier files
+  // lie entirely below the range and are never opened.
+  std::size_t idx = 0;
+  if (range.has_start) {
+    const auto it = std::lower_bound(
+        files_.begin(), files_.end(), range.start,
+        [](const FileMeta& m, const Key& k) { return m.last_key < k; });
+    idx = static_cast<std::size_t>(it - files_.begin());
+  }
+  open_from(idx);
+}
+
+void LevelIterator::open_from(std::size_t idx) {
+  for (; idx < files_.size(); ++idx) {
+    const FileMeta& m = files_[idx];
+    // Files are in key order: once one starts past the range end, the
+    // rest do too.
+    if (range_.is_past_end(m.first_key)) break;
+    if (!m.file->may_intersect(range_)) continue;  // bounds prune, free
+    if (consulted_) consulted_->fetch_add(1, std::memory_order_relaxed);
+    IterPtr it = m.file->iterator(cache_);
+    it->seek(range_);
+    if (it->has_top()) {
+      current_ = std::move(it);
+      index_ = idx;
+      return;
+    }
+  }
+  current_.reset();
+  index_ = files_.size();
+}
+
+void LevelIterator::next() {
+  current_->next();
+  if (!current_->has_top()) open_from(index_ + 1);
+}
+
+std::size_t LevelIterator::next_block(CellBlock& out, std::size_t max) {
+  std::size_t appended = 0;
+  while (appended < max && has_top()) {
+    appended += current_->next_block(out, max - appended);
+    if (!current_->has_top()) open_from(index_ + 1);
+  }
+  return appended;
+}
+
+std::size_t LevelIterator::next_block_until(CellBlock& out, std::size_t max,
+                                            const Key& bound,
+                                            bool allow_equal) {
+  std::size_t appended = 0;
+  while (appended < max && has_top()) {
+    appended += current_->next_block_until(out, max - appended, bound,
+                                           allow_equal);
+    if (current_->has_top()) break;  // hit the bound (or the cap)
+    open_from(index_ + 1);
   }
   return appended;
 }

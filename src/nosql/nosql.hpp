@@ -13,6 +13,7 @@
 #include "nosql/instance.hpp"
 #include "nosql/iterator.hpp"
 #include "nosql/key.hpp"
+#include "nosql/manifest.hpp"
 #include "nosql/memtable.hpp"
 #include "nosql/merge_iterator.hpp"
 #include "nosql/mutation.hpp"
@@ -21,6 +22,7 @@
 #include "nosql/table_config.hpp"
 #include "nosql/tablet.hpp"
 #include "nosql/tablet_server.hpp"
+#include "nosql/version_set.hpp"
 #include "nosql/visibility.hpp"
 #include "nosql/wal.hpp"
 #include "nosql/wal_options.hpp"

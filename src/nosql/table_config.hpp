@@ -9,6 +9,7 @@
 
 #include "nosql/iterator.hpp"
 #include "nosql/rfile.hpp"
+#include "nosql/version_set.hpp"
 #include "nosql/wal_options.hpp"
 
 namespace graphulo::nosql {
@@ -35,8 +36,12 @@ struct IteratorSetting {
 struct TableConfig {
   /// Minor compaction (memtable flush) threshold, in entries.
   std::size_t flush_entries = 100000;
-  /// Major compaction trigger: merge when a tablet holds this many files.
+  /// Flat-layout major compaction trigger: full merge when a tablet
+  /// holds this many files (ignored while `compaction.leveled` is on).
   std::size_t compaction_fanin = 10;
+  /// Leveled-compaction knobs: L0 trigger, per-level byte budgets, and
+  /// the leveled/flat layout switch.
+  CompactionConfig compaction;
   /// Hard ceiling on a tablet's file count when a background
   /// CompactionScheduler is attached: writers block (back-pressure)
   /// until a major compaction brings the count back down.

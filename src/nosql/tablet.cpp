@@ -24,7 +24,19 @@ obs::Counter& flush_total() {
 }
 obs::Counter& major_total() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter(
-      "tablet.compaction.total", "Major compactions completed");
+      "tablet.compaction.total", "Major/leveled compactions completed");
+  return c;
+}
+obs::Counter& flush_cells_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablet.flush.cells.total",
+      "Cells written to L0 by minor compactions (flushes)");
+  return c;
+}
+obs::Counter& compact_cells_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablet.compaction.cells.total",
+      "Cells rewritten by compactions (write-amplification numerator)");
   return c;
 }
 obs::Gauge& frozen_gauge() {
@@ -33,10 +45,34 @@ obs::Gauge& frozen_gauge() {
       "Frozen (immutable) memtables awaiting background flush");
   return g;
 }
+obs::Histogram& files_consulted_hist() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "scan.files_consulted",
+      "Immutable files opened per tablet scan stack (read amplification)",
+      {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128});
+  return h;
+}
+
+/// Read-amplification probe handed to every LevelIterator in a scan
+/// stack: each file open bumps it, and when the stack dies the total is
+/// observed into the files-consulted histogram.
+std::shared_ptr<std::atomic<std::uint64_t>> make_consulted_probe() {
+  return std::shared_ptr<std::atomic<std::uint64_t>>(
+      new std::atomic<std::uint64_t>(0),
+      [](std::atomic<std::uint64_t>* c) {
+        files_consulted_hist().observe(static_cast<double>(
+            c->load(std::memory_order_relaxed)));
+        delete c;
+      });
+}
 
 /// Ceiling on frozen memtables per tablet before writers block: enough
 /// to ride out a slow flush, small enough to bound memory.
 constexpr std::size_t kMaxFrozenMemtables = 4;
+
+/// Bound on the inline picker loop per trigger; budgets grow
+/// geometrically so real cascades settle in a couple of steps.
+constexpr int kMaxInlineCompactions = 16;
 
 /// Wraps `source` with every iterator in `settings` matching `scope`,
 /// priority order (lowest first = closest to the data).
@@ -52,6 +88,32 @@ IterPtr apply_scope_iterators(IterPtr source,
 /// Runs `stack` to completion over everything and collects the cells.
 std::vector<Cell> drain_all(SortedKVIterator& stack) {
   return drain(stack, Range::all());
+}
+
+std::uint64_t max_input_seq(const std::vector<FileMeta>& inputs) {
+  std::uint64_t seq = 0;
+  for (const FileMeta& m : inputs) seq = std::max(seq, m.seq);
+  return seq;
+}
+
+/// Builds the compaction stack over `inputs` (already newest-first) and
+/// drains it. `drop` = bottommost full semantics: deletes resolve and
+/// vanish. Versioning and majc-scope iterators run regardless, exactly
+/// as partial majors always have.
+std::vector<Cell> merge_compaction_inputs(
+    const std::vector<FileMeta>& inputs, bool drop, bool versioning,
+    int max_versions, const std::vector<IteratorSetting>& settings) {
+  std::vector<IterPtr> children;
+  children.reserve(inputs.size());
+  for (const FileMeta& m : inputs) children.push_back(m.file->iterator());
+  IterPtr stack = std::make_unique<MergeIterator>(std::move(children));
+  if (drop) stack = std::make_unique<DeletingIterator>(std::move(stack));
+  if (versioning) {
+    stack = std::make_unique<VersioningIterator>(std::move(stack),
+                                                 max_versions);
+  }
+  stack = apply_scope_iterators(std::move(stack), settings, kMajcScope);
+  return drain_all(*stack);
 }
 
 }  // namespace
@@ -100,7 +162,13 @@ void Tablet::maybe_compact_locked() {
   // compaction failed: data stays in memory + WAL, nothing is lost.
   try {
     flush_locked();
-    if (files_.size() >= config_->compaction_fanin) major_compact_locked();
+    // Settle the levels: an L0->L1 compaction can push L1 over budget,
+    // which pushes a slice into L2, and so on down the tree.
+    for (int round = 0; round < kMaxInlineCompactions; ++round) {
+      const auto pick = pick_locked();
+      if (!pick) break;
+      run_compaction_locked(*pick);
+    }
   } catch (const util::TransientError& e) {
     GRAPHULO_WARN << "Tablet[" << extent_.start_row << "," << extent_.end_row
                   << "): deferred flush/compaction failed transiently, will "
@@ -110,7 +178,7 @@ void Tablet::maybe_compact_locked() {
 
 void Tablet::wait_for_capacity_locked(std::unique_lock<std::mutex>& lock) {
   if (!scheduler_) return;
-  while (files_.size() >= config_->max_tablet_files ||
+  while (versions_.current()->file_count() >= config_->max_tablet_files ||
          frozen_.size() >= kMaxFrozenMemtables) {
     if (!minor_inflight_ && !frozen_.empty()) enqueue_minor_locked();
     maybe_enqueue_major_locked();
@@ -119,8 +187,8 @@ void Tablet::wait_for_capacity_locked(std::unique_lock<std::mutex>& lock) {
       continue;
     }
     // Nothing is in flight and nothing could be queued (scheduler
-    // shutting down, or the file pattern cannot trigger a major):
-    // relieve the pressure inline rather than spinning.
+    // shutting down, or the picker found no work): relieve the
+    // pressure inline rather than spinning.
     try {
       flush_locked();
       major_compact_locked();
@@ -166,21 +234,7 @@ void Tablet::enqueue_minor_locked() {
 
 void Tablet::maybe_enqueue_major_locked() {
   if (!scheduler_ || major_inflight_) return;
-  // Only files older than every pending frozen memtable are mergeable
-  // (see run_background_major); trigger on the fan-in among those, or
-  // unconditionally at the hard file ceiling.
-  const std::uint64_t min_pending =
-      frozen_.empty() ? std::numeric_limits<std::uint64_t>::max()
-                      : frozen_.back().seq;
-  std::size_t eligible = 0;
-  for (const auto& f : files_) {
-    if (f.seq < min_pending) ++eligible;
-  }
-  if (eligible < 2) return;
-  if (eligible < config_->compaction_fanin &&
-      files_.size() < config_->max_tablet_files) {
-    return;
-  }
+  if (!pick_locked()) return;
   major_inflight_ = true;
   auto self = shared_from_this();
   if (scheduler_->enqueue([self] { self->run_background_major(); })) {
@@ -188,6 +242,13 @@ void Tablet::maybe_enqueue_major_locked() {
   } else {
     major_inflight_ = false;
   }
+}
+
+std::optional<CompactionPick> Tablet::pick_locked() const {
+  const auto v = versions_.current();
+  const bool pressure = v->file_count() >= config_->max_tablet_files;
+  return pick_compaction(*v, config_->compaction, config_->compaction_fanin,
+                         pressure);
 }
 
 void Tablet::run_background_minor() {
@@ -216,7 +277,16 @@ void Tablet::run_background_minor() {
     }
     lock.lock();
     if (!ok) break;
-    install_minor_locked(target.seq, file);
+    try {
+      install_minor_locked(target.seq, file);
+    } catch (const util::TransientError& e) {
+      // The version install faulted: the frozen memtable is untouched
+      // (install fires before any state change) and a later trigger or
+      // explicit flush() retries it.
+      GRAPHULO_WARN << "Tablet: background flush install failed "
+                    << "transiently, keeping memtable frozen: " << e.what();
+      break;
+    }
     maybe_enqueue_major_locked();
   }
   minor_inflight_ = false;
@@ -226,26 +296,17 @@ void Tablet::run_background_minor() {
 
 void Tablet::run_background_major() {
   std::unique_lock lock(mutex_);
-  // Mergeable inputs: files older than every pending frozen memtable.
-  // A flush finishing mid-merge then lands a file NEWER than all
-  // inputs and the output, so install order stays seq-consistent.
-  const std::uint64_t min_pending =
-      frozen_.empty() ? std::numeric_limits<std::uint64_t>::max()
-                      : frozen_.back().seq;
-  std::vector<TabletFile> inputs;
-  for (const auto& f : files_) {
-    if (f.seq < min_pending) inputs.push_back(f);
-  }
-  // A merge of every file with nothing frozen is a FULL major: delete
-  // markers resolve and drop. A partial merge keeps them for scan-time
-  // resolution (Accumulo partial-major semantics).
-  const bool full = frozen_.empty() && inputs.size() == files_.size();
-  if (inputs.size() < 2) {
+  const auto pick = pick_locked();
+  if (!pick) {
     major_inflight_ = false;
     ++bg_completed_;
     state_cv_.notify_all();
     return;
   }
+  // Delete markers drop only when the output is bottommost for its key
+  // range AND nothing newer is buffered (a frozen memtable may hold a
+  // write the markers must still suppress at scan time).
+  const bool drop = pick->bottommost && frozen_.empty();
   const auto settings = config_->iterators;  // copied under the lock
   const bool versioning = config_->versioning;
   const int max_versions = config_->max_versions;
@@ -253,84 +314,109 @@ void Tablet::run_background_major() {
   lock.unlock();
 
   std::shared_ptr<RFile> output;
+  std::size_t out_cells = 0;
   bool ok = true;
   try {
     TRACE_SPAN("tablet.compact");
     util::fault::point(util::fault::sites::kTabletCompact);
-    std::vector<IterPtr> children;
-    children.reserve(inputs.size());
-    for (const auto& f : inputs) children.push_back(f.file->iterator());
-    IterPtr stack = std::make_unique<MergeIterator>(std::move(children));
-    if (full) stack = std::make_unique<DeletingIterator>(std::move(stack));
-    if (versioning) {
-      stack = std::make_unique<VersioningIterator>(std::move(stack),
-                                                   max_versions);
-    }
-    stack = apply_scope_iterators(std::move(stack), settings, kMajcScope);
-    auto cells = drain_all(*stack);
+    auto cells = merge_compaction_inputs(pick->inputs, drop, versioning,
+                                         max_versions, settings);
+    out_cells = cells.size();
     if (!cells.empty()) {
       output = RFile::from_sorted(std::move(cells), rfile_opts);
     }
   } catch (const std::exception& e) {
     GRAPHULO_WARN << "Tablet[" << extent_.start_row << "," << extent_.end_row
-                  << "): background major compaction failed, keeping "
+                  << "): background compaction failed, keeping "
                   << "inputs: " << e.what();
     ok = false;
   }
 
   lock.lock();
+  bool installed = false;
   if (ok) {
-    // Install only if every input is still present (an explicit
-    // major_compact() may have raced us and already merged them).
-    std::size_t present = 0;
-    for (const auto& in : inputs) {
-      for (const auto& f : files_) {
-        if (f.seq == in.seq && f.file == in.file) {
-          ++present;
-          break;
-        }
-      }
+    VersionEdit edit;
+    for (const FileMeta& m : pick->inputs) edit.removed.push_back(m.file_id);
+    if (output) {
+      edit.added.push_back(FileMeta::describe(
+          output, static_cast<int>(pick->output_level),
+          max_input_seq(pick->inputs)));
     }
-    if (present == inputs.size()) {
-      for (const auto& in : inputs) {
-        if (cache_) cache_->erase_file(in.file->file_id());
-        std::erase_if(files_,
-                      [&](const TabletFile& f) { return f.seq == in.seq; });
+    try {
+      // apply_edit rejects the edit when an input vanished (an explicit
+      // major_compact() raced us and already merged it): discard ours.
+      installed = apply_edit_locked(edit);
+      if (installed) {
+        ++major_compactions_;
+        major_total().inc();
+        compact_cells_total().inc(out_cells);
+      } else {
+        GRAPHULO_DEBUG << "Tablet: discarding background compaction result "
+                       << "(inputs changed during merge)";
       }
-      // The output ranks where its newest input ranked: nothing else
-      // can hold a sequence number inside the merged range.
-      if (output) insert_file_locked(inputs.front().seq, output);
-      ++major_compactions_;
-      major_total().inc();
-    } else {
-      GRAPHULO_DEBUG << "Tablet: discarding background major result "
-                     << "(inputs changed during merge)";
+    } catch (const util::TransientError& e) {
+      GRAPHULO_WARN << "Tablet: background compaction install failed "
+                    << "transiently, keeping inputs: " << e.what();
     }
   }
   major_inflight_ = false;
   ++bg_completed_;
+  // Cascade: this install may have pushed the next level over budget.
+  if (installed) maybe_enqueue_major_locked();
   state_cv_.notify_all();
+}
+
+void Tablet::run_compaction_locked(const CompactionPick& pick) {
+  TRACE_SPAN("tablet.compact");
+  // Before any state change, like the flush site above.
+  util::fault::point(util::fault::sites::kTabletCompact);
+  const bool drop = pick.bottommost && frozen_.empty();
+  auto cells = merge_compaction_inputs(pick.inputs, drop, config_->versioning,
+                                       config_->max_versions,
+                                       config_->iterators);
+  const std::size_t out_cells = cells.size();
+  VersionEdit edit;
+  for (const FileMeta& m : pick.inputs) edit.removed.push_back(m.file_id);
+  if (!cells.empty()) {
+    edit.added.push_back(FileMeta::describe(
+        RFile::from_sorted(std::move(cells), config_->rfile),
+        static_cast<int>(pick.output_level), max_input_seq(pick.inputs)));
+  }
+  if (apply_edit_locked(edit)) {
+    ++major_compactions_;
+    major_total().inc();
+    compact_cells_total().inc(out_cells);
+    state_cv_.notify_all();
+  }
+}
+
+bool Tablet::apply_edit_locked(const VersionEdit& edit) {
+  // The install (and its fault site) runs before anything observable
+  // changes; cache eviction of retired files happens only afterwards.
+  if (!versions_.apply(edit)) return false;
+  if (cache_) {
+    for (const std::uint64_t id : edit.removed) cache_->erase_file(id);
+  }
+  return true;
 }
 
 void Tablet::install_minor_locked(std::uint64_t seq,
                                   const std::shared_ptr<RFile>& file) {
+  // A minc stack may legitimately drop every cell (filters): count the
+  // flush but never install a zero-cell file. The version install runs
+  // FIRST — it can fault, and must leave the frozen entry queued.
+  if (file && !file->empty()) {
+    VersionEdit edit;
+    edit.added.push_back(FileMeta::describe(file, /*level=*/0, seq));
+    apply_edit_locked(edit);
+    flush_cells_total().inc(file->entry_count());
+  }
   const auto erased = std::erase_if(
       frozen_, [&](const FrozenMemtable& f) { return f.seq == seq; });
   frozen_gauge().add(-static_cast<std::int64_t>(erased));
-  // A minc stack may legitimately drop every cell (filters): count the
-  // flush but never install a zero-cell file.
-  if (file && !file->empty()) insert_file_locked(seq, file);
   ++minor_compactions_;
   flush_total().inc();
   state_cv_.notify_all();
-}
-
-void Tablet::insert_file_locked(std::uint64_t seq,
-                                const std::shared_ptr<RFile>& file) {
-  const auto pos =
-      std::find_if(files_.begin(), files_.end(),
-                   [&](const TabletFile& f) { return f.seq < seq; });
-  files_.insert(pos, TabletFile{seq, file});
 }
 
 void Tablet::flush() {
@@ -356,12 +442,16 @@ void Tablet::flush_locked() {
   if (memtable_.empty()) return;
   const std::uint64_t seq = next_data_seq_;
   auto cells = build_minor_cells(memtable_.snapshot(), config_->iterators);
-  // Past the fault site: commit the sequence number and install.
-  ++next_data_seq_;
   if (!cells.empty()) {
-    insert_file_locked(seq,
-                       RFile::from_sorted(std::move(cells), config_->rfile));
+    auto file = RFile::from_sorted(std::move(cells), config_->rfile);
+    VersionEdit edit;
+    edit.added.push_back(FileMeta::describe(file, /*level=*/0, seq));
+    // May fault: nothing is committed until the install lands.
+    apply_edit_locked(edit);
+    flush_cells_total().inc(file->entry_count());
   }
+  // Past every fault site: commit the sequence number and clear.
+  ++next_data_seq_;
   memtable_.clear();
   ++minor_compactions_;
   flush_total().inc();
@@ -382,66 +472,83 @@ void Tablet::major_compact_locked() {
   // A single file is still rewritten: one-shot majc-scope iterators
   // (table_apply / table_filter) and delete resolution depend on every
   // cell passing through the compaction stack.
-  if (files_.empty()) return;
+  const auto v = versions_.current();
+  if (v->empty()) return;
   TRACE_SPAN("tablet.compact");
   // Before any state change, like the flush site above.
   util::fault::point(util::fault::sites::kTabletCompact);
-  std::vector<IterPtr> children;
-  children.reserve(files_.size());
-  for (const auto& f : files_) children.push_back(f.file->iterator());
-  IterPtr stack = std::make_unique<MergeIterator>(std::move(children));
-  // Full major compaction: deletes are resolved and dropped, versions
-  // collapsed, then majc-scope iterators (e.g. combiners) run.
-  stack = std::make_unique<DeletingIterator>(std::move(stack));
-  if (config_->versioning) {
-    stack = std::make_unique<VersioningIterator>(std::move(stack),
-                                                 config_->max_versions);
+  const auto inputs = v->all_files();
+  // Full major compaction: every file participates, so deletes resolve
+  // and drop, versions collapse, then majc-scope iterators run.
+  auto cells = merge_compaction_inputs(inputs, /*drop=*/true,
+                                       config_->versioning,
+                                       config_->max_versions,
+                                       config_->iterators);
+  const std::size_t out_cells = cells.size();
+  // The single output is bottommost by construction; park it at the
+  // deepest occupied level (L1 minimum when leveled) so L0 stays clear
+  // for fresh flushes.
+  std::size_t out_level = 0;
+  if (config_->compaction.leveled && config_->compaction.max_levels > 1) {
+    out_level = std::max<std::size_t>(
+        1, v->levels.empty() ? 1 : v->levels.size() - 1);
+    out_level = std::min(out_level, config_->compaction.max_levels - 1);
   }
-  stack = apply_scope_iterators(std::move(stack), config_->iterators,
-                                kMajcScope);
-  auto cells = drain_all(*stack);
-  const std::uint64_t out_seq = files_.front().seq;
-  for (const auto& f : files_) {
-    if (cache_) cache_->erase_file(f.file->file_id());
-  }
-  files_.clear();
+  VersionEdit edit;
+  for (const FileMeta& m : inputs) edit.removed.push_back(m.file_id);
   if (!cells.empty()) {
-    insert_file_locked(out_seq,
-                       RFile::from_sorted(std::move(cells), config_->rfile));
+    edit.added.push_back(FileMeta::describe(
+        RFile::from_sorted(std::move(cells), config_->rfile),
+        static_cast<int>(out_level), max_input_seq(inputs)));
   }
+  apply_edit_locked(edit);
   ++major_compactions_;
   major_total().inc();
+  compact_cells_total().inc(out_cells);
   state_cv_.notify_all();
 }
 
-IterPtr Tablet::merged_sources_locked() const {
+IterPtr Tablet::merged_sources_locked(
+    std::shared_ptr<std::atomic<std::uint64_t>> consulted) const {
+  const auto v = versions_.current();
+  static const std::vector<FileMeta> kNoFiles;
+  const auto& l0 = v->levels.empty() ? kNoFiles : v->levels[0];
   std::vector<IterPtr> children;
-  children.reserve(frozen_.size() + files_.size() + 1);
+  children.reserve(frozen_.size() + v->file_count() + 1);
   // Newest source first: at equal keys the merge prefers lower child
   // indices. The active memtable is always newest; frozen memtables
-  // and files interleave by data sequence number (a file can be newer
-  // than a frozen memtable when flushes complete out of order).
+  // and L0 files interleave by data sequence number. Sorted levels
+  // follow, shallowest (newest) first — everything in L(n+1) predates
+  // everything in L(n) by construction.
   if (!memtable_.empty()) {
     children.push_back(std::make_unique<VectorIterator>(memtable_.snapshot()));
   }
   auto fz = frozen_.begin();
-  auto fl = files_.begin();
-  while (fz != frozen_.end() || fl != files_.end()) {
-    if (fl == files_.end() ||
-        (fz != frozen_.end() && fz->seq > fl->seq)) {
+  std::size_t fi = 0;
+  while (fz != frozen_.end() || fi < l0.size()) {
+    if (fi >= l0.size() ||
+        (fz != frozen_.end() && fz->seq > l0[fi].seq)) {
       children.push_back(std::make_unique<VectorIterator>(fz->cells));
       ++fz;
     } else {
-      children.push_back(fl->file->iterator(cache_));
-      ++fl;
+      // One LevelIterator per L0 file (ranges may overlap), so file
+      // opens are counted — and seek-pruned — uniformly across levels.
+      children.push_back(std::make_unique<LevelIterator>(
+          std::vector<FileMeta>{l0[fi]}, cache_, consulted));
+      ++fi;
     }
+  }
+  for (std::size_t l = 1; l < v->levels.size(); ++l) {
+    if (v->levels[l].empty()) continue;
+    children.push_back(
+        std::make_unique<LevelIterator>(v->levels[l], cache_, consulted));
   }
   return std::make_unique<MergeIterator>(std::move(children));
 }
 
 IterPtr Tablet::scan_stack() const {
   std::lock_guard lock(mutex_);
-  IterPtr stack = merged_sources_locked();
+  IterPtr stack = merged_sources_locked(make_consulted_probe());
   stack = std::make_unique<DeletingIterator>(std::move(stack));
   if (config_->versioning) {
     stack = std::make_unique<VersioningIterator>(std::move(stack),
@@ -453,7 +560,36 @@ IterPtr Tablet::scan_stack() const {
 
 IterPtr Tablet::raw_stack() const {
   std::lock_guard lock(mutex_);
-  return merged_sources_locked();
+  return merged_sources_locked(nullptr);
+}
+
+std::shared_ptr<const Version> Tablet::version() const {
+  std::lock_guard lock(mutex_);
+  return versions_.current();
+}
+
+std::vector<Cell> Tablet::unflushed_cells() const {
+  std::lock_guard lock(mutex_);
+  std::vector<IterPtr> children;
+  children.reserve(frozen_.size() + 1);
+  if (!memtable_.empty()) {
+    children.push_back(std::make_unique<VectorIterator>(memtable_.snapshot()));
+  }
+  for (const auto& f : frozen_) {  // newest first already
+    children.push_back(std::make_unique<VectorIterator>(f.cells));
+  }
+  MergeIterator merged(std::move(children));
+  return drain_all(merged);
+}
+
+void Tablet::restore_files(std::vector<FileMeta> files) {
+  std::lock_guard lock(mutex_);
+  VersionEdit edit;
+  edit.added = std::move(files);
+  versions_.apply(edit);  // fires manifest.install; caller retries
+  for (const FileMeta& m : edit.added) {
+    next_data_seq_ = std::max(next_data_seq_, m.seq + 1);
+  }
 }
 
 TabletStats Tablet::stats() const {
@@ -462,10 +598,17 @@ TabletStats Tablet::stats() const {
   s.memtable_entries = memtable_.entry_count();
   s.frozen_memtables = frozen_.size();
   for (const auto& f : frozen_) s.frozen_entries += f.cells->size();
-  s.file_count = files_.size();
-  for (const auto& f : files_) {
-    s.file_entries += f.file->entry_count();
-    s.file_block_bytes += f.file->total_block_bytes();
+  const auto v = versions_.current();
+  s.file_count = v->file_count();
+  for (const auto& level : v->levels) {
+    s.level_files.push_back(level.size());
+    std::uint64_t bytes = 0;
+    for (const FileMeta& m : level) {
+      s.file_entries += m.file->entry_count();
+      s.file_block_bytes += m.file->total_block_bytes();
+      bytes += m.bytes;
+    }
+    s.level_bytes.push_back(bytes);
   }
   s.minor_compactions = minor_compactions_;
   s.major_compactions = major_compactions_;
@@ -478,6 +621,8 @@ TabletStats Tablet::stats() const {
     s.cache_hits = cs.hits;
     s.cache_misses = cs.misses;
     s.cache_evictions = cs.evictions;
+    s.cache_entries = cs.entries;
+    s.cache_bytes = cs.bytes;
   }
   return s;
 }
@@ -499,8 +644,8 @@ std::vector<std::string> Tablet::sample_split_rows(std::size_t n) const {
     }
     rows.push_back(cells.back().key.row);
   }
-  for (const auto& f : files_) {
-    auto from_file = f.file->sample_rows(n);
+  for (const FileMeta& m : versions_.current()->all_files()) {
+    auto from_file = m.file->sample_rows(n);
     rows.insert(rows.end(), std::make_move_iterator(from_file.begin()),
                 std::make_move_iterator(from_file.end()));
   }

@@ -1,38 +1,52 @@
 #pragma once
 // A tablet: one contiguous row-range shard of a table, consisting of an
 // in-memory write buffer (memtable), zero or more frozen (immutable)
-// memtables awaiting flush, and immutable sorted files, with
-// minor/major compaction — the standard LSM structure Accumulo tablets
-// use. All public methods are thread-safe.
+// memtables awaiting flush, and a LEVELED set of immutable sorted files
+// — the LevelDB arrangement grafted onto the Accumulo tablet model.
+// All public methods are thread-safe.
+//
+// File layout (see version_set.hpp): L0 holds raw memtable flushes
+// whose key ranges may overlap; L1+ hold files with disjoint key
+// ranges, so a point read consults at most one file per sorted level.
+// The file set is an immutable Version installed atomically through a
+// VersionSet; scans snapshot the current version and are never blocked
+// by an install. A compaction picker (level fullness: L0 file-count
+// trigger, per-level byte budgets) selects a victim slice — all of L0
+// plus its next-level overlap, or one over-budget file plus its
+// overlap — and rewrites just that slice. Delete markers (and shadowed
+// versions) drop only when the output is bottommost for its key range
+// AND nothing is frozen, i.e. the key can no longer exist anywhere
+// deeper; partial compactions keep them for scan-time resolution.
+// Setting TableConfig::compaction.leveled = false restores the flat
+// layout (everything in L0, full-merge majors at compaction_fanin) as
+// a baseline.
 //
 // Two compaction execution modes:
 //
 //  - Inline (no CompactionScheduler attached, the default): threshold
-//    flushes and fan-in majors run synchronously inside apply(), under
-//    the tablet lock, exactly as a single-threaded tablet server would.
+//    flushes run synchronously inside apply(), then the picker loop
+//    settles every over-budget level before the writer returns.
 //
 //  - Background (CompactionScheduler attached): a threshold crossing
 //    freezes the active memtable (O(1) swap) and enqueues the flush on
-//    the scheduler; writers continue into a fresh memtable while the
-//    frozen one compacts off-thread. Scans merge {active memtable,
-//    frozen memtables, files}, ordered by a per-tablet data sequence
-//    number so out-of-order background completions can never invert
-//    newest-wins resolution. Back-pressure: writers block when the
-//    file count reaches TableConfig::max_tablet_files or too many
-//    frozen memtables pile up, until background compactions catch up.
+//    the scheduler; writers continue into a fresh memtable. One picked
+//    compaction runs off-thread at a time; a completed install
+//    re-checks the picker so cascades (L0->L1 overflowing L1) drain.
+//    Back-pressure: writers block when the file count reaches
+//    TableConfig::max_tablet_files or too many frozen memtables pile
+//    up, until background compactions catch up.
 //
-// Background majors merge the oldest files whose sequence numbers sit
-// below every pending frozen memtable, so a late-landing flush can
-// never slot between a merge's inputs and its output. A background
-// merge that covers every file while nothing is frozen is a FULL major
-// and drops delete markers (and runs DeletingIterator); a partial
-// merge keeps the markers for scan-time resolution, as Accumulo's
-// partial majors do.
+// Ordering: minor flushes install in data-seq order (oldest frozen
+// first), so every live file is older than every pending frozen
+// memtable and an L0 compaction that takes all current L0 files can
+// never interleave with a landing flush.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +57,7 @@
 #include "nosql/mutation.hpp"
 #include "nosql/rfile.hpp"
 #include "nosql/table_config.hpp"
+#include "nosql/version_set.hpp"
 
 namespace graphulo::nosql {
 
@@ -71,6 +86,10 @@ struct TabletStats {
   /// prefix encoding on, file_entries / file_block_bytes is the
   /// cells-per-cached-byte density the encoding buys.
   std::size_t file_block_bytes = 0;
+  /// Per-level file counts and byte sizes (index = level); the
+  /// space-amplification shape of the tablet.
+  std::vector<std::size_t> level_files;
+  std::vector<std::uint64_t> level_bytes;
   std::size_t minor_compactions = 0;
   std::size_t major_compactions = 0;
   /// Background-compaction accounting (0 unless a scheduler is
@@ -83,6 +102,10 @@ struct TabletStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  /// Blocks/bytes resident right now — drops when a compaction retires
+  /// files and their blocks are proactively erased.
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
 };
 
 class Tablet : public std::enable_shared_from_this<Tablet> {
@@ -119,41 +142,61 @@ class Tablet : public std::enable_shared_from_this<Tablet> {
 
   /// Applies a mutation whose row must be inside this extent.
   /// Triggers a minor compaction (flush) when the memtable exceeds the
-  /// configured threshold, and a major compaction when the file count
-  /// reaches the configured fan-in — inline without a scheduler,
-  /// enqueued in the background with one. A TRANSIENT failure of those
-  /// threshold-triggered compactions is contained (warned, data kept
-  /// in memory, retried by a later write); the mutation itself has
-  /// already landed and apply() still succeeds. May block on
-  /// back-pressure in background mode.
+  /// configured threshold, then whatever compactions the level picker
+  /// is due — inline without a scheduler, enqueued in the background
+  /// with one. A TRANSIENT failure of those threshold-triggered
+  /// compactions is contained (warned, data kept in memory, retried by
+  /// a later write); the mutation itself has already landed and
+  /// apply() still succeeds. May block on back-pressure in background
+  /// mode.
   void apply(const Mutation& mutation, Timestamp assigned_ts);
 
   /// Inserts one pre-formed cell (compaction/move path).
   void insert_cell(Cell cell);
 
   /// Flushes the memtable (and any frozen memtables) into immutable
-  /// files through the minc-scope iterator stack, synchronously: on
+  /// L0 files through the minc-scope iterator stack, synchronously: on
   /// return nothing is buffered in memory. Waits for an in-flight
   /// background flush rather than duplicating it. No-op when nothing
   /// is buffered; a flush whose minc stack drops every cell installs
   /// no file.
   void flush();
 
-  /// Merges all files (flushing the memtable first) through the
+  /// Merges ALL files (flushing the memtable first) through the
   /// majc-scope iterator stack into a single file, synchronously.
-  /// Delete markers are dropped (full-major compaction semantics). An
+  /// Delete markers are dropped (full-major compaction semantics); the
+  /// output lands at the deepest level (L1 minimum when leveled). An
   /// empty merge result installs no file.
   void major_compact();
 
   /// Builds a scan stack over a consistent snapshot:
-  /// merge(memtable, frozen memtables, files) -> deletes -> versioning
-  /// -> scan-scope attached iterators. The caller may wrap further
-  /// scan-time iterators around the returned stack.
+  /// merge(memtable, frozen memtables, L0 files, one LevelIterator per
+  /// sorted level) -> deletes -> versioning -> scan-scope attached
+  /// iterators. Sorted levels are seek-pruned, so a point read
+  /// consults at most one file per level; files actually opened are
+  /// counted into the scan.files_consulted histogram when the stack is
+  /// destroyed. The caller may wrap further scan-time iterators around
+  /// the returned stack.
   IterPtr scan_stack() const;
 
   /// Snapshot of the raw merged data WITHOUT versioning/scan iterators
   /// (diagnostics and split).
   IterPtr raw_stack() const;
+
+  /// Snapshot of the current leveled file set (cheap, lock-free reads
+  /// afterwards). Checkpointing walks this to persist file metadata.
+  std::shared_ptr<const Version> version() const;
+
+  /// Cells buffered in memory only (active + frozen memtables), merged
+  /// newest-first — the unflushed remainder a checkpoint must persist
+  /// as raw cells alongside the file set.
+  std::vector<Cell> unflushed_cells() const;
+
+  /// Installs recovered files as the tablet's file set (recovery
+  /// path; the tablet must hold no files yet). Every FileMeta must
+  /// carry a live RFile whose file_id matches. Passes through the
+  /// `manifest.install` fault site — callers wrap in with_retries.
+  void restore_files(std::vector<FileMeta> files);
 
   TabletStats stats() const;
 
@@ -172,14 +215,12 @@ class Tablet : public std::enable_shared_from_this<Tablet> {
     std::uint64_t seq = 0;
     std::shared_ptr<const std::vector<Cell>> cells;
   };
-  /// One file plus the data sequence number that orders it against
-  /// frozen memtables and other files (higher = newer).
-  struct TabletFile {
-    std::uint64_t seq = 0;
-    std::shared_ptr<RFile> file;
-  };
 
-  IterPtr merged_sources_locked() const;  // requires mutex_ held
+  /// Merge of every live source, newest first: memtable, frozen + L0
+  /// interleaved by seq, then one LevelIterator per sorted level.
+  /// `consulted` (nullable) counts files actually opened.
+  IterPtr merged_sources_locked(
+      std::shared_ptr<std::atomic<std::uint64_t>> consulted) const;
   /// Threshold flush/compact: inline (failure-contained) without a
   /// scheduler, freeze + enqueue with one.
   void maybe_compact_locked();
@@ -196,13 +237,22 @@ class Tablet : public std::enable_shared_from_this<Tablet> {
   /// makes sure a background flush is queued. Requires scheduler_.
   void freeze_active_locked();
   void enqueue_minor_locked();
+  /// Enqueues a background compaction when the picker has work.
   void maybe_enqueue_major_locked();
   /// Removes frozen entry `seq` and installs `file` (nullptr = the
-  /// minc stack dropped everything) into files_ in seq order.
+  /// minc stack dropped everything) as an L0 file.
   void install_minor_locked(std::uint64_t seq,
                             const std::shared_ptr<RFile>& file);
-  void insert_file_locked(std::uint64_t seq,
-                          const std::shared_ptr<RFile>& file);
+  /// Installs `edit` through the VersionSet (fires manifest.install;
+  /// may throw TransientError) and evicts retired files' blocks from
+  /// the cache. False = a removed input vanished, edit rejected.
+  bool apply_edit_locked(const VersionEdit& edit);
+  /// Asks the picker for the next due compaction on the current
+  /// version (considers leveled/flat mode and back-pressure).
+  std::optional<CompactionPick> pick_locked() const;
+  /// Executes one picked compaction synchronously under the lock
+  /// (inline mode and back-pressure relief).
+  void run_compaction_locked(const CompactionPick& pick);
   /// Blocks the writer while files/frozen memtables exceed their
   /// ceilings (background mode only), keeping compactions queued.
   void wait_for_capacity_locked(std::unique_lock<std::mutex>& lock);
@@ -219,7 +269,7 @@ class Tablet : public std::enable_shared_from_this<Tablet> {
   mutable std::condition_variable state_cv_;
   Memtable memtable_;
   std::vector<FrozenMemtable> frozen_;  ///< sorted by seq, newest first
-  std::vector<TabletFile> files_;       ///< sorted by seq, newest first
+  VersionSet versions_;                 ///< the leveled file set
   std::uint64_t next_data_seq_ = 1;
   bool minor_inflight_ = false;
   bool major_inflight_ = false;

@@ -1,0 +1,117 @@
+#pragma once
+// Leveled file-set versions, LevelDB style. A Version is an immutable
+// snapshot of one tablet's files arranged in levels:
+//
+//   L0   raw memtable flushes; key ranges may overlap; ordered newest
+//        first by data seq (scans must consult every L0 file).
+//   L1+  non-overlapping key ranges, sorted by first_key; a point read
+//        consults at most one file per level.
+//
+// VersionSet owns the current Version and installs successors
+// atomically by applying VersionEdits (the same records the MANIFEST
+// persists). Readers grab a shared_ptr snapshot and are never blocked
+// by — or exposed to — an in-flight install. The `manifest.install`
+// fault site fires before any state changes, so a fired fault leaves
+// the previous version intact (the caller discards its compaction
+// output and retries later).
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nosql/manifest.hpp"
+
+namespace graphulo::nosql {
+
+/// Leveled-compaction tuning knobs (per table).
+struct CompactionConfig {
+  /// Leveled layout. When false the tablet keeps the flat (everything
+  /// in L0) layout with full-merge majors at `compaction_fanin` — the
+  /// baseline the bench compares against.
+  bool leveled = true;
+  /// L0 file count that triggers an L0 -> L1 compaction.
+  std::size_t level0_trigger = 4;
+  /// Deepest level (levels are 0..max_levels-1).
+  std::size_t max_levels = 5;
+  /// Byte budget for L1; level l holds level_base_bytes *
+  /// level_multiplier^(l-1).
+  std::uint64_t level_base_bytes = 1u << 20;
+  std::uint64_t level_multiplier = 8;
+
+  std::uint64_t budget_for(std::size_t level) const {
+    std::uint64_t b = level_base_bytes;
+    for (std::size_t l = 1; l < level; ++l) b *= level_multiplier;
+    return b;
+  }
+};
+
+/// Immutable snapshot of a tablet's leveled file set.
+struct Version {
+  /// levels[0] newest-first by seq; levels[l>=1] sorted by first_key
+  /// with pairwise-disjoint ranges. Trailing empty levels are trimmed.
+  std::vector<std::vector<FileMeta>> levels;
+
+  std::size_t file_count() const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_cells() const;
+  std::uint64_t level_bytes(std::size_t level) const;
+  bool empty() const { return file_count() == 0; }
+
+  /// Files in `level` whose key range intersects [lo, hi].
+  std::vector<FileMeta> overlapping(std::size_t level, const Key& lo,
+                                    const Key& hi) const;
+
+  /// True when any file STRICTLY BELOW `level` (i.e. at a deeper level)
+  /// overlaps [lo, hi] — if so, delete markers in that range must
+  /// survive a compaction whose output lands at `level`.
+  bool any_overlap_below(std::size_t level, const Key& lo,
+                         const Key& hi) const;
+
+  /// All files, L0 newest-first, then L1, L2, ... in key order — the
+  /// order a MergeIterator wants (lower child index = newer data).
+  std::vector<FileMeta> all_files() const;
+};
+
+/// A compaction the picker selected: rewrite `inputs` into one file at
+/// `output_level`. Inputs are ordered newest-data-first (L0 files by
+/// seq desc, then next-level overlap), ready for a MergeIterator.
+struct CompactionPick {
+  std::size_t input_level = 0;
+  std::size_t output_level = 0;
+  std::vector<FileMeta> inputs;
+  /// Output is bottommost for its key range: no live file at a deeper
+  /// level overlaps it, so delete markers (and shadowed versions) may
+  /// be dropped — provided the tablet also has no frozen memtables.
+  bool bottommost = false;
+};
+
+/// Holds the current Version; applies edits atomically.
+class VersionSet {
+ public:
+  VersionSet() : current_(std::make_shared<const Version>()) {}
+
+  /// Snapshot of the current version (cheap; never null).
+  std::shared_ptr<const Version> current() const { return current_; }
+
+  /// Builds the successor version and installs it atomically. Fires
+  /// `manifest.install` (TransientError) BEFORE any state changes.
+  /// Returns false — with no state change — when a removed file id is
+  /// not present (the compaction raced a concurrent rewrite and its
+  /// output must be discarded). Throws std::logic_error if the edit
+  /// would break the level invariants (overlap inside L1+).
+  bool apply(const VersionEdit& edit);
+
+ private:
+  std::shared_ptr<const Version> current_;
+};
+
+/// Chooses the next compaction for `v` under `cfg`, or nullopt when no
+/// level is over budget. `flat_fanin` / `pressure` carry the legacy
+/// flat-mode trigger (fanin) and the back-pressure ceiling state.
+std::optional<CompactionPick> pick_compaction(const Version& v,
+                                              const CompactionConfig& cfg,
+                                              std::size_t flat_fanin,
+                                              bool pressure);
+
+}  // namespace graphulo::nosql

@@ -49,7 +49,8 @@ const std::vector<std::string>& all_sites() {
       sites::kRFileWrite,      sites::kRFileRead,     sites::kRFileSeek,
       sites::kMemtableFlush,   sites::kTabletCompact, sites::kInstanceApply,
       sites::kBatchWriterFlush, sites::kTableMultWorker,
-      sites::kCheckpointWrite, sites::kCheckpointLoad};
+      sites::kCheckpointWrite, sites::kCheckpointLoad,
+      sites::kManifestAppend,  sites::kManifestInstall};
   return kAll;
 }
 
