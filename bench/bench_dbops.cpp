@@ -646,6 +646,201 @@ void run_compaction_sweep(bool smoke) {
   std::printf("wrote BENCH_compaction.json\n\n");
 }
 
+// ---- mixed read/write sweep (BENCH_mixed.json) --------------------------
+
+/// One mixed-workload run: writer threads sustain overwrite ingest while
+/// reader threads issue full snapshot scans and one TableMult leg runs
+/// through pinned input snapshots — all against a single admission mode.
+struct MixedPoint {
+  double scan_p50_us = 0.0;  ///< completed-scan latency percentiles
+  double scan_p99_us = 0.0;
+  std::size_t scans_completed = 0;
+  std::size_t scans_shed = 0;     ///< OverloadedError from admission
+  std::size_t deadline_hits = 0;  ///< DeadlineExceeded mid-scan
+  double writes_per_s = 0.0;
+  double mult_seconds = 0.0;
+  std::size_t mult_partials = 0;
+};
+
+MixedPoint run_mixed_point(const nosql::AdmissionConfig& admission,
+                           std::size_t preload, std::size_t writes_per_writer,
+                           int writers, int readers) {
+  nosql::Instance db(2);
+  nosql::TableConfig cfg;
+  cfg.flush_entries = std::max<std::size_t>(500, preload / 8);
+  cfg.admission = admission;
+  db.create_table("t", cfg);
+  {
+    nosql::BatchWriter writer(db, "t");
+    for (std::size_t i = 0; i < preload; ++i) {
+      nosql::Mutation m(util::zero_pad(i % 1000, 4));
+      m.put("f", util::zero_pad(i / 1000, 6), nosql::encode_double(1.0));
+      writer.add_mutation(std::move(m));
+    }
+    writer.flush();
+  }
+  // Small inputs for the TableMult leg (default admission: the leg
+  // measures MVCC snapshot reads under load, not its own shedding).
+  for (const char* name : {"MA", "MB"}) {
+    db.create_table(name, nosql::TableConfig{});
+    nosql::BatchWriter w(db, name);
+    for (int k = 0; k < 48; ++k) {
+      nosql::Mutation m(util::zero_pad(static_cast<std::uint64_t>(k), 4));
+      for (int j = 0; j < 4; ++j) {
+        m.put("f", "c" + std::to_string((k + j) % 12),
+              nosql::encode_double(1.0));
+      }
+      w.add_mutation(std::move(m));
+    }
+    w.close();
+  }
+
+  MixedPoint p;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> written{0}, completed{0}, shed{0}, deadline{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(readers));
+
+  std::vector<std::thread> threads;
+  util::Timer wall;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      nosql::BatchWriter writer(db, "t");
+      for (std::size_t i = 0; i < writes_per_writer; ++i) {
+        const std::size_t n =
+            static_cast<std::size_t>(w) * writes_per_writer + i;
+        nosql::Mutation m(util::zero_pad(n % 1000, 4));
+        m.put("f", util::zero_pad(n % 200, 6), nosql::encode_double(2.0));
+        writer.add_mutation(std::move(m));
+      }
+      writer.close();
+      written.fetch_add(writes_per_writer);
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      auto& lat = latencies[static_cast<std::size_t>(r)];
+      while (!stop.load()) {
+        util::Timer t;
+        try {
+          nosql::Scanner scan(db, "t");
+          scan.set_snapshot(db.open_snapshot("t"));
+          scan.set_timeout(std::chrono::milliseconds(500));
+          std::size_t seen = 0;
+          scan.for_each(
+              [&seen](const nosql::Key&, const nosql::Value&) { ++seen; });
+          lat.push_back(t.seconds() * 1e6);
+          completed.fetch_add(1);
+        } catch (const nosql::OverloadedError&) {
+          shed.fetch_add(1);
+        } catch (const nosql::DeadlineExceeded&) {
+          deadline.fetch_add(1);
+        }
+      }
+    });
+  }
+  {  // TableMult leg: snapshot-isolated multiply amid the storm
+    util::Timer mt;
+    core::TableMultOptions options;
+    options.num_workers = 2;
+    const auto stats = core::table_mult(db, "MA", "MB", "MC", options);
+    p.mult_seconds = mt.seconds();
+    p.mult_partials = stats.partial_products;
+  }
+  for (int w = 0; w < writers; ++w) threads[static_cast<std::size_t>(w)].join();
+  const double write_elapsed = wall.seconds();
+  stop.store(true);
+  for (std::size_t i = static_cast<std::size_t>(writers); i < threads.size();
+       ++i) {
+    threads[i].join();
+  }
+
+  p.writes_per_s = static_cast<double>(written.load()) / write_elapsed;
+  p.scans_completed = completed.load();
+  p.scans_shed = shed.load();
+  p.deadline_hits = deadline.load();
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  if (!all.empty()) {
+    const auto summary = util::summarize(all);
+    p.scan_p50_us = summary.p50;
+    p.scan_p99_us = summary.p99;
+  }
+  return p;
+}
+
+/// Admission sweep under mixed read/write traffic: none vs queue vs shed
+/// with more reader threads than scan slots. Writes BENCH_mixed.json;
+/// the headline is shed-mode p99 staying bounded (completed scans keep
+/// their unloaded latency, excess load becomes typed sheds) instead of
+/// every scan's tail collapsing together.
+void run_mixed_sweep(bool smoke) {
+  const std::size_t preload = smoke ? 4000 : 40000;
+  const std::size_t writes_per_writer = smoke ? 2000 : 20000;
+  const int writers = smoke ? 2 : 4;
+  const int readers = 6;
+
+  struct Mode {
+    const char* name;
+    nosql::AdmissionConfig admission;
+  };
+  std::vector<Mode> modes;
+  modes.push_back({"none", {}});
+  {
+    nosql::AdmissionConfig a;
+    a.max_inflight_scans = 2;
+    a.policy = nosql::AdmissionPolicy::kQueue;
+    a.max_queue_wait = std::chrono::milliseconds(200);
+    modes.push_back({"queue", a});
+    a.policy = nosql::AdmissionPolicy::kShed;
+    modes.push_back({"shed", a});
+  }
+
+  util::TablePrinter table({"mode", "writes", "scans", "shed", "deadline",
+                            "p50_us", "p99_us", "mult_s"});
+  std::string json = "{\"bench\": \"mixed_sweep\", \"readers\": " +
+                     std::to_string(readers) +
+                     ", \"writers\": " + std::to_string(writers) +
+                     ", \"results\": [";
+  double none_p99 = 0.0, shed_p99 = 0.0;
+  bool first = true;
+  for (const Mode& m : modes) {
+    const auto p = run_mixed_point(m.admission, preload, writes_per_writer,
+                                   writers, readers);
+    if (std::string(m.name) == "none") none_p99 = p.scan_p99_us;
+    if (std::string(m.name) == "shed") shed_p99 = p.scan_p99_us;
+    table.add_row({m.name, util::human_rate(p.writes_per_s),
+                   std::to_string(p.scans_completed),
+                   std::to_string(p.scans_shed),
+                   std::to_string(p.deadline_hits),
+                   util::TablePrinter::fmt(p.scan_p50_us, 1),
+                   util::TablePrinter::fmt(p.scan_p99_us, 1),
+                   util::TablePrinter::fmt(p.mult_seconds, 3)});
+    if (!first) json += ", ";
+    first = false;
+    json += std::string("{\"mode\": \"") + m.name +
+            "\", \"writes_per_s\": " + std::to_string(p.writes_per_s) +
+            ", \"scans_completed\": " + std::to_string(p.scans_completed) +
+            ", \"scans_shed\": " + std::to_string(p.scans_shed) +
+            ", \"deadline_hits\": " + std::to_string(p.deadline_hits) +
+            ", \"scan_p50_us\": " + util::TablePrinter::fmt(p.scan_p50_us, 2) +
+            ", \"scan_p99_us\": " + util::TablePrinter::fmt(p.scan_p99_us, 2) +
+            ", \"tablemult_seconds\": " +
+            util::TablePrinter::fmt(p.mult_seconds, 4) +
+            ", \"tablemult_partial_products\": " +
+            std::to_string(p.mult_partials) + "}";
+  }
+  const double ratio = none_p99 > 0 ? shed_p99 / none_p99 : 0.0;
+  json += "], \"shed_p99_vs_none\": " + util::TablePrinter::fmt(ratio, 3) +
+          "}\n";
+  table.print(
+      "Mixed read/write traffic: admission mode x 6 snapshot readers "
+      "(2 scan slots in queue/shed modes)");
+  std::printf("shed-mode scan p99 vs unlimited: %.3fx\n", ratio);
+  std::ofstream("BENCH_mixed.json") << json;
+  std::printf("wrote BENCH_mixed.json\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -664,6 +859,9 @@ int main(int argc, char** argv) {
                     run_encoding_sweep(/*smoke=*/true));
     // Small leveled-vs-flat sustained-ingest artifact for CI assertions.
     run_compaction_sweep(/*smoke=*/true);
+    // Admission-mode sweep under mixed read/write traffic (MVCC snapshot
+    // readers vs sustained writers); CI asserts on BENCH_mixed.json.
+    run_mixed_sweep(/*smoke=*/true);
     run_smoke_tablemult();
     return 0;
   }
@@ -738,6 +936,9 @@ int main(int argc, char** argv) {
 
   // Leveled vs flat amplification under sustained overwrite ingest.
   run_compaction_sweep(/*smoke=*/false);
+
+  // Admission-mode sweep under mixed read/write traffic.
+  run_mixed_sweep(/*smoke=*/false);
 
   // WAL overhead: journaled vs unjournaled ingest of the same workload.
   {

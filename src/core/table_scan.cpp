@@ -15,6 +15,17 @@ nosql::IterPtr open_table_scan(nosql::Instance& db, const std::string& table,
   return merged;
 }
 
+nosql::IterPtr open_table_scan(const nosql::Snapshot& snapshot,
+                               const nosql::Range& range) {
+  std::vector<nosql::IterPtr> stacks;
+  for (const auto& cut : snapshot.tablets_for_range(range)) {
+    stacks.push_back(cut->scan_stack());
+  }
+  auto merged = std::make_unique<nosql::MergeIterator>(std::move(stacks));
+  merged->seek(range);
+  return merged;
+}
+
 void RowReader::refill() {
   buf_.clear();
   pos_ = 0;

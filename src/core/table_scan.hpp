@@ -11,6 +11,7 @@
 
 #include "nosql/instance.hpp"
 #include "nosql/iterator.hpp"
+#include "nosql/snapshot.hpp"
 
 namespace graphulo::core {
 
@@ -19,6 +20,13 @@ namespace graphulo::core {
 /// order and already seeked. The iterator is positioned at the first
 /// cell; re-seek is supported.
 nosql::IterPtr open_table_scan(nosql::Instance& db, const std::string& table,
+                               const nosql::Range& range = nosql::Range::all());
+
+/// Same, but reading through a pinned MVCC snapshot
+/// (Instance::open_snapshot): the scan sees exactly the snapshot's cut
+/// no matter what writers or compactions do meanwhile. This is what
+/// TableMult partition workers use for their input tables.
+nosql::IterPtr open_table_scan(const nosql::Snapshot& snapshot,
                                const nosql::Range& range = nosql::Range::all());
 
 /// One row's cells (key order within the row).

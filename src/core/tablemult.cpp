@@ -78,6 +78,8 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
                                        const std::string& table_b,
                                        const std::string& table_c,
                                        const TableMultOptions& options,
+                                       const nosql::Snapshot* snap_a,
+                                       const nosql::Snapshot* snap_b,
                                        const nosql::Range& range,
                                        std::size_t& durable) {
   // Per-partition wall time: same quantity TableMultPartitionStats
@@ -94,8 +96,14 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
 
   nosql::BatchWriter writer(db, table_c);
   try {
-    RowReader reader_a(open_table_scan(db, table_a, range), range);
-    RowReader reader_b(open_table_scan(db, table_b, range), range);
+    // Snapshot isolation: read the pinned cuts (every worker and every
+    // retry sees the same inputs); live scans otherwise.
+    RowReader reader_a(snap_a ? open_table_scan(*snap_a, range)
+                              : open_table_scan(db, table_a, range),
+                       range);
+    RowReader reader_b(snap_b ? open_table_scan(*snap_b, range)
+                              : open_table_scan(db, table_b, range),
+                       range);
 
     util::Timer phase;
     bool have_a = reader_a.has_next();
@@ -180,12 +188,14 @@ TableMultPartitionStats run_partition(nosql::Instance& db,
                                       const std::string& table_b,
                                       const std::string& table_c,
                                       const TableMultOptions& options,
+                                      const nosql::Snapshot* snap_a,
+                                      const nosql::Snapshot* snap_b,
                                       const nosql::Range& range) {
   std::size_t durable = 0;
   for (std::size_t attempt = 1;; ++attempt) {
     try {
-      auto stats =
-          mult_partition(db, table_a, table_b, table_c, options, range, durable);
+      auto stats = mult_partition(db, table_a, table_b, table_c, options,
+                                  snap_a, snap_b, range, durable);
       stats.attempts = attempt;
       return stats;
     } catch (const PartitionTimeout& e) {
@@ -246,6 +256,19 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
                             ? options.num_workers
                             : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
+
+  // Pin the inputs BEFORE partitioning so the partition boundaries and
+  // every worker's scans describe the same cut. The handles release at
+  // the end of this function (before the optional result compaction, so
+  // an in-place product's markers are not retained on its account).
+  std::shared_ptr<const nosql::Snapshot> snap_a, snap_b;
+  if (options.snapshot_isolation) {
+    util::with_retries("TableMult: snapshot open", db.retry_policy(), [&] {
+      snap_a = db.open_snapshot(table_a);
+      snap_b = table_b == table_a ? snap_a : db.open_snapshot(table_b);
+    });
+  }
+
   const auto ranges =
       util::with_retries("TableMult: partitioning", db.retry_policy(), [&] {
         return partition_ranges(db, table_a, workers);
@@ -256,16 +279,18 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
   if (ranges.size() == 1) {
     // Serial path: identical order of scans and writes to a single-table
     // run, no pool, no partition boundaries.
-    stats.partitions.push_back(
-        run_partition(db, table_a, table_b, table_c, options, ranges[0]));
+    stats.partitions.push_back(run_partition(db, table_a, table_b, table_c,
+                                             options, snap_a.get(),
+                                             snap_b.get(), ranges[0]));
   } else {
     util::ThreadPool pool(std::min(workers, ranges.size()));
     std::vector<std::future<TableMultPartitionStats>> futures;
     futures.reserve(ranges.size());
     for (const auto& range : ranges) {
       futures.push_back(pool.submit([&db, &table_a, &table_b, &table_c,
-                                     &options, &range] {
-        return run_partition(db, table_a, table_b, table_c, options, range);
+                                     &options, &snap_a, &snap_b, &range] {
+        return run_partition(db, table_a, table_b, table_c, options,
+                             snap_a.get(), snap_b.get(), range);
       }));
     }
     // Flush barrier: join every worker (collecting its counters) before
@@ -297,6 +322,11 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
                   << " partitions hit the deadline; " << table_c
                   << " is missing their contributions";
   }
+  // Release the input pins before compacting C: when C aliases an input
+  // (in-place kernels), a live snapshot would hold the compaction's
+  // delete-marker/version GC hostage for no reason.
+  snap_a.reset();
+  snap_b.reset();
   if (options.compact_result) db.compact(table_c);
   stats.seconds = timer.seconds();
   return stats;

@@ -78,6 +78,15 @@ struct TableMultOptions {
   /// partition's contribution — callers opting into deadlines trade
   /// completeness for bounded latency.
   std::chrono::milliseconds partition_deadline{0};
+  /// Read A and B through pinned MVCC snapshots (one per input table,
+  /// opened before partitioning): every worker — and every retry — sees
+  /// the same consistent cut of the inputs even while other clients
+  /// write to them, which also makes the retry mutation streams exactly
+  /// reproducible. Disable to scan the live tables (the pre-MVCC
+  /// behaviour); in-place products (C == A or C == B) work either way,
+  /// but with snapshots the product reads the inputs as of the call —
+  /// the natural semantics for iterated kernels.
+  bool snapshot_isolation = true;
 };
 
 /// Per-partition counters from one table_mult() worker.

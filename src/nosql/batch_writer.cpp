@@ -63,6 +63,11 @@ void BatchWriter::flush() {
   if (buffer_.empty()) return;
   TRACE_SPAN("batch_writer.flush");
   bw_flushes().inc();
+  if (!admission_resolved_) {
+    admission_ = instance_.admission(table_);
+    if (admission_ && !session_) session_ = admission_->make_session();
+    admission_resolved_ = true;
+  }
   std::size_t applied = 0;
   try {
     for (; applied < buffer_.size(); ++applied) {
@@ -70,6 +75,11 @@ void BatchWriter::flush() {
       util::with_retries("BatchWriter::flush", retry_, [&] {
         if (++attempts > 1) bw_retries().inc();
         util::fault::point(util::fault::sites::kBatchWriterFlush);
+        // Inside the retry loop: an OverloadedError (TransientError)
+        // from a dry token bucket backs off and re-attempts — the
+        // admission layer's back-pressure, surfaced typed to callers
+        // once retries run out.
+        if (admission_) admission_->admit_write(*session_);
         instance_.apply(table_, buffer_[applied]);
       });
       ++written_;
@@ -77,6 +87,13 @@ void BatchWriter::flush() {
     }
   } catch (const std::exception& e) {
     last_error_ = e.what();
+    if (dynamic_cast<const OverloadedError*>(&e) != nullptr) {
+      last_error_kind_ = ErrorKind::kOverloaded;
+    } else if (dynamic_cast<const util::TransientError*>(&e) != nullptr) {
+      last_error_kind_ = ErrorKind::kTransient;
+    } else {
+      last_error_kind_ = ErrorKind::kFatal;
+    }
     // Keep only the unapplied suffix: a retried flush resumes exactly
     // where this one failed, with no duplicate applies.
     buffer_.erase(buffer_.begin(),

@@ -27,10 +27,12 @@
 // when the table's semantics are order-independent (e.g. a commutative
 // combiner folding partial products).
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "nosql/admission.hpp"
 #include "nosql/instance.hpp"
 #include "nosql/mutation.hpp"
 #include "util/fault.hpp"
@@ -39,6 +41,16 @@ namespace graphulo::nosql {
 
 class BatchWriter {
  public:
+  /// What kind of failure last_error() records — callers distinguish a
+  /// shed write (back off and retry later) from corruption without
+  /// string matching.
+  enum class ErrorKind {
+    kNone,        ///< no flush/close has failed
+    kTransient,   ///< retryable (WAL/flush fault, etc.); retries exhausted
+    kOverloaded,  ///< admission shed the write (back-pressure) — transient
+    kFatal,       ///< non-transient (logic error, corruption, fatal fault)
+  };
+
   /// Buffers up to `max_buffer_bytes` of mutations before auto-flushing.
   /// `retry` bounds the per-mutation retry of transient apply failures.
   BatchWriter(Instance& instance, std::string table,
@@ -76,6 +88,18 @@ class BatchWriter {
     return last_error_;
   }
 
+  /// Typed classification of last_error() (kNone when no failure has
+  /// been recorded). A successful flush does NOT reset it — like
+  /// last_error(), it reports the most recent failure.
+  ErrorKind last_error_kind() const noexcept { return last_error_kind_; }
+
+  /// Admission session used to meter this writer's mutations (see
+  /// AdmissionController). Defaults to a private session created at
+  /// first flush; share one across writers that share a rate budget.
+  void set_session(std::shared_ptr<AdmissionSession> session) {
+    session_ = std::move(session);
+  }
+
   /// Mutations applied to the instance so far (exact, maintained
   /// per-mutation — meaningful mid-failure).
   std::size_t mutations_written() const noexcept { return written_; }
@@ -93,6 +117,12 @@ class BatchWriter {
   std::size_t written_ = 0;
   bool closed_ = false;
   std::optional<std::string> last_error_;
+  ErrorKind last_error_kind_ = ErrorKind::kNone;
+  std::shared_ptr<AdmissionSession> session_;
+  /// Resolved once at first flush (stable for the writer's life; a
+  /// dropped-and-recreated table is a new writer's problem).
+  AdmissionController* admission_ = nullptr;
+  bool admission_resolved_ = false;
 };
 
 }  // namespace graphulo::nosql

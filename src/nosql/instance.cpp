@@ -345,6 +345,31 @@ Instance::tablets_for_range(const std::string& name, const Range& range) const {
   return out;
 }
 
+std::shared_ptr<const Snapshot> Instance::open_snapshot(
+    const std::string& name) const {
+  // Grab the tablet list under the catalog lock, then pin each cut
+  // outside it: open_snapshot() takes per-tablet locks and there is no
+  // reason to hold the catalog closed meanwhile. The per-tablet cuts
+  // are not mutually atomic — like Accumulo, cross-tablet consistency
+  // is per-mutation (a mutation targets one row = one tablet), so each
+  // row's history is still a consistent prefix.
+  std::vector<std::shared_ptr<Tablet>> tablets;
+  {
+    std::shared_lock lock(catalog_mutex_);
+    tablets = get_table(name).tablets_;
+  }
+  std::vector<std::shared_ptr<TabletSnapshot>> cuts;
+  cuts.reserve(tablets.size());
+  for (const auto& t : tablets) cuts.push_back(t->open_snapshot());
+  return std::make_shared<const Snapshot>(name, std::move(cuts));
+}
+
+AdmissionController* Instance::admission(const std::string& name) const {
+  std::shared_lock lock(catalog_mutex_);
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second->admission();
+}
+
 std::size_t recover_from_wal(Instance& db, const std::string& path,
                              const TableConfigProvider& config_for,
                              std::uint64_t min_seq) {

@@ -13,9 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "nosql/admission.hpp"
 #include "nosql/block_cache.hpp"
 #include "nosql/compaction_scheduler.hpp"
 #include "nosql/mutation.hpp"
+#include "nosql/snapshot.hpp"
 #include "nosql/table_config.hpp"
 #include "nosql/tablet.hpp"
 #include "nosql/tablet_server.hpp"
@@ -32,7 +34,9 @@ class Table {
  public:
   Table(std::string name, TableConfig config)
       : name_(std::move(name)),
-        config_(std::make_unique<TableConfig>(std::move(config))) {
+        config_(std::make_unique<TableConfig>(std::move(config))),
+        admission_(
+            std::make_unique<AdmissionController>(&config_->admission)) {
     if (config_->rfile.cache_bytes > 0) {
       cache_ = std::make_unique<BlockCache>(config_->rfile.cache_bytes);
     }
@@ -50,11 +54,17 @@ class Table {
   /// The table-wide RFile block cache; nullptr when caching is off.
   BlockCache* cache() const noexcept { return cache_.get(); }
 
+  /// The table's admission gate (always present; a no-op with default
+  /// AdmissionConfig knobs).
+  AdmissionController& admission() const noexcept { return *admission_; }
+
  private:
   friend class Instance;
 
   std::string name_;
   std::unique_ptr<TableConfig> config_;  // stable address for tablets
+  /// Stable address: Scanner/BatchWriter hold the pointer across calls.
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<BlockCache> cache_;    // stable address for tablets
   std::vector<std::shared_ptr<Tablet>> tablets_;
   std::vector<int> tablet_server_of_;  ///< parallel to tablets_
@@ -200,6 +210,17 @@ class Instance {
   /// order, paired with their server ids. Used by Scanner/BatchScanner.
   std::vector<std::pair<std::shared_ptr<Tablet>, int>> tablets_for_range(
       const std::string& name, const Range& range) const;
+
+  /// Opens an MVCC snapshot of a whole table: one pinned cut per
+  /// tablet, captured in extent order. Scans through the handle (via
+  /// Scanner::set_snapshot, BatchScanner::set_snapshot, or
+  /// open_table_scan) see exactly this cut no matter how long they run
+  /// or what writers/compactions do meanwhile. Throws if the table is
+  /// missing.
+  std::shared_ptr<const Snapshot> open_snapshot(const std::string& name) const;
+
+  /// The table's admission gate; nullptr when the table is missing.
+  AdmissionController* admission(const std::string& name) const;
 
   // -- introspection -------------------------------------------------------
 

@@ -22,6 +22,26 @@ obs::Counter& scan_blocks() {
       "scan.blocks.total", "Cell blocks delivered on the batched scan path");
   return c;
 }
+obs::Counter& scan_deadline_exceeded() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "scan.deadline_exceeded.total",
+      "Scans aborted mid-flight by their cooperative deadline");
+  return c;
+}
+
+using ScanDeadline = std::optional<std::chrono::steady_clock::time_point>;
+
+ScanDeadline deadline_from(std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return std::nullopt;
+  return std::chrono::steady_clock::now() + timeout;
+}
+
+void check_deadline(const ScanDeadline& deadline) {
+  if (deadline && std::chrono::steady_clock::now() > *deadline) {
+    scan_deadline_exceeded().inc();
+    throw DeadlineExceeded("scan exceeded its deadline");
+  }
+}
 
 IterPtr wrap_stages(IterPtr stack, const std::set<std::string>& families,
                     const std::optional<std::set<std::string>>& auths,
@@ -38,14 +58,18 @@ IterPtr wrap_stages(IterPtr stack, const std::set<std::string>& families,
 }
 
 std::size_t run_scan(SortedKVIterator& stack, const Range& range,
-                     std::size_t batch,
+                     std::size_t batch, const ScanDeadline& deadline,
                      const std::function<void(const Key&, const Value&)>& fn) {
   TRACE_SPAN("scan.range");
   std::size_t delivered = 0;
   stack.seek(range);
   if (batch <= 1) {
     // Legacy cell-at-a-time path (and the block-size-1 bench baseline).
+    // The deadline is checked every kStride cells — a clock read per
+    // cell would dominate this path.
+    constexpr std::size_t kStride = 1024;
     while (stack.has_top()) {
+      if (delivered % kStride == 0) check_deadline(deadline);
       fn(stack.top_key(), stack.top_value());
       ++delivered;
       stack.next();
@@ -56,6 +80,7 @@ std::size_t run_scan(SortedKVIterator& stack, const Range& range,
   CellBlock block;
   std::size_t blocks = 0;
   while (stack.has_top()) {
+    check_deadline(deadline);
     block.clear();
     if (stack.next_block(block, batch) == 0) break;
     for (const auto& c : block) fn(c.key, c.value);
@@ -65,6 +90,17 @@ std::size_t run_scan(SortedKVIterator& stack, const Range& range,
   scan_cells().inc(delivered);
   scan_blocks().inc(blocks);
   return delivered;
+}
+
+/// One ticket (and, lazily, one private session) per scan operation.
+AdmissionController::ScanTicket admit(Instance& instance,
+                                      const std::string& table,
+                                      std::shared_ptr<AdmissionSession>& session,
+                                      const ScanDeadline& deadline) {
+  AdmissionController* ctrl = instance.admission(table);
+  if (!ctrl) return {};
+  if (!session) session = ctrl->make_session();
+  return ctrl->admit_scan(session.get(), deadline);
 }
 
 }  // namespace
@@ -97,6 +133,26 @@ Scanner& Scanner::set_batch_size(std::size_t batch) {
   return *this;
 }
 
+Scanner& Scanner::set_snapshot(std::shared_ptr<const Snapshot> snapshot) {
+  if (snapshot && snapshot->table_name() != table_) {
+    throw std::invalid_argument("Scanner::set_snapshot: snapshot of table '" +
+                                snapshot->table_name() +
+                                "' attached to scanner of '" + table_ + "'");
+  }
+  snapshot_ = std::move(snapshot);
+  return *this;
+}
+
+Scanner& Scanner::set_timeout(std::chrono::milliseconds timeout) {
+  timeout_ = timeout;
+  return *this;
+}
+
+Scanner& Scanner::set_session(std::shared_ptr<AdmissionSession> session) {
+  session_ = std::move(session);
+  return *this;
+}
+
 IterPtr Scanner::build_stack(const std::shared_ptr<Tablet>& tablet,
                              int server_id) {
   IterPtr stack = instance_.server(server_id).scan(*tablet);
@@ -105,12 +161,24 @@ IterPtr Scanner::build_stack(const std::shared_ptr<Tablet>& tablet,
 
 std::size_t Scanner::for_each(
     const std::function<void(const Key&, const Value&)>& fn) {
+  const ScanDeadline deadline = deadline_from(timeout_);
+  // One Scanner::for_each = one admitted scan operation; the ticket
+  // releases on every exit path.
+  const auto ticket = admit(instance_, table_, session_, deadline);
   std::size_t delivered = 0;
+  if (snapshot_) {
+    // Snapshot cuts are disjoint and extent-ordered like live tablets.
+    for (const auto& cut : snapshot_->tablets_for_range(range_)) {
+      auto stack = wrap_stages(cut->scan_stack(), families_, auths_, stages_);
+      delivered += run_scan(*stack, range_, batch_size_, deadline, fn);
+    }
+    return delivered;
+  }
   // Tablets are disjoint and extent-ordered, so scanning them in order
   // yields globally ordered results.
   for (auto& [tablet, sid] : instance_.tablets_for_range(table_, range_)) {
     auto stack = build_stack(tablet, sid);
-    delivered += run_scan(*stack, range_, batch_size_, fn);
+    delivered += run_scan(*stack, range_, batch_size_, deadline, fn);
   }
   return delivered;
 }
@@ -153,24 +221,58 @@ BatchScanner& BatchScanner::set_batch_size(std::size_t batch) {
   return *this;
 }
 
+BatchScanner& BatchScanner::set_snapshot(
+    std::shared_ptr<const Snapshot> snapshot) {
+  if (snapshot && snapshot->table_name() != table_) {
+    throw std::invalid_argument(
+        "BatchScanner::set_snapshot: snapshot of table '" +
+        snapshot->table_name() + "' attached to scanner of '" + table_ + "'");
+  }
+  snapshot_ = std::move(snapshot);
+  return *this;
+}
+
+BatchScanner& BatchScanner::set_timeout(std::chrono::milliseconds timeout) {
+  timeout_ = timeout;
+  return *this;
+}
+
+BatchScanner& BatchScanner::set_session(
+    std::shared_ptr<AdmissionSession> session) {
+  session_ = std::move(session);
+  return *this;
+}
+
 std::size_t BatchScanner::for_each(
     const std::function<void(const Key&, const Value&)>& fn) {
-  // One task per (tablet, range) pair.
+  const ScanDeadline deadline = deadline_from(timeout_);
+  // One BatchScanner::for_each = one admitted scan operation no matter
+  // how many tablet tasks it fans out to; the ticket outlives them all.
+  const auto ticket = admit(instance_, table_, session_, deadline);
+  // One task per (tablet, range) pair — each opens its stack lazily on
+  // the worker that runs it (snapshot cuts or live server scans).
   struct Task {
-    std::shared_ptr<Tablet> tablet;
-    int sid;
+    std::function<IterPtr()> open;
     Range range;
   };
   std::vector<Task> work;
   for (const auto& range : ranges_) {
-    for (auto& [tablet, sid] : instance_.tablets_for_range(table_, range)) {
-      work.push_back({tablet, sid, range});
+    if (snapshot_) {
+      for (const auto& cut : snapshot_->tablets_for_range(range)) {
+        work.push_back({[cut] { return cut->scan_stack(); }, range});
+      }
+    } else {
+      for (auto& [tablet, sid] : instance_.tablets_for_range(table_, range)) {
+        work.push_back({[this, tablet = tablet, sid = sid] {
+                          return instance_.server(sid).scan(*tablet);
+                        },
+                        range});
+      }
     }
   }
-  auto run_one = [this, &fn](const Task& task) -> std::size_t {
-    IterPtr stack = instance_.server(task.sid).scan(*task.tablet);
-    stack = wrap_stages(std::move(stack), families_, auths_, stages_);
-    return run_scan(*stack, task.range, batch_size_, fn);
+  auto run_one = [this, &fn, &deadline](const Task& task) -> std::size_t {
+    IterPtr stack = wrap_stages(task.open(), families_, auths_, stages_);
+    return run_scan(*stack, task.range, batch_size_, deadline, fn);
   };
 
   std::size_t delivered = 0;

@@ -3,6 +3,7 @@
 // ranges, parallel across tablets, unordered delivery) — the Accumulo
 // client read APIs Graphulo drives.
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -10,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "nosql/admission.hpp"
 #include "nosql/instance.hpp"
 #include "nosql/iterator.hpp"
+#include "nosql/snapshot.hpp"
 #include "util/threadpool.hpp"
 
 namespace graphulo::nosql {
@@ -47,7 +50,25 @@ class Scanner {
   /// legacy cell-at-a-time path (the benchmark baseline).
   Scanner& set_batch_size(std::size_t batch);
 
+  /// Reads through a pinned MVCC snapshot (Instance::open_snapshot)
+  /// instead of the live tablets: the scan sees exactly the snapshot's
+  /// cut regardless of concurrent writes/compactions. The snapshot must
+  /// belong to this scanner's table. nullptr returns to live reads.
+  Scanner& set_snapshot(std::shared_ptr<const Snapshot> snapshot);
+
+  /// Cooperative deadline over the whole scan: for_each throws
+  /// DeadlineExceeded once it passes (checked between blocks), and a
+  /// queued admission never waits beyond it. 0 = no deadline.
+  Scanner& set_timeout(std::chrono::milliseconds timeout);
+
+  /// Admission session (rate-limit identity). Defaults to a private
+  /// session created on first use; share one session across clients
+  /// that should share a rate budget.
+  Scanner& set_session(std::shared_ptr<AdmissionSession> session);
+
   /// Invokes `fn` for every cell in key order. Returns cells delivered.
+  /// Throws OverloadedError when admission sheds the scan and
+  /// DeadlineExceeded when set_timeout's deadline passes mid-scan.
   std::size_t for_each(const std::function<void(const Key&, const Value&)>& fn);
 
   /// Collects all cells (bounded result sets).
@@ -63,6 +84,9 @@ class Scanner {
   std::optional<std::set<std::string>> auths_;
   std::vector<ScanIterator> stages_;
   std::size_t batch_size_ = kDefaultScanBatch;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::chrono::milliseconds timeout_{0};
+  std::shared_ptr<AdmissionSession> session_;
 };
 
 /// Unordered parallel scan over many ranges. Results from different
@@ -82,9 +106,24 @@ class BatchScanner {
   /// Cells pulled per block from each tablet stack; 1 = cell-at-a-time.
   BatchScanner& set_batch_size(std::size_t batch);
 
+  /// Reads every range through a pinned MVCC snapshot (see
+  /// Scanner::set_snapshot). nullptr returns to live reads.
+  BatchScanner& set_snapshot(std::shared_ptr<const Snapshot> snapshot);
+
+  /// Cooperative deadline over the whole multi-range scan (see
+  /// Scanner::set_timeout). 0 = no deadline.
+  BatchScanner& set_timeout(std::chrono::milliseconds timeout);
+
+  /// Admission session (see Scanner::set_session). One BatchScanner
+  /// for_each = one admitted scan operation, however many tablet tasks
+  /// it fans out to.
+  BatchScanner& set_session(std::shared_ptr<AdmissionSession> session);
+
   /// Invokes `fn(key, value)` for every cell of every range; cells of
   /// one (tablet, range) task arrive in order, tasks interleave
   /// arbitrarily. `fn` must be thread-safe. Returns cells delivered.
+  /// Throws OverloadedError when admission sheds the scan and
+  /// DeadlineExceeded when set_timeout's deadline passes mid-scan.
   std::size_t for_each(const std::function<void(const Key&, const Value&)>& fn);
 
   /// Collects all cells, unordered.
@@ -99,6 +138,9 @@ class BatchScanner {
   std::optional<std::set<std::string>> auths_;
   std::vector<ScanIterator> stages_;
   std::size_t batch_size_ = kDefaultScanBatch;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::chrono::milliseconds timeout_{0};
+  std::shared_ptr<AdmissionSession> session_;
 };
 
 }  // namespace graphulo::nosql

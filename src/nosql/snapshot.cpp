@@ -1,0 +1,136 @@
+#include "nosql/snapshot.hpp"
+
+#include "nosql/block_cache.hpp"
+#include "nosql/filter_iterators.hpp"
+#include "nosql/merge_iterator.hpp"
+#include "obs/metrics.hpp"
+
+namespace graphulo::nosql {
+
+namespace {
+
+obs::Histogram& files_consulted_hist() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "scan.files_consulted",
+      "Immutable files opened per tablet scan stack (read amplification)",
+      {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128});
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<std::atomic<std::uint64_t>> make_consulted_probe() {
+  return std::shared_ptr<std::atomic<std::uint64_t>>(
+      new std::atomic<std::uint64_t>(0),
+      [](std::atomic<std::uint64_t>* c) {
+        files_consulted_hist().observe(
+            static_cast<double>(c->load(std::memory_order_relaxed)));
+        delete c;
+      });
+}
+
+IterPtr apply_scope_iterators(IterPtr source,
+                              const std::vector<IteratorSetting>& settings,
+                              unsigned scope) {
+  for (const auto& setting : settings) {
+    if (setting.scopes & scope) source = setting.factory(std::move(source));
+  }
+  return source;
+}
+
+IterPtr merge_pinned_sources(
+    const PinnedSources& sources, BlockCache* cache,
+    std::shared_ptr<std::atomic<std::uint64_t>> consulted) {
+  const auto& v = sources.version;
+  static const std::vector<FileMeta> kNoFiles;
+  const auto& l0 = (!v || v->levels.empty()) ? kNoFiles : v->levels[0];
+  std::vector<IterPtr> children;
+  children.reserve(sources.frozen.size() + (v ? v->file_count() : 0) + 1);
+  // Newest source first: at equal keys the merge prefers lower child
+  // indices. The memtable cut is always newest; frozen memtables and L0
+  // files interleave by data sequence number. Sorted levels follow,
+  // shallowest (newest) first — everything in L(n+1) predates
+  // everything in L(n) by construction.
+  if (sources.memtable) {
+    children.push_back(std::make_unique<VectorIterator>(sources.memtable));
+  }
+  auto fz = sources.frozen.begin();
+  std::size_t fi = 0;
+  while (fz != sources.frozen.end() || fi < l0.size()) {
+    if (fi >= l0.size() ||
+        (fz != sources.frozen.end() && fz->first > l0[fi].seq)) {
+      children.push_back(std::make_unique<VectorIterator>(fz->second));
+      ++fz;
+    } else {
+      // One LevelIterator per L0 file (ranges may overlap), so file
+      // opens are counted — and seek-pruned — uniformly across levels.
+      children.push_back(std::make_unique<LevelIterator>(
+          std::vector<FileMeta>{l0[fi]}, cache, consulted));
+      ++fi;
+    }
+  }
+  if (v) {
+    for (std::size_t l = 1; l < v->levels.size(); ++l) {
+      if (v->levels[l].empty()) continue;
+      children.push_back(
+          std::make_unique<LevelIterator>(v->levels[l], cache, consulted));
+    }
+  }
+  return std::make_unique<MergeIterator>(std::move(children));
+}
+
+TabletSnapshot::~TabletSnapshot() {
+  if (tablet_) tablet_->release_snapshot(id_);
+}
+
+bool TabletSnapshot::expired() const {
+  if (expired_flag_ && expired_flag_->load(std::memory_order_acquire)) {
+    return true;
+  }
+  // Self-check against the captured age limit too: the tablet's sweep
+  // only runs on compaction/open activity, but an overdue handle must
+  // refuse reads regardless.
+  return max_age_.count() > 0 &&
+         std::chrono::steady_clock::now() - opened_ > max_age_;
+}
+
+IterPtr TabletSnapshot::scan_stack() const {
+  if (expired()) {
+    throw SnapshotExpired(
+        "snapshot expired (older than admission.max_snapshot_age); "
+        "pinned seq=" + std::to_string(seq_));
+  }
+  IterPtr stack = merge_pinned_sources(sources_, cache_,
+                                       make_consulted_probe());
+  stack = std::make_unique<DeletingIterator>(std::move(stack));
+  if (versioning_) {
+    stack = std::make_unique<VersioningIterator>(std::move(stack),
+                                                 max_versions_);
+  }
+  return apply_scope_iterators(std::move(stack), iterators_, kScanScope);
+}
+
+IterPtr TabletSnapshot::raw_stack() const {
+  return merge_pinned_sources(sources_, cache_, nullptr);
+}
+
+std::vector<std::shared_ptr<TabletSnapshot>> Snapshot::tablets_for_range(
+    const Range& range) const {
+  std::vector<std::shared_ptr<TabletSnapshot>> out;
+  for (const auto& ts : tablets_) {
+    if (range.may_intersect_rows(ts->extent().start_row,
+                                 ts->extent().end_row)) {
+      out.push_back(ts);
+    }
+  }
+  return out;
+}
+
+bool Snapshot::expired() const {
+  for (const auto& ts : tablets_) {
+    if (ts->expired()) return true;
+  }
+  return false;
+}
+
+}  // namespace graphulo::nosql

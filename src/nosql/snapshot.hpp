@@ -1,0 +1,167 @@
+#pragma once
+// MVCC snapshot scans: a snapshot handle pins one consistent cut of a
+// tablet — the memtable contents, frozen memtables, and immutable file
+// set as they stood at a single data sequence number — so a
+// long-running scan (or a TableMult partition worker) reads a stable
+// view while writers, flushes, and compactions proceed untouched.
+//
+// The cut is STRUCTURAL, not filtered: open_snapshot() captures, under
+// the tablet lock, shared_ptrs to every immutable source (a memtable
+// snapshot, each frozen memtable's cell vector, the current Version).
+// Readers never consult live tablet state again, so consistency is
+// immediate — and retired RFiles stay alive for exactly as long as a
+// snapshot references them. No write, flush, or compaction ever blocks
+// on a reader.
+//
+// Compaction horizon: each tablet registers its live snapshots (id,
+// pinned seq). Delete markers and version collapse are suppressed for a
+// compaction whose inputs a live snapshot could still observe (pinned
+// seq <= max input seq) — extending the bottommost-only drop rule of
+// DESIGN.md §11 — so the store's CURRENT file set also never loses a
+// cell a snapshot could see. TableConfig::admission.max_snapshot_age
+// bounds how long an abandoned handle may hold that horizon: expired
+// handles deregister (compaction proceeds) and subsequent scans through
+// them throw SnapshotExpired.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nosql/iterator.hpp"
+#include "nosql/key.hpp"
+#include "nosql/table_config.hpp"
+#include "nosql/tablet.hpp"
+#include "nosql/version_set.hpp"
+
+namespace graphulo::nosql {
+
+class BlockCache;
+
+/// Scanning through a handle older than
+/// TableConfig::admission.max_snapshot_age: the handle no longer pins
+/// the compaction horizon, so reads through it are refused rather than
+/// silently served from a cut the store has moved past.
+class SnapshotExpired : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The pinned immutable sources of one consistent per-tablet cut.
+struct PinnedSources {
+  /// Active-memtable cells at pin time (null when it was empty).
+  std::shared_ptr<const std::vector<Cell>> memtable;
+  /// Frozen memtables, newest first, each with its freeze data-seq.
+  std::vector<std::pair<std::uint64_t,
+                        std::shared_ptr<const std::vector<Cell>>>>
+      frozen;
+  std::shared_ptr<const Version> version;
+};
+
+/// Merge over pinned sources, newest source first: memtable, then
+/// frozen memtables and L0 files interleaved by data seq, then one
+/// LevelIterator per sorted level. Shared by live tablet scans
+/// (Tablet::scan_stack) and snapshot scans — one definition of "the
+/// read view" for both. `consulted` (nullable) counts files actually
+/// opened.
+IterPtr merge_pinned_sources(
+    const PinnedSources& sources, BlockCache* cache,
+    std::shared_ptr<std::atomic<std::uint64_t>> consulted);
+
+/// Read-amplification probe for a scan stack: every LevelIterator file
+/// open bumps it; when the stack dies the total is observed into the
+/// scan.files_consulted histogram.
+std::shared_ptr<std::atomic<std::uint64_t>> make_consulted_probe();
+
+/// Wraps `source` with every iterator in `settings` matching `scope`,
+/// priority order (lowest first = closest to the data).
+IterPtr apply_scope_iterators(IterPtr source,
+                              const std::vector<IteratorSetting>& settings,
+                              unsigned scope);
+
+/// One tablet's pinned cut. Obtained from Tablet::open_snapshot() (the
+/// tablet must be shared_ptr-owned); deregisters from the tablet's
+/// snapshot registry on destruction. Handles are immutable after open
+/// and safe to share across scan threads; each scan_stack() call builds
+/// a fresh independent stack.
+class TabletSnapshot {
+ public:
+  ~TabletSnapshot();
+  TabletSnapshot(const TabletSnapshot&) = delete;
+  TabletSnapshot& operator=(const TabletSnapshot&) = delete;
+
+  const TabletExtent& extent() const noexcept { return extent_; }
+
+  /// The pinned data sequence number: the tablet's next_data_seq at
+  /// open. Every source in the cut carries seq < this.
+  std::uint64_t seq() const noexcept { return seq_; }
+
+  /// True once max_snapshot_age has passed (or a compaction horizon
+  /// sweep expired the handle): the cut no longer gates compaction.
+  bool expired() const;
+
+  /// Full scan stack over the pinned cut: merge -> deletes ->
+  /// versioning -> scan-scope iterators, mirroring Tablet::scan_stack.
+  /// Throws SnapshotExpired once the handle has expired.
+  IterPtr scan_stack() const;
+
+  /// The pinned merge WITHOUT delete/versioning resolution
+  /// (diagnostics; mirrors Tablet::raw_stack).
+  IterPtr raw_stack() const;
+
+ private:
+  friend class Tablet;
+  TabletSnapshot() = default;
+
+  std::shared_ptr<Tablet> tablet_;  ///< keeps the registry owner alive
+  std::uint64_t id_ = 0;
+  std::uint64_t seq_ = 0;
+  TabletExtent extent_;
+  PinnedSources sources_;
+  BlockCache* cache_ = nullptr;
+  /// Config captured at open so the cut's read semantics are as stable
+  /// as its data (a later attach_iterator must not change what an open
+  /// snapshot returns).
+  bool versioning_ = true;
+  int max_versions_ = 1;
+  std::vector<IteratorSetting> iterators_;
+  std::chrono::steady_clock::time_point opened_;
+  std::chrono::milliseconds max_age_{0};
+  /// Set by the tablet's expiry sweep; also consulted by expired().
+  std::shared_ptr<std::atomic<bool>> expired_flag_;
+};
+
+/// A whole-table snapshot: one pinned cut per tablet, captured in
+/// extent order by Instance::open_snapshot(). Self-contained — scans
+/// iterate these handles directly, so later splits or tablet reshuffles
+/// in the live table cannot perturb an open snapshot.
+class Snapshot {
+ public:
+  Snapshot(std::string table,
+           std::vector<std::shared_ptr<TabletSnapshot>> tablets)
+      : table_(std::move(table)), tablets_(std::move(tablets)) {}
+
+  const std::string& table_name() const noexcept { return table_; }
+
+  const std::vector<std::shared_ptr<TabletSnapshot>>& tablets()
+      const noexcept {
+    return tablets_;
+  }
+
+  /// Tablet cuts whose extents intersect `range`, in extent order.
+  std::vector<std::shared_ptr<TabletSnapshot>> tablets_for_range(
+      const Range& range) const;
+
+  /// True when ANY tablet handle has expired (a partial cut is no cut).
+  bool expired() const;
+
+ private:
+  std::string table_;
+  std::vector<std::shared_ptr<TabletSnapshot>> tablets_;
+};
+
+}  // namespace graphulo::nosql

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "nosql/admission.hpp"
 #include "nosql/iterator.hpp"
 #include "nosql/rfile.hpp"
 #include "nosql/version_set.hpp"
@@ -56,6 +57,10 @@ struct TableConfig {
   /// Acceleration structures built into the table's RFiles (sparse seek
   /// index stride, row Bloom filter sizing).
   RFileOptions rfile;
+  /// Admission control for mixed read/write traffic (in-flight scan
+  /// bound, per-session token buckets, queue-or-shed policy) plus the
+  /// MVCC max-snapshot-age horizon bound. Defaults admit everything.
+  AdmissionConfig admission;
   /// Attached server-side iterators.
   std::vector<IteratorSetting> iterators;
 

@@ -8,6 +8,7 @@
 
 #include "nosql/filter_iterators.hpp"
 #include "nosql/merge_iterator.hpp"
+#include "nosql/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
@@ -45,25 +46,39 @@ obs::Gauge& frozen_gauge() {
       "Frozen (immutable) memtables awaiting background flush");
   return g;
 }
-obs::Histogram& files_consulted_hist() {
-  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
-      "scan.files_consulted",
-      "Immutable files opened per tablet scan stack (read amplification)",
-      {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128});
-  return h;
+obs::Counter& relief_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablet.relief.total",
+      "Inline back-pressure reliefs (flush+compact under the write lock)");
+  return c;
 }
-
-/// Read-amplification probe handed to every LevelIterator in a scan
-/// stack: each file open bumps it, and when the stack dies the total is
-/// observed into the files-consulted histogram.
-std::shared_ptr<std::atomic<std::uint64_t>> make_consulted_probe() {
-  return std::shared_ptr<std::atomic<std::uint64_t>>(
-      new std::atomic<std::uint64_t>(0),
-      [](std::atomic<std::uint64_t>* c) {
-        files_consulted_hist().observe(static_cast<double>(
-            c->load(std::memory_order_relaxed)));
-        delete c;
-      });
+obs::Counter& relief_failure_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablet.relief.failures.total",
+      "Inline back-pressure reliefs that failed after bounded retries");
+  return c;
+}
+obs::Gauge& snapshot_live_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "snapshot.live", "Open MVCC snapshot handles pinning a tablet cut");
+  return g;
+}
+obs::Counter& snapshot_opened_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "snapshot.opened.total", "MVCC tablet snapshots opened");
+  return c;
+}
+obs::Counter& snapshot_expired_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "snapshot.expired.total",
+      "Abandoned snapshot handles expired by the max-snapshot-age sweep");
+  return c;
+}
+obs::Counter& gc_held_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "snapshot.gc_held.total",
+      "Compactions that kept delete markers/versions for a live snapshot");
+  return c;
 }
 
 /// Ceiling on frozen memtables per tablet before writers block: enough
@@ -73,17 +88,6 @@ constexpr std::size_t kMaxFrozenMemtables = 4;
 /// Bound on the inline picker loop per trigger; budgets grow
 /// geometrically so real cascades settle in a couple of steps.
 constexpr int kMaxInlineCompactions = 16;
-
-/// Wraps `source` with every iterator in `settings` matching `scope`,
-/// priority order (lowest first = closest to the data).
-IterPtr apply_scope_iterators(IterPtr source,
-                              const std::vector<IteratorSetting>& settings,
-                              unsigned scope) {
-  for (const auto& setting : settings) {
-    if (setting.scopes & scope) source = setting.factory(std::move(source));
-  }
-  return source;
-}
 
 /// Runs `stack` to completion over everything and collects the cells.
 std::vector<Cell> drain_all(SortedKVIterator& stack) {
@@ -188,13 +192,23 @@ void Tablet::wait_for_capacity_locked(std::unique_lock<std::mutex>& lock) {
     }
     // Nothing is in flight and nothing could be queued (scheduler
     // shutting down, or the picker found no work): relieve the
-    // pressure inline rather than spinning.
+    // pressure inline rather than spinning. Transient failures
+    // (injected or real) get bounded-backoff retries — giving up on
+    // the first fault would let the writer proceed with the ceiling
+    // still breached and the pressure unrelieved.
+    ++relief_runs_;
+    relief_total().inc();
     try {
-      flush_locked();
-      major_compact_locked();
+      util::with_retries("Tablet: back-pressure relief", util::RetryPolicy{},
+                         [&] {
+                           flush_locked();
+                           major_compact_locked();
+                         });
     } catch (const util::TransientError& e) {
-      GRAPHULO_WARN << "Tablet: inline back-pressure relief failed "
-                    << "transiently: " << e.what();
+      ++relief_failures_;
+      relief_failure_total().inc();
+      GRAPHULO_WARN << "Tablet: inline back-pressure relief failed after "
+                    << "retries: " << e.what();
     }
     break;
   }
@@ -305,10 +319,14 @@ void Tablet::run_background_major() {
   }
   // Delete markers drop only when the output is bottommost for its key
   // range AND nothing newer is buffered (a frozen memtable may hold a
-  // write the markers must still suppress at scan time).
-  const bool drop = pick->bottommost && frozen_.empty();
+  // write the markers must still suppress at scan time) AND no live
+  // snapshot can still observe the inputs — the MVCC horizon. Version
+  // collapse is held back by the horizon too: a snapshot's cut may
+  // include versions the current state would otherwise discard.
+  const bool allow_gc = horizon_allows_gc_locked(max_input_seq(pick->inputs));
+  const bool drop = pick->bottommost && frozen_.empty() && allow_gc;
   const auto settings = config_->iterators;  // copied under the lock
-  const bool versioning = config_->versioning;
+  const bool versioning = config_->versioning && allow_gc;
   const int max_versions = config_->max_versions;
   const RFileOptions rfile_opts = config_->rfile;
   lock.unlock();
@@ -370,8 +388,12 @@ void Tablet::run_compaction_locked(const CompactionPick& pick) {
   TRACE_SPAN("tablet.compact");
   // Before any state change, like the flush site above.
   util::fault::point(util::fault::sites::kTabletCompact);
-  const bool drop = pick.bottommost && frozen_.empty();
-  auto cells = merge_compaction_inputs(pick.inputs, drop, config_->versioning,
+  // Same GC gate as the background path: bottommost + nothing frozen +
+  // no live snapshot observing the inputs.
+  const bool allow_gc = horizon_allows_gc_locked(max_input_seq(pick.inputs));
+  const bool drop = pick.bottommost && frozen_.empty() && allow_gc;
+  auto cells = merge_compaction_inputs(pick.inputs, drop,
+                                       config_->versioning && allow_gc,
                                        config_->max_versions,
                                        config_->iterators);
   const std::size_t out_cells = cells.size();
@@ -479,9 +501,13 @@ void Tablet::major_compact_locked() {
   util::fault::point(util::fault::sites::kTabletCompact);
   const auto inputs = v->all_files();
   // Full major compaction: every file participates, so deletes resolve
-  // and drop, versions collapse, then majc-scope iterators run.
-  auto cells = merge_compaction_inputs(inputs, /*drop=*/true,
-                                       config_->versioning,
+  // and drop, versions collapse, then majc-scope iterators run —
+  // unless a live snapshot still observes the inputs, in which case
+  // markers and versions ride along to the output and a later
+  // compaction (after the snapshot closes) retires them.
+  const bool allow_gc = horizon_allows_gc_locked(max_input_seq(inputs));
+  auto cells = merge_compaction_inputs(inputs, /*drop=*/allow_gc,
+                                       config_->versioning && allow_gc,
                                        config_->max_versions,
                                        config_->iterators);
   const std::size_t out_cells = cells.size();
@@ -508,42 +534,85 @@ void Tablet::major_compact_locked() {
   state_cv_.notify_all();
 }
 
+PinnedSources Tablet::pinned_sources_locked() const {
+  PinnedSources s;
+  if (!memtable_.empty()) s.memtable = memtable_.snapshot();
+  s.frozen.reserve(frozen_.size());
+  for (const auto& f : frozen_) s.frozen.emplace_back(f.seq, f.cells);
+  s.version = versions_.current();
+  return s;
+}
+
 IterPtr Tablet::merged_sources_locked(
     std::shared_ptr<std::atomic<std::uint64_t>> consulted) const {
-  const auto v = versions_.current();
-  static const std::vector<FileMeta> kNoFiles;
-  const auto& l0 = v->levels.empty() ? kNoFiles : v->levels[0];
-  std::vector<IterPtr> children;
-  children.reserve(frozen_.size() + v->file_count() + 1);
-  // Newest source first: at equal keys the merge prefers lower child
-  // indices. The active memtable is always newest; frozen memtables
-  // and L0 files interleave by data sequence number. Sorted levels
-  // follow, shallowest (newest) first — everything in L(n+1) predates
-  // everything in L(n) by construction.
-  if (!memtable_.empty()) {
-    children.push_back(std::make_unique<VectorIterator>(memtable_.snapshot()));
+  // Live scans and snapshot scans share one definition of the read
+  // view: a pinned-source merge (see snapshot.hpp).
+  return merge_pinned_sources(pinned_sources_locked(), cache_,
+                              std::move(consulted));
+}
+
+std::shared_ptr<TabletSnapshot> Tablet::open_snapshot() {
+  std::lock_guard lock(mutex_);
+  expire_overdue_snapshots_locked();
+  auto snap = std::shared_ptr<TabletSnapshot>(new TabletSnapshot());
+  snap->tablet_ = shared_from_this();
+  snap->id_ = next_snapshot_id_++;
+  snap->seq_ = next_data_seq_;
+  snap->extent_ = extent_;
+  snap->sources_ = pinned_sources_locked();
+  snap->cache_ = cache_;
+  snap->versioning_ = config_->versioning;
+  snap->max_versions_ = config_->max_versions;
+  snap->iterators_ = config_->iterators;
+  snap->opened_ = std::chrono::steady_clock::now();
+  snap->max_age_ = config_->admission.max_snapshot_age;
+  snap->expired_flag_ = std::make_shared<std::atomic<bool>>(false);
+  live_snapshots_.push_back(
+      LiveSnapshot{snap->id_, snap->seq_, snap->opened_, snap->expired_flag_});
+  snapshot_live_gauge().add(1);
+  snapshot_opened_total().inc();
+  return snap;
+}
+
+void Tablet::release_snapshot(std::uint64_t id) noexcept {
+  std::lock_guard lock(mutex_);
+  const auto erased = std::erase_if(
+      live_snapshots_, [&](const LiveSnapshot& s) { return s.id == id; });
+  // Zero when the age sweep already expired this handle — the gauge was
+  // decremented then.
+  if (erased > 0) snapshot_live_gauge().add(-1);
+}
+
+void Tablet::expire_overdue_snapshots_locked() {
+  const auto age = config_->admission.max_snapshot_age;
+  if (age.count() <= 0 || live_snapshots_.empty()) return;
+  const auto cutoff = std::chrono::steady_clock::now() - age;
+  const auto erased =
+      std::erase_if(live_snapshots_, [&](const LiveSnapshot& s) {
+        if (s.opened > cutoff) return false;
+        s.expired->store(true, std::memory_order_release);
+        return true;
+      });
+  if (erased > 0) {
+    snapshots_expired_ += erased;
+    snapshot_expired_total().inc(erased);
+    snapshot_live_gauge().add(-static_cast<std::int64_t>(erased));
   }
-  auto fz = frozen_.begin();
-  std::size_t fi = 0;
-  while (fz != frozen_.end() || fi < l0.size()) {
-    if (fi >= l0.size() ||
-        (fz != frozen_.end() && fz->seq > l0[fi].seq)) {
-      children.push_back(std::make_unique<VectorIterator>(fz->cells));
-      ++fz;
-    } else {
-      // One LevelIterator per L0 file (ranges may overlap), so file
-      // opens are counted — and seek-pruned — uniformly across levels.
-      children.push_back(std::make_unique<LevelIterator>(
-          std::vector<FileMeta>{l0[fi]}, cache_, consulted));
-      ++fi;
+}
+
+bool Tablet::horizon_allows_gc_locked(std::uint64_t max_input_seq) {
+  expire_overdue_snapshots_locked();
+  for (const LiveSnapshot& s : live_snapshots_) {
+    // A snapshot pinned at S observes every source sealed before it —
+    // all with seq < S. Inputs whose max seq reaches S therefore hold
+    // data (or markers shadowing data) inside some live cut: keep
+    // everything and let a later compaction retire it.
+    if (s.seq <= max_input_seq) {
+      gc_held_total().inc();
+      return false;
     }
   }
-  for (std::size_t l = 1; l < v->levels.size(); ++l) {
-    if (v->levels[l].empty()) continue;
-    children.push_back(
-        std::make_unique<LevelIterator>(v->levels[l], cache_, consulted));
-  }
-  return std::make_unique<MergeIterator>(std::move(children));
+  return true;
 }
 
 IterPtr Tablet::scan_stack() const {
@@ -614,6 +683,15 @@ TabletStats Tablet::stats() const {
   s.major_compactions = major_compactions_;
   s.compactions_queued = bg_queued_;
   s.compactions_completed = bg_completed_;
+  s.live_snapshots = live_snapshots_.size();
+  for (const LiveSnapshot& snap : live_snapshots_) {
+    if (s.oldest_snapshot_seq == 0 || snap.seq < s.oldest_snapshot_seq) {
+      s.oldest_snapshot_seq = snap.seq;
+    }
+  }
+  s.snapshots_expired = snapshots_expired_;
+  s.relief_runs = relief_runs_;
+  s.relief_failures = relief_failures_;
   s.compactions_in_flight =
       (minor_inflight_ ? 1u : 0u) + (major_inflight_ ? 1u : 0u);
   if (cache_) {
