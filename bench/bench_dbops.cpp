@@ -488,6 +488,20 @@ void run_smoke_tablemult() {
   const auto stats = core::table_mult(db, "A", "B", "C", options);
   std::printf("smoke TableMult: %zu rows joined, %zu partial products\n",
               stats.rows_joined, stats.partial_products);
+  // Masked fused-reduce leg: rerun the same multiply gated by C's own
+  // cells restricted to one output column, so both the kept and the
+  // pruned paths fire and the tablemult.partial_products_pruned.total
+  // metric is non-zero in the smoke snapshot.
+  core::TableMultOptions masked = options;
+  masked.mask_table = "C";
+  masked.mask_filter = [](const std::string&, const std::string& qualifier) {
+    return qualifier == "b3";
+  };
+  const auto reduced = core::table_mult_reduce(db, "A", "B", masked);
+  std::printf(
+      "smoke masked TableMult reduce: total %.1f, %zu kept, %zu pruned\n",
+      reduced.total, reduced.stats.partial_products,
+      reduced.stats.partial_products_pruned);
   std::remove(wal_path.c_str());
 }
 

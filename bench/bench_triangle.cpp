@@ -1,0 +1,151 @@
+// Triangle counting against database tables, following the methodology
+// of Weale's Graphulo triangle/truss benchmarking (and the Graphulo
+// "Distributed Triangle Counting" follow-up, 1709.01054): sweep RMAT
+// adjacency matrices over increasing scales, and for each scale run
+//
+//   masked    — sum(L .* (L·U)) as ONE fused table_mult_reduce on the
+//               adjacency table itself: strict-upper scan filters read
+//               both inputs as U in place, the table doubles as its own
+//               strict-lower mask, the reduction folds in the workers.
+//               Nothing is materialized.
+//   trace     — trace(A^3)/6: a full unmasked TableMult materializes
+//               the wedge table W = A'A (every open wedge is a partial
+//               product), then eWise-intersects with A and sums. This
+//               is the ablation baseline the mask prunes.
+//   incidence — the k-truss machinery: build the transposed incidence
+//               table E', one TableMult R = E·A, count entries == 2.
+//
+// Reported per scale: triangles, per-method wall time, edge rate
+// (nnz / s — the rate-vs-nnz curve), partial products emitted and
+// pruned, and the emitted-partials ratio trace/masked (the masking
+// win; the acceptance bar is >= 5x at the largest scale). Every count
+// is checked against the in-memory oracles (algo::triangle_count_*).
+// Emits BENCH_triangle.json; --smoke shrinks the sweep for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "algo/tricount.hpp"
+#include "assoc/table_io.hpp"
+#include "core/table_algos.hpp"
+#include "gen/rmat.hpp"
+#include "la/la.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+#include "bench_metrics.hpp"
+
+using namespace graphulo;
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  graphulo::bench::MetricsDump metrics_dump(argc, argv);
+  const std::vector<int> scales =
+      smoke ? std::vector<int>{7, 8} : std::vector<int>{10, 11, 12, 13};
+
+  util::TablePrinter table({"scale", "n", "nnz", "triangles", "masked_ms",
+                            "trace_ms", "incid_ms", "masked_edges/s",
+                            "emitted", "pruned", "trace_emitted", "ratio",
+                            "agree"});
+  std::string rows = "[";
+  bool first = true;
+  double max_scale_ratio = 0.0;
+  bool all_agree = true;
+  for (int scale : scales) {
+    gen::RmatParams p;
+    p.scale = scale;
+    p.edge_factor = 6;
+    const auto a = gen::rmat_simple_adjacency(p);
+
+    constexpr int kTablets = 4;
+    nosql::Instance db(kTablets);
+    assoc::write_matrix(db, "G", a);
+    std::vector<std::string> splits;
+    for (int s = 1; s < kTablets; ++s) {
+      splits.push_back(assoc::vertex_key(a.rows() * s / kTablets));
+    }
+    db.add_splits("G", splits);
+
+    // In-memory oracles on the same matrix.
+    const std::uint64_t oracle = algo::triangle_count_masked(a);
+    const std::uint64_t oracle_baseline = algo::triangle_count_baseline(a);
+
+    util::Timer t;
+    core::TableMultStats masked_stats;
+    const auto masked = core::table_triangle_count_masked(db, "G",
+                                                          &masked_stats);
+    const double masked_ms = t.millis();
+
+    t.reset();
+    core::TableMultStats trace_stats;
+    const auto trace = core::table_triangle_count_trace(db, "G", &trace_stats);
+    const double trace_ms = t.millis();
+
+    t.reset();
+    const auto incidence = core::table_triangle_count_incidence(db, "G");
+    const double incidence_ms = t.millis();
+
+    const bool agree = masked == oracle && trace == oracle &&
+                       incidence == oracle && oracle_baseline == oracle;
+    all_agree = all_agree && agree;
+    const double ratio =
+        static_cast<double>(trace_stats.partial_products) /
+        static_cast<double>(std::max<std::size_t>(
+            std::size_t{1}, masked_stats.partial_products));
+    max_scale_ratio = ratio;  // scales ascend; the last row is the largest
+    const double masked_rate =
+        masked_ms > 0 ? static_cast<double>(a.nnz()) / (masked_ms / 1e3) : 0.0;
+
+    table.add_row({std::to_string(scale), std::to_string(a.rows()),
+                   std::to_string(a.nnz()), std::to_string(masked),
+                   util::TablePrinter::fmt(masked_ms, 1),
+                   util::TablePrinter::fmt(trace_ms, 1),
+                   util::TablePrinter::fmt(incidence_ms, 1),
+                   util::TablePrinter::fmt(masked_rate / 1e3, 1) + "K",
+                   std::to_string(masked_stats.partial_products),
+                   std::to_string(masked_stats.partial_products_pruned),
+                   std::to_string(trace_stats.partial_products),
+                   util::TablePrinter::fmt(ratio, 1) + "x",
+                   agree ? "yes" : "NO"});
+    if (!first) rows += ", ";
+    first = false;
+    rows += "{\"scale\": " + std::to_string(scale) +
+            ", \"n\": " + std::to_string(a.rows()) +
+            ", \"nnz\": " + std::to_string(a.nnz()) +
+            ", \"triangles\": " + std::to_string(masked) +
+            ", \"oracle\": " + std::to_string(oracle) +
+            ", \"agree\": " + (agree ? "true" : "false") +
+            ", \"masked\": {\"ms\": " + util::TablePrinter::fmt(masked_ms, 3) +
+            ", \"edges_per_s\": " + std::to_string(masked_rate) +
+            ", \"partials_emitted\": " +
+            std::to_string(masked_stats.partial_products) +
+            ", \"partials_pruned\": " +
+            std::to_string(masked_stats.partial_products_pruned) + "}" +
+            ", \"trace\": {\"ms\": " + util::TablePrinter::fmt(trace_ms, 3) +
+            ", \"partials_emitted\": " +
+            std::to_string(trace_stats.partial_products) + "}" +
+            ", \"incidence\": {\"ms\": " +
+            util::TablePrinter::fmt(incidence_ms, 3) +
+            ", \"count\": " + std::to_string(incidence) + "}" +
+            ", \"partial_ratio_trace_over_masked\": " +
+            util::TablePrinter::fmt(ratio, 2) + "}";
+  }
+  rows += "]";
+  table.print(
+      "Table-level triangle counting (masked fused vs trace(A^3)/6 vs "
+      "incidence)");
+
+  std::ofstream("BENCH_triangle.json")
+      << "{\"bench\": \"triangle\", \"smoke\": " << (smoke ? "true" : "false")
+      << ", \"rows\": " << rows
+      << ", \"max_scale_partial_ratio\": "
+      << util::TablePrinter::fmt(max_scale_ratio, 2)
+      << ", \"all_agree\": " << (all_agree ? "true" : "false") << "}\n";
+  std::printf("wrote BENCH_triangle.json (max-scale partial ratio %.1fx, %s)\n",
+              max_scale_ratio, all_agree ? "all counts agree" : "DISAGREEMENT");
+  return all_agree ? 0 : 1;
+}

@@ -26,9 +26,10 @@ std::uint64_t triangle_count_trace(const SpMat<double>& a) {
 std::uint64_t triangle_count_masked(const SpMat<double>& a) {
   const auto l = la::tril(a);
   const auto u = la::triu(a);
-  // B = L * U counts wedges i > k < j; masking with L keeps closed ones.
-  const auto b = la::spgemm<la::PlusTimes<double>>(l, u);
-  const auto closed = la::hadamard(b, l);
+  // C<L> = L * U fused: the mask prunes open wedges inside the SpGEMM,
+  // so only closed wedges (triangles) are ever accumulated — the full
+  // wedge matrix L * U is never materialized.
+  const auto closed = la::spgemm_masked<la::PlusTimes<double>>(l, u, l);
   const double total =
       la::reduce_all(closed, [](double x, double y) { return x + y; });
   return static_cast<std::uint64_t>(std::llround(total));

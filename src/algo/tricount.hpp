@@ -14,7 +14,8 @@ std::uint64_t triangle_count_trace(const la::SpMat<double>& a);
 
 /// Triangle count via the masked form sum(L .* (L * U)) with L/U the
 /// strict lower/upper triangles — the standard GraphBLAS formulation
-/// (each triangle counted exactly once).
+/// (each triangle counted exactly once). Fused onto spgemm_masked so
+/// the open-wedge matrix L * U is never allocated.
 std::uint64_t triangle_count_masked(const la::SpMat<double>& a);
 
 /// Baseline: sorted-neighborhood intersection per edge.

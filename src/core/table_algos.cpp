@@ -1,5 +1,6 @@
 #include "core/table_algos.hpp"
 
+#include <cmath>
 #include <mutex>
 #include <set>
 
@@ -220,6 +221,87 @@ std::size_t table_entry_count(nosql::Instance& db, const std::string& table) {
   nosql::Scanner scan(db, table);
   scan.for_each([&count](const nosql::Key&, const nosql::Value&) { ++count; });
   return count;
+}
+
+std::uint64_t table_triangle_count_masked(nosql::Instance& db,
+                                          const std::string& adj_table,
+                                          TableMultStats* stats) {
+  // One fused kernel: A read as U twice (scan filters), masked by A
+  // read as L (mask filter), partial products folded in the workers.
+  // sum(L .* (U^T·U)) = sum(L .* (L·U)) = triangles, each once.
+  TableMultOptions options;
+  options.row_filter = strict_upper_filter();
+  options.col_filter = strict_upper_filter();
+  options.mask_table = adj_table;
+  options.mask_filter = strict_lower_filter();
+  const auto reduced = table_mult_reduce(db, adj_table, adj_table, options);
+  if (stats) *stats = reduced.stats;
+  return static_cast<std::uint64_t>(std::llround(reduced.total));
+}
+
+std::uint64_t table_triangle_count_trace(nosql::Instance& db,
+                                         const std::string& adj_table,
+                                         TableMultStats* stats) {
+  const std::string wedges = adj_table + "__tri_w";
+  const std::string closed = adj_table + "__tri_c";
+  if (db.table_exists(wedges)) db.delete_table(wedges);
+  if (db.table_exists(closed)) db.delete_table(closed);
+  // Every open wedge i-k-j becomes a partial product of W = A^T·A; the
+  // unmasked emission count in `stats` is the cost the masked
+  // formulation prunes.
+  const auto s =
+      table_mult(db, adj_table, adj_table, wedges, {.compact_result = true});
+  if (stats) *stats = s;
+  table_ewise_mult(db, wedges, adj_table, closed);
+  const double trace = table_sum(db, closed);  // = trace(A^3)
+  db.delete_table(wedges);
+  db.delete_table(closed);
+  return static_cast<std::uint64_t>(std::llround(trace / 6.0));
+}
+
+std::uint64_t table_triangle_count_incidence(nosql::Instance& db,
+                                             const std::string& adj_table) {
+  const std::string et_table = adj_table + "__tri_et";
+  const std::string r_table = adj_table + "__tri_r";
+  if (db.table_exists(et_table)) db.delete_table(et_table);
+  if (db.table_exists(r_table)) db.delete_table(r_table);
+  // Transposed unoriented incidence: row = vertex, qualifier = edge key
+  // "u#v" (upper-triangle order gives one edge per undirected pair).
+  // The transpose is what makes the next join cheap: TableMult joins on
+  // the ROW dimension, which must be the shared vertex axis.
+  db.create_table(et_table);
+  {
+    nosql::BatchWriter writer(db, et_table);
+    RowReader reader(open_table_scan(db, adj_table));
+    reader.set_cell_filter(strict_upper_filter());
+    while (reader.has_next()) {
+      const auto block = reader.next_row();
+      for (const auto& cell : block.cells) {
+        const std::string edge = block.row + "#" + cell.key.qualifier;
+        nosql::Mutation mu(block.row);
+        mu.put("", edge, encode_double(1.0));
+        writer.add_mutation(std::move(mu));
+        nosql::Mutation mv(cell.key.qualifier);
+        mv.put("", edge, encode_double(1.0));
+        writer.add_mutation(std::move(mv));
+      }
+    }
+    writer.flush();
+  }
+  // R = E·A via TableMult's row join: R(e, w) counts endpoints of e
+  // adjacent to w. An entry of exactly 2 closes a triangle over edge e
+  // and apex w; each triangle produces one per edge, hence / 3. This is
+  // precisely how Algorithm 1 reads k-truss edge support off E·A.
+  table_mult(db, et_table, adj_table, r_table, {.compact_result = true});
+  std::size_t twos = 0;
+  nosql::Scanner scan(db, r_table);
+  scan.for_each([&twos](const nosql::Key&, const nosql::Value& v) {
+    const auto d = decode_double(v);
+    if (d && *d == 2.0) ++twos;
+  });
+  db.delete_table(et_table);
+  db.delete_table(r_table);
+  return static_cast<std::uint64_t>(twos / 3);
 }
 
 }  // namespace graphulo::core

@@ -5,10 +5,12 @@
 // similarity, k-truss) matches the headline algorithms of the actual
 // Graphulo server library, built on TableMult / table-scope kernels.
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/tablemult.hpp"
 #include "nosql/instance.hpp"
 
 namespace graphulo::core {
@@ -40,6 +42,42 @@ std::size_t table_ktruss(nosql::Instance& db, const std::string& adj_table,
 
 /// Number of cells visible in a table (scan count).
 std::size_t table_entry_count(nosql::Instance& db, const std::string& table);
+
+/// Triangle count of an undirected 0/1 adjacency table, adjacency-based
+/// masked form (the Graphulo "Distributed Triangle Counting" follow-up,
+/// 1709.01054): sum(L .* (L·U)) computed as ONE fused table_mult_reduce
+/// over the adjacency table itself — strict-upper scan filters read
+/// both inputs as U in place (C = U^T·U = L·U), the adjacency doubles
+/// as its own strict-lower mask L, and the final reduction folds in the
+/// workers. Nothing is materialized: no L or U tables, no wedge table,
+/// no result table. Each triangle is counted exactly once. `stats`
+/// (optional) receives the kernel's TableMultStats — the
+/// partial_products vs partial_products_pruned split is the headline
+/// masking win the Weale benchmark reports.
+std::uint64_t table_triangle_count_masked(nosql::Instance& db,
+                                          const std::string& adj_table,
+                                          TableMultStats* stats = nullptr);
+
+/// Unmasked trace(A^3)/6 formulation — the ablation baseline: one full
+/// TableMult materializes the wedge table W = A^T·A (every open wedge
+/// becomes a partial product), an eWise intersection with A restricts
+/// to closed wedges, and a table sum divides by 6. `stats` receives the
+/// wedge multiply's TableMultStats (its partial_products is the
+/// unmasked emission count the masked path avoids).
+std::uint64_t table_triangle_count_trace(nosql::Instance& db,
+                                         const std::string& adj_table,
+                                         TableMultStats* stats = nullptr);
+
+/// Incidence-based triangle count (the k-truss machinery of Algorithm 1
+/// applied to counting): builds the transposed unoriented incidence
+/// table E^T (row = vertex, qualifier = edge key, one edge per
+/// undirected adjacency pair), computes R = E·A with one TableMult
+/// (rows of R are edges, R(e, w) = how many endpoints of e are adjacent
+/// to w), and counts entries equal to 2 — each triangle contributes one
+/// such entry per edge, so the count divides by 3. Working tables are
+/// dropped before returning.
+std::uint64_t table_triangle_count_incidence(nosql::Instance& db,
+                                             const std::string& adj_table);
 
 /// PageRank executed against an adjacency table: each power sweep is one
 /// server-side TableMult C(j) += sum_i A(i, j) * x(i)/d(i) with the

@@ -4,6 +4,18 @@
 
 namespace graphulo::core {
 
+CellPredicate strict_upper_filter() {
+  return [](const std::string& row, const std::string& qualifier) {
+    return row < qualifier;
+  };
+}
+
+CellPredicate strict_lower_filter() {
+  return [](const std::string& row, const std::string& qualifier) {
+    return qualifier < row;
+  };
+}
+
 nosql::IterPtr open_table_scan(nosql::Instance& db, const std::string& table,
                                const nosql::Range& range) {
   std::vector<nosql::IterPtr> stacks;
@@ -38,7 +50,9 @@ RowBlock RowReader::next_row() {
   block.row = buf_[pos_].key.row;
   while (true) {
     while (pos_ < buf_.size() && buf_[pos_].key.row == block.row) {
-      block.cells.push_back(buf_[pos_]);
+      if (!filter_ || filter_(block.row, buf_[pos_].key.qualifier)) {
+        block.cells.push_back(buf_[pos_]);
+      }
       ++pos_;
     }
     if (pos_ < buf_.size()) break;      // next row already buffered

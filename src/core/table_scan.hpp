@@ -5,6 +5,7 @@
 // stream into rows — the unit the row-aligned merge join of TableMult
 // consumes.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,23 @@
 #include "nosql/snapshot.hpp"
 
 namespace graphulo::core {
+
+/// Scan-time structural predicate over a cell's (row, qualifier). The
+/// table kernels use these to read a *derived* table (the strict upper
+/// or lower triangle of an adjacency) without it ever existing: the
+/// predicate runs while rows are assembled, so dropped cells never
+/// reach the join. Empty std::function = keep everything.
+using CellPredicate =
+    std::function<bool(const std::string& row, const std::string& qualifier)>;
+
+/// Keeps cells strictly above the diagonal under the row <-> qualifier
+/// key ordering (qualifier > row): reading an adjacency table through
+/// this yields U without materializing it.
+CellPredicate strict_upper_filter();
+
+/// Keeps cells strictly below the diagonal (qualifier < row): the L
+/// counterpart.
+CellPredicate strict_lower_filter();
 
 /// Builds a pull iterator over `range` of `table`: each intersecting
 /// tablet's scan stack (attached iterators included), merged in key
@@ -51,11 +69,21 @@ class RowReader {
         range_(std::move(range)),
         block_size_(block_size == 0 ? 1 : block_size) {}
 
-  /// True when another row is available.
+  /// True when another row is available. With a cell filter installed
+  /// this is an upper-bound check: a remaining row may filter to empty,
+  /// so filtered callers must tolerate next_row() returning a RowBlock
+  /// with no cells.
   bool has_next() const { return pos_ < buf_.size() || source_->has_top(); }
 
-  /// Reads the next row (consumes all of its cells).
+  /// Reads the next row (consumes all of its cells). Cells failing the
+  /// installed filter are dropped while the row is assembled.
   RowBlock next_row();
+
+  /// Installs a scan-time cell filter: next_row() keeps only cells for
+  /// which `keep(row, qualifier)` is true. Pass an empty function to
+  /// clear. Filtering happens before the caller sees the row, so the
+  /// merge-join kernels read L/U views of a table in place.
+  void set_cell_filter(CellPredicate keep) { filter_ = std::move(keep); }
 
   /// Positions the stream at the first row key >= `row`. Targets inside
   /// the current read-ahead block are skipped in place (a binary search
@@ -74,6 +102,7 @@ class RowReader {
   nosql::IterPtr source_;
   nosql::Range range_;
   std::size_t block_size_;
+  CellPredicate filter_;
   nosql::CellBlock buf_;   ///< read-ahead, reused across refills
   std::size_t pos_ = 0;    ///< cursor into buf_
   std::size_t seeks_ = 0;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <exception>
 #include <future>
+#include <optional>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "assoc/table_io.hpp"
 #include "core/table_scan.hpp"
@@ -56,23 +59,75 @@ obs::Counter& tm_partial_products() {
       "Partial products emitted by TableMult");
   return c;
 }
+obs::Counter& tm_partial_products_pruned() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "tablemult.partial_products_pruned.total",
+      "Partial products dropped by the TableMult structural mask before "
+      "emission");
+  return c;
+}
 
 /// A partition attempt exceeded its cooperative deadline.
 struct PartitionTimeout : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The structural mask, loaded once per multiply from one consistent
+/// cut of the mask table: output row key -> the set of output
+/// qualifiers M stores there. Values are ignored (presence IS the
+/// mask); mask_filter is applied at load. Read-only after construction,
+/// so all partition workers share one instance without locking.
+struct MaskIndex {
+  std::unordered_map<std::string, std::unordered_set<std::string>> rows;
+  std::size_t cells = 0;
+
+  bool contains(const std::string& row, const std::string& qualifier) const {
+    const auto it = rows.find(row);
+    return it != rows.end() && it->second.count(qualifier) != 0;
+  }
+};
+
+MaskIndex load_mask(nosql::Instance& db, const std::string& mask_table,
+                    const CellPredicate& filter,
+                    const nosql::Snapshot* snapshot) {
+  MaskIndex index;
+  RowReader reader(snapshot ? open_table_scan(*snapshot)
+                            : open_table_scan(db, mask_table));
+  while (reader.has_next()) {
+    auto block = reader.next_row();
+    if (block.cells.empty()) continue;
+    auto& qualifiers = index.rows[block.row];
+    for (const auto& cell : block.cells) {
+      if (filter && !filter(block.row, cell.key.qualifier)) continue;
+      if (qualifiers.insert(cell.key.qualifier).second) ++index.cells;
+    }
+    if (qualifiers.empty()) index.rows.erase(block.row);
+  }
+  return index;
+}
+
+/// Per-partition fused-reduce accumulator (table_mult_reduce). Each
+/// partition owns one; the join barrier folds them.
+struct ReduceAcc {
+  double total = 0.0;
+  std::map<std::string, double> rows;  // filled only when per_row
+};
+
 /// One attempt at one partition of the row-aligned merge join: scans
-/// [range) of A and B, emits the partial products of every shared row
-/// through a private BatchWriter. Runs on a worker thread; touches no
-/// shared state beyond the (thread-safe) Instance scan/write entry
-/// points.
+/// [range) of A and B (through the scan-time row/col filters), and for
+/// every shared row emits the mask-surviving partial products — through
+/// a private BatchWriter into C, or, in fused-reduce mode (`reduce` not
+/// null), into the partition's local accumulator. Runs on a worker
+/// thread; touches no shared state beyond the (thread-safe) Instance
+/// scan/write entry points and the read-only MaskIndex.
 ///
-/// Exactly-once across attempts: the mutation stream of a partition is
-/// a deterministic function of the (stable) inputs, so a retry skips
-/// the first `durable` mutations — the prefix prior attempts applied —
-/// and on any failure `durable` is advanced past everything THIS
-/// attempt applied before the buffered remainder is abandoned.
+/// Exactly-once across attempts (write mode): the mutation stream of a
+/// partition is a deterministic function of the (stable) inputs, mask
+/// and filters included, so a retry skips the first `durable` mutations
+/// — the prefix prior attempts applied — and on any failure `durable`
+/// is advanced past everything THIS attempt applied before the buffered
+/// remainder is abandoned. Reduce mode has no durable state: a retry
+/// simply starts over on a fresh accumulator.
 TableMultPartitionStats mult_partition(nosql::Instance& db,
                                        const std::string& table_a,
                                        const std::string& table_b,
@@ -80,6 +135,8 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
                                        const TableMultOptions& options,
                                        const nosql::Snapshot* snap_a,
                                        const nosql::Snapshot* snap_b,
+                                       const MaskIndex* mask,
+                                       ReduceAcc* reduce, bool per_row,
                                        const nosql::Range& range,
                                        std::size_t& durable) {
   // Per-partition wall time: same quantity TableMultPartitionStats
@@ -93,8 +150,10 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
   std::size_t generated = 0;  // mutations emitted (skipped or written)
   const double deadline_s =
       std::chrono::duration<double>(options.partition_deadline).count();
+  const bool complement = options.complement_mask;
 
-  nosql::BatchWriter writer(db, table_c);
+  std::optional<nosql::BatchWriter> writer;
+  if (!reduce) writer.emplace(db, table_c);
   try {
     // Snapshot isolation: read the pinned cuts (every worker and every
     // retry sees the same inputs); live scans otherwise.
@@ -104,13 +163,23 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
     RowReader reader_b(snap_b ? open_table_scan(*snap_b, range)
                               : open_table_scan(db, table_b, range),
                        range);
+    reader_a.set_cell_filter(options.row_filter);
+    reader_b.set_cell_filter(options.col_filter);
+
+    // With a filter installed a row can assemble empty; skip those so
+    // the join only ever sees rows that still hold cells.
+    const auto read_row = [](RowReader& reader, RowBlock& row) {
+      while (reader.has_next()) {
+        row = reader.next_row();
+        if (!row.cells.empty()) return true;
+      }
+      return false;
+    };
 
     util::Timer phase;
-    bool have_a = reader_a.has_next();
-    bool have_b = reader_b.has_next();
     RowBlock row_a, row_b;
-    if (have_a) row_a = reader_a.next_row();
-    if (have_b) row_b = reader_b.next_row();
+    bool have_a = read_row(reader_a, row_a);
+    bool have_b = read_row(reader_b, row_b);
     stats.scan_seconds += phase.seconds();
     while (have_a && have_b) {
       util::fault::point(util::fault::sites::kTableMultWorker);
@@ -122,16 +191,14 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
       if (row_a.row < row_b.row) {
         phase.reset();
         reader_a.advance_to(row_b.row);
-        have_a = reader_a.has_next();
-        if (have_a) row_a = reader_a.next_row();
+        have_a = read_row(reader_a, row_a);
         stats.scan_seconds += phase.seconds();
         continue;
       }
       if (row_b.row < row_a.row) {
         phase.reset();
         reader_b.advance_to(row_a.row);
-        have_b = reader_b.has_next();
-        if (have_b) row_b = reader_b.next_row();
+        have_b = read_row(reader_b, row_b);
         stats.scan_seconds += phase.seconds();
         continue;
       }
@@ -141,48 +208,78 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
       for (const auto& ca : row_a.cells) {
         const auto av = decode_double(ca.value);
         if (!av) continue;
+        if (reduce) {
+          // Fused reduce: fold surviving products straight into the
+          // partition-local accumulator; no mutation is ever built.
+          double row_sum = 0.0;
+          for (const auto& cb : row_b.cells) {
+            const auto bv = decode_double(cb.value);
+            if (!bv) continue;
+            if (mask && mask->contains(ca.key.qualifier, cb.key.qualifier) ==
+                            complement) {
+              ++stats.partial_products_pruned;
+              continue;
+            }
+            row_sum += options.multiply(*av, *bv);
+            ++stats.partial_products;
+          }
+          reduce->total += row_sum;
+          if (per_row && row_sum != 0.0) {
+            reduce->rows[ca.key.qualifier] += row_sum;
+          }
+          continue;
+        }
         // One mutation per output row C(i, :) chunk for this k.
         nosql::Mutation m(ca.key.qualifier);  // i = A's column key
         bool any = false;
         for (const auto& cb : row_b.cells) {
           const auto bv = decode_double(cb.value);
           if (!bv) continue;
+          if (mask && mask->contains(ca.key.qualifier, cb.key.qualifier) ==
+                          complement) {
+            // Structural mask: the product is pruned here, before the
+            // BatchWriter — it never costs a mutation, a WAL record, or
+            // a combiner fold.
+            ++stats.partial_products_pruned;
+            continue;
+          }
           m.put(ca.key.family, cb.key.qualifier,
                 encode_double(options.multiply(*av, *bv)));
           any = true;
           ++stats.partial_products;
         }
-        if (any && generated++ >= skip) writer.add_mutation(std::move(m));
+        if (any && generated++ >= skip) writer->add_mutation(std::move(m));
       }
       stats.emit_seconds += phase.seconds();
       phase.reset();
-      have_a = reader_a.has_next();
-      if (have_a) row_a = reader_a.next_row();
-      have_b = reader_b.has_next();
-      if (have_b) row_b = reader_b.next_row();
+      have_a = read_row(reader_a, row_a);
+      have_b = read_row(reader_b, row_b);
       stats.scan_seconds += phase.seconds();
     }
     phase.reset();
-    writer.close();
+    if (writer) writer->close();
     stats.flush_seconds = phase.seconds();
     stats.seeks = reader_a.seeks_performed() + reader_b.seeks_performed();
     stats.seconds = total.seconds();
-    durable = skip + writer.mutations_written();
+    if (writer) durable = skip + writer->mutations_written();
     return stats;
   } catch (...) {
     // Everything this attempt managed to apply is durable; the buffered
     // remainder must NOT flush from the destructor (a retry regenerates
     // it), so abandon the writer before propagating.
-    durable = skip + writer.mutations_written();
-    writer.abandon();
+    if (writer) {
+      durable = skip + writer->mutations_written();
+      writer->abandon();
+    }
     throw;
   }
 }
 
 /// Runs one partition to completion: retries transient failures on
 /// fresh scans + a fresh writer (see mult_partition for the
-/// exactly-once argument), degrades a deadline overrun into a
-/// timed-out partition record instead of an exception.
+/// exactly-once argument; reduce attempts restart on a cleared
+/// accumulator), degrades a deadline overrun into a timed-out partition
+/// record instead of an exception.
 TableMultPartitionStats run_partition(nosql::Instance& db,
                                       const std::string& table_a,
                                       const std::string& table_b,
@@ -190,17 +287,22 @@ TableMultPartitionStats run_partition(nosql::Instance& db,
                                       const TableMultOptions& options,
                                       const nosql::Snapshot* snap_a,
                                       const nosql::Snapshot* snap_b,
+                                      const MaskIndex* mask,
+                                      ReduceAcc* reduce, bool per_row,
                                       const nosql::Range& range) {
   std::size_t durable = 0;
   for (std::size_t attempt = 1;; ++attempt) {
     try {
+      if (reduce) *reduce = ReduceAcc{};
       auto stats = mult_partition(db, table_a, table_b, table_c, options,
-                                  snap_a, snap_b, range, durable);
+                                  snap_a, snap_b, mask, reduce, per_row,
+                                  range, durable);
       stats.attempts = attempt;
       return stats;
     } catch (const PartitionTimeout& e) {
       GRAPHULO_WARN << "TableMult: " << e.what()
                     << "; degrading to a partial result";
+      if (reduce) *reduce = ReduceAcc{};
       TableMultPartitionStats stats;
       if (range.has_start) stats.start_row = range.start.row;
       if (range.has_end) stats.end_row = range.end.row;
@@ -237,20 +339,33 @@ std::vector<nosql::Range> partition_ranges(nosql::Instance& db,
   return ranges;
 }
 
-}  // namespace
-
-TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
-                          const std::string& table_b,
-                          const std::string& table_c,
-                          const TableMultOptions& options) {
+/// Shared driver of table_mult and table_mult_reduce. In write mode
+/// (`merged` null) the result lands in `table_c`; in fused-reduce mode
+/// the per-partition accumulators are folded into `*merged` at the join
+/// barrier and `table_c` is ignored.
+TableMultStats run_mult(nosql::Instance& db, const std::string& table_a,
+                        const std::string& table_b,
+                        const std::string& table_c,
+                        const TableMultOptions& options, ReduceAcc* merged,
+                        bool per_row) {
   util::Timer timer;
+  const bool reduce_mode = merged != nullptr;
+  if (!options.mask_table.empty() && !db.table_exists(options.mask_table)) {
+    throw std::invalid_argument("table_mult: mask table '" +
+                                options.mask_table + "' does not exist");
+  }
   // Setup is retry-safe: create_sum_table re-checks existence, and
   // partitioning is a read-only pass over A — both may hit transient
   // (injected) faults that a second attempt clears.
-  util::with_retries("TableMult: result table setup", db.retry_policy(), [&] {
-    if (options.configure_result_table) create_sum_table(db, table_c);
-    if (!db.table_exists(table_c)) db.create_table(table_c);
-  });
+  if (!reduce_mode) {
+    util::with_retries("TableMult: result table setup", db.retry_policy(),
+                       [&] {
+                         if (options.configure_result_table) {
+                           create_sum_table(db, table_c);
+                         }
+                         if (!db.table_exists(table_c)) db.create_table(table_c);
+                       });
+  }
 
   std::size_t workers = options.num_workers != 0
                             ? options.num_workers
@@ -258,16 +373,34 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
   if (workers == 0) workers = 1;
 
   // Pin the inputs BEFORE partitioning so the partition boundaries and
-  // every worker's scans describe the same cut. The handles release at
-  // the end of this function (before the optional result compaction, so
-  // an in-place product's markers are not retained on its account).
-  std::shared_ptr<const nosql::Snapshot> snap_a, snap_b;
+  // every worker's scans describe the same cut. The mask (when named)
+  // is pinned alongside — aliasing an input reuses its snapshot — so
+  // mask, A and B are one consistent view. The handles release at the
+  // end of this function (before the optional result compaction, so an
+  // in-place product's markers are not retained on its account).
+  std::shared_ptr<const nosql::Snapshot> snap_a, snap_b, snap_m;
   if (options.snapshot_isolation) {
     util::with_retries("TableMult: snapshot open", db.retry_policy(), [&] {
       snap_a = db.open_snapshot(table_a);
       snap_b = table_b == table_a ? snap_a : db.open_snapshot(table_b);
+      if (!options.mask_table.empty()) {
+        snap_m = options.mask_table == table_a   ? snap_a
+                 : options.mask_table == table_b ? snap_b
+                     : db.open_snapshot(options.mask_table);
+      }
     });
   }
+
+  // The mask is loaded once, before the fan-out: one read of M serves
+  // every partition (and every retry) as a shared read-only index.
+  std::optional<MaskIndex> mask;
+  if (!options.mask_table.empty()) {
+    mask = util::with_retries("TableMult: mask load", db.retry_policy(), [&] {
+      return load_mask(db, options.mask_table, options.mask_filter,
+                       snap_m.get());
+    });
+  }
+  const MaskIndex* mask_ptr = mask ? &*mask : nullptr;
 
   const auto ranges =
       util::with_retries("TableMult: partitioning", db.retry_policy(), [&] {
@@ -276,21 +409,26 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
 
   TableMultStats stats;
   stats.partitions.reserve(ranges.size());
+  std::vector<ReduceAcc> accs(reduce_mode ? ranges.size() : 0);
   if (ranges.size() == 1) {
     // Serial path: identical order of scans and writes to a single-table
     // run, no pool, no partition boundaries.
-    stats.partitions.push_back(run_partition(db, table_a, table_b, table_c,
-                                             options, snap_a.get(),
-                                             snap_b.get(), ranges[0]));
+    stats.partitions.push_back(run_partition(
+        db, table_a, table_b, table_c, options, snap_a.get(), snap_b.get(),
+        mask_ptr, reduce_mode ? &accs[0] : nullptr, per_row, ranges[0]));
   } else {
     util::ThreadPool pool(std::min(workers, ranges.size()));
     std::vector<std::future<TableMultPartitionStats>> futures;
     futures.reserve(ranges.size());
-    for (const auto& range : ranges) {
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      ReduceAcc* acc = reduce_mode ? &accs[i] : nullptr;
+      const nosql::Range& range = ranges[i];
       futures.push_back(pool.submit([&db, &table_a, &table_b, &table_c,
-                                     &options, &snap_a, &snap_b, &range] {
+                                     &options, &snap_a, &snap_b, mask_ptr,
+                                     acc, per_row, &range] {
         return run_partition(db, table_a, table_b, table_c, options,
-                             snap_a.get(), snap_b.get(), range);
+                             snap_a.get(), snap_b.get(), mask_ptr, acc,
+                             per_row, range);
       }));
     }
     // Flush barrier: join every worker (collecting its counters) before
@@ -309,17 +447,28 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
   for (const auto& p : stats.partitions) {
     stats.rows_joined += p.rows_joined;
     stats.partial_products += p.partial_products;
+    stats.partial_products_pruned += p.partial_products_pruned;
     stats.seeks += p.seeks;
     if (p.attempts > 1) ++stats.retried_partitions;
     if (p.timed_out) ++stats.timed_out_partitions;
   }
+  if (reduce_mode) {
+    // Distinct k-partitions contribute disjoint partial-product sets;
+    // ordinary + folds them in any order, same as C's combiner would.
+    for (auto& acc : accs) {
+      merged->total += acc.total;
+      for (auto& [row, v] : acc.rows) merged->rows[row] += v;
+    }
+  }
   tm_partitions().inc(stats.partitions.size());
   tm_rows_joined().inc(stats.rows_joined);
   tm_partial_products().inc(stats.partial_products);
+  tm_partial_products_pruned().inc(stats.partial_products_pruned);
   if (stats.timed_out_partitions > 0) {
     GRAPHULO_WARN << "TableMult: " << stats.timed_out_partitions << " of "
                   << stats.partitions.size()
-                  << " partitions hit the deadline; " << table_c
+                  << " partitions hit the deadline; "
+                  << (reduce_mode ? "the reduction" : table_c)
                   << " is missing their contributions";
   }
   // Release the input pins before compacting C: when C aliases an input
@@ -327,9 +476,33 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
   // delete-marker/version GC hostage for no reason.
   snap_a.reset();
   snap_b.reset();
-  if (options.compact_result) db.compact(table_c);
+  snap_m.reset();
+  if (!reduce_mode && options.compact_result) db.compact(table_c);
   stats.seconds = timer.seconds();
   return stats;
+}
+
+}  // namespace
+
+TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
+                          const std::string& table_b,
+                          const std::string& table_c,
+                          const TableMultOptions& options) {
+  return run_mult(db, table_a, table_b, table_c, options, nullptr, false);
+}
+
+TableMultReduceResult table_mult_reduce(nosql::Instance& db,
+                                        const std::string& table_a,
+                                        const std::string& table_b,
+                                        const TableMultOptions& options,
+                                        bool per_row) {
+  ReduceAcc merged;
+  TableMultReduceResult result;
+  result.stats =
+      run_mult(db, table_a, table_b, "", options, &merged, per_row);
+  result.total = merged.total;
+  result.row_totals = std::move(merged.rows);
+  return result;
 }
 
 TableMultStats client_side_mult(nosql::Instance& db, const std::string& table_a,

@@ -35,14 +35,27 @@
 // fold correctly). An optional per-partition deadline turns a hung
 // partition into a warning + stats flag instead of a stall.
 //
+// Masking and fusion (DESIGN.md §13): a structural mask table M gates
+// the output — partial products whose (row, qualifier) M does not name
+// are dropped inside the merge join, before they cost a mutation —
+// and scan-time row/column filters read derived views (strict upper /
+// lower triangles) of the inputs in place. table_mult_reduce() fuses
+// the final reduction: partial products fold into per-partition
+// accumulators and the call returns a scalar (or per-row vector)
+// without C ever existing. Together these make sum(L .* (L·U))
+// triangle counting a single pass that materializes nothing.
+//
 // The client-side baseline (read A and B out, SpGEMM locally, write C
 // back) is provided for the bench_tablemult ablation.
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "core/table_scan.hpp"
 #include "la/spmat.hpp"
 #include "nosql/instance.hpp"
 
@@ -87,6 +100,34 @@ struct TableMultOptions {
   /// but with snapshots the product reads the inputs as of the call —
   /// the natural semantics for iterated kernels.
   bool snapshot_isolation = true;
+  /// Structural mask (GraphBLAS C<M>): when non-empty, names a table M
+  /// whose stored (row, qualifier) set gates the output. A partial
+  /// product destined for C(i, j) is dropped inside the merge join —
+  /// before it reaches the BatchWriter — unless (i, j) is stored in M
+  /// (values are ignored; presence is the mask). M is read once, up
+  /// front, through the same pinned-snapshot discipline as A and B
+  /// (aliasing A or B reuses their snapshot), so the mask is a
+  /// consistent cut too. Drops are counted per partition and in the
+  /// tablemult.partial_products_pruned.total metric.
+  std::string mask_table{};
+  /// Invert the mask: keep partial products whose (i, j) is ABSENT from
+  /// M (GraphBLAS complemented structural mask).
+  bool complement_mask = false;
+  /// Applied to M's cells while the mask is loaded: only cells the
+  /// predicate keeps participate. With strict_lower_filter() the
+  /// adjacency table itself serves as the L mask of the triangle
+  /// kernel — no L table is ever written.
+  CellPredicate mask_filter{};
+  /// Scan-time filter on A's cells (k = row, i = qualifier); dropped
+  /// cells are treated as absent from A, so e.g. strict_upper_filter()
+  /// reads A as its strict upper triangle U in place. Filtering runs in
+  /// the RowReader while rows are assembled — filtered cells never
+  /// reach the join. Because A's qualifiers become C's rows, this is
+  /// the output ROW filter.
+  CellPredicate row_filter{};
+  /// Same for B's cells (k = row, j = qualifier): the output COLUMN
+  /// filter.
+  CellPredicate col_filter{};
 };
 
 /// Per-partition counters from one table_mult() worker.
@@ -95,6 +136,7 @@ struct TableMultPartitionStats {
   std::string end_row;                ///< empty = unbounded on that side
   std::size_t rows_joined = 0;        ///< shared row keys in this range
   std::size_t partial_products = 0;   ///< cells written by this worker
+  std::size_t partial_products_pruned = 0;  ///< dropped by the mask
   std::size_t seeks = 0;              ///< advance_to() seeks on A + B
   double scan_seconds = 0.0;          ///< reading/aligning the two streams
   double emit_seconds = 0.0;          ///< building + buffering mutations
@@ -108,7 +150,8 @@ struct TableMultPartitionStats {
 /// `partitions`, aggregated at join time.
 struct TableMultStats {
   std::size_t rows_joined = 0;        ///< shared row keys of A and B
-  std::size_t partial_products = 0;   ///< cells written to C
+  std::size_t partial_products = 0;   ///< cells written to C (or reduced)
+  std::size_t partial_products_pruned = 0;  ///< dropped by the mask
   std::size_t seeks = 0;              ///< merge-join seeks on A + B
   double seconds = 0.0;               ///< wall time (partitions overlap)
   std::size_t retried_partitions = 0;   ///< partitions needing > 1 attempt
@@ -122,6 +165,36 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
                           const std::string& table_b,
                           const std::string& table_c,
                           const TableMultOptions& options = {});
+
+/// Result of the fused multiply-reduce.
+struct TableMultReduceResult {
+  /// sum of every surviving partial product A(k,i) (x) B(k,j) — exactly
+  /// the scalar sum(C) a table_mult + table_sum round trip would
+  /// produce, without C ever existing.
+  double total = 0.0;
+  /// Per-output-row sums keyed by C's row key i (only filled when
+  /// table_mult_reduce is called with per_row = true).
+  std::map<std::string, double> row_totals;
+  TableMultStats stats;
+};
+
+/// Fused reduce variant: runs the same masked/filtered partitioned
+/// merge join as table_mult(), but feeds each surviving partial product
+/// into a thread-local (+)-accumulator per partition instead of a
+/// BatchWriter, and folds the partition accumulators at the join
+/// barrier. No result table is created, written, or compacted —
+/// `options.configure_result_table` and `options.compact_result` are
+/// ignored. The (+) is ordinary addition, matching the summing combiner
+/// table_mult() attaches to C; `options.multiply` is still the (x).
+/// Retried partitions restart with a fresh accumulator (no durable
+/// state), so the exactly-once machinery is unnecessary here. This is
+/// the kernel shape of masked triangle counting: sum(L .* (L·U)) in one
+/// pass with nothing materialized.
+TableMultReduceResult table_mult_reduce(nosql::Instance& db,
+                                        const std::string& table_a,
+                                        const std::string& table_b,
+                                        const TableMultOptions& options = {},
+                                        bool per_row = false);
 
 /// Client-side baseline: scans A and B into local sparse matrices of
 /// shape (`rows` x `cols_a`) / (`rows` x `cols_b`), multiplies with

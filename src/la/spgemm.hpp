@@ -323,4 +323,51 @@ SpMat<typename SR::value_type> spgemm_masked(
                             std::move(out_cols), std::move(out_vals));
 }
 
+/// Masked SpGEMM with mask polarity: complement_mask = false is
+/// spgemm_masked() above; complement_mask = true computes C<!M> —
+/// entries where M is stored are EXCLUDED (GraphBLAS complemented
+/// structural mask). The complemented form cannot bound its work by the
+/// mask's fill, so it runs Gustavson with a dense accumulator that
+/// skips masked columns.
+template <SemiringPolicy SR>
+SpMat<typename SR::value_type> spgemm_masked(
+    const SpMat<typename SR::value_type>& a,
+    const SpMat<typename SR::value_type>& b,
+    const SpMat<typename SR::value_type>& mask, bool complement_mask) {
+  using T = typename SR::value_type;
+  if (!complement_mask) return spgemm_masked<SR>(a, b, mask);
+  if (a.cols() != b.rows()) throw std::invalid_argument("spgemm_masked: dims");
+  if (mask.rows() != a.rows() || mask.cols() != b.cols()) {
+    throw std::invalid_argument("spgemm_masked: mask shape");
+  }
+  const Index m = a.rows();
+  std::vector<Offset> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> out_cols;
+  std::vector<T> out_vals;
+  detail::DenseSpa<SR> spa(b.cols());
+  std::vector<char> in_mask(static_cast<std::size_t>(b.cols()), 0);
+  for (Index i = 0; i < m; ++i) {
+    const auto mask_cols = mask.row_cols(i);
+    for (Index c : mask_cols) in_mask[static_cast<std::size_t>(c)] = 1;
+    const auto a_cols = a.row_cols(i);
+    const auto a_vals = a.row_vals(i);
+    for (std::size_t p = 0; p < a_cols.size(); ++p) {
+      const Index k = a_cols[p];
+      const T av = a_vals[p];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      for (std::size_t q = 0; q < b_cols.size(); ++q) {
+        if (in_mask[static_cast<std::size_t>(b_cols[q])]) continue;
+        spa.accumulate(b_cols[q], SR::mul(av, b_vals[q]));
+      }
+    }
+    spa.harvest(out_cols, out_vals);
+    for (Index c : mask_cols) in_mask[static_cast<std::size_t>(c)] = 0;
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Offset>(out_cols.size());
+  }
+  return SpMat<T>::from_csr(m, b.cols(), std::move(row_ptr),
+                            std::move(out_cols), std::move(out_vals));
+}
+
 }  // namespace graphulo::la

@@ -130,6 +130,46 @@ TEST(SpGemmMasked, KTrussSupportUseCase) {
   EXPECT_EQ(masked.nnz(), reference.nnz());
 }
 
+TEST(SpGemmMasked, ComplementKeepsExactlyTheUnmaskedEntries) {
+  auto a = random_sparse_int(12, 10, 0.4, 66);
+  auto b = random_sparse_int(10, 11, 0.4, 67);
+  auto mask = random_sparse_int(12, 11, 0.3, 68);
+  const auto full = spgemm<PlusTimes<double>>(a, b);
+  const auto kept = spgemm_masked<PlusTimes<double>>(a, b, mask, false);
+  const auto dropped = spgemm_masked<PlusTimes<double>>(a, b, mask, true);
+  // C<M> and C<!M> partition the full product: disjoint supports whose
+  // union (with values) reproduces it.
+  for (const auto& t : dropped.to_triples()) {
+    EXPECT_EQ(mask.at(t.row, t.col), 0.0);
+    EXPECT_EQ(t.val, full.at(t.row, t.col));
+  }
+  EXPECT_EQ(kept.nnz() + dropped.nnz(), full.nnz());
+  for (const auto& t : full.to_triples()) {
+    const bool in_mask = mask.at(t.row, t.col) != 0.0;
+    EXPECT_EQ((in_mask ? kept : dropped).at(t.row, t.col), t.val);
+  }
+}
+
+TEST(SpGemmMasked, ComplementFalseMatchesPlainMaskedOverload) {
+  auto a = random_sparse_int(9, 9, 0.4, 69);
+  auto mask = random_sparse_int(9, 9, 0.3, 70);
+  EXPECT_EQ(spgemm_masked<PlusTimes<double>>(a, a, mask, false),
+            spgemm_masked<PlusTimes<double>>(a, a, mask));
+}
+
+TEST(SpGemmMasked, ComplementOfEmptyMaskIsFullProduct) {
+  auto a = random_sparse_int(7, 7, 0.5, 71);
+  SpMat<double> empty_mask(7, 7);
+  EXPECT_EQ(spgemm_masked<PlusTimes<double>>(a, a, empty_mask, true),
+            spgemm<PlusTimes<double>>(a, a));
+}
+
+TEST(SpGemmMasked, ComplementShapeValidation) {
+  SpMat<double> a(3, 4), b(4, 5), bad_mask(3, 4);
+  EXPECT_THROW(spgemm_masked<PlusTimes<double>>(a, b, bad_mask, true),
+               std::invalid_argument);
+}
+
 struct SpGemmCase {
   int m, k, n;
   double density;
