@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -859,6 +861,27 @@ void run_mixed_sweep(bool smoke) {
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  // --legs ingest,scan,compaction,mixed,tablemult restricts the run to
+  // the named legs. A skipped leg does NOT touch its BENCH_*.json — the
+  // prior run's artifact is preserved instead of being overwritten with
+  // an empty section, so CI assertions on the other files keep working.
+  std::set<std::string> legs;
+  bool legs_given = false;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--legs") {
+      legs_given = true;
+      std::istringstream in(argv[i + 1]);
+      std::string leg;
+      while (std::getline(in, leg, ',')) {
+        if (!leg.empty()) legs.insert(leg);
+      }
+    }
+  }
+  const auto runs_leg = [&](const char* leg) {
+    if (!legs_given || legs.count(leg) != 0) return true;
+    std::printf("skipping %s leg (prior BENCH artifact preserved)\n\n", leg);
+    return false;
+  };
   // --smoke always leaves a metrics dump behind (CI reads it);
   // full runs opt in with --metrics-json <path>.
   graphulo::bench::MetricsDump metrics_dump(argc, argv,
@@ -866,17 +889,19 @@ int main(int argc, char** argv) {
   if (smoke) {
     // Tiny sweep for sanitizer CI: every sync mode, background
     // compactions, and a cache small enough to evict.
-    run_ingest_sweep(1600, 16 * 1024);
+    if (runs_leg("ingest")) run_ingest_sweep(1600, 16 * 1024);
     // Small-scale scan artifact so sanitizer jobs exercise the packed
     // (RFL3) read path end to end and CI can assert on the JSON.
-    write_scan_json(run_scan_block_sweep(8000),
-                    run_encoding_sweep(/*smoke=*/true));
+    if (runs_leg("scan")) {
+      write_scan_json(run_scan_block_sweep(8000),
+                      run_encoding_sweep(/*smoke=*/true));
+    }
     // Small leveled-vs-flat sustained-ingest artifact for CI assertions.
-    run_compaction_sweep(/*smoke=*/true);
+    if (runs_leg("compaction")) run_compaction_sweep(/*smoke=*/true);
     // Admission-mode sweep under mixed read/write traffic (MVCC snapshot
     // readers vs sustained writers); CI asserts on BENCH_mixed.json.
-    run_mixed_sweep(/*smoke=*/true);
-    run_smoke_tablemult();
+    if (runs_leg("mixed")) run_mixed_sweep(/*smoke=*/true);
+    if (runs_leg("tablemult")) run_smoke_tablemult();
     return 0;
   }
 
@@ -885,7 +910,7 @@ int main(int argc, char** argv) {
   // Cache sized to hold the working set: a sequential re-scan against a
   // smaller-than-data LRU evicts every block before its re-read (the
   // classic scan-thrash pattern, visible in --smoke's tiny cache).
-  run_ingest_sweep(16000, 8 * 1024 * 1024);
+  if (runs_leg("ingest")) run_ingest_sweep(16000, 8 * 1024 * 1024);
 
   {
     util::TablePrinter table({"servers", "splits", "ingest", "scan"});
@@ -945,14 +970,16 @@ int main(int argc, char** argv) {
   // Scan artifact: block-size sweep over the legacy path plus the RFL3
   // prefix-encoding sweep (cells-per-cached-byte on R-MAT adjacency and
   // the tweet term table).
-  write_scan_json(run_scan_block_sweep(2 * kCells),
-                  run_encoding_sweep(/*smoke=*/false));
+  if (runs_leg("scan")) {
+    write_scan_json(run_scan_block_sweep(2 * kCells),
+                    run_encoding_sweep(/*smoke=*/false));
+  }
 
   // Leveled vs flat amplification under sustained overwrite ingest.
-  run_compaction_sweep(/*smoke=*/false);
+  if (runs_leg("compaction")) run_compaction_sweep(/*smoke=*/false);
 
   // Admission-mode sweep under mixed read/write traffic.
-  run_mixed_sweep(/*smoke=*/false);
+  if (runs_leg("mixed")) run_mixed_sweep(/*smoke=*/false);
 
   // WAL overhead: journaled vs unjournaled ingest of the same workload.
   {

@@ -1,0 +1,124 @@
+#pragma once
+// TableMultDataPlane: where the TableMult pipeline reads and writes.
+//
+// The partitioned merge join of tablemult.cpp is agnostic to whether
+// its scans and writers touch a local Instance or cross process
+// boundaries — it needs exactly four capabilities: consistent read
+// views it can open range scans through, per-partition mutation sinks,
+// a way to cut the row space, and table setup/compaction. This
+// interface names those capabilities; LocalDataPlane implements them
+// over an Instance (the default path, used by table_mult(db, ...)),
+// and distributed::ClusterDataPlane implements them over RPC so the
+// same kernel runs against a fleet of tablet-server processes.
+//
+// Exactly-once across partition retries comes in two flavors, selected
+// by WriteSession::exactly_once():
+//  * false (local BatchWriter): the kernel skips the durable prefix of
+//    the partition's deterministic mutation stream client-side (the
+//    writer tells it how many mutations landed before the failure);
+//  * true (remote writers): resent batches carry (writer id, sequence
+//    number) and the owning server skips the already-applied prefix,
+//    which composes with per-server batching where a client-side
+//    prefix count would not (per-server batches apply out of global
+//    stream order). The kernel then always resends from sequence 0.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nosql/iterator.hpp"
+#include "nosql/mutation.hpp"
+#include "util/fault.hpp"
+
+namespace graphulo::nosql {
+class Instance;
+}
+
+namespace graphulo::core {
+
+class TableMultDataPlane {
+ public:
+  /// A pinned, consistent read view over a set of tables: every
+  /// open_scan through one view (across all partitions and retries)
+  /// sees the same cut of each table.
+  class ReadView {
+   public:
+    virtual ~ReadView() = default;
+
+    /// Seeked iterator over `range` of `table` (one of the tables the
+    /// view was opened over).
+    virtual nosql::IterPtr open_scan(const std::string& table,
+                                     const nosql::Range& range) = 0;
+  };
+
+  /// One multiply's write fan-out into the result table: each
+  /// partition opens its writer by index, and a retried partition
+  /// re-opens the SAME index so exactly-once sinks can dedup the
+  /// resent stream.
+  class WriteSession {
+   public:
+    virtual ~WriteSession() = default;
+
+    virtual std::unique_ptr<nosql::MutationSink> open_writer(
+        std::size_t partition) = 0;
+
+    /// True when the sinks dedup retried streams themselves (see file
+    /// comment); the kernel then keeps its client-side skip at zero.
+    virtual bool exactly_once() const noexcept = 0;
+  };
+
+  virtual ~TableMultDataPlane() = default;
+
+  virtual bool table_exists(const std::string& table) = 0;
+
+  /// Creates `table` if missing. With `sum_combiner` it is configured
+  /// as a TableMult result sink (versioning off, summing combiner at
+  /// every scope); otherwise default config. No-op when it exists.
+  virtual void ensure_table(const std::string& table, bool sum_combiner) = 0;
+
+  /// Opens one consistent cut of `tables`. `snapshot_isolation` false
+  /// reads the live tables instead (pre-MVCC behaviour) where the
+  /// plane supports the distinction.
+  virtual std::unique_ptr<ReadView> open_read_view(
+      const std::vector<std::string>& tables, bool snapshot_isolation) = 0;
+
+  virtual std::unique_ptr<WriteSession> open_write_session(
+      const std::string& table) = 0;
+
+  /// Up to `pieces - 1` interior row boundaries cutting `table`'s row
+  /// space into contiguous chunks (tablet splits / sampled keys).
+  virtual std::vector<std::string> partition_rows(const std::string& table,
+                                                  std::size_t pieces) = 0;
+
+  virtual void compact(const std::string& table) = 0;
+
+  /// Retry budget for the plane's control-plane calls (setup,
+  /// partitioning, snapshot open).
+  virtual util::RetryPolicy retry_policy() const = 0;
+};
+
+/// The default plane: everything against one in-process Instance.
+class LocalDataPlane : public TableMultDataPlane {
+ public:
+  explicit LocalDataPlane(nosql::Instance& db) : db_(db) {}
+
+  bool table_exists(const std::string& table) override;
+  void ensure_table(const std::string& table, bool sum_combiner) override;
+  std::unique_ptr<ReadView> open_read_view(
+      const std::vector<std::string>& tables,
+      bool snapshot_isolation) override;
+  std::unique_ptr<WriteSession> open_write_session(
+      const std::string& table) override;
+  std::vector<std::string> partition_rows(const std::string& table,
+                                          std::size_t pieces) override;
+  void compact(const std::string& table) override;
+  util::RetryPolicy retry_policy() const override;
+
+  nosql::Instance& instance() noexcept { return db_; }
+
+ private:
+  nosql::Instance& db_;
+};
+
+}  // namespace graphulo::core

@@ -13,14 +13,18 @@ RemoteWriteIterator::RemoteWriteIterator(nosql::IterPtr source,
                                          nosql::Instance& db,
                                          std::string target_table)
     : WrappingIterator(std::move(source)),
-      writer_([&db, &target_table]() -> nosql::Instance& {
+      sink_([&db, &target_table]() -> std::unique_ptr<nosql::MutationSink> {
         if (!db.table_exists(target_table)) db.create_table(target_table);
-        return db;
-      }(), target_table) {}
+        return std::make_unique<nosql::BatchWriter>(db, target_table);
+      }()) {}
+
+RemoteWriteIterator::RemoteWriteIterator(
+    nosql::IterPtr source, std::unique_ptr<nosql::MutationSink> sink)
+    : WrappingIterator(std::move(source)), sink_(std::move(sink)) {}
 
 RemoteWriteIterator::~RemoteWriteIterator() = default;
 
-void RemoteWriteIterator::close() { writer_.close(); }
+void RemoteWriteIterator::close() { sink_->close(); }
 
 void RemoteWriteIterator::seek(const nosql::Range& range) {
   WrappingIterator::seek(range);
@@ -34,13 +38,13 @@ void RemoteWriteIterator::next() {
 
 void RemoteWriteIterator::write_top() {
   if (!has_top()) {
-    writer_.flush();
+    sink_->flush();
     return;
   }
   const auto& k = top_key();
   nosql::Mutation m(k.row);
   m.put(k.family, k.qualifier, k.visibility, k.ts, top_value());
-  writer_.add_mutation(std::move(m));
+  sink_->add_mutation(std::move(m));
   ++written_;
 }
 

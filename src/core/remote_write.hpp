@@ -25,6 +25,13 @@ class RemoteWriteIterator : public nosql::WrappingIterator {
   RemoteWriteIterator(nosql::IterPtr source, nosql::Instance& db,
                       std::string target_table);
 
+  /// Routes the stream into an arbitrary MutationSink instead of a
+  /// local BatchWriter — with a distributed::Cluster writer as the
+  /// sink, a local scan's output lands on whichever tablet servers own
+  /// the target rows.
+  RemoteWriteIterator(nosql::IterPtr source,
+                      std::unique_ptr<nosql::MutationSink> sink);
+
   /// Flushes the underlying writer unless close() ran; a failure at
   /// destruction time is logged as a warning (call close() to observe
   /// it as an exception).
@@ -39,7 +46,7 @@ class RemoteWriteIterator : public nosql::WrappingIterator {
 
   /// The last flush error the underlying writer recorded, if any.
   const std::optional<std::string>& last_error() const noexcept {
-    return writer_.last_error();
+    return sink_->last_error();
   }
 
   /// Cells written so far.
@@ -48,7 +55,7 @@ class RemoteWriteIterator : public nosql::WrappingIterator {
  private:
   void write_top();
 
-  nosql::BatchWriter writer_;
+  std::unique_ptr<nosql::MutationSink> sink_;
   std::size_t written_ = 0;
 };
 

@@ -28,8 +28,7 @@ using nosql::CombinerIterator;
 using nosql::encode_double;
 using nosql::decode_double;
 
-void create_sum_table(nosql::Instance& db, const std::string& table) {
-  if (db.table_exists(table)) return;
+nosql::TableConfig sum_table_config() {
   nosql::TableConfig cfg;
   cfg.versioning = false;  // the combiner must see every partial product
   cfg.attach_iterator({10, "plus-combiner", nosql::kAllScopes,
@@ -37,7 +36,12 @@ void create_sum_table(nosql::Instance& db, const std::string& table) {
                          return std::make_unique<CombinerIterator>(
                              std::move(src), nosql::sum_double_reducer());
                        }});
-  db.create_table(table, std::move(cfg));
+  return cfg;
+}
+
+void create_sum_table(nosql::Instance& db, const std::string& table) {
+  if (db.table_exists(table)) return;
+  db.create_table(table, sum_table_config());
 }
 
 namespace {
@@ -87,12 +91,11 @@ struct MaskIndex {
   }
 };
 
-MaskIndex load_mask(nosql::Instance& db, const std::string& mask_table,
-                    const CellPredicate& filter,
-                    const nosql::Snapshot* snapshot) {
+MaskIndex load_mask(TableMultDataPlane::ReadView& view,
+                    const std::string& mask_table,
+                    const CellPredicate& filter) {
   MaskIndex index;
-  RowReader reader(snapshot ? open_table_scan(*snapshot)
-                            : open_table_scan(db, mask_table));
+  RowReader reader(view.open_scan(mask_table, nosql::Range::all()));
   while (reader.has_next()) {
     auto block = reader.next_row();
     if (block.cells.empty()) continue;
@@ -116,9 +119,9 @@ struct ReduceAcc {
 /// One attempt at one partition of the row-aligned merge join: scans
 /// [range) of A and B (through the scan-time row/col filters), and for
 /// every shared row emits the mask-surviving partial products — through
-/// a private BatchWriter into C, or, in fused-reduce mode (`reduce` not
-/// null), into the partition's local accumulator. Runs on a worker
-/// thread; touches no shared state beyond the (thread-safe) Instance
+/// a private MutationSink into C, or, in fused-reduce mode (`reduce`
+/// not null), into the partition's local accumulator. Runs on a worker
+/// thread; touches no shared state beyond the (thread-safe) data-plane
 /// scan/write entry points and the read-only MaskIndex.
 ///
 /// Exactly-once across attempts (write mode): the mutation stream of a
@@ -126,19 +129,21 @@ struct ReduceAcc {
 /// and filters included, so a retry skips the first `durable` mutations
 /// — the prefix prior attempts applied — and on any failure `durable`
 /// is advanced past everything THIS attempt applied before the buffered
-/// remainder is abandoned. Reduce mode has no durable state: a retry
-/// simply starts over on a fresh accumulator.
-TableMultPartitionStats mult_partition(nosql::Instance& db,
+/// remainder is abandoned. Sinks that dedup resent streams themselves
+/// (`sink_exactly_once`, the remote writers) instead see the stream
+/// from its beginning on every attempt and skip server-side. Reduce
+/// mode has no durable state: a retry starts over on a fresh
+/// accumulator.
+TableMultPartitionStats mult_partition(TableMultDataPlane::ReadView& view,
                                        const std::string& table_a,
                                        const std::string& table_b,
-                                       const std::string& table_c,
                                        const TableMultOptions& options,
-                                       const nosql::Snapshot* snap_a,
-                                       const nosql::Snapshot* snap_b,
                                        const MaskIndex* mask,
                                        ReduceAcc* reduce, bool per_row,
                                        const nosql::Range& range,
-                                       std::size_t& durable) {
+                                       nosql::MutationSink* writer,
+                                       std::size_t& durable,
+                                       bool sink_exactly_once) {
   // Per-partition wall time: same quantity TableMultPartitionStats
   // reports per call, accumulated here as a global latency histogram.
   TRACE_SPAN("tablemult.partition");
@@ -146,23 +151,17 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
   TableMultPartitionStats stats;
   if (range.has_start) stats.start_row = range.start.row;
   if (range.has_end) stats.end_row = range.end.row;
-  const std::size_t skip = durable;
+  const std::size_t skip = sink_exactly_once ? 0 : durable;
   std::size_t generated = 0;  // mutations emitted (skipped or written)
   const double deadline_s =
       std::chrono::duration<double>(options.partition_deadline).count();
   const bool complement = options.complement_mask;
 
-  std::optional<nosql::BatchWriter> writer;
-  if (!reduce) writer.emplace(db, table_c);
   try {
-    // Snapshot isolation: read the pinned cuts (every worker and every
-    // retry sees the same inputs); live scans otherwise.
-    RowReader reader_a(snap_a ? open_table_scan(*snap_a, range)
-                              : open_table_scan(db, table_a, range),
-                       range);
-    RowReader reader_b(snap_b ? open_table_scan(*snap_b, range)
-                              : open_table_scan(db, table_b, range),
-                       range);
+    // The view is one pinned cut: every worker and every retry sees
+    // the same inputs (live scans when isolation was disabled).
+    RowReader reader_a(view.open_scan(table_a, range), range);
+    RowReader reader_b(view.open_scan(table_b, range), range);
     reader_a.set_cell_filter(options.row_filter);
     reader_b.set_cell_filter(options.col_filter);
 
@@ -261,14 +260,18 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
     stats.flush_seconds = phase.seconds();
     stats.seeks = reader_a.seeks_performed() + reader_b.seeks_performed();
     stats.seconds = total.seconds();
-    if (writer) durable = skip + writer->mutations_written();
+    if (writer && !sink_exactly_once) {
+      durable = skip + writer->mutations_written();
+    }
     return stats;
   } catch (...) {
     // Everything this attempt managed to apply is durable; the buffered
     // remainder must NOT flush from the destructor (a retry regenerates
-    // it), so abandon the writer before propagating.
+    // it), so abandon the writer before propagating. Exactly-once sinks
+    // keep durable at zero — the owning server, not this counter, skips
+    // the applied prefix of the resent stream.
     if (writer) {
-      durable = skip + writer->mutations_written();
+      if (!sink_exactly_once) durable = skip + writer->mutations_written();
       writer->abandon();
     }
     throw;
@@ -279,24 +282,25 @@ TableMultPartitionStats mult_partition(nosql::Instance& db,
 /// fresh scans + a fresh writer (see mult_partition for the
 /// exactly-once argument; reduce attempts restart on a cleared
 /// accumulator), degrades a deadline overrun into a timed-out partition
-/// record instead of an exception.
-TableMultPartitionStats run_partition(nosql::Instance& db,
-                                      const std::string& table_a,
-                                      const std::string& table_b,
-                                      const std::string& table_c,
-                                      const TableMultOptions& options,
-                                      const nosql::Snapshot* snap_a,
-                                      const nosql::Snapshot* snap_b,
-                                      const MaskIndex* mask,
-                                      ReduceAcc* reduce, bool per_row,
-                                      const nosql::Range& range) {
+/// record instead of an exception. A retry re-opens the SAME partition
+/// index from the write session, so exactly-once sinks resume the same
+/// server-side stream.
+TableMultPartitionStats run_partition(
+    TableMultDataPlane::ReadView& view, const std::string& table_a,
+    const std::string& table_b, const TableMultOptions& options,
+    const MaskIndex* mask, ReduceAcc* reduce, bool per_row,
+    const nosql::Range& range, TableMultDataPlane::WriteSession* session,
+    std::size_t partition_index) {
   std::size_t durable = 0;
+  const bool sink_exactly_once = session != nullptr && session->exactly_once();
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       if (reduce) *reduce = ReduceAcc{};
-      auto stats = mult_partition(db, table_a, table_b, table_c, options,
-                                  snap_a, snap_b, mask, reduce, per_row,
-                                  range, durable);
+      std::unique_ptr<nosql::MutationSink> writer;
+      if (session != nullptr) writer = session->open_writer(partition_index);
+      auto stats = mult_partition(view, table_a, table_b, options, mask,
+                                  reduce, per_row, range, writer.get(),
+                                  durable, sink_exactly_once);
       stats.attempts = attempt;
       return stats;
     } catch (const PartitionTimeout& e) {
@@ -321,12 +325,12 @@ TableMultPartitionStats run_partition(nosql::Instance& db,
 
 /// Cuts the row space of `table_a` into up to `workers` contiguous
 /// half-open ranges at tablet split points (sampled keys as fallback).
-std::vector<nosql::Range> partition_ranges(nosql::Instance& db,
+std::vector<nosql::Range> partition_ranges(TableMultDataPlane& plane,
                                            const std::string& table_a,
                                            std::size_t workers) {
   std::vector<nosql::Range> ranges;
   if (workers > 1) {
-    const auto bounds = db.partition_rows(table_a, workers);
+    const auto bounds = plane.partition_rows(table_a, workers);
     std::string prev;
     for (const auto& b : bounds) {
       ranges.push_back(nosql::Range::half_open_row_range(prev, b));
@@ -343,28 +347,25 @@ std::vector<nosql::Range> partition_ranges(nosql::Instance& db,
 /// (`merged` null) the result lands in `table_c`; in fused-reduce mode
 /// the per-partition accumulators are folded into `*merged` at the join
 /// barrier and `table_c` is ignored.
-TableMultStats run_mult(nosql::Instance& db, const std::string& table_a,
+TableMultStats run_mult(TableMultDataPlane& plane, const std::string& table_a,
                         const std::string& table_b,
                         const std::string& table_c,
                         const TableMultOptions& options, ReduceAcc* merged,
                         bool per_row) {
   util::Timer timer;
   const bool reduce_mode = merged != nullptr;
-  if (!options.mask_table.empty() && !db.table_exists(options.mask_table)) {
+  const util::RetryPolicy retry = plane.retry_policy();
+  if (!options.mask_table.empty() && !plane.table_exists(options.mask_table)) {
     throw std::invalid_argument("table_mult: mask table '" +
                                 options.mask_table + "' does not exist");
   }
-  // Setup is retry-safe: create_sum_table re-checks existence, and
+  // Setup is retry-safe: ensure_table re-checks existence, and
   // partitioning is a read-only pass over A — both may hit transient
   // (injected) faults that a second attempt clears.
   if (!reduce_mode) {
-    util::with_retries("TableMult: result table setup", db.retry_policy(),
-                       [&] {
-                         if (options.configure_result_table) {
-                           create_sum_table(db, table_c);
-                         }
-                         if (!db.table_exists(table_c)) db.create_table(table_c);
-                       });
+    util::with_retries("TableMult: result table setup", retry, [&] {
+      plane.ensure_table(table_c, options.configure_result_table);
+    });
   }
 
   std::size_t workers = options.num_workers != 0
@@ -374,38 +375,34 @@ TableMultStats run_mult(nosql::Instance& db, const std::string& table_a,
 
   // Pin the inputs BEFORE partitioning so the partition boundaries and
   // every worker's scans describe the same cut. The mask (when named)
-  // is pinned alongside — aliasing an input reuses its snapshot — so
-  // mask, A and B are one consistent view. The handles release at the
-  // end of this function (before the optional result compaction, so an
+  // is pinned alongside — the view dedupes aliased tables — so mask, A
+  // and B are one consistent view. The view releases at the end of
+  // this function (before the optional result compaction, so an
   // in-place product's markers are not retained on its account).
-  std::shared_ptr<const nosql::Snapshot> snap_a, snap_b, snap_m;
-  if (options.snapshot_isolation) {
-    util::with_retries("TableMult: snapshot open", db.retry_policy(), [&] {
-      snap_a = db.open_snapshot(table_a);
-      snap_b = table_b == table_a ? snap_a : db.open_snapshot(table_b);
-      if (!options.mask_table.empty()) {
-        snap_m = options.mask_table == table_a   ? snap_a
-                 : options.mask_table == table_b ? snap_b
-                     : db.open_snapshot(options.mask_table);
-      }
-    });
-  }
+  std::vector<std::string> view_tables{table_a, table_b};
+  if (!options.mask_table.empty()) view_tables.push_back(options.mask_table);
+  std::unique_ptr<TableMultDataPlane::ReadView> view =
+      util::with_retries("TableMult: snapshot open", retry, [&] {
+        return plane.open_read_view(view_tables, options.snapshot_isolation);
+      });
 
   // The mask is loaded once, before the fan-out: one read of M serves
   // every partition (and every retry) as a shared read-only index.
   std::optional<MaskIndex> mask;
   if (!options.mask_table.empty()) {
-    mask = util::with_retries("TableMult: mask load", db.retry_policy(), [&] {
-      return load_mask(db, options.mask_table, options.mask_filter,
-                       snap_m.get());
+    mask = util::with_retries("TableMult: mask load", retry, [&] {
+      return load_mask(*view, options.mask_table, options.mask_filter);
     });
   }
   const MaskIndex* mask_ptr = mask ? &*mask : nullptr;
 
   const auto ranges =
-      util::with_retries("TableMult: partitioning", db.retry_policy(), [&] {
-        return partition_ranges(db, table_a, workers);
+      util::with_retries("TableMult: partitioning", retry, [&] {
+        return partition_ranges(plane, table_a, workers);
       });
+
+  std::unique_ptr<TableMultDataPlane::WriteSession> session;
+  if (!reduce_mode) session = plane.open_write_session(table_c);
 
   TableMultStats stats;
   stats.partitions.reserve(ranges.size());
@@ -414,8 +411,9 @@ TableMultStats run_mult(nosql::Instance& db, const std::string& table_a,
     // Serial path: identical order of scans and writes to a single-table
     // run, no pool, no partition boundaries.
     stats.partitions.push_back(run_partition(
-        db, table_a, table_b, table_c, options, snap_a.get(), snap_b.get(),
-        mask_ptr, reduce_mode ? &accs[0] : nullptr, per_row, ranges[0]));
+        *view, table_a, table_b, options, mask_ptr,
+        reduce_mode ? &accs[0] : nullptr, per_row, ranges[0], session.get(),
+        0));
   } else {
     util::ThreadPool pool(std::min(workers, ranges.size()));
     std::vector<std::future<TableMultPartitionStats>> futures;
@@ -423,12 +421,11 @@ TableMultStats run_mult(nosql::Instance& db, const std::string& table_a,
     for (std::size_t i = 0; i < ranges.size(); ++i) {
       ReduceAcc* acc = reduce_mode ? &accs[i] : nullptr;
       const nosql::Range& range = ranges[i];
-      futures.push_back(pool.submit([&db, &table_a, &table_b, &table_c,
-                                     &options, &snap_a, &snap_b, mask_ptr,
-                                     acc, per_row, &range] {
-        return run_partition(db, table_a, table_b, table_c, options,
-                             snap_a.get(), snap_b.get(), mask_ptr, acc,
-                             per_row, range);
+      futures.push_back(pool.submit([&view, &table_a, &table_b, &options,
+                                     mask_ptr, acc, per_row, &range, &session,
+                                     i] {
+        return run_partition(*view, table_a, table_b, options, mask_ptr, acc,
+                             per_row, range, session.get(), i);
       }));
     }
     // Flush barrier: join every worker (collecting its counters) before
@@ -474,24 +471,31 @@ TableMultStats run_mult(nosql::Instance& db, const std::string& table_a,
   // Release the input pins before compacting C: when C aliases an input
   // (in-place kernels), a live snapshot would hold the compaction's
   // delete-marker/version GC hostage for no reason.
-  snap_a.reset();
-  snap_b.reset();
-  snap_m.reset();
-  if (!reduce_mode && options.compact_result) db.compact(table_c);
+  view.reset();
+  if (!reduce_mode && options.compact_result) plane.compact(table_c);
   stats.seconds = timer.seconds();
   return stats;
 }
 
 }  // namespace
 
+TableMultStats table_mult(TableMultDataPlane& plane,
+                          const std::string& table_a,
+                          const std::string& table_b,
+                          const std::string& table_c,
+                          const TableMultOptions& options) {
+  return run_mult(plane, table_a, table_b, table_c, options, nullptr, false);
+}
+
 TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
                           const std::string& table_b,
                           const std::string& table_c,
                           const TableMultOptions& options) {
-  return run_mult(db, table_a, table_b, table_c, options, nullptr, false);
+  LocalDataPlane plane(db);
+  return run_mult(plane, table_a, table_b, table_c, options, nullptr, false);
 }
 
-TableMultReduceResult table_mult_reduce(nosql::Instance& db,
+TableMultReduceResult table_mult_reduce(TableMultDataPlane& plane,
                                         const std::string& table_a,
                                         const std::string& table_b,
                                         const TableMultOptions& options,
@@ -499,7 +503,22 @@ TableMultReduceResult table_mult_reduce(nosql::Instance& db,
   ReduceAcc merged;
   TableMultReduceResult result;
   result.stats =
-      run_mult(db, table_a, table_b, "", options, &merged, per_row);
+      run_mult(plane, table_a, table_b, "", options, &merged, per_row);
+  result.total = merged.total;
+  result.row_totals = std::move(merged.rows);
+  return result;
+}
+
+TableMultReduceResult table_mult_reduce(nosql::Instance& db,
+                                        const std::string& table_a,
+                                        const std::string& table_b,
+                                        const TableMultOptions& options,
+                                        bool per_row) {
+  LocalDataPlane plane(db);
+  ReduceAcc merged;
+  TableMultReduceResult result;
+  result.stats =
+      run_mult(plane, table_a, table_b, "", options, &merged, per_row);
   result.total = merged.total;
   result.row_totals = std::move(merged.rows);
   return result;

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "core/data_plane.hpp"
 #include "core/table_scan.hpp"
 #include "la/spmat.hpp"
 #include "nosql/instance.hpp"
@@ -166,6 +167,16 @@ TableMultStats table_mult(nosql::Instance& db, const std::string& table_a,
                           const std::string& table_c,
                           const TableMultOptions& options = {});
 
+/// Same kernel against an arbitrary data plane: the local overload
+/// above wraps `db` in a LocalDataPlane and calls this;
+/// distributed::table_mult passes a ClusterDataPlane so the partition
+/// workers scan and write across tablet-server processes.
+TableMultStats table_mult(TableMultDataPlane& plane,
+                          const std::string& table_a,
+                          const std::string& table_b,
+                          const std::string& table_c,
+                          const TableMultOptions& options = {});
+
 /// Result of the fused multiply-reduce.
 struct TableMultReduceResult {
   /// sum of every surviving partial product A(k,i) (x) B(k,j) — exactly
@@ -196,6 +207,14 @@ TableMultReduceResult table_mult_reduce(nosql::Instance& db,
                                         const TableMultOptions& options = {},
                                         bool per_row = false);
 
+/// Fused reduce against an arbitrary data plane (see table_mult
+/// overload above).
+TableMultReduceResult table_mult_reduce(TableMultDataPlane& plane,
+                                        const std::string& table_a,
+                                        const std::string& table_b,
+                                        const TableMultOptions& options = {},
+                                        bool per_row = false);
+
 /// Client-side baseline: scans A and B into local sparse matrices of
 /// shape (`rows` x `cols_a`) / (`rows` x `cols_b`), multiplies with
 /// SpGEMM, writes the full result back to C. Matches table_mult()'s
@@ -206,8 +225,14 @@ TableMultStats client_side_mult(nosql::Instance& db, const std::string& table_a,
                                 const std::string& table_c, la::Index rows,
                                 la::Index cols_a, la::Index cols_b);
 
-/// Creates `table` configured as a TableMult result sink: versioning
-/// off, summing combiner at every scope. No-op if it already exists.
+/// The TableMult result-sink config: versioning off, summing combiner
+/// at every scope. Exposed so recovery paths (graphulo_tsd's preset
+/// provider) can recreate sum tables with the exact config
+/// create_sum_table uses — iterator settings are code, not data.
+nosql::TableConfig sum_table_config();
+
+/// Creates `table` configured as a TableMult result sink (see
+/// sum_table_config). No-op if it already exists.
 void create_sum_table(nosql::Instance& db, const std::string& table);
 
 }  // namespace graphulo::core

@@ -87,13 +87,7 @@ void BatchWriter::flush() {
     }
   } catch (const std::exception& e) {
     last_error_ = e.what();
-    if (dynamic_cast<const OverloadedError*>(&e) != nullptr) {
-      last_error_kind_ = ErrorKind::kOverloaded;
-    } else if (dynamic_cast<const util::TransientError*>(&e) != nullptr) {
-      last_error_kind_ = ErrorKind::kTransient;
-    } else {
-      last_error_kind_ = ErrorKind::kFatal;
-    }
+    last_error_kind_ = classify_write_error(e);
     // Keep only the unapplied suffix: a retried flush resumes exactly
     // where this one failed, with no duplicate applies.
     buffer_.erase(buffer_.begin(),

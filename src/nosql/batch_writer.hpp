@@ -39,17 +39,11 @@
 
 namespace graphulo::nosql {
 
-class BatchWriter {
+class BatchWriter : public MutationSink {
  public:
-  /// What kind of failure last_error() records — callers distinguish a
-  /// shed write (back off and retry later) from corruption without
-  /// string matching.
-  enum class ErrorKind {
-    kNone,        ///< no flush/close has failed
-    kTransient,   ///< retryable (WAL/flush fault, etc.); retries exhausted
-    kOverloaded,  ///< admission shed the write (back-pressure) — transient
-    kFatal,       ///< non-transient (logic error, corruption, fatal fault)
-  };
+  /// Typed failure classification (see MutationSink::ErrorKind — the
+  /// alias keeps existing BatchWriter::ErrorKind call sites working).
+  using ErrorKind = MutationSink::ErrorKind;
 
   /// Buffers up to `max_buffer_bytes` of mutations before auto-flushing.
   /// `retry` bounds the per-mutation retry of transient apply failures.
@@ -60,38 +54,42 @@ class BatchWriter {
   /// Flushes remaining mutations unless close()/abandon() already ran.
   /// Destruction never throws; a failing final flush is logged as a
   /// warning and recorded — call close() explicitly to observe it.
-  ~BatchWriter();
+  ~BatchWriter() override;
 
   BatchWriter(const BatchWriter&) = delete;
   BatchWriter& operator=(const BatchWriter&) = delete;
 
   /// Queues one mutation. May throw if the buffer threshold triggers an
   /// auto-flush that fails after retries.
-  void add_mutation(Mutation mutation);
+  void add_mutation(Mutation mutation) override;
 
   /// Pushes every buffered mutation to the instance, retrying transient
   /// failures per mutation. On exhaustion the failing exception
   /// propagates; mutations already applied are removed from the buffer
   /// so a subsequent flush() resumes without duplicates.
-  void flush();
+  void flush() override;
 
   /// Final flush + marks the writer closed (destructor becomes a
   /// no-op). Throws on failure, with the error also in last_error().
-  void close();
+  void close() override;
 
   /// Discards the buffered (unapplied) mutations and marks the writer
   /// closed. For callers that re-generate their writes on retry.
-  void abandon() noexcept;
+  void abandon() noexcept override;
 
   /// The last flush/close error message, if any.
-  const std::optional<std::string>& last_error() const noexcept {
+  const std::optional<std::string>& last_error() const noexcept override {
     return last_error_;
   }
 
   /// Typed classification of last_error() (kNone when no failure has
   /// been recorded). A successful flush does NOT reset it — like
-  /// last_error(), it reports the most recent failure.
-  ErrorKind last_error_kind() const noexcept { return last_error_kind_; }
+  /// last_error(), it reports the most recent failure. Classified by
+  /// classify_write_error, so a remote OverloadedError surfaced through
+  /// the RPC client reports kOverloaded exactly like a local shed.
+  ErrorKind last_error_kind() const noexcept override {
+    return last_error_kind_;
+  }
 
   /// Admission session used to meter this writer's mutations (see
   /// AdmissionController). Defaults to a private session created at
@@ -102,7 +100,7 @@ class BatchWriter {
 
   /// Mutations applied to the instance so far (exact, maintained
   /// per-mutation — meaningful mid-failure).
-  std::size_t mutations_written() const noexcept { return written_; }
+  std::size_t mutations_written() const noexcept override { return written_; }
 
   /// Mutations still buffered (unapplied).
   std::size_t mutations_pending() const noexcept { return buffer_.size(); }

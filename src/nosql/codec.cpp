@@ -58,4 +58,166 @@ std::optional<std::uint64_t> decode_u64_be(const std::string& bytes) {
   return v;
 }
 
+// ---- wire codecs --------------------------------------------------------
+
+namespace wire {
+
+namespace {
+
+void put_le(std::string& out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+std::uint64_t get_le(Cursor& c, std::size_t bytes) {
+  if (c.remaining() < bytes) {
+    throw WireError("wire: truncated integer (need " + std::to_string(bytes) +
+                    " bytes, have " + std::to_string(c.remaining()) + ")");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(c.data[c.pos + i]))
+         << (8 * i);
+  }
+  c.pos += bytes;
+  return v;
+}
+
+}  // namespace
+
+void Cursor::expect_end() const {
+  if (pos != size) {
+    throw WireError("wire: " + std::to_string(size - pos) +
+                    " trailing bytes after message end");
+  }
+}
+
+void put_u8(std::string& out, std::uint8_t v) { put_le(out, v, 1); }
+void put_u16(std::string& out, std::uint16_t v) { put_le(out, v, 2); }
+void put_u32(std::string& out, std::uint32_t v) { put_le(out, v, 4); }
+void put_u64(std::string& out, std::uint64_t v) { put_le(out, v, 8); }
+void put_i64(std::string& out, std::int64_t v) {
+  put_le(out, static_cast<std::uint64_t>(v), 8);
+}
+
+void put_string(std::string& out, const std::string& s) {
+  if (s.size() > UINT32_MAX) throw WireError("wire: string too long");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+std::uint8_t get_u8(Cursor& c) { return static_cast<std::uint8_t>(get_le(c, 1)); }
+std::uint16_t get_u16(Cursor& c) {
+  return static_cast<std::uint16_t>(get_le(c, 2));
+}
+std::uint32_t get_u32(Cursor& c) {
+  return static_cast<std::uint32_t>(get_le(c, 4));
+}
+std::uint64_t get_u64(Cursor& c) { return get_le(c, 8); }
+std::int64_t get_i64(Cursor& c) { return static_cast<std::int64_t>(get_le(c, 8)); }
+
+std::string get_string(Cursor& c) {
+  const std::uint32_t len = get_u32(c);
+  if (c.remaining() < len) {
+    throw WireError("wire: truncated string (need " + std::to_string(len) +
+                    " bytes, have " + std::to_string(c.remaining()) + ")");
+  }
+  std::string s(c.data + c.pos, len);
+  c.pos += len;
+  return s;
+}
+
+void put_key(std::string& out, const Key& key) {
+  put_string(out, key.row);
+  put_string(out, key.family);
+  put_string(out, key.qualifier);
+  put_string(out, key.visibility);
+  put_i64(out, key.ts);
+  put_u8(out, key.deleted ? 1 : 0);
+}
+
+Key get_key(Cursor& c) {
+  Key k;
+  k.row = get_string(c);
+  k.family = get_string(c);
+  k.qualifier = get_string(c);
+  k.visibility = get_string(c);
+  k.ts = get_i64(c);
+  k.deleted = get_u8(c) != 0;
+  return k;
+}
+
+void put_cell(std::string& out, const Cell& cell) {
+  put_key(out, cell.key);
+  put_string(out, cell.value);
+}
+
+Cell get_cell(Cursor& c) {
+  Cell cell;
+  cell.key = get_key(c);
+  cell.value = get_string(c);
+  return cell;
+}
+
+void put_mutation(std::string& out, const Mutation& m) {
+  put_string(out, m.row());
+  const auto& updates = m.updates();
+  if (updates.size() > UINT32_MAX) throw WireError("wire: mutation too large");
+  put_u32(out, static_cast<std::uint32_t>(updates.size()));
+  for (const auto& u : updates) {
+    put_string(out, u.family);
+    put_string(out, u.qualifier);
+    put_string(out, u.visibility);
+    put_i64(out, u.ts);
+    put_u8(out, static_cast<std::uint8_t>((u.has_ts ? 1 : 0) |
+                                          (u.deleted ? 2 : 0)));
+    put_string(out, u.value);
+  }
+}
+
+Mutation get_mutation(Cursor& c) {
+  Mutation m(get_string(c));
+  const std::uint32_t count = get_u32(c);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ColumnUpdate u;
+    u.family = get_string(c);
+    u.qualifier = get_string(c);
+    u.visibility = get_string(c);
+    u.ts = get_i64(c);
+    const std::uint8_t flags = get_u8(c);
+    if (flags > 3) throw WireError("wire: bad ColumnUpdate flags");
+    u.has_ts = (flags & 1) != 0;
+    u.deleted = (flags & 2) != 0;
+    u.value = get_string(c);
+    m.add_update(std::move(u));
+  }
+  return m;
+}
+
+void put_range(std::string& out, const Range& r) {
+  put_u8(out, static_cast<std::uint8_t>(
+                  (r.has_start ? 1 : 0) | (r.start_inclusive ? 2 : 0) |
+                  (r.has_end ? 4 : 0) | (r.end_inclusive ? 8 : 0)));
+  if (r.has_start) put_key(out, r.start);
+  if (r.has_end) put_key(out, r.end);
+}
+
+Range get_range(Cursor& c) {
+  const std::uint8_t flags = get_u8(c);
+  if (flags > 15) throw WireError("wire: bad Range flags");
+  Range r;
+  r.has_start = (flags & 1) != 0;
+  r.start_inclusive = (flags & 2) != 0;
+  r.has_end = (flags & 4) != 0;
+  r.end_inclusive = (flags & 8) != 0;
+  if (r.has_start) r.start = get_key(c);
+  if (r.has_end) r.end = get_key(c);
+  return r;
+}
+
+}  // namespace wire
+
 }  // namespace graphulo::nosql

@@ -9,9 +9,14 @@
 // Row/column keys that represent vertex indices use zero-padded decimal
 // so lexicographic key order equals numeric order (util::zero_pad).
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
+
+#include "nosql/key.hpp"
+#include "nosql/mutation.hpp"
 
 namespace graphulo::nosql {
 
@@ -34,5 +39,68 @@ std::string encode_u64_be(std::uint64_t v);
 /// Decodes an 8-byte big-endian unsigned integer; nullopt if the input
 /// is not exactly 8 bytes.
 std::optional<std::uint64_t> decode_u64_be(const std::string& bytes);
+
+// ---- wire codecs --------------------------------------------------------
+// Fixed-width little-endian binary encoding of the store's data types
+// for the RPC wire (src/rpc) and any other process-boundary format.
+// Strings are u32-length-prefixed. Decoding is fully bounds-checked:
+// malformed or truncated input throws WireError, never reads out of
+// bounds — the RPC layer maps it to a bad-request rejection.
+
+namespace wire {
+
+/// Malformed or truncated wire bytes (bad length prefix, truncated
+/// field, trailing garbage where a message end was expected).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bounds-checked read cursor over a byte buffer (non-owning).
+struct Cursor {
+  const char* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  Cursor() = default;
+  Cursor(const char* d, std::size_t n) : data(d), size(n) {}
+  explicit Cursor(const std::string& s) : data(s.data()), size(s.size()) {}
+
+  std::size_t remaining() const noexcept { return size - pos; }
+  bool at_end() const noexcept { return pos == size; }
+
+  /// Throws WireError unless the cursor is fully consumed — catches
+  /// trailing garbage after a complete message.
+  void expect_end() const;
+};
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_i64(std::string& out, std::int64_t v);
+void put_string(std::string& out, const std::string& s);
+
+std::uint8_t get_u8(Cursor& c);
+std::uint16_t get_u16(Cursor& c);
+std::uint32_t get_u32(Cursor& c);
+std::uint64_t get_u64(Cursor& c);
+std::int64_t get_i64(Cursor& c);
+std::string get_string(Cursor& c);
+
+/// Cell-model codecs: Key (row, family, qualifier, visibility, ts,
+/// delete marker), Cell (key + value), Mutation (row + column updates)
+/// and Range (optional bounds + inclusivity flags) round-trip
+/// byte-exactly.
+void put_key(std::string& out, const Key& key);
+Key get_key(Cursor& c);
+void put_cell(std::string& out, const Cell& cell);
+Cell get_cell(Cursor& c);
+void put_mutation(std::string& out, const Mutation& m);
+Mutation get_mutation(Cursor& c);
+void put_range(std::string& out, const Range& r);
+Range get_range(Cursor& c);
+
+}  // namespace wire
 
 }  // namespace graphulo::nosql

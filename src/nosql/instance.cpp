@@ -224,9 +224,13 @@ std::vector<std::string> Instance::partition_rows(
       }
     }
   }
+  candidates.erase("");  // "" means "unbounded" to range builders
   std::vector<std::string> sorted(candidates.begin(), candidates.end());
   if (sorted.size() <= target_partitions - 1) return sorted;
-  // Evenly spaced subset of the candidates.
+  // Evenly spaced subset of the candidates. The indices are strictly
+  // increasing over a duplicate-free sorted set, but dedupe anyway —
+  // adjacent partition bounds must never coincide (a duplicate bound
+  // would make the partition range between them empty).
   std::vector<std::string> bounds;
   bounds.reserve(target_partitions - 1);
   for (std::size_t i = 1; i < target_partitions; ++i) {

@@ -142,6 +142,44 @@ bool Range::may_intersect_rows(const std::string& row_lo,
   return true;
 }
 
+Range Range::intersect(const Range& other) const {
+  Range out = *this;
+  if (other.has_start) {
+    if (!out.has_start) {
+      out.has_start = true;
+      out.start = other.start;
+      out.start_inclusive = other.start_inclusive;
+    } else {
+      const auto c = other.start <=> out.start;
+      if (c > 0 || (c == 0 && !other.start_inclusive)) {
+        out.start = other.start;
+        out.start_inclusive = other.start_inclusive;
+      }
+    }
+  }
+  if (other.has_end) {
+    if (!out.has_end) {
+      out.has_end = true;
+      out.end = other.end;
+      out.end_inclusive = other.end_inclusive;
+    } else {
+      const auto c = other.end <=> out.end;
+      if (c < 0 || (c == 0 && !other.end_inclusive)) {
+        out.end = other.end;
+        out.end_inclusive = other.end_inclusive;
+      }
+    }
+  }
+  return out;
+}
+
+bool Range::is_empty() const noexcept {
+  if (!has_start || !has_end) return false;
+  const auto c = start <=> end;
+  if (c > 0) return true;
+  return c == 0 && !(start_inclusive && end_inclusive);
+}
+
 Key min_key_for_row(const std::string& row) {
   Key k;
   k.row = row;

@@ -100,6 +100,18 @@ struct Range {
   /// range (row_hi empty = unbounded tablet).
   bool may_intersect_rows(const std::string& row_lo,
                           const std::string& row_hi) const noexcept;
+
+  /// The intersection of this range and `other`: the tighter of the two
+  /// start bounds and the tighter of the two end bounds (at equal keys
+  /// an exclusive bound is tighter than an inclusive one). May return a
+  /// range that contains no key — check with is_empty(). The
+  /// distributed scan router clips a client range against each server's
+  /// ownership range with this.
+  Range intersect(const Range& other) const;
+
+  /// True when no key can satisfy the range (start bound past the end
+  /// bound). Unbounded sides never make a range empty.
+  bool is_empty() const noexcept;
 };
 
 /// The smallest key with the given row (used for seeks).

@@ -1,6 +1,19 @@
 #include "nosql/mutation.hpp"
 
+#include "nosql/admission.hpp"
+
 namespace graphulo::nosql {
+
+MutationSink::ErrorKind classify_write_error(
+    const std::exception& error) noexcept {
+  if (dynamic_cast<const OverloadedError*>(&error) != nullptr) {
+    return MutationSink::ErrorKind::kOverloaded;
+  }
+  if (dynamic_cast<const util::TransientError*>(&error) != nullptr) {
+    return MutationSink::ErrorKind::kTransient;
+  }
+  return MutationSink::ErrorKind::kFatal;
+}
 
 Mutation& Mutation::put(std::string family, std::string qualifier,
                         Value value) {

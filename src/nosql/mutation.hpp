@@ -3,6 +3,7 @@
 // Accumulo's Mutation. BatchWriter buffers mutations and routes them to
 // tablets.
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,14 @@ class Mutation {
   /// Adds a delete marker for (family, qualifier).
   Mutation& put_delete(std::string family, std::string qualifier);
 
+  /// Adds a fully-specified update verbatim (wire decode / replay
+  /// paths, where has_ts/deleted combinations the sugar above cannot
+  /// express must round-trip exactly).
+  Mutation& add_update(ColumnUpdate update) {
+    updates_.push_back(std::move(update));
+    return *this;
+  }
+
   const std::string& row() const noexcept { return row_; }
   const std::vector<ColumnUpdate>& updates() const noexcept { return updates_; }
 
@@ -46,5 +55,45 @@ class Mutation {
   std::string row_;
   std::vector<ColumnUpdate> updates_;
 };
+
+/// Abstract destination for a stream of mutations — the writer surface
+/// BatchWriter (local) and distributed::ClusterBatchWriter (remote)
+/// both implement, so producers like RemoteWriteIterator and the
+/// TableMult partition workers are agnostic to where their output
+/// lands. Contract mirrors BatchWriter: add_mutation may auto-flush
+/// and throw; close() is the explicit way to observe the final flush;
+/// abandon() discards buffered work for callers that re-generate it on
+/// retry; mutations_written() is exact and meaningful mid-failure.
+class MutationSink {
+ public:
+  /// What kind of failure last_error() records — callers distinguish a
+  /// shed write (back off and retry later) from corruption without
+  /// string matching. Shared by every sink so the classification is
+  /// identical whether the write failed locally or across the wire.
+  enum class ErrorKind {
+    kNone,        ///< no flush/close has failed
+    kTransient,   ///< retryable (WAL/flush/transport fault); retries exhausted
+    kOverloaded,  ///< admission shed the write (back-pressure) — transient
+    kFatal,       ///< non-transient (logic error, corruption, fatal fault)
+  };
+
+  virtual ~MutationSink() = default;
+
+  virtual void add_mutation(Mutation mutation) = 0;
+  virtual void flush() = 0;
+  virtual void close() = 0;
+  virtual void abandon() noexcept = 0;
+  virtual std::size_t mutations_written() const noexcept = 0;
+  virtual const std::optional<std::string>& last_error() const noexcept = 0;
+  virtual ErrorKind last_error_kind() const noexcept = 0;
+};
+
+/// The one classification every sink uses for last_error_kind():
+/// OverloadedError (checked first — it derives from TransientError) →
+/// kOverloaded, any other TransientError → kTransient, everything else
+/// → kFatal. Remote failures classify identically because the RPC
+/// client re-throws wire statuses as these same types.
+MutationSink::ErrorKind classify_write_error(
+    const std::exception& error) noexcept;
 
 }  // namespace graphulo::nosql

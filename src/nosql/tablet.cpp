@@ -711,13 +711,15 @@ std::size_t Tablet::entry_estimate() const {
 }
 
 std::vector<std::string> Tablet::sample_split_rows(std::size_t n) const {
+  if (n == 0) return {};
   std::lock_guard lock(mutex_);
   std::vector<std::string> rows = memtable_.sample_rows(n);
   for (const auto& frozen : frozen_) {
     const auto& cells = *frozen.cells;
     if (cells.empty()) continue;
-    const std::size_t stride = (cells.size() + n - 1) / std::max<std::size_t>(1, n);
-    for (std::size_t i = 0; i < cells.size(); i += std::max<std::size_t>(1, stride)) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, (cells.size() + n - 1) / n);
+    for (std::size_t i = 0; i < cells.size(); i += stride) {
       rows.push_back(cells[i].key.row);
     }
     rows.push_back(cells.back().key.row);
@@ -729,6 +731,10 @@ std::vector<std::string> Tablet::sample_split_rows(std::size_t n) const {
   }
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  // Partition callers turn these into half-open range bounds, where an
+  // empty row means "unbounded" — an empty sample (possible with empty
+  // row keys in the data) must never masquerade as one.
+  if (!rows.empty() && rows.front().empty()) rows.erase(rows.begin());
   return rows;
 }
 

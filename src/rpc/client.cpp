@@ -1,0 +1,133 @@
+#include "rpc/client.hpp"
+
+#include <array>
+
+#include "nosql/admission.hpp"
+#include "nosql/codec.hpp"
+#include "obs/metrics.hpp"
+
+namespace graphulo::rpc {
+
+namespace {
+
+obs::Counter& requests_counter(Verb verb) {
+  static std::array<obs::Counter*, kMaxVerb + 1> handles = [] {
+    std::array<obs::Counter*, kMaxVerb + 1> out{};
+    auto& reg = obs::MetricsRegistry::global();
+    for (std::uint8_t v = 0; v <= kMaxVerb; ++v) {
+      out[v] = &reg.counter("rpc.client.requests.total",
+                            "RPC calls issued, by verb",
+                            {{"verb", verb_name(static_cast<Verb>(v))}});
+    }
+    return out;
+  }();
+  return *handles[static_cast<std::uint8_t>(verb)];
+}
+
+obs::Counter& reconnects_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpc.client.reconnects.total", "RPC client (re)connect attempts");
+  return c;
+}
+
+obs::Counter& bytes_sent_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpc.client.bytes.sent", "Request payload bytes sent");
+  return c;
+}
+
+obs::Counter& bytes_recv_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "rpc.client.bytes.recv", "Response payload bytes received");
+  return c;
+}
+
+}  // namespace
+
+RpcClient::RpcClient(std::string host, std::uint16_t port,
+                     ClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+void RpcClient::connect() {
+  if (socket_.valid()) return;
+  reconnects_counter().inc();
+  socket_ = Socket::connect_tcp(host_, port_, options_.connect_timeout);
+}
+
+void RpcClient::disconnect() noexcept { socket_.close(); }
+
+std::string RpcClient::call(Verb verb, const std::string& body) {
+  return call(verb, body, options_.call_timeout);
+}
+
+std::string RpcClient::call(Verb verb, const std::string& body,
+                            std::chrono::milliseconds timeout) {
+  connect();
+  requests_counter(verb).inc();
+
+  RequestHeader header;
+  header.verb = verb;
+  header.request_id = next_request_id_++;
+  header.deadline_ms = timeout.count() > 0
+                           ? static_cast<std::uint32_t>(timeout.count())
+                           : 0;
+  const std::string request = encode_request(header, body);
+
+  std::string payload;
+  try {
+    if (timeout.count() > 0) {
+      socket_.set_deadline(std::chrono::steady_clock::now() + timeout);
+    } else {
+      socket_.set_deadline(std::nullopt);
+    }
+    send_frame(socket_, request, options_.max_frame_bytes);
+    bytes_sent_counter().inc(request.size());
+    payload = recv_frame(socket_, options_.max_frame_bytes);
+    bytes_recv_counter().inc(payload.size());
+  } catch (const ConnectionError&) {
+    // The stream is dead or unsynchronized; the next call reconnects.
+    disconnect();
+    throw;
+  }
+
+  ResponseHeader response;
+  std::size_t body_offset = 0;
+  try {
+    response = decode_response(payload, body_offset);
+  } catch (const nosql::wire::WireError& e) {
+    disconnect();
+    throw ConnectionError(std::string("rpc: bad response header: ") +
+                          e.what());
+  }
+  if (response.request_id != header.request_id) {
+    disconnect();
+    throw ConnectionError("rpc: response id mismatch (got " +
+                          std::to_string(response.request_id) + ", want " +
+                          std::to_string(header.request_id) + ")");
+  }
+
+  std::string result = payload.substr(body_offset);
+  switch (response.status) {
+    case Status::kOk:
+      return result;
+    case Status::kTransient:
+      throw util::TransientError("remote transient: " + result);
+    case Status::kOverloaded:
+      throw nosql::OverloadedError("remote overloaded: " + result);
+    case Status::kDeadline:
+      throw nosql::DeadlineExceeded("remote deadline: " + result);
+    case Status::kNoSuchLease:
+      throw LeaseExpired("remote lease lost: " + result);
+    case Status::kShuttingDown:
+      disconnect();
+      throw ConnectionError("remote shutting down: " + result);
+    case Status::kBadRequest:
+    case Status::kNoSuchTable:
+    case Status::kFatal:
+      throw RemoteError(response.status, result);
+  }
+  disconnect();
+  throw ConnectionError("rpc: unknown response status");
+}
+
+}  // namespace graphulo::rpc

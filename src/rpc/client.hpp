@@ -1,0 +1,66 @@
+#pragma once
+// RpcClient: one connection to one tablet server. call() frames a
+// request, propagates the caller's deadline over the wire, and maps
+// the response status back onto the process-local failure taxonomy so
+// remote failures flow through the same with_retries /
+// BatchWriter-classification machinery as local ones:
+//
+//   wire status     -> thrown exception
+//   ------------------------------------------------------------------
+//   kTransient      -> util::TransientError        (retry, same server)
+//   kOverloaded     -> nosql::OverloadedError      (admission shed)
+//   kDeadline       -> nosql::DeadlineExceeded     (not auto-retried)
+//   kNoSuchLease    -> rpc::LeaseExpired           (scan re-open + resume)
+//   kShuttingDown   -> rpc::ConnectionError        (reconnect + retry)
+//   kBadRequest,
+//   kNoSuchTable,
+//   kFatal          -> rpc::RemoteError            (not retryable)
+//   transport fault -> rpc::ConnectionError        (reconnect + retry)
+//
+// Not thread-safe; distributed::Cluster pools clients and serializes
+// access per connection. A transport failure disconnects the client;
+// the next call() reconnects.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "rpc/wire.hpp"
+
+namespace graphulo::rpc {
+
+struct ClientOptions {
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Default per-call deadline, sent to the server as deadline_ms and
+  /// enforced locally on the socket.
+  std::chrono::milliseconds call_timeout{30000};
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class RpcClient {
+ public:
+  RpcClient(std::string host, std::uint16_t port, ClientOptions options = {});
+
+  /// Sends one request and returns the kOk response body; reconnects
+  /// first if the connection is down. Throws per the mapping above.
+  std::string call(Verb verb, const std::string& body);
+  std::string call(Verb verb, const std::string& body,
+                   std::chrono::milliseconds timeout);
+
+  /// Connects if not connected; throws ConnectionError on failure.
+  void connect();
+  void disconnect() noexcept;
+  bool connected() const noexcept { return socket_.valid(); }
+
+  const std::string& host() const noexcept { return host_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  ClientOptions options_;
+  Socket socket_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace graphulo::rpc

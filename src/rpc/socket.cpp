@@ -1,0 +1,222 @@
+#include "rpc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace graphulo::rpc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw ConnectionError(what + ": " + std::strerror(err));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)", errno);
+  }
+}
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* numeric =
+      (host.empty() || host == "localhost") ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, numeric, &addr.sin_addr) != 1) {
+    throw ConnectionError("bad host address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::Socket(int fd) : fd_(fd) {}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), deadline_(other.deadline_) {
+  other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    deadline_ = other.deadline_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::connect_tcp(const std::string& host, std::uint16_t port,
+                           std::chrono::milliseconds timeout) {
+  const sockaddr_in addr = loopback_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket", errno);
+  Socket sock(fd);
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) throw_errno("connect", errno);
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc == 0) throw ConnectionError("connect: timed out");
+    if (rc < 0) throw_errno("poll(connect)", errno);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      throw_errno("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) throw_errno("connect", err);
+  }
+  return sock;
+}
+
+int Socket::wait_ready(short events) {
+  int timeout_ms = -1;
+  if (deadline_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= *deadline_) return 0;
+    timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(*deadline_ - now)
+            .count() +
+        1);
+  }
+  pollfd pfd{fd_, events, 0};
+  return ::poll(&pfd, 1, timeout_ms);
+}
+
+void Socket::send_all(const char* data, std::size_t n) {
+  util::fault::point(util::fault::sites::kRpcSend);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int prc = wait_ready(POLLOUT);
+      if (prc == 0) throw ConnectionError("send: deadline exceeded");
+      if (prc < 0 && errno != EINTR) throw_errno("poll(send)", errno);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw_errno("send", errno);
+  }
+}
+
+void Socket::recv_all(char* data, std::size_t n) {
+  util::fault::point(util::fault::sites::kRpcRecv);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, data + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) throw ConnectionError("recv: connection closed by peer");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int prc = wait_ready(POLLIN);
+      if (prc == 0) throw ConnectionError("recv: deadline exceeded");
+      if (prc < 0 && errno != EINTR) throw_errno("poll(recv)", errno);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv", errno);
+  }
+}
+
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Listener Listener::listen_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket", errno);
+  Listener lst;
+  lst.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind", errno);
+  }
+  if (::listen(fd, 64) < 0) throw_errno("listen", errno);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw_errno("getsockname", errno);
+  }
+  lst.port_ = ntohs(bound.sin_port);
+  return lst;
+}
+
+Socket Listener::accept() {
+  util::fault::point(util::fault::sites::kRpcAccept);
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      Socket sock(cfd);
+      set_nonblocking(cfd);
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("accept", errno);
+  }
+}
+
+void Listener::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace graphulo::rpc

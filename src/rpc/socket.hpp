@@ -1,0 +1,112 @@
+#pragma once
+// Thin POSIX TCP wrappers used by the RPC layer: a move-only connected
+// Socket with deadline-aware blocking send/recv (non-blocking fd +
+// poll), and a Listener that can be woken from another thread via
+// shutdown() so servers stop cleanly.
+//
+// Failure model: every transport-level problem — refused connection,
+// peer reset, EOF mid-message, poll deadline expiry — throws
+// ConnectionError, which derives from util::TransientError so the
+// standard with_retries loops treat a dropped connection like any
+// other retryable fault. Fault-injection sites rpc.send / rpc.recv /
+// rpc.accept sit in front of the corresponding syscalls.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace graphulo::rpc {
+
+/// Transport failure (connect/send/recv/accept, including deadline
+/// expiry while blocked). Transient: reconnect-and-retry may succeed.
+class ConnectionError : public util::TransientError {
+ public:
+  using util::TransientError::TransientError;
+};
+
+/// A connected TCP socket (non-blocking fd, blocking-style API via
+/// poll). Move-only; the destructor closes the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd);
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (numeric IPv4 or "localhost") within
+  /// `timeout`; throws ConnectionError on failure or timeout.
+  static Socket connect_tcp(const std::string& host, std::uint16_t port,
+                            std::chrono::milliseconds timeout);
+
+  /// All subsequent send/recv calls fail with ConnectionError once
+  /// `deadline` passes; nullopt blocks indefinitely.
+  void set_deadline(
+      std::optional<std::chrono::steady_clock::time_point> deadline) {
+    deadline_ = deadline;
+  }
+
+  /// Writes exactly `n` bytes; throws ConnectionError on error/deadline.
+  void send_all(const char* data, std::size_t n);
+
+  /// Reads exactly `n` bytes; throws ConnectionError on EOF, error, or
+  /// deadline.
+  void recv_all(char* data, std::size_t n);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Half-closes both directions, waking any thread blocked in poll on
+  /// this fd (used to cancel in-flight I/O from another thread).
+  void shutdown() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int wait_ready(short events);
+
+  int fd_ = -1;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Move-only.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, read back via
+  /// port()); throws ConnectionError on failure.
+  static Listener listen_tcp(std::uint16_t port);
+
+  /// Blocks for the next connection. Throws ConnectionError on failure
+  /// — including when another thread called shutdown(), which is the
+  /// server's stop signal.
+  Socket accept();
+
+  std::uint16_t port() const noexcept { return port_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Wakes a blocked accept() with an error (stop signal).
+  void shutdown() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace graphulo::rpc

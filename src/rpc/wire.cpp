@@ -1,0 +1,137 @@
+#include "rpc/wire.hpp"
+
+#include "nosql/codec.hpp"
+#include "util/checksum.hpp"
+
+namespace graphulo::rpc {
+
+namespace wire = nosql::wire;
+
+const char* verb_name(Verb verb) noexcept {
+  switch (verb) {
+    case Verb::kPing: return "ping";
+    case Verb::kWriteBatch: return "write_batch";
+    case Verb::kScanOpen: return "scan_open";
+    case Verb::kScanContinue: return "scan_continue";
+    case Verb::kScanClose: return "scan_close";
+    case Verb::kTabletLookup: return "tablet_lookup";
+    case Verb::kEnsureTable: return "ensure_table";
+    case Verb::kCompactTable: return "compact_table";
+    case Verb::kStatus: return "status";
+  }
+  return "unknown";
+}
+
+const char* status_name(Status status) noexcept {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kTransient: return "transient";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadline: return "deadline_exceeded";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kNoSuchTable: return "no_such_table";
+    case Status::kNoSuchLease: return "no_such_lease";
+    case Status::kFatal: return "fatal";
+    case Status::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const RequestHeader& header,
+                           const std::string& body) {
+  std::string out;
+  out.reserve(13 + body.size());
+  wire::put_u8(out, static_cast<std::uint8_t>(header.verb));
+  wire::put_u64(out, header.request_id);
+  wire::put_u32(out, header.deadline_ms);
+  out.append(body);
+  return out;
+}
+
+RequestHeader decode_request(const std::string& payload,
+                             std::size_t& body_offset) {
+  wire::Cursor cursor(payload);
+  RequestHeader header;
+  const std::uint8_t verb = wire::get_u8(cursor);
+  if (verb > kMaxVerb) {
+    throw wire::WireError("wire: unknown verb " + std::to_string(verb));
+  }
+  header.verb = static_cast<Verb>(verb);
+  header.request_id = wire::get_u64(cursor);
+  header.deadline_ms = wire::get_u32(cursor);
+  body_offset = cursor.pos;
+  return header;
+}
+
+std::string encode_response(const ResponseHeader& header,
+                            const std::string& body) {
+  std::string out;
+  out.reserve(10 + body.size());
+  wire::put_u8(out, static_cast<std::uint8_t>(header.verb));
+  wire::put_u64(out, header.request_id);
+  wire::put_u8(out, static_cast<std::uint8_t>(header.status));
+  out.append(body);
+  return out;
+}
+
+ResponseHeader decode_response(const std::string& payload,
+                               std::size_t& body_offset) {
+  wire::Cursor cursor(payload);
+  ResponseHeader header;
+  const std::uint8_t verb = wire::get_u8(cursor);
+  if (verb > kMaxVerb) {
+    throw wire::WireError("wire: unknown verb " + std::to_string(verb));
+  }
+  header.verb = static_cast<Verb>(verb);
+  header.request_id = wire::get_u64(cursor);
+  const std::uint8_t status = wire::get_u8(cursor);
+  if (status > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+    throw wire::WireError("wire: unknown status " + std::to_string(status));
+  }
+  header.status = static_cast<Status>(status);
+  body_offset = cursor.pos;
+  return header;
+}
+
+void send_frame(Socket& sock, const std::string& payload,
+                std::uint32_t max_frame_bytes) {
+  if (payload.size() > max_frame_bytes) {
+    throw std::length_error("rpc: frame payload " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds max_frame_bytes " +
+                            std::to_string(max_frame_bytes));
+  }
+  std::string header;
+  header.reserve(kFrameHeaderBytes);
+  wire::put_u32(header, kFrameMagic);
+  wire::put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  wire::put_u32(header, util::crc32(payload.data(), payload.size()));
+  sock.send_all(header.data(), header.size());
+  sock.send_all(payload.data(), payload.size());
+}
+
+std::string recv_frame(Socket& sock, std::uint32_t max_frame_bytes) {
+  char header[kFrameHeaderBytes];
+  sock.recv_all(header, sizeof(header));
+  wire::Cursor cursor(header, sizeof(header));
+  const std::uint32_t magic = wire::get_u32(cursor);
+  if (magic != kFrameMagic) {
+    throw ConnectionError("rpc: bad frame magic (stream unsynchronized)");
+  }
+  const std::uint32_t len = wire::get_u32(cursor);
+  if (len > max_frame_bytes) {
+    throw ConnectionError("rpc: frame length " + std::to_string(len) +
+                          " exceeds max_frame_bytes " +
+                          std::to_string(max_frame_bytes));
+  }
+  const std::uint32_t want_crc = wire::get_u32(cursor);
+  std::string payload(len, '\0');
+  if (len > 0) sock.recv_all(payload.data(), len);
+  const std::uint32_t got_crc = util::crc32(payload.data(), payload.size());
+  if (got_crc != want_crc) {
+    throw ConnectionError("rpc: frame crc mismatch (corrupt stream)");
+  }
+  return payload;
+}
+
+}  // namespace graphulo::rpc

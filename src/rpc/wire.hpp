@@ -1,0 +1,120 @@
+#pragma once
+// The RPC wire protocol: CRC-framed, length-prefixed binary messages
+// over a Socket.
+//
+//   frame    = magic u32 | len u32 | crc32 u32 | payload[len]
+//   request  = verb u8 | request_id u64 | deadline_ms u32 | body
+//   response = verb u8 | request_id u64 | status u8 | body
+//
+// All integers are fixed-width little-endian (nosql::wire codecs);
+// strings inside bodies are u32-length-prefixed. The crc covers the
+// payload only. len is bounded by max_frame_bytes on both ends; a bad
+// magic, oversized length, or crc mismatch means the byte stream is
+// unsynchronized and the connection is abandoned (ConnectionError).
+//
+// A non-kOk response carries a human-readable error message as its
+// body. The client maps statuses back onto the process-local failure
+// taxonomy (see RpcClient::call) so remote failures retry and classify
+// exactly like local ones.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "rpc/socket.hpp"
+
+namespace graphulo::rpc {
+
+inline constexpr std::uint32_t kFrameMagic = 0x554C5247;  // "GRLU" LE
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+/// The four RPC surfaces (plus ping): bulk writes, lease-based
+/// resumable scans, tablet-map/table control, and server status.
+enum class Verb : std::uint8_t {
+  kPing = 0,
+  kWriteBatch = 1,
+  kScanOpen = 2,
+  kScanContinue = 3,
+  kScanClose = 4,
+  kTabletLookup = 5,
+  kEnsureTable = 6,
+  kCompactTable = 7,
+  kStatus = 8,
+};
+inline constexpr std::uint8_t kMaxVerb = 8;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kTransient = 1,     ///< retry same server (maps to util::TransientError)
+  kOverloaded = 2,    ///< admission shed (maps to nosql::OverloadedError)
+  kDeadline = 3,      ///< server hit the propagated deadline
+  kBadRequest = 4,    ///< malformed frame body / unknown verb
+  kNoSuchTable = 5,   ///< table not present on the server
+  kNoSuchLease = 6,   ///< scan lease expired or unknown (resume via re-open)
+  kFatal = 7,         ///< server-side FatalError / unexpected exception
+  kShuttingDown = 8,  ///< server draining; reconnect elsewhere / later
+};
+
+const char* verb_name(Verb verb) noexcept;
+const char* status_name(Status status) noexcept;
+
+/// A scan lease the server no longer holds (expired TTL, server
+/// restart). Transient from the caller's perspective: the remote
+/// scanner re-opens the scan from its last continuation key.
+class LeaseExpired : public util::TransientError {
+ public:
+  using util::TransientError::TransientError;
+};
+
+/// Non-retryable remote failure (kBadRequest, kNoSuchTable, kFatal),
+/// carrying the server's status code and message.
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(Status status, const std::string& message)
+      : std::runtime_error(std::string(status_name(status)) + ": " + message),
+        status_(status) {}
+  Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+struct RequestHeader {
+  Verb verb = Verb::kPing;
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;  ///< 0 = no deadline
+};
+
+struct ResponseHeader {
+  Verb verb = Verb::kPing;
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+};
+
+/// Prepends the request header to `body`, producing a frame payload.
+std::string encode_request(const RequestHeader& header,
+                           const std::string& body);
+
+/// Parses a request payload; on return `body_cursor` covers the body.
+/// Throws nosql::wire::WireError on truncation or an unknown verb.
+RequestHeader decode_request(const std::string& payload,
+                             std::size_t& body_offset);
+
+std::string encode_response(const ResponseHeader& header,
+                            const std::string& body);
+ResponseHeader decode_response(const std::string& payload,
+                               std::size_t& body_offset);
+
+/// Frames and sends one payload. Throws ConnectionError on transport
+/// failure, std::length_error if payload exceeds max_frame_bytes.
+void send_frame(Socket& sock, const std::string& payload,
+                std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Receives one frame and returns its payload. Throws ConnectionError
+/// on EOF/transport failure, bad magic, oversized length, or crc
+/// mismatch (the stream cannot be resynchronized after any of these).
+std::string recv_frame(Socket& sock,
+                       std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace graphulo::rpc

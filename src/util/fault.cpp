@@ -50,7 +50,8 @@ const std::vector<std::string>& all_sites() {
       sites::kMemtableFlush,   sites::kTabletCompact, sites::kInstanceApply,
       sites::kBatchWriterFlush, sites::kTableMultWorker,
       sites::kCheckpointWrite, sites::kCheckpointLoad,
-      sites::kManifestAppend,  sites::kManifestInstall};
+      sites::kManifestAppend,  sites::kManifestInstall,
+      sites::kRpcSend,         sites::kRpcRecv,       sites::kRpcAccept};
   return kAll;
 }
 

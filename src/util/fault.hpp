@@ -102,6 +102,9 @@ inline constexpr const char* kCheckpointWrite = "checkpoint.write";
 inline constexpr const char* kCheckpointLoad = "checkpoint.load";
 inline constexpr const char* kManifestAppend = "manifest.append";
 inline constexpr const char* kManifestInstall = "manifest.install";
+inline constexpr const char* kRpcSend = "rpc.send";
+inline constexpr const char* kRpcRecv = "rpc.recv";
+inline constexpr const char* kRpcAccept = "rpc.accept";
 }  // namespace sites
 
 /// All catalogued site names (the constants above).
